@@ -1,0 +1,31 @@
+"""Benchmark-suite fixtures.
+
+Each figure benchmark regenerates its paper table/series and writes it
+to ``benchmarks/results/``, in addition to the pytest-benchmark wall
+timings of the underlying harness kernels.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2025)
+
+
+def save_report(results_dir, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[saved {path}]")
+    print(text)

@@ -1,0 +1,188 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Format ablation** — SpMV across the Figure 3 format zoo on the same
+  stencil matrix: both real NumPy kernel wall time and the simulated
+  per-piece device time from each format's byte model (DIA's
+  metadata-free layout wins on bandwidth; ELL pays padding).
+* **Tracing ablation** — simulated per-iteration time with dynamic
+  tracing on vs off (the Lee et al. optimization the paper's runs use).
+* **Piece-count ablation** — the canonical-partition granularity sweep:
+  more pieces expose parallelism but multiply per-task overhead.
+* **Direct-write ablation** — the initializer-operator optimization
+  (write + reduce vs fill + reduce) on a single-operator system.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_report
+from repro.api import make_planner
+from repro.bench.report import format_table
+from repro.core import CGSolver
+from repro.problems import laplacian_csr, laplacian_scipy
+from repro.runtime import Partition, lassen, lassen_scaled
+from repro.sparse import ALL_FORMATS, COOMatrix
+
+FORMAT_IDS = [name for name, _ in ALL_FORMATS]
+
+
+@pytest.mark.benchmark(group="ablation-formats")
+@pytest.mark.parametrize(("name", "convert"), ALL_FORMATS, ids=FORMAT_IDS)
+def test_format_spmv_wall_time(benchmark, name, convert, rng):
+    """Real NumPy SpMV kernel speed per format (same 2-D stencil)."""
+    A = laplacian_scipy("2d5", (128, 128))
+    m = convert(COOMatrix.from_scipy(A))
+    x = rng.random(A.shape[0])
+    y = benchmark(m.spmv, x)
+    np.testing.assert_allclose(y, A @ x, atol=1e-9)
+
+
+@pytest.mark.benchmark(group="ablation-formats")
+def test_format_simulated_bytes_report(benchmark, results_dir):
+    """The byte models behind the simulated SpMV times, per format."""
+    A = laplacian_scipy("2d5", (128, 128))
+    base = benchmark.pedantic(COOMatrix.from_scipy, args=(A,), rounds=1, iterations=1)
+    machine = lassen(1)
+    gpu = machine.gpus[0]
+    rows = []
+    for name, convert in ALL_FORMATS:
+        m = convert(base)
+        n_k = m.kernel_space.volume
+        n = A.shape[0]
+        b = m.piece_bytes(n_k, n, n)
+        t = gpu.kernel_time(2.0 * n_k, b, irregular=True)
+        rows.append([name, n_k, b / 1e6, t * 1e6])
+    rows.sort(key=lambda r: r[3])
+    text = format_table(
+        ["format", "stored slots", "MB touched", "simulated µs (V100)"], rows, "{:.2f}"
+    )
+    save_report(results_dir, "ablation_formats", text)
+    by_name = {r[0]: r[3] for r in rows}
+    assert by_name["dia"] < by_name["csr"] < by_name["coo"]  # metadata weight
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+@pytest.mark.parametrize("tracing", [True, False], ids=["traced", "untraced"])
+def test_tracing_ablation(benchmark, tracing, rng, results_dir):
+    """Simulated per-iteration time with/without dynamic tracing."""
+    A = laplacian_scipy("2d5", (128, 128))
+    b = rng.random(A.shape[0])
+    planner = make_planner(A, b, machine=lassen_scaled(1))
+    solver = CGSolver(planner)
+
+    def run():
+        res = solver.run_fixed(6, use_tracing=tracing)
+        return float(np.median(res.iteration_times))
+
+    sim_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_us_per_iteration"] = sim_time * 1e6
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+def test_tracing_reduces_simulated_time(benchmark, results_dir, rng):
+    A = laplacian_scipy("2d5", (128, 128))
+    b = rng.random(A.shape[0])
+    def measure():
+        times = {}
+        for tracing in (True, False):
+            planner = make_planner(A, b, machine=lassen_scaled(1))
+            solver = CGSolver(planner)
+            solver.run_fixed(2, use_tracing=tracing)
+            res = solver.run_fixed(8, use_tracing=tracing)
+            times[tracing] = float(np.median(res.iteration_times))
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = (
+        f"traced:   {times[True] * 1e6:8.1f} µs/iteration\n"
+        f"untraced: {times[False] * 1e6:8.1f} µs/iteration\n"
+        f"speedup from dynamic tracing: {times[False] / times[True]:.2f}x"
+    )
+    save_report(results_dir, "ablation_tracing", text)
+    assert times[True] < times[False]
+
+
+@pytest.mark.benchmark(group="ablation-pieces")
+def test_piece_count_sweep(benchmark, results_dir, rng):
+    """Canonical-partition granularity: per-iteration simulated time as
+    vp grows past the device count (paper §5 sets vp = 4 × nodes)."""
+    A = laplacian_scipy("2d5", (256, 256))
+    b = rng.random(A.shape[0])
+    def sweep():
+        rows = []
+        for vp in (1, 2, 4, 8, 16, 32):
+            planner = make_planner(A, b, machine=lassen_scaled(1), n_pieces=vp)
+            solver = CGSolver(planner)
+            solver.run_fixed(2)
+            res = solver.run_fixed(6)
+            rows.append([vp, float(np.median(res.iteration_times)) * 1e6])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(["pieces", "simulated µs/iter"], rows, "{:.1f}")
+    save_report(results_dir, "ablation_pieces", text)
+    times = {vp: t for vp, t in rows}
+    # One piece serializes on one GPU; vp = #devices is the sweet spot;
+    # heavy oversubscription pays per-task overhead.
+    assert times[4] < times[1]
+    assert times[32] > times[4]
+
+
+@pytest.mark.benchmark(group="ablation-direct-write")
+def test_direct_write_vs_fill_reduce(benchmark, results_dir, rng):
+    """The initializer-operator optimization: a single complete operator
+    writes its output directly instead of zero-fill + reduction."""
+    from repro.core.planner import SOL
+
+    A = laplacian_scipy("2d5", (256, 256))
+    b = rng.random(A.shape[0])
+
+    # Optimized path (the default).
+    planner = make_planner(A, b, machine=lassen_scaled(1))
+    planner.runtime.engine.keep_timeline = True
+    opt = CGSolver(planner)
+    benchmark.pedantic(opt.run_fixed, args=(4,), rounds=1, iterations=1)
+    names = [e.name for e in planner.runtime.engine.timeline]
+    fills_opt = sum(1 for n in names if n == "fill")
+
+    # Forced fill+reduce path: express A as the sum of a top-rows-only
+    # and a bottom-rows-only matrix — neither covers the output rows
+    # completely, so no operator qualifies as the initializer and every
+    # matmul zero-fills and reduces.
+    import scipy.sparse as sp
+
+    from repro.core import Planner
+    from repro.runtime import IndexSpace, Runtime, ShardedMapper
+    from repro.sparse import CSRMatrix
+
+    machine = lassen_scaled(1)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine), keep_timeline=True)
+    planner2 = Planner(runtime)
+    n = A.shape[0]
+    space = IndexSpace.linear(n)
+    mask_top = sp.diags((np.arange(n) < n // 2).astype(float))
+    top = CSRMatrix.from_scipy((mask_top @ A).tocsr(), domain_space=space, range_space=space)
+    bottom = CSRMatrix.from_scipy(
+        ((sp.identity(n) - mask_top) @ A).tocsr(), domain_space=space, range_space=space
+    )
+    part = Partition.equal(space, 4)
+    sid = planner2.add_sol_vector((space, np.zeros(n)), part)
+    rid = planner2.add_rhs_vector((space, b), part)
+    planner2.add_operator(top, sid, rid)
+    planner2.add_operator(bottom, sid, rid)
+    alias = CGSolver(planner2)
+    alias.run_fixed(4)
+    names2 = [e.name for e in runtime.engine.timeline]
+    fills_alias = sum(1 for n in names2 if n == "fill")
+
+    # Same linear system, same answer:
+    np.testing.assert_allclose(
+        planner2.get_array(SOL), planner.get_array(SOL), atol=1e-10
+    )
+    text = (
+        f"fill tasks, single complete operator (direct write): {fills_opt}\n"
+        f"fill tasks, two aliased operators (fill + reduce):   {fills_alias}"
+    )
+    save_report(results_dir, "ablation_direct_write", text)
+    assert fills_opt == 0
+    assert fills_alias > 0

@@ -1,0 +1,61 @@
+"""Figure 10 regeneration: dynamic load balancing under background load.
+
+Saves ``fig10.txt`` with the static/dynamic comparison and the measured
+total-time reduction (paper: 66%; see EXPERIMENTS.md for the honest
+accounting of where this reproduction lands and why)."""
+
+import numpy as np
+import pytest
+
+from conftest import save_report
+from repro.bench import run_fig10, summarize_fig10
+
+
+@pytest.mark.benchmark(group="fig10-harness")
+def test_fig10_experiment(benchmark, results_dir):
+    def experiment():
+        return run_fig10(
+            grid_exp=10,
+            nodes=8,
+            iterations=300,
+            load_period=75,
+            rebalance_period=10,
+            scale=16.0,
+            seed=1,
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = [summarize_fig10(result), ""]
+    s, d = result.iteration_times_static, result.iteration_times_dynamic
+    lines.append("per-window mean iteration time (ms):")
+    lines.append("window   static  dynamic")
+    for w in range(0, len(s), 75):
+        lines.append(
+            f"{w // 75:6d}  {s[w:w+75].mean()*1e3:7.2f}  {d[w:w+75].mean()*1e3:7.2f}"
+        )
+    save_report(results_dir, "fig10", "\n".join(lines))
+    assert result.migrations > 0
+    assert result.reduction > 0.0  # dynamic mapping helps overall
+
+
+@pytest.mark.benchmark(group="fig10-harness")
+def test_fig10_multiseed_stability(benchmark, results_dir):
+    """The qualitative claim holds across seeds."""
+
+    def sweep():
+        reductions = []
+        for seed in range(3):
+            r = run_fig10(
+                grid_exp=9, nodes=8, iterations=150, load_period=50,
+                rebalance_period=10, scale=16.0, seed=seed,
+            )
+            reductions.append(r.reduction)
+        return reductions
+
+    reductions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n".join(
+        [f"seed {i}: total-time reduction {red * 100:+.1f}%" for i, red in enumerate(reductions)]
+        + [f"mean: {np.mean(reductions) * 100:+.1f}%  (paper: 66%)"]
+    )
+    save_report(results_dir, "fig10_seeds", text)
+    assert np.mean(reductions) > 0.0

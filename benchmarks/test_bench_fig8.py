@@ -1,0 +1,85 @@
+"""Figure 8 regeneration: library comparison, 4 stencils × 3 KSMs.
+
+Produces two reports:
+
+* ``fig8_real.txt`` — executable sweep (numerics run for real) on the
+  bandwidth-scaled single-node machine, sizes 2¹²…2²⁰;
+* ``fig8_model.txt`` — full-scale sweep with true Lassen constants at
+  16 nodes / 64 GPUs, sizes 2²⁴…2³² (the paper's axis), via the
+  validated closed-form model;
+
+plus pytest-benchmark wall timings of one representative solve per
+library (how long the *reproduction harness itself* takes).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_report
+from repro.api import make_planner
+from repro.baselines import PETScLikeLibrary, TrilinosLikeLibrary
+from repro.bench import run_fig8, summarize_fig8
+from repro.core import CGSolver
+from repro.problems import laplacian_scipy
+from repro.runtime import lassen_scaled
+
+
+@pytest.mark.benchmark(group="fig8-harness")
+def test_fig8_real_sweep(benchmark, results_dir):
+    """The scaled-down executable Figure 8 (all 12 panels)."""
+
+    def sweep():
+        return run_fig8(
+            sizes=[2**12, 2**14, 2**16, 2**18, 2**20],
+            nodes=1,
+            mode="real",
+            warmup=2,
+            timed=6,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(results_dir, "fig8_real", summarize_fig8(rows))
+    # The headline shape must hold in the saved report.
+    big = [r for r in rows if r.stencil == "2d5" and r.solver == "cg"]
+    sizes = sorted({r.n_unknowns for r in big})
+    t = {
+        (r.library, r.n_unknowns): r.time_per_iteration for r in big
+    }
+    assert t[("legion", sizes[0])] > t[("petsc", sizes[0])]
+    assert t[("legion", sizes[-1])] < t[("trilinos", sizes[-1])]
+
+
+@pytest.mark.benchmark(group="fig8-harness")
+def test_fig8_model_sweep(benchmark, results_dir):
+    """The paper-scale Figure 8 from the validated analytic model."""
+
+    def sweep():
+        return run_fig8(
+            sizes=[2**24, 2**26, 2**28, 2**30, 2**32],
+            nodes=16,
+            mode="model",
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(results_dir, "fig8_model", summarize_fig8(rows))
+
+
+@pytest.mark.benchmark(group="fig8-kernels")
+def test_legion_cg_iteration(benchmark, rng):
+    """Wall time of one simulated+executed CG iteration (LegionSolvers)."""
+    A = laplacian_scipy("2d5", (512, 512))
+    b = rng.random(A.shape[0])
+    planner = make_planner(A, b, machine=lassen_scaled(1))
+    solver = CGSolver(planner)
+    solver.run_fixed(2)
+    benchmark(lambda: solver.run_fixed(1))
+
+
+@pytest.mark.benchmark(group="fig8-kernels")
+@pytest.mark.parametrize("cls", [PETScLikeLibrary, TrilinosLikeLibrary], ids=["petsc", "trilinos"])
+def test_baseline_cg_iteration(benchmark, cls, rng):
+    A = laplacian_scipy("2d5", (512, 512))
+    b = rng.random(A.shape[0])
+    lib = cls(A, b, lassen_scaled(1))
+    lib.run("cg", 2)
+    benchmark(lambda: lib.run("cg", 1))

@@ -1,0 +1,41 @@
+"""Figure 9 regeneration: single- vs multi-operator BiCGStab.
+
+Saves ``fig9.txt`` with the per-size series and the measured crossover
+point (paper: multi-operator is slower below ~1e9 unknowns, faster
+above; on the bandwidth-scaled two-node machine the crossover appears
+at an executable size — see EXPERIMENTS.md for the scale equivalence).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.bench import run_fig9, summarize_fig9
+from repro.bench.fig9 import bicgstab_time_per_iteration
+from repro.runtime import lassen_scaled
+
+
+@pytest.mark.benchmark(group="fig9-harness")
+def test_fig9_sweep(benchmark, results_dir):
+    def sweep():
+        return run_fig9(exponents=(5, 6, 7, 8, 9, 10, 11), warmup=2, timed=6)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(results_dir, "fig9", summarize_fig9(rows))
+    # Shape assertions: multi pays overhead at the smallest size...
+    by = {(r.n_unknowns, r.formulation): r.time_per_iteration for r in rows}
+    sizes = sorted({r.n_unknowns for r in rows})
+    assert by[(sizes[0], "multi")] > by[(sizes[0], "single")]
+    # ...and wins at the largest.
+    assert by[(sizes[-1], "multi")] < by[(sizes[-1], "single")]
+
+
+@pytest.mark.benchmark(group="fig9-kernels")
+@pytest.mark.parametrize("n_bands", [1, 2], ids=["single-operator", "multi-operator"])
+def test_formulation_iteration_cost(benchmark, n_bands):
+    """Wall time of timing one BiCGStab iteration in each formulation."""
+    machine = lassen_scaled(2, 16.0)
+    benchmark.pedantic(
+        lambda: bicgstab_time_per_iteration((256, 256), n_bands, machine, warmup=1, timed=3),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the runtime substrate's hot paths.
+
+These guard the reproduction harness's own performance: dependent-
+partitioning projections, subset algebra, and engine task throughput
+are what make the executable sweeps feasible at 10⁶-unknown scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import col_K_to_D, row_R_to_K
+from repro.problems import laplacian_csr
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    Runtime,
+    ShardedMapper,
+    Subset,
+    TaskLauncher,
+    lassen,
+)
+
+
+@pytest.fixture(scope="module")
+def stencil():
+    return laplacian_csr("2d5", (512, 512))
+
+
+@pytest.mark.benchmark(group="runtime-deppart")
+def test_row_preimage_projection(benchmark, stencil):
+    """row_R→K over a 1.3M-nnz CSR matrix, 16 pieces."""
+    P = Partition.equal(stencil.range_space, 16)
+    kp = benchmark(row_R_to_K, stencil, P)
+    assert sum(p.volume for p in kp) == stencil.nnz
+
+
+@pytest.mark.benchmark(group="runtime-deppart")
+def test_col_image_projection(benchmark, stencil):
+    P = Partition.equal(stencil.range_space, 16)
+    KP = row_R_to_K(stencil, P)
+    DP = benchmark(col_K_to_D, stencil, KP)
+    assert len(DP.pieces) == 16
+
+
+@pytest.mark.benchmark(group="runtime-subsets")
+def test_subset_intersection_interval(benchmark):
+    space = IndexSpace.linear(1 << 22)
+    a = Subset.interval(space, 0, 1 << 21)
+    b = Subset.interval(space, 1 << 20, (1 << 22) - 1)
+    out = benchmark(a.intersection, b)
+    assert out.volume == (1 << 21) - (1 << 20) + 1
+
+
+@pytest.mark.benchmark(group="runtime-subsets")
+def test_subset_union_scattered(benchmark, rng):
+    space = IndexSpace.linear(1 << 20)
+    a = Subset(space, rng.choice(1 << 20, size=50_000, replace=False))
+    b = Subset(space, rng.choice(1 << 20, size=50_000, replace=False))
+    benchmark(a.union, b)
+
+
+@pytest.mark.benchmark(group="runtime-engine")
+def test_engine_task_throughput(benchmark):
+    """Tasks simulated per second (dominates small-problem sweeps)."""
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    region = runtime.create_region(IndexSpace.linear(1 << 16), {"v": np.float64})
+    runtime.allocate(region, "v")
+    part = Partition.equal(region.ispace, 8)
+
+    def body(ctx):
+        return None
+
+    def launch_batch():
+        for p in range(8):
+            tl = TaskLauncher("noop", body, flops=1.0, owner_hint=p)
+            tl.add_requirement(region, ["v"], part[p], Privilege.READ_ONLY)
+            runtime.execute(tl, point=p)
+
+    benchmark(launch_batch)
+
+
+@pytest.mark.benchmark(group="runtime-engine")
+def test_traced_iteration_throughput(benchmark):
+    """Replayed (traced) iterations: the solver steady state."""
+    machine = lassen(1)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    region = runtime.create_region(IndexSpace.linear(1 << 16), {"v": np.float64})
+    runtime.allocate(region, "v")
+    part = Partition.equal(region.ispace, 4)
+
+    def body(ctx):
+        ctx[0].write(ctx[0].read() * 1.0001)
+
+    def iteration():
+        runtime.begin_trace("bench")
+        for p in range(4):
+            tl = TaskLauncher("scale", body, flops=100.0, owner_hint=p)
+            tl.add_requirement(region, ["v"], part[p], Privilege.READ_WRITE)
+            runtime.execute(tl, point=p)
+        runtime.end_trace("bench")
+
+    iteration()  # record
+    benchmark(iteration)

@@ -1,0 +1,77 @@
+"""Node-count scaling sweeps (the paper's artifact protocol runs every
+benchmark "for each node count, scaling from 1 to 256 in powers of two").
+
+Two views:
+
+* **Weak scaling** (executable): fixed unknowns per GPU, nodes 1→4 on
+  the bandwidth-scaled machine — per-iteration time should stay nearly
+  flat, growing only by the allreduce's log(p) latency term.
+* **Strong scaling** (closed-form, true Lassen constants): fixed 2³⁰
+  unknowns, nodes 1→256 — time per iteration falls until the
+  per-task/latency floor, reproducing the left-edge plateau the paper's
+  multi-node panels share.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_report
+from repro.api import make_planner
+from repro.bench.analytic import baseline_time_per_iteration, legion_time_per_iteration
+from repro.bench.report import format_table
+from repro.core import CGSolver
+from repro.problems import grid_shape_for, laplacian_scipy
+from repro.runtime import lassen, lassen_scaled
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_weak_scaling_real(benchmark, results_dir, rng):
+    """Fixed 2¹⁸ unknowns per node, nodes 1, 2, 4 — executable."""
+
+    def sweep():
+        rows = []
+        for nodes in (1, 2, 4):
+            shape = grid_shape_for("2d5", (2 ** 18) * nodes)
+            A = laplacian_scipy("2d5", shape)
+            b = rng.random(A.shape[0])
+            planner = make_planner(A, b, machine=lassen_scaled(nodes, 16.0))
+            solver = CGSolver(planner)
+            solver.run_fixed(3)
+            res = solver.run_fixed(8)
+            rows.append([nodes, A.shape[0], float(np.median(res.iteration_times)) * 1e6])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(["nodes", "unknowns", "µs/iter (weak)"], rows, "{:.1f}")
+    save_report(results_dir, "scaling_weak", text)
+    # Weak scaling: growth bounded (allreduce log p + wider halos only).
+    times = [r[2] for r in rows]
+    assert times[-1] < times[0] * 1.6
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_strong_scaling_model(benchmark, results_dir):
+    """Fixed 2³⁰-unknown 2-D problem, nodes 1→256, closed-form model."""
+
+    def sweep():
+        rows = []
+        for nodes in (1, 4, 16, 64, 256):
+            m = lassen(nodes)
+            vp = 4 * nodes
+            t_leg = legion_time_per_iteration("cg", "2d5", 2 ** 30, m, vp)
+            t_pet = baseline_time_per_iteration("cg", "2d5", 2 ** 30, m, "petsc")
+            rows.append([nodes, t_leg * 1e6, t_pet * 1e6])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["nodes", "legion µs/iter", "petsc µs/iter"], rows, "{:.1f}"
+    )
+    save_report(results_dir, "scaling_strong", text)
+    leg = {r[0]: r[1] for r in rows}
+    # Strong scaling: more nodes must help...
+    assert leg[16] < leg[1]
+    assert leg[256] < leg[64]
+    # ...but the last doubling-pair falls short of ideal 4x (the
+    # overhead/latency terms begin to bite as per-GPU work shrinks).
+    assert leg[64] / leg[256] < 3.6

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The P4 scenario: solving with non-co-located boundary and interior data.
+
+The paper's introduction motivates multi-operator systems with a
+boundary-value problem whose 2-D boundary data and 3-D interior data
+come from *different sources* — traditional solver libraries force the
+user to reindex and reassemble both into one contiguous vector, which
+costs data movement and serializes setup.
+
+This example solves a coupled 3-D Poisson problem where the ``z = 0``
+face was produced by a separate "boundary subroutine" as its own array.
+The two arrays are handed to the planner exactly where they are
+(``add_sol_vector`` / ``add_rhs_vector`` ingest in place); four coupling
+matrices relate the two components; CG solves the whole system.  At the
+end we verify against a monolithic SciPy solve of the reassembled
+system — the reassembly that KDRSolvers never had to do.
+
+Run:  python examples/boundary_coupling.py
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.core import CGSolver, Planner
+from repro.problems import coupled_boundary_problem
+from repro.runtime import Partition, Runtime, ShardedMapper, lassen
+
+
+def main() -> None:
+    problem = coupled_boundary_problem((12, 12, 8))
+    rng = np.random.default_rng(3)
+
+    # Two independent "subroutines" produce the RHS pieces:
+    interior_rhs = rng.random(problem.n_interior)  # 3-D field source
+    boundary_rhs = rng.random(problem.n_boundary)  # 2-D boundary source
+    print(f"interior unknowns: {problem.n_interior}, "
+          f"boundary unknowns: {problem.n_boundary} "
+          f"(strided through the global numbering — genuinely non-contiguous)")
+
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+
+    # Ingest both data sets in place: no reindexing, no reassembly.
+    pieces = 4
+    int_part = Partition.equal(problem.interior_space, pieces)
+    bnd_part = Partition.equal(problem.boundary_space, min(pieces, 2))
+    sol_int = planner.add_sol_vector(
+        (problem.interior_space, np.zeros(problem.n_interior)), int_part)
+    sol_bnd = planner.add_sol_vector(
+        (problem.boundary_space, np.zeros(problem.n_boundary)), bnd_part)
+    rhs_int = planner.add_rhs_vector((problem.interior_space, interior_rhs), int_part)
+    rhs_bnd = planner.add_rhs_vector((problem.boundary_space, boundary_rhs), bnd_part)
+
+    sol_ids = [sol_int, sol_bnd]
+    rhs_ids = [rhs_int, rhs_bnd]
+    for matrix, src, dst in problem.tiles:
+        planner.add_operator(matrix, sol_ids[src], rhs_ids[dst])
+    print(f"multi-operator system with {len(problem.tiles)} coupling components")
+
+    solver = CGSolver(planner)
+    result = solver.solve(tolerance=1e-10, max_iterations=2000)
+    print(f"CG converged={result.converged} in {result.iterations} iterations "
+          f"(simulated {result.mean_iteration_time * 1e6:.1f} µs/iter)")
+
+    # Verify against the monolithic reassembled system.
+    x_interior = planner.get_array(0)[: problem.n_interior]
+    from repro.core.planner import SOL
+    total = planner.vector(SOL).to_array(runtime.store)
+    x_interior = total[: problem.n_interior]
+    x_boundary = total[problem.n_interior:]
+    x_global = problem.assemble_global_vector(x_interior, x_boundary)
+    b_global = problem.assemble_global_vector(interior_rhs, boundary_rhs)
+    x_ref = spla.spsolve(problem.global_matrix.tocsc(), b_global)
+    err = np.linalg.norm(x_global - x_ref) / np.linalg.norm(x_ref)
+    print(f"relative error vs monolithic direct solve: {err:.2e}")
+    assert err < 1e-7, "coupled solve disagrees with the monolithic reference"
+    print("OK: identical answer, zero reassembly.")
+
+
+if __name__ == "__main__":
+    main()

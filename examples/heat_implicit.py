@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Implicit heat equation: interleaving application work with solves (P1).
+
+The paper's P1 critique: MPI-based solver libraries assume exclusive
+control of the machine during a solve, so independent application work
+cannot overlap it.  In a task-based runtime both streams are just tasks;
+the scheduler interleaves them wherever dependences allow.
+
+This example runs backward-Euler time stepping of the heat equation
+``(I + dt·L) u^{t+1} = u^t`` and, *between solver iterations*, launches
+independent "application analysis" tasks (here: reductions over a
+separate diagnostics field).  It then compares the simulated makespan
+against running the same work phase-by-phase (solve, then analysis),
+demonstrating that interleaving absorbs the analysis almost for free —
+and that the matrix is ingested and reused once while its trace is
+replayed across all time steps.
+
+Run:  python examples/heat_implicit.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import CGSolver, Planner, RHS, SOL
+from repro.problems import laplacian_scipy
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    ShardedMapper,
+    TaskLauncher,
+    lassen,
+)
+from repro.sparse import CSRMatrix
+
+
+def make_analysis_batch(runtime, diag_region, diag_part):
+    """Independent application work: one compute-heavy per-piece kernel
+    over a diagnostics field with no dependence on the solver's data
+    (think: a local chemistry update in a multiphysics code)."""
+    futures = []
+    for p in range(diag_part.n_colors):
+        def body(ctx):
+            vals = ctx[0].read()
+            return float(np.abs(vals).max())
+
+        tl = TaskLauncher(
+            "analysis",
+            body,
+            proc_kind=ProcKind.GPU,
+            flops=1.5e9,  # a compute-heavy local kernel (~190 µs on a V100)
+            bytes_touched=8.0 * diag_part[p].volume,
+            owner_hint=p,
+        )
+        tl.add_requirement(diag_region, ["v"], diag_part[p], Privilege.READ_ONLY)
+        futures.append(runtime.execute(tl, point=p))
+    return futures
+
+
+def run(interleave: bool, steps: int = 5, cg_iters: int = 30):
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+
+    side = 128
+    n = side * side
+    dt = 0.1
+    L = laplacian_scipy("2d5", (side, side))
+    A = (sp.identity(n) + dt * L).tocsr()
+
+    space = IndexSpace.linear(n, name="D_heat")
+    part = Partition.equal(space, 8)
+    u0 = np.exp(-np.linspace(-4, 4, n) ** 2)  # initial temperature bump
+    sid = planner.add_sol_vector((space, np.zeros(n)), part)
+    rid = planner.add_rhs_vector((space, u0.copy()), part)
+    planner.add_operator(
+        CSRMatrix.from_scipy(A, domain_space=space, range_space=space), sid, rid
+    )
+
+    # Application-side diagnostics field, independent of the solve.
+    diag_space = IndexSpace.linear(n)
+    diag_region = runtime.create_region(diag_space, {"v": np.float64})
+    runtime.allocate(diag_region, "v", fill=1.0)
+    diag_part = Partition.equal(diag_space, 8)
+
+    solver = CGSolver(planner)
+    batches_per_step = 3
+    t0 = runtime.sim_time
+    for step in range(steps):
+        if interleave:
+            # Application work drips in between solver iterations; the
+            # scheduler slots it into the solver's latency gaps.
+            stride = max(1, cg_iters // batches_per_step)
+            for it in range(cg_iters):
+                if it % stride == 0:
+                    make_analysis_batch(runtime, diag_region, diag_part)
+                runtime.begin_trace("heat-cg")
+                solver.step()
+                runtime.end_trace("heat-cg")
+        else:
+            # Bulk-synchronous style: the library owns the machine during
+            # the solve; application work waits behind a phase fence.
+            solver.run_fixed(cg_iters)
+            runtime.fence()
+            for _ in range(batches_per_step):
+                make_analysis_batch(runtime, diag_region, diag_part)
+            runtime.fence()
+        # u^t ← u^{t+1} for the next step (RHS update).
+        planner.copy(RHS, SOL)
+    makespan = runtime.sim_time - t0
+    return makespan, planner.get_array(SOL)
+
+
+def main() -> None:
+    t_phased, u_phased = run(interleave=False)
+    t_inter, u_inter = run(interleave=True)
+    np.testing.assert_allclose(u_phased, u_inter, atol=1e-12)
+    print(f"phased     (solve, then analysis): {t_phased * 1e3:8.2f} ms simulated")
+    print(f"interleaved (analysis overlapped): {t_inter * 1e3:8.2f} ms simulated")
+    print(f"interleaving recovered {(1 - t_inter / t_phased) * 100:.1f}% "
+          f"of the makespan — identical numerics.")
+    assert t_inter < t_phased
+
+
+if __name__ == "__main__":
+    main()

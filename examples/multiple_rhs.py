@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Multiple right-hand sides and related systems via operator aliasing.
+
+Paper §4.2: multi-operator systems generalize the "application-aware
+solvers" of Trilinos (unsupported in PETSc).  Two patterns:
+
+* **Multiple RHS** — solve ``A x_i = b_i`` for several ``b_i`` at once
+  as the system ``{(K, A, 1, 1), ..., (K, A, n, n)}``.  The *same*
+  matrix object appears in every component, so its storage is shared —
+  no n-fold duplication of A.
+
+* **Related systems** — solve ``(A0 + ΔA_i) x_i = b_i`` where each
+  system perturbs a common base matrix: the base is stored once and
+  each perturbation is its own small component.
+
+The example verifies both the numerics (against independent SciPy
+solves) and the memory claim (aliased bytes counted once).
+
+Run:  python examples/multiple_rhs.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.core import BiCGStabSolver, CGSolver, Planner
+from repro.runtime import IndexSpace, Partition, Runtime, ShardedMapper, lassen
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def multiple_rhs() -> None:
+    print("--- multiple right-hand sides, one aliased matrix ---")
+    n, n_systems = 400, 3
+    A = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+    rng = np.random.default_rng(11)
+    rhs_list = [rng.random(n) for _ in range(n_systems)]
+
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+
+    # One shared domain space; every x_i and b_i live over it.
+    space = IndexSpace.linear(n, name="D_shared")
+    matrix = CSRMatrix.from_scipy(A, domain_space=space, range_space=space)
+    part = Partition.equal(space, 4)
+    for i in range(n_systems):
+        sid = planner.add_sol_vector((space, np.zeros(n)), part)
+        rid = planner.add_rhs_vector((space, rhs_list[i]), part)
+        planner.add_operator(matrix, sid, rid)  # the SAME matrix object
+
+    solver = CGSolver(planner)
+    result = solver.solve(tolerance=1e-10, max_iterations=3000)
+
+    # All systems converged together; verify each one.
+    from repro.core.planner import SOL
+    total = planner.vector(SOL).to_array(runtime.store)
+    for i, b in enumerate(rhs_list):
+        x_i = total[i * n : (i + 1) * n]
+        x_ref = spla.spsolve(A.tocsc(), b)
+        err = np.linalg.norm(x_i - x_ref) / np.linalg.norm(x_ref)
+        print(f"  system {i}: residual={np.linalg.norm(A @ x_i - b):.2e} "
+              f"error vs direct={err:.2e}")
+        assert err < 1e-6
+
+    stored = planner.system.total_stored_bytes()
+    logical = planner.system.total_logical_bytes()
+    print(f"  matrix bytes stored: {stored:,} "
+          f"(a block formulation would store {logical:,} — "
+          f"{logical // stored}x more)")
+    assert stored * n_systems == logical
+
+
+def related_systems() -> None:
+    print("--- related systems: A0 + dA_i, base stored once ---")
+    n, n_systems = 300, 3
+    A0 = sp.diags([-1.0, 4.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+    rng = np.random.default_rng(5)
+
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+    space = IndexSpace.linear(n, name="D_related")
+    base = CSRMatrix.from_scipy(A0, domain_space=space, range_space=space)
+    part = Partition.equal(space, 4)
+
+    perturbed, rhs_list = [], []
+    for i in range(n_systems):
+        # A small perturbation touching a handful of entries.
+        k = 8
+        idx = rng.choice(n, size=k, replace=False).astype(np.int64)
+        vals = rng.normal(scale=0.05, size=k)
+        delta = COOMatrix(vals, idx, idx, domain_space=space, range_space=space)
+        b = rng.random(n)
+        sid = planner.add_sol_vector((space, np.zeros(n)), part)
+        rid = planner.add_rhs_vector((space, b), part)
+        planner.add_operator(base, sid, rid)   # shared base
+        planner.add_operator(delta, sid, rid)  # per-system perturbation
+        A_i = (A0 + sp.csr_matrix((vals, (idx, idx)), shape=(n, n))).tocsr()
+        perturbed.append(A_i)
+        rhs_list.append(b)
+
+    solver = BiCGStabSolver(planner)
+    result = solver.solve(tolerance=1e-10, max_iterations=3000)
+    from repro.core.planner import SOL
+    total = planner.vector(SOL).to_array(runtime.store)
+    for i, (A_i, b) in enumerate(zip(perturbed, rhs_list)):
+        x_i = total[i * n : (i + 1) * n]
+        err = np.linalg.norm(A_i @ x_i - b)
+        print(f"  system {i}: residual={err:.2e}")
+        assert err < 1e-6
+    stored = planner.system.total_stored_bytes()
+    logical = planner.system.total_logical_bytes()
+    print(f"  matrix bytes stored: {stored:,} vs {logical:,} without aliasing")
+    assert stored < logical
+
+
+if __name__ == "__main__":
+    multiple_rhs()
+    related_systems()

@@ -1,0 +1,46 @@
+"""KDRSolvers reproduction: scalable, flexible, task-oriented Krylov solvers.
+
+A complete Python reimplementation of the KDRSolvers methodology
+(Zhang, Yadav, Aiken, Kjolstad, Treichler -- SC Workshops '25) and every
+substrate it depends on:
+
+* :mod:`repro.runtime` -- a Legion-model task runtime: index spaces,
+  logical regions, dependent partitioning, futures, mappers, dynamic
+  tracing, and a discrete-event distributed-machine simulator.
+* :mod:`repro.sparse` -- the format zoo of paper Figure 3 expressed as
+  kernel/domain/range relations.
+* :mod:`repro.core` -- projections, multi-operator systems, the planner
+  API of Figures 5-6, seven stock KSMs, preconditioners, and the
+  thermodynamic load balancer.
+* :mod:`repro.baselines` -- PETSc- and Trilinos-architecture baselines
+  on a bulk-synchronous execution model.
+* :mod:`repro.problems` -- the paper's stencil workloads plus synthetic
+  generators.
+* :mod:`repro.bench` -- harnesses regenerating Figures 8, 9, and 10.
+* :mod:`repro.api` -- one-call ``solve`` / ``make_planner`` entry points.
+
+Quickstart::
+
+    >>> import numpy as np, scipy.sparse as sp
+    >>> from repro.api import solve
+    >>> A = sp.diags([-1., 2., -1.], [-1, 0, 1], shape=(64, 64), format="csr")
+    >>> x, result = solve(A, np.ones(64), solver="cg", tolerance=1e-10)
+"""
+
+from . import api, baselines, bench, core, problems, runtime, sparse
+from .api import make_planner, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "api",
+    "baselines",
+    "bench",
+    "core",
+    "make_planner",
+    "problems",
+    "runtime",
+    "solve",
+    "sparse",
+    "__version__",
+]

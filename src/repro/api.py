@@ -1,0 +1,183 @@
+"""High-level convenience API.
+
+The planner interface (paper Figures 5–6) is deliberately low-level —
+pieces, spaces, partitions.  This module provides the two entry points
+most applications want:
+
+* :func:`make_planner` — wrap a SciPy (or KDR) matrix and NumPy vectors
+  into a fully planned single-operator system on a chosen machine.
+* :func:`solve` — one-call solve: build the planner, pick a solver by
+  name, iterate to tolerance, return the solution array and the
+  :class:`~repro.core.solvers.base.SolveResult`.
+
+Example
+-------
+>>> import numpy as np, scipy.sparse as sp
+>>> from repro.api import solve
+>>> A = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(64, 64), format="csr")
+>>> b = np.ones(64)
+>>> x, result = solve(A, b, solver="cg", tolerance=1e-10)
+>>> bool(result.converged)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .core.planner import Planner
+from .core.solvers import SOLVER_REGISTRY, KrylovSolver, SolveResult
+from .runtime.index_space import IndexSpace
+from .runtime.machine import Machine, ProcKind
+from .runtime.mapper import Mapper, ShardedMapper
+from .runtime.partition import Partition
+from .runtime.runtime import Runtime
+from .sparse.base import SparseFormat
+from .sparse.csr import CSRMatrix
+
+__all__ = ["make_planner", "solve"]
+
+
+def make_planner(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    machine: Optional[Machine] = None,
+    mapper: Optional[Mapper] = None,
+    n_pieces: Optional[int] = None,
+    proc_kind: Optional[ProcKind] = None,
+    preconditioner: Optional[Union[SparseFormat, str]] = None,
+    runtime: Optional[Runtime] = None,
+) -> Planner:
+    """Build a single-operator planner for ``A x = b``.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`~repro.sparse.base.SparseFormat`, or anything SciPy can
+        turn into CSR.  A SciPy matrix is rebuilt over the planner's
+        vector spaces; a KDR matrix must already use matching spaces.
+    b, x0:
+        Right-hand side and optional initial guess (default zero).
+    machine, mapper:
+        Simulated machine (default: one node) and mapping policy
+        (default: :class:`~repro.runtime.mapper.ShardedMapper` over the
+        machine's GPUs, falling back to CPUs).
+    n_pieces:
+        Canonical-partition piece count; defaults to the number of
+        matching devices (``vp = 4 × nodes`` on Lassen, as in the paper).
+    preconditioner:
+        A KDR matrix to register via ``add_preconditioner``, or the
+        string ``"jacobi"`` to derive one from the matrix diagonal.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if x0 is None:
+        x0 = np.zeros_like(b)
+    if machine is None:
+        machine = Machine(n_nodes=1)
+    if mapper is None:
+        mapper = ShardedMapper(machine)
+    if runtime is None:
+        runtime = Runtime(machine=machine, mapper=mapper)
+    planner = Planner(runtime, proc_kind=proc_kind)
+
+    if n_pieces is None:
+        kind_devices = machine.gpus if planner.proc_kind is ProcKind.GPU else machine.cpus
+        n_pieces = max(1, len(kind_devices))
+    n_pieces = min(n_pieces, b.size)
+
+    if isinstance(matrix, SparseFormat):
+        if matrix.shape != (b.size, x0.size):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match vectors "
+                f"({b.size}, {x0.size})"
+            )
+        if (
+            matrix.domain_space is not matrix.range_space
+            and matrix.domain_space.volume == matrix.range_space.volume
+        ):
+            # A square matrix built over two distinct (but equal-volume)
+            # spaces: rebind it over one shared space so the planner's
+            # is_square() holds and solvers accept it.  The storage
+            # format is preserved when the class supports reconstruction.
+            matrix = _rebind_square(matrix)
+        domain_space = matrix.domain_space
+        range_space = matrix.range_space
+        kdr = matrix
+    else:
+        domain_space = IndexSpace.linear(x0.size, name="D")
+        range_space = (
+            domain_space if b.size == x0.size else IndexSpace.linear(b.size, name="R")
+        )
+        kdr = CSRMatrix.from_scipy(matrix, domain_space=domain_space, range_space=range_space)
+
+    sol_part = Partition.equal(domain_space, n_pieces)
+    rhs_part = sol_part if range_space is domain_space else Partition.equal(range_space, n_pieces)
+    sid = planner.add_sol_vector((domain_space, x0), sol_part)
+    rid = planner.add_rhs_vector((range_space, b), rhs_part)
+    planner.add_operator(kdr, sid, rid)
+
+    if preconditioner is not None:
+        if preconditioner == "jacobi":
+            from .core.precond import jacobi_preconditioner
+
+            preconditioner = jacobi_preconditioner(kdr)
+        elif isinstance(preconditioner, str):
+            raise KeyError(f"unknown preconditioner {preconditioner!r}")
+        if (
+            preconditioner.domain_space is not range_space
+            or preconditioner.range_space is not domain_space
+        ):
+            # Rebind a preconditioner built over foreign spaces onto the
+            # planner's vector spaces (P maps the range back to the domain).
+            if preconditioner.shape != (domain_space.volume, range_space.volume):
+                raise ValueError(
+                    f"preconditioner shape {preconditioner.shape} does not "
+                    f"match the system ({domain_space.volume}, {range_space.volume})"
+                )
+            preconditioner = CSRMatrix.from_scipy(
+                preconditioner.to_scipy(),
+                domain_space=range_space,
+                range_space=domain_space,
+            )
+        planner.add_preconditioner(preconditioner, sid, rid)
+    return planner
+
+
+def _rebind_square(matrix: SparseFormat) -> SparseFormat:
+    """Rebuild a square matrix over one shared index space, preserving
+    the storage format when its class supports space-parameterized
+    reconstruction (falling back to CSR otherwise)."""
+    n = matrix.domain_space.volume
+    space = IndexSpace.linear(n, name="D")
+    from_scipy = getattr(type(matrix), "from_scipy", None)
+    if from_scipy is not None:
+        try:
+            return from_scipy(matrix.to_scipy(), domain_space=space, range_space=space)
+        except TypeError:
+            pass  # classes needing extra arguments (e.g. block sizes)
+    return CSRMatrix.from_scipy(matrix.to_scipy(), domain_space=space, range_space=space)
+
+
+def solve(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    solver: str = "cg",
+    tolerance: float = 1e-8,
+    max_iterations: int = 10000,
+    **planner_kwargs,
+) -> Tuple[np.ndarray, SolveResult]:
+    """One-call solve of ``A x = b``; returns ``(x, result)``."""
+    if solver not in SOLVER_REGISTRY:
+        raise KeyError(
+            f"unknown solver {solver!r}; available: {sorted(SOLVER_REGISTRY)}"
+        )
+    planner = make_planner(matrix, b, x0=x0, **planner_kwargs)
+    ksm: KrylovSolver = SOLVER_REGISTRY[solver](planner)
+    result = ksm.solve(tolerance=tolerance, max_iterations=max_iterations)
+    from .core.planner import SOL
+
+    return planner.get_array(SOL), result

@@ -1,0 +1,17 @@
+"""Baseline solver libraries: PETSc- and Trilinos-architecture models
+running bulk-synchronously on the same simulated machine as the task
+runtime (see DESIGN.md for the substitution rationale)."""
+
+from .bsp import BSPMachine, RankDecomposition
+from .library import BaselineResult, BSPSolverLibrary
+from .petsc_like import PETScLikeLibrary
+from .trilinos_like import TrilinosLikeLibrary
+
+__all__ = [
+    "BSPMachine",
+    "BSPSolverLibrary",
+    "BaselineResult",
+    "PETScLikeLibrary",
+    "RankDecomposition",
+    "TrilinosLikeLibrary",
+]

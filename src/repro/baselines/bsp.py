@@ -1,0 +1,208 @@
+"""Bulk-synchronous (MPI-model) execution substrate for the baselines.
+
+PETSc and Trilinos "operate in the bulk-synchronous MPI programming
+model … they assume exclusive control over a set of computing
+resources" (paper §2.2).  This module models that execution style over
+the same :class:`~repro.runtime.machine.Machine` the task runtime uses,
+so baseline/task comparisons differ only in *execution model*, never in
+device constants:
+
+* one rank per GPU (the paper runs ``--rs_per_host 4 --gpu_per_rs 1``);
+* each rank owns a contiguous block of matrix rows (disjoint row
+  partitions — the only decomposition PETSc supports, §2.2);
+* every rank advances its own clock through local kernels; *collectives*
+  (dot-product allreduces) synchronize all ranks to the slowest and add
+  a log-tree latency term — this is where the BSP model pays and the
+  task model does not;
+* SpMV performs a VecScatter-style halo exchange: pack kernels on the
+  sender, α–β wire time (NVLink within a node, NIC across), unpack on
+  the receiver, overlapped with the local part of the product (PETSc's
+  default overlap), followed by the ghost part.
+
+Numerics run eagerly on full NumPy arrays (they are exact); the clock is
+what the benchmarks read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..runtime.machine import Machine, ProcKind
+
+__all__ = ["RankDecomposition", "BSPMachine"]
+
+
+@dataclass
+class _RankSpMVPlan:
+    """Per-rank SpMV cost ingredients."""
+
+    nnz_local: int  # entries whose column lies in the rank's own rows
+    nnz_ghost: int  # entries reading remote columns
+    n_rows: int
+    halo_recv: List[Tuple[int, int]]  # (source rank, values received)
+    halo_send: List[Tuple[int, int]]  # (dest rank, values sent)
+
+
+class RankDecomposition:
+    """Disjoint contiguous row blocks over ``n_ranks`` ranks."""
+
+    def __init__(self, n_unknowns: int, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        n_ranks = min(n_ranks, n_unknowns)
+        self.n_unknowns = n_unknowns
+        self.n_ranks = n_ranks
+        self.bounds = np.linspace(0, n_unknowns, n_ranks + 1, dtype=np.int64)
+
+    def owner_of(self, indices: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.bounds, indices, side="right") - 1
+
+    def rows_of(self, rank: int) -> Tuple[int, int]:
+        return int(self.bounds[rank]), int(self.bounds[rank + 1])
+
+    def plan_spmv(self, A: sp.csr_matrix) -> List[_RankSpMVPlan]:
+        """Halo analysis of a row-partitioned CSR SpMV."""
+        plans: List[_RankSpMVPlan] = []
+        recv_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        for rank in range(self.n_ranks):
+            lo, hi = self.rows_of(rank)
+            sub = A[lo:hi]
+            cols = sub.indices
+            local_mask = (cols >= lo) & (cols < hi)
+            ghost_cols = np.unique(cols[~local_mask])
+            owners = self.owner_of(ghost_cols)
+            counts = np.bincount(owners, minlength=self.n_ranks)
+            recv_matrix[rank] = counts
+            plans.append(
+                _RankSpMVPlan(
+                    nnz_local=int(local_mask.sum()),
+                    nnz_ghost=int((~local_mask).sum()),
+                    n_rows=hi - lo,
+                    halo_recv=[
+                        (src, int(c)) for src, c in enumerate(counts) if c > 0
+                    ],
+                    halo_send=[],
+                )
+            )
+        send_matrix = recv_matrix.T
+        for rank in range(self.n_ranks):
+            plans[rank].halo_send = [
+                (dst, int(c)) for dst, c in enumerate(send_matrix[rank]) if c > 0
+            ]
+        return plans
+
+
+class BSPMachine:
+    """Per-rank clocks plus the collective-synchronization rule."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        proc_kind: ProcKind = ProcKind.GPU,
+        bandwidth_efficiency: float = 1.0,
+        call_overhead: float = 1.5e-6,
+    ):
+        self.machine = machine
+        devices = machine.kind_devices(proc_kind) or machine.cpus
+        self.devices = devices
+        self.n_ranks = len(devices)
+        self.clocks = np.zeros(self.n_ranks)
+        self.bandwidth_efficiency = bandwidth_efficiency
+        self.call_overhead = call_overhead
+        self.total_allreduces = 0
+
+    def reset(self) -> None:
+        self.clocks[:] = 0.0
+
+    @property
+    def time(self) -> float:
+        return float(self.clocks.max())
+
+    # -- local phases ----------------------------------------------------------
+
+    def local_kernel(self, flops_per_rank: np.ndarray, bytes_per_rank: np.ndarray) -> None:
+        """One embarrassingly parallel kernel: each rank advances by its
+        own roofline time (no synchronization — PETSc's VecAXPY et al.
+        are purely local)."""
+        for r, dev in enumerate(self.devices):
+            t = dev.kernel_time(
+                float(flops_per_rank[r]),
+                float(bytes_per_rank[r]) / self.bandwidth_efficiency,
+            )
+            self.clocks[r] += t + self.call_overhead
+
+    def uniform_kernel(self, total_flops: float, total_bytes: float) -> None:
+        n = self.n_ranks
+        self.local_kernel(
+            np.full(n, total_flops / n), np.full(n, total_bytes / n)
+        )
+
+    # -- collectives -------------------------------------------------------------
+
+    def allreduce(self, payload_bytes: float = 8.0) -> None:
+        """Synchronize all ranks (the defining BSP cost) and add the
+        tree-allreduce latency."""
+        m = self.machine
+        sync = self.clocks.max()
+        t = m.allreduce_time(self.n_ranks, payload_bytes)
+        self.clocks[:] = sync + t + self.call_overhead
+        self.total_allreduces += 1
+
+    # -- SpMV with halo exchange ----------------------------------------------------
+
+    def spmv_phase(
+        self,
+        plans: List[_RankSpMVPlan],
+        value_bytes: float = 8.0,
+        metadata_bytes_per_nnz: float = 12.0,
+    ) -> None:
+        """Row-partitioned SpMV with VecScatter-style ghost exchange,
+        overlapping the local product with communication (PETSc's default
+        schedule): ``t = max(local_compute, halo_exchange) + ghost_compute``.
+
+        The halo exchange itself pays pack and unpack kernels (the
+        library gathers strided ghost values into contiguous send
+        buffers) plus the α–β wire time on the NVLink or NIC link."""
+        m = self.machine
+        new = np.empty(self.n_ranks)
+        for r, dev in enumerate(self.devices):
+            plan = plans[r]
+            t_local = dev.kernel_time(
+                2.0 * plan.nnz_local,
+                (metadata_bytes_per_nnz * plan.nnz_local + 12.0 * plan.n_rows)
+                / self.bandwidth_efficiency,
+                irregular=True,
+            )
+            # Communication: pack on sender + wire + unpack on receiver.
+            t_comm = 0.0
+            for dst, n_vals in plan.halo_send:
+                n_bytes = n_vals * value_bytes
+                pack = dev.launch_overhead + n_bytes / (dev.mem_bw * 1e9)
+                peer = self.devices[dst]
+                if dev.node == peer.node:
+                    wire = m.nvlink_latency + n_bytes / (m.nvlink_bw * 1e9)
+                else:
+                    wire = m.nic_latency + n_bytes / (m.nic_bw * 1e9)
+                t_comm += pack + wire
+            for src, n_vals in plan.halo_recv:
+                n_bytes = n_vals * value_bytes
+                t_comm += dev.launch_overhead + n_bytes / (dev.mem_bw * 1e9)
+            t_ghost = dev.kernel_time(
+                2.0 * plan.nnz_ghost,
+                (metadata_bytes_per_nnz * plan.nnz_ghost) / self.bandwidth_efficiency,
+                irregular=True,
+            ) if plan.nnz_ghost else 0.0
+            new[r] = self.clocks[r] + max(t_local, t_comm) + t_ghost + self.call_overhead
+        # Receiving ghost values requires the *sender* to have reached the
+        # exchange: neighbor synchronization (not global).  For contiguous
+        # row blocks, neighbors are adjacent ranks; approximate with a
+        # max over each rank's neighborhood.
+        for r in range(self.n_ranks):
+            neigh = [src for src, _ in plans[r].halo_recv]
+            if neigh:
+                new[r] = max(new[r], max(self.clocks[s] for s in neigh) + 0.0)
+        self.clocks = new

@@ -1,0 +1,86 @@
+"""PETSc-architecture baseline (``MatMPIAIJ`` + ``KSP``).
+
+Models PETSc 3.18 as benchmarked in the paper: CSR-only GPU storage
+(``aijcusparse``), disjoint row partitions only (§2.2 and [4]), a thin
+per-call overhead, full-bandwidth kernels (device-resident cuSPARSE),
+and KSP's default per-iteration convergence monitoring (one extra
+residual-norm allreduce per iteration relative to Figure 7's CG).
+
+The solver-name mapping follows the paper's benchmark flags:
+``-ksp_type cg | bcgs | gmres``.  Note the paper excludes PETSc from
+the GMRES comparison because its *dynamic* restart schedule
+short-circuits iterations; :meth:`PETScLikeLibrary.run` reproduces this
+by shortening restart cycles when the implicit residual stalls, and the
+Figure 8 harness likewise excludes it from the GMRES panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .library import BSPSolverLibrary
+
+__all__ = ["PETScLikeLibrary"]
+
+
+class PETScLikeLibrary(BSPSolverLibrary):
+    """PETSc-flavoured baseline."""
+
+    name = "petsc"
+    supported_formats = ("csr",)  # -mat_type aijcusparse
+    call_overhead = 1.5e-6
+    bandwidth_efficiency = 1.0
+    monitor_norm = True
+
+    #: PETSc's GMRES uses a dynamic restart schedule: a cycle ends early
+    #: once the implicit residual has dropped by this factor.
+    gmres_dynamic_drop = 0.1
+
+    def _run_gmres(self, n_iterations: int, tolerance: float, restart: int):
+        """Dynamic-restart GMRES: cycles may stop before ``restart``
+        columns, so iteration counts are not comparable to the static
+        GMRES(10) of LegionSolvers/Trilinos (paper §6.1 footnote)."""
+        x, b = self.x, self.b
+        res = float("inf")
+        it = 0
+        for it in range(1, n_iterations + 1):
+            r = b - self._spmv(x)
+            self.bsp.uniform_kernel(1.0 * self.n, 24.0 * self.n)
+            beta = self._norm(r)
+            if beta == 0.0:
+                return it, 0.0
+            V = [r / beta]
+            self._scal(V[0], 1.0)
+            H = np.zeros((restart + 1, restart))
+            n_cols = restart
+            for j in range(restart):
+                w = self._spmv(V[j])
+                for i in range(j + 1):
+                    H[i, j] = self._dot(w, V[i])
+                    self._axpy(w, -H[i, j], V[i])
+                H[j + 1, j] = self._norm(w)
+                if H[j + 1, j] <= 1e-300:
+                    n_cols = j + 1
+                    break
+                # Dynamic schedule: estimate the implicit residual and
+                # short-circuit the cycle once it has dropped enough.
+                g = np.zeros(j + 2)
+                g[0] = beta
+                Hc = H[: j + 2, : j + 1]
+                y, _, _, _ = np.linalg.lstsq(Hc, g, rcond=None)
+                implicit = float(np.linalg.norm(g - Hc @ y))
+                V.append(w / H[j + 1, j])
+                self._scal(V[-1], 1.0)
+                if implicit <= self.gmres_dynamic_drop * beta:
+                    n_cols = j + 1
+                    break
+            g = np.zeros(n_cols + 1)
+            g[0] = beta
+            Hc = H[: n_cols + 1, :n_cols]
+            y, _, _, _ = np.linalg.lstsq(Hc, g, rcond=None)
+            for j in range(n_cols):
+                self._axpy(x, float(y[j]), V[j])
+            res = float(np.linalg.norm(g - Hc @ y))
+            if tolerance and res <= tolerance:
+                break
+        return it, res

@@ -1,0 +1,51 @@
+"""Benchmark harness: one module per paper figure, plus the closed-form
+full-scale model and shared reporting utilities.
+
+* :mod:`repro.bench.fig8`  — §6.1 library comparison (Figure 8)
+* :mod:`repro.bench.fig9`  — §6.2 multi-operator overhead/crossover (Figure 9)
+* :mod:`repro.bench.fig10` — §6.3 dynamic load balancing (Figure 10)
+* :mod:`repro.bench.analytic` — closed-form per-iteration models for
+  sweeps past executable sizes
+"""
+
+from .ascii_plot import ascii_xy_plot
+from .analytic import (
+    BASELINE_EXTRA_DOTS,
+    OP_COUNTS,
+    baseline_time_per_iteration,
+    halo_cells,
+    legion_time_per_iteration,
+)
+from .fig8 import DEFAULT_SOLVERS, DEFAULT_STENCILS, Fig8Row, run_fig8, summarize_fig8
+from .fig9 import Fig9Row, bicgstab_time_per_iteration, run_fig9, summarize_fig9
+from .fig10 import Fig10Result, run_fig10, summarize_fig10
+from .report import format_table, geomean, geomean_ratio_on_largest
+from .stencil_driver import DIM_CODES, SOLVER_CODES, StencilBenchResult, benchmark_stencil
+
+__all__ = [
+    "BASELINE_EXTRA_DOTS",
+    "DIM_CODES",
+    "SOLVER_CODES",
+    "StencilBenchResult",
+    "ascii_xy_plot",
+    "benchmark_stencil",
+    "DEFAULT_SOLVERS",
+    "DEFAULT_STENCILS",
+    "Fig10Result",
+    "Fig8Row",
+    "Fig9Row",
+    "OP_COUNTS",
+    "baseline_time_per_iteration",
+    "bicgstab_time_per_iteration",
+    "format_table",
+    "geomean",
+    "geomean_ratio_on_largest",
+    "halo_cells",
+    "legion_time_per_iteration",
+    "run_fig10",
+    "run_fig8",
+    "run_fig9",
+    "summarize_fig10",
+    "summarize_fig8",
+    "summarize_fig9",
+]

@@ -1,0 +1,88 @@
+"""Terminal line plots for figure reports (offline, no matplotlib).
+
+The paper's figures are log-log line charts; these helpers render the
+same series as ASCII charts so the regenerated reports are readable at
+a glance in a terminal or a text file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_xy_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_xy_plot(
+    series: Dict[str, Sequence[tuple]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+    title: Optional[str] = None,
+    xlabel: str = "n",
+    ylabel: str = "t",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Each series gets a marker; overlapping points show the later
+    series' marker.  Log scaling (the paper's axes) is the default.
+    """
+    points = [
+        (name, float(x), float(y))
+        for name, pts in series.items()
+        for x, y in pts
+        if y == y and y > 0 and x > 0  # drop NaN / nonpositive on log axes
+    ]
+    if not points:
+        return "(no data)"
+
+    def fx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def fy(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs = [fx(x) for _, x, _ in points]
+    ys = [fy(y) for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    markers = {name: _MARKERS[i % len(_MARKERS)] for i, name in enumerate(series)}
+    for name, x, y in points:
+        col = int(round((fx(x) - x_lo) / x_span * (width - 1)))
+        row = int(round((fy(y) - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = markers[name]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = 10 ** y_hi if logy else y_hi
+    y_bot = 10 ** y_lo if logy else y_lo
+    lines.append(f"{_fmt(y_top):>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{_fmt(y_bot):>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    x_left = 10 ** x_lo if logx else x_lo
+    x_right = 10 ** x_hi if logx else x_hi
+    axis = f"{_fmt(x_left)}"
+    axis += " " * max(1, width - len(axis) - len(_fmt(x_right))) + _fmt(x_right)
+    lines.append(" " * 12 + axis + f"  ({xlabel})")
+    legend = "   ".join(f"{markers[name]} {name}" for name in series)
+    lines.append(f"   {ylabel}: {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    exp = math.floor(math.log10(abs(v)))
+    if -2 <= exp <= 4:
+        return f"{v:.3g}"
+    return f"{v:.1e}"

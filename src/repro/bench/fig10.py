@@ -1,0 +1,220 @@
+"""Figure 10 harness: dynamic load balancing under background load (§6.3).
+
+The experiment demonstrates the two capabilities the paper highlights as
+hard for MPI-based libraries: interleaving solver work with external
+work, and *dynamically remapping* a running KSM.
+
+Setup (scaled from the paper's 32 nodes / 2¹⁶ × 2¹⁶ grid):
+
+* a 2-D 5-point Laplacian cut into ``n_bands`` domain pieces and
+  ``n_bands × n_bands`` matrix tiles (only the nonzero band of tiles is
+  materialized), ``bands_per_node = 2`` as in the paper;
+* CG on CPU kernels, no dynamic tracing (the paper disables those
+  optimizations here);
+* every 100th iteration, each node's background task re-randomizes its
+  core occupancy uniformly in ``[0, cores−1]``;
+* every 10th iteration (dynamic runs only), the thermodynamic policy
+  lets overloaded nodes give tiles away to the tile's unique alternate
+  owner.
+
+Both runs use the same background-load random sequence, so the
+comparison is paired.  The paper reports a 66% reduction in total
+execution time; the harness prints the measured reduction next to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.loadbalance import BackgroundLoad, ThermodynamicLoadBalancer, TileOwnership
+from ..core.planner import Planner
+from ..core.solvers import CGSolver
+from ..problems.multiop_split import split_laplacian_2d
+from ..runtime.machine import Machine, ProcKind, lassen_scaled
+from ..runtime.mapper import TableMapper
+from ..runtime.partition import Partition
+from ..runtime.runtime import Runtime
+from .report import format_table
+
+__all__ = ["Fig10Result", "run_fig10", "summarize_fig10", "TILE_KEY_BASE"]
+
+#: Mapper-hint namespace for matrix tiles (vector pieces use small ints).
+TILE_KEY_BASE = 10_000
+
+
+@dataclass
+class Fig10Result:
+    iteration_times_static: np.ndarray
+    iteration_times_dynamic: np.ndarray
+    migrations: int
+
+    @property
+    def total_static(self) -> float:
+        return float(self.iteration_times_static.sum())
+
+    @property
+    def total_dynamic(self) -> float:
+        return float(self.iteration_times_dynamic.sum())
+
+    @property
+    def reduction(self) -> float:
+        """Fractional reduction in total execution time (paper: 0.66)."""
+        if self.total_static == 0:
+            return 0.0
+        return 1.0 - self.total_dynamic / self.total_static
+
+
+def _build(
+    machine: Machine, grid_shape: Tuple[int, int], n_bands: int, seed: int
+) -> Tuple[Planner, CGSolver, TableMapper, List[TileOwnership]]:
+    bands_per_node = max(1, n_bands // machine.n_nodes)
+    node_of_band = lambda b: min(b // bands_per_node, machine.n_nodes - 1)  # noqa: E731
+
+    split = split_laplacian_2d(grid_shape, n_bands)
+    table: Dict[int, int] = {
+        b: machine.cpu(node_of_band(b)).device_id for b in range(n_bands)
+    }
+    tiles: List[TileOwnership] = []
+    tile_hints: Dict[Tuple[int, int], int] = {}
+    for _, src, dst in split.tiles:
+        key = TILE_KEY_BASE + dst * n_bands + src
+        tile_hints[(src, dst)] = key
+        node_out = node_of_band(dst)
+        node_in = node_of_band(src)
+        if node_in == node_out:
+            # Diagonal (and same-node) tiles: the paper's "input or
+            # output owner" rule degenerates to a single candidate, which
+            # would pin all the self-interaction work (the bulk of the
+            # nnz) forever.  Designate the next node as the alternate —
+            # any fixed second candidate preserves the policy's
+            # no-global-communication property (see EXPERIMENTS.md).
+            node_in = (node_out + 1) % machine.n_nodes
+        tiles.append(
+            TileOwnership(
+                key=key,
+                device_a=machine.cpu(node_out).device_id,  # output owner
+                device_b=machine.cpu(node_in).device_id,  # alternate owner
+            )
+        )
+        table[key] = tiles[-1].current
+    mapper = TableMapper(machine, table)
+    runtime = Runtime(machine=machine, mapper=mapper, enable_tracing=False)
+    planner = Planner(runtime, proc_kind=ProcKind.CPU)
+
+    rng = np.random.default_rng(seed)
+    sol_ids, rhs_ids = [], []
+    for b_idx, space in enumerate(split.spaces):
+        part = Partition.equal(space, 1)
+        sol_ids.append(planner.add_sol_vector((space, np.zeros(space.volume)), part))
+        rhs_ids.append(planner.add_rhs_vector((space, rng.random(space.volume)), part))
+    for matrix, src, dst in split.tiles:
+        planner.add_operator(
+            matrix, sol_ids[src], rhs_ids[dst], piece_hints=[tile_hints[(src, dst)]]
+        )
+    solver = CGSolver(planner)
+    return planner, solver, mapper, tiles
+
+
+def _run_one(
+    dynamic: bool,
+    grid_shape: Tuple[int, int],
+    nodes: int,
+    n_bands: int,
+    iterations: int,
+    load_period: int,
+    rebalance_period: int,
+    scale: float,
+    seed: int,
+    calibration_iters: int = 10,
+) -> Tuple[np.ndarray, int]:
+    machine = lassen_scaled(nodes, scale)
+    planner, solver, mapper, tiles = _build(machine, grid_shape, n_bands, seed)
+    runtime = planner.runtime
+    load = BackgroundLoad(machine, seed=seed + 1)
+
+    # Calibrate T0: per-node busy time per iteration under average load.
+    load.set_average()
+    busy0 = runtime.engine.node_busy_time().copy()
+    for _ in range(calibration_iters):
+        solver.step()
+    t_ref = float(
+        (runtime.engine.node_busy_time() - busy0).max() / calibration_iters
+    )
+    balancer = ThermodynamicLoadBalancer(
+        machine,
+        mapper,
+        tiles,
+        t_reference=t_ref,
+        # β: the paper's 1e-3 /ms is calibrated to seconds-long iterations
+        # at 4.3e9 unknowns; keep the policy dimensionless by scaling it
+        # to the calibrated reference time.  The prefactor is small enough
+        # that moderately loaded receivers hold tiles for several rounds
+        # instead of ping-ponging them back (the paper notes bad mappings
+        # "never persist for more than 10 iterations", i.e. one round).
+        beta_per_ms=0.25 / max(t_ref * 1e3, 1e-9),
+        seed=seed + 2,
+    )
+
+    marks = [runtime.sim_time]
+    busy_mark = runtime.engine.node_busy_time().copy()
+    migrations = 0
+    for it in range(1, iterations + 1):
+        if (it - 1) % load_period == 0:
+            load.randomize()
+        solver.step()
+        marks.append(runtime.sim_time)
+        if dynamic and it % rebalance_period == 0:
+            busy_now = runtime.engine.node_busy_time()
+            window = (busy_now - busy_mark) / rebalance_period
+            busy_mark = busy_now.copy()
+            migrations += balancer.rebalance(window)
+        elif not dynamic and it % rebalance_period == 0:
+            busy_mark = runtime.engine.node_busy_time().copy()
+    load.clear()
+    return np.diff(np.asarray(marks)), migrations
+
+
+def run_fig10(
+    grid_exp: int = 8,
+    nodes: int = 8,
+    n_bands: Optional[int] = None,
+    iterations: int = 300,
+    load_period: int = 100,
+    rebalance_period: int = 10,
+    scale: float = 16.0,
+    seed: int = 0,
+) -> Fig10Result:
+    """Run the paired static/dynamic experiment on a ``2^e × 2^e`` grid."""
+    if n_bands is None:
+        n_bands = 2 * nodes  # the paper's two domain pieces per node
+    shape = (2 ** grid_exp, 2 ** grid_exp)
+    static_times, _ = _run_one(
+        False, shape, nodes, n_bands, iterations, load_period, rebalance_period, scale, seed
+    )
+    dynamic_times, migrations = _run_one(
+        True, shape, nodes, n_bands, iterations, load_period, rebalance_period, scale, seed
+    )
+    return Fig10Result(static_times, dynamic_times, migrations)
+
+
+def summarize_fig10(result: Fig10Result) -> str:
+    s, d = result.iteration_times_static, result.iteration_times_dynamic
+    table = [
+        ["total time (ms)", s.sum() * 1e3, d.sum() * 1e3],
+        ["mean iter (µs)", s.mean() * 1e6, d.mean() * 1e6],
+        ["p95 iter (µs)", np.percentile(s, 95) * 1e6, np.percentile(d, 95) * 1e6],
+        ["max iter (µs)", s.max() * 1e6, d.max() * 1e6],
+    ]
+    return "\n".join(
+        [
+            "== Figure 10: CG under stochastic background load ==",
+            format_table(["metric", "static", "dynamic"], table, "{:.1f}"),
+            "",
+            f"tile migrations: {result.migrations}",
+            f"total-time reduction from dynamic load balancing: "
+            f"{result.reduction * 100:.1f}%  (paper: 66%)",
+        ]
+    )

@@ -1,0 +1,175 @@
+"""Figure 8 harness: library comparison across stencils and KSMs.
+
+Regenerates the paper's 4 × 3 grid — stencil families {3-pt 1D, 5-pt
+2D, 7-pt 3D, 27-pt 3D} × solvers {CG, BiCGStab, GMRES} — reporting
+average execution time per iteration as a function of problem size for
+LegionSolvers, PETSc, and Trilinos, plus the paper's summary statistic:
+the geometric-mean improvement over each baseline on the three largest
+sizes (paper: 9.6% vs Trilinos, 5.4% vs PETSc).
+
+Two modes:
+
+* ``mode="real"`` — numerics actually execute (NumPy); the machine is
+  the bandwidth-scaled Lassen preset so the overhead/bandwidth
+  crossover appears within executable sizes (see
+  :func:`~repro.runtime.machine.lassen_scaled`).
+* ``mode="model"`` — the closed-form model of
+  :mod:`repro.bench.analytic` with true Lassen constants, sweeping to
+  the paper's full 2³² unknowns on 16 nodes / 64 GPUs.
+
+PETSc is excluded from the GMRES panel, as in the paper (dynamic vs
+static restart schedules make iteration counts incomparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import make_planner
+from ..baselines import PETScLikeLibrary, TrilinosLikeLibrary
+from ..core.solvers import SOLVER_REGISTRY
+from ..problems.stencil import STENCILS, grid_shape_for, laplacian_scipy
+from ..runtime.machine import lassen, lassen_scaled
+from .analytic import baseline_time_per_iteration, legion_time_per_iteration
+from .ascii_plot import ascii_xy_plot
+from .report import format_table, geomean_ratio_on_largest
+
+__all__ = ["Fig8Row", "run_fig8", "summarize_fig8", "DEFAULT_SOLVERS", "DEFAULT_STENCILS"]
+
+DEFAULT_STENCILS = ("1d3", "2d5", "3d7", "3d27")
+DEFAULT_SOLVERS = ("cg", "bicgstab", "gmres")
+LIBRARIES = ("legion", "petsc", "trilinos")
+
+
+@dataclass
+class Fig8Row:
+    stencil: str
+    solver: str
+    n_unknowns: int
+    library: str
+    time_per_iteration: float
+    mode: str
+
+
+def _legion_real(stencil, solver, A, b, machine, warmup, timed) -> float:
+    planner = make_planner(A, b, machine=machine)
+    ksm = SOLVER_REGISTRY[solver](planner)
+    ksm.run_fixed(warmup)
+    result = ksm.run_fixed(timed)
+    return float(np.median(result.iteration_times))
+
+
+def run_fig8(
+    stencils: Sequence[str] = DEFAULT_STENCILS,
+    solvers: Sequence[str] = DEFAULT_SOLVERS,
+    sizes: Optional[Sequence[int]] = None,
+    nodes: int = 1,
+    mode: str = "real",
+    scale: float = 16.0,
+    warmup: int = 3,
+    timed: int = 10,
+    max_real_nnz: int = 40_000_000,
+) -> List[Fig8Row]:
+    """Run the Figure 8 sweep; returns one row per point per library."""
+    if sizes is None:
+        sizes = (
+            [2 ** k for k in range(12, 23, 2)]
+            if mode == "real"
+            else [2 ** k for k in range(24, 33, 2)]
+        )
+    rows: List[Fig8Row] = []
+    for stencil in stencils:
+        for n_target in sizes:
+            shape = grid_shape_for(stencil, n_target)
+            n = int(np.prod(shape))
+            if mode == "real":
+                from ..problems.stencil import stencil_nnz_estimate
+
+                if stencil_nnz_estimate(stencil, shape) > max_real_nnz:
+                    continue
+                machine = lassen_scaled(nodes, scale)
+                A = laplacian_scipy(stencil, shape)
+                rng = np.random.default_rng(0)
+                b = rng.random(n)  # paper: RHS entries in [0, 1]
+                petsc = PETScLikeLibrary(A, b, lassen_scaled(nodes, scale))
+                trilinos = TrilinosLikeLibrary(A, b, lassen_scaled(nodes, scale))
+                for solver in solvers:
+                    t_leg = _legion_real(stencil, solver, A, b, machine, warmup, timed)
+                    rows.append(Fig8Row(stencil, solver, n, "legion", t_leg, mode))
+                    if solver != "gmres":
+                        tp = petsc.benchmark(solver, warmup=warmup, timed=timed)
+                        rows.append(Fig8Row(stencil, solver, n, "petsc", tp, mode))
+                    tt = trilinos.benchmark(solver, warmup=warmup, timed=timed)
+                    rows.append(Fig8Row(stencil, solver, n, "trilinos", tt, mode))
+            else:
+                machine = lassen(nodes)
+                vp = 4 * nodes
+                for solver in solvers:
+                    t_leg = legion_time_per_iteration(solver, stencil, n, machine, vp)
+                    rows.append(Fig8Row(stencil, solver, n, "legion", t_leg, mode))
+                    if solver != "gmres":
+                        tp = baseline_time_per_iteration(solver, stencil, n, machine, "petsc")
+                        rows.append(Fig8Row(stencil, solver, n, "petsc", tp, mode))
+                    tt = baseline_time_per_iteration(solver, stencil, n, machine, "trilinos")
+                    rows.append(Fig8Row(stencil, solver, n, "trilinos", tt, mode))
+    return rows
+
+
+def summarize_fig8(rows: List[Fig8Row], k_largest: int = 3) -> str:
+    """The printable Figure 8 report: per-panel series plus the paper's
+    geomean-improvement summary."""
+    out: List[str] = []
+    panels = sorted({(r.stencil, r.solver) for r in rows})
+    for stencil, solver in panels:
+        panel = [r for r in rows if r.stencil == stencil and r.solver == solver]
+        sizes = sorted({r.n_unknowns for r in panel})
+        table_rows = []
+        for n in sizes:
+            entry: List = [n]
+            for lib in LIBRARIES:
+                match = [r for r in panel if r.n_unknowns == n and r.library == lib]
+                entry.append(match[0].time_per_iteration * 1e6 if match else float("nan"))
+            table_rows.append(entry)
+        out.append(f"== {stencil} / {solver} (time per iteration, µs) ==")
+        out.append(
+            format_table(["n", "legion", "petsc", "trilinos"], table_rows, "{:.1f}")
+        )
+        series = {}
+        for lib in LIBRARIES:
+            pts = [
+                (r.n_unknowns, r.time_per_iteration * 1e6)
+                for r in panel if r.library == lib
+            ]
+            if pts:
+                series[lib] = sorted(pts)
+        out.append("")
+        out.append(ascii_xy_plot(series, width=56, height=12))
+        out.append("")
+    # Geomean improvements on the largest sizes (paper's headline numbers).
+    for baseline in ("petsc", "trilinos"):
+        ratios = []
+        for stencil, solver in panels:
+            panel = [r for r in rows if r.stencil == stencil and r.solver == solver]
+            sizes = sorted({r.n_unknowns for r in panel})
+            ours = {
+                r.n_unknowns: r.time_per_iteration for r in panel if r.library == "legion"
+            }
+            theirs = {
+                r.n_unknowns: r.time_per_iteration for r in panel if r.library == baseline
+            }
+            imp = geomean_ratio_on_largest(sizes, ours, theirs, k_largest)
+            if imp is not None:
+                ratios.append(1.0 - imp)
+        if ratios:
+            from .report import geomean
+
+            improvement = 1.0 - geomean(ratios)
+            paper = {"petsc": 0.054, "trilinos": 0.096}[baseline]
+            out.append(
+                f"geomean improvement vs {baseline} on {k_largest} largest sizes: "
+                f"{improvement * 100:+.1f}%  (paper: {paper * 100:+.1f}%)"
+            )
+    return "\n".join(out)

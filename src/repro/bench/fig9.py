@@ -1,0 +1,131 @@
+"""Figure 9 harness: single- vs multi-operator system performance.
+
+The paper's §6.2 experiment: solve the same 5-point Laplacian problems
+twice with BiCGStab — once as a single-operator system over one domain
+space ``D``, once as a multi-operator system over two half-grid domains
+``D₁, D₂`` with four CSR matrices (two self-interaction, two
+boundary-interaction blocks) — and compare execution time per iteration.
+
+Expected shape (paper Figure 9): the multi-operator formulation is
+*slower* on small problems (twice the task count → twice the fixed
+task-launch overhead) and *faster* on large problems (self-interaction
+products overlap the communication of the boundary terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.planner import Planner
+from ..core.solvers import BiCGStabSolver
+from ..problems.multiop_split import split_laplacian_2d
+from ..runtime.machine import Machine, lassen_scaled
+from ..runtime.mapper import ShardedMapper
+from ..runtime.partition import Partition
+from ..runtime.runtime import Runtime
+from .ascii_plot import ascii_xy_plot
+from .report import format_table
+
+__all__ = ["Fig9Row", "run_fig9", "summarize_fig9", "bicgstab_time_per_iteration"]
+
+
+@dataclass
+class Fig9Row:
+    n_unknowns: int
+    formulation: str  # "single" | "multi"
+    time_per_iteration: float
+
+
+def bicgstab_time_per_iteration(
+    grid_shape,
+    n_bands: int,
+    machine: Machine,
+    warmup: int = 3,
+    timed: int = 10,
+    seed: int = 0,
+) -> float:
+    """Time per BiCGStab iteration for the 5-pt Laplacian split into
+    ``n_bands`` domain components (1 = the single-operator system)."""
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+    devices = machine.gpus or machine.cpus
+    vp = len(devices)
+    rng = np.random.default_rng(seed)
+
+    split = split_laplacian_2d(grid_shape, n_bands)
+    pieces_per_band = max(1, vp // n_bands)
+    sol_ids, rhs_ids = [], []
+    for b_idx, space in enumerate(split.spaces):
+        part = Partition.equal(space, min(pieces_per_band, space.volume))
+        x0 = np.zeros(space.volume)
+        rhs = rng.random(space.volume)
+        sol_ids.append(planner.add_sol_vector((space, x0), part))
+        rhs_ids.append(planner.add_rhs_vector((space, rhs), part))
+    for matrix, src, dst in split.tiles:
+        planner.add_operator(matrix, sol_ids[src], rhs_ids[dst])
+
+    solver = BiCGStabSolver(planner)
+    solver.run_fixed(warmup)
+    result = solver.run_fixed(timed)
+    return float(np.median(result.iteration_times))
+
+
+def run_fig9(
+    exponents: Sequence[int] = (5, 6, 7, 8, 9, 10, 11),
+    nodes: int = 2,
+    scale: float = 64.0,
+    machine: Optional[Machine] = None,
+    warmup: int = 3,
+    timed: int = 10,
+) -> List[Fig9Row]:
+    """Sweep ``2ⁿ × 2ⁿ`` grids (paper: n up to ~16 on 256 nodes; the
+    scaled machine brings the crossover into executable sizes)."""
+    rows: List[Fig9Row] = []
+    for n_exp in exponents:
+        side = 2 ** n_exp
+        shape = (side, side)
+        n = side * side
+        m = machine if machine is not None else lassen_scaled(nodes, scale)
+        t_single = bicgstab_time_per_iteration(shape, 1, m, warmup, timed)
+        m = machine if machine is not None else lassen_scaled(nodes, scale)
+        t_multi = bicgstab_time_per_iteration(shape, 2, m, warmup, timed)
+        rows.append(Fig9Row(n, "single", t_single))
+        rows.append(Fig9Row(n, "multi", t_multi))
+    return rows
+
+
+def summarize_fig9(rows: List[Fig9Row]) -> str:
+    sizes = sorted({r.n_unknowns for r in rows})
+    table = []
+    crossover = None
+    for n in sizes:
+        t_s = next(r.time_per_iteration for r in rows if r.n_unknowns == n and r.formulation == "single")
+        t_m = next(r.time_per_iteration for r in rows if r.n_unknowns == n and r.formulation == "multi")
+        table.append([n, t_s * 1e6, t_m * 1e6, "multi" if t_m < t_s else "single"])
+        if t_m < t_s and crossover is None:
+            crossover = n
+    series = {
+        "single": [(n, next(r.time_per_iteration for r in rows
+                            if r.n_unknowns == n and r.formulation == "single") * 1e6)
+                   for n in sizes],
+        "multi": [(n, next(r.time_per_iteration for r in rows
+                           if r.n_unknowns == n and r.formulation == "multi") * 1e6)
+                  for n in sizes],
+    }
+    out = [
+        "== Figure 9: BiCGStab, 5-pt Laplacian, single- vs multi-operator ==",
+        format_table(["n", "single (µs/iter)", "multi (µs/iter)", "faster"], table, "{:.1f}"),
+        "",
+        ascii_xy_plot(series, title="time per iteration (µs, log-log)"),
+        "",
+        (
+            f"crossover (multi-operator becomes faster) at n = {crossover}"
+            if crossover
+            else "no crossover within the swept sizes"
+        ),
+        "paper: multi-operator slower below ~1e9 unknowns, faster above",
+    ]
+    return "\n".join(out)

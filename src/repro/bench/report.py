@@ -1,0 +1,63 @@
+"""Result-table formatting and summary statistics for the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "geomean", "geomean_ratio_on_largest"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Plain-text aligned table (no external dependencies)."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float):
+                out.append(floatfmt.format(cell))
+            else:
+                out.append(str(cell))
+        str_rows.append(out)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_ratio_on_largest(
+    sizes: Sequence[int],
+    ours: Dict[int, float],
+    theirs: Dict[int, float],
+    k_largest: int = 3,
+) -> Optional[float]:
+    """Geometric-mean improvement of ``ours`` over ``theirs`` on the
+    ``k`` largest problem sizes (the paper's §6.1 summary statistic):
+    returns the fractional reduction in time per iteration, e.g. 0.096
+    for the paper's 9.6% claim versus Trilinos."""
+    common = sorted(set(sizes) & set(ours) & set(theirs))
+    if not common:
+        return None
+    top = common[-k_largest:]
+    ratios = [ours[n] / theirs[n] for n in top if theirs[n] > 0]
+    if not ratios:
+        return None
+    return 1.0 - geomean(ratios)

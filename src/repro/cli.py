@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate paper figures and run solves.
+
+Usage::
+
+    python -m repro fig8  [--mode real|model] [--nodes N] [--sizes 12 16 20]
+                          [--stencils 2d5 3d7] [--solvers cg gmres] [--out FILE]
+    python -m repro fig9  [--exponents 5 7 9 10 11] [--out FILE]
+    python -m repro fig10 [--grid-exp 10] [--nodes 8] [--iterations 300]
+                          [--seed 0] [--out FILE]
+    python -m repro solve --stencil 2d5 --n 65536 --solver cg [--tol 1e-8]
+    python -m repro stencil-bench -dim 2 -solver 1 -nx 256 -ny 256 -it 500 -vp 4
+
+Each ``figN`` subcommand prints the regenerated table/series (the same
+reports the benchmark suite writes to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KDRSolvers reproduction: figure regeneration and solves",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p8 = sub.add_parser("fig8", help="library comparison (paper Figure 8)")
+    p8.add_argument("--mode", choices=("real", "model"), default="real")
+    p8.add_argument("--nodes", type=int, default=None)
+    p8.add_argument("--sizes", type=int, nargs="+", default=None,
+                    help="problem-size exponents (powers of two)")
+    p8.add_argument("--stencils", nargs="+", default=None,
+                    choices=("1d3", "2d5", "3d7", "3d27"))
+    p8.add_argument("--solvers", nargs="+", default=None,
+                    choices=("cg", "bicgstab", "gmres"))
+    p8.add_argument("--warmup", type=int, default=2)
+    p8.add_argument("--timed", type=int, default=6)
+    p8.add_argument("--out", default=None, help="also write the report here")
+
+    p9 = sub.add_parser("fig9", help="single- vs multi-operator (Figure 9)")
+    p9.add_argument("--exponents", type=int, nargs="+", default=(5, 7, 9, 10, 11))
+    p9.add_argument("--nodes", type=int, default=2)
+    p9.add_argument("--scale", type=float, default=64.0)
+    p9.add_argument("--out", default=None)
+
+    p10 = sub.add_parser("fig10", help="dynamic load balancing (Figure 10)")
+    p10.add_argument("--grid-exp", type=int, default=10)
+    p10.add_argument("--nodes", type=int, default=8)
+    p10.add_argument("--iterations", type=int, default=300)
+    p10.add_argument("--load-period", type=int, default=75)
+    p10.add_argument("--rebalance-period", type=int, default=10)
+    p10.add_argument("--seed", type=int, default=1)
+    p10.add_argument("--out", default=None)
+
+    pb = sub.add_parser(
+        "stencil-bench",
+        help="the paper artifact's BenchmarkStencil program (numeric codes)",
+    )
+    pb.add_argument("-dim", type=int, required=True, choices=(1, 2, 3, 4))
+    pb.add_argument("-solver", type=int, required=True, choices=(1, 2, 3))
+    pb.add_argument("-nx", type=int, required=True)
+    pb.add_argument("-ny", type=int, default=1)
+    pb.add_argument("-nz", type=int, default=1)
+    pb.add_argument("-it", type=int, default=100)
+    pb.add_argument("-vp", type=int, default=None)
+    pb.add_argument("--nodes", type=int, default=1)
+    pb.add_argument("--warmup", type=int, default=20)
+
+    ps = sub.add_parser("solve", help="solve one stencil system end to end")
+    ps.add_argument("--stencil", default="2d5", choices=("1d3", "2d5", "3d7", "3d27"))
+    ps.add_argument("--n", type=int, default=65536, help="target unknown count")
+    ps.add_argument("--solver", default="cg")
+    ps.add_argument("--tol", type=float, default=1e-8)
+    ps.add_argument("--max-iterations", type=int, default=10000)
+    ps.add_argument("--nodes", type=int, default=1)
+    return parser
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[written to {out}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig8":
+        from .bench import run_fig8, summarize_fig8
+
+        kwargs = {}
+        if args.stencils:
+            kwargs["stencils"] = tuple(args.stencils)
+        if args.solvers:
+            kwargs["solvers"] = tuple(args.solvers)
+        if args.sizes:
+            kwargs["sizes"] = [2 ** e for e in args.sizes]
+        if args.nodes is not None:
+            kwargs["nodes"] = args.nodes
+        rows = run_fig8(mode=args.mode, warmup=args.warmup, timed=args.timed, **kwargs)
+        _emit(summarize_fig8(rows), args.out)
+        return 0
+
+    if args.command == "fig9":
+        from .bench import run_fig9, summarize_fig9
+
+        rows = run_fig9(
+            exponents=tuple(args.exponents), nodes=args.nodes, scale=args.scale
+        )
+        _emit(summarize_fig9(rows), args.out)
+        return 0
+
+    if args.command == "fig10":
+        from .bench import run_fig10, summarize_fig10
+
+        result = run_fig10(
+            grid_exp=args.grid_exp,
+            nodes=args.nodes,
+            iterations=args.iterations,
+            load_period=args.load_period,
+            rebalance_period=args.rebalance_period,
+            seed=args.seed,
+        )
+        _emit(summarize_fig10(result), args.out)
+        return 0
+
+    if args.command == "stencil-bench":
+        from .bench import benchmark_stencil
+        from .runtime import lassen
+
+        result = benchmark_stencil(
+            dim=args.dim, solver=args.solver,
+            nx=args.nx, ny=args.ny, nz=args.nz,
+            it=args.it, vp=args.vp,
+            machine=lassen(args.nodes), warmup=args.warmup,
+        )
+        print(result.report())
+        return 0
+
+    if args.command == "solve":
+        import numpy as np
+
+        from .api import solve
+        from .problems import grid_shape_for, laplacian_scipy
+        from .runtime import lassen
+
+        shape = grid_shape_for(args.stencil, args.n)
+        A = laplacian_scipy(args.stencil, shape)
+        rng = np.random.default_rng(0)
+        b = rng.random(A.shape[0])
+        x, result = solve(
+            A, b,
+            solver=args.solver,
+            tolerance=args.tol,
+            max_iterations=args.max_iterations,
+            machine=lassen(args.nodes),
+        )
+        residual = float(np.linalg.norm(A @ x - b))
+        print(
+            f"stencil={args.stencil} shape={shape} n={A.shape[0]} "
+            f"solver={args.solver}\n"
+            f"converged={result.converged} iterations={result.iterations} "
+            f"residual={residual:.3e}\n"
+            f"simulated time/iteration={result.mean_iteration_time * 1e6:.1f} µs "
+            f"on {args.nodes} Lassen node(s)"
+        )
+        return 0 if result.converged else 1
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

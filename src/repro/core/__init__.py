@@ -1,0 +1,71 @@
+"""KDRSolvers core: the paper's primary contribution.
+
+* :mod:`repro.core.projection` — universal co-partitioning operators
+  built from row/column relations (paper §3.1).
+* :mod:`repro.core.multiop` — multi-operator systems with aliasing and
+  interference analysis (paper §4).
+* :mod:`repro.core.planner` — the planner API of Figures 5–6.
+* :mod:`repro.core.solvers` — CG, PCG, BiCG, BiCGStab, CGS, GMRES(m),
+  MINRES, all written purely against the planner.
+* :mod:`repro.core.precond` — preconditioner factories (Jacobi, block
+  Jacobi, SSOR, ILU(0), polynomial), the paper's §7 future-work item.
+* :mod:`repro.core.loadbalance` — the §6.3 thermodynamic dynamic load
+  balancer and its stochastic background-load proxy.
+"""
+
+from .multiop import MultiOperatorSystem, OperatorComponent
+from .planner import RHS, SOL, Planner
+from .projection import (
+    col_D_to_K,
+    col_K_to_D,
+    matvec_copartition,
+    power_copartition,
+    row_K_to_R,
+    row_R_to_K,
+)
+from .scalar import Scalar, as_scalar
+from .solvers import (
+    SOLVER_REGISTRY,
+    BiCGSolver,
+    BiCGStabSolver,
+    CGNRSolver,
+    CGSolver,
+    CGSSolver,
+    GMRESSolver,
+    KrylovSolver,
+    MINRESSolver,
+    PCGSolver,
+    SolveResult,
+    TFQMRSolver,
+)
+from .vectors import MultiVector, VectorComponent
+
+__all__ = [
+    "BiCGSolver",
+    "BiCGStabSolver",
+    "CGNRSolver",
+    "CGSolver",
+    "CGSSolver",
+    "GMRESSolver",
+    "KrylovSolver",
+    "MINRESSolver",
+    "MultiOperatorSystem",
+    "MultiVector",
+    "OperatorComponent",
+    "PCGSolver",
+    "Planner",
+    "RHS",
+    "SOL",
+    "SOLVER_REGISTRY",
+    "Scalar",
+    "SolveResult",
+    "TFQMRSolver",
+    "VectorComponent",
+    "as_scalar",
+    "col_D_to_K",
+    "col_K_to_D",
+    "matvec_copartition",
+    "power_copartition",
+    "row_K_to_R",
+    "row_R_to_K",
+]

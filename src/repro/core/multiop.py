@@ -1,0 +1,214 @@
+"""Multi-operator systems (paper §4).
+
+A multi-operator system is a set of components
+``{(K₁, A₁, i₁, j₁), …, (K_N, A_N, i_N, j_N)}`` where each ``A_ℓ`` is a
+sparse matrix relating solution component ``i_ℓ`` to right-hand-side
+component ``j_ℓ``.  Unlike a block system, any number of operators may
+relate the same ``(i, j)`` pair, and operators may share storage
+(aliasing) — which is what makes multiple-RHS and related-system solves
+memory-free (paper §4.2).
+
+:class:`OperatorComponent` pre-plans one operator: it co-partitions the
+matrix from the output component's canonical partition (via the §3.1
+projections), compiles one :class:`~repro.sparse.base.PieceKernel` per
+piece, and attaches the matrix entries to a logical region — *shared*
+with every other component using the same matrix object, so aliased
+operators genuinely reuse memory and the engine moves their bytes only
+once.
+
+:class:`MultiOperatorSystem` owns the component list and the
+*interference analysis* of §4.1: which pairs of multiply-add tasks may
+write overlapping output ranges.  Because output writes are expressed as
+Legion-style reductions the runtime already executes them safely and in
+parallel; the analysis (cached, as the paper prescribes via dynamic
+tracing) is exposed for inspection and asserted on by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.partition import Partition
+from ..runtime.region import LogicalRegion
+from ..runtime.runtime import Runtime
+from ..sparse.base import PieceKernel, SparseFormat
+from .projection import col_K_to_D, row_K_to_R, row_R_to_K
+from .vectors import MultiVector, VectorComponent
+
+__all__ = ["OperatorComponent", "MultiOperatorSystem"]
+
+ENTRY_FIELD = "entries"
+
+# Matrix-entry regions are shared across operator components that wrap
+# the same matrix object (aliasing, §4.2); keyed by runtime and matrix
+# identity.
+_entry_region_cache: Dict[Tuple[int, int], LogicalRegion] = {}
+
+
+def _entry_region(runtime: Runtime, matrix: SparseFormat) -> LogicalRegion:
+    key = (id(runtime), id(matrix))
+    region = _entry_region_cache.get(key)
+    if region is None:
+        region = runtime.create_region(
+            matrix.kernel_space, {ENTRY_FIELD: np.dtype(np.float64)}, name="mat_entries"
+        )
+        # Attach the stored values in place; aliased operators reuse them.
+        entries = getattr(matrix, "entries", None)
+        if entries is None:
+            entries = getattr(matrix, "values", None)
+        if entries is None:
+            raise TypeError(f"{type(matrix).__name__} exposes no entry array")
+        runtime.attach(region, ENTRY_FIELD, np.asarray(entries, dtype=np.float64).reshape(-1))
+        _entry_region_cache[key] = region
+    return region
+
+
+class OperatorComponent:
+    """One pre-planned ``(K_ℓ, A_ℓ, i_ℓ, j_ℓ)`` component."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        matrix: SparseFormat,
+        sol_index: int,
+        rhs_index: int,
+        sol_component: VectorComponent,
+        rhs_component: VectorComponent,
+        piece_hints: Optional[Sequence[int]] = None,
+    ):
+        if matrix.domain_space is not sol_component.space:
+            raise ValueError(
+                "operator domain space must be the solution component's index space "
+                "(construct the matrix over the vector's spaces)"
+            )
+        if matrix.range_space is not rhs_component.space:
+            raise ValueError(
+                "operator range space must be the RHS component's index space"
+            )
+        self.matrix = matrix
+        self.sol_index = sol_index
+        self.rhs_index = rhs_index
+        self.sol_component = sol_component
+        self.rhs_component = rhs_component
+        self.entry_region = _entry_region(runtime, matrix)
+
+        # §3.1 co-partitioning, driven by the *output* canonical partition.
+        out_part = rhs_component.partition
+        self.kernel_partition = row_R_to_K(matrix, out_part)
+        self.domain_partition = col_K_to_D(matrix, self.kernel_partition)
+        self.range_partition = row_K_to_R(matrix, self.kernel_partition)
+        self.n_pieces = out_part.n_colors
+        if piece_hints is not None and len(piece_hints) != self.n_pieces:
+            raise ValueError("one mapper hint per piece required")
+        self.piece_hints = list(piece_hints) if piece_hints is not None else None
+
+        self.kernels: List[PieceKernel] = [
+            matrix.make_piece_kernel(
+                self.kernel_partition[c],
+                self.domain_partition[c],
+                self.range_partition[c],
+            )
+            for c in range(self.n_pieces)
+        ]
+        self._adjoint_kernels: Optional[List[PieceKernel]] = None
+        self._adjoint_parts: Optional[Tuple[Partition, Partition, Partition]] = None
+
+    # -- adjoint -----------------------------------------------------------
+
+    def adjoint_plan(self) -> Tuple[Partition, Partition, Partition, List[PieceKernel]]:
+        """Co-partition and compile kernels for ``A_ℓᵀ``, driven by the
+        *solution* component's canonical partition (the adjoint's output
+        lives in the domain space).  Built on demand and cached; BiCG is
+        the only stock solver that needs it."""
+        if self._adjoint_kernels is None:
+            from .projection import col_D_to_K
+
+            out_part = self.sol_component.partition
+            kp = col_D_to_K(self.matrix, out_part)
+            rp = row_K_to_R(self.matrix, kp)  # adjoint's *input* pieces
+            dp = col_K_to_D(self.matrix, kp)  # adjoint's *output* pieces
+            self._adjoint_parts = (kp, rp, dp)
+            self._adjoint_kernels = [
+                self.matrix.make_piece_kernel(kp[c], dp[c], rp[c], transpose=True)
+                for c in range(out_part.n_colors)
+            ]
+        kp, rp, dp = self._adjoint_parts
+        return kp, rp, dp, self._adjoint_kernels
+
+    def hint_for(self, piece: int) -> int:
+        if self.piece_hints is not None:
+            return self.piece_hints[piece]
+        return self.rhs_component.piece_offset + piece
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorComponent({type(self.matrix).__name__}, "
+            f"sol={self.sol_index}, rhs={self.rhs_index}, pieces={self.n_pieces})"
+        )
+
+
+class MultiOperatorSystem:
+    """The operator set plus its cached interference analysis."""
+
+    def __init__(self) -> None:
+        self.components: List[OperatorComponent] = []
+        self._interference: Optional[List[Tuple[int, int, int, int]]] = None
+
+    def add(self, component: OperatorComponent) -> None:
+        self.components.append(component)
+        self._interference = None  # a new component invalidates the cache
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def by_rhs(self, rhs_index: int) -> List[OperatorComponent]:
+        return [c for c in self.components if c.rhs_index == rhs_index]
+
+    def by_sol(self, sol_index: int) -> List[OperatorComponent]:
+        return [c for c in self.components if c.sol_index == sol_index]
+
+    def interference(self) -> List[Tuple[int, int, int, int]]:
+        """Pairs of multiply-add point tasks whose output subsets overlap:
+        ``(ℓ, piece, ℓ', piece')`` with ``ℓ <= ℓ'``.  Cached across
+        iterations (paper §4.1 notes this analysis is memoized by dynamic
+        tracing); tasks appearing in no pair may write with exclusive
+        privileges, all others must reduce."""
+        if self._interference is None:
+            pairs: List[Tuple[int, int, int, int]] = []
+            for a, ca in enumerate(self.components):
+                for b in range(a, len(self.components)):
+                    cb = self.components[b]
+                    if ca.rhs_index != cb.rhs_index:
+                        continue
+                    for pa in range(ca.n_pieces):
+                        sa = ca.range_partition[pa]
+                        for pb in range(cb.n_pieces):
+                            if a == b and pb <= pa:
+                                continue
+                            sb = cb.range_partition[pb]
+                            if not sa.is_disjoint_from(sb):
+                                pairs.append((a, pa, b, pb))
+            self._interference = pairs
+        return self._interference
+
+    def total_stored_bytes(self) -> int:
+        """Bytes of matrix-entry storage, counting aliased matrices once
+        — the §4.2 memory-reuse claim made measurable."""
+        seen = set()
+        total = 0
+        for comp in self.components:
+            key = id(comp.matrix)
+            if key not in seen:
+                seen.add(key)
+                total += comp.matrix.kernel_space.volume * 8
+        return total
+
+    def total_logical_bytes(self) -> int:
+        """Bytes the same system would need with every component stored
+        separately (what a block formulation without aliasing pays)."""
+        return sum(c.matrix.kernel_space.volume * 8 for c in self.components)

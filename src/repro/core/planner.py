@@ -1,0 +1,592 @@
+"""The planner: problem setup and solver-facing operations (paper §5).
+
+LegionSolvers splits its user-facing surface into a *planner* — which
+assembles a multi-operator system together with a data-partitioning
+strategy — and *solvers*, which implement KSMs purely in terms of the
+mathematical operations the planner provides (Figures 5–6).  Solvers
+therefore know nothing about storage formats, component counts,
+partitions, or data movement; changing any of those never touches
+solver code (paper P2/P3).
+
+Problem-setup API (Figure 5)::
+
+    sol_id = planner.add_sol_vector(data, [partition])
+    rhs_id = planner.add_rhs_vector(data, [partition])
+    planner.add_operator(matrix, sol_id, rhs_id)
+    planner.add_preconditioner(matrix, sol_id, rhs_id)
+
+Solver-facing API (Figure 6)::
+
+    planner.is_square()           planner.has_preconditioner()
+    vid = planner.allocate_workspace_vector([SOL | RHS])
+    planner.copy(dst, src)        planner.scal(dst, alpha)
+    planner.axpy(dst, alpha, src) planner.xpay(dst, alpha, src)
+    planner.dot_product(v, w) -> Scalar (future-backed)
+    planner.matmul(dst, src)      planner.psolve(dst, src)
+
+plus ``matmul_adjoint`` for the BiCG family.
+
+Every operation decomposes into per-component, per-piece point tasks
+launched through the task runtime; matrix-vector products additionally
+decompose across operator components, whose pieces reduce into the
+output so aliasing operators compose safely (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..runtime.index_space import IndexSpace
+from ..runtime.machine import ProcKind
+from ..runtime.partition import Partition
+from ..runtime.region import Privilege
+from ..runtime.runtime import Runtime
+from ..runtime.task import IndexLauncher, TaskLauncher, TaskRecord
+from ..sparse.base import SparseFormat
+from .multiop import MultiOperatorSystem, OperatorComponent
+from .scalar import Scalar, ScalarLike, as_scalar
+from .vectors import VALUE_FIELD, MultiVector, VectorComponent
+
+__all__ = ["Planner", "SOL", "RHS"]
+
+#: Canonical vector ids (paper Figure 7).
+SOL = 0
+RHS = 1
+
+
+class Planner:
+    """Multi-operator system setup plus solver-facing linear algebra."""
+
+    SOL = SOL
+    RHS = RHS
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        proc_kind: Optional[ProcKind] = None,
+    ):
+        self.runtime = runtime
+        if proc_kind is None:
+            proc_kind = ProcKind.GPU if runtime.machine.gpus else ProcKind.CPU
+        self.proc_kind = proc_kind
+        self._sol_components: List[VectorComponent] = []
+        self._rhs_components: List[VectorComponent] = []
+        self.system = MultiOperatorSystem()
+        self.preconditioner = MultiOperatorSystem()
+        self._vectors: Optional[List[MultiVector]] = None
+        self._op_hints: List[Tuple[SparseFormat, int, int, Optional[Sequence[int]]]] = []
+
+    # ------------------------------------------------------------------
+    # Problem setup (Figure 5)
+    # ------------------------------------------------------------------
+
+    def add_sol_vector(
+        self,
+        data: Union[np.ndarray, IndexSpace],
+        partition: Optional[Partition] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Supply one piece of the initial solution vector; returns its
+        component id.  ``data`` may be a NumPy array (ingested in place,
+        never copied — paper P4) or an index space to zero-allocate."""
+        self._check_mutable()
+        comp = self._make_component(data, partition, name or f"x{len(self._sol_components)}")
+        self._sol_components.append(comp)
+        return len(self._sol_components) - 1
+
+    def add_rhs_vector(
+        self,
+        data: Union[np.ndarray, IndexSpace],
+        partition: Optional[Partition] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Supply one piece of the right-hand side; returns its component id."""
+        self._check_mutable()
+        comp = self._make_component(data, partition, name or f"b{len(self._rhs_components)}")
+        self._rhs_components.append(comp)
+        return len(self._rhs_components) - 1
+
+    def add_operator(
+        self,
+        matrix: SparseFormat,
+        sol_id: int,
+        rhs_id: int,
+        piece_hints: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Add a component ``(K_ℓ, A_ℓ, sol_id, rhs_id)`` to the system.
+        The same matrix object may be added many times (aliasing); its
+        storage is shared (§4.2).  ``piece_hints`` optionally pins each
+        matrix piece to a mapper key (used by custom mappers, §6.3)."""
+        self._check_mutable()
+        self._op_hints.append((matrix, sol_id, rhs_id, piece_hints))
+
+    def add_preconditioner(
+        self,
+        matrix: SparseFormat,
+        sol_id: int,
+        rhs_id: int,
+    ) -> None:
+        """Add a component of the preconditioner ``P_total`` (a map from
+        range back to domain components such that ``P·A ≈ I``)."""
+        self._check_mutable()
+        self._op_hints.append((matrix, sol_id, rhs_id, "precond"))
+
+    def _make_component(self, data, partition, name) -> VectorComponent:
+        if isinstance(data, IndexSpace):
+            return VectorComponent(self.runtime, data, partition, name=name)
+        if isinstance(data, tuple) and len(data) == 2 and isinstance(data[0], IndexSpace):
+            # (space, values): ingest values in place over an existing space,
+            # so matrices constructed over that space line up.
+            space, values = data
+            values = np.asarray(values, dtype=np.float64)
+            if values.size != space.volume:
+                raise ValueError("values length must equal the space volume")
+            return VectorComponent(self.runtime, space, partition, data=values, name=name)
+        data = np.asarray(data, dtype=np.float64)
+        space = IndexSpace.linear(data.size, name=f"{name}_space")
+        return VectorComponent(self.runtime, space, partition, data=data, name=name)
+
+    def _check_mutable(self) -> None:
+        if self._vectors is not None:
+            raise RuntimeError("the system is frozen once solver operations begin")
+
+    def sol_space(self, sol_id: int) -> IndexSpace:
+        """The domain space ``D_i`` of a solution component — matrices
+        relating component ``i`` must be constructed over this space."""
+        return self._sol_components[sol_id].space
+
+    def rhs_space(self, rhs_id: int) -> IndexSpace:
+        """The range space ``R_j`` of a right-hand-side component."""
+        return self._rhs_components[rhs_id].space
+
+    # ------------------------------------------------------------------
+    # Freezing: build multi-vectors, plan operators, place data
+    # ------------------------------------------------------------------
+
+    def _freeze(self) -> List[MultiVector]:
+        if self._vectors is None:
+            if not self._sol_components or not self._rhs_components:
+                raise RuntimeError(
+                    "add_sol_vector and add_rhs_vector must be called before solving"
+                )
+            sol = MultiVector(self._sol_components)
+            rhs = MultiVector(self._rhs_components)
+            self._vectors = [sol, rhs]
+            for matrix, sol_id, rhs_id, hints in self._op_hints:
+                target = self.preconditioner if isinstance(hints, str) else self.system
+                comp = OperatorComponent(
+                    self.runtime,
+                    matrix,
+                    sol_id,
+                    rhs_id,
+                    sol.components[sol_id],
+                    rhs.components[rhs_id],
+                    piece_hints=None if isinstance(hints, str) else hints,
+                )
+                target.add(comp)
+                self._place_operator(comp)
+            self._place_vector(sol)
+            self._place_vector(rhs)
+        return self._vectors
+
+    def _device_for_hint(self, hint: int) -> int:
+        probe = TaskRecord(
+            task_id=-1,
+            name="_placement_probe",
+            requirements=[],
+            proc_kind=self.proc_kind,
+            flops=0.0,
+            bytes_touched=0.0,
+            owner_hint=hint,
+            future_dep_uids=[],
+            future_uid=None,
+        )
+        return self.runtime.mapper.map_task(probe)
+
+    def _place_vector(self, vector: MultiVector) -> None:
+        for comp in vector.components:
+            placement = [
+                (comp.partition[p], self._device_for_hint(comp.piece_offset + p))
+                for p in range(comp.n_pieces)
+            ]
+            self.runtime.distribute(comp.region, VALUE_FIELD, placement)
+
+    def _place_operator(self, op: OperatorComponent) -> None:
+        from .multiop import ENTRY_FIELD
+
+        placement = [
+            (op.kernel_partition[p], self._device_for_hint(op.hint_for(p)))
+            for p in range(op.n_pieces)
+        ]
+        self.runtime.distribute(op.entry_region, ENTRY_FIELD, placement)
+
+    # ------------------------------------------------------------------
+    # Introspection (Figure 6, first block)
+    # ------------------------------------------------------------------
+
+    def is_square(self) -> bool:
+        """True iff ``D_i = R_i`` for all components."""
+        vecs = self._freeze()
+        sol, rhs = vecs[SOL], vecs[RHS]
+        return sol.n_components == rhs.n_components and all(
+            a.space is b.space for a, b in zip(sol.components, rhs.components)
+        )
+
+    def has_preconditioner(self) -> bool:
+        self._freeze()
+        return len(self.preconditioner) > 0
+
+    # ------------------------------------------------------------------
+    # Workspace management
+    # ------------------------------------------------------------------
+
+    def allocate_workspace_vector(self, shape: int = RHS) -> int:
+        """A zeroed vector with the same component structure as SOL or
+        RHS; returns its vec_id."""
+        vecs = self._freeze()
+        if shape not in (SOL, RHS):
+            raise ValueError("shape must be planner.SOL or planner.RHS")
+        vecs.append(vecs[shape].like(self.runtime))
+        vec = vecs[-1]
+        self._place_vector(vec)
+        return len(vecs) - 1
+
+    def vector(self, vec_id: int) -> MultiVector:
+        vecs = self._freeze()
+        return vecs[vec_id]
+
+    def get_array(self, vec_id: int) -> np.ndarray:
+        """Concatenated copy of a vector's values (inspection only)."""
+        return self.vector(vec_id).to_array(self.runtime.store)
+
+    def set_array(self, vec_id: int, values: np.ndarray) -> None:
+        self.vector(vec_id).set_array(self.runtime.store, values)
+
+    @property
+    def n_pieces(self) -> int:
+        return self.vector(RHS).total_pieces
+
+    # ------------------------------------------------------------------
+    # Vector operations (Figure 6, second block)
+    # ------------------------------------------------------------------
+
+    def _pairs(self, dst_id: int, src_id: int):
+        dst, src = self.vector(dst_id), self.vector(src_id)
+        if dst.shape_signature() != src.shape_signature():
+            raise ValueError(
+                f"vector shapes differ: {dst.shape_signature()} vs {src.shape_signature()}"
+            )
+        return zip(dst.components, src.components)
+
+    def _launch_pointwise(
+        self,
+        name: str,
+        dst_comp: VectorComponent,
+        srcs: Sequence[VectorComponent],
+        body,
+        flops_per_point: float,
+        bytes_per_point: float,
+        alpha: Optional[Scalar] = None,
+        dst_privilege: Privilege = Privilege.READ_WRITE,
+    ) -> None:
+        part = dst_comp.partition
+        deps = list(alpha.future_deps) if alpha is not None else []
+        for p in range(part.n_colors):
+            piece = part[p]
+            launcher = TaskLauncher(
+                name=name,
+                body=body,
+                proc_kind=self.proc_kind,
+                flops=flops_per_point * piece.volume,
+                bytes_touched=bytes_per_point * piece.volume,
+                owner_hint=dst_comp.piece_offset + p,
+                future_deps=deps,
+                kwargs={"alpha": alpha.value if alpha is not None else None},
+            )
+            launcher.add_requirement(dst_comp.region, [VALUE_FIELD], piece, dst_privilege)
+            for s in srcs:
+                launcher.add_requirement(s.region, [VALUE_FIELD], piece, Privilege.READ_ONLY)
+            self.runtime.execute(launcher, point=p)
+
+    def copy(self, dst: int, src: int) -> None:
+        """``dst ← src``."""
+        def body(ctx):
+            ctx[0].write(ctx[1].read())
+
+        for d, s in self._pairs(dst, src):
+            self._launch_pointwise(
+                "copy", d, [s], body, 0.0, 16.0, dst_privilege=Privilege.WRITE_DISCARD
+            )
+
+    def fill(self, dst: int, value: float = 0.0) -> None:
+        """``dst ← value`` everywhere."""
+        for d in self.vector(dst).components:
+            self._fill_component(d, value)
+
+    def _fill_component(self, d: VectorComponent, value: float) -> None:
+        def body(ctx):
+            ctx[0].write(np.full(ctx[0].n_points, ctx.kwargs["value"]))
+
+        part = d.partition
+        for p in range(part.n_colors):
+            launcher = TaskLauncher(
+                name="fill",
+                body=body,
+                proc_kind=self.proc_kind,
+                flops=0.0,
+                bytes_touched=8.0 * part[p].volume,
+                owner_hint=d.piece_offset + p,
+                kwargs={"value": value},
+            )
+            launcher.add_requirement(d.region, [VALUE_FIELD], part[p], Privilege.WRITE_DISCARD)
+            self.runtime.execute(launcher, point=p)
+
+    def scal(self, dst: int, alpha: ScalarLike) -> None:
+        """``dst ← α · dst``."""
+        alpha = as_scalar(alpha)
+
+        def body(ctx):
+            ctx[0].write(ctx[0].read() * ctx.kwargs["alpha"])
+
+        for d in self.vector(dst).components:
+            self._launch_pointwise("scal", d, [], body, 1.0, 16.0, alpha=alpha)
+
+    def axpy(self, dst: int, alpha: ScalarLike, src: int) -> None:
+        """``dst ← dst + α · src``."""
+        alpha = as_scalar(alpha)
+
+        def body(ctx):
+            ctx[0].write(ctx[0].read() + ctx.kwargs["alpha"] * ctx[1].read())
+
+        for d, s in self._pairs(dst, src):
+            self._launch_pointwise("axpy", d, [s], body, 2.0, 24.0, alpha=alpha)
+
+    def xpay(self, dst: int, alpha: ScalarLike, src: int) -> None:
+        """``dst ← src + α · dst``."""
+        alpha = as_scalar(alpha)
+
+        def body(ctx):
+            ctx[0].write(ctx[1].read() + ctx.kwargs["alpha"] * ctx[0].read())
+
+        for d, s in self._pairs(dst, src):
+            self._launch_pointwise("xpay", d, [s], body, 2.0, 24.0, alpha=alpha)
+
+    def dot_product(self, v: int, w: int) -> Scalar:
+        """``v · w`` as a future-backed scalar: per-piece partial dots
+        plus a modeled allreduce across the pieces' devices."""
+        pieces: List[Tuple[VectorComponent, VectorComponent, int]] = []
+        for a, b in self._pairs(v, w):
+            for p in range(a.partition.n_colors):
+                pieces.append((a, b, p))
+
+        def make_point(idx: int) -> TaskLauncher:
+            a, b, p = pieces[idx]
+            piece = a.partition[p]
+
+            def body(ctx):
+                return float(np.dot(ctx[0].read(), ctx[1].read()))
+
+            launcher = TaskLauncher(
+                name="dot_partial",
+                body=body,
+                proc_kind=self.proc_kind,
+                flops=2.0 * piece.volume,
+                bytes_touched=16.0 * piece.volume,
+                owner_hint=a.piece_offset + p,
+            )
+            launcher.add_requirement(a.region, [VALUE_FIELD], piece, Privilege.READ_ONLY)
+            launcher.add_requirement(b.region, [VALUE_FIELD], piece, Privilege.READ_ONLY)
+            return launcher
+
+        futures = self.runtime.execute_index(
+            IndexLauncher("dot", len(pieces), make_point, reduction=sum, reduction_bytes=8.0)
+        )
+        return Scalar.from_future(futures[0])
+
+    # Figure 7 spells it ``dot``.
+    dot = dot_product
+
+    def norm(self, v: int) -> Scalar:
+        """Euclidean norm ``‖v‖₂``."""
+        return self.dot_product(v, v).sqrt()
+
+    # ------------------------------------------------------------------
+    # Matrix-vector products
+    # ------------------------------------------------------------------
+
+    def matmul(self, dst: int, src: int) -> None:
+        """``dst ← A_total(src)`` (paper §4.1): zero the output, then one
+        reduction multiply-add per operator component per piece."""
+        self._apply_system(self.system, dst, src)
+
+    def psolve(self, dst: int, src: int) -> None:
+        """``dst ← P_total(src)``; identity (copy) when no preconditioner
+        was supplied."""
+        if not self.has_preconditioner():
+            self.copy(dst, src)
+            return
+        self._apply_system(self.preconditioner, dst, src, adjoint_shape=True)
+
+    def matmul_adjoint(self, dst: int, src: int) -> None:
+        """``dst ← A_total*(src)`` via per-component adjoint kernels."""
+        vecs = self._freeze()
+        if dst == src:
+            raise ValueError("matrix-vector products require dst != src")
+        dst_vec, src_vec = vecs[dst], vecs[src]
+        self.fill(dst, 0.0)
+        for ell, op in enumerate(self.system):
+            kp, rp, dp, kernels = op.adjoint_plan()
+            dst_comp = dst_vec.components[op.sol_index]
+            src_comp = src_vec.components[op.rhs_index]
+            for p in range(len(kernels)):
+                self._launch_matvec_piece(
+                    f"spmv_adj_{ell}", op, kernels[p], kp[p], rp[p], dp[p],
+                    src_comp, dst_comp, hint=dst_comp.piece_offset + p, point=p,
+                )
+
+    def _initializer_ops(
+        self, system: MultiOperatorSystem, adjoint_shape: bool
+    ) -> dict:
+        """Per output component, an operator whose range partition is
+        disjoint and complete — its SpMV pieces may *write* the output
+        (no zero-fill), with all remaining operators reducing on top.
+        This is the §4.1 interference analysis put to work: a component
+        with no suitable initializer (or an adjoint path) falls back to
+        explicit fill + reductions.  Cached per system, like Legion
+        memoizes the analysis via tracing."""
+        key = (id(system), adjoint_shape)
+        cache = getattr(self, "_init_cache", None)
+        if cache is None:
+            cache = self._init_cache = {}
+        if key not in cache:
+            initializers = {}
+            vecs = self._freeze()
+            out_vec = vecs[SOL] if adjoint_shape else vecs[RHS]
+            for idx in range(out_vec.n_components):
+                if adjoint_shape:
+                    continue  # adjoint plans always fill + reduce
+                ops = system.by_rhs(idx)
+                for op in ops:
+                    part = op.range_partition
+                    if part.is_disjoint and part.is_complete:
+                        initializers[idx] = op
+                        break
+            cache[key] = initializers
+        return cache[key]
+
+    def _apply_system(
+        self, system: MultiOperatorSystem, dst: int, src: int, adjoint_shape: bool = False
+    ) -> None:
+        vecs = self._freeze()
+        if dst == src:
+            # Same restriction as PETSc's MatMult: the product cannot be
+            # computed in place, since pieces read neighbours' input
+            # entries while other pieces overwrite them.
+            raise ValueError("matrix-vector products require dst != src")
+        dst_vec, src_vec = vecs[dst], vecs[src]
+        initializers = self._initializer_ops(system, adjoint_shape)
+        for idx, comp in enumerate(dst_vec.components):
+            if idx not in initializers:
+                self._fill_component(comp, 0.0)
+        # Initializer operators launch first so reducers accumulate onto
+        # initialized data.
+        ordered = sorted(
+            enumerate(system),
+            key=lambda pair: 0 if pair[1] in initializers.values() else 1,
+        )
+        for ell, op in ordered:
+            # Operators map solution components to RHS components;
+            # preconditioners map back.  The vectors passed here must
+            # match the corresponding component shapes.
+            if adjoint_shape:
+                src_comp = src_vec.components[op.rhs_index]
+                dst_comp = dst_vec.components[op.sol_index]
+            else:
+                src_comp = src_vec.components[op.sol_index]
+                dst_comp = dst_vec.components[op.rhs_index]
+            if src_comp.space is not op.matrix.domain_space or dst_comp.space is not op.matrix.range_space:
+                raise ValueError(
+                    "vector component spaces do not match the operator's domain/range"
+                )
+            out_idx = op.sol_index if adjoint_shape else op.rhs_index
+            exclusive = initializers.get(out_idx) is op
+            for p in range(op.n_pieces):
+                self._launch_matvec_piece(
+                    f"spmv_{ell}",
+                    op,
+                    op.kernels[p],
+                    op.kernel_partition[p],
+                    op.domain_partition[p],
+                    op.range_partition[p],
+                    src_comp,
+                    dst_comp,
+                    hint=op.hint_for(p),
+                    point=p,
+                    exclusive=exclusive,
+                )
+
+    def _launch_matvec_piece(
+        self,
+        name: str,
+        op: OperatorComponent,
+        kernel,
+        kernel_piece,
+        in_piece,
+        out_piece,
+        src_comp: VectorComponent,
+        dst_comp: VectorComponent,
+        hint: int,
+        point: int,
+        exclusive: bool = False,
+    ) -> None:
+        from .multiop import ENTRY_FIELD
+
+        if out_piece.is_empty:
+            return
+
+        if exclusive:
+
+            def body(ctx):
+                # ctx[0]: matrix entries (read, drives matrix-piece
+                # movement); ctx[1]: input vector piece; ctx[2]: output.
+                ctx[2].write(kernel(ctx[1].read()))
+
+            out_priv = Privilege.WRITE_DISCARD
+        else:
+
+            def body(ctx):
+                ctx[2].reduce_add(kernel(ctx[1].read()))
+
+            out_priv = Privilege.REDUCE
+
+        launcher = TaskLauncher(
+            name=name,
+            body=body,
+            proc_kind=self.proc_kind,
+            flops=kernel.flops,
+            bytes_touched=kernel.bytes_touched,
+            owner_hint=hint,
+            irregular=True,
+        )
+        launcher.add_requirement(
+            op.entry_region, [ENTRY_FIELD], kernel_piece, Privilege.READ_ONLY
+        )
+        launcher.add_requirement(src_comp.region, [VALUE_FIELD], in_piece, Privilege.READ_ONLY)
+        launcher.add_requirement(dst_comp.region, [VALUE_FIELD], out_piece, out_priv)
+        self.runtime.execute(launcher, point=point)
+
+    # ------------------------------------------------------------------
+    # Residual helper shared by solvers and benchmarks
+    # ------------------------------------------------------------------
+
+    def residual_norm(self, sol_vec: int = SOL, rhs_vec: int = RHS) -> Scalar:
+        """``‖A x − b‖₂`` computed through planner operations (the
+        residual workspace is allocated once and reused)."""
+        if not hasattr(self, "_residual_ws"):
+            self._residual_ws = self.allocate_workspace_vector(RHS)
+        tmp = self._residual_ws
+        self.matmul(tmp, sol_vec)
+        self.axpy(tmp, -1.0, rhs_vec)
+        return self.norm(tmp)

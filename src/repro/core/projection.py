@@ -1,0 +1,135 @@
+"""Universal co-partitioning operators (paper §3.1).
+
+KDRSolvers' first contribution: because every storage format exposes its
+row and column relations, partitions of any of the three fundamental
+spaces (kernel ``K``, domain ``D``, range ``R``) can be derived from a
+partition of any other by *projection* — images and preimages along the
+relations — with a single implementation shared by all formats,
+including user-defined ones.
+
+The four named projections of §3.1::
+
+    col_K_to_D[P]  image of a kernel partition along col     → D partition
+    row_K_to_R[P]  image of a kernel partition along row     → R partition
+    col_D_to_K[Q]  preimage of a domain partition along col  → K partition
+    row_R_to_K[Q]  preimage of a range partition along row   → K partition
+
+On top of these, :func:`matvec_copartition` computes the canonical
+pieces of a matrix-vector product from a range partition — the matrix
+piece ``row_R_to_K[P]`` and the finest input partition
+``col_K_to_D[row_R_to_K[P]]`` from which the output pieces can be
+computed independently — and :func:`power_copartition` iterates the
+construction to obtain the finest partition needed to compute ``Aᵖ x``
+(paper equation (5) is the ``p = 2`` case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..runtime.deppart import image, preimage
+from ..runtime.partition import Partition
+from ..sparse.base import SparseFormat
+
+__all__ = [
+    "col_K_to_D",
+    "row_K_to_R",
+    "col_D_to_K",
+    "row_R_to_K",
+    "matvec_copartition",
+    "power_copartition",
+]
+
+
+def col_K_to_D(matrix: SparseFormat, kernel_partition: Partition) -> Partition:
+    """Project a kernel partition along ``col`` to a domain partition:
+    piece ``c`` holds exactly the input-vector entries read by matrix
+    piece ``c``."""
+    _check_parent(kernel_partition, matrix.kernel_space, "kernel")
+    return image(matrix.col_relation, kernel_partition, name="col_K_to_D")
+
+
+def row_K_to_R(matrix: SparseFormat, kernel_partition: Partition) -> Partition:
+    """Project a kernel partition along ``row`` to a range partition:
+    piece ``c`` holds exactly the output-vector entries written by
+    matrix piece ``c``."""
+    _check_parent(kernel_partition, matrix.kernel_space, "kernel")
+    return image(matrix.row_relation, kernel_partition, name="row_K_to_R")
+
+
+def col_D_to_K(matrix: SparseFormat, domain_partition: Partition) -> Partition:
+    """Project a domain partition along ``col`` back to the kernel space:
+    piece ``c`` holds every stored value that reads input piece ``c``."""
+    _check_parent(domain_partition, matrix.domain_space, "domain")
+    return preimage(matrix.col_relation, domain_partition, name="col_D_to_K")
+
+
+def row_R_to_K(matrix: SparseFormat, range_partition: Partition) -> Partition:
+    """Project a range partition along ``row`` back to the kernel space:
+    piece ``c`` holds every stored value contributing to output piece
+    ``c``."""
+    _check_parent(range_partition, matrix.range_space, "range")
+    return preimage(matrix.row_relation, range_partition, name="row_R_to_K")
+
+
+def matvec_copartition(
+    matrix: SparseFormat, range_partition: Partition
+) -> Tuple[Partition, Partition]:
+    """Co-partition a matrix-vector product ``y = A x`` from a partition
+    ``P`` of the range space.
+
+    Returns ``(kernel_partition, domain_partition)`` where piece ``c`` of
+    ``y`` depends only on matrix piece ``c`` of the kernel partition and
+    input piece ``c`` of the domain partition — and the domain partition
+    is the *finest* one with this property (paper §3.1).
+    """
+    kp = row_R_to_K(matrix, range_partition)
+    dp = col_K_to_D(matrix, kp)
+    return kp, dp
+
+
+def power_copartition(
+    matrix: SparseFormat, range_partition: Partition, power: int
+) -> List[Partition]:
+    """Finest domain partitions needed to compute ``A x``, ``A² x``, …,
+    ``Aᵖ x`` independently per piece.
+
+    The ``p``-th entry of the result alternates projections ``p`` times:
+    for ``p = 2`` this is exactly paper equation (5),
+    ``col_K_to_D[row_R_to_K[col_K_to_D[row_R_to_K[P]]]]``.  Requires a
+    square system so range partitions re-enter as domain partitions.
+    """
+    if power < 1:
+        raise ValueError("power must be >= 1")
+    if matrix.domain_space.volume != matrix.range_space.volume:
+        raise ValueError("power_copartition requires a square system")
+    out: List[Partition] = []
+    current = range_partition
+    for _ in range(power):
+        kp = row_R_to_K(matrix, current)
+        dp = col_K_to_D(matrix, kp)
+        out.append(dp)
+        # The next application of A must produce every entry the previous
+        # stage reads, so the domain partition re-enters as the range
+        # partition of the next projection round (identifying D with R
+        # through the square system's common coordinates).
+        current = Partition(
+            matrix.range_space,
+            [_cast_subset(piece, matrix.range_space) for piece in dp.pieces],
+            name="power_recast",
+        )
+    return out
+
+
+def _cast_subset(subset, target_space):
+    from ..runtime.subset import Subset
+
+    return Subset(target_space, subset.indices, _assume_normalized=True)
+
+
+def _check_parent(partition: Partition, space, label: str) -> None:
+    if partition.parent is not space:
+        raise ValueError(
+            f"expected a partition of the {label} space {space.name}, "
+            f"got one of {partition.parent.name}"
+        )

@@ -1,0 +1,101 @@
+"""Deferred scalars: future-backed values with arithmetic.
+
+Solvers manipulate scalars produced by dot products (Figure 7 uses
+``Scalar<ENTRY_T>``).  A :class:`Scalar` wraps a real value together
+with the set of futures it derives from, so that when a scalar feeds a
+vector operation (``axpy(dst, res/p_norm, src)``), the planner can
+register the underlying futures as dependences and the simulated
+timeline correctly serializes the AXPY behind the dot product's
+allreduce — while the Python-level arithmetic happens eagerly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Union
+
+from ..runtime.future import Future
+
+__all__ = ["Scalar", "ScalarLike", "as_scalar"]
+
+ScalarLike = Union["Scalar", float, int]
+
+
+class Scalar:
+    """An eager value carrying provenance futures for timing."""
+
+    __slots__ = ("value", "future_deps")
+
+    def __init__(self, value: float, future_deps: Iterable[Future] = ()):
+        self.value = float(value)
+        self.future_deps: List[Future] = list(future_deps)
+
+    @staticmethod
+    def from_future(future: Future) -> "Scalar":
+        return Scalar(float(future.get()), [future])
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _combine(self, other: ScalarLike, value: float) -> "Scalar":
+        deps = list(self.future_deps)
+        if isinstance(other, Scalar):
+            deps += other.future_deps
+        return Scalar(value, deps)
+
+    def __add__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, self.value + _val(other))
+
+    def __radd__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, _val(other) + self.value)
+
+    def __sub__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, self.value - _val(other))
+
+    def __rsub__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, _val(other) - self.value)
+
+    def __mul__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, self.value * _val(other))
+
+    def __rmul__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, _val(other) * self.value)
+
+    def __truediv__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, self.value / _val(other))
+
+    def __rtruediv__(self, other: ScalarLike) -> "Scalar":
+        return self._combine(other, _val(other) / self.value)
+
+    def __neg__(self) -> "Scalar":
+        return Scalar(-self.value, self.future_deps)
+
+    def sqrt(self) -> "Scalar":
+        return Scalar(math.sqrt(self.value), self.future_deps)
+
+    # -- comparisons (read the eager value) ---------------------------------
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __lt__(self, other: ScalarLike) -> bool:
+        return self.value < _val(other)
+
+    def __le__(self, other: ScalarLike) -> bool:
+        return self.value <= _val(other)
+
+    def __gt__(self, other: ScalarLike) -> bool:
+        return self.value > _val(other)
+
+    def __ge__(self, other: ScalarLike) -> bool:
+        return self.value >= _val(other)
+
+    def __repr__(self) -> str:
+        return f"Scalar({self.value!r}, deps={len(self.future_deps)})"
+
+
+def _val(x: ScalarLike) -> float:
+    return x.value if isinstance(x, Scalar) else float(x)
+
+
+def as_scalar(x: ScalarLike) -> Scalar:
+    return x if isinstance(x, Scalar) else Scalar(float(x))

@@ -1,0 +1,37 @@
+"""Stock Krylov subspace methods, all drop-in replaceable (paper §5)."""
+
+from .base import KrylovSolver, SolveResult
+from .bicg import BiCGSolver, CGSSolver
+from .bicgstab import BiCGStabSolver
+from .cg import CGSolver, PCGSolver
+from .gmres import GMRESSolver
+from .minres import MINRESSolver
+from .tfqmr import CGNRSolver, TFQMRSolver
+
+#: Registry used by benchmarks and examples: name → constructor.
+SOLVER_REGISTRY = {
+    "cg": CGSolver,
+    "pcg": PCGSolver,
+    "bicg": BiCGSolver,
+    "bicgstab": BiCGStabSolver,
+    "cgs": CGSSolver,
+    "gmres": GMRESSolver,
+    "minres": MINRESSolver,
+    "tfqmr": TFQMRSolver,
+    "cgnr": CGNRSolver,
+}
+
+__all__ = [
+    "BiCGSolver",
+    "BiCGStabSolver",
+    "CGNRSolver",
+    "CGSolver",
+    "CGSSolver",
+    "GMRESSolver",
+    "KrylovSolver",
+    "MINRESSolver",
+    "PCGSolver",
+    "SOLVER_REGISTRY",
+    "SolveResult",
+    "TFQMRSolver",
+]

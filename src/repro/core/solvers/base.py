@@ -1,0 +1,136 @@
+"""Solver base class and the drive loop.
+
+A solver in LegionSolvers is "any object that can be constructed from a
+planner and exposes a ``step()`` method", optionally with
+``get_convergence_measure()`` (paper §5, Figure 7).  All stock solvers
+share a common interface so they are drop-in replaceable, and are
+written *exclusively* against the planner's solver-facing operations —
+no solver ever mentions storage formats, components, partitions, or
+data movement.
+
+:meth:`KrylovSolver.solve` drives ``step()`` until the convergence
+measure falls below a threshold, wrapping each iteration in a dynamic
+trace (iteration 1 records, later iterations replay at reduced runtime
+overhead — the optimization the paper's large-scale runs enable) and
+snapshotting the simulated clock so per-iteration times are available to
+benchmarks and load balancers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..planner import Planner
+
+__all__ = ["KrylovSolver", "SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`KrylovSolver.solve` run."""
+
+    converged: bool
+    iterations: int
+    final_measure: float
+    measure_history: List[float] = field(default_factory=list)
+    sim_time_marks: List[float] = field(default_factory=list)
+
+    @property
+    def iteration_times(self) -> np.ndarray:
+        """Simulated seconds of each iteration."""
+        return np.diff(np.asarray(self.sim_time_marks))
+
+    @property
+    def mean_iteration_time(self) -> float:
+        t = self.iteration_times
+        return float(t.mean()) if t.size else 0.0
+
+
+class KrylovSolver(ABC):
+    """Common interface of all KSMs: construct from a planner, ``step()``."""
+
+    #: Human-readable solver name (used by benchmarks and reports).
+    name: str = "ksm"
+
+    def __init__(self, planner: Planner):
+        self.planner = planner
+        self.iterations_done = 0
+
+    @abstractmethod
+    def step(self) -> None:
+        """Advance the approximation by one (outer) iteration."""
+
+    def get_convergence_measure(self) -> float:
+        """A scalar measuring progress, conventionally ``‖A x − b‖``-like;
+        solvers that track a residual internally override this with a
+        task-free read."""
+        return float(self.planner.residual_norm())
+
+    # -- drive loop ----------------------------------------------------------
+
+    def solve(
+        self,
+        tolerance: float = 1e-8,
+        max_iterations: int = 1000,
+        use_tracing: bool = True,
+        callback=None,
+    ) -> SolveResult:
+        """Repeatedly ``step()`` until the convergence measure drops below
+        ``tolerance`` (paper §5)."""
+        runtime = self.planner.runtime
+        trace_id = ("solver", id(self))
+        history: List[float] = []
+        marks: List[float] = [runtime.sim_time]
+        measure = float(self.get_convergence_measure())
+        converged = measure <= tolerance
+        it = 0
+        while not converged and it < max_iterations:
+            if use_tracing:
+                runtime.begin_trace(trace_id)
+            self.step()
+            if use_tracing:
+                runtime.end_trace(trace_id)
+            it += 1
+            self.iterations_done += 1
+            measure = float(self.get_convergence_measure())
+            history.append(measure)
+            marks.append(runtime.sim_time)
+            if callback is not None:
+                callback(self, it, measure)
+            if not np.isfinite(measure):
+                break
+            converged = measure <= tolerance
+        return SolveResult(
+            converged=converged,
+            iterations=it,
+            final_measure=measure,
+            measure_history=history,
+            sim_time_marks=marks,
+        )
+
+    def run_fixed(self, n_iterations: int, use_tracing: bool = True) -> SolveResult:
+        """Run exactly ``n_iterations`` steps regardless of convergence —
+        the benchmarking mode of the paper's Figure 8 runs (which disable
+        convergence exits with extreme tolerances)."""
+        runtime = self.planner.runtime
+        trace_id = ("solver", id(self))
+        marks: List[float] = [runtime.sim_time]
+        for _ in range(n_iterations):
+            if use_tracing:
+                runtime.begin_trace(trace_id)
+            self.step()
+            if use_tracing:
+                runtime.end_trace(trace_id)
+            self.iterations_done += 1
+            marks.append(runtime.sim_time)
+        return SolveResult(
+            converged=False,
+            iterations=n_iterations,
+            final_measure=float(self.get_convergence_measure()),
+            measure_history=[],
+            sim_time_marks=marks,
+        )

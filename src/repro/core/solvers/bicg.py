@@ -1,0 +1,119 @@
+"""BiCG and CGS: the unsymmetric Lanczos family.
+
+BiCG (biconjugate gradient) runs two coupled recurrences, one with
+``A`` and one with ``A*`` — it is the stock solver that exercises the
+planner's adjoint matrix-vector product (``matmul_adjoint``), and hence
+the transpose piece kernels and the reversed co-partitioning direction.
+
+CGS (conjugate gradient squared) squares the BiCG polynomial to avoid
+the adjoint product entirely at the cost of rougher convergence; it is
+the historical stepping stone to BiCGStab and included for solver-zoo
+completeness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..planner import RHS, SOL, Planner
+from .base import KrylovSolver
+
+__all__ = ["BiCGSolver", "CGSSolver"]
+
+
+class BiCGSolver(KrylovSolver):
+    """Biconjugate gradient (Fletcher's variant, unpreconditioned)."""
+
+    name = "bicg"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+        alloc = planner.allocate_workspace_vector
+        self.R = alloc()
+        self.RT = alloc()  # shadow residual
+        self.P = alloc()
+        self.PT = alloc()
+        self.Q = alloc()
+        self.QT = alloc()
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.copy(self.RT, self.R)
+        planner.copy(self.P, self.R)
+        planner.copy(self.PT, self.RT)
+        self.rho = planner.dot(self.RT, self.R)
+        self.res = planner.dot(self.R, self.R)
+
+    def step(self) -> None:
+        planner = self.planner
+        planner.matmul(self.Q, self.P)
+        planner.matmul_adjoint(self.QT, self.PT)
+        denom = planner.dot(self.PT, self.Q)
+        alpha = self.rho / denom
+        planner.axpy(SOL, alpha, self.P)
+        planner.axpy(self.R, -alpha, self.Q)
+        planner.axpy(self.RT, -alpha, self.QT)
+        new_rho = planner.dot(self.RT, self.R)
+        beta = new_rho / self.rho
+        planner.xpay(self.P, beta, self.R)
+        planner.xpay(self.PT, beta, self.RT)
+        self.rho = new_rho
+        self.res = planner.dot(self.R, self.R)
+
+    def get_convergence_measure(self) -> float:
+        return math.sqrt(max(self.res.value, 0.0))
+
+
+class CGSSolver(KrylovSolver):
+    """Conjugate gradient squared (Sonneveld 1989)."""
+
+    name = "cgs"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+        alloc = planner.allocate_workspace_vector
+        self.R = alloc()
+        self.R0 = alloc()
+        self.P = alloc()
+        self.U = alloc()
+        self.Q = alloc()
+        self.V = alloc()
+        self.W = alloc()
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.copy(self.R0, self.R)
+        planner.copy(self.P, self.R)
+        planner.copy(self.U, self.R)
+        self.rho = planner.dot(self.R0, self.R)
+        self.res = planner.dot(self.R, self.R)
+
+    def step(self) -> None:
+        planner = self.planner
+        planner.matmul(self.V, self.P)
+        sigma = planner.dot(self.R0, self.V)
+        alpha = self.rho / sigma
+        # q ← u − α v
+        planner.copy(self.Q, self.U)
+        planner.axpy(self.Q, -alpha, self.V)
+        # w ← u + q ; x ← x + α w
+        planner.copy(self.W, self.U)
+        planner.axpy(self.W, 1.0, self.Q)
+        planner.axpy(SOL, alpha, self.W)
+        # r ← r − α A w
+        planner.matmul(self.V, self.W)
+        planner.axpy(self.R, -alpha, self.V)
+        new_rho = planner.dot(self.R0, self.R)
+        beta = new_rho / self.rho
+        # u ← r + β q ; p ← u + β (q + β p)
+        planner.copy(self.U, self.R)
+        planner.axpy(self.U, beta, self.Q)
+        planner.xpay(self.P, beta, self.Q)  # p ← q + β p
+        planner.xpay(self.P, beta, self.U)  # p ← u + β p  (= u + β(q + β p))
+        self.rho = new_rho
+        self.res = planner.dot(self.R, self.R)
+
+    def get_convergence_measure(self) -> float:
+        return math.sqrt(max(self.res.value, 0.0))

@@ -1,0 +1,91 @@
+"""Conjugate gradient (Hestenes & Stiefel 1952).
+
+:class:`CGSolver` is a line-for-line Python transcription of the
+paper's Figure 7 C++ listing — the same workspace vectors ``P, Q, R``,
+the same planner calls in the same order — with one generalization: the
+initial residual is ``b − A x₀`` rather than Figure 7's implicit-zero
+initial guess (``copy(R, RHS)``), so nonzero initial guesses work; with
+``x₀ = 0`` the two coincide.
+
+:class:`PCGSolver` is the preconditioned variant, using ``psolve``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..planner import RHS, SOL, Planner
+from ..scalar import Scalar
+from .base import KrylovSolver
+
+__all__ = ["CGSolver", "PCGSolver"]
+
+
+class CGSolver(KrylovSolver):
+    """Unpreconditioned conjugate gradient (paper Figure 7)."""
+
+    name = "cg"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+        self.P = planner.allocate_workspace_vector()
+        self.Q = planner.allocate_workspace_vector()
+        self.R = planner.allocate_workspace_vector()
+        # R ← b − A x₀ (Figure 7 assumes x₀ = 0 and copies RHS).
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.copy(self.P, self.R)
+        self.res: Scalar = planner.dot(self.R, self.R)  # squared residual
+
+    def step(self) -> None:
+        planner = self.planner
+        planner.matmul(self.Q, self.P)
+        p_norm = planner.dot(self.P, self.Q)
+        planner.axpy(SOL, self.res / p_norm, self.P)
+        planner.axpy(self.R, -(self.res / p_norm), self.Q)
+        new_res = planner.dot(self.R, self.R)
+        planner.xpay(self.P, new_res / self.res, self.R)
+        self.res = new_res
+
+    def get_convergence_measure(self) -> float:
+        return math.sqrt(max(self.res.value, 0.0))
+
+
+class PCGSolver(KrylovSolver):
+    """Preconditioned conjugate gradient: requires a (symmetric positive
+    definite) preconditioner registered via ``add_preconditioner``."""
+
+    name = "pcg"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert planner.has_preconditioner()
+        self.P = planner.allocate_workspace_vector()
+        self.Q = planner.allocate_workspace_vector()
+        self.R = planner.allocate_workspace_vector()
+        self.Z = planner.allocate_workspace_vector()
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.psolve(self.Z, self.R)
+        planner.copy(self.P, self.Z)
+        self.rz: Scalar = planner.dot(self.R, self.Z)
+        self.res: Scalar = planner.dot(self.R, self.R)
+
+    def step(self) -> None:
+        planner = self.planner
+        planner.matmul(self.Q, self.P)
+        p_norm = planner.dot(self.P, self.Q)
+        alpha = self.rz / p_norm
+        planner.axpy(SOL, alpha, self.P)
+        planner.axpy(self.R, -alpha, self.Q)
+        planner.psolve(self.Z, self.R)
+        new_rz = planner.dot(self.R, self.Z)
+        planner.xpay(self.P, new_rz / self.rz, self.Z)
+        self.rz = new_rz
+        self.res = planner.dot(self.R, self.R)
+
+    def get_convergence_measure(self) -> float:
+        return math.sqrt(max(self.res.value, 0.0))

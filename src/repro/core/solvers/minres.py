@@ -1,0 +1,96 @@
+"""MINRES (Paige & Saunders 1975) for symmetric indefinite systems.
+
+Implemented with the standard Lanczos three-term recurrence and Givens
+rotations, entirely through planner operations (one matrix-vector
+product and two inner products per step).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..planner import RHS, SOL, Planner
+from .base import KrylovSolver
+
+__all__ = ["MINRESSolver"]
+
+
+class MINRESSolver(KrylovSolver):
+    """Minimum residual method for symmetric (possibly indefinite) A."""
+
+    name = "minres"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+        alloc = planner.allocate_workspace_vector
+        # Lanczos vectors v_{k-1}, v_k, v_{k+1}; direction history d, d_old; work w.
+        self.V_prev = alloc()
+        self.V = alloc()
+        self.V_next = alloc()
+        self.D = alloc()
+        self.D_old = alloc()
+        self.W = alloc()
+        planner.fill(self.V_prev, 0.0)
+        planner.fill(self.D, 0.0)
+        planner.fill(self.D_old, 0.0)
+        # v₁ ← (b − A x₀) / β₁
+        planner.matmul(self.V, SOL)
+        planner.xpay(self.V, -1.0, RHS)
+        beta = planner.norm(self.V)
+        self.beta = float(beta.value)
+        if self.beta > 0:
+            planner.scal(self.V, 1.0 / beta)
+        # Givens state.
+        self.eta = self.beta
+        self.c_old, self.c = 1.0, 1.0
+        self.s_old, self.s = 0.0, 0.0
+        self.residual = self.beta
+
+    def step(self) -> None:
+        planner = self.planner
+        if self.residual == 0.0:
+            return
+        # Lanczos: v_{k+1} = A v_k − α v_k − β v_{k-1}
+        planner.matmul(self.V_next, self.V)
+        alpha = planner.dot(self.V, self.V_next)
+        planner.axpy(self.V_next, -alpha, self.V)
+        planner.axpy(self.V_next, -self.beta, self.V_prev)
+        beta_next = planner.norm(self.V_next)
+
+        a = float(alpha.value)
+        b_new = float(beta_next.value)
+        # Apply the two previous rotations to the new column (a, β).
+        delta = self.c * a - self.c_old * self.s * self.beta
+        rho2 = self.s * a + self.c_old * self.c * self.beta
+        rho3 = self.s_old * self.beta
+        rho1 = math.hypot(delta, b_new)
+        if rho1 == 0.0:
+            self.residual = 0.0
+            return
+        c_new = delta / rho1
+        s_new = b_new / rho1
+
+        # dₖ = (vₖ − ρ₂ d_{k-1} − ρ₃ d_{k-2}) / ρ₁  — build in W.
+        planner.copy(self.W, self.V)
+        planner.axpy(self.W, -rho2, self.D)
+        planner.axpy(self.W, -rho3, self.D_old)
+        planner.scal(self.W, 1.0 / rho1)
+        # x ← x + c·η·dₖ
+        planner.axpy(SOL, c_new * self.eta, self.W)
+        # Rotate histories.
+        planner.copy(self.D_old, self.D)
+        planner.copy(self.D, self.W)
+        planner.copy(self.V_prev, self.V)
+        if b_new > 0:
+            planner.copy(self.V, self.V_next)
+            planner.scal(self.V, 1.0 / beta_next)
+        self.beta = b_new
+        self.eta = -s_new * self.eta
+        self.c_old, self.c = self.c, c_new
+        self.s_old, self.s = self.s, s_new
+        self.residual = abs(self.eta)
+
+    def get_convergence_measure(self) -> float:
+        return self.residual

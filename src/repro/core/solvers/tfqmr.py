@@ -1,0 +1,126 @@
+"""TFQMR and CGNR: zoo extensions beyond the paper's three benchmarks.
+
+* **TFQMR** (Freund 1993) — transpose-free quasi-minimal residual: the
+  smoothed cousin of CGS, popular where BiCGStab's breakdown modes
+  bite.  Needs only forward products.
+* **CGNR** — CG on the normal equations ``AᵀA x = Aᵀ b``: the classic
+  fallback for general (even rectangular) systems, and the second stock
+  solver exercising the planner's adjoint product.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..planner import RHS, SOL, Planner
+from .base import KrylovSolver
+
+__all__ = ["TFQMRSolver", "CGNRSolver"]
+
+
+class TFQMRSolver(KrylovSolver):
+    """Transpose-free QMR (Freund's algorithm, unpreconditioned)."""
+
+    name = "tfqmr"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+        alloc = planner.allocate_workspace_vector
+        self.R = alloc()    # residual r_k (of the underlying CGS)
+        self.R0 = alloc()   # shadow residual
+        self.W = alloc()
+        self.U = alloc()
+        self.V = alloc()
+        self.D = alloc()
+        self.AU = alloc()
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.copy(self.R0, self.R)
+        planner.copy(self.W, self.R)
+        planner.copy(self.U, self.R)
+        planner.matmul(self.V, self.U)
+        planner.copy(self.AU, self.V)
+        planner.fill(self.D, 0.0)
+        self.rho = planner.dot(self.R0, self.R)
+        self.tau = float(planner.norm(self.R).value)
+        self.theta = 0.0
+        self.eta = 0.0
+
+    def step(self) -> None:
+        """One TFQMR iteration = two half-steps of the CGS recurrence
+        with quasi-minimization smoothing."""
+        planner = self.planner
+        sigma = planner.dot(self.R0, self.V)
+        if sigma.value == 0.0:
+            return
+        alpha = self.rho / sigma
+        for m in (0, 1):
+            if m == 1:
+                # u ← u − α v ; Au recomputed for the second half-step.
+                planner.axpy(self.U, -alpha, self.V)
+                planner.matmul(self.AU, self.U)
+            # w ← w − α (A u)
+            planner.axpy(self.W, -alpha, self.AU)
+            # d ← u + (θ² η / α) d
+            theta2_eta = (self.theta * self.theta * self.eta) / alpha.value if alpha.value else 0.0
+            planner.xpay(self.D, theta2_eta, self.U)
+            self.theta = float(planner.norm(self.W).value) / self.tau if self.tau else 0.0
+            c = 1.0 / math.sqrt(1.0 + self.theta * self.theta)
+            self.tau = self.tau * self.theta * c
+            self.eta = c * c * alpha.value
+            planner.axpy(SOL, self.eta, self.D)
+        # CGS continuation.
+        new_rho = planner.dot(self.R0, self.W)
+        beta = new_rho / self.rho
+        # u ← w + β u ; v ← A u + β (A u_old + β v)
+        planner.xpay(self.U, beta, self.W)
+        planner.matmul(self.R, self.U)  # reuse R as A u scratch
+        planner.xpay(self.V, beta, self.AU)   # v ← Au_old + β v
+        planner.scal(self.V, beta.value)      # v ← β (Au_old + β v)
+        planner.axpy(self.V, 1.0, self.R)     # v ← A u + β(Au_old + β v)
+        planner.copy(self.AU, self.R)
+        self.rho = new_rho
+
+    def get_convergence_measure(self) -> float:
+        # τ bounds the true residual up to √(2k+1); it is the standard
+        # TFQMR convergence monitor.
+        return self.tau
+
+
+class CGNRSolver(KrylovSolver):
+    """CG on the normal equations (supports rectangular systems)."""
+
+    name = "cgnr"
+
+    def __init__(self, planner: Planner):
+        super().__init__(planner)
+        assert not planner.has_preconditioner()
+        alloc = planner.allocate_workspace_vector
+        self.R = alloc(RHS)     # residual b − A x (range shaped)
+        self.Z = alloc(SOL)     # Aᵀ r (domain shaped)
+        self.P = alloc(SOL)
+        self.Q = alloc(RHS)
+        planner.matmul(self.R, SOL)
+        planner.xpay(self.R, -1.0, RHS)
+        planner.matmul_adjoint(self.Z, self.R)
+        planner.copy(self.P, self.Z)
+        self.zz = planner.dot(self.Z, self.Z)
+        self.res = planner.dot(self.R, self.R)
+
+    def step(self) -> None:
+        planner = self.planner
+        planner.matmul(self.Q, self.P)
+        qq = planner.dot(self.Q, self.Q)
+        alpha = self.zz / qq
+        planner.axpy(SOL, alpha, self.P)
+        planner.axpy(self.R, -alpha, self.Q)
+        planner.matmul_adjoint(self.Z, self.R)
+        new_zz = planner.dot(self.Z, self.Z)
+        planner.xpay(self.P, new_zz / self.zz, self.Z)
+        self.zz = new_zz
+        self.res = planner.dot(self.R, self.R)
+
+    def get_convergence_measure(self) -> float:
+        return math.sqrt(max(self.res.value, 0.0))

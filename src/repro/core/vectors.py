@@ -1,0 +1,124 @@
+"""Multi-component vectors (paper §4).
+
+A *multi-component vector* ``(x₁, …, x_n)`` is a sequence of vector
+components indexed by separate index spaces whose disjoint union forms
+the total domain (or range) space.  Components are stored in place in
+their own logical regions — possibly attached to user arrays that were
+never relocated (paper P4) — and each carries a *canonical partition*
+(complete and disjoint, paper §5) that subdivides its linear-algebra
+tasks into point tasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.index_space import IndexSpace
+from ..runtime.partition import Partition
+from ..runtime.region import LogicalRegion, RegionStore
+from ..runtime.runtime import Runtime
+
+__all__ = ["VectorComponent", "MultiVector"]
+
+_counter = itertools.count()
+
+#: Name of the single field every vector component region carries.
+VALUE_FIELD = "v"
+
+
+class VectorComponent:
+    """One component: an index space, a region, a canonical partition."""
+
+    __slots__ = ("space", "region", "partition", "piece_offset")
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        space: IndexSpace,
+        partition: Optional[Partition] = None,
+        data: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+    ):
+        self.space = space
+        self.region = runtime.create_region(
+            space, {VALUE_FIELD: np.dtype(np.float64)}, name=name or f"vec{next(_counter)}"
+        )
+        if data is not None:
+            runtime.attach(self.region, VALUE_FIELD, np.asarray(data, dtype=np.float64))
+        else:
+            runtime.allocate(self.region, VALUE_FIELD)
+        if partition is None:
+            partition = Partition.equal(space, 1)
+        if partition.parent is not space:
+            raise ValueError("canonical partition must partition the component's space")
+        if not (partition.is_disjoint and partition.is_complete):
+            raise ValueError("canonical partitions must be complete and disjoint (paper §5)")
+        self.partition = partition
+        self.piece_offset = 0  # assigned by the owning MultiVector
+
+    @property
+    def volume(self) -> int:
+        return self.space.volume
+
+    @property
+    def n_pieces(self) -> int:
+        return self.partition.n_colors
+
+
+class MultiVector:
+    """A sequence of components forming one logical vector."""
+
+    def __init__(self, components: Sequence[VectorComponent]):
+        if not components:
+            raise ValueError("a multi-component vector needs at least one component")
+        self.components: List[VectorComponent] = list(components)
+        offset = 0
+        for comp in self.components:
+            comp.piece_offset = offset
+            offset += comp.n_pieces
+        self.total_pieces = offset
+
+    @property
+    def total_volume(self) -> int:
+        return sum(c.volume for c in self.components)
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    def spaces(self) -> List[IndexSpace]:
+        return [c.space for c in self.components]
+
+    def shape_signature(self) -> tuple:
+        """Component volumes; two vectors with equal signatures can be
+        combined component-wise."""
+        return tuple(c.volume for c in self.components)
+
+    def to_array(self, store: RegionStore) -> np.ndarray:
+        """Concatenated copy of the logical total vector, in component
+        order (tests and convergence reporting only)."""
+        return np.concatenate(
+            [store.raw(c.region, VALUE_FIELD) for c in self.components]
+        )
+
+    def set_array(self, store: RegionStore, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size != self.total_volume:
+            raise ValueError("value length must match the total volume")
+        pos = 0
+        for c in self.components:
+            store.raw(c.region, VALUE_FIELD)[:] = values[pos : pos + c.volume]
+            pos += c.volume
+
+    def like(self, runtime: Runtime) -> "MultiVector":
+        """A freshly allocated vector with identical spaces/partitions
+        (workspace allocation)."""
+        return MultiVector(
+            [
+                VectorComponent(runtime, c.space, c.partition)
+                for c in self.components
+            ]
+        )

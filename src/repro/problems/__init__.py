@@ -1,0 +1,42 @@
+"""Workload generators: the paper's stencil families, multi-operator
+splittings, the boundary-coupling (P4) scenario, and synthetic systems
+for tests."""
+
+from .boundary import BoundaryCoupledProblem, coupled_boundary_problem
+from .generators import (
+    convection_diffusion_2d,
+    random_diag_dominant,
+    random_spd,
+    symmetric_indefinite,
+    system_with_solution,
+    tridiagonal_toeplitz,
+)
+from .multiop_split import SplitSystem, band_bounds, split_laplacian_2d
+from .stencil import (
+    STENCILS,
+    grid_shape_for,
+    laplacian_csr,
+    laplacian_scipy,
+    stencil_nnz_estimate,
+    stencil_offsets,
+)
+
+__all__ = [
+    "BoundaryCoupledProblem",
+    "STENCILS",
+    "SplitSystem",
+    "band_bounds",
+    "convection_diffusion_2d",
+    "coupled_boundary_problem",
+    "grid_shape_for",
+    "laplacian_csr",
+    "laplacian_scipy",
+    "random_diag_dominant",
+    "random_spd",
+    "split_laplacian_2d",
+    "stencil_nnz_estimate",
+    "stencil_offsets",
+    "symmetric_indefinite",
+    "system_with_solution",
+    "tridiagonal_toeplitz",
+]

@@ -1,0 +1,118 @@
+"""Splitting stencil systems into multi-operator formulations.
+
+Two experiments of the paper need a single logical stencil system cut
+into pieces:
+
+* **Figure 9** splits the 5-point Laplacian on a ``2ⁿ × 2ⁿ`` grid into
+  two half-grid domains with four CSR matrices — two self-interaction
+  blocks and two boundary-interaction blocks (§6.2).
+  :func:`split_laplacian_2d` generalizes this to ``n_bands`` row bands.
+
+* **Figure 10** subdivides a square grid into 64 domain pieces and cuts
+  the matrix into ``64 × 64`` tiles (of which only the tridiagonal band
+  of tiles is nonzero for a 5-point stencil) (§6.3).
+  The same function provides it with ``n_bands = 64``.
+
+Splitting is performed on the assembled global matrix by row/column
+block slicing; each nonzero tile becomes an independent
+:class:`~repro.sparse.csr.CSRMatrix` over the band index spaces, so the
+result plugs directly into ``planner.add_operator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..runtime.index_space import IndexSpace
+from ..sparse.csr import CSRMatrix
+from .stencil import laplacian_scipy
+
+__all__ = ["SplitSystem", "split_laplacian_2d", "band_bounds"]
+
+
+@dataclass
+class SplitSystem:
+    """A stencil system cut into row bands.
+
+    ``tiles`` holds ``(matrix, src_band, dst_band)`` triples: the tile
+    mapping solution band ``src`` into RHS band ``dst`` (only nonzero
+    tiles are materialized).  ``spaces[i]`` is the index space of band
+    ``i``; solution and RHS components share spaces (square system).
+    """
+
+    grid_shape: Tuple[int, int]
+    n_bands: int
+    spaces: List[IndexSpace]
+    band_sizes: List[int]
+    tiles: List[Tuple[CSRMatrix, int, int]]
+    global_matrix: sp.csr_matrix
+
+    @property
+    def n_unknowns(self) -> int:
+        return int(self.global_matrix.shape[0])
+
+    def tile_grid(self) -> np.ndarray:
+        """Boolean ``n_bands × n_bands`` map of nonzero tiles."""
+        grid = np.zeros((self.n_bands, self.n_bands), dtype=bool)
+        for _, src, dst in self.tiles:
+            grid[dst, src] = True
+        return grid
+
+
+def band_bounds(n_rows_grid: int, n_bands: int) -> np.ndarray:
+    """Grid-row split points for ``n_bands`` near-equal row bands."""
+    if not 1 <= n_bands <= n_rows_grid:
+        raise ValueError(f"cannot cut {n_rows_grid} grid rows into {n_bands} bands")
+    return np.linspace(0, n_rows_grid, n_bands + 1, dtype=np.int64)
+
+
+def split_laplacian_2d(grid_shape: Tuple[int, int], n_bands: int) -> SplitSystem:
+    """Cut the 2-D 5-point Laplacian into ``n_bands`` horizontal bands.
+
+    With ``n_bands = 2`` this is exactly the paper's Figure 9 system:
+    self-interaction matrices ``A₁₁, A₂₂`` and boundary-interaction
+    matrices ``A₁₂, A₂₁``.  For a 5-point stencil, only tiles with
+    ``|dst − src| ≤ 1`` are nonzero, so the tile count grows linearly.
+    """
+    nx, ny = grid_shape
+    A = laplacian_scipy("2d5", grid_shape)
+    cuts = band_bounds(nx, n_bands)
+    row_bounds = cuts * ny  # unknown-index bounds of each band
+    sizes = [int(row_bounds[b + 1] - row_bounds[b]) for b in range(n_bands)]
+    spaces = [
+        IndexSpace.linear(sizes[b], name=f"D_band{b}") for b in range(n_bands)
+    ]
+    tiles: List[Tuple[CSRMatrix, int, int]] = []
+    csr = A.tocsr()
+    for dst in range(n_bands):
+        r0, r1 = int(row_bounds[dst]), int(row_bounds[dst + 1])
+        for src in range(max(0, dst - 1), min(n_bands, dst + 2)):
+            c0, c1 = int(row_bounds[src]), int(row_bounds[src + 1])
+            tile = csr[r0:r1, c0:c1].tocsr()
+            if tile.nnz == 0:
+                continue
+            tiles.append(
+                (
+                    CSRMatrix(
+                        np.asarray(tile.data, dtype=np.float64),
+                        tile.indices.astype(np.int64),
+                        tile.indptr.astype(np.int64),
+                        domain_space=spaces[src],
+                        range_space=spaces[dst],
+                    ),
+                    src,
+                    dst,
+                )
+            )
+    return SplitSystem(
+        grid_shape=grid_shape,
+        n_bands=n_bands,
+        spaces=spaces,
+        band_sizes=sizes,
+        tiles=tiles,
+        global_matrix=csr,
+    )

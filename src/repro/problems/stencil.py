@@ -1,0 +1,147 @@
+"""Laplacian stencil matrices — the paper's benchmark workloads (§6.1).
+
+The four problem families of Figure 8, generated at runtime exactly as
+the paper's ``BenchmarkStencil`` programs do (no external datasets):
+
+* ``"1d3"``  — 3-point stencil for the 1-D Laplacian
+* ``"2d5"``  — 5-point stencil for the 2-D Laplacian
+* ``"3d7"``  — 7-point stencil for the 3-D Laplacian
+* ``"3d27"`` — 27-point stencil for the 3-D Laplacian
+
+All constructions are fully vectorized: one coordinate-shift per stencil
+offset, masked at the boundary (homogeneous Dirichlet), assembled
+straight into CSR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..runtime.index_space import IndexSpace
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "STENCILS",
+    "stencil_offsets",
+    "laplacian_scipy",
+    "laplacian_csr",
+    "grid_shape_for",
+    "stencil_nnz_estimate",
+]
+
+#: Stencil kind → spatial dimension.
+STENCILS: Dict[str, int] = {"1d3": 1, "2d5": 2, "3d7": 3, "3d27": 3}
+
+
+def stencil_offsets(kind: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Offsets ``(m, dim)`` and weights ``(m,)`` of a stencil kind.
+
+    Off-center weights are −1; the center weight makes row sums zero on
+    interior cells (2, 4, 6, and 26 respectively), the standard
+    finite-difference Laplacian.
+    """
+    if kind not in STENCILS:
+        raise KeyError(f"unknown stencil {kind!r}; choose from {sorted(STENCILS)}")
+    dim = STENCILS[kind]
+    if kind == "3d27":
+        grids = np.stack(
+            np.meshgrid(*([[-1, 0, 1]] * 3), indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        center = np.all(grids == 0, axis=1)
+        offsets = np.concatenate([grids[center], grids[~center]])
+        weights = np.concatenate([[26.0], -np.ones(26)])
+        return offsets.astype(np.int64), weights
+    offsets = [np.zeros(dim, dtype=np.int64)]
+    weights = [2.0 * dim]
+    for d in range(dim):
+        for s in (-1, 1):
+            off = np.zeros(dim, dtype=np.int64)
+            off[d] = s
+            offsets.append(off)
+            weights.append(-1.0)
+    return np.stack(offsets), np.asarray(weights)
+
+
+def grid_shape_for(kind: str, n_unknowns: int) -> Tuple[int, ...]:
+    """A near-cubic grid shape with roughly ``n_unknowns`` cells, using
+    power-of-two extents like the paper's sweeps."""
+    dim = STENCILS[kind]
+    side = max(1, round(n_unknowns ** (1.0 / dim)))
+    # Snap to the nearest power of two per dimension, largest dims first.
+    side = 1 << max(0, int(round(np.log2(side))))
+    shape = [side] * dim
+    # Adjust the leading dimension so the product is close to the target.
+    total = int(np.prod(shape))
+    while total < n_unknowns:
+        shape[0] *= 2
+        total *= 2
+    while total > n_unknowns and shape[0] > 1:
+        shape[0] //= 2
+        total //= 2
+    return tuple(shape)
+
+
+def stencil_nnz_estimate(kind: str, shape: Tuple[int, ...]) -> int:
+    """Exact nonzero count of the Dirichlet Laplacian on ``shape``."""
+    offsets, _ = stencil_offsets(kind)
+    n = 1
+    total = 0
+    for off in offsets:
+        cells = 1
+        for extent, o in zip(shape, off):
+            cells *= max(0, extent - abs(int(o)))
+        total += cells
+    return total
+
+
+def laplacian_scipy(kind: str, shape: Tuple[int, ...]) -> sp.csr_matrix:
+    """The stencil matrix as a SciPy CSR matrix (baselines, verification)."""
+    offsets, weights = stencil_offsets(kind)
+    dim = STENCILS[kind]
+    if len(shape) != dim:
+        raise ValueError(f"{kind} needs a {dim}-D shape, got {shape}")
+    n = int(np.prod(shape))
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s, dtype=np.int64) for s in shape], indexing="ij"),
+        axis=-1,
+    ).reshape(-1, dim)
+    strides = np.array(
+        [int(np.prod(shape[d + 1 :])) for d in range(dim)], dtype=np.int64
+    )
+    lin = coords @ strides
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for off, w in zip(offsets, weights):
+        shifted = coords + off
+        valid = np.all((shifted >= 0) & (shifted < np.asarray(shape)), axis=1)
+        rows_parts.append(lin[valid])
+        cols_parts.append(shifted[valid] @ strides)
+        vals_parts.append(np.full(int(valid.sum()), w))
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    vals = np.concatenate(vals_parts)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def laplacian_csr(
+    kind: str,
+    shape: Tuple[int, ...],
+    domain_space: Optional[IndexSpace] = None,
+    range_space: Optional[IndexSpace] = None,
+) -> CSRMatrix:
+    """The stencil matrix in the KDR CSR format."""
+    A = laplacian_scipy(kind, shape)
+    n = A.shape[0]
+    if domain_space is None:
+        domain_space = IndexSpace.linear(n, name=f"D_{kind}")
+    if range_space is None:
+        range_space = domain_space
+    return CSRMatrix(
+        np.asarray(A.data, dtype=np.float64),
+        A.indices.astype(np.int64),
+        A.indptr.astype(np.int64),
+        domain_space=domain_space,
+        range_space=range_space,
+    )

@@ -1,0 +1,96 @@
+"""Legion-model task runtime substrate.
+
+This package reimplements, in pure Python, the slice of the Legion
+programming model that KDRSolvers depends on: structured index spaces,
+logical regions with typed fields, partitions, dependent-partitioning
+projections (images and preimages along relations), tasks with region
+requirements, futures, index launches, mappers, and dynamic tracing —
+together with a discrete-event simulator that models execution on a
+parametric distributed machine (see DESIGN.md for the substitution
+rationale).
+
+Numerics execute eagerly and exactly in NumPy; only *time* is simulated.
+"""
+
+from .deppart import (
+    ComputedRelation,
+    FullRelation,
+    FunctionalRelation,
+    IdentityRelation,
+    IntervalRelation,
+    PairsRelation,
+    Relation,
+    image,
+    image_subset,
+    partition_difference,
+    partition_intersection,
+    partition_union,
+    preimage,
+    preimage_subset,
+)
+from .engine import Engine, TimelineEntry
+from .future import Future
+from .geometry import Point, Rect
+from .index_space import IndexSpace
+from .machine import (
+    Device,
+    Machine,
+    ProcKind,
+    laptop,
+    lassen,
+    lassen_scaled,
+    max_unknowns_in_memory,
+)
+from .mapper import Mapper, RoundRobinMapper, ShardedMapper, TableMapper
+from .partition import Partition
+from .region import FieldSpace, LogicalRegion, Privilege, RegionAccessor, RegionStore
+from .runtime import Runtime
+from .subset import Subset
+from .task import IndexLauncher, RegionRequirement, TaskContext, TaskLauncher, TaskRecord
+
+__all__ = [
+    "ComputedRelation",
+    "Device",
+    "Engine",
+    "FieldSpace",
+    "FunctionalRelation",
+    "Future",
+    "IdentityRelation",
+    "IndexLauncher",
+    "IndexSpace",
+    "IntervalRelation",
+    "LogicalRegion",
+    "Machine",
+    "Mapper",
+    "PairsRelation",
+    "Partition",
+    "Point",
+    "Privilege",
+    "ProcKind",
+    "Rect",
+    "RegionAccessor",
+    "RegionRequirement",
+    "RegionStore",
+    "Relation",
+    "RoundRobinMapper",
+    "Runtime",
+    "ShardedMapper",
+    "Subset",
+    "TableMapper",
+    "TaskContext",
+    "TaskLauncher",
+    "TaskRecord",
+    "TimelineEntry",
+    "FullRelation",
+    "image",
+    "image_subset",
+    "partition_difference",
+    "partition_intersection",
+    "partition_union",
+    "laptop",
+    "lassen",
+    "lassen_scaled",
+    "max_unknowns_in_memory",
+    "preimage",
+    "preimage_subset",
+]

@@ -1,0 +1,429 @@
+"""Dependent partitioning: relations and image/preimage projections.
+
+This module implements the dependent-partitioning operators of Treichler
+et al. (OOPSLA '16) that KDRSolvers builds on (paper §3.1):
+
+* a :class:`Relation` between two index spaces ``I`` and ``J`` — the
+  abstraction under which the row and column relations of every sparse
+  matrix storage format are expressed (paper Figure 3);
+* :func:`image` — given a partition ``P`` of ``I``, the partition ``Q``
+  of ``J`` with ``Q(c) = { j | ∃ i ∈ P(c) : (i, j) ∈ R }`` (paper eq. 3);
+* :func:`preimage` — given a partition ``Q`` of ``J``, the partition
+  ``P`` of ``I`` with ``P(c) = { i | ∃ j ∈ Q(c) : (i, j) ∈ R }``
+  (paper eq. 4).
+
+Concrete relation classes cover the metadata shapes of Figure 3:
+
+* :class:`FunctionalRelation` — a stored function ``I → J`` (COO's
+  ``row``/``col`` arrays).
+* :class:`ComputedRelation` — a function ``I → J`` computed from
+  coordinates with no stored metadata (the "(implicit)" rows of
+  Figure 3: dense, ELL, DIA projections).
+* :class:`IntervalRelation` — maps each ``j ∈ J`` to a contiguous
+  interval of a totally ordered ``I`` (CSR/CSC/BCSR ``rowptr``/
+  ``colptr``).  Note the orientation: as a relation ⊆ I × J, point ``i``
+  is related to ``j`` iff ``start[j] <= i < end[j]``.
+* :class:`PairsRelation` — an arbitrary many-to-many set of pairs,
+  supporting the aliasing formats that KDRSolvers permits (§3).
+
+All operators work on linear indices and are fully vectorized.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+import numpy as np
+
+from .index_space import IndexSpace
+from .partition import Partition
+from .subset import Subset
+
+__all__ = [
+    "Relation",
+    "FunctionalRelation",
+    "ComputedRelation",
+    "FullRelation",
+    "IntervalRelation",
+    "PairsRelation",
+    "IdentityRelation",
+    "image",
+    "preimage",
+    "image_subset",
+    "preimage_subset",
+    "partition_union",
+    "partition_intersection",
+    "partition_difference",
+]
+
+
+class Relation(ABC):
+    """A binary relation between the points of two index spaces.
+
+    Subclasses must provide vectorized image/preimage primitives on
+    arrays of linear indices.  ``source`` plays the role of ``I`` and
+    ``target`` the role of ``J`` in the paper's equations (3)–(4).
+    """
+
+    def __init__(self, source: IndexSpace, target: IndexSpace):
+        self.source = source
+        self.target = target
+
+    @abstractmethod
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        """Sorted unique linear indices ``{ j | ∃ i ∈ src : (i,j) ∈ R }``."""
+
+    @abstractmethod
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        """Sorted unique linear indices ``{ i | ∃ j ∈ dst : (i,j) ∈ R }``."""
+
+    def pairs(self) -> np.ndarray:
+        """All related pairs as an ``(n, 2)`` array; used by tests and by
+        generic format conversion.  Subclasses with compact metadata
+        override this with something cheaper than enumeration."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Relation":
+        """The transpose relation ⊆ J × I."""
+        return _InverseRelation(self)
+
+
+class _InverseRelation(Relation):
+    def __init__(self, base: Relation):
+        super().__init__(base.target, base.source)
+        self.base = base
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        return self.base.preimage_indices(src)
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        return self.base.image_indices(dst)
+
+    def pairs(self) -> np.ndarray:
+        return self.base.pairs()[:, ::-1]
+
+    def inverse(self) -> Relation:
+        return self.base
+
+
+class FunctionalRelation(Relation):
+    """A stored function ``f : I → J``, e.g. COO's ``col : K → D``."""
+
+    def __init__(self, source: IndexSpace, target: IndexSpace, values: np.ndarray):
+        super().__init__(source, target)
+        values = np.asarray(values, dtype=np.int64).reshape(-1)
+        if values.size != source.volume:
+            raise ValueError(
+                f"functional relation needs one value per source point "
+                f"({source.volume}), got {values.size}"
+            )
+        if values.size and (values.min() < 0 or values.max() >= target.volume):
+            raise ValueError("relation values out of target bounds")
+        self.values = values
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        return np.unique(self.values[np.asarray(src, dtype=np.int64)])
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst, dtype=np.int64)
+        if dst.size == 0:
+            return np.empty(0, dtype=np.int64)
+        # Interval fast path: partitions of vector spaces are usually
+        # contiguous blocks, for which a pair of comparisons beats isin.
+        lo, hi = int(dst[0]), int(dst[-1])
+        if hi - lo + 1 == dst.size:
+            mask = (self.values >= lo) & (self.values <= hi)
+        else:
+            mask = np.isin(self.values, dst)
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def pairs(self) -> np.ndarray:
+        src = np.arange(self.source.volume, dtype=np.int64)
+        return np.stack([src, self.values], axis=1)
+
+
+class ComputedRelation(Relation):
+    """A functional relation computed on the fly from linear indices.
+
+    Used for the "(implicit)" relations of Figure 3 where structural
+    assumptions make the metadata computable: dense matrices
+    (``K = R × D`` with the canonical projections), ELL
+    (``K = R × K0``), and DIA (``row : (k0, i) ↦ i − offset(k0)``).
+
+    Parameters
+    ----------
+    forward:
+        Vectorized map from source linear indices to target linear
+        indices, or ``-1`` for unrelated points (DIA padding).
+    backward:
+        Optional vectorized map from target linear indices to a flat
+        array of related source indices; when omitted, preimages are
+        computed by evaluating ``forward`` over the whole source space.
+    """
+
+    def __init__(
+        self,
+        source: IndexSpace,
+        target: IndexSpace,
+        forward: Callable[[np.ndarray], np.ndarray],
+        backward: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        super().__init__(source, target)
+        self.forward = forward
+        self.backward = backward
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        vals = np.asarray(self.forward(np.asarray(src, dtype=np.int64)), dtype=np.int64)
+        vals = vals[vals >= 0]
+        return np.unique(vals)
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst, dtype=np.int64)
+        if self.backward is not None:
+            return np.unique(np.asarray(self.backward(dst), dtype=np.int64))
+        all_src = np.arange(self.source.volume, dtype=np.int64)
+        vals = np.asarray(self.forward(all_src), dtype=np.int64)
+        mask = np.isin(vals, dst)
+        return all_src[mask]
+
+    def pairs(self) -> np.ndarray:
+        src = np.arange(self.source.volume, dtype=np.int64)
+        vals = np.asarray(self.forward(src), dtype=np.int64)
+        keep = vals >= 0
+        return np.stack([src[keep], vals[keep]], axis=1)
+
+
+class IntervalRelation(Relation):
+    """Each target point ``j`` relates to the source interval
+    ``[start[j], end[j])`` — the shape of CSR's ``rowptr : R → [K, K]``.
+
+    The relation is ⊆ I × J with ``(i, j) ∈ R`` iff
+    ``start[j] <= i < end[j]``.  When the intervals are non-overlapping
+    and sorted (``monotone=True``, the CSR case), images are computed by
+    binary search; otherwise a general scan is used.
+    """
+
+    def __init__(
+        self,
+        source: IndexSpace,
+        target: IndexSpace,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        monotone: Optional[bool] = None,
+    ):
+        super().__init__(source, target)
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        ends = np.asarray(ends, dtype=np.int64).reshape(-1)
+        if starts.size != target.volume or ends.size != target.volume:
+            raise ValueError("starts/ends must have one entry per target point")
+        if np.any(ends < starts):
+            raise ValueError("interval ends must be >= starts")
+        if starts.size and (starts.min() < 0 or ends.max() > source.volume):
+            raise ValueError("intervals out of source bounds")
+        self.starts = starts
+        self.ends = ends
+        if monotone is None:
+            monotone = bool(
+                np.all(starts[1:] >= ends[:-1]) if starts.size > 1 else True
+            )
+        self.monotone = monotone
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        if src.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.monotone:
+            # For monotone intervals, source point i belongs to target j
+            # iff starts[j] <= i < ends[j]; find candidate j by bisecting
+            # the starts, then filter by the end bound.
+            j = np.searchsorted(self.starts, src, side="right") - 1
+            valid = (j >= 0) & (src < self.ends.take(np.clip(j, 0, None), mode="clip"))
+            return np.unique(j[valid])
+        hits = (src[None, :] >= self.starts[:, None]) & (src[None, :] < self.ends[:, None])
+        return np.flatnonzero(hits.any(axis=1))
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst, dtype=np.int64)
+        if dst.size == 0:
+            return np.empty(0, dtype=np.int64)
+        s = self.starts[dst]
+        e = self.ends[dst]
+        lens = e - s
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorized concatenation of aranges: repeat starts and add ramps.
+        offs = np.repeat(s, lens)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(lens)[:-1]]), lens
+        )
+        return np.unique(offs + ramp)
+
+    def pairs(self) -> np.ndarray:
+        lens = self.ends - self.starts
+        total = int(lens.sum())
+        src = self.preimage_raw()
+        dst = np.repeat(np.arange(self.target.volume, dtype=np.int64), lens)
+        assert src.size == total
+        return np.stack([src, dst], axis=1)
+
+    def preimage_raw(self) -> np.ndarray:
+        """All source points in target order, with duplicates preserved."""
+        lens = self.ends - self.starts
+        total = int(lens.sum())
+        offs = np.repeat(self.starts, lens)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(lens)[:-1]]), lens
+        )
+        return offs + ramp
+
+
+class PairsRelation(Relation):
+    """An explicit, possibly many-to-many set of related pairs."""
+
+    def __init__(self, source: IndexSpace, target: IndexSpace, pairs: np.ndarray):
+        super().__init__(source, target)
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (n, 2)")
+        if pairs.size:
+            if pairs[:, 0].min() < 0 or pairs[:, 0].max() >= source.volume:
+                raise ValueError("pair sources out of bounds")
+            if pairs[:, 1].min() < 0 or pairs[:, 1].max() >= target.volume:
+                raise ValueError("pair targets out of bounds")
+        self._pairs = pairs
+        self._by_src = pairs[np.argsort(pairs[:, 0], kind="stable")]
+        self._by_dst = pairs[np.argsort(pairs[:, 1], kind="stable")]
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        mask = np.isin(self._by_src[:, 0], np.asarray(src, dtype=np.int64))
+        return np.unique(self._by_src[mask, 1])
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        mask = np.isin(self._by_dst[:, 1], np.asarray(dst, dtype=np.int64))
+        return np.unique(self._by_dst[mask, 0])
+
+    def pairs(self) -> np.ndarray:
+        return self._pairs
+
+
+class FullRelation(Relation):
+    """The complete relation I × J: everything relates to everything.
+
+    Used by matrix-free operators with undeclared dependence patterns —
+    correct for any operator, at the price of all-to-all communication.
+    """
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        if np.asarray(src).size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.target.volume, dtype=np.int64)
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        if np.asarray(dst).size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.source.volume, dtype=np.int64)
+
+    def pairs(self) -> np.ndarray:
+        i = np.repeat(np.arange(self.source.volume, dtype=np.int64), self.target.volume)
+        j = np.tile(np.arange(self.target.volume, dtype=np.int64), self.source.volume)
+        return np.stack([i, j], axis=1)
+
+
+class IdentityRelation(Relation):
+    """The identity relation on a space (used for square dense blocks and
+    by tests)."""
+
+    def __init__(self, space: IndexSpace):
+        super().__init__(space, space)
+
+    def image_indices(self, src: np.ndarray) -> np.ndarray:
+        return np.unique(np.asarray(src, dtype=np.int64))
+
+    def preimage_indices(self, dst: np.ndarray) -> np.ndarray:
+        return np.unique(np.asarray(dst, dtype=np.int64))
+
+    def pairs(self) -> np.ndarray:
+        idx = np.arange(self.source.volume, dtype=np.int64)
+        return np.stack([idx, idx], axis=1)
+
+
+# -- projection operators ----------------------------------------------------
+
+
+def image_subset(relation: Relation, subset: Subset) -> Subset:
+    """Image of a single subset along a relation."""
+    if subset.space is not relation.source:
+        raise ValueError("subset must live in the relation's source space")
+    return Subset(
+        relation.target,
+        relation.image_indices(subset.indices),
+        _assume_normalized=True,
+    )
+
+
+def preimage_subset(relation: Relation, subset: Subset) -> Subset:
+    """Preimage of a single subset along a relation."""
+    if subset.space is not relation.target:
+        raise ValueError("subset must live in the relation's target space")
+    return Subset(
+        relation.source,
+        relation.preimage_indices(subset.indices),
+        _assume_normalized=True,
+    )
+
+
+def image(relation: Relation, partition: Partition, name: Optional[str] = None) -> Partition:
+    """Paper equation (3): project a partition of ``I`` along ``R ⊆ I × J``
+    to a partition of ``J``.  The result is generally neither disjoint nor
+    complete."""
+    if partition.parent is not relation.source:
+        raise ValueError("partition must partition the relation's source space")
+    pieces = [image_subset(relation, p) for p in partition.pieces]
+    return Partition(relation.target, pieces, name=name)
+
+
+def preimage(relation: Relation, partition: Partition, name: Optional[str] = None) -> Partition:
+    """Paper equation (4): project a partition of ``J`` along ``R ⊆ I × J``
+    back to a partition of ``I``."""
+    if partition.parent is not relation.target:
+        raise ValueError("partition must partition the relation's target space")
+    pieces = [preimage_subset(relation, p) for p in partition.pieces]
+    return Partition(relation.source, pieces, name=name)
+
+
+# -- pairwise set operations on partitions -----------------------------------
+# (Legion's create_partition_by_union / _intersection / _difference.)
+
+
+def _check_zip(a: Partition, b: Partition) -> None:
+    if a.parent is not b.parent:
+        raise ValueError("partitions must share a parent space")
+    if a.n_colors != b.n_colors:
+        raise ValueError("partitions must share a color space")
+
+
+def partition_union(a: Partition, b: Partition, name: Optional[str] = None) -> Partition:
+    """Color-wise union: piece ``c`` is ``a[c] ∪ b[c]``."""
+    _check_zip(a, b)
+    return Partition(
+        a.parent, [pa.union(pb) for pa, pb in zip(a.pieces, b.pieces)], name=name
+    )
+
+
+def partition_intersection(a: Partition, b: Partition, name: Optional[str] = None) -> Partition:
+    """Color-wise intersection: piece ``c`` is ``a[c] ∩ b[c]``."""
+    _check_zip(a, b)
+    return Partition(
+        a.parent, [pa.intersection(pb) for pa, pb in zip(a.pieces, b.pieces)], name=name
+    )
+
+
+def partition_difference(a: Partition, b: Partition, name: Optional[str] = None) -> Partition:
+    """Color-wise difference: piece ``c`` is ``a[c] \\ b[c]`` — e.g. the
+    ghost cells of an image partition relative to the owned pieces."""
+    _check_zip(a, b)
+    return Partition(
+        a.parent, [pa.difference(pb) for pa, pb in zip(a.pieces, b.pieces)], name=name
+    )

@@ -1,0 +1,63 @@
+"""Futures: deferred scalar values produced by tasks.
+
+The runtime executes task bodies eagerly (so numerics are always exact
+and inspectable) while *timing* is simulated by the discrete-event
+engine.  A :class:`Future` therefore always holds its value immediately
+after the producing task is launched, but it also records the producing
+task so the engine can model when the value would actually be available
+on a real machine — which is what makes convergence checks
+(``get_convergence_measure``) contribute latency in the simulated
+timeline exactly as blocking on a Legion future would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Future"]
+
+_counter = itertools.count()
+
+
+class Future:
+    """A deferred value with a known producer task."""
+
+    __slots__ = ("_value", "_ready", "producer_id", "uid")
+
+    def __init__(self, value: Any = None, ready: bool = False, producer_id: Optional[int] = None):
+        self._value = value
+        self._ready = ready
+        self.producer_id = producer_id
+        self.uid = next(_counter)
+
+    @staticmethod
+    def from_value(value: Any) -> "Future":
+        """An immediately ready future (no producing task)."""
+        return Future(value=value, ready=True)
+
+    def set(self, value: Any, producer_id: Optional[int] = None) -> None:
+        self._value = value
+        self._ready = True
+        if producer_id is not None:
+            self.producer_id = producer_id
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def get(self) -> Any:
+        """The value.  In this eager-execution runtime, blocking on a
+        future returns instantly at the Python level; the *simulated* cost
+        of the block is charged by the engine when the consuming task (or
+        an explicit ``Runtime.fence``) names this future as a dependency."""
+        if not self._ready:
+            raise RuntimeError("future value not yet produced")
+        return self._value
+
+    def __float__(self) -> float:
+        return float(self.get())
+
+    def __repr__(self) -> str:
+        state = repr(self._value) if self._ready else "<pending>"
+        return f"Future(#{self.uid}, {state})"

@@ -1,0 +1,207 @@
+"""Geometric primitives for structured index spaces.
+
+Legion models index spaces as sets of points in an n-dimensional integer
+lattice.  This module provides the two core geometric objects used by the
+runtime substrate:
+
+* :class:`Point` — an immutable n-dimensional integer coordinate.
+* :class:`Rect` — a dense axis-aligned box of lattice points with
+  *inclusive* bounds, mirroring ``Legion::Rect``.
+
+All bulk operations (linearization, delinearization, containment tests on
+arrays of points) are vectorized over NumPy arrays, following the
+"vectorize the inner loop" rule for HPC Python: per-point Python loops are
+only used in convenience iterators, never on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Point", "Rect"]
+
+
+class Point(tuple):
+    """An n-dimensional integer lattice point.
+
+    ``Point`` is a thin subclass of :class:`tuple` so it is hashable,
+    comparable, and cheap.  Arithmetic helpers are provided for stencil
+    offsets.
+    """
+
+    def __new__(cls, *coords: int) -> "Point":
+        if len(coords) == 1 and isinstance(coords[0], (tuple, list, np.ndarray)):
+            coords = tuple(int(c) for c in coords[0])
+        else:
+            coords = tuple(int(c) for c in coords)
+        return super().__new__(cls, coords)
+
+    @property
+    def dim(self) -> int:
+        return len(self)
+
+    def __add__(self, other: Sequence[int]) -> "Point":  # type: ignore[override]
+        return Point(*(a + b for a, b in zip(self, other)))
+
+    def __sub__(self, other: Sequence[int]) -> "Point":
+        return Point(*(a - b for a, b in zip(self, other)))
+
+    def __repr__(self) -> str:
+        return f"Point{tuple(self)!r}"
+
+
+class Rect:
+    """A dense axis-aligned box of lattice points with inclusive bounds.
+
+    ``Rect(lo, hi)`` contains every point ``p`` with ``lo[d] <= p[d] <= hi[d]``
+    in each dimension ``d``.  An empty rectangle is represented by any
+    dimension with ``hi[d] < lo[d]``.
+
+    Points inside a rectangle are *linearized* in row-major (C) order, which
+    fixes a canonical bijection between the rectangle and
+    ``range(rect.volume)``.  All index-space machinery in
+    :mod:`repro.runtime.index_space` is built on this linearization.
+    """
+
+    __slots__ = ("lo", "hi", "_shape", "_strides", "_volume")
+
+    def __init__(self, lo: Sequence[int], hi: Sequence[int]):
+        lo = tuple(int(x) for x in lo)
+        hi = tuple(int(x) for x in hi)
+        if len(lo) != len(hi):
+            raise ValueError(f"lo and hi must have equal dims, got {lo} and {hi}")
+        if not lo:
+            raise ValueError("Rect must have at least one dimension")
+        self.lo: Tuple[int, ...] = lo
+        self.hi: Tuple[int, ...] = hi
+        self._shape = tuple(max(0, h - l + 1) for l, h in zip(lo, hi))
+        vol = 1
+        for s in self._shape:
+            vol *= s
+        self._volume = vol
+        # Row-major strides for linearization.
+        strides = []
+        acc = 1
+        for s in reversed(self._shape):
+            strides.append(acc)
+            acc *= max(s, 1)
+        self._strides = tuple(reversed(strides))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def of_shape(*shape: int) -> "Rect":
+        """A rectangle rooted at the origin with the given extents."""
+        return Rect((0,) * len(shape), tuple(s - 1 for s in shape))
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def volume(self) -> int:
+        return self._volume
+
+    @property
+    def empty(self) -> bool:
+        return self._volume == 0
+
+    # -- point membership --------------------------------------------------
+
+    def contains(self, point: Sequence[int]) -> bool:
+        return all(l <= p <= h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_all(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized containment test.
+
+        ``coords`` has shape ``(n, dim)``; returns a boolean array of
+        length ``n``.
+        """
+        coords = np.asarray(coords)
+        if coords.ndim == 1:
+            coords = coords[:, None]
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        return np.all((coords >= lo) & (coords <= hi), axis=1)
+
+    # -- linearization -----------------------------------------------------
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        """Map points to row-major linear offsets within this rectangle.
+
+        ``coords`` has shape ``(n, dim)`` (or ``(n,)`` for 1-D rects);
+        returns an ``int64`` array of offsets in ``[0, volume)``.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        if self.dim == 1:
+            return coords.reshape(-1) - self.lo[0]
+        if coords.ndim == 1:
+            coords = coords[None, :]
+        rel = coords - np.asarray(self.lo, dtype=np.int64)
+        return rel @ np.asarray(self._strides, dtype=np.int64)
+
+    def delinearize(self, offsets: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`linearize`; returns ``(n, dim)`` coordinates."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        out = np.empty((offsets.size, self.dim), dtype=np.int64)
+        rem = offsets
+        for d, stride in enumerate(self._strides):
+            out[:, d] = rem // stride + self.lo[d]
+            rem = rem % stride
+        return out
+
+    # -- set operations ----------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect":
+        if self.dim != other.dim:
+            raise ValueError("dimension mismatch in Rect.intersection")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not self.intersection(other).empty
+
+    # -- iteration (convenience, not a hot path) ---------------------------
+
+    def points(self) -> Iterator[Point]:
+        if self.empty:
+            return
+        for idx in np.ndindex(*self._shape):
+            yield Point(*(i + l for i, l in zip(idx, self.lo)))
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rect) and self.lo == other.lo and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Rect(lo={self.lo}, hi={self.hi})"
+
+    def __iter__(self) -> Iterator[Point]:
+        return self.points()
+
+
+def as_coord_array(points: Iterable[Sequence[int]], dim: int) -> np.ndarray:
+    """Normalize an iterable of points into an ``(n, dim)`` int64 array."""
+    arr = np.asarray(list(points), dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, dim)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.shape[1] != dim:
+        raise ValueError(f"expected dim={dim} coordinates, got shape {arr.shape}")
+    return arr

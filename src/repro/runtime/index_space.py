@@ -1,0 +1,108 @@
+"""Index spaces: named, structured sets of points.
+
+An *index space* in KDRSolvers is a finite set of identifiers (paper §3).
+In this runtime, every index space is backed by a dense :class:`Rect`
+bound; sparse subsets of an index space are represented by
+:class:`repro.runtime.subset.Subset`.  Every point of an index space has a
+canonical *linear index* in ``[0, volume)`` given by row-major
+linearization of its bounding rectangle; all region data, subsets, and
+relations are expressed in terms of these linear indices so that bulk
+operations stay vectorized.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .geometry import Rect
+
+__all__ = ["IndexSpace"]
+
+_counter = itertools.count()
+
+
+class IndexSpace:
+    """A finite, structured set of points.
+
+    Parameters
+    ----------
+    rect:
+        The dense bounding rectangle; the space contains exactly the points
+        of the rectangle.
+    name:
+        Optional human-readable name used in profiles and error messages.
+    """
+
+    __slots__ = ("rect", "name", "uid")
+
+    def __init__(self, rect: Rect, name: Optional[str] = None):
+        if rect.empty:
+            raise ValueError("IndexSpace must be non-empty")
+        self.rect = rect
+        self.uid = next(_counter)
+        self.name = name if name is not None else f"ispace{self.uid}"
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def linear(size: int, name: Optional[str] = None) -> "IndexSpace":
+        """A 1-D index space ``{0, ..., size-1}``."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        return IndexSpace(Rect((0,), (size - 1,)), name=name)
+
+    @staticmethod
+    def grid(*shape: int, name: Optional[str] = None) -> "IndexSpace":
+        """An n-D index space of the given extents rooted at the origin."""
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"all extents must be positive, got {shape}")
+        return IndexSpace(Rect.of_shape(*shape), name=name)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def volume(self) -> int:
+        return self.rect.volume
+
+    @property
+    def dim(self) -> int:
+        return self.rect.dim
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.rect.shape
+
+    # -- coordinate/linear conversions --------------------------------------
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        return self.rect.linearize(coords)
+
+    def delinearize(self, linear: np.ndarray) -> np.ndarray:
+        return self.rect.delinearize(linear)
+
+    def all_linear(self) -> np.ndarray:
+        """All linear indices of the space (``arange(volume)``)."""
+        return np.arange(self.volume, dtype=np.int64)
+
+    def contains_linear(self, linear: np.ndarray) -> np.ndarray:
+        linear = np.asarray(linear)
+        return (linear >= 0) & (linear < self.volume)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        # Identity equality: two distinct index spaces with the same bounds
+        # are distinct spaces, exactly as in Legion.
+        return self is other
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __repr__(self) -> str:
+        return f"IndexSpace({self.name}, rect={self.rect})"
+
+    def __len__(self) -> int:
+        return self.volume

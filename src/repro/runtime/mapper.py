@@ -1,0 +1,116 @@
+"""Mappers: policy objects assigning tasks to devices.
+
+Legion separates *what* to compute (tasks) from *where* to compute it
+(mappers).  The same separation is what enables the paper's §6.3
+experiment: swapping a static mapper for a dynamically rebalancing one
+changes performance without touching solver or application code.
+
+A mapper sees each :class:`~repro.runtime.task.TaskRecord` before it is
+simulated and returns the id of the device that should run it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from .machine import Machine, ProcKind
+from .task import TaskRecord
+
+__all__ = ["Mapper", "RoundRobinMapper", "ShardedMapper", "TableMapper"]
+
+
+class Mapper(ABC):
+    """Maps task records to device ids."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    @abstractmethod
+    def map_task(self, record: TaskRecord) -> int:
+        """Return the device id that should execute ``record``."""
+
+
+class RoundRobinMapper(Mapper):
+    """Distribute tasks of each kind cyclically across matching devices.
+
+    Tasks with an ``owner_hint`` are sent to device ``hint mod n`` of the
+    matching kind, so that piece ``c`` of a partition lands on a stable
+    device across iterations (the "default mapper" behaviour Legion
+    applications rely on)."""
+
+    def __init__(self, machine: Machine):
+        super().__init__(machine)
+        self._cursor: Dict[ProcKind, int] = {k: 0 for k in ProcKind}
+
+    def map_task(self, record: TaskRecord) -> int:
+        kind = record.proc_kind
+        devices = self.machine.kind_devices(kind)
+        if not devices:
+            # Machines without GPUs fall back to CPUs transparently.
+            devices = self.machine.cpus
+        hint = record.owner_hint
+        if hint is None and record.point is not None:
+            hint = record.point
+        if hint is not None:
+            return devices[hint % len(devices)].device_id
+        dev = devices[self._cursor[kind] % len(devices)]
+        self._cursor[kind] += 1
+        return dev.device_id
+
+
+class ShardedMapper(Mapper):
+    """Map hint/point ``c`` to an explicit device list entry ``c``.
+
+    This is the canonical mapping for solver piece tasks: the planner
+    builds one device per vector piece (``vp = 4 × nodes`` on Lassen) and
+    piece ``c`` always executes where its data lives.
+    """
+
+    def __init__(self, machine: Machine, device_ids: Optional[list] = None, kind: ProcKind = ProcKind.GPU):
+        super().__init__(machine)
+        if device_ids is None:
+            devices = machine.kind_devices(kind) or machine.cpus
+            device_ids = [d.device_id for d in devices]
+        if not device_ids:
+            raise ValueError("ShardedMapper needs at least one device")
+        self.device_ids = list(device_ids)
+        self.kind = machine.device(self.device_ids[0]).kind
+        self._fallback = RoundRobinMapper(machine)
+
+    def map_task(self, record: TaskRecord) -> int:
+        if record.proc_kind is not self.kind:
+            # Tasks constrained to another processor kind (e.g. the
+            # scalar reductions of dot products, which run driver-side on
+            # a CPU) fall through to the kind-respecting default policy.
+            return self._fallback.map_task(record)
+        hint = record.owner_hint
+        if hint is None:
+            hint = record.point
+        if hint is None:
+            return self._fallback.map_task(record)
+        return self.device_ids[hint % len(self.device_ids)]
+
+
+class TableMapper(Mapper):
+    """Map tasks through a mutable ``key -> device id`` table.
+
+    Keys are the tasks' ``owner_hint`` values.  The dynamic load
+    balancer of §6.3 mutates this table between iterations to migrate
+    matrix tiles between their two candidate owners; the next iteration's
+    tasks follow the new table with no solver changes.
+    """
+
+    def __init__(self, machine: Machine, table: Dict[int, int]):
+        super().__init__(machine)
+        self.table = dict(table)
+        self._fallback = RoundRobinMapper(machine)
+
+    def map_task(self, record: TaskRecord) -> int:
+        hint = record.owner_hint if record.owner_hint is not None else record.point
+        if hint is not None and hint in self.table:
+            return self.table[hint]
+        return self._fallback.map_task(record)
+
+    def reassign(self, key: int, device_id: int) -> None:
+        self.table[key] = device_id

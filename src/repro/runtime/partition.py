@@ -1,0 +1,226 @@
+"""Partitions of index spaces.
+
+A *partition* of an index space ``I`` is a function from a finite color
+space ``C`` to subsets of ``I`` (paper §3.1).  Partitions need be neither
+complete (covering) nor disjoint; both properties are computed lazily and
+cached, mirroring ``Legion::IndexPartition``'s disjointness/completeness
+metadata.
+
+The constructors provided here cover the partitions used by the solvers
+and benchmarks:
+
+* :meth:`Partition.equal` — 1-D block partition into ``n`` near-equal
+  contiguous pieces (Legion's ``create_equal_partition``).
+* :meth:`Partition.by_blocks` — tile partition of an n-D grid space.
+* :meth:`Partition.from_subsets` — explicit list of pieces.
+* :meth:`Partition.by_field` — color each point by a value stored in an
+  array (Legion's ``create_partition_by_field``).
+
+Dependent partitions (images and preimages along relations) are produced
+by :mod:`repro.runtime.deppart`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .geometry import Rect
+from .index_space import IndexSpace
+from .subset import Subset
+
+__all__ = ["Partition"]
+
+_counter = itertools.count()
+
+
+class Partition:
+    """A map from colors ``0..n_colors-1`` to subsets of a parent space."""
+
+    __slots__ = ("parent", "pieces", "uid", "name", "_disjoint", "_complete")
+
+    def __init__(
+        self,
+        parent: IndexSpace,
+        pieces: Sequence[Subset],
+        name: Optional[str] = None,
+        disjoint: Optional[bool] = None,
+        complete: Optional[bool] = None,
+    ):
+        for p in pieces:
+            if p.space is not parent:
+                raise ValueError("all pieces must be subsets of the parent space")
+        self.parent = parent
+        self.pieces: List[Subset] = list(pieces)
+        self.uid = next(_counter)
+        self.name = name if name is not None else f"part{self.uid}"
+        self._disjoint = disjoint
+        self._complete = complete
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def equal(space: IndexSpace, n_pieces: int, name: Optional[str] = None) -> "Partition":
+        """Split ``space`` (by linear index) into ``n_pieces`` contiguous
+        blocks whose sizes differ by at most one."""
+        if n_pieces <= 0:
+            raise ValueError("n_pieces must be positive")
+        vol = space.volume
+        if n_pieces > vol:
+            raise ValueError(f"cannot split volume {vol} into {n_pieces} nonempty pieces")
+        bounds = np.linspace(0, vol, n_pieces + 1, dtype=np.int64)
+        pieces = [
+            Subset.interval(space, int(bounds[c]), int(bounds[c + 1]) - 1)
+            for c in range(n_pieces)
+        ]
+        return Partition(space, pieces, name=name, disjoint=True, complete=True)
+
+    @staticmethod
+    def by_blocks(
+        space: IndexSpace, tiles: Sequence[int], name: Optional[str] = None
+    ) -> "Partition":
+        """Tile an n-D grid space into ``prod(tiles)`` rectangular blocks.
+
+        ``tiles[d]`` gives the number of tiles along dimension ``d``.  The
+        color of tile ``(t_0, ..., t_{n-1})`` is its row-major rank.
+        """
+        if len(tiles) != space.dim:
+            raise ValueError(f"tiles must have {space.dim} entries, got {len(tiles)}")
+        shape = space.shape
+        for d, (t, s) in enumerate(zip(tiles, shape)):
+            if t <= 0 or t > s:
+                raise ValueError(f"invalid tile count {t} for extent {s} in dim {d}")
+        # Per-dimension split points.
+        cuts = [np.linspace(0, s, t + 1, dtype=np.int64) for s, t in zip(shape, tiles)]
+        pieces = []
+        for tile_idx in np.ndindex(*tiles):
+            lo = tuple(int(cuts[d][i]) + space.rect.lo[d] for d, i in enumerate(tile_idx))
+            hi = tuple(
+                int(cuts[d][i + 1]) - 1 + space.rect.lo[d] for d, i in enumerate(tile_idx)
+            )
+            sub_rect = Rect(lo, hi)
+            # Linearize the tile's points; rows of the tile are contiguous
+            # runs, so build them by stacking per-row aranges.
+            pieces.append(_rect_subset(space, sub_rect))
+        return Partition(space, pieces, name=name, disjoint=True, complete=True)
+
+    @staticmethod
+    def from_subsets(
+        space: IndexSpace, pieces: Sequence[Subset], name: Optional[str] = None
+    ) -> "Partition":
+        return Partition(space, pieces, name=name)
+
+    @staticmethod
+    def by_field(
+        space: IndexSpace,
+        colors: np.ndarray,
+        n_colors: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "Partition":
+        """Color point ``i`` by ``colors[i]``; negative colors mean
+        "uncolored" (point belongs to no piece)."""
+        colors = np.asarray(colors)
+        if colors.size != space.volume:
+            raise ValueError("colors array must have one entry per point")
+        if n_colors is None:
+            n_colors = int(colors.max()) + 1 if colors.size else 0
+        order = np.argsort(colors, kind="stable")
+        sorted_colors = colors[order]
+        starts = np.searchsorted(sorted_colors, np.arange(n_colors))
+        ends = np.searchsorted(sorted_colors, np.arange(n_colors), side="right")
+        pieces = [
+            Subset(space, np.sort(order[starts[c] : ends[c]]), _assume_normalized=True)
+            for c in range(n_colors)
+        ]
+        complete = bool((colors >= 0).all())
+        return Partition(space, pieces, name=name, disjoint=True, complete=complete)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def n_colors(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def color_space(self) -> range:
+        return range(self.n_colors)
+
+    def __getitem__(self, color: int) -> Subset:
+        return self.pieces[color]
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __len__(self) -> int:
+        return self.n_colors
+
+    @property
+    def is_disjoint(self) -> bool:
+        """True if no point is assigned more than one color."""
+        if self._disjoint is None:
+            total = sum(p.volume for p in self.pieces)
+            if total <= self.parent.volume:
+                # Could still alias; check exactly via concatenated uniqueness.
+                allidx = np.concatenate([p.indices for p in self.pieces]) if self.pieces else np.empty(0, np.int64)
+                self._disjoint = bool(np.unique(allidx).size == total)
+            else:
+                self._disjoint = False
+        return self._disjoint
+
+    @property
+    def is_complete(self) -> bool:
+        """True if every point of the parent is assigned at least one color."""
+        if self._complete is None:
+            if not self.pieces:
+                self._complete = self.parent.volume == 0
+            else:
+                allidx = np.concatenate([p.indices for p in self.pieces])
+                self._complete = bool(np.unique(allidx).size == self.parent.volume)
+        return self._complete
+
+    # -- derived structures --------------------------------------------------
+
+    def color_of(self) -> np.ndarray:
+        """Per-point color array (last-writer-wins for aliased partitions;
+        ``-1`` where uncovered).  Mainly used by tests and load balancers."""
+        out = np.full(self.parent.volume, -1, dtype=np.int64)
+        for c, piece in enumerate(self.pieces):
+            out[piece.indices] = c
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.name}, {self.n_colors} pieces of {self.parent.name})"
+        )
+
+
+def _rect_subset(space: IndexSpace, sub_rect: Rect) -> Subset:
+    """Linear indices of all points of ``sub_rect`` within ``space``."""
+    clipped = space.rect.intersection(sub_rect)
+    if clipped.empty:
+        return Subset.empty(space)
+    if space.dim == 1:
+        return Subset.interval(
+            space, int(space.linearize(np.array([clipped.lo]))[0]),
+            int(space.linearize(np.array([clipped.hi]))[0]),
+        )
+    # Rows along the last dimension are contiguous in the linearization.
+    lead_shape = clipped.shape[:-1]
+    row_len = clipped.shape[-1]
+    lead_coords = np.stack(
+        np.meshgrid(
+            *[np.arange(l, l + s) for l, s in zip(clipped.lo[:-1], lead_shape)],
+            indexing="ij",
+        ),
+        axis=-1,
+    ).reshape(-1, space.dim - 1)
+    full = np.concatenate(
+        [lead_coords, np.full((lead_coords.shape[0], 1), clipped.lo[-1], dtype=np.int64)],
+        axis=1,
+    )
+    row_starts = space.linearize(full)
+    idx = (row_starts[:, None] + np.arange(row_len, dtype=np.int64)[None, :]).reshape(-1)
+    idx.sort()
+    return Subset(space, idx, _assume_normalized=True)

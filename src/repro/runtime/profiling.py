@@ -1,0 +1,79 @@
+"""Profiling utilities over the engine's timeline.
+
+When a :class:`~repro.runtime.runtime.Runtime` is created with
+``keep_timeline=True`` the engine records one
+:class:`~repro.runtime.engine.TimelineEntry` per simulated task.  This
+module summarizes those entries: per-task-name totals, per-device
+utilization, overlap statistics (how much communication was hidden under
+computation), and iteration-window slicing for the dynamic
+load-balancing experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .engine import TimelineEntry
+from .machine import Machine
+
+__all__ = ["TaskStats", "profile_by_name", "device_utilization", "window_times"]
+
+
+@dataclass
+class TaskStats:
+    """Aggregated statistics for one task name."""
+
+    name: str
+    count: int
+    total_time: float
+    total_comm: float
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+
+def profile_by_name(timeline: Sequence[TimelineEntry]) -> Dict[str, TaskStats]:
+    """Aggregate the timeline by task name."""
+    stats: Dict[str, TaskStats] = {}
+    for e in timeline:
+        st = stats.get(e.name)
+        if st is None:
+            stats[e.name] = TaskStats(e.name, 1, e.finish - e.start, e.comm_time)
+        else:
+            st.count += 1
+            st.total_time += e.finish - e.start
+            st.total_comm += e.comm_time
+    return stats
+
+
+def device_utilization(
+    timeline: Sequence[TimelineEntry], machine: Machine, until: Optional[float] = None
+) -> np.ndarray:
+    """Fraction of time each device spent computing, up to ``until``
+    (default: the last finish in the timeline)."""
+    if not timeline:
+        return np.zeros(machine.n_devices)
+    horizon = until if until is not None else max(e.finish for e in timeline)
+    busy = np.zeros(machine.n_devices)
+    for e in timeline:
+        busy[e.device_id] += min(e.finish, horizon) - min(e.start, horizon)
+    return busy / horizon if horizon > 0 else busy
+
+
+def window_times(
+    marks: Sequence[float],
+) -> np.ndarray:
+    """Durations between successive simulated-time marks.
+
+    Callers snapshot ``runtime.sim_time`` at iteration boundaries; this
+    turns the snapshots into per-iteration durations (used by the §6.3
+    load balancer and by every per-iteration benchmark report).
+    """
+    marks = np.asarray(marks, dtype=float)
+    if marks.size < 2:
+        return np.zeros(0)
+    return np.diff(marks)

@@ -1,0 +1,232 @@
+"""Logical regions: index spaces crossed with typed field spaces.
+
+A :class:`LogicalRegion` pairs an :class:`~repro.runtime.index_space.IndexSpace`
+with a :class:`FieldSpace` (a set of named, typed fields), following
+Legion's region model.  Physical storage is a NumPy array per field over
+the whole index space, held by the runtime's region store; tasks never
+touch these arrays directly but go through :class:`RegionAccessor`
+objects scoped to the subset named in their region requirement.
+
+Accessors honor the privilege declared by the requirement: reads of
+contiguous subsets return zero-copy views, writes go back through the
+same view or through fancy-index scatter for non-contiguous subsets, and
+reductions accumulate with ``np.add.at`` so aliased reduction targets
+compose correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Optional
+
+import numpy as np
+
+from .index_space import IndexSpace
+from .subset import Subset
+
+__all__ = [
+    "FieldSpace",
+    "LogicalRegion",
+    "Privilege",
+    "RegionAccessor",
+    "RegionStore",
+]
+
+_counter = itertools.count()
+
+
+class Privilege(enum.Enum):
+    """Access privilege of a region requirement (Legion's privileges)."""
+
+    READ_ONLY = "ro"
+    READ_WRITE = "rw"
+    WRITE_DISCARD = "wd"
+    REDUCE = "red"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (Privilege.READ_WRITE, Privilege.WRITE_DISCARD, Privilege.REDUCE)
+
+    @property
+    def is_read(self) -> bool:
+        return self in (Privilege.READ_ONLY, Privilege.READ_WRITE)
+
+
+class FieldSpace:
+    """A set of named fields with NumPy dtypes."""
+
+    def __init__(self, fields: Dict[str, np.dtype]):
+        self.fields = {name: np.dtype(dt) for name, dt in fields.items()}
+        if not self.fields:
+            raise ValueError("FieldSpace must declare at least one field")
+
+    def dtype(self, field: str) -> np.dtype:
+        return self.fields[field]
+
+    def itemsize(self, field: str) -> int:
+        return self.fields[field].itemsize
+
+    def __contains__(self, field: str) -> bool:
+        return field in self.fields
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in self.fields.items())
+        return f"FieldSpace({{{inner}}})"
+
+
+class LogicalRegion:
+    """An index space crossed with a field space."""
+
+    __slots__ = ("ispace", "fspace", "uid", "name")
+
+    def __init__(
+        self, ispace: IndexSpace, fspace: FieldSpace, name: Optional[str] = None
+    ):
+        self.ispace = ispace
+        self.fspace = fspace
+        self.uid = next(_counter)
+        self.name = name if name is not None else f"region{self.uid}"
+
+    @property
+    def volume(self) -> int:
+        return self.ispace.volume
+
+    def field_bytes(self, field: str, n_points: Optional[int] = None) -> int:
+        n = self.volume if n_points is None else n_points
+        return n * self.fspace.itemsize(field)
+
+    def __repr__(self) -> str:
+        return f"LogicalRegion({self.name}, {self.ispace.name}, {list(self.fspace)})"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class RegionStore:
+    """Physical backing store: one NumPy array per (region, field)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def attach(self, region: LogicalRegion, field: str, array: np.ndarray) -> None:
+        """Adopt an existing array as the physical instance of a field
+        (Legion's ``attach_external_resource``) — this is what lets
+        KDRSolvers ingest user data in place, with no copies (paper P2/P4)."""
+        array = np.ascontiguousarray(array).reshape(-1)
+        if array.size != region.volume:
+            raise ValueError(
+                f"array of size {array.size} cannot back region of volume {region.volume}"
+            )
+        if array.dtype != region.fspace.dtype(field):
+            raise TypeError(
+                f"dtype {array.dtype} does not match field {field} "
+                f"({region.fspace.dtype(field)})"
+            )
+        self._data.setdefault(region.uid, {})[field] = array
+
+    def allocate(self, region: LogicalRegion, field: str, fill: float = 0.0) -> np.ndarray:
+        arr = np.full(region.volume, fill, dtype=region.fspace.dtype(field))
+        self._data.setdefault(region.uid, {})[field] = arr
+        return arr
+
+    def raw(self, region: LogicalRegion, field: str) -> np.ndarray:
+        """The full backing array; for runtime internals and tests only."""
+        try:
+            return self._data[region.uid][field]
+        except KeyError:
+            raise KeyError(
+                f"field {field!r} of {region.name} has no physical instance; "
+                f"attach or allocate it first"
+            ) from None
+
+    def has(self, region: LogicalRegion, field: str) -> bool:
+        return region.uid in self._data and field in self._data[region.uid]
+
+
+class RegionAccessor:
+    """A task's view of one (region, field, subset) with a privilege.
+
+    ``read()`` returns the data restricted to the subset (a view when the
+    subset is contiguous).  ``write(values)`` stores values back.
+    ``reduce_add(values)`` accumulates, handling duplicate indices.
+    """
+
+    __slots__ = ("store", "region", "field", "subset", "privilege")
+
+    def __init__(
+        self,
+        store: RegionStore,
+        region: LogicalRegion,
+        field: str,
+        subset: Subset,
+        privilege: Privilege,
+    ):
+        if subset.space is not region.ispace:
+            raise ValueError("requirement subset must live in the region's index space")
+        if field not in region.fspace:
+            raise KeyError(f"region {region.name} has no field {field!r}")
+        self.store = store
+        self.region = region
+        self.field = field
+        self.subset = subset
+        self.privilege = privilege
+
+    def read(self) -> np.ndarray:
+        if not self.privilege.is_read:
+            raise PermissionError(
+                f"privilege {self.privilege} does not permit reads of "
+                f"{self.region.name}.{self.field}"
+            )
+        arr = self.store.raw(self.region, self.field)
+        sl = self.subset.as_slice()
+        if sl is not None:
+            return arr[sl]
+        return arr[self.subset.indices]
+
+    def write(self, values: np.ndarray) -> None:
+        if self.privilege not in (Privilege.READ_WRITE, Privilege.WRITE_DISCARD):
+            raise PermissionError(
+                f"privilege {self.privilege} does not permit writes of "
+                f"{self.region.name}.{self.field}"
+            )
+        arr = self.store.raw(self.region, self.field)
+        sl = self.subset.as_slice()
+        if sl is not None:
+            arr[sl] = values
+        else:
+            arr[self.subset.indices] = values
+
+    def reduce_add(self, values: np.ndarray) -> None:
+        if self.privilege is not Privilege.REDUCE:
+            raise PermissionError("reduce_add requires REDUCE privilege")
+        arr = self.store.raw(self.region, self.field)
+        sl = self.subset.as_slice()
+        if sl is not None:
+            arr[sl] += values
+        else:
+            np.add.at(arr, self.subset.indices, values)
+
+    def scatter_add(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Reduce values into arbitrary positions *within the subset's
+        space* — used by SpMV kernels writing through row relations.
+        ``indices`` are linear indices of the region's index space and must
+        be contained in the requirement's subset."""
+        if self.privilege is not Privilege.REDUCE and not self.privilege.is_write:
+            raise PermissionError("scatter_add requires a write or reduce privilege")
+        arr = self.store.raw(self.region, self.field)
+        np.add.at(arr, indices, values)
+
+    @property
+    def n_points(self) -> int:
+        return self.subset.volume
+
+    @property
+    def n_bytes(self) -> int:
+        return self.region.field_bytes(self.field, self.subset.volume)

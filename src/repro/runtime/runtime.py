@@ -1,0 +1,232 @@
+"""The runtime facade: eager execution + simulated timing + tracing.
+
+:class:`Runtime` is the single object applications interact with.  It
+
+* owns the physical :class:`~repro.runtime.region.RegionStore`;
+* executes task bodies eagerly (numerics are always real NumPy);
+* feeds a :class:`~repro.runtime.engine.Engine` the corresponding
+  :class:`~repro.runtime.task.TaskRecord` so the distributed timeline is
+  simulated as the program runs;
+* implements *dynamic tracing* (Lee et al., SC '18): wrapping an
+  iteration in ``begin_trace``/``end_trace`` memoizes the dependence
+  analysis so replayed iterations pay a much smaller per-task runtime
+  overhead — the optimization the paper's large-scale runs rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import Engine
+from .future import Future
+from .index_space import IndexSpace
+from .machine import Machine, ProcKind
+from .mapper import Mapper, RoundRobinMapper
+from .region import (
+    FieldSpace,
+    LogicalRegion,
+    Privilege,
+    RegionAccessor,
+    RegionStore,
+)
+from .subset import Subset
+from .task import IndexLauncher, TaskContext, TaskLauncher, TaskRecord
+
+__all__ = ["Runtime"]
+
+
+class _TraceState:
+    __slots__ = ("signatures", "cursor", "recording", "valid")
+
+    def __init__(self) -> None:
+        self.signatures: List[Tuple] = []
+        self.cursor = 0
+        self.recording = True
+        self.valid = True
+
+
+class Runtime:
+    """Eagerly-executing, timing-simulating Legion-model runtime."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        mapper: Optional[Mapper] = None,
+        enable_tracing: bool = True,
+        keep_timeline: bool = False,
+    ):
+        self.machine = machine if machine is not None else Machine(n_nodes=1)
+        self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
+        self.store = RegionStore()
+        self.engine = Engine(self.machine, self.mapper, keep_timeline=keep_timeline)
+        self.enable_tracing = enable_tracing
+        self._traces: Dict[Any, _TraceState] = {}
+        self._active_trace: Optional[_TraceState] = None
+
+    # -- region management ----------------------------------------------------
+
+    def create_region(
+        self,
+        ispace: IndexSpace,
+        fields: Dict[str, np.dtype],
+        name: Optional[str] = None,
+    ) -> LogicalRegion:
+        return LogicalRegion(ispace, FieldSpace(fields), name=name)
+
+    def allocate(self, region: LogicalRegion, field: str, fill: float = 0.0) -> None:
+        self.store.allocate(region, field, fill=fill)
+
+    def attach(self, region: LogicalRegion, field: str, array: np.ndarray) -> None:
+        """Adopt user data in place (paper P2/P4: no relocation)."""
+        self.store.attach(region, field, array)
+
+    def set_home_device(self, region: LogicalRegion, device_id: int) -> None:
+        self.engine.set_home_device(region, device_id)
+
+    def distribute(
+        self,
+        region: LogicalRegion,
+        field: str,
+        placement: Sequence[Tuple[Subset, int]],
+    ) -> None:
+        """Declare the initial placement of field pieces on devices; the
+        ingest itself is not part of the timed solve."""
+        self.engine.distribute(region, field, list(placement))
+
+    # -- tracing ---------------------------------------------------------------
+
+    def begin_trace(self, trace_id: Any) -> None:
+        if self._active_trace is not None:
+            raise RuntimeError("traces cannot nest")
+        state = self._traces.get(trace_id)
+        if state is None:
+            state = _TraceState()
+            self._traces[trace_id] = state
+        else:
+            state.cursor = 0
+            state.recording = False if state.valid else True
+            if state.recording:
+                state.signatures = []
+        self._active_trace = state
+
+    def end_trace(self, trace_id: Any) -> None:
+        state = self._traces.get(trace_id)
+        if state is None or state is not self._active_trace:
+            raise RuntimeError(f"end_trace({trace_id!r}) without matching begin_trace")
+        if not state.recording and state.cursor != len(state.signatures):
+            # Shorter replay than the recording: invalidate.
+            state.valid = False
+        if state.recording:
+            state.valid = True
+        self._active_trace = None
+
+    def _trace_step(self, record: TaskRecord) -> bool:
+        """Advance the active trace; returns True if this task replays a
+        memoized analysis (and therefore pays the reduced overhead)."""
+        state = self._active_trace
+        if state is None or not self.enable_tracing:
+            return False
+        sig = record.signature()
+        if state.recording:
+            state.signatures.append(sig)
+            return False
+        if state.cursor < len(state.signatures) and state.signatures[state.cursor] == sig:
+            state.cursor += 1
+            return True
+        # Divergence from the recorded trace: fall back to fresh analysis
+        # and re-record from here on.
+        state.recording = True
+        state.valid = False
+        state.signatures = state.signatures[: state.cursor]
+        state.signatures.append(sig)
+        return False
+
+    # -- task execution ----------------------------------------------------------
+
+    def execute(self, launcher: TaskLauncher, point: Optional[int] = None) -> Future:
+        """Run one task now; simulate its timing; return its future."""
+        accessors = [
+            RegionAccessor(self.store, req.region, f, req.subset, req.privilege)
+            for req in launcher.requirements
+            for f in req.fields
+        ]
+        ctx = TaskContext(accessors, launcher.args, launcher.kwargs, point=point)
+        value = launcher.body(ctx)
+        future = Future()
+
+        bytes_touched = launcher.bytes_touched
+        if bytes_touched is None:
+            bytes_touched = float(sum(req.n_bytes for req in launcher.requirements))
+        record = TaskRecord(
+            task_id=TaskRecord.next_id(),
+            name=launcher.name,
+            requirements=list(launcher.requirements),
+            proc_kind=launcher.proc_kind,
+            flops=launcher.flops,
+            bytes_touched=bytes_touched,
+            owner_hint=launcher.owner_hint,
+            future_dep_uids=[f.uid for f in launcher.future_deps],
+            future_uid=future.uid,
+            point=point,
+            irregular=launcher.irregular,
+        )
+        traced = self._trace_step(record)
+        self.engine.simulate(record, traced=traced)
+        future.set(value, producer_id=record.task_id)
+        return future
+
+    def execute_index(self, launcher: IndexLauncher) -> List[Future]:
+        """Launch one point task per color (Legion index launch)."""
+        futures = [
+            self.execute(launcher.make_point(p), point=p)
+            for p in range(launcher.n_points)
+        ]
+        if launcher.reduction is not None:
+            return [self._reduce_futures(launcher, futures)]
+        return futures
+
+    def _reduce_futures(self, launcher: IndexLauncher, futures: List[Future]) -> Future:
+        """Combine point futures into one, modeling the allreduce."""
+        value = launcher.reduction([f.get() for f in futures])
+        out = Future()
+        record = TaskRecord(
+            task_id=TaskRecord.next_id(),
+            name=f"{launcher.name}.reduce",
+            requirements=[],
+            proc_kind=ProcKind.CPU,
+            flops=float(len(futures)),
+            bytes_touched=8.0 * len(futures),
+            owner_hint=0,
+            future_dep_uids=[f.uid for f in futures],
+            future_uid=out.uid,
+            n_collective_parties=len(futures),
+            comm_bytes=launcher.reduction_bytes,
+        )
+        traced = self._trace_step(record)
+        self.engine.simulate(record, traced=traced)
+        out.set(value, producer_id=record.task_id)
+        return out
+
+    def fence(self) -> float:
+        """Execution fence (simulated): everything launched afterwards
+        starts only once all prior work completes.  This is how the
+        bulk-synchronous baseline style is expressed in the task model —
+        and what task-based applications get to *omit* (paper P1)."""
+        return self.engine.barrier()
+
+    # -- time queries -----------------------------------------------------------
+
+    @property
+    def sim_time(self) -> float:
+        """Simulated seconds at which all issued work completes."""
+        return self.engine.current_time
+
+    def wait_for(self, future: Future) -> Any:
+        """Blocking read of a future; returns its value.  (The simulated
+        cost of blocking is visible via ``future_ready_time``.)"""
+        return future.get()
+
+    def future_ready_time(self, future: Future) -> float:
+        return self.engine.future_ready_time(future.uid)

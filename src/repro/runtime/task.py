@@ -1,0 +1,187 @@
+"""Tasks, region requirements, and launchers.
+
+Tasks are the unit of scheduling.  A task names the data it touches as a
+list of :class:`RegionRequirement` (region, field, subset, privilege)
+tuples — from which the runtime infers dependences, data movement, and
+parallelism, exactly as in Legion.  Task *bodies* are plain Python
+callables receiving a :class:`TaskContext`; bodies run eagerly when the
+task is launched, while the engine separately simulates when and where
+the task would execute on the modeled machine.
+
+Launchers carry two cost annotations, ``flops`` and ``bytes_touched``,
+used by the roofline model; library kernels set these from their inputs
+(e.g. SpMV: ``2·nnz`` flops).  Setting them to zero models a pure
+metadata task.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .future import Future
+from .machine import ProcKind
+from .region import LogicalRegion, Privilege, RegionAccessor
+from .subset import Subset
+
+__all__ = ["RegionRequirement", "TaskContext", "TaskLauncher", "IndexLauncher", "TaskRecord"]
+
+_task_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class RegionRequirement:
+    """One (region, field, subset, privilege) access declaration."""
+
+    region: LogicalRegion
+    fields: Tuple[str, ...]
+    subset: Subset
+    privilege: Privilege
+
+    def __post_init__(self) -> None:
+        if self.subset.space is not self.region.ispace:
+            raise ValueError(
+                f"requirement subset lives in {self.subset.space.name}, "
+                f"but region {self.region.name} is over {self.region.ispace.name}"
+            )
+        for f in self.fields:
+            if f not in self.region.fspace:
+                raise KeyError(f"region {self.region.name} has no field {f!r}")
+
+    @property
+    def n_bytes(self) -> int:
+        return sum(
+            self.region.field_bytes(f, self.subset.volume) for f in self.fields
+        )
+
+
+class TaskContext:
+    """What a task body sees: accessors for its requirements plus args."""
+
+    def __init__(
+        self,
+        accessors: Sequence[RegionAccessor],
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        point: Optional[int] = None,
+    ):
+        self.accessors = list(accessors)
+        self.args = args
+        self.kwargs = kwargs
+        self.point = point  # color within an index launch, else None
+
+    def __getitem__(self, i: int) -> RegionAccessor:
+        return self.accessors[i]
+
+    def __len__(self) -> int:
+        return len(self.accessors)
+
+
+@dataclass
+class TaskLauncher:
+    """Description of one task launch.
+
+    Parameters
+    ----------
+    name:
+        Task name; identical names with identical requirement shapes form
+        the replayable signatures used by dynamic tracing.
+    body:
+        ``body(ctx: TaskContext) -> Any``; the return value (if not None)
+        becomes the task's future value.
+    requirements:
+        Region requirements, in the order the body's accessors appear.
+    proc_kind:
+        Processor kind constraint for the mapper.
+    flops / bytes_touched:
+        Roofline cost annotations.  If ``bytes_touched`` is None it
+        defaults to the total bytes of all requirements.
+    owner_hint:
+        Mapper hint: the color/rank whose device should run this task.
+    future_deps:
+        Futures whose producing tasks must complete first (beyond data
+        dependences), e.g. the scalars consumed by an AXPY.
+    comm_bytes:
+        Additional modeled communication not captured by region analysis
+        (e.g. the payload of a scalar allreduce).
+    """
+
+    name: str
+    body: Callable[[TaskContext], Any]
+    requirements: List[RegionRequirement] = dc_field(default_factory=list)
+    proc_kind: ProcKind = ProcKind.GPU
+    flops: float = 0.0
+    bytes_touched: Optional[float] = None
+    owner_hint: Optional[int] = None
+    future_deps: List[Future] = dc_field(default_factory=list)
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = dc_field(default_factory=dict)
+    reduction: Optional[Callable[[List[Any]], Any]] = None  # for index launches
+    #: Gather/scatter-dominated kernel (applies the device's gather penalty).
+    irregular: bool = False
+
+    def add_requirement(
+        self,
+        region: LogicalRegion,
+        fields: Sequence[str],
+        subset: Subset,
+        privilege: Privilege,
+    ) -> "TaskLauncher":
+        self.requirements.append(
+            RegionRequirement(region, tuple(fields), subset, privilege)
+        )
+        return self
+
+
+@dataclass
+class IndexLauncher:
+    """A space of point tasks, one per color (Legion's index launches).
+
+    ``make_point`` produces the :class:`TaskLauncher` for each color;
+    the runtime launches all points and, if ``reduction`` is given,
+    produces a single future combining the point futures (modeling an
+    allreduce across the points' devices).
+    """
+
+    name: str
+    n_points: int
+    make_point: Callable[[int], TaskLauncher]
+    reduction: Optional[Callable[[List[Any]], Any]] = None
+    reduction_bytes: float = 8.0
+
+
+@dataclass
+class TaskRecord:
+    """What the engine needs to simulate one executed task."""
+
+    task_id: int
+    name: str
+    requirements: List[RegionRequirement]
+    proc_kind: ProcKind
+    flops: float
+    bytes_touched: float
+    owner_hint: Optional[int]
+    future_dep_uids: List[int]
+    future_uid: Optional[int]
+    comm_bytes: float = 0.0
+    point: Optional[int] = None
+    n_collective_parties: int = 0  # >0 → charge an allreduce across parties
+    irregular: bool = False
+
+    @staticmethod
+    def next_id() -> int:
+        return next(_task_counter)
+
+    def signature(self) -> Tuple:
+        """Structural identity used by dynamic tracing: two records with
+        equal signatures have identical dependence-analysis outcomes."""
+        return (
+            self.name,
+            self.proc_kind,
+            self.owner_hint,
+            self.point,
+            tuple(
+                (r.region.uid, r.fields, r.subset.uid, r.privilege) for r in self.requirements
+            ),
+        )

@@ -1,0 +1,59 @@
+"""Sparse matrix storage formats in the KDR representation (paper §3).
+
+Every format is a triple of index spaces (kernel ``K``, domain ``D``,
+range ``R``) plus a column relation ⊆ K × D and a row relation ⊆ K × R,
+realized per Figure 3 of the paper.  Because partitioning operators work
+only through these relations, every format here — and any user-defined
+format implementing :class:`~repro.sparse.base.SparseFormat` — is
+automatically compatible with the co-partitioning machinery of
+:mod:`repro.core`.
+"""
+
+from .base import PieceKernel, SparseFormat
+from .bcsr import BCSCMatrix, BCSRMatrix
+from .convert import (
+    ALL_FORMATS,
+    to_bcsc,
+    to_bcsr,
+    to_coo,
+    to_csc,
+    to_csr,
+    to_dense_format,
+    to_dia,
+    to_ell,
+    to_ell_transposed,
+)
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .dia import DIAMatrix
+from .ell import ELLMatrix, ELLTransposedMatrix
+from .matfree import MatrixFreeOperator
+from .relation_matrix import RelationMatrix
+
+__all__ = [
+    "ALL_FORMATS",
+    "BCSCMatrix",
+    "BCSRMatrix",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "DenseMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "ELLTransposedMatrix",
+    "MatrixFreeOperator",
+    "PieceKernel",
+    "RelationMatrix",
+    "SparseFormat",
+    "to_bcsc",
+    "to_bcsr",
+    "to_coo",
+    "to_csc",
+    "to_csr",
+    "to_dense_format",
+    "to_dia",
+    "to_ell",
+    "to_ell_transposed",
+]

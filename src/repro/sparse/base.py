@@ -1,0 +1,213 @@
+"""The KDR representation of sparse matrix storage formats.
+
+Paper §3: a sparse ``R × D`` matrix is a collection of numbers indexed by
+a *kernel space* ``K`` together with a *column relation* ⊆ K × D and a
+*row relation* ⊆ K × R.  Equation (2) defines the induced linear map; in
+conventional formats each kernel point relates to exactly one ``(i, j)``
+grid position, but KDRSolvers explicitly permits many-to-many relations
+so stored numbers can be aliased into multiple entries.
+
+:class:`SparseFormat` is the abstract interface every storage format
+implements:
+
+* the three index spaces ``K``, ``D``, ``R``;
+* ``col_relation`` and ``row_relation`` as
+  :class:`~repro.runtime.deppart.Relation` objects — which is all the
+  co-partitioning machinery of :mod:`repro.core.projection` ever needs
+  (this is how partitioning stays format-independent, paper P2/P3);
+* ``triplets`` — the expansion of a set of kernel points into COO
+  ``(row, col, value)`` contributions, the format-generic hook from
+  which dense reconstruction, conversion, and piece kernels derive;
+* format-specific vectorized ``spmv``/``rmatvec`` reference kernels.
+
+:class:`PieceKernel` is the compiled form of "the part of ``A·x``
+contributed by one kernel-space piece": built once at planning time
+(localizing global row/column indices into piece-local positions, as a
+distributed SpMV localizes ghost columns), then applied every iteration
+as a pure array-in/array-out kernel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..runtime.deppart import Relation
+from ..runtime.index_space import IndexSpace
+from ..runtime.subset import Subset
+
+__all__ = ["SparseFormat", "PieceKernel"]
+
+
+class PieceKernel:
+    """One piece of a matrix-vector product, compiled for repeated use.
+
+    Maps an input vector piece (the values of ``x`` on ``domain_subset``,
+    in subset order) to output contributions on ``range_subset`` (in
+    subset order).  Internally stores a local CSR block so application is
+    a single sparse mat-vec; the *timing* of the piece on the simulated
+    machine is derived from the format's own flop/byte model, not from
+    this local representation.
+    """
+
+    __slots__ = ("matrix", "flops", "bytes_touched", "kernel_subset", "domain_subset", "range_subset")
+
+    def __init__(
+        self,
+        local_matrix: sp.csr_matrix,
+        flops: float,
+        bytes_touched: float,
+        kernel_subset: Subset,
+        domain_subset: Subset,
+        range_subset: Subset,
+    ):
+        self.matrix = local_matrix
+        self.flops = flops
+        self.bytes_touched = bytes_touched
+        self.kernel_subset = kernel_subset
+        self.domain_subset = domain_subset
+        self.range_subset = range_subset
+
+    def __call__(self, x_piece: np.ndarray) -> np.ndarray:
+        return self.matrix @ x_piece
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+
+class SparseFormat(ABC):
+    """A sparse ``R × D`` matrix in the kernel/domain/range representation."""
+
+    def __init__(self, kernel_space: IndexSpace, domain_space: IndexSpace, range_space: IndexSpace):
+        self.kernel_space = kernel_space
+        self.domain_space = domain_space
+        self.range_space = range_space
+
+    # -- the KDR interface (paper Figure 3) ---------------------------------
+
+    @property
+    @abstractmethod
+    def col_relation(self) -> Relation:
+        """The column relation ⊆ K × D (source ``K``, target ``D``)."""
+
+    @property
+    @abstractmethod
+    def row_relation(self) -> Relation:
+        """The row relation ⊆ K × R (source ``K``, target ``R``)."""
+
+    @abstractmethod
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO contributions ``(rows, cols, vals)`` of the given kernel
+        points (all of ``K`` when None).  A kernel point related to
+        multiple grid positions (aliasing) contributes one triplet per
+        position; structural zeros (e.g. DIA/ELL padding) are omitted."""
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.range_space.volume, self.domain_space.volume)
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* values (|K|), which may differ from the
+        number of logical nonzero entries when relations alias."""
+        return self.kernel_space.volume
+
+    # -- cost model -------------------------------------------------------------
+
+    def piece_flops(self, n_kernel_points: int) -> float:
+        """Multiply-add per stored value."""
+        return 2.0 * n_kernel_points
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        """Bytes moved by one SpMV piece; formats override to account for
+        their metadata (CSR: 8B value + 4B col index per nnz + row
+        pointers; DIA: values only; etc.)."""
+        return 12.0 * n_kernel_points + 8.0 * (n_domain + 2 * n_range)
+
+    # -- reference kernels ---------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference ``y = A x`` over the whole matrix (paper eq. (2))."""
+        rows, cols, vals = self.triplets()
+        y = np.zeros(self.range_space.volume, dtype=np.result_type(vals, x))
+        np.add.at(y, rows, vals * x[cols])
+        return y
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        """Reference adjoint product ``w = Aᵀ v`` (``A* v`` for real data)."""
+        rows, cols, vals = self.triplets()
+        w = np.zeros(self.domain_space.volume, dtype=np.result_type(vals, v))
+        np.add.at(w, cols, vals * v[rows])
+        return w
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols, vals = self.triplets()
+        out = np.zeros(self.shape, dtype=vals.dtype if vals.size else np.float64)
+        np.add.at(out, (rows, cols), vals)
+        return out
+
+    def to_scipy(self) -> sp.csr_matrix:
+        rows, cols, vals = self.triplets()
+        return sp.csr_matrix((vals, (rows, cols)), shape=self.shape)
+
+    # -- piece compilation -------------------------------------------------------
+
+    def make_piece_kernel(
+        self,
+        kernel_subset: Subset,
+        domain_subset: Subset,
+        range_subset: Subset,
+        transpose: bool = False,
+    ) -> PieceKernel:
+        """Compile the SpMV contribution of one kernel piece.
+
+        ``domain_subset`` must contain the image of the piece under the
+        column relation, and ``range_subset`` its image under the row
+        relation — the planner obtains both via dependent partitioning
+        (§3.1), so this precondition is satisfied by construction.
+        """
+        if kernel_subset.space is not self.kernel_space:
+            raise ValueError("kernel subset must live in this matrix's kernel space")
+        rows, cols, vals = self.triplets(kernel_subset.indices)
+        in_sub, out_sub = (range_subset, domain_subset) if transpose else (domain_subset, range_subset)
+        in_glob, out_glob = (rows, cols) if transpose else (cols, rows)
+        local_in = _localize(in_sub, in_glob)
+        local_out = _localize(out_sub, out_glob)
+        local = sp.csr_matrix(
+            (vals, (local_out, local_in)), shape=(out_sub.volume, in_sub.volume)
+        )
+        n_k = kernel_subset.volume
+        return PieceKernel(
+            local,
+            flops=self.piece_flops(n_k),
+            bytes_touched=self.piece_bytes(n_k, domain_subset.volume, range_subset.volume),
+            kernel_subset=kernel_subset,
+            domain_subset=domain_subset,
+            range_subset=range_subset,
+        )
+
+    def __repr__(self) -> str:
+        r, d = self.shape
+        return f"{type(self).__name__}({r}x{d}, nnz={self.nnz})"
+
+
+def _localize(subset: Subset, global_indices: np.ndarray) -> np.ndarray:
+    """Positions of ``global_indices`` within the subset's sorted order."""
+    sl = subset.as_slice()
+    if sl is not None:
+        local = np.asarray(global_indices, dtype=np.int64) - sl.start
+        if local.size and (local.min() < 0 or local.max() >= subset.volume):
+            raise ValueError("indices escape the provided subset")
+        return local
+    pos = np.searchsorted(subset.indices, global_indices)
+    if pos.size and (
+        (pos >= subset.volume).any() or not np.array_equal(subset.indices[np.minimum(pos, subset.volume - 1)], global_indices)
+    ):
+        raise ValueError("indices escape the provided subset")
+    return pos

@@ -1,0 +1,277 @@
+"""BCSR / BCSC (block compressed sparse row/column) formats.
+
+Figure 3 rows "BCSR"/"BCSC": the structural assumptions factor all three
+index spaces into block grids —
+
+* ``K = K₀ × B_R × B_D`` (a list of dense ``B_R × B_D`` blocks),
+* ``D = D₀ × B_D`` and ``R = R₀ × B_R`` (block columns and rows),
+
+with ``K₀`` totally ordered.  BCSR stores ``col : K₀ → D₀`` plus
+``rowptr : R₀ → [K₀, K₀]``; BCSC stores ``colptr : D₀ → [K₀, K₀]`` plus
+``row : K₀ → R₀``.  The full row/column relations on ``K`` are the
+block relations composed with the in-block coordinate projections, and
+are exposed as :class:`~repro.runtime.deppart.ComputedRelation` objects
+so the universal co-partitioning operators (paper §3.1) apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import ComputedRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["BCSRMatrix", "BCSCMatrix"]
+
+
+def _blocks_matching(
+    block_ids: np.ndarray, wanted: np.ndarray, carried: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """For each ``wanted[t]`` block id, all positions ``k0`` with
+    ``block_ids[k0] == wanted[t]``, concatenated, paired with a repeat of
+    ``carried[t]``.  Fully vectorized run concatenation."""
+    order = np.argsort(block_ids, kind="stable")
+    sorted_ids = block_ids[order]
+    starts = np.searchsorted(sorted_ids, wanted, side="left")
+    ends = np.searchsorted(sorted_ids, wanted, side="right")
+    lens = ends - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    base = np.repeat(starts, lens)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate([[0], np.cumsum(lens)[:-1]]), lens
+    )
+    return order[base + ramp], np.repeat(carried, lens)
+
+
+class _BlockFormatBase(SparseFormat):
+    """Shared machinery of BCSR and BCSC."""
+
+    def __init__(
+        self,
+        values: np.ndarray,  # (n_blocks, br, bd)
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        index_bytes: int = 4,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 3:
+            raise ValueError("block values must have shape (n_blocks, br, bd)")
+        n_blocks, br, bd = values.shape
+        if range_space.volume % br or domain_space.volume % bd:
+            raise ValueError("block size must divide the domain/range volumes")
+        kernel_space = IndexSpace.grid(n_blocks, br, bd, name="K_block")
+        super().__init__(kernel_space, domain_space, range_space)
+        self.values = values
+        self.br = br
+        self.bd = bd
+        self.n_blocks = n_blocks
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # Subclasses provide per-block row/column lookups.
+    def block_row_of(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def block_col_of(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _decompose(self, k: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split flat kernel indices into (block, in-block-row, in-block-col)."""
+        bd, br = self.bd, self.br
+        v = k % bd
+        u = (k // bd) % br
+        k0 = k // (bd * br)
+        return k0, u, v
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            bd, br = self.bd, self.br
+            block_col = self.block_col_of()
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                k0, _, v = self._decompose(k)
+                return block_col[k0] * bd + v
+
+            def backward(j: np.ndarray) -> np.ndarray:
+                d0 = j // bd
+                v = j % bd
+                k0, rep_v = _blocks_matching(block_col, d0, v)
+                u = np.arange(br, dtype=np.int64)
+                return (
+                    (k0[:, None] * br + u[None, :]) * bd + rep_v[:, None]
+                ).reshape(-1)
+
+            self._col_rel = ComputedRelation(self.kernel_space, self.domain_space, forward, backward)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        if self._row_rel is None:
+            bd, br = self.bd, self.br
+            block_row = self.block_row_of()
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                k0, u, _ = self._decompose(k)
+                return block_row[k0] * br + u
+
+            def backward(i: np.ndarray) -> np.ndarray:
+                r0 = i // br
+                u = i % br
+                k0, rep_u = _blocks_matching(block_row, r0, u)
+                v = np.arange(bd, dtype=np.int64)
+                return (
+                    (k0[:, None] * br + rep_u[:, None]) * bd + v[None, :]
+                ).reshape(-1)
+
+            self._row_rel = ComputedRelation(self.kernel_space, self.range_space, forward, backward)
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        k0, u, v = self._decompose(k)
+        rows = self.block_row_of()[k0] * self.br + u
+        cols = self.block_col_of()[k0] * self.bd + v
+        vals = self.values.reshape(-1)[k]
+        return rows, cols, vals
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Block SpMV: gather x blocks, batched dense block products,
+        scatter-accumulate into y blocks."""
+        bd, br = self.bd, self.br
+        xb = x.reshape(-1, bd)[self.block_col_of()]  # (n_blocks, bd)
+        prod = np.einsum("kuv,kv->ku", self.values, xb)  # (n_blocks, br)
+        y = np.zeros((self.range_space.volume // br, br))
+        np.add.at(y, self.block_row_of(), prod)
+        return y.reshape(-1)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        bd, br = self.bd, self.br
+        vb = v.reshape(-1, br)[self.block_row_of()]
+        prod = np.einsum("kuv,ku->kv", self.values, vb)
+        w = np.zeros((self.domain_space.volume // bd, bd))
+        np.add.at(w, self.block_col_of(), prod)
+        return w.reshape(-1)
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        # One block index per br*bd values: metadata amortized over blocks.
+        per_value = 8.0 + self.index_bytes / (self.br * self.bd)
+        return per_value * n_kernel_points + 8.0 * (n_domain + 2 * n_range)
+
+
+class BCSRMatrix(_BlockFormatBase):
+    """BCSR: ``col : K₀ → D₀`` stored, ``rowptr : R₀ → [K₀, K₀]``."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        block_cols: np.ndarray,
+        block_rowptr: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        index_bytes: int = 4,
+    ):
+        super().__init__(values, domain_space, range_space, index_bytes)
+        block_cols = np.asarray(block_cols, dtype=np.int64)
+        block_rowptr = np.asarray(block_rowptr, dtype=np.int64)
+        n_block_rows = range_space.volume // self.br
+        if block_cols.size != self.n_blocks:
+            raise ValueError("one block column index per block required")
+        if block_rowptr.size != n_block_rows + 1:
+            raise ValueError("block rowptr must have n_block_rows + 1 entries")
+        if block_rowptr[0] != 0 or block_rowptr[-1] != self.n_blocks or np.any(np.diff(block_rowptr) < 0):
+            raise ValueError("block rowptr must be monotone from 0 to n_blocks")
+        self.block_cols = block_cols
+        self.block_rowptr = block_rowptr
+        self._block_rows: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_scipy(cls, mat, block_size: Tuple[int, int], domain_space=None, range_space=None) -> "BCSRMatrix":
+        bsr = mat.tobsr(blocksize=block_size)
+        if domain_space is None:
+            domain_space = IndexSpace.linear(bsr.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(bsr.shape[0], name="R")
+        return cls(
+            np.asarray(bsr.data, dtype=np.float64),
+            bsr.indices.astype(np.int64),
+            bsr.indptr.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    def block_row_of(self) -> np.ndarray:
+        if self._block_rows is None:
+            lens = np.diff(self.block_rowptr)
+            self._block_rows = np.repeat(
+                np.arange(lens.size, dtype=np.int64), lens
+            )
+        return self._block_rows
+
+    def block_col_of(self) -> np.ndarray:
+        return self.block_cols
+
+
+class BCSCMatrix(_BlockFormatBase):
+    """BCSC: ``colptr : D₀ → [K₀, K₀]`` stored, ``row : K₀ → R₀``."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        block_rows: np.ndarray,
+        block_colptr: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        index_bytes: int = 4,
+    ):
+        super().__init__(values, domain_space, range_space, index_bytes)
+        block_rows = np.asarray(block_rows, dtype=np.int64)
+        block_colptr = np.asarray(block_colptr, dtype=np.int64)
+        n_block_cols = domain_space.volume // self.bd
+        if block_rows.size != self.n_blocks:
+            raise ValueError("one block row index per block required")
+        if block_colptr.size != n_block_cols + 1:
+            raise ValueError("block colptr must have n_block_cols + 1 entries")
+        if block_colptr[0] != 0 or block_colptr[-1] != self.n_blocks or np.any(np.diff(block_colptr) < 0):
+            raise ValueError("block colptr must be monotone from 0 to n_blocks")
+        self.block_rows = block_rows
+        self.block_colptr = block_colptr
+        self._block_cols: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_scipy(cls, mat, block_size: Tuple[int, int], domain_space=None, range_space=None) -> "BCSCMatrix":
+        # scipy has no BSC; build from the BSR of the transpose.
+        bsr_t = mat.T.tobsr(blocksize=(block_size[1], block_size[0]))
+        values_t = np.asarray(bsr_t.data, dtype=np.float64)  # blocks of Aᵀ
+        values = np.transpose(values_t, (0, 2, 1))
+        if domain_space is None:
+            domain_space = IndexSpace.linear(mat.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(mat.shape[0], name="R")
+        return cls(
+            values,
+            bsr_t.indices.astype(np.int64),
+            bsr_t.indptr.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    def block_row_of(self) -> np.ndarray:
+        return self.block_rows
+
+    def block_col_of(self) -> np.ndarray:
+        if self._block_cols is None:
+            lens = np.diff(self.block_colptr)
+            self._block_cols = np.repeat(
+                np.arange(lens.size, dtype=np.int64), lens
+            )
+        return self._block_cols

@@ -1,0 +1,105 @@
+"""Format conversions.
+
+Every :class:`~repro.sparse.base.SparseFormat` exposes ``triplets``, so
+any format converts to any other through the COO expansion.  Conversions
+are *semantic*: aliased stored values expand into explicit entries, and
+duplicate coordinates are summed — i.e. conversion preserves the linear
+transformation of paper equation (2), which is the property the
+round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+from .bcsr import BCSCMatrix, BCSRMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .dia import DIAMatrix
+from .ell import ELLMatrix, ELLTransposedMatrix
+
+__all__ = [
+    "to_coo",
+    "to_csr",
+    "to_csc",
+    "to_dense_format",
+    "to_ell",
+    "to_ell_transposed",
+    "to_dia",
+    "to_bcsr",
+    "to_bcsc",
+    "ALL_FORMATS",
+]
+
+
+def _as_scipy(matrix: SparseFormat) -> sp.csr_matrix:
+    csr = matrix.to_scipy()
+    csr.sum_duplicates()
+    return csr
+
+
+def to_coo(matrix: SparseFormat) -> COOMatrix:
+    rows, cols, vals = matrix.triplets()
+    # Sum duplicates so semantics are preserved exactly.
+    csr = _as_scipy(matrix).tocoo()
+    return COOMatrix(
+        np.asarray(csr.data, dtype=np.float64),
+        csr.row.astype(np.int64),
+        csr.col.astype(np.int64),
+        domain_space=IndexSpace.linear(matrix.shape[1], name="D"),
+        range_space=IndexSpace.linear(matrix.shape[0], name="R"),
+    )
+
+
+def to_csr(matrix: SparseFormat) -> CSRMatrix:
+    return CSRMatrix.from_scipy(_as_scipy(matrix))
+
+
+def to_csc(matrix: SparseFormat) -> CSCMatrix:
+    return CSCMatrix.from_scipy(_as_scipy(matrix))
+
+
+def to_dense_format(matrix: SparseFormat) -> DenseMatrix:
+    return DenseMatrix(matrix.to_dense())
+
+
+def to_ell(matrix: SparseFormat) -> ELLMatrix:
+    return ELLMatrix.from_scipy(_as_scipy(matrix))
+
+
+def to_ell_transposed(matrix: SparseFormat) -> ELLTransposedMatrix:
+    return ELLTransposedMatrix.from_scipy(_as_scipy(matrix))
+
+
+def to_dia(matrix: SparseFormat) -> DIAMatrix:
+    return DIAMatrix.from_scipy(_as_scipy(matrix))
+
+
+def to_bcsr(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)) -> BCSRMatrix:
+    return BCSRMatrix.from_scipy(_as_scipy(matrix), block_size=block_size)
+
+
+def to_bcsc(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)) -> BCSCMatrix:
+    return BCSCMatrix.from_scipy(_as_scipy(matrix), block_size=block_size)
+
+
+#: The format zoo of Figure 3, as (name, converter) pairs usable by
+#: parameterized tests and the format-ablation benchmark.
+ALL_FORMATS = [
+    ("dense", to_dense_format),
+    ("coo", to_coo),
+    ("csr", to_csr),
+    ("csc", to_csc),
+    ("ell", to_ell),
+    ("ell_t", to_ell_transposed),
+    ("dia", to_dia),
+    ("bcsr", to_bcsr),
+    ("bcsc", to_bcsc),
+]

@@ -1,0 +1,129 @@
+"""COO (coordinate) format.
+
+Figure 3 row "COO": no structural assumptions; the column relation is a
+stored function ``col : K → D`` and the row relation a stored function
+``row : K → R``.  A COO matrix is an indexed collection of records
+``{entry : K → ℝ, col : K → D, row : K → R}``; this class stores it as a
+structure-of-arrays (the array-of-structures layout is equivalent under
+the abstraction, see §3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import FunctionalRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix(SparseFormat):
+    """Coordinate-format sparse matrix: parallel entry/row/col arrays."""
+
+    def __init__(
+        self,
+        entries: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        kernel_space: Optional[IndexSpace] = None,
+        index_bytes: int = 4,
+    ):
+        entries = np.asarray(entries)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if not (entries.shape == rows.shape == cols.shape) or entries.ndim != 1:
+            raise ValueError("entries, rows, cols must be equal-length 1-D arrays")
+        if kernel_space is None:
+            kernel_space = IndexSpace.linear(max(entries.size, 1), name="K_coo")
+        if kernel_space.volume != entries.size:
+            if entries.size == 0 and kernel_space.volume == 1:
+                # A degenerate empty matrix still needs a nonempty space;
+                # represent it with one explicit zero.
+                entries = np.zeros(1, dtype=np.float64)
+                rows = np.zeros(1, dtype=np.int64)
+                cols = np.zeros(1, dtype=np.int64)
+            else:
+                raise ValueError("kernel space volume must equal the number of entries")
+        super().__init__(kernel_space, domain_space, range_space)
+        if rows.size and (rows.min() < 0 or rows.max() >= range_space.volume):
+            raise ValueError("row coordinates out of range-space bounds")
+        if cols.size and (cols.min() < 0 or cols.max() >= domain_space.volume):
+            raise ValueError("column coordinates out of domain-space bounds")
+        self.entries = entries
+        self.rows = rows
+        self.cols = cols
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        dense = np.asarray(dense)
+        rows, cols = np.nonzero(dense)
+        return cls(
+            dense[rows, cols],
+            rows.astype(np.int64),
+            cols.astype(np.int64),
+            domain_space=IndexSpace.linear(dense.shape[1], name="D"),
+            range_space=IndexSpace.linear(dense.shape[0], name="R"),
+        )
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "COOMatrix":
+        coo = mat.tocoo()
+        if domain_space is None:
+            domain_space = IndexSpace.linear(coo.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(coo.shape[0], name="R")
+        return cls(
+            np.asarray(coo.data, dtype=np.float64),
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    # -- KDR interface -----------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            self._col_rel = FunctionalRelation(self.kernel_space, self.domain_space, self.cols)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        if self._row_rel is None:
+            self._row_rel = FunctionalRelation(self.kernel_space, self.range_space, self.rows)
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if kernel_indices is None:
+            return self.rows, self.cols, self.entries
+        k = np.asarray(kernel_indices, dtype=np.int64)
+        return self.rows[k], self.cols[k], self.entries[k]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized COO SpMV via bincount accumulation."""
+        return np.bincount(
+            self.rows, weights=self.entries * x[self.cols], minlength=self.range_space.volume
+        ).astype(np.result_type(self.entries, x))
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            self.cols, weights=self.entries * v[self.rows], minlength=self.domain_space.volume
+        ).astype(np.result_type(self.entries, v))
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        per_nnz = self.entries.itemsize + 2 * self.index_bytes
+        return per_nnz * n_kernel_points + 8.0 * (n_domain + 2 * n_range)

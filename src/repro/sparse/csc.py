@@ -1,0 +1,144 @@
+"""CSC (compressed sparse column) format.
+
+Figure 3 row "CSC": the mirror image of CSR — the kernel space is
+totally ordered with entries of one *column* stored contiguously, the
+row relation is a stored function ``row : K → R``, and the column
+relation is the pointer map ``colptr : D → [K, K]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import FunctionalRelation, IntervalRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix(SparseFormat):
+    """Compressed sparse column matrix: ``entries``, ``rows``, ``colptr``."""
+
+    def __init__(
+        self,
+        entries: np.ndarray,
+        rows: np.ndarray,
+        colptr: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        index_bytes: int = 4,
+    ):
+        entries = np.asarray(entries)
+        rows = np.asarray(rows, dtype=np.int64)
+        colptr = np.asarray(colptr, dtype=np.int64)
+        if entries.ndim != 1 or entries.shape != rows.shape:
+            raise ValueError("entries and rows must be equal-length 1-D arrays")
+        if colptr.size != domain_space.volume + 1:
+            raise ValueError("colptr must have domain volume + 1 entries")
+        if colptr[0] != 0 or colptr[-1] != entries.size or np.any(np.diff(colptr) < 0):
+            raise ValueError("colptr must be monotone from 0 to nnz")
+        if rows.size and (rows.min() < 0 or rows.max() >= range_space.volume):
+            raise ValueError("row indices out of range-space bounds")
+        kernel_space = IndexSpace.linear(max(entries.size, 1), name="K_csc")
+        if entries.size == 0:
+            entries = np.zeros(1, dtype=np.float64)
+            rows = np.zeros(1, dtype=np.int64)
+            colptr = colptr.copy()
+            colptr[-1] = 1
+        super().__init__(kernel_space, domain_space, range_space)
+        self.entries = entries
+        self.rows = rows
+        self.colptr = colptr
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+        self._col_of: Optional[np.ndarray] = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "CSCMatrix":
+        csc = mat.tocsc()
+        csc.sum_duplicates()
+        if domain_space is None:
+            domain_space = IndexSpace.linear(csc.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(csc.shape[0], name="R")
+        return cls(
+            np.asarray(csc.data, dtype=np.float64),
+            csc.indices.astype(np.int64),
+            csc.indptr.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        import scipy.sparse as sp
+
+        return cls.from_scipy(sp.csc_matrix(np.asarray(dense)))
+
+    # -- KDR interface -----------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        """``colptr : D → [K, K]`` — kernel point ``k`` relates to column
+        ``j`` iff ``colptr[j] <= k < colptr[j+1]``."""
+        if self._col_rel is None:
+            self._col_rel = IntervalRelation(
+                self.kernel_space,
+                self.domain_space,
+                self.colptr[:-1],
+                self.colptr[1:],
+                monotone=True,
+            )
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        if self._row_rel is None:
+            self._row_rel = FunctionalRelation(self.kernel_space, self.range_space, self.rows)
+        return self._row_rel
+
+    def col_of(self) -> np.ndarray:
+        if self._col_of is None:
+            lens = np.diff(self.colptr)
+            col_of = np.repeat(np.arange(self.domain_space.volume, dtype=np.int64), lens)
+            if col_of.size < self.kernel_space.volume:
+                col_of = np.concatenate(
+                    [col_of, np.zeros(self.kernel_space.volume - col_of.size, dtype=np.int64)]
+                )
+            self._col_of = col_of
+        return self._col_of
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        col_of = self.col_of()
+        if kernel_indices is None:
+            return self.rows, col_of, self.entries
+        k = np.asarray(kernel_indices, dtype=np.int64)
+        return self.rows[k], col_of[k], self.entries[k]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        prod = self.entries * x[self.col_of()]
+        return np.bincount(
+            self.rows, weights=prod, minlength=self.range_space.volume
+        ).astype(np.result_type(self.entries, x))
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        prod = self.entries * v[self.rows]
+        return np.bincount(
+            self.col_of(), weights=prod, minlength=self.domain_space.volume
+        ).astype(np.result_type(self.entries, v))
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        per_nnz = self.entries.itemsize + self.index_bytes
+        return (
+            per_nnz * n_kernel_points
+            + self.index_bytes * (n_domain + 1)
+            + 8.0 * (n_domain + 2 * n_range)
+        )

@@ -1,0 +1,186 @@
+"""CSR (compressed sparse row) format.
+
+Figure 3 row "CSR": the kernel space ``K`` is totally ordered (a 1-D
+index space, with entries of one row stored contiguously); the column
+relation is a stored function ``col : K → D`` and the row relation is a
+pointer map ``rowptr : R → [K, K]`` from rows to contiguous kernel
+intervals — an :class:`~repro.runtime.deppart.IntervalRelation`.
+
+CSR is the format used in the paper's Figure 8 experiments (the only
+GPU-accelerated format PETSc supports), so its piece kernels and cost
+model get the most attention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import FunctionalRelation, IntervalRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix(SparseFormat):
+    """Compressed sparse row matrix: ``entries``, ``cols``, ``rowptr``."""
+
+    def __init__(
+        self,
+        entries: np.ndarray,
+        cols: np.ndarray,
+        rowptr: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+        index_bytes: int = 4,
+    ):
+        entries = np.asarray(entries)
+        cols = np.asarray(cols, dtype=np.int64)
+        rowptr = np.asarray(rowptr, dtype=np.int64)
+        if entries.ndim != 1 or entries.shape != cols.shape:
+            raise ValueError("entries and cols must be equal-length 1-D arrays")
+        if rowptr.size != range_space.volume + 1:
+            raise ValueError("rowptr must have range volume + 1 entries")
+        if rowptr[0] != 0 or rowptr[-1] != entries.size or np.any(np.diff(rowptr) < 0):
+            raise ValueError("rowptr must be monotone from 0 to nnz")
+        if cols.size and (cols.min() < 0 or cols.max() >= domain_space.volume):
+            raise ValueError("column indices out of domain-space bounds")
+        kernel_space = IndexSpace.linear(max(entries.size, 1), name="K_csr")
+        if entries.size == 0:
+            entries = np.zeros(1, dtype=np.float64)
+            cols = np.zeros(1, dtype=np.int64)
+            rowptr = rowptr.copy()
+            rowptr[-1] = 1
+        super().__init__(kernel_space, domain_space, range_space)
+        self.entries = entries
+        self.cols = cols
+        self.rowptr = rowptr
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+        self._row_of: Optional[np.ndarray] = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "CSRMatrix":
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        if domain_space is None:
+            domain_space = IndexSpace.linear(csr.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(csr.shape[0], name="R")
+        return cls(
+            np.asarray(csr.data, dtype=np.float64),
+            csr.indices.astype(np.int64),
+            csr.indptr.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        import scipy.sparse as sp
+
+        return cls.from_scipy(sp.csr_matrix(np.asarray(dense)))
+
+    @classmethod
+    def from_coo_arrays(
+        cls,
+        entries: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: IndexSpace,
+    ) -> "CSRMatrix":
+        """Build CSR by sorting COO triplets into row-major order."""
+        order = np.lexsort((cols, rows))
+        rows_s = np.asarray(rows, dtype=np.int64)[order]
+        counts = np.bincount(rows_s, minlength=range_space.volume)
+        rowptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(
+            np.asarray(entries)[order],
+            np.asarray(cols, dtype=np.int64)[order],
+            rowptr,
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    # -- KDR interface -----------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            self._col_rel = FunctionalRelation(self.kernel_space, self.domain_space, self.cols)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        """``rowptr : R → [K, K]`` — oriented K → R as a relation, i.e.
+        kernel point ``k`` relates to row ``i`` iff
+        ``rowptr[i] <= k < rowptr[i+1]``."""
+        if self._row_rel is None:
+            self._row_rel = IntervalRelation(
+                self.kernel_space,
+                self.range_space,
+                self.rowptr[:-1],
+                self.rowptr[1:],
+                monotone=True,
+            )
+        return self._row_rel
+
+    def row_of(self) -> np.ndarray:
+        """Derived per-kernel-point row index (cached)."""
+        if self._row_of is None:
+            lens = np.diff(self.rowptr)
+            self._row_of = np.repeat(
+                np.arange(self.range_space.volume, dtype=np.int64), lens
+            )
+            if self._row_of.size < self.kernel_space.volume:
+                # Degenerate empty-matrix padding entry.
+                self._row_of = np.concatenate(
+                    [self._row_of, np.zeros(self.kernel_space.volume - self._row_of.size, dtype=np.int64)]
+                )
+        return self._row_of
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        row_of = self.row_of()
+        if kernel_indices is None:
+            return row_of, self.cols, self.entries
+        k = np.asarray(kernel_indices, dtype=np.int64)
+        return row_of[k], self.cols[k], self.entries[k]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Row-wise CSR SpMV: gather-multiply then segment-sum."""
+        prod = self.entries * x[self.cols]
+        return np.bincount(
+            self.row_of(), weights=prod, minlength=self.range_space.volume
+        ).astype(np.result_type(self.entries, x))
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        prod = self.entries * v[self.row_of()]
+        return np.bincount(
+            self.cols, weights=prod, minlength=self.domain_space.volume
+        ).astype(np.result_type(self.entries, v))
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        per_nnz = self.entries.itemsize + self.index_bytes
+        return (
+            per_nnz * n_kernel_points
+            + self.index_bytes * (n_range + 1)
+            + 8.0 * (n_domain + 2 * n_range)
+        )
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal (used by Jacobi-type preconditioners)."""
+        if self.domain_space.volume != self.range_space.volume:
+            raise ValueError("diagonal requires a square system")
+        rows, cols, vals = self.triplets()
+        diag = np.zeros(self.range_space.volume, dtype=self.entries.dtype)
+        mask = rows == cols
+        np.add.at(diag, rows[mask], vals[mask])
+        return diag

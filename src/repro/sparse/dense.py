@@ -1,0 +1,110 @@
+"""Dense matrices as a degenerate sparse format.
+
+Figure 3 row "Dense": the structural assumption is ``K = R × D``; both
+relations are the canonical projections ``π₁ : R × D → R`` and
+``π₂ : R × D → D``, which require no stored metadata — "dense matrices
+in KDRSolvers consist of a structural assumption paired with an empty
+data structure" (paper §3).  The projections are expressed as
+:class:`~repro.runtime.deppart.ComputedRelation` objects so that the
+universal co-partitioning operators apply to dense blocks unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import ComputedRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["DenseMatrix"]
+
+
+class DenseMatrix(SparseFormat):
+    """A dense ``R × D`` matrix; the kernel space is the full grid."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        domain_space: Optional[IndexSpace] = None,
+        range_space: Optional[IndexSpace] = None,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("dense matrix values must be 2-D")
+        n_rows, n_cols = values.shape
+        if domain_space is None:
+            domain_space = IndexSpace.linear(n_cols, name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(n_rows, name="R")
+        if domain_space.volume != n_cols or range_space.volume != n_rows:
+            raise ValueError("index space volumes must match the value grid")
+        # Structural assumption: K = R × D.
+        kernel_space = IndexSpace.grid(n_rows, n_cols, name="K_dense")
+        super().__init__(kernel_space, domain_space, range_space)
+        self.values = values
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # -- KDR interface -----------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        """π₂ : R × D → D, computed from the linearization: ``k mod |D|``."""
+        if self._col_rel is None:
+            n_cols = self.domain_space.volume
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                return k % n_cols
+
+            def backward(j: np.ndarray) -> np.ndarray:
+                # All kernel points of column j: j, j + |D|, j + 2|D|, ...
+                n_rows = self.range_space.volume
+                return (
+                    j[None, :] + n_cols * np.arange(n_rows, dtype=np.int64)[:, None]
+                ).reshape(-1)
+
+            self._col_rel = ComputedRelation(self.kernel_space, self.domain_space, forward, backward)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        """π₁ : R × D → R, computed from the linearization: ``k div |D|``."""
+        if self._row_rel is None:
+            n_cols = self.domain_space.volume
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                return k // n_cols
+
+            def backward(i: np.ndarray) -> np.ndarray:
+                return (
+                    i[:, None] * n_cols + np.arange(n_cols, dtype=np.int64)[None, :]
+                ).reshape(-1)
+
+            self._row_rel = ComputedRelation(self.kernel_space, self.range_space, forward, backward)
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n_cols = self.domain_space.volume
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        return k // n_cols, k % n_cols, self.values.reshape(-1)[k]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        return self.values @ x
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return self.values.T @ v
+
+    def to_dense(self) -> np.ndarray:
+        return self.values.copy()
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        # No index metadata at all: values plus the vectors.
+        return 8.0 * n_kernel_points + 8.0 * (n_domain + 2 * n_range)

@@ -1,0 +1,190 @@
+"""DIA (diagonal) format.
+
+Figure 3 row "DIA": the structural assumptions are
+``D = {1..d}``, ``R = {1..r}``, ``K = K₀ × {1..d}``, and a stored
+``offset : K₀ → ℤ`` per diagonal.  Both relations are implicit:
+``col : (k₀, i) ↦ i`` and ``row : (k₀, i) ↦ i − offset(k₀)``.  Kernel
+points whose implied row falls outside ``R`` are structural zeros
+(the parts of shifted diagonals that stick out of the matrix).
+
+DIA carries *no per-entry index metadata at all*, which its byte model
+reflects — this is what makes it the bandwidth-optimal format for the
+stencil matrices used throughout the paper's evaluation, and the basis
+of the format-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import ComputedRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["DIAMatrix"]
+
+
+class DIAMatrix(SparseFormat):
+    """Diagonal format: ``values[k0, i] = A[i - offsets[k0], i]``.
+
+    (The storage convention matches ``scipy.sparse.dia_matrix`` up to the
+    sign of the offsets: here ``offsets[k0]`` is subtracted from the
+    column index ``i`` to obtain the row, i.e. the diagonal with offset
+    ``o`` holds entries ``A[i − o, i]``; scipy's diagonal ``o`` holds
+    ``A[i, i + o]``, so ``offset_here = o_scipy``.)
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        domain_space: Optional[IndexSpace] = None,
+        range_space: Optional[IndexSpace] = None,
+        n_rows: Optional[int] = None,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if values.ndim != 2 or offsets.ndim != 1 or values.shape[0] != offsets.size:
+            raise ValueError("values must be (n_diags, n_cols); offsets (n_diags,)")
+        if np.unique(offsets).size != offsets.size:
+            raise ValueError("diagonal offsets must be distinct")
+        n_diags, n_cols = values.shape
+        if domain_space is None:
+            domain_space = IndexSpace.linear(n_cols, name="D")
+        if domain_space.volume != n_cols:
+            raise ValueError("domain space volume must equal the number of columns")
+        if range_space is None:
+            range_space = IndexSpace.linear(n_rows if n_rows is not None else n_cols, name="R")
+        # Structural assumption: K = K0 × D.
+        kernel_space = IndexSpace.grid(n_diags, n_cols, name="K_dia")
+        super().__init__(kernel_space, domain_space, range_space)
+        self.values = values
+        self.offsets = offsets
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "DIAMatrix":
+        dia = mat.todia()
+        n_rows, n_cols = dia.shape
+        # scipy: data[k, i] = A[i - offsets[k], i]  (same convention), but
+        # scipy stores only as many columns as the longest diagonal needs;
+        # pad to the full column count so K = K0 × D holds structurally.
+        data = np.asarray(dia.data, dtype=np.float64)
+        if data.shape[1] < n_cols:
+            data = np.pad(data, ((0, 0), (0, n_cols - data.shape[1])))
+        elif data.shape[1] > n_cols:
+            data = data[:, :n_cols]
+        return cls(
+            data,
+            dia.offsets.astype(np.int64),
+            domain_space=domain_space,
+            range_space=range_space,
+            n_rows=n_rows,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "DIAMatrix":
+        import scipy.sparse as sp
+
+        return cls.from_scipy(sp.dia_matrix(np.asarray(dense)))
+
+    # -- KDR interface -----------------------------------------------------------
+
+    def _row_of_flat(self, k: np.ndarray) -> np.ndarray:
+        n_cols = self.domain_space.volume
+        i = k % n_cols
+        k0 = k // n_cols
+        row = i - self.offsets[k0]
+        vals = self.values.reshape(-1)[k]
+        in_range = (row >= 0) & (row < self.range_space.volume)
+        # Entries beyond the matrix boundary, and explicit stored zeros on
+        # valid positions, are distinguished: only out-of-range slots are
+        # structural zeros.
+        return np.where(in_range, row, -1), i, vals
+
+    @property
+    def col_relation(self) -> Relation:
+        """Implicit ``col : (k₀, i) ↦ i`` (valid slots only)."""
+        if self._col_rel is None:
+            def forward(k: np.ndarray) -> np.ndarray:
+                row, i, _ = self._row_of_flat(k)
+                return np.where(row >= 0, i, -1)
+
+            def backward(j: np.ndarray) -> np.ndarray:
+                n_cols = self.domain_space.volume
+                n_diags = self.offsets.size
+                k = (
+                    np.arange(n_diags, dtype=np.int64)[:, None] * n_cols + j[None, :]
+                ).reshape(-1)
+                row, _, _ = self._row_of_flat(k)
+                return k[row >= 0]
+
+            self._col_rel = ComputedRelation(self.kernel_space, self.domain_space, forward, backward)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        """Implicit ``row : (k₀, i) ↦ i − offset(k₀)``."""
+        if self._row_rel is None:
+            def forward(k: np.ndarray) -> np.ndarray:
+                row, _, _ = self._row_of_flat(k)
+                return row
+
+            def backward(i: np.ndarray) -> np.ndarray:
+                # For row i and diagonal k0: column j = i + offset[k0].
+                n_cols = self.domain_space.volume
+                j = i[None, :] + self.offsets[:, None]
+                k0 = np.broadcast_to(
+                    np.arange(self.offsets.size, dtype=np.int64)[:, None], j.shape
+                )
+                valid = (j >= 0) & (j < n_cols)
+                return (k0[valid] * n_cols + j[valid]).reshape(-1)
+
+            self._row_rel = ComputedRelation(self.kernel_space, self.range_space, forward, backward)
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        row, i, vals = self._row_of_flat(k)
+        keep = row >= 0
+        return row[keep], i[keep], vals[keep]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal-wise SpMV: one shifted AXPY per diagonal."""
+        n_rows = self.range_space.volume
+        n_cols = self.domain_space.volume
+        y = np.zeros(n_rows, dtype=np.float64)
+        for k0, off in enumerate(self.offsets):
+            # row = i - off over valid i.
+            i_lo = max(0, off)
+            i_hi = min(n_cols, n_rows + off)
+            if i_lo >= i_hi:
+                continue
+            y[i_lo - off : i_hi - off] += self.values[k0, i_lo:i_hi] * x[i_lo:i_hi]
+        return y
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        n_rows = self.range_space.volume
+        n_cols = self.domain_space.volume
+        w = np.zeros(n_cols, dtype=np.float64)
+        for k0, off in enumerate(self.offsets):
+            i_lo = max(0, off)
+            i_hi = min(n_cols, n_rows + off)
+            if i_lo >= i_hi:
+                continue
+            w[i_lo:i_hi] += self.values[k0, i_lo:i_hi] * v[i_lo - off : i_hi - off]
+        return w
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        # Values only — offsets are O(n_diags), negligible.
+        return 8.0 * n_kernel_points + 8.0 * (n_domain + 2 * n_range)

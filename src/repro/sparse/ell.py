@@ -1,0 +1,267 @@
+"""ELL (ELLPACK) format.
+
+Figure 3 row "ELL": the structural assumption is ``K = R × K₀`` — a
+fixed number ``K₀`` of slots per row.  The row relation is the implicit
+projection ``π₁ : R × K₀ → R`` (no metadata); the column relation is a
+stored function ``col : K → D``.  Rows with fewer than ``K₀`` entries
+pad with a sentinel column of ``-1`` and a zero value; padded slots are
+structural zeros excluded from the relations and triplets.
+
+The transposed variant ELL' of Figure 3 (``K = D × K₀`` with a stored
+row function) is provided by :class:`ELLTransposedMatrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.deppart import ComputedRelation, Relation
+from ..runtime.index_space import IndexSpace
+from .base import SparseFormat
+
+__all__ = ["ELLMatrix", "ELLTransposedMatrix"]
+
+
+class _PaddedColRelation(ComputedRelation):
+    """Stored ``col : K → D`` with ``-1`` marking padding slots."""
+
+    def __init__(self, kernel_space: IndexSpace, domain_space: IndexSpace, cols_flat: np.ndarray):
+        self.cols_flat = cols_flat
+
+        def forward(k: np.ndarray) -> np.ndarray:
+            return cols_flat[k]
+
+        def backward(j: np.ndarray) -> np.ndarray:
+            return np.flatnonzero(np.isin(cols_flat, j)).astype(np.int64)
+
+        super().__init__(kernel_space, domain_space, forward, backward)
+
+
+class ELLMatrix(SparseFormat):
+    """ELLPACK: value and column grids of shape ``(n_rows, slots)``."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        cols: np.ndarray,
+        domain_space: IndexSpace,
+        range_space: Optional[IndexSpace] = None,
+        index_bytes: int = 4,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if values.ndim != 2 or values.shape != cols.shape:
+            raise ValueError("values and cols must be 2-D arrays of equal shape")
+        n_rows, slots = values.shape
+        if slots == 0:
+            raise ValueError("ELL needs at least one slot per row")
+        if range_space is None:
+            range_space = IndexSpace.linear(n_rows, name="R")
+        if range_space.volume != n_rows:
+            raise ValueError("range space volume must equal the number of rows")
+        valid = cols >= 0
+        if cols[valid].size and cols[valid].max() >= domain_space.volume:
+            raise ValueError("column indices out of domain-space bounds")
+        # Structural assumption: K = R × K0.
+        kernel_space = IndexSpace.grid(n_rows, slots, name="K_ell")
+        super().__init__(kernel_space, domain_space, range_space)
+        self.values = values
+        self.cols = cols
+        self.slots = slots
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "ELLMatrix":
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        n_rows = csr.shape[0]
+        lens = np.diff(csr.indptr)
+        slots = max(int(lens.max()) if lens.size else 1, 1)
+        values = np.zeros((n_rows, slots))
+        cols = np.full((n_rows, slots), -1, dtype=np.int64)
+        # Vectorized fill: position of each nnz within its row.
+        pos = np.arange(csr.nnz) - np.repeat(csr.indptr[:-1], lens)
+        rows = np.repeat(np.arange(n_rows), lens)
+        values[rows, pos] = csr.data
+        cols[rows, pos] = csr.indices
+        if domain_space is None:
+            domain_space = IndexSpace.linear(csr.shape[1], name="D")
+        return cls(values, cols, domain_space=domain_space, range_space=range_space)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "ELLMatrix":
+        import scipy.sparse as sp
+
+        return cls.from_scipy(sp.csr_matrix(np.asarray(dense)))
+
+    # -- KDR interface -----------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            self._col_rel = _PaddedColRelation(
+                self.kernel_space, self.domain_space, self.cols.reshape(-1)
+            )
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        """Implicit π₁ : R × K₀ → R (only valid slots participate)."""
+        if self._row_rel is None:
+            slots = self.slots
+            cols_flat = self.cols.reshape(-1)
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                rows = k // slots
+                return np.where(cols_flat[k] >= 0, rows, -1)
+
+            def backward(i: np.ndarray) -> np.ndarray:
+                k = (
+                    i[:, None] * slots + np.arange(slots, dtype=np.int64)[None, :]
+                ).reshape(-1)
+                return k[cols_flat[k] >= 0]
+
+            self._row_rel = ComputedRelation(self.kernel_space, self.range_space, forward, backward)
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cols_flat = self.cols.reshape(-1)
+        vals_flat = self.values.reshape(-1)
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        c = cols_flat[k]
+        keep = c >= 0
+        return (k[keep] // self.slots), c[keep], vals_flat[k[keep]]
+
+    # -- kernels -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Slot-parallel ELL SpMV: gather per slot column, masked sum."""
+        safe_cols = np.maximum(self.cols, 0)
+        gathered = x[safe_cols] * self.values
+        gathered[self.cols < 0] = 0.0
+        return gathered.sum(axis=1)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        rows, cols, vals = self.triplets()
+        return np.bincount(
+            cols, weights=vals * v[rows], minlength=self.domain_space.volume
+        ).astype(np.float64)
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        # Padding slots are read too — that's the ELL trade-off.
+        per_slot = 8.0 + self.index_bytes
+        return per_slot * n_kernel_points + 8.0 * (n_domain + 2 * n_range)
+
+
+class ELLTransposedMatrix(SparseFormat):
+    """Figure 3 row "ELL'": ``K = D × K₀`` with implicit column relation
+    π₁ : D × K₀ → D and a stored row function ``row : K → R``."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        rows: np.ndarray,
+        range_space: IndexSpace,
+        domain_space: Optional[IndexSpace] = None,
+        index_bytes: int = 4,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if values.ndim != 2 or values.shape != rows.shape:
+            raise ValueError("values and rows must be 2-D arrays of equal shape")
+        n_cols, slots = values.shape
+        if domain_space is None:
+            domain_space = IndexSpace.linear(n_cols, name="D")
+        if domain_space.volume != n_cols:
+            raise ValueError("domain space volume must equal the number of columns")
+        valid = rows >= 0
+        if rows[valid].size and rows[valid].max() >= range_space.volume:
+            raise ValueError("row indices out of range-space bounds")
+        kernel_space = IndexSpace.grid(n_cols, slots, name="K_ellT")
+        super().__init__(kernel_space, domain_space, range_space)
+        self.values = values
+        self.rows = rows
+        self.slots = slots
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    @classmethod
+    def from_scipy(cls, mat, domain_space=None, range_space=None) -> "ELLTransposedMatrix":
+        csc = mat.tocsc()
+        csc.sum_duplicates()
+        n_cols = csc.shape[1]
+        lens = np.diff(csc.indptr)
+        slots = max(int(lens.max()) if lens.size else 1, 1)
+        values = np.zeros((n_cols, slots))
+        rows = np.full((n_cols, slots), -1, dtype=np.int64)
+        pos = np.arange(csc.nnz) - np.repeat(csc.indptr[:-1], lens)
+        cols = np.repeat(np.arange(n_cols), lens)
+        values[cols, pos] = csc.data
+        rows[cols, pos] = csc.indices
+        if range_space is None:
+            range_space = IndexSpace.linear(csc.shape[0], name="R")
+        return cls(values, rows, range_space=range_space, domain_space=domain_space)
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            slots = self.slots
+            rows_flat = self.rows.reshape(-1)
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                cols = k // slots
+                return np.where(rows_flat[k] >= 0, cols, -1)
+
+            def backward(j: np.ndarray) -> np.ndarray:
+                k = (
+                    j[:, None] * slots + np.arange(slots, dtype=np.int64)[None, :]
+                ).reshape(-1)
+                return k[rows_flat[k] >= 0]
+
+            self._col_rel = ComputedRelation(self.kernel_space, self.domain_space, forward, backward)
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        if self._row_rel is None:
+            self._row_rel = _PaddedColRelation(
+                self.kernel_space, self.range_space, self.rows.reshape(-1)
+            )
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows_flat = self.rows.reshape(-1)
+        vals_flat = self.values.reshape(-1)
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        r = rows_flat[k]
+        keep = r >= 0
+        return r[keep], (k[keep] // self.slots), vals_flat[k[keep]]
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        rows, cols, vals = self.triplets()
+        return np.bincount(
+            rows, weights=vals * x[cols], minlength=self.range_space.volume
+        ).astype(np.float64)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        safe_rows = np.maximum(self.rows, 0)
+        gathered = v[safe_rows] * self.values
+        gathered[self.rows < 0] = 0.0
+        return gathered.sum(axis=1)
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        per_slot = 8.0 + self.index_bytes
+        return per_slot * n_kernel_points + 8.0 * (n_domain + 2 * n_range)

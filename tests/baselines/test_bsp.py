@@ -1,0 +1,95 @@
+"""BSP substrate: decompositions, halo analysis, clock semantics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bsp import BSPMachine, RankDecomposition
+from repro.problems import laplacian_scipy
+from repro.runtime import lassen
+
+
+class TestRankDecomposition:
+    def test_bounds_cover_exactly(self):
+        d = RankDecomposition(100, 8)
+        assert d.bounds[0] == 0 and d.bounds[-1] == 100
+        sizes = np.diff(d.bounds)
+        assert sizes.sum() == 100 and sizes.min() >= 12
+
+    def test_more_ranks_than_rows_clamped(self):
+        d = RankDecomposition(3, 8)
+        assert d.n_ranks == 3
+
+    def test_owner_of(self):
+        d = RankDecomposition(100, 4)
+        np.testing.assert_array_equal(d.owner_of(np.array([0, 25, 50, 99])), [0, 1, 2, 3])
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            RankDecomposition(10, 0)
+
+    def test_stencil_halo_analysis(self):
+        """For a 2-D 5-pt stencil row-banded over 4 ranks, each interior
+        rank exchanges exactly one grid row with each neighbour."""
+        ny = 16
+        A = laplacian_scipy("2d5", (16, ny))
+        d = RankDecomposition(A.shape[0], 4)
+        plans = d.plan_spmv(A)
+        # Interior rank 1: receives ny ghost columns from each neighbour.
+        recv = dict(plans[1].halo_recv)
+        assert recv == {0: ny, 2: ny}
+        send = dict(plans[1].halo_send)
+        assert send == {0: ny, 2: ny}
+        # Edge rank 0: one neighbour only.
+        assert dict(plans[0].halo_recv) == {1: ny}
+        # Local + ghost nnz accounts for everything.
+        total = sum(p.nnz_local + p.nnz_ghost for p in plans)
+        assert total == A.nnz
+
+    def test_plan_conservation_of_messages(self):
+        A = laplacian_scipy("2d5", (8, 8))
+        d = RankDecomposition(64, 4)
+        plans = d.plan_spmv(A)
+        sent = sum(c for p in plans for _, c in p.halo_send)
+        received = sum(c for p in plans for _, c in p.halo_recv)
+        assert sent == received
+
+
+class TestBSPMachine:
+    def test_clock_starts_at_zero_and_resets(self):
+        bsp = BSPMachine(lassen(2))
+        assert bsp.time == 0.0
+        bsp.uniform_kernel(1e9, 1e9)
+        assert bsp.time > 0.0
+        bsp.reset()
+        assert bsp.time == 0.0
+
+    def test_local_kernels_do_not_synchronize(self):
+        bsp = BSPMachine(lassen(2))
+        flops = np.zeros(bsp.n_ranks)
+        flops[0] = 1e12  # only rank 0 is slow
+        bsp.local_kernel(flops, np.zeros(bsp.n_ranks))
+        assert bsp.clocks[0] > bsp.clocks[1]
+
+    def test_allreduce_synchronizes_to_slowest(self):
+        bsp = BSPMachine(lassen(2))
+        flops = np.zeros(bsp.n_ranks)
+        flops[0] = 1e12
+        bsp.local_kernel(flops, np.zeros(bsp.n_ranks))
+        bsp.allreduce()
+        assert np.allclose(bsp.clocks, bsp.clocks[0])
+        assert bsp.total_allreduces == 1
+
+    def test_bandwidth_efficiency_slows_kernels(self):
+        fast = BSPMachine(lassen(1), bandwidth_efficiency=1.0)
+        slow = BSPMachine(lassen(1), bandwidth_efficiency=0.5)
+        fast.uniform_kernel(0.0, 1e10)
+        slow.uniform_kernel(0.0, 1e10)
+        assert slow.time > fast.time
+
+    def test_spmv_phase_advances_all_ranks(self):
+        A = laplacian_scipy("2d5", (16, 16))
+        d = RankDecomposition(A.shape[0], 8)
+        bsp = BSPMachine(lassen(2))
+        plans = d.plan_spmv(A)
+        bsp.spmv_phase(plans)
+        assert (bsp.clocks > 0).all()

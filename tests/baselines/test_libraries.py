@@ -1,0 +1,122 @@
+"""Baseline libraries: numerics, timing semantics, and the P2/P3
+inflexibilities the paper contrasts against."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.baselines import PETScLikeLibrary, TrilinosLikeLibrary
+from repro.problems import laplacian_scipy, system_with_solution, tridiagonal_toeplitz
+from repro.runtime import lassen
+
+LIBRARIES = [PETScLikeLibrary, TrilinosLikeLibrary]
+LIB_IDS = ["petsc", "trilinos"]
+
+
+@pytest.fixture
+def system(rng):
+    A, b, x_star = system_with_solution(tridiagonal_toeplitz(80), seed=9)
+    return A, b, x_star
+
+
+@pytest.mark.parametrize("cls", LIBRARIES, ids=LIB_IDS)
+class TestNumerics:
+    def test_cg_converges_to_truth(self, cls, system):
+        A, b, x_star = system
+        lib = cls(A, b, lassen(2))
+        result = lib.run("cg", 500, tolerance=1e-10)
+        assert result.residual < 1e-10
+        assert np.linalg.norm(lib.x - x_star) / np.linalg.norm(x_star) < 1e-7
+
+    def test_bicgstab_converges(self, cls, system):
+        A, b, x_star = system
+        lib = cls(A, b, lassen(2))
+        result = lib.run("bicgstab", 500, tolerance=1e-10)
+        assert result.residual < 1e-8
+
+    def test_gmres_converges(self, cls, system):
+        A, b, x_star = system
+        lib = cls(A, b, lassen(2))
+        result = lib.run("gmres", 300, tolerance=1e-8)
+        assert result.residual < 1e-8
+
+    def test_matches_scipy(self, cls, system, rng):
+        A, b, _ = system
+        x_ref = spla.spsolve(A.tocsc(), b)
+        lib = cls(A, b, lassen(2))
+        lib.run("cg", 500, tolerance=1e-12)
+        np.testing.assert_allclose(lib.x, x_ref, atol=1e-8)
+
+
+@pytest.mark.parametrize("cls", LIBRARIES, ids=LIB_IDS)
+class TestInflexibility:
+    """The paper's §2.2 critique, executable."""
+
+    def test_only_library_formats_accepted(self, cls, system):
+        A, b, _ = system
+        with pytest.raises(ValueError, match="storage"):
+            cls(A, b, lassen(1), matrix_format="dia")
+
+    def test_only_row_partitions_accepted(self, cls, system):
+        A, b, _ = system
+        with pytest.raises(ValueError, match="partition"):
+            cls(A, b, lassen(1), partition="2d-tiles")
+
+    def test_assembly_copies_user_data(self, cls, system):
+        """Unlike the planner's in-place attach, the library copies."""
+        A, b, _ = system
+        lib = cls(A, b, lassen(1))
+        lib.b[0] = 123.0
+        assert b[0] != 123.0
+        assert lib.ingest_time > 0.0
+
+
+class TestTimingSemantics:
+    def test_trilinos_slower_than_petsc_same_problem(self, rng):
+        A = laplacian_scipy("2d5", (64, 64))
+        b = rng.random(A.shape[0])
+        tp = PETScLikeLibrary(A, b, lassen(2)).benchmark("cg", warmup=3, timed=10)
+        tt = TrilinosLikeLibrary(A, b, lassen(2)).benchmark("cg", warmup=3, timed=10)
+        assert tt > tp  # heavier call overhead + UVM bandwidth penalty
+
+    def test_time_grows_with_problem_size(self, rng):
+        times = []
+        for side in (32, 128):
+            A = laplacian_scipy("2d5", (side, side))
+            b = rng.random(A.shape[0])
+            times.append(PETScLikeLibrary(A, b, lassen(2)).benchmark("cg", 3, 10))
+        assert times[1] > times[0]
+
+    def test_monitoring_adds_an_allreduce(self, rng):
+        """KSP-style convergence monitoring costs one extra reduction per
+        iteration relative to Figure 7's CG."""
+        A = tridiagonal_toeplitz(64)
+        b = rng.random(64)
+        lib = PETScLikeLibrary(A, b, lassen(1))
+        lib.run("cg", 10)
+        with_monitor = lib.bsp.total_allreduces
+        lib2 = PETScLikeLibrary(A, b, lassen(1))
+        lib2.monitor_norm = False
+        lib2.run("cg", 10)
+        assert with_monitor == lib2.bsp.total_allreduces + 10
+
+    def test_unknown_solver_rejected(self, rng):
+        A = tridiagonal_toeplitz(16)
+        lib = PETScLikeLibrary(A, np.ones(16), lassen(1))
+        with pytest.raises(KeyError):
+            lib.run("qmr", 5)
+
+
+class TestPETScGMRESDynamicRestart:
+    def test_dynamic_restart_short_circuits(self, rng):
+        """PETSc's GMRES may end cycles early; with an easy system the
+        per-cycle work is lower than the static GMRES(10) of Trilinos —
+        the reason the paper excludes PETSc from Figure 8's GMRES panel."""
+        A = tridiagonal_toeplitz(64) + 10.0 * np.eye(64)
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix(A)
+        b = rng.random(64)
+        petsc = PETScLikeLibrary(A, b, lassen(1))
+        r = petsc.run("gmres", 20, tolerance=1e-10)
+        assert r.residual < 1e-10

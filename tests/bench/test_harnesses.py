@@ -1,0 +1,139 @@
+"""Figure harnesses: small runs exercise the full pipelines and the
+reproduction's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    run_fig10,
+    run_fig8,
+    run_fig9,
+    summarize_fig10,
+    summarize_fig8,
+    summarize_fig9,
+)
+from repro.bench.fig9 import bicgstab_time_per_iteration
+from repro.bench.report import format_table, geomean, geomean_ratio_on_largest
+from repro.runtime import lassen_scaled
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]], "{:.1f}")
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.5" in out and "3.2" in out
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geomean([]))
+
+    def test_geomean_ratio_on_largest(self):
+        sizes = [10, 20, 30, 40]
+        ours = {n: 1.0 for n in sizes}
+        theirs = {n: 2.0 for n in sizes}
+        assert geomean_ratio_on_largest(sizes, ours, theirs, 2) == pytest.approx(0.5)
+        assert geomean_ratio_on_largest([], {}, {}) is None
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig8(
+            stencils=("2d5",),
+            solvers=("cg",),
+            sizes=[2**12, 2**18],
+            nodes=1,
+            warmup=2,
+            timed=6,
+        )
+
+    def test_all_libraries_present(self, rows):
+        libs = {r.library for r in rows}
+        assert libs == {"legion", "petsc", "trilinos"}
+        sizes = {r.n_unknowns for r in rows}
+        assert len(sizes) == 2
+
+    def test_paper_shape(self, rows):
+        """Baselines lead at the small size; LegionSolvers is competitive
+        or ahead at the large size."""
+        def t(lib, n):
+            return next(
+                r.time_per_iteration for r in rows
+                if r.library == lib and r.n_unknowns == n
+            )
+
+        small, large = sorted({r.n_unknowns for r in rows})
+        assert t("legion", small) > t("petsc", small)
+        assert t("legion", large) < t("trilinos", large)
+
+    def test_gmres_excludes_petsc(self):
+        rows = run_fig8(
+            stencils=("1d3",), solvers=("gmres",), sizes=[2**12],
+            nodes=1, warmup=1, timed=2,
+        )
+        assert {r.library for r in rows} == {"legion", "trilinos"}
+
+    def test_summary_prints_geomeans(self, rows):
+        text = summarize_fig8(rows)
+        assert "geomean improvement vs petsc" in text
+        assert "paper: +5.4%" in text
+        assert "2d5 / cg" in text
+
+    def test_model_mode_runs_full_scale(self):
+        rows = run_fig8(
+            stencils=("2d5",), solvers=("cg",), sizes=[2**28, 2**32],
+            nodes=16, mode="model",
+        )
+        big = [r for r in rows if r.n_unknowns == 2**32]
+        leg = next(r for r in big if r.library == "legion")
+        tri = next(r for r in big if r.library == "trilinos")
+        assert leg.time_per_iteration < tri.time_per_iteration
+        assert leg.mode == "model"
+
+    def test_oversized_real_problems_skipped(self):
+        rows = run_fig8(
+            stencils=("3d27",), solvers=("cg",), sizes=[2**24],
+            nodes=1, warmup=1, timed=2, max_real_nnz=1_000_000,
+        )
+        assert rows == []
+
+
+class TestFig9:
+    def test_multiop_overhead_at_small_sizes(self):
+        m_single = lassen_scaled(2, 16.0)
+        t_single = bicgstab_time_per_iteration((32, 32), 1, m_single, warmup=1, timed=4)
+        m_multi = lassen_scaled(2, 16.0)
+        t_multi = bicgstab_time_per_iteration((32, 32), 2, m_multi, warmup=1, timed=4)
+        assert t_multi > t_single  # fixed task-launch overhead (paper §6.2)
+
+    def test_run_and_summary(self):
+        rows = run_fig9(exponents=(5, 6), warmup=1, timed=3)
+        assert len(rows) == 4
+        text = summarize_fig9(rows)
+        assert "single" in text and "multi" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(
+            grid_exp=9, nodes=4, iterations=80, load_period=20,
+            rebalance_period=10, scale=16.0, seed=1,
+        )
+
+    def test_paired_runs_same_length(self, result):
+        assert result.iteration_times_static.shape == result.iteration_times_dynamic.shape
+        assert (result.iteration_times_static > 0).all()
+
+    def test_rebalancing_migrates_tiles(self, result):
+        assert result.migrations > 0
+
+    def test_dynamic_reduces_total_time(self, result):
+        # Small configuration: require improvement, not the paper's 66%.
+        assert result.reduction > 0.0
+
+    def test_summary_mentions_paper_number(self, result):
+        text = summarize_fig10(result)
+        assert "66%" in text
+        assert "migrations" in text

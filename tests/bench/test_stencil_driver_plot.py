@@ -1,0 +1,98 @@
+"""The artifact's BenchmarkStencil driver and the ASCII plot helper."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DIM_CODES,
+    SOLVER_CODES,
+    ascii_xy_plot,
+    benchmark_stencil,
+)
+from repro.runtime import lassen
+
+
+class TestBenchmarkStencil:
+    def test_codes_match_artifact(self):
+        assert DIM_CODES == {1: "1d3", 2: "2d5", 3: "3d7", 4: "3d27"}
+        assert SOLVER_CODES == {1: "cg", 2: "bicgstab", 3: "gmres"}
+
+    def test_basic_run(self):
+        r = benchmark_stencil(dim=2, solver=1, nx=32, ny=32, it=20, warmup=2)
+        assert r.stencil == "2d5" and r.solver == "cg"
+        assert r.n_unknowns == 1024
+        assert r.iterations == 20
+        assert r.total_time > 0
+        assert r.time_per_iteration == pytest.approx(r.total_time / 20)
+        assert np.isfinite(r.final_residual)
+        assert "BenchmarkStencil" in r.report()
+
+    def test_1d_ignores_ny_nz(self):
+        r = benchmark_stencil(dim=1, solver=1, nx=256, ny=99, nz=99, it=5, warmup=1)
+        assert r.grid == (256,)
+
+    def test_3d_stencils(self):
+        for dim, kind in ((3, "3d7"), (4, "3d27")):
+            r = benchmark_stencil(dim=dim, solver=2, nx=8, ny=8, nz=8, it=3, warmup=1)
+            assert r.stencil == kind
+            assert r.n_unknowns == 512
+
+    def test_vp_defaults_to_paper_rule(self):
+        r = benchmark_stencil(dim=1, solver=1, nx=1024, it=3, warmup=0,
+                              machine=lassen(2))
+        assert r.vp == 8  # 4 × nodes
+
+    def test_bad_codes_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_stencil(dim=5, solver=1, nx=8)
+        with pytest.raises(KeyError):
+            benchmark_stencil(dim=1, solver=9, nx=8)
+        with pytest.raises(ValueError):
+            benchmark_stencil(dim=2, solver=1, nx=8, ny=0)
+
+    def test_gmres_counts_cycles(self):
+        r = benchmark_stencil(dim=1, solver=3, nx=128, it=4, warmup=1)
+        assert r.solver == "gmres"
+        assert r.iterations == 4
+
+
+class TestAsciiPlot:
+    def test_all_series_plotted_with_legend(self):
+        out = ascii_xy_plot(
+            {"a": [(10, 1.0), (100, 2.0)], "b": [(10, 3.0), (100, 4.0)]},
+            width=30, height=8,
+        )
+        assert "* a" in out and "o b" in out
+        assert "*" in out.splitlines()[1] or any("*" in l for l in out.splitlines())
+
+    def test_handles_empty(self):
+        assert ascii_xy_plot({}) == "(no data)"
+        assert ascii_xy_plot({"a": []}) == "(no data)"
+
+    def test_drops_nonpositive_on_log_axes(self):
+        out = ascii_xy_plot({"a": [(10, 0.0), (100, float("nan")), (1000, 5.0)]})
+        assert "(no data)" not in out
+
+    def test_linear_axes(self):
+        out = ascii_xy_plot({"a": [(0.5, 1.0), (2.0, 3.0)]}, logx=False, logy=False)
+        assert "a" in out
+
+    def test_single_point(self):
+        out = ascii_xy_plot({"a": [(10, 10)]}, width=12, height=4)
+        assert "* a" in out
+
+    def test_title_included(self):
+        out = ascii_xy_plot({"a": [(1, 1), (2, 2)]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_in_fig9_summary(self):
+        from repro.bench import Fig9Row, summarize_fig9
+
+        rows = [
+            Fig9Row(1024, "single", 1e-4),
+            Fig9Row(1024, "multi", 1.2e-4),
+            Fig9Row(4096, "single", 2e-4),
+            Fig9Row(4096, "multi", 1.9e-4),
+        ]
+        text = summarize_fig9(rows)
+        assert "single" in text and "log-log" in text

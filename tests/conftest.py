@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.runtime import Machine, Runtime, ShardedMapper, lassen
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_machine():
+    """Two nodes, four GPUs each — enough to exercise NVLink and NIC paths."""
+    return lassen(2)
+
+
+@pytest.fixture
+def cpu_machine():
+    """Four CPU-only nodes (the §6.3 configuration, scaled down)."""
+    return Machine(n_nodes=4, gpus_per_node=0)
+
+
+@pytest.fixture
+def runtime(small_machine):
+    return Runtime(machine=small_machine, mapper=ShardedMapper(small_machine))
+
+
+@pytest.fixture
+def random_sparse(rng):
+    """A reproducible 20×24 random sparse matrix with ~30% density."""
+    A = sp.random(20, 24, density=0.3, random_state=np.random.default_rng(7), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    return A
+
+
+@pytest.fixture
+def spd_system(rng):
+    """A small SPD system (1-D Laplacian) with a manufactured solution."""
+    n = 64
+    A = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+    x_star = rng.normal(size=n)
+    return A, A @ x_star, x_star

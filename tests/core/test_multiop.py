@@ -1,0 +1,130 @@
+"""Multi-operator systems: components, aliasing, interference analysis."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import Planner, RHS, SOL
+from repro.core.multiop import MultiOperatorSystem, OperatorComponent
+from repro.core.vectors import VectorComponent
+from repro.runtime import IndexSpace, Partition, Runtime, ShardedMapper, lassen
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rt():
+    m = lassen(1)
+    return Runtime(machine=m, mapper=ShardedMapper(m))
+
+
+def make_component(rt, matrix, sol_comp, rhs_comp, sol_idx=0, rhs_idx=0, hints=None):
+    return OperatorComponent(rt, matrix, sol_idx, rhs_idx, sol_comp, rhs_comp, piece_hints=hints)
+
+
+@pytest.fixture
+def square(rt, rng):
+    n = 16
+    space = IndexSpace.linear(n)
+    A = sp.random(n, n, density=0.3, random_state=np.random.default_rng(1), format="csr")
+    A = (A + sp.identity(n)).tocsr()
+    matrix = CSRMatrix.from_scipy(A, domain_space=space, range_space=space)
+    part = Partition.equal(space, 4)
+    sol = VectorComponent(rt, space, part)
+    rhs = VectorComponent(rt, space, part)
+    return rt, matrix, sol, rhs
+
+
+class TestOperatorComponent:
+    def test_copartitions_follow_output_partition(self, square):
+        rt, matrix, sol, rhs = square
+        comp = make_component(rt, matrix, sol, rhs)
+        assert comp.n_pieces == 4
+        assert len(comp.kernels) == 4
+        assert comp.kernel_partition.parent is matrix.kernel_space
+        assert comp.domain_partition.parent is matrix.domain_space
+
+    def test_space_mismatch_rejected(self, rt, square):
+        _, matrix, sol, rhs = square
+        other_space = IndexSpace.linear(16)
+        foreign = VectorComponent(rt, other_space, Partition.equal(other_space, 2))
+        with pytest.raises(ValueError):
+            make_component(rt, matrix, foreign, rhs)
+        with pytest.raises(ValueError):
+            make_component(rt, matrix, sol, foreign)
+
+    def test_piece_hints_validated(self, square):
+        rt, matrix, sol, rhs = square
+        with pytest.raises(ValueError):
+            make_component(rt, matrix, sol, rhs, hints=[1, 2])  # wrong count
+        comp = make_component(rt, matrix, sol, rhs, hints=[10, 11, 12, 13])
+        assert comp.hint_for(2) == 12
+
+    def test_default_hint_uses_rhs_offset(self, square):
+        rt, matrix, sol, rhs = square
+        rhs.piece_offset = 7
+        comp = make_component(rt, matrix, sol, rhs)
+        assert comp.hint_for(1) == 8
+
+    def test_adjoint_plan_cached(self, square):
+        rt, matrix, sol, rhs = square
+        comp = make_component(rt, matrix, sol, rhs)
+        kp1, rp1, dp1, k1 = comp.adjoint_plan()
+        kp2, _, _, k2 = comp.adjoint_plan()
+        assert kp1 is kp2 and k1 is k2
+        assert len(k1) == sol.n_pieces
+
+    def test_entry_region_shared_for_same_matrix(self, square):
+        rt, matrix, sol, rhs = square
+        a = make_component(rt, matrix, sol, rhs)
+        b = make_component(rt, matrix, sol, rhs)
+        assert a.entry_region is b.entry_region
+
+
+class TestMultiOperatorSystem:
+    def test_lookup_by_indices(self, square):
+        rt, matrix, sol, rhs = square
+        system = MultiOperatorSystem()
+        system.add(make_component(rt, matrix, sol, rhs, 0, 0))
+        system.add(make_component(rt, matrix, sol, rhs, 0, 1))
+        assert len(system) == 2
+        assert len(system.by_rhs(0)) == 1
+        assert len(system.by_rhs(1)) == 1
+        assert len(system.by_sol(0)) == 2
+        assert len(system.by_sol(1)) == 0
+
+    def test_interference_pairs_same_rhs_overlap(self, square):
+        rt, matrix, sol, rhs = square
+        system = MultiOperatorSystem()
+        a = make_component(rt, matrix, sol, rhs, 0, 0)
+        b = make_component(rt, matrix, sol, rhs, 0, 0)
+        system.add(a)
+        system.add(b)
+        pairs = system.interference()
+        # Two full copies of the same matrix: every piece pair with
+        # matching output rows interferes.
+        assert pairs, "aliasing operators must be detected as interfering"
+        # Cached: a second call returns the same object.
+        assert system.interference() is pairs
+
+    def test_no_interference_across_rhs_components(self, square):
+        rt, matrix, sol, rhs = square
+        system = MultiOperatorSystem()
+        system.add(make_component(rt, matrix, sol, rhs, 0, 0))
+        system.add(make_component(rt, matrix, sol, rhs, 0, 1))
+        assert system.interference() == []
+
+    def test_adding_invalidates_cache(self, square):
+        rt, matrix, sol, rhs = square
+        system = MultiOperatorSystem()
+        system.add(make_component(rt, matrix, sol, rhs, 0, 0))
+        assert system.interference() == []
+        system.add(make_component(rt, matrix, sol, rhs, 0, 0))
+        assert system.interference() != []
+
+    def test_aliasing_byte_accounting(self, square):
+        rt, matrix, sol, rhs = square
+        system = MultiOperatorSystem()
+        for _ in range(3):
+            system.add(make_component(rt, matrix, sol, rhs, 0, 0))
+        assert system.total_stored_bytes() == matrix.nnz * 8
+        assert system.total_logical_bytes() == 3 * matrix.nnz * 8

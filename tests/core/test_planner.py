@@ -1,0 +1,250 @@
+"""The planner API of Figures 5–6: setup rules and operation semantics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import Planner, RHS, SOL
+from repro.runtime import IndexSpace, Partition, Runtime, ShardedMapper, lassen
+from repro.sparse import CSRMatrix
+
+
+def make_planner_raw(n=32, pieces=4, nodes=2):
+    machine = lassen(nodes)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    return Planner(runtime)
+
+
+@pytest.fixture
+def square_setup(rng):
+    """A square single-operator system with random data, plus references."""
+    n = 48
+    A = sp.random(n, n, density=0.2, random_state=np.random.default_rng(2), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    A = (A + sp.identity(n)).tocsr()
+    x0 = rng.normal(size=n)
+    b = rng.normal(size=n)
+    planner = make_planner_raw()
+    space = IndexSpace.linear(n)
+    part = Partition.equal(space, 4)
+    sid = planner.add_sol_vector((space, x0), part)
+    rid = planner.add_rhs_vector((space, b), part)
+    matrix = CSRMatrix.from_scipy(A, domain_space=space, range_space=space)
+    planner.add_operator(matrix, sid, rid)
+    return planner, A, x0, b
+
+
+class TestSetupRules:
+    def test_spaces_queryable_before_freeze(self):
+        planner = make_planner_raw()
+        sid = planner.add_sol_vector(np.zeros(10))
+        rid = planner.add_rhs_vector(np.zeros(10))
+        assert planner.sol_space(sid).volume == 10
+        assert planner.rhs_space(rid).volume == 10
+
+    def test_freeze_blocks_mutation(self, square_setup):
+        planner, *_ = square_setup
+        planner.is_square()  # freezes
+        with pytest.raises(RuntimeError):
+            planner.add_sol_vector(np.zeros(4))
+        with pytest.raises(RuntimeError):
+            planner.add_operator(None, 0, 0)
+
+    def test_solving_without_vectors_rejected(self):
+        planner = make_planner_raw()
+        with pytest.raises(RuntimeError):
+            planner.is_square()
+
+    def test_is_square_true_for_shared_spaces(self, square_setup):
+        planner, *_ = square_setup
+        assert planner.is_square()
+        assert not planner.has_preconditioner()
+
+    def test_is_square_false_for_distinct_spaces(self):
+        planner = make_planner_raw()
+        planner.add_sol_vector(np.zeros(10))
+        planner.add_rhs_vector(np.zeros(10))  # different space objects
+        assert not planner.is_square()
+
+    def test_operator_space_mismatch_rejected(self):
+        planner = make_planner_raw()
+        sid = planner.add_sol_vector(np.zeros(10))
+        rid = planner.add_rhs_vector(np.zeros(10))
+        foreign = CSRMatrix.from_scipy(sp.identity(10, format="csr"))
+        planner.add_operator(foreign, sid, rid)
+        with pytest.raises(ValueError):
+            planner.is_square()  # freeze performs the check
+
+    def test_tuple_ingest_length_checked(self):
+        planner = make_planner_raw()
+        with pytest.raises(ValueError):
+            planner.add_sol_vector((IndexSpace.linear(5), np.zeros(6)))
+
+
+class TestVectorOps:
+    def test_copy_scal_axpy_xpay_fill(self, square_setup, rng):
+        planner, A, x0, b = square_setup
+        w1 = planner.allocate_workspace_vector()
+        w2 = planner.allocate_workspace_vector()
+        planner.copy(w1, RHS)
+        np.testing.assert_allclose(planner.get_array(w1), b)
+        planner.scal(w1, 2.0)
+        np.testing.assert_allclose(planner.get_array(w1), 2 * b)
+        planner.copy(w2, SOL)
+        planner.axpy(w2, -1.5, w1)
+        np.testing.assert_allclose(planner.get_array(w2), x0 - 3 * b)
+        planner.xpay(w2, 0.5, RHS)
+        np.testing.assert_allclose(planner.get_array(w2), b + 0.5 * (x0 - 3 * b))
+        planner.fill(w2, 7.0)
+        assert (planner.get_array(w2) == 7.0).all()
+
+    def test_dot_and_norm(self, square_setup):
+        planner, A, x0, b = square_setup
+        d = planner.dot_product(SOL, RHS)
+        assert d.value == pytest.approx(np.dot(x0, b))
+        assert planner.norm(RHS).value == pytest.approx(np.linalg.norm(b))
+        assert planner.dot is Planner.dot_product or d is not None  # alias exists
+
+    def test_dot_carries_future_deps(self, square_setup):
+        planner, *_ = square_setup
+        d = planner.dot_product(SOL, RHS)
+        assert len(d.future_deps) == 1
+
+    def test_shape_mismatch_rejected(self, square_setup):
+        planner, *_ = square_setup
+        planner2 = make_planner_raw()
+        planner2.add_sol_vector(np.zeros(12))
+        planner2.add_rhs_vector(np.zeros(12))
+        with pytest.raises(IndexError):
+            planner.copy(SOL, 99)  # bad id
+        # mismatched sizes within one planner:
+        p3 = make_planner_raw()
+        p3.add_sol_vector(np.zeros(8))
+        p3.add_rhs_vector(np.zeros(12))
+        with pytest.raises(ValueError):
+            p3.copy(SOL, RHS)
+
+    def test_workspace_shape_choice(self):
+        planner = make_planner_raw()
+        planner.add_sol_vector(np.zeros(8))
+        planner.add_rhs_vector(np.zeros(12))
+        ws_sol = planner.allocate_workspace_vector(SOL)
+        ws_rhs = planner.allocate_workspace_vector(RHS)
+        assert planner.get_array(ws_sol).size == 8
+        assert planner.get_array(ws_rhs).size == 12
+        with pytest.raises(ValueError):
+            planner.allocate_workspace_vector(5)
+
+
+class TestMatmul:
+    def test_matmul_matches_scipy(self, square_setup):
+        planner, A, x0, b = square_setup
+        out = planner.allocate_workspace_vector()
+        planner.matmul(out, SOL)
+        np.testing.assert_allclose(planner.get_array(out), A @ x0, atol=1e-10)
+
+    def test_matmul_repeated_iterations_consistent(self, square_setup, rng):
+        planner, A, x0, b = square_setup
+        out = planner.allocate_workspace_vector()
+        src = planner.allocate_workspace_vector()
+        for _ in range(3):
+            v = rng.normal(size=48)
+            planner.set_array(src, v)
+            planner.matmul(out, src)
+            np.testing.assert_allclose(planner.get_array(out), A @ v, atol=1e-10)
+
+    def test_matmul_adjoint_matches_transpose(self, square_setup, rng):
+        planner, A, x0, b = square_setup
+        out = planner.allocate_workspace_vector(SOL)
+        planner.matmul_adjoint(out, RHS)
+        np.testing.assert_allclose(planner.get_array(out), A.T @ b, atol=1e-10)
+
+    def test_rectangular_system(self, rng):
+        """Non-square systems: matmul maps SOL-shaped to RHS-shaped."""
+        A = sp.random(10, 16, density=0.4, random_state=np.random.default_rng(4), format="csr")
+        A.data[:] = rng.normal(size=A.nnz)
+        planner = make_planner_raw()
+        D = IndexSpace.linear(16)
+        R = IndexSpace.linear(10)
+        x = rng.normal(size=16)
+        sid = planner.add_sol_vector((D, x), Partition.equal(D, 4))
+        rid = planner.add_rhs_vector((R, np.zeros(10)), Partition.equal(R, 2))
+        planner.add_operator(CSRMatrix.from_scipy(A, domain_space=D, range_space=R), sid, rid)
+        assert not planner.is_square()
+        out = planner.allocate_workspace_vector(RHS)
+        planner.matmul(out, SOL)
+        np.testing.assert_allclose(planner.get_array(out), A @ x, atol=1e-10)
+
+    def test_residual_norm(self, square_setup):
+        planner, A, x0, b = square_setup
+        r = planner.residual_norm()
+        assert r.value == pytest.approx(np.linalg.norm(A @ x0 - b))
+        # Second call reuses the cached workspace (vector count stable).
+        n_before = len(planner._vectors)
+        planner.residual_norm()
+        assert len(planner._vectors) == n_before
+
+    def test_inplace_matmul_rejected(self, square_setup):
+        planner, *_ = square_setup
+        ws = planner.allocate_workspace_vector()
+        with pytest.raises(ValueError, match="dst != src"):
+            planner.matmul(ws, ws)
+        with pytest.raises(ValueError, match="dst != src"):
+            planner.matmul_adjoint(ws, ws)
+
+    def test_psolve_identity_without_preconditioner(self, square_setup):
+        planner, A, x0, b = square_setup
+        out = planner.allocate_workspace_vector()
+        planner.psolve(out, RHS)
+        np.testing.assert_allclose(planner.get_array(out), b)
+
+
+class TestMultiComponentMatmul:
+    def test_two_component_block_system(self, rng):
+        """A 2×2 block system assembled from four operators."""
+        n = 12
+        blocks = {}
+        for i in range(2):
+            for j in range(2):
+                B = sp.random(n, n, density=0.3,
+                              random_state=np.random.default_rng(10 * i + j), format="csr")
+                B.data[:] = rng.normal(size=B.nnz)
+                blocks[(i, j)] = B.tocsr()
+        planner = make_planner_raw()
+        spaces = [IndexSpace.linear(n), IndexSpace.linear(n)]
+        x_parts = [rng.normal(size=n) for _ in range(2)]
+        sids = [planner.add_sol_vector((spaces[i], x_parts[i]), Partition.equal(spaces[i], 2))
+                for i in range(2)]
+        rids = [planner.add_rhs_vector((spaces[i], np.zeros(n)), Partition.equal(spaces[i], 2))
+                for i in range(2)]
+        for (i, j), B in blocks.items():
+            planner.add_operator(
+                CSRMatrix.from_scipy(B, domain_space=spaces[j], range_space=spaces[i]),
+                sids[j], rids[i],
+            )
+        out = planner.allocate_workspace_vector()
+        planner.matmul(out, SOL)
+        result = planner.get_array(out)
+        expected = np.concatenate([
+            blocks[(0, 0)] @ x_parts[0] + blocks[(0, 1)] @ x_parts[1],
+            blocks[(1, 0)] @ x_parts[0] + blocks[(1, 1)] @ x_parts[1],
+        ])
+        np.testing.assert_allclose(result, expected, atol=1e-10)
+
+    def test_aliased_operator_applies_twice(self, rng):
+        """The same matrix object added twice to one pair doubles the
+        product (equation (8) with two identical terms)."""
+        n = 10
+        A = sp.identity(n, format="csr") * 3.0
+        planner = make_planner_raw()
+        space = IndexSpace.linear(n)
+        x = rng.normal(size=n)
+        sid = planner.add_sol_vector((space, x), Partition.equal(space, 2))
+        rid = planner.add_rhs_vector((space, np.zeros(n)), Partition.equal(space, 2))
+        m = CSRMatrix.from_scipy(A, domain_space=space, range_space=space)
+        planner.add_operator(m, sid, rid)
+        planner.add_operator(m, sid, rid)
+        out = planner.allocate_workspace_vector()
+        planner.matmul(out, SOL)
+        np.testing.assert_allclose(planner.get_array(out), 6.0 * x, atol=1e-12)
+        assert planner.system.total_stored_bytes() == n * 8  # stored once

@@ -1,0 +1,141 @@
+"""Preconditioner factories (the paper's §7 future-work item)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import make_planner, solve
+from repro.core import PCGSolver, BiCGStabSolver
+from repro.core.precond import (
+    block_jacobi_preconditioner,
+    jacobi_preconditioner,
+    multiop_jacobi,
+    neumann_preconditioner,
+    ssor_preconditioner,
+)
+from repro.problems import random_diag_dominant, tridiagonal_toeplitz
+from repro.runtime import lassen
+from repro.sparse import CSRMatrix, DIAMatrix
+
+
+@pytest.fixture
+def spd():
+    return CSRMatrix.from_scipy(tridiagonal_toeplitz(64))
+
+
+class TestJacobi:
+    def test_is_inverse_diagonal(self, spd):
+        P = jacobi_preconditioner(spd)
+        assert isinstance(P, DIAMatrix)
+        np.testing.assert_allclose(np.diag(P.to_dense()), 0.5)
+
+    def test_zero_diagonal_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            jacobi_preconditioner(A)
+
+    def test_nonsquare_rejected(self):
+        A = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            jacobi_preconditioner(A)
+
+    def test_pcg_converges_no_slower_than_cg(self, rng):
+        """On a badly scaled SPD system, Jacobi PCG needs far fewer
+        iterations than plain CG."""
+        n = 64
+        scales = np.logspace(0, 4, n)
+        A = (sp.diags(scales) @ tridiagonal_toeplitz(n) @ sp.diags(scales)).tocsr()
+        b = rng.normal(size=n)
+        _, plain = solve(A, b, solver="cg", tolerance=1e-8, max_iterations=20000,
+                         machine=lassen(1))
+        x, pre = solve(A, b, solver="pcg", tolerance=1e-8, max_iterations=20000,
+                       machine=lassen(1), preconditioner="jacobi")
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+        assert np.linalg.norm(A @ x - b) < 1e-6
+
+
+class TestBlockJacobi:
+    def test_inverts_diagonal_blocks(self, spd):
+        P = block_jacobi_preconditioner(spd, block=4)
+        dense_P = P.to_dense()
+        dense_A = spd.to_dense()
+        blk = dense_P[:4, :4] @ dense_A[:4, :4]
+        np.testing.assert_allclose(blk, np.eye(4), atol=1e-12)
+
+    def test_block_must_divide(self, spd):
+        with pytest.raises(ValueError):
+            block_jacobi_preconditioner(spd, block=5)
+
+    def test_accelerates_pcg(self, rng):
+        A = tridiagonal_toeplitz(64)
+        b = rng.normal(size=64)
+        planner = make_planner(
+            A, b, machine=lassen(1),
+            preconditioner=block_jacobi_preconditioner(CSRMatrix.from_scipy(A), block=8),
+        )
+        result = PCGSolver(planner).solve(tolerance=1e-9, max_iterations=2000)
+        assert result.converged
+        _, plain = solve(A, b, solver="cg", tolerance=1e-9, machine=lassen(1))
+        assert result.iterations < plain.iterations
+
+
+class TestPolynomial:
+    def test_neumann_approximates_inverse(self):
+        A = CSRMatrix.from_scipy(random_diag_dominant(24, density=0.2, seed=3))
+        P = neumann_preconditioner(A, order=4)
+        PA = P.to_dense() @ A.to_dense()
+        # P A ≈ I for a convergent splitting.
+        assert np.linalg.norm(PA - np.eye(24)) < 0.5
+        better = neumann_preconditioner(A, order=8)
+        assert (
+            np.linalg.norm(better.to_dense() @ A.to_dense() - np.eye(24))
+            < np.linalg.norm(PA - np.eye(24))
+        )
+
+    def test_neumann_order_validated(self, spd):
+        with pytest.raises(ValueError):
+            neumann_preconditioner(spd, order=-1)
+
+    def test_ssor_accelerates_bicgstab(self, rng):
+        A = random_diag_dominant(48, density=0.15, seed=11)
+        b = rng.normal(size=48)
+        kdr = CSRMatrix.from_scipy(A)
+        planner = make_planner(
+            A, b, machine=lassen(1),
+            preconditioner=ssor_preconditioner(kdr, omega=1.0, order=3),
+        )
+        result = BiCGStabSolver(planner).solve(tolerance=1e-9, max_iterations=2000)
+        assert result.converged
+        _, plain = solve(A, b, solver="bicgstab", tolerance=1e-9, machine=lassen(1))
+        assert result.iterations <= plain.iterations
+
+    def test_ssor_omega_validated(self, spd):
+        with pytest.raises(ValueError):
+            ssor_preconditioner(spd, omega=2.5)
+
+
+class TestMultiopJacobi:
+    def test_diagonal_pairs_only(self, spd, rng):
+        off = CSRMatrix.from_scipy(
+            sp.random(64, 64, density=0.05, random_state=np.random.default_rng(5), format="csr"),
+            domain_space=spd.domain_space,
+            range_space=spd.range_space,
+        )
+        comps = [(spd, 0, 0), (off, 0, 1)]
+        out = multiop_jacobi(comps)
+        assert len(out) == 1
+        P, i, j = out[0]
+        assert (i, j) == (0, 0)
+        np.testing.assert_allclose(np.diag(P.to_dense()), 0.5)
+
+    def test_aliased_diagonals_sum(self, spd):
+        out = multiop_jacobi([(spd, 0, 0), (spd, 0, 0)])
+        P, _, _ = out[0]
+        # Two copies of A on the diagonal pair: effective diag = 4.
+        np.testing.assert_allclose(np.diag(P.to_dense()), 0.25)
+
+    def test_zero_diag_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            multiop_jacobi([(A, 0, 0)])

@@ -1,0 +1,149 @@
+"""Universal co-partitioning operators (§3.1) and equation (5)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.projection import (
+    col_D_to_K,
+    col_K_to_D,
+    matvec_copartition,
+    power_copartition,
+    row_K_to_R,
+    row_R_to_K,
+)
+from repro.runtime import IndexSpace, Partition
+from repro.sparse import ALL_FORMATS, COOMatrix, CSRMatrix, to_csr
+
+FORMAT_IDS = [name for name, _ in ALL_FORMATS]
+
+
+@pytest.fixture
+def matrix(rng):
+    A = sp.random(16, 16, density=0.2, random_state=np.random.default_rng(33), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    A = A + sp.identity(16)
+    return CSRMatrix.from_scipy(A.tocsr())
+
+
+class TestNamedProjections:
+    def test_row_R_to_K_collects_contributing_entries(self, matrix):
+        P = Partition.equal(matrix.range_space, 4)
+        KP = row_R_to_K(matrix, P)
+        # Every entry of piece c has its row in P[c]: verified by triplets.
+        for c in range(4):
+            rows, _, _ = matrix.triplets(KP[c].indices)
+            assert set(rows).issubset(set(P[c].indices))
+        # Together the pieces cover all stored entries (rows complete).
+        assert sum(p.volume for p in KP) == matrix.nnz
+
+    def test_col_K_to_D_collects_read_entries(self, matrix):
+        P = Partition.equal(matrix.range_space, 4)
+        KP = row_R_to_K(matrix, P)
+        DP = col_K_to_D(matrix, KP)
+        for c in range(4):
+            _, cols, _ = matrix.triplets(KP[c].indices)
+            assert set(cols) == set(DP[c].indices)
+
+    def test_col_D_to_K_and_row_K_to_R(self, matrix):
+        Q = Partition.equal(matrix.domain_space, 4)
+        KP = col_D_to_K(matrix, Q)
+        RP = row_K_to_R(matrix, KP)
+        for c in range(4):
+            rows, cols, _ = matrix.triplets(KP[c].indices)
+            assert set(cols).issubset(set(Q[c].indices))
+            assert set(rows) == set(RP[c].indices)
+
+    def test_wrong_space_rejected(self, matrix):
+        other = Partition.equal(IndexSpace.linear(16), 2)
+        with pytest.raises(ValueError):
+            row_R_to_K(matrix, other)
+        with pytest.raises(ValueError):
+            col_D_to_K(matrix, other)
+        with pytest.raises(ValueError):
+            col_K_to_D(matrix, other)
+        with pytest.raises(ValueError):
+            row_K_to_R(matrix, other)
+
+
+class TestMatvecCopartition:
+    @pytest.mark.parametrize(("name", "convert"), ALL_FORMATS, ids=FORMAT_IDS)
+    def test_pieces_compute_matvec_independently(self, name, convert, rng):
+        """The §3.1 guarantee: y piece c depends only on matrix piece c
+        and input piece c — for every storage format."""
+        A = sp.random(8, 8, density=0.4, random_state=np.random.default_rng(5), format="csr")
+        A.data[:] = rng.normal(size=A.nnz)
+        m = convert(COOMatrix.from_scipy(A.tocsr()))
+        x = rng.normal(size=8)
+        P = Partition.equal(m.range_space, 3)
+        KP, DP = matvec_copartition(m, P)
+        y = np.zeros(8)
+        for c in range(3):
+            rows, cols, vals = m.triplets(KP[c].indices)
+            # Inputs are available within DP[c]:
+            assert set(cols).issubset(set(DP[c].indices))
+            np.add.at(y, rows, vals * x[cols])
+        np.testing.assert_allclose(y, A @ x, atol=1e-10)
+
+    def test_finest_property(self, matrix):
+        """DP[c] is exactly the set of inputs piece c reads — nothing
+        extra (the 'finest partition' claim)."""
+        P = Partition.equal(matrix.range_space, 4)
+        KP, DP = matvec_copartition(matrix, P)
+        for c in range(4):
+            _, cols, _ = matrix.triplets(KP[c].indices)
+            assert set(DP[c].indices) == set(cols)
+
+
+class TestPowerCopartition:
+    def test_eq5_supports_matrix_power(self, matrix, rng):
+        """Equation (5): the p-th partition provides every input needed
+        to compute A^p x piecewise."""
+        x = rng.normal(size=16)
+        P = Partition.equal(matrix.range_space, 4)
+        parts = power_copartition(matrix, P, power=2)
+        assert len(parts) == 2
+        dense = matrix.to_dense()
+        # Compute (A²x) piece by piece using only the declared inputs.
+        A2 = dense @ dense
+        for c in range(4):
+            needed_for_piece = np.flatnonzero(np.abs(A2[P[c].indices, :]).sum(axis=0))
+            assert set(needed_for_piece).issubset(set(parts[1][c].indices))
+
+    def test_partitions_nest(self, matrix):
+        """Each successive power needs at least the previous inputs."""
+        P = Partition.equal(matrix.range_space, 4)
+        parts = power_copartition(matrix, P, power=3)
+        for c in range(4):
+            assert set(parts[0][c].indices).issubset(set(parts[1][c].indices))
+            assert set(parts[1][c].indices).issubset(set(parts[2][c].indices))
+
+    def test_requires_square(self, rng):
+        A = sp.random(4, 6, density=0.5, random_state=np.random.default_rng(1))
+        m = to_csr(COOMatrix.from_scipy(A.tocsr()))
+        with pytest.raises(ValueError):
+            power_copartition(m, Partition.equal(m.range_space, 2), 2)
+
+    def test_power_validated(self, matrix):
+        with pytest.raises(ValueError):
+            power_copartition(matrix, Partition.equal(matrix.range_space, 2), 0)
+
+
+@pytest.mark.parametrize(("name", "convert"), ALL_FORMATS, ids=FORMAT_IDS)
+def test_copartitioning_is_format_independent(name, convert, rng):
+    """The same range partition induces, for every format of the same
+    matrix, kernel pieces covering the same logical entries — the
+    universality claim of P2/P3."""
+    A = sp.random(10, 10, density=0.3, random_state=np.random.default_rng(8), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    base = COOMatrix.from_scipy(A.tocsr())
+    m = convert(base)
+    P = Partition.equal(m.range_space, 2)
+    KP = row_R_to_K(m, P)
+    for c in range(2):
+        rows, cols, vals = m.triplets(KP[c].indices)
+        dense_piece = np.zeros((10, 10))
+        np.add.at(dense_piece, (rows, cols), vals)
+        expected = np.zeros((10, 10))
+        expected[P[c].indices] = A.toarray()[P[c].indices]
+        np.testing.assert_allclose(dense_piece, expected, atol=1e-12, err_msg=name)

@@ -1,0 +1,91 @@
+"""P3 executable: changing the partitioning strategy changes *nothing*
+in user or solver code — only the data movement profile.
+
+The paper: "dependent partitioning enables KDRSolvers to automatically
+propagate these partitions through both user and library code, enabling
+developers to change partitioning strategies without modifying their
+code."  Here the *same* program runs under four canonical partitions;
+the numerics are bit-for-bit identical while the simulated communication
+varies exactly as the partition geometry predicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CGSolver, Planner, SOL
+from repro.problems import laplacian_scipy
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Runtime,
+    ShardedMapper,
+    lassen,
+)
+from repro.sparse import CSRMatrix
+
+
+def solve_with_partition(make_partition, rng_seed=0, side=32, iters=40):
+    """The user program: identical regardless of partitioning strategy."""
+    machine = lassen(2)
+    runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+    planner = Planner(runtime)
+    n = side * side
+    A = laplacian_scipy("2d5", (side, side))
+    space = IndexSpace.linear(n, name="D")
+    part = make_partition(space)
+    rng = np.random.default_rng(rng_seed)
+    b = rng.random(n)
+    sid = planner.add_sol_vector((space, np.zeros(n)), part)
+    rid = planner.add_rhs_vector((space, b), part)
+    planner.add_operator(
+        CSRMatrix.from_scipy(A, domain_space=space, range_space=space), sid, rid
+    )
+    solver = CGSolver(planner)
+    solver.run_fixed(iters)
+    return planner.get_array(SOL), runtime.engine.total_comm_bytes, runtime.sim_time
+
+
+PARTITIONS = {
+    "blocks-8": lambda s: Partition.equal(s, 8),
+    "blocks-4": lambda s: Partition.equal(s, 4),
+    "round-robin-8": lambda s: Partition.by_field(
+        s, np.arange(s.volume) % 8, n_colors=8
+    ),
+    "single-piece": lambda s: Partition.equal(s, 1),
+}
+
+
+class TestRepartitioning:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: solve_with_partition(make)
+            for name, make in PARTITIONS.items()
+        }
+
+    def test_numerics_identical_across_strategies(self, results):
+        baseline = results["blocks-8"][0]
+        for name, (x, _, _) in results.items():
+            np.testing.assert_allclose(x, baseline, atol=1e-12, err_msg=name)
+
+    def test_communication_tracks_partition_geometry(self, results):
+        """Contiguous blocks exchange only stencil halos; a round-robin
+        (cyclic) partition makes nearly every stencil neighbour remote —
+        the classic pathological layout — and a single piece moves
+        nothing at all."""
+        comm = {name: r[1] for name, r in results.items()}
+        assert comm["single-piece"] == 0
+        assert comm["blocks-8"] > 0
+        assert comm["round-robin-8"] > 3 * comm["blocks-8"]
+
+    def test_pathological_comm_still_overlapped_at_small_scale(self, results):
+        """At this size even the cyclic partition's 4× communication is
+        fully hidden behind compute and runtime overhead — the P1
+        overlap at work.  (At bandwidth-bound sizes it would surface;
+        the fig8 harness covers that regime.)"""
+        times = {name: r[2] for name, r in results.items()}
+        assert times["round-robin-8"] <= times["blocks-8"] * 1.10
+
+    def test_fewer_pieces_less_comm_than_more(self, results):
+        comm = {name: r[1] for name, r in results.items()}
+        assert comm["blocks-4"] < comm["blocks-8"]

@@ -1,0 +1,122 @@
+"""Scalars (future-backed arithmetic) and multi-component vectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scalar import Scalar, as_scalar
+from repro.core.vectors import VALUE_FIELD, MultiVector, VectorComponent
+from repro.runtime import Future, IndexSpace, Partition
+
+
+class TestScalar:
+    def test_arithmetic(self):
+        a, b = Scalar(6.0), Scalar(3.0)
+        assert (a + b).value == 9.0
+        assert (a - b).value == 3.0
+        assert (a * b).value == 18.0
+        assert (a / b).value == 2.0
+        assert (-a).value == -6.0
+        assert a.sqrt().value == pytest.approx(math.sqrt(6.0))
+
+    def test_mixed_with_floats(self):
+        a = Scalar(2.0)
+        assert (a + 1).value == 3.0
+        assert (1 + a).value == 3.0
+        assert (10 - a).value == 8.0
+        assert (3 * a).value == 6.0
+        assert (8 / a).value == 4.0
+
+    def test_comparisons(self):
+        assert Scalar(1.0) < Scalar(2.0)
+        assert Scalar(2.0) >= 2.0
+        assert float(Scalar(2.5)) == 2.5
+
+    def test_dependency_union(self):
+        f1, f2 = Future.from_value(1.0), Future.from_value(2.0)
+        a = Scalar.from_future(f1)
+        b = Scalar.from_future(f2)
+        c = a / b + 1.0
+        dep_uids = {f.uid for f in c.future_deps}
+        assert dep_uids == {f1.uid, f2.uid}
+
+    def test_neg_preserves_deps(self):
+        f = Future.from_value(3.0)
+        assert (-Scalar.from_future(f)).future_deps[0] is f
+
+    def test_as_scalar(self):
+        s = Scalar(1.0)
+        assert as_scalar(s) is s
+        assert as_scalar(2).value == 2.0
+
+    @given(x=st.floats(-100, 100), y=st.floats(0.1, 100))
+    def test_matches_float_arithmetic(self, x, y):
+        sx, sy = Scalar(x), Scalar(y)
+        assert (sx / sy).value == pytest.approx(x / y)
+        assert (sx * sy + sx).value == pytest.approx(x * y + x)
+
+
+class TestVectorComponent:
+    def test_attach_in_place(self, runtime):
+        space = IndexSpace.linear(8)
+        data = np.arange(8, dtype=np.float64)
+        comp = VectorComponent(runtime, space, data=data)
+        runtime.store.raw(comp.region, VALUE_FIELD)[0] = 42.0
+        assert data[0] == 42.0
+
+    def test_default_partition_single_piece(self, runtime):
+        comp = VectorComponent(runtime, IndexSpace.linear(8))
+        assert comp.n_pieces == 1
+
+    def test_canonical_partition_validated(self, runtime):
+        from repro.runtime import Subset
+
+        space = IndexSpace.linear(8)
+        incomplete = Partition.from_subsets(space, [Subset.interval(space, 0, 3)])
+        with pytest.raises(ValueError):
+            VectorComponent(runtime, space, incomplete)
+        other = IndexSpace.linear(8)
+        with pytest.raises(ValueError):
+            VectorComponent(runtime, space, Partition.equal(other, 2))
+
+
+class TestMultiVector:
+    def make(self, runtime, sizes, pieces):
+        comps = []
+        for s, p in zip(sizes, pieces):
+            space = IndexSpace.linear(s)
+            comps.append(VectorComponent(runtime, space, Partition.equal(space, p)))
+        return MultiVector(comps)
+
+    def test_piece_offsets_accumulate(self, runtime):
+        mv = self.make(runtime, [10, 20, 30], [2, 3, 1])
+        assert [c.piece_offset for c in mv.components] == [0, 2, 5]
+        assert mv.total_pieces == 6
+        assert mv.total_volume == 60
+        assert mv.shape_signature() == (10, 20, 30)
+
+    def test_round_trip_arrays(self, runtime, rng):
+        mv = self.make(runtime, [5, 7], [1, 1])
+        values = rng.normal(size=12)
+        mv.set_array(runtime.store, values)
+        np.testing.assert_array_equal(mv.to_array(runtime.store), values)
+
+    def test_set_array_length_checked(self, runtime):
+        mv = self.make(runtime, [5], [1])
+        with pytest.raises(ValueError):
+            mv.set_array(runtime.store, np.zeros(6))
+
+    def test_like_shares_spaces_and_partitions(self, runtime):
+        mv = self.make(runtime, [8, 8], [2, 2])
+        ws = mv.like(runtime)
+        for a, b in zip(mv.components, ws.components):
+            assert a.space is b.space
+            assert a.partition is b.partition
+            assert a.region is not b.region
+        assert (ws.to_array(runtime.store) == 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVector([])

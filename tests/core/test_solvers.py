@@ -1,0 +1,197 @@
+"""Solver correctness across the stock KSM zoo."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.api import make_planner, solve
+from repro.core import (
+    SOL,
+    BiCGSolver,
+    BiCGStabSolver,
+    CGSolver,
+    CGSSolver,
+    GMRESSolver,
+    KrylovSolver,
+    MINRESSolver,
+    PCGSolver,
+    SOLVER_REGISTRY,
+)
+from repro.problems import (
+    convection_diffusion_2d,
+    random_diag_dominant,
+    symmetric_indefinite,
+    system_with_solution,
+    tridiagonal_toeplitz,
+)
+from repro.runtime import lassen
+
+SPD_SOLVERS = ["cg", "bicg", "bicgstab", "cgs", "gmres", "minres", "tfqmr", "cgnr"]
+NONSYM_SOLVERS = ["bicg", "bicgstab", "cgs", "gmres", "tfqmr", "cgnr"]
+
+
+def run(A, b, solver, x0=None, tol=1e-10, max_it=6000):
+    x, result = solve(
+        A, b, x0=x0, solver=solver, tolerance=tol, max_iterations=max_it,
+        machine=lassen(2),
+    )
+    return x, result
+
+
+class TestSPDSystems:
+    @pytest.mark.parametrize("solver", SPD_SOLVERS)
+    def test_solves_laplacian(self, solver, rng):
+        A, b, x_star = system_with_solution(tridiagonal_toeplitz(96), seed=1)
+        x, result = run(A, b, solver)
+        assert result.converged
+        assert np.linalg.norm(x - x_star) / np.linalg.norm(x_star) < 1e-6
+
+    @pytest.mark.parametrize("solver", ["cg", "minres", "bicgstab"])
+    def test_nonzero_initial_guess(self, solver, rng):
+        A, b, x_star = system_with_solution(tridiagonal_toeplitz(64), seed=2)
+        x0 = rng.normal(size=64)
+        x, result = run(A, b, solver, x0=x0)
+        assert result.converged
+        assert np.linalg.norm(A @ x - b) < 1e-8
+
+    @pytest.mark.parametrize("solver", ["cg", "minres"])
+    def test_exact_initial_guess_converges_immediately(self, solver):
+        A, b, x_star = system_with_solution(tridiagonal_toeplitz(32), seed=3)
+        x, result = run(A, b, solver, x0=x_star.copy())
+        assert result.converged
+        assert result.iterations == 0
+
+
+class TestNonsymmetricSystems:
+    @pytest.mark.parametrize("solver", NONSYM_SOLVERS)
+    def test_convection_diffusion(self, solver, rng):
+        A = convection_diffusion_2d((10, 10))
+        assert (abs(A - A.T)).nnz > 0  # genuinely nonsymmetric
+        b = rng.normal(size=100)
+        x, result = run(A, b, solver, tol=1e-9)
+        assert result.converged
+        assert np.linalg.norm(A @ x - b) < 1e-7
+
+    @pytest.mark.parametrize("solver", NONSYM_SOLVERS)
+    def test_diag_dominant(self, solver, rng):
+        A = random_diag_dominant(80, density=0.1, seed=4)
+        b = rng.normal(size=80)
+        x, result = run(A, b, solver)
+        assert result.converged
+
+
+class TestIndefiniteSystems:
+    def test_minres_handles_indefinite(self, rng):
+        A = symmetric_indefinite(60, seed=5)
+        eigs = np.linalg.eigvalsh(A.toarray())
+        assert eigs.min() < 0 < eigs.max()
+        b = rng.normal(size=60)
+        x, result = run(A, b, "minres", tol=1e-8)
+        assert result.converged
+        assert np.linalg.norm(A @ x - b) < 1e-6
+
+
+class TestConvergenceBehaviour:
+    def test_cg_iteration_count_matches_theory(self):
+        """Unpreconditioned CG on tridiag(−1,2,−1) reaches machine-level
+        residual in at most n iterations (Krylov exactness)."""
+        n = 48
+        A, b, _ = system_with_solution(tridiagonal_toeplitz(n), seed=6)
+        _, result = run(A, b, "cg", tol=1e-10)
+        assert result.iterations <= n + 1
+
+    def test_cg_monotone_energy_residual_history(self):
+        A, b, _ = system_with_solution(tridiagonal_toeplitz(48), seed=7)
+        _, result = run(A, b, "cg", tol=1e-12)
+        hist = np.asarray(result.measure_history)
+        # CG residuals oscillate in 2-norm but the trend is downward;
+        # check a robust proxy: the running minimum strictly decreases
+        # over ten-iteration windows.
+        mins = [hist[: i + 1].min() for i in range(len(hist))]
+        assert mins[-1] < mins[0]
+
+    def test_gmres_cycle_residual_nonincreasing(self, rng):
+        A = convection_diffusion_2d((8, 8))
+        b = rng.normal(size=64)
+        planner = make_planner(A, b, machine=lassen(1))
+        g = GMRESSolver(planner, restart=5)
+        prev = float("inf")
+        for _ in range(6):
+            g.step()
+            assert g.get_convergence_measure() <= prev + 1e-12
+            prev = g.get_convergence_measure()
+
+    def test_gmres_restart_validated(self, spd_system):
+        A, b, _ = spd_system
+        planner = make_planner(A, b, machine=lassen(1))
+        with pytest.raises(ValueError):
+            GMRESSolver(planner, restart=0)
+
+    def test_run_fixed_executes_exact_count(self, spd_system):
+        A, b, _ = spd_system
+        planner = make_planner(A, b, machine=lassen(1))
+        ksm = CGSolver(planner)
+        res = ksm.run_fixed(17)
+        assert res.iterations == 17
+        assert len(res.sim_time_marks) == 18
+        assert res.iteration_times.shape == (17,)
+
+    def test_tracing_does_not_change_numerics(self, spd_system):
+        A, b, _ = spd_system
+        xs = []
+        for tracing in (True, False):
+            planner = make_planner(A, b, machine=lassen(1))
+            ksm = CGSolver(planner)
+            ksm.solve(tolerance=1e-10, max_iterations=500, use_tracing=tracing)
+            xs.append(planner.get_array(SOL))
+        np.testing.assert_allclose(xs[0], xs[1], atol=1e-12)
+
+    def test_callback_invoked(self, spd_system):
+        A, b, _ = spd_system
+        planner = make_planner(A, b, machine=lassen(1))
+        seen = []
+        CGSolver(planner).solve(
+            tolerance=1e-10, max_iterations=10,
+            callback=lambda s, it, m: seen.append((it, m)),
+        )
+        assert len(seen) == 10
+        assert seen[0][0] == 1
+
+
+class TestSolverContracts:
+    def test_registry_complete(self):
+        assert set(SOLVER_REGISTRY) == {
+            "cg", "pcg", "bicg", "bicgstab", "cgs", "gmres", "minres",
+            "tfqmr", "cgnr",
+        }
+        for cls in SOLVER_REGISTRY.values():
+            assert issubclass(cls, KrylovSolver)
+
+    def test_cg_asserts_no_preconditioner(self, spd_system):
+        A, b, _ = spd_system
+        planner = make_planner(A, b, machine=lassen(1), preconditioner="jacobi")
+        with pytest.raises(AssertionError):
+            CGSolver(planner)
+
+    def test_pcg_requires_preconditioner(self, spd_system):
+        A, b, _ = spd_system
+        planner = make_planner(A, b, machine=lassen(1))
+        with pytest.raises(AssertionError):
+            PCGSolver(planner)
+
+    @pytest.mark.parametrize("cls", [CGSolver, MINRESSolver, BiCGSolver, CGSSolver])
+    def test_square_asserted(self, cls, rng):
+        A = sp.random(6, 8, density=0.5, random_state=np.random.default_rng(0), format="csr")
+        planner = make_planner(A, np.ones(6), x0=np.zeros(8), machine=lassen(1))
+        with pytest.raises(AssertionError):
+            cls(planner)
+
+    def test_all_match_scipy_reference(self, rng):
+        """Cross-validate against scipy.sparse.linalg on one system."""
+        A = random_diag_dominant(60, density=0.15, seed=8, symmetric=True)
+        b = rng.normal(size=60)
+        x_ref = spla.spsolve(A.tocsc(), b)
+        for name in ("cg", "bicgstab", "gmres"):
+            x, result = run(A, b, name, tol=1e-12)
+            assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < 1e-8, name

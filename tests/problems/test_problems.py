@@ -1,0 +1,176 @@
+"""Workload generators: stencils, splits, the boundary scenario,
+synthetic systems."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.problems import (
+    STENCILS,
+    convection_diffusion_2d,
+    coupled_boundary_problem,
+    grid_shape_for,
+    laplacian_csr,
+    laplacian_scipy,
+    random_diag_dominant,
+    random_spd,
+    split_laplacian_2d,
+    stencil_nnz_estimate,
+    stencil_offsets,
+    symmetric_indefinite,
+    system_with_solution,
+    tridiagonal_toeplitz,
+)
+
+STENCIL_SHAPES = {"1d3": (64,), "2d5": (12, 12), "3d7": (6, 6, 6), "3d27": (6, 6, 6)}
+
+
+@pytest.mark.parametrize("kind", sorted(STENCILS))
+class TestStencils:
+    def test_offsets_and_weights(self, kind):
+        offsets, weights = stencil_offsets(kind)
+        counts = {"1d3": 3, "2d5": 5, "3d7": 7, "3d27": 27}
+        assert offsets.shape == (counts[kind], STENCILS[kind])
+        assert weights.sum() == pytest.approx(0.0)  # zero row sums interior
+        assert weights[0] > 0 and (weights[1:] == -1).all()
+
+    def test_matrix_symmetric(self, kind):
+        A = laplacian_scipy(kind, STENCIL_SHAPES[kind])
+        assert (abs(A - A.T)).nnz == 0
+
+    def test_positive_definite(self, kind):
+        A = laplacian_scipy(kind, STENCIL_SHAPES[kind])
+        eigs = np.linalg.eigvalsh(A.toarray())
+        assert eigs.min() > 0
+
+    def test_interior_row_sums_zero_boundary_positive(self, kind):
+        A = laplacian_scipy(kind, STENCIL_SHAPES[kind])
+        sums = np.asarray(A.sum(axis=1)).ravel()
+        assert sums.min() >= -1e-12
+        assert sums.max() > 0  # Dirichlet boundary rows
+
+    def test_nnz_estimate_exact(self, kind):
+        shape = STENCIL_SHAPES[kind]
+        assert stencil_nnz_estimate(kind, shape) == laplacian_scipy(kind, shape).nnz
+
+    def test_kdr_wrapper_equivalent(self, kind, rng):
+        shape = STENCIL_SHAPES[kind]
+        A = laplacian_scipy(kind, shape)
+        m = laplacian_csr(kind, shape)
+        x = rng.normal(size=A.shape[0])
+        np.testing.assert_allclose(m.spmv(x), A @ x)
+        assert m.domain_space is m.range_space  # square, shared space
+
+    def test_grid_shape_for_targets(self, kind):
+        shape = grid_shape_for(kind, 2**12)
+        n = int(np.prod(shape))
+        assert 2**11 <= n <= 2**13
+        assert len(shape) == STENCILS[kind]
+
+
+def test_1d3_matches_tridiagonal():
+    A = laplacian_scipy("1d3", (32,))
+    np.testing.assert_allclose(A.toarray(), tridiagonal_toeplitz(32).toarray())
+
+
+def test_2d5_matches_kronecker():
+    """5-point 2-D Laplacian = I ⊗ T + T ⊗ I."""
+    n = 8
+    T = tridiagonal_toeplitz(n)
+    I = sp.identity(n)
+    expected = (sp.kron(I, T) + sp.kron(T, I)).toarray()
+    np.testing.assert_allclose(laplacian_scipy("2d5", (n, n)).toarray(), expected)
+
+
+def test_unknown_stencil_rejected():
+    with pytest.raises(KeyError):
+        stencil_offsets("9pt")
+    with pytest.raises(ValueError):
+        laplacian_scipy("2d5", (4,))
+
+
+class TestSplit:
+    def test_two_band_split_is_fig9_structure(self):
+        s = split_laplacian_2d((16, 16), 2)
+        assert len(s.tiles) == 4  # A11, A22, A12, A21
+        grid = s.tile_grid()
+        assert grid.all()  # every band pair coupled for 2 bands
+
+    def test_band_tiles_reassemble_global(self, rng):
+        s = split_laplacian_2d((16, 16), 4)
+        x = rng.normal(size=256)
+        y = np.zeros(256)
+        off = np.concatenate([[0], np.cumsum(s.band_sizes)])
+        for m, src, dst in s.tiles:
+            y[off[dst]:off[dst + 1]] += m.spmv(x[off[src]:off[src + 1]])
+        np.testing.assert_allclose(y, s.global_matrix @ x)
+
+    def test_tile_grid_banded(self):
+        s = split_laplacian_2d((32, 32), 8)
+        grid = s.tile_grid()
+        for i in range(8):
+            for j in range(8):
+                assert grid[i, j] == (abs(i - j) <= 1)
+
+    def test_band_count_validated(self):
+        with pytest.raises(ValueError):
+            split_laplacian_2d((4, 4), 8)
+
+
+class TestBoundary:
+    def test_components_partition_the_box(self):
+        p = coupled_boundary_problem((6, 6, 4))
+        assert p.n_interior + p.n_boundary == 6 * 6 * 4
+        assert p.n_boundary == 36
+        # The boundary ids are strided (non-contiguous).
+        assert np.any(np.diff(p.boundary_ids) > 1)
+
+    def test_tiles_reassemble_global(self, rng):
+        p = coupled_boundary_problem((6, 6, 4))
+        xi = rng.normal(size=p.n_interior)
+        xb = rng.normal(size=p.n_boundary)
+        yi, yb = np.zeros(p.n_interior), np.zeros(p.n_boundary)
+        xs, ys = [xi, xb], [yi, yb]
+        for m, src, dst in p.tiles:
+            ys[dst] += m.spmv(xs[src])
+        got = p.assemble_global_vector(yi, yb)
+        expected = p.global_matrix @ p.assemble_global_vector(xi, xb)
+        np.testing.assert_allclose(got, expected)
+
+    def test_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            coupled_boundary_problem((4, 4, 1))
+
+
+class TestGenerators:
+    def test_random_spd_is_spd(self):
+        A = random_spd(30, seed=1)
+        assert (abs(A - A.T)).nnz == 0
+        assert np.linalg.eigvalsh(A.toarray()).min() > 0
+
+    def test_diag_dominant(self):
+        A = random_diag_dominant(30, seed=2).toarray()
+        off = np.abs(A).sum(axis=1) - np.abs(np.diag(A))
+        assert (np.abs(np.diag(A)) > off).all()
+
+    def test_diag_dominant_symmetric_option(self):
+        A = random_diag_dominant(20, seed=3, symmetric=True)
+        np.testing.assert_allclose(A.toarray(), A.toarray().T)
+
+    def test_convection_diffusion_nonsymmetric_nonsingular(self):
+        A = convection_diffusion_2d((6, 6))
+        assert (abs(A - A.T)).nnz > 0
+        assert np.linalg.matrix_rank(A.toarray()) == 36
+
+    def test_symmetric_indefinite_signs(self):
+        eigs = np.linalg.eigvalsh(symmetric_indefinite(40, seed=4).toarray())
+        assert eigs.min() < 0 < eigs.max()
+
+    def test_manufactured_solution(self):
+        A, b, x = system_with_solution(tridiagonal_toeplitz(10), seed=5)
+        np.testing.assert_allclose(A @ x, b)
+
+    def test_determinism(self):
+        a1 = random_spd(16, seed=6).toarray()
+        a2 = random_spd(16, seed=6).toarray()
+        np.testing.assert_array_equal(a1, a2)

@@ -1,0 +1,236 @@
+"""Dependent partitioning: relations and the image/preimage operators
+(paper equations (3) and (4))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    ComputedRelation,
+    FunctionalRelation,
+    IdentityRelation,
+    IndexSpace,
+    IntervalRelation,
+    PairsRelation,
+    Partition,
+    Subset,
+    image,
+    image_subset,
+    preimage,
+    preimage_subset,
+)
+
+
+def brute_image(pairs, src):
+    return sorted({j for i, j in pairs if i in set(src)})
+
+
+def brute_preimage(pairs, dst):
+    return sorted({i for i, j in pairs if j in set(dst)})
+
+
+@pytest.fixture
+def spaces():
+    return IndexSpace.linear(12, name="I"), IndexSpace.linear(8, name="J")
+
+
+class TestFunctionalRelation:
+    def test_image(self, spaces):
+        I, J = spaces
+        values = np.arange(12) % 8
+        rel = FunctionalRelation(I, J, values)
+        np.testing.assert_array_equal(rel.image_indices(np.array([0, 8])), [0])
+        np.testing.assert_array_equal(rel.image_indices(np.array([1, 2])), [1, 2])
+
+    def test_preimage_interval_and_scattered(self, spaces):
+        I, J = spaces
+        values = np.arange(12) % 8
+        rel = FunctionalRelation(I, J, values)
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([0, 1])), [0, 1, 8, 9])
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([0, 5])), [0, 5, 8])
+
+    def test_pairs(self, spaces):
+        I, J = spaces
+        rel = FunctionalRelation(I, J, np.arange(12) % 8)
+        assert rel.pairs().shape == (12, 2)
+
+    def test_validation(self, spaces):
+        I, J = spaces
+        with pytest.raises(ValueError):
+            FunctionalRelation(I, J, np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            FunctionalRelation(I, J, np.full(12, 8))
+
+
+class TestIntervalRelation:
+    """The rowptr shape: target j relates to source interval [s[j], e[j])."""
+
+    def test_csr_style(self):
+        K = IndexSpace.linear(10)
+        R = IndexSpace.linear(4)
+        rowptr = np.array([0, 3, 3, 7, 10])
+        rel = IntervalRelation(K, R, rowptr[:-1], rowptr[1:])
+        assert rel.monotone
+        # image: kernel points -> owning rows
+        np.testing.assert_array_equal(rel.image_indices(np.array([0, 2])), [0])
+        np.testing.assert_array_equal(rel.image_indices(np.array([3, 9])), [2, 3])
+        # preimage: rows -> kernel intervals (row 1 is empty)
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([1])), [])
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([0, 2])), [0, 1, 2, 3, 4, 5, 6])
+
+    def test_non_monotone_overlapping_intervals(self):
+        K = IndexSpace.linear(6)
+        R = IndexSpace.linear(2)
+        rel = IntervalRelation(K, R, np.array([0, 2]), np.array([4, 6]))
+        # Point 3 belongs to both targets.
+        np.testing.assert_array_equal(rel.image_indices(np.array([3])), [0, 1])
+
+    def test_pairs_match_brute_force(self):
+        K = IndexSpace.linear(7)
+        R = IndexSpace.linear(3)
+        rel = IntervalRelation(K, R, np.array([0, 2, 5]), np.array([2, 5, 7]))
+        pairs = {tuple(p) for p in rel.pairs()}
+        assert pairs == {(0, 0), (1, 0), (2, 1), (3, 1), (4, 1), (5, 2), (6, 2)}
+
+    def test_validation(self):
+        K, R = IndexSpace.linear(5), IndexSpace.linear(2)
+        with pytest.raises(ValueError):
+            IntervalRelation(K, R, np.array([0, 3]), np.array([2, 2]))  # end < start
+        with pytest.raises(ValueError):
+            IntervalRelation(K, R, np.array([0, 3]), np.array([2, 6]))  # out of bounds
+
+
+class TestPairsRelation:
+    def test_many_to_many(self):
+        I, J = IndexSpace.linear(4), IndexSpace.linear(4)
+        pairs = np.array([[0, 0], [0, 1], [1, 1], [3, 0]])
+        rel = PairsRelation(I, J, pairs)
+        np.testing.assert_array_equal(rel.image_indices(np.array([0])), [0, 1])
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([0])), [0, 3])
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([2])), [])
+
+    def test_bounds_validated(self):
+        I, J = IndexSpace.linear(2), IndexSpace.linear(2)
+        with pytest.raises(ValueError):
+            PairsRelation(I, J, np.array([[2, 0]]))
+        with pytest.raises(ValueError):
+            PairsRelation(I, J, np.array([[0, 0, 0]]))
+
+
+class TestComputedRelation:
+    def test_forward_backward(self):
+        I, J = IndexSpace.linear(8), IndexSpace.linear(4)
+        rel = ComputedRelation(
+            I, J,
+            forward=lambda k: k // 2,
+            backward=lambda j: np.concatenate([2 * j, 2 * j + 1]),
+        )
+        np.testing.assert_array_equal(rel.image_indices(np.array([4, 5])), [2])
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([0])), [0, 1])
+
+    def test_backward_fallback_scans_forward(self):
+        I, J = IndexSpace.linear(8), IndexSpace.linear(4)
+        rel = ComputedRelation(I, J, forward=lambda k: k // 2)
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([3])), [6, 7])
+
+    def test_negative_forward_means_unrelated(self):
+        I, J = IndexSpace.linear(4), IndexSpace.linear(4)
+        rel = ComputedRelation(I, J, forward=lambda k: np.where(k % 2 == 0, k, -1))
+        np.testing.assert_array_equal(rel.image_indices(np.arange(4)), [0, 2])
+
+
+class TestInverse:
+    def test_inverse_swaps_operations(self):
+        I, J = IndexSpace.linear(6), IndexSpace.linear(3)
+        rel = FunctionalRelation(I, J, np.arange(6) % 3)
+        inv = rel.inverse()
+        assert inv.source is J and inv.target is I
+        np.testing.assert_array_equal(
+            inv.image_indices(np.array([0])), rel.preimage_indices(np.array([0]))
+        )
+        assert inv.inverse() is rel
+
+    def test_identity(self):
+        s = IndexSpace.linear(5)
+        rel = IdentityRelation(s)
+        np.testing.assert_array_equal(rel.image_indices(np.array([2, 4])), [2, 4])
+        np.testing.assert_array_equal(rel.pairs()[:, 0], rel.pairs()[:, 1])
+
+
+class TestProjectionOperators:
+    def test_image_of_partition(self):
+        I, J = IndexSpace.linear(8), IndexSpace.linear(4)
+        rel = FunctionalRelation(I, J, np.arange(8) % 4)
+        P = Partition.equal(I, 2)
+        Q = image(rel, P)
+        assert Q.parent is J
+        np.testing.assert_array_equal(Q[0].indices, [0, 1, 2, 3])
+
+    def test_preimage_of_partition(self):
+        I, J = IndexSpace.linear(8), IndexSpace.linear(4)
+        rel = FunctionalRelation(I, J, np.arange(8) % 4)
+        Q = Partition.equal(J, 2)
+        P = preimage(rel, Q)
+        np.testing.assert_array_equal(P[0].indices, [0, 1, 4, 5])
+        np.testing.assert_array_equal(P[1].indices, [2, 3, 6, 7])
+
+    def test_space_mismatch_raises(self):
+        I, J = IndexSpace.linear(8), IndexSpace.linear(4)
+        rel = FunctionalRelation(I, J, np.arange(8) % 4)
+        with pytest.raises(ValueError):
+            image(rel, Partition.equal(J, 2))
+        with pytest.raises(ValueError):
+            preimage(rel, Partition.equal(I, 2))
+        with pytest.raises(ValueError):
+            image_subset(rel, Subset.full(J))
+        with pytest.raises(ValueError):
+            preimage_subset(rel, Subset.full(I))
+
+
+# -- property-based cross-validation of every relation kind -----------------
+
+
+@st.composite
+def functional_relations(draw):
+    n_src = draw(st.integers(1, 20))
+    n_dst = draw(st.integers(1, 10))
+    values = draw(
+        st.lists(st.integers(0, n_dst - 1), min_size=n_src, max_size=n_src)
+    )
+    I, J = IndexSpace.linear(n_src), IndexSpace.linear(n_dst)
+    rel = FunctionalRelation(I, J, np.array(values, dtype=np.int64))
+    return rel
+
+
+@given(rel=functional_relations(), data=st.data())
+@settings(max_examples=60)
+def test_image_preimage_match_brute_force(rel, data):
+    pairs = [tuple(p) for p in rel.pairs()]
+    src = data.draw(
+        st.lists(st.integers(0, rel.source.volume - 1), max_size=8, unique=True)
+    )
+    dst = data.draw(
+        st.lists(st.integers(0, rel.target.volume - 1), max_size=8, unique=True)
+    )
+    np.testing.assert_array_equal(
+        rel.image_indices(np.array(sorted(src), dtype=np.int64)), brute_image(pairs, src)
+    )
+    np.testing.assert_array_equal(
+        rel.preimage_indices(np.array(sorted(dst), dtype=np.int64)),
+        brute_preimage(pairs, dst),
+    )
+
+
+@given(rel=functional_relations())
+@settings(max_examples=40)
+def test_galois_connection(rel):
+    """image(preimage(Q)) ⊆ Q fails in general, but
+    preimage(image(P)) ⊇ P holds for total relations (every source point
+    relates to something), and image(preimage(image(P))) = image(P)."""
+    I = rel.source
+    P = Subset.interval(I, 0, I.volume - 1)
+    img = rel.image_indices(P.indices)
+    pre = rel.preimage_indices(img)
+    assert set(P.indices).issubset(set(pre))
+    img2 = rel.image_indices(pre)
+    np.testing.assert_array_equal(img, img2)

@@ -1,0 +1,205 @@
+"""Discrete-event engine: dependences, data movement, overlap."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    ShardedMapper,
+    Subset,
+    TaskLauncher,
+    lassen,
+)
+
+
+def make_runtime(nodes=2, keep_timeline=True):
+    m = lassen(nodes)
+    return Runtime(machine=m, mapper=ShardedMapper(m), keep_timeline=keep_timeline)
+
+
+def launch(rt, name, region, subset, privilege, hint=0, flops=0.0,
+           body=None, deps=(), kind=ProcKind.GPU):
+    if body is None:
+        def body(ctx):  # noqa: D401
+            return None
+    tl = TaskLauncher(
+        name, body, proc_kind=kind, flops=flops, owner_hint=hint,
+        future_deps=list(deps),
+    )
+    tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+@pytest.fixture
+def setup():
+    rt = make_runtime()
+    region = rt.create_region(IndexSpace.linear(1 << 16), {"v": np.float64})
+    rt.allocate(region, "v")
+    part = Partition.equal(region.ispace, 8)
+    return rt, region, part
+
+
+class TestDependences:
+    def entry(self, rt, idx):
+        return rt.engine.timeline[idx]
+
+    def test_read_after_write_ordered(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1)
+        w, r = rt.engine.timeline[-2:]
+        assert r.start >= w.finish
+
+    def test_disjoint_pieces_run_concurrently(self, setup):
+        rt, region, part = setup
+        launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD, hint=0, flops=1e9)
+        launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD, hint=1, flops=1e9)
+        a, b = rt.engine.timeline[-2:]
+        # Different devices, no interference: they overlap in time.
+        assert b.start < a.finish
+
+    def test_write_after_read_ordered(self, setup):
+        rt, region, part = setup
+        launch(rt, "init", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1, flops=1e12)
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=2)
+        r, w = rt.engine.timeline[-2:]
+        assert w.start >= r.finish
+
+    def test_write_after_write_ordered(self, setup):
+        rt, region, part = setup
+        launch(rt, "w1", region, part[0], Privilege.WRITE_DISCARD, hint=0, flops=1e12)
+        launch(rt, "w2", region, part[0], Privilege.WRITE_DISCARD, hint=1)
+        w1, w2 = rt.engine.timeline[-2:]
+        assert w2.start >= w1.finish
+
+    def test_reductions_commute(self, setup):
+        rt, region, part = setup
+        launch(rt, "init", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "red1", region, part[0], Privilege.REDUCE, hint=1, flops=1e11)
+        launch(rt, "red2", region, part[0], Privilege.REDUCE, hint=2, flops=1e11)
+        r1, r2 = rt.engine.timeline[-2:]
+        # Concurrent reductions to the same subset are allowed.
+        assert r2.start < r1.finish
+
+    def test_reader_waits_for_reductions(self, setup):
+        rt, region, part = setup
+        launch(rt, "init", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "red", region, part[0], Privilege.REDUCE, hint=1, flops=1e11)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=2)
+        red, r = rt.engine.timeline[-2:]
+        assert r.start >= red.finish
+
+    def test_overlapping_subsets_conflict(self, setup):
+        rt, region, part = setup
+        big = Subset.interval(region.ispace, 0, 20000)
+        launch(rt, "w_big", region, big, Privilege.WRITE_DISCARD, hint=0, flops=1e12)
+        launch(rt, "r_piece", region, part[0], Privilege.READ_ONLY, hint=1)
+        w, r = rt.engine.timeline[-2:]
+        assert r.start >= w.finish
+
+    def test_future_dependency_gates_start(self, setup):
+        rt, region, part = setup
+        f = launch(rt, "producer", region, part[0], Privilege.WRITE_DISCARD,
+                   hint=0, flops=1e12)
+        launch(rt, "consumer", region, part[1], Privilege.WRITE_DISCARD,
+               hint=1, deps=[f])
+        p, c = rt.engine.timeline[-2:]
+        assert c.start >= p.finish
+
+
+class TestDataMovement:
+    def test_local_read_moves_nothing(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=0)
+        assert rt.engine.total_comm_bytes == before
+
+    def test_remote_read_moves_exactly_the_subset(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1)
+        moved = rt.engine.total_comm_bytes - before
+        assert moved == part[0].volume * 8
+
+    def test_partial_remote_read_counts_remote_part_only(self, setup):
+        rt, region, part = setup
+        launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD, hint=1)
+        # Read pieces 0+1 from device 0: only piece 1 is remote.
+        both = part[0].union(part[1])
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r", region, both, Privilege.READ_ONLY, hint=0)
+        moved = rt.engine.total_comm_bytes - before
+        assert moved == part[1].volume * 8
+
+    def test_read_only_data_cached_across_repeats(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1)
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r2", region, part[0], Privilege.READ_ONLY, hint=1)
+        assert rt.engine.total_comm_bytes == before  # cached copy reused
+
+    def test_write_invalidates_cached_copies(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1)
+        launch(rt, "w2", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r2", region, part[0], Privilege.READ_ONLY, hint=1)
+        assert rt.engine.total_comm_bytes - before == part[0].volume * 8
+
+    def test_distribute_declares_initial_placement(self, setup):
+        rt, region, part = setup
+        dev_of = rt.mapper.device_ids
+        rt.distribute(region, "v", [(part[c], dev_of[c]) for c in range(8)])
+        before = rt.engine.total_comm_bytes
+        launch(rt, "r", region, part[3], Privilege.READ_ONLY, hint=3)
+        assert rt.engine.total_comm_bytes == before
+
+    def test_transfers_overlap_compute(self, setup):
+        """Communication occupies channels, not processors (paper P1)."""
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0)
+        # A long-running unrelated task on the destination device...
+        region2 = rt.create_region(IndexSpace.linear(1024), {"v": np.float64})
+        rt.allocate(region2, "v")
+        launch(rt, "busy", region2, Subset.full(region2.ispace),
+               Privilege.WRITE_DISCARD, hint=1, flops=1e12)
+        # ...does not delay the incoming transfer, only the compute.
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY, hint=1)
+        busy, read = rt.engine.timeline[-2:]
+        assert read.start >= busy.finish  # device serializes compute
+        # but the iteration would have been longer if the transfer also
+        # occupied the device; verify the transfer happened during 'busy'.
+        assert read.comm_time == 0.0 or read.start == pytest.approx(busy.finish)
+
+
+class TestUtilityPipeline:
+    def test_analysis_overhead_gates_small_tasks(self):
+        rt = make_runtime(nodes=1)
+        region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+        rt.allocate(region, "v")
+        sub = Subset.full(region.ispace)
+        t0 = rt.sim_time
+        n = 32
+        for i in range(n):
+            launch(rt, "tiny", region, sub, Privilege.READ_ONLY, hint=0)
+        elapsed = rt.sim_time - t0
+        # 32 sequential analyses over 4 utility slots at fresh cost.
+        m = rt.machine
+        assert elapsed >= (n / 4) * m.analysis_overhead * 0.9
+
+    def test_node_busy_accounting(self, setup):
+        rt, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD, hint=0, flops=1e9)
+        busy = rt.engine.node_busy_time()
+        assert busy[0] > 0
+        assert busy.shape == (2,)

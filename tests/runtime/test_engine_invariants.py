@@ -1,0 +1,117 @@
+"""Engine invariants, property-based.
+
+The discrete-event engine must behave like a schedule regardless of the
+task stream thrown at it: time never runs backwards, every task starts
+after its dependences, determinism holds, and conservation laws hold
+for communication accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    Runtime,
+    ShardedMapper,
+    Subset,
+    TaskLauncher,
+    lassen,
+)
+
+PRIVS = [Privilege.READ_ONLY, Privilege.READ_WRITE, Privilege.WRITE_DISCARD, Privilege.REDUCE]
+
+
+@st.composite
+def task_streams(draw):
+    """A random stream of tasks over a fixed 4-piece region."""
+    n_tasks = draw(st.integers(1, 25))
+    return [
+        (
+            draw(st.integers(0, 3)),          # piece
+            draw(st.sampled_from(PRIVS)),     # privilege
+            draw(st.integers(0, 7)),          # owner hint
+            draw(st.floats(0.0, 1e9)),        # flops
+        )
+        for _ in range(n_tasks)
+    ]
+
+
+def run_stream(stream, keep_timeline=True):
+    machine = lassen(2)
+    rt = Runtime(machine=machine, mapper=ShardedMapper(machine),
+                 keep_timeline=keep_timeline)
+    region = rt.create_region(IndexSpace.linear(4096), {"v": np.float64})
+    rt.allocate(region, "v")
+    part = Partition.equal(region.ispace, 4)
+
+    def make_body(priv):
+        if priv is Privilege.READ_ONLY:
+            return lambda ctx: float(ctx[0].read().sum())
+        if priv is Privilege.REDUCE:
+            return lambda ctx: ctx[0].reduce_add(np.ones(ctx[0].n_points))
+        return lambda ctx: ctx[0].write(np.ones(ctx[0].n_points))
+
+    for piece, priv, hint, flops in stream:
+        tl = TaskLauncher("t", make_body(priv), flops=flops, owner_hint=hint)
+        tl.add_requirement(region, ["v"], part[piece], priv)
+        rt.execute(tl)
+    return rt
+
+
+@given(stream=task_streams())
+@settings(max_examples=40, deadline=None)
+def test_schedule_is_causal(stream):
+    """start ≤ finish for every task; the clock never decreases; and a
+    later conflicting access never starts before the earlier one ends."""
+    rt = run_stream(stream)
+    tl = rt.engine.timeline
+    for e in tl:
+        assert e.start <= e.finish
+        assert e.start >= 0.0
+    # Pairwise conflicts respect program order.
+    for i, (pa, va, _, _) in enumerate(stream):
+        for j in range(i + 1, len(stream)):
+            pb, vb, _, _ = stream[j]
+            if pa != pb:
+                continue
+            both_read = not va.is_write and not vb.is_write
+            both_reduce = va is Privilege.REDUCE and vb is Privilege.REDUCE
+            if both_read or both_reduce:
+                continue
+            assert tl[j].start >= tl[i].finish - 1e-15, (
+                f"task {j} ({vb}) overtook conflicting task {i} ({va})"
+            )
+
+
+@given(stream=task_streams())
+@settings(max_examples=20, deadline=None)
+def test_simulation_is_deterministic(stream):
+    a = run_stream(stream)
+    b = run_stream(stream)
+    assert a.sim_time == pytest.approx(b.sim_time, abs=0.0)
+    assert a.engine.total_comm_bytes == b.engine.total_comm_bytes
+
+
+@given(stream=task_streams())
+@settings(max_examples=20, deadline=None)
+def test_comm_bytes_bounded_by_demand(stream):
+    """Total moved bytes never exceed (reads + reduce write-outs) × piece
+    size — the engine cannot invent traffic."""
+    rt = run_stream(stream)
+    piece_bytes = 1024 * 8
+    demand = sum(
+        piece_bytes for _, priv, _, _ in stream
+        if priv.is_read or priv is Privilege.REDUCE
+    )
+    assert rt.engine.total_comm_bytes <= demand
+
+
+def test_busy_time_conserved():
+    """Sum of per-device busy equals the sum of task durations."""
+    stream = [(p % 4, Privilege.READ_WRITE, p, 1e9) for p in range(12)]
+    rt = run_stream(stream)
+    total_durations = sum(e.finish - e.start for e in rt.engine.timeline)
+    assert rt.engine.device_busy.sum() == pytest.approx(total_durations)

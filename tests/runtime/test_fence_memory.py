@@ -1,0 +1,87 @@
+"""Execution fences and the device-memory capacity model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    ShardedMapper,
+    TaskLauncher,
+    lassen,
+    max_unknowns_in_memory,
+)
+
+
+def launch_noop(rt, region, piece, hint, flops=1e9):
+    def body(ctx):
+        return None
+
+    tl = TaskLauncher("t", body, flops=flops, owner_hint=hint)
+    tl.add_requirement(region, ["v"], piece, Privilege.READ_ONLY)
+    return rt.execute(tl)
+
+
+class TestFence:
+    @pytest.fixture
+    def setup(self):
+        m = lassen(1)
+        rt = Runtime(machine=m, mapper=ShardedMapper(m), keep_timeline=True)
+        region = rt.create_region(IndexSpace.linear(1024), {"v": np.float64})
+        rt.allocate(region, "v")
+        part = Partition.equal(region.ispace, 4)
+        return rt, region, part
+
+    def test_fence_orders_independent_tasks(self, setup):
+        rt, region, part = setup
+        launch_noop(rt, region, part[0], 0, flops=1e12)
+        t_barrier = rt.fence()
+        launch_noop(rt, region, part[1], 1)  # independent piece + device
+        first, second = rt.engine.timeline[-2:]
+        assert second.start >= t_barrier >= first.finish
+
+    def test_without_fence_they_overlap(self, setup):
+        rt, region, part = setup
+        launch_noop(rt, region, part[0], 0, flops=1e12)
+        launch_noop(rt, region, part[1], 1)
+        first, second = rt.engine.timeline[-2:]
+        assert second.start < first.finish
+
+    def test_fence_is_idempotent(self, setup):
+        rt, *_ = setup
+        t1 = rt.fence()
+        t2 = rt.fence()
+        assert t2 == pytest.approx(t1)
+
+
+class TestMemoryCapacity:
+    def test_paper_scale_sanity(self):
+        """2-D 5-pt CSR + CG workspaces on 16 nodes / 64 × 12 GiB V100s
+        tops out near the paper's 2^32-unknown right edge."""
+        n_max = max_unknowns_in_memory(lassen(16), bytes_per_unknown_matrix=60.0)
+        assert 31.5 < math.log2(n_max) < 34.0
+
+    def test_scales_linearly_with_nodes(self):
+        a = max_unknowns_in_memory(lassen(2), 60.0)
+        b = max_unknowns_in_memory(lassen(4), 60.0)
+        assert b == pytest.approx(2 * a, rel=1e-9)
+
+    def test_heavier_stencil_fits_less(self):
+        light = max_unknowns_in_memory(lassen(1), 36.0)  # 1d3
+        heavy = max_unknowns_in_memory(lassen(1), 324.0)  # 3d27
+        assert heavy < light
+
+    def test_more_workspaces_fit_less(self):
+        cg = max_unknowns_in_memory(lassen(1), 60.0, n_vectors=8)
+        gmres = max_unknowns_in_memory(lassen(1), 60.0, n_vectors=15)
+        assert gmres < cg
+
+    def test_cpu_capacity_larger(self):
+        gpu = max_unknowns_in_memory(lassen(1), 60.0, kind=ProcKind.GPU)
+        cpu = max_unknowns_in_memory(lassen(1), 60.0, kind=ProcKind.CPU)
+        assert cpu > gpu

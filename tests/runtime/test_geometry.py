@@ -1,0 +1,131 @@
+"""Geometry primitives: points and inclusive-bound rectangles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.geometry import Point, Rect
+
+
+class TestPoint:
+    def test_construction_from_args(self):
+        p = Point(1, 2, 3)
+        assert p == (1, 2, 3)
+        assert p.dim == 3
+
+    def test_construction_from_sequence(self):
+        assert Point((4, 5)) == (4, 5)
+        assert Point(np.array([7, 8])) == (7, 8)
+
+    def test_arithmetic(self):
+        assert Point(1, 2) + (3, 4) == Point(4, 6)
+        assert Point(5, 5) - (1, 2) == Point(4, 3)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_repr(self):
+        assert "1, 2" in repr(Point(1, 2))
+
+
+class TestRect:
+    def test_volume_inclusive_bounds(self):
+        assert Rect((0,), (9,)).volume == 10
+        assert Rect((0, 0), (3, 4)).volume == 20
+        assert Rect((2, 3), (2, 3)).volume == 1
+
+    def test_empty(self):
+        r = Rect((0,), (-1,))
+        assert r.empty and r.volume == 0
+
+    def test_of_shape(self):
+        r = Rect.of_shape(4, 5)
+        assert r.lo == (0, 0) and r.hi == (3, 4)
+        assert r.volume == 20
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Rect((0, 0), (1,))
+
+    def test_zero_dims_raises(self):
+        with pytest.raises(ValueError):
+            Rect((), ())
+
+    def test_contains(self):
+        r = Rect((1, 1), (3, 3))
+        assert r.contains((2, 2))
+        assert not r.contains((0, 2))
+        assert not r.contains((2, 4))
+
+    def test_contains_all_vectorized(self):
+        r = Rect((0, 0), (2, 2))
+        coords = np.array([[0, 0], [2, 2], [3, 0], [-1, 1]])
+        np.testing.assert_array_equal(
+            r.contains_all(coords), [True, True, False, False]
+        )
+
+    def test_linearize_row_major(self):
+        r = Rect((0, 0), (2, 3))  # shape (3, 4)
+        coords = np.array([[0, 0], [0, 3], [1, 0], [2, 3]])
+        np.testing.assert_array_equal(r.linearize(coords), [0, 3, 4, 11])
+
+    def test_linearize_with_offset_origin(self):
+        r = Rect((5,), (9,))
+        np.testing.assert_array_equal(r.linearize(np.array([5, 7, 9])), [0, 2, 4])
+
+    def test_delinearize_roundtrip(self):
+        r = Rect((1, 2, 3), (4, 6, 5))
+        offs = np.arange(r.volume)
+        coords = r.delinearize(offs)
+        np.testing.assert_array_equal(r.linearize(coords), offs)
+
+    def test_intersection(self):
+        a = Rect((0, 0), (4, 4))
+        b = Rect((2, 3), (6, 8))
+        c = a.intersection(b)
+        assert c.lo == (2, 3) and c.hi == (4, 4)
+        assert a.overlaps(b)
+
+    def test_disjoint_intersection_empty(self):
+        a = Rect((0,), (3,))
+        b = Rect((5,), (9,))
+        assert a.intersection(b).empty
+        assert not a.overlaps(b)
+
+    def test_points_iteration(self):
+        r = Rect((0, 0), (1, 1))
+        assert list(r) == [Point(0, 0), Point(0, 1), Point(1, 0), Point(1, 1)]
+
+    def test_equality_and_hash(self):
+        assert Rect((0,), (3,)) == Rect((0,), (3,))
+        assert hash(Rect((0,), (3,))) == hash(Rect((0,), (3,)))
+        assert Rect((0,), (3,)) != Rect((0,), (4,))
+
+
+@given(
+    shape=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_linearize_bijective(shape, seed):
+    """Linearization is a bijection rect → range(volume)."""
+    r = Rect.of_shape(*shape)
+    rng = np.random.default_rng(seed)
+    offs = rng.permutation(r.volume)
+    coords = r.delinearize(offs)
+    assert r.contains_all(coords).all()
+    np.testing.assert_array_equal(r.linearize(coords), offs)
+
+
+@given(
+    lo=st.lists(st.integers(-5, 5), min_size=2, max_size=2),
+    extent=st.lists(st.integers(0, 5), min_size=2, max_size=2),
+    lo2=st.lists(st.integers(-5, 5), min_size=2, max_size=2),
+    extent2=st.lists(st.integers(0, 5), min_size=2, max_size=2),
+)
+def test_intersection_commutes_and_bounds(lo, extent, lo2, extent2):
+    a = Rect(tuple(lo), tuple(l + e for l, e in zip(lo, extent)))
+    b = Rect(tuple(lo2), tuple(l + e for l, e in zip(lo2, extent2)))
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert ab.volume == ba.volume
+    assert ab.volume <= min(a.volume, b.volume)

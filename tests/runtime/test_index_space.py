@@ -1,0 +1,66 @@
+"""Index spaces: identity semantics and coordinate conversions."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import IndexSpace
+from repro.runtime.geometry import Rect
+
+
+def test_linear_constructor():
+    s = IndexSpace.linear(100)
+    assert s.volume == 100
+    assert s.dim == 1
+    assert s.shape == (100,)
+
+
+def test_grid_constructor():
+    s = IndexSpace.grid(4, 5, 6)
+    assert s.volume == 120
+    assert s.dim == 3
+
+
+def test_nonpositive_sizes_raise():
+    with pytest.raises(ValueError):
+        IndexSpace.linear(0)
+    with pytest.raises(ValueError):
+        IndexSpace.grid(4, 0)
+
+
+def test_empty_rect_raises():
+    with pytest.raises(ValueError):
+        IndexSpace(Rect((0,), (-1,)))
+
+
+def test_identity_equality():
+    """Two spaces with identical bounds are distinct (Legion semantics)."""
+    a = IndexSpace.linear(10)
+    b = IndexSpace.linear(10)
+    assert a != b
+    assert a == a
+    assert len({a, b}) == 2
+
+
+def test_default_names_unique():
+    a, b = IndexSpace.linear(3), IndexSpace.linear(3)
+    assert a.name != b.name
+    assert IndexSpace.linear(3, name="D").name == "D"
+
+
+def test_all_linear_and_contains():
+    s = IndexSpace.grid(3, 3)
+    np.testing.assert_array_equal(s.all_linear(), np.arange(9))
+    np.testing.assert_array_equal(
+        s.contains_linear(np.array([-1, 0, 8, 9])), [False, True, True, False]
+    )
+
+
+def test_linearize_delinearize_roundtrip():
+    s = IndexSpace.grid(5, 7)
+    lin = np.arange(35)
+    coords = s.delinearize(lin)
+    np.testing.assert_array_equal(s.linearize(coords), lin)
+
+
+def test_len():
+    assert len(IndexSpace.linear(42)) == 42

@@ -1,0 +1,130 @@
+"""Machine model: device layout, cost functions, presets."""
+
+import math
+
+import pytest
+
+from repro.runtime import Machine, ProcKind, laptop, lassen, lassen_scaled
+
+
+class TestLayout:
+    def test_lassen_device_counts(self):
+        m = lassen(4)
+        assert m.n_nodes == 4
+        assert len(m.gpus) == 16
+        assert len(m.cpus) == 4
+        assert m.n_devices == 20
+
+    def test_device_lookup(self):
+        m = lassen(2)
+        assert m.cpu(1).kind is ProcKind.CPU and m.cpu(1).node == 1
+        g = m.gpu(1, 3)
+        assert g.kind is ProcKind.GPU and g.node == 1 and g.local_index == 3
+        assert m.device(g.device_id) is g
+
+    def test_gpu_index_bounds(self):
+        with pytest.raises(IndexError):
+            lassen(1).gpu(0, 4)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(n_nodes=0)
+
+    def test_cpu_pool_aggregates_cores(self):
+        m = lassen(1)
+        assert m.cpu(0).gflops == pytest.approx(40 * 15.0)
+
+
+class TestKernelTime:
+    def test_roofline_max(self):
+        m = lassen(1)
+        gpu = m.gpu(0, 0)
+        # Bandwidth-bound: 900 GB/s.
+        t = gpu.kernel_time(flops=0.0, bytes_touched=900e9)
+        assert t == pytest.approx(1.0 + gpu.launch_overhead)
+        # Flop-bound: 7.8 TF/s.
+        t = gpu.kernel_time(flops=7800e9 * 2, bytes_touched=0.0)
+        assert t == pytest.approx(2.0 + gpu.launch_overhead)
+
+    def test_gather_penalty_applies_only_to_irregular(self):
+        gpu = lassen(1).gpu(0, 0)
+        regular = gpu.kernel_time(0.0, 1e9)
+        irregular = gpu.kernel_time(0.0, 1e9, irregular=True)
+        assert irregular > regular
+        assert (irregular - gpu.launch_overhead) == pytest.approx(
+            (regular - gpu.launch_overhead) * gpu.gather_penalty
+        )
+
+    def test_cpu_gather_penalty_heavier_than_gpu(self):
+        m = lassen(1)
+        assert m.cpu(0).gather_penalty > m.gpu(0, 0).gather_penalty
+
+    def test_throughput_scale_slows_kernels(self):
+        cpu = lassen(1).cpu(0)
+        base = cpu.kernel_time(1e9, 1e9)
+        cpu.throughput_scale = 0.5
+        slowed = cpu.kernel_time(1e9, 1e9)
+        assert slowed > base
+
+
+class TestTransfer:
+    def test_same_device_free(self):
+        m = lassen(2)
+        g = m.gpu(0, 0)
+        assert m.transfer_time(g, g, 1e6) == 0.0
+        assert m.transfer_time(g, m.gpu(1, 0), 0.0) == 0.0
+
+    def test_nvlink_vs_nic(self):
+        m = lassen(2)
+        same_node = m.transfer_time(m.gpu(0, 0), m.gpu(0, 1), 1e6)
+        cross_node = m.transfer_time(m.gpu(0, 0), m.gpu(1, 0), 1e6)
+        assert cross_node > same_node
+
+    def test_allreduce_scales_logarithmically(self):
+        m = lassen(4)
+        t2 = m.allreduce_time(2, 8)
+        t16 = m.allreduce_time(16, 8)
+        assert t16 == pytest.approx(4 * t2)
+        assert m.allreduce_time(1, 8) == 0.0
+
+
+class TestBackgroundLoad:
+    def test_occupancy_scales_throughput(self):
+        m = lassen(2)
+        m.set_cpu_background_load(0, 20)
+        assert m.cpu(0).throughput_scale == pytest.approx(0.5)
+        assert m.cpu(1).throughput_scale == 1.0
+        m.clear_background_load()
+        assert m.cpu(0).throughput_scale == 1.0
+
+    def test_bounds_validated(self):
+        m = lassen(1)
+        with pytest.raises(ValueError):
+            m.set_cpu_background_load(0, 40)
+        with pytest.raises(ValueError):
+            m.set_cpu_background_load(0, -1)
+
+
+class TestPresets:
+    def test_laptop_has_no_gpus(self):
+        m = laptop()
+        assert not m.gpus
+        assert m.n_nodes == 1
+
+    def test_scaled_preserves_latency_scales_bandwidth(self):
+        base, scaled = lassen(2), lassen_scaled(2, 8.0)
+        assert scaled.nic_latency == base.nic_latency
+        assert scaled.analysis_overhead == base.analysis_overhead
+        assert scaled.gpu_mem_bw == pytest.approx(base.gpu_mem_bw / 8)
+        assert scaled.nic_bw == pytest.approx(base.nic_bw / 8)
+
+    def test_scaled_equivalence(self):
+        """Time of N bytes on the scaled machine equals 8N on the base."""
+        base, scaled = lassen(1), lassen_scaled(1, 8.0)
+        tb = base.gpu(0, 0).kernel_time(0.0, 8e9)
+        ts = scaled.gpu(0, 0).kernel_time(0.0, 1e9)
+        assert ts == pytest.approx(tb)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            lassen_scaled(1, 0.0)

@@ -1,0 +1,128 @@
+"""Mappers and profiling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ProcKind,
+    RoundRobinMapper,
+    ShardedMapper,
+    TableMapper,
+    TaskRecord,
+    lassen,
+)
+from repro.runtime.engine import TimelineEntry
+from repro.runtime.profiling import device_utilization, profile_by_name, window_times
+
+
+def record(hint=None, point=None, kind=ProcKind.GPU):
+    return TaskRecord(
+        task_id=TaskRecord.next_id(),
+        name="t",
+        requirements=[],
+        proc_kind=kind,
+        flops=0.0,
+        bytes_touched=0.0,
+        owner_hint=hint,
+        future_dep_uids=[],
+        future_uid=None,
+        point=point,
+    )
+
+
+class TestRoundRobin:
+    def test_hint_is_stable(self):
+        m = lassen(2)
+        mapper = RoundRobinMapper(m)
+        d1 = mapper.map_task(record(hint=3))
+        d2 = mapper.map_task(record(hint=3))
+        assert d1 == d2
+
+    def test_unhinted_rotate(self):
+        m = lassen(2)
+        mapper = RoundRobinMapper(m)
+        devs = {mapper.map_task(record()) for _ in range(8)}
+        assert len(devs) == 8
+
+    def test_point_used_as_hint(self):
+        m = lassen(2)
+        mapper = RoundRobinMapper(m)
+        assert mapper.map_task(record(point=2)) == mapper.map_task(record(hint=2))
+
+    def test_cpu_kind_respected(self):
+        m = lassen(2)
+        mapper = RoundRobinMapper(m)
+        d = mapper.map_task(record(hint=0, kind=ProcKind.CPU))
+        assert m.device(d).kind is ProcKind.CPU
+
+
+class TestSharded:
+    def test_hint_indexes_device_list(self):
+        m = lassen(2)
+        mapper = ShardedMapper(m)
+        assert mapper.map_task(record(hint=0)) == m.gpus[0].device_id
+        assert mapper.map_task(record(hint=9)) == m.gpus[1].device_id  # wraps
+
+    def test_cross_kind_falls_back(self):
+        m = lassen(2)
+        mapper = ShardedMapper(m)
+        d = mapper.map_task(record(hint=0, kind=ProcKind.CPU))
+        assert m.device(d).kind is ProcKind.CPU
+
+    def test_gpuless_machine_uses_cpus(self):
+        from repro.runtime import Machine
+
+        m = Machine(n_nodes=2, gpus_per_node=0)
+        mapper = ShardedMapper(m)
+        d = mapper.map_task(record(hint=1))
+        assert m.device(d).kind is ProcKind.CPU
+
+    def test_empty_device_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMapper(lassen(1), device_ids=[])
+
+
+class TestTable:
+    def test_table_lookup_and_reassign(self):
+        m = lassen(2)
+        mapper = TableMapper(m, {7: m.gpus[3].device_id})
+        assert mapper.map_task(record(hint=7)) == m.gpus[3].device_id
+        mapper.reassign(7, m.gpus[5].device_id)
+        assert mapper.map_task(record(hint=7)) == m.gpus[5].device_id
+
+    def test_missing_key_falls_back(self):
+        m = lassen(1)
+        mapper = TableMapper(m, {})
+        d = mapper.map_task(record(hint=123))
+        assert m.device(d).kind is ProcKind.GPU
+
+
+class TestProfiling:
+    def entries(self):
+        return [
+            TimelineEntry(0, "spmv", 1, 0, 0.0, 2.0, 0.5),
+            TimelineEntry(1, "spmv", 2, 0, 0.0, 3.0, 0.0),
+            TimelineEntry(2, "axpy", 1, 0, 2.0, 4.0, 0.0),
+        ]
+
+    def test_profile_by_name(self):
+        stats = profile_by_name(self.entries())
+        assert stats["spmv"].count == 2
+        assert stats["spmv"].total_time == pytest.approx(5.0)
+        assert stats["spmv"].mean_time == pytest.approx(2.5)
+        assert stats["spmv"].total_comm == pytest.approx(0.5)
+        assert stats["axpy"].count == 1
+
+    def test_device_utilization(self):
+        m = lassen(1)
+        util = device_utilization(self.entries(), m)
+        assert util[1] == pytest.approx(4.0 / 4.0)
+        assert util[2] == pytest.approx(3.0 / 4.0)
+        assert util[0] == 0.0
+
+    def test_device_utilization_empty(self):
+        assert device_utilization([], lassen(1)).sum() == 0.0
+
+    def test_window_times(self):
+        np.testing.assert_allclose(window_times([0.0, 1.0, 3.0]), [1.0, 2.0])
+        assert window_times([5.0]).size == 0

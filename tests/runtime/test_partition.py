@@ -1,0 +1,142 @@
+"""Partitions: constructors, disjointness/completeness metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import IndexSpace, Partition, Subset
+
+
+class TestEqual:
+    def test_even_split(self):
+        s = IndexSpace.linear(100)
+        p = Partition.equal(s, 4)
+        assert [pc.volume for pc in p] == [25, 25, 25, 25]
+        assert p.is_disjoint and p.is_complete
+
+    def test_uneven_split_sizes_differ_by_at_most_one(self):
+        s = IndexSpace.linear(10)
+        p = Partition.equal(s, 3)
+        sizes = [pc.volume for pc in p]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_pieces_contiguous(self):
+        p = Partition.equal(IndexSpace.linear(17), 5)
+        assert all(pc.is_contiguous for pc in p)
+
+    def test_too_many_pieces_raises(self):
+        with pytest.raises(ValueError):
+            Partition.equal(IndexSpace.linear(3), 4)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            Partition.equal(IndexSpace.linear(3), 0)
+
+
+class TestByBlocks:
+    def test_2d_tiles_cover_grid(self):
+        s = IndexSpace.grid(8, 6)
+        p = Partition.by_blocks(s, (2, 3))
+        assert p.n_colors == 6
+        assert p.is_disjoint and p.is_complete
+        assert sum(pc.volume for pc in p) == 48
+
+    def test_tile_contents_are_rectangles(self):
+        s = IndexSpace.grid(4, 4)
+        p = Partition.by_blocks(s, (2, 2))
+        coords = p[0].coords()
+        assert coords[:, 0].max() <= 1 and coords[:, 1].max() <= 1
+
+    def test_wrong_tile_dims_raise(self):
+        with pytest.raises(ValueError):
+            Partition.by_blocks(IndexSpace.grid(4, 4), (2,))
+        with pytest.raises(ValueError):
+            Partition.by_blocks(IndexSpace.grid(4, 4), (5, 1))
+
+    def test_3d(self):
+        s = IndexSpace.grid(4, 4, 4)
+        p = Partition.by_blocks(s, (2, 2, 2))
+        assert p.n_colors == 8 and p.is_complete and p.is_disjoint
+
+
+class TestByField:
+    def test_colors_assign_pieces(self):
+        s = IndexSpace.linear(6)
+        p = Partition.by_field(s, np.array([0, 1, 0, 2, 1, 0]))
+        assert [pc.volume for pc in p] == [3, 2, 1]
+        assert p.is_disjoint and p.is_complete
+
+    def test_negative_colors_uncovered(self):
+        s = IndexSpace.linear(4)
+        p = Partition.by_field(s, np.array([0, -1, 1, 0]), n_colors=2)
+        assert not p.is_complete
+        assert p.is_disjoint
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            Partition.by_field(IndexSpace.linear(4), np.array([0, 1]))
+
+
+class TestMetadata:
+    def test_aliasing_detected(self):
+        s = IndexSpace.linear(10)
+        p = Partition.from_subsets(
+            s, [Subset.interval(s, 0, 5), Subset.interval(s, 5, 9)]
+        )
+        assert not p.is_disjoint
+        assert p.is_complete
+
+    def test_incomplete_detected(self):
+        s = IndexSpace.linear(10)
+        p = Partition.from_subsets(s, [Subset.interval(s, 0, 3)])
+        assert p.is_disjoint
+        assert not p.is_complete
+
+    def test_foreign_subset_rejected(self):
+        s, t = IndexSpace.linear(10), IndexSpace.linear(10)
+        with pytest.raises(ValueError):
+            Partition.from_subsets(s, [Subset.full(t)])
+
+    def test_color_of(self):
+        s = IndexSpace.linear(6)
+        p = Partition.equal(s, 2)
+        np.testing.assert_array_equal(p.color_of(), [0, 0, 0, 1, 1, 1])
+
+    def test_color_of_marks_uncovered(self):
+        s = IndexSpace.linear(4)
+        p = Partition.from_subsets(s, [Subset.interval(s, 1, 2)])
+        np.testing.assert_array_equal(p.color_of(), [-1, 0, 0, -1])
+
+    def test_iteration_and_len(self):
+        p = Partition.equal(IndexSpace.linear(8), 4)
+        assert len(p) == 4
+        assert len(list(p)) == 4
+        assert p[0].volume == 2
+
+
+@given(
+    volume=st.integers(1, 200),
+    n_pieces=st.integers(1, 16),
+)
+def test_equal_partition_always_complete_disjoint(volume, n_pieces):
+    if n_pieces > volume:
+        n_pieces = volume
+    s = IndexSpace.linear(volume)
+    p = Partition.equal(s, n_pieces)
+    assert p.is_disjoint and p.is_complete
+    assert sum(pc.volume for pc in p) == volume
+    # Recompute metadata from scratch (bypass constructor hints).
+    q = Partition.from_subsets(s, list(p))
+    assert q.is_disjoint and q.is_complete
+
+
+@given(
+    colors=st.lists(st.integers(0, 4), min_size=1, max_size=40),
+)
+def test_by_field_piece_membership(colors):
+    s = IndexSpace.linear(len(colors))
+    p = Partition.by_field(s, np.array(colors), n_colors=5)
+    for c in range(5):
+        expected = {i for i, col in enumerate(colors) if col == c}
+        assert set(p[c].indices) == expected

@@ -1,0 +1,80 @@
+"""Color-wise partition set operations (Legion's create_partition_by_*)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Subset,
+    partition_difference,
+    partition_intersection,
+    partition_union,
+)
+from repro.runtime.deppart import image
+from repro.runtime.deppart import FunctionalRelation
+
+
+@pytest.fixture
+def space():
+    return IndexSpace.linear(24)
+
+
+@pytest.fixture
+def blocks(space):
+    return Partition.equal(space, 4)
+
+
+@pytest.fixture
+def shifted(space):
+    """Blocks shifted by 3 (wrapping into the last piece)."""
+    pieces = [
+        Subset(space, (np.arange(6) + 3 + 6 * c) % 24) for c in range(4)
+    ]
+    return Partition.from_subsets(space, pieces)
+
+
+def test_union_colorwise(space, blocks, shifted):
+    u = partition_union(blocks, shifted)
+    for c in range(4):
+        expected = set(blocks[c].indices) | set(shifted[c].indices)
+        assert set(u[c].indices) == expected
+
+
+def test_intersection_colorwise(space, blocks, shifted):
+    i = partition_intersection(blocks, shifted)
+    for c in range(4):
+        expected = set(blocks[c].indices) & set(shifted[c].indices)
+        assert set(i[c].indices) == expected
+
+
+def test_difference_gives_ghost_cells(space, blocks):
+    """image(P) \\ P = the ghost cells of each piece — the classic
+    dependent-partitioning halo construction."""
+    # Nearest-neighbour relation on the space itself: i relates to i−1.
+    rel_left = FunctionalRelation(space, space, np.maximum(np.arange(24) - 1, 0))
+    ghosts_left = partition_difference(image(rel_left, blocks), blocks)
+    # Interior piece c: its left ghost is the last cell of piece c-1.
+    assert set(ghosts_left[1].indices) == {5}
+    assert set(ghosts_left[0].indices) == set()
+
+
+def test_mismatched_partitions_rejected(space, blocks):
+    other_space = IndexSpace.linear(24)
+    foreign = Partition.equal(other_space, 4)
+    with pytest.raises(ValueError):
+        partition_union(blocks, foreign)
+    fewer = Partition.equal(space, 2)
+    with pytest.raises(ValueError):
+        partition_intersection(blocks, fewer)
+
+
+def test_union_of_disjoint_complete_stays_complete(space, blocks):
+    u = partition_union(blocks, blocks)
+    assert u.is_complete
+    assert u.is_disjoint
+
+
+def test_difference_with_self_is_empty(space, blocks):
+    d = partition_difference(blocks, blocks)
+    assert all(p.is_empty for p in d)

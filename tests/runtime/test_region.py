@@ -1,0 +1,149 @@
+"""Logical regions, field spaces, accessors and privileges."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FieldSpace,
+    IndexSpace,
+    LogicalRegion,
+    Privilege,
+    RegionAccessor,
+    RegionStore,
+    Subset,
+)
+
+
+@pytest.fixture
+def region():
+    return LogicalRegion(
+        IndexSpace.linear(16), FieldSpace({"v": np.float64, "idx": np.int32})
+    )
+
+
+@pytest.fixture
+def store(region):
+    s = RegionStore()
+    s.allocate(region, "v")
+    return s
+
+
+class TestFieldSpace:
+    def test_dtypes(self):
+        fs = FieldSpace({"a": np.float64, "b": np.int32})
+        assert fs.dtype("a") == np.float64
+        assert fs.itemsize("a") == 8 and fs.itemsize("b") == 4
+        assert "a" in fs and "c" not in fs
+        assert set(fs) == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpace({})
+
+
+class TestRegion:
+    def test_field_bytes(self, region):
+        assert region.field_bytes("v") == 16 * 8
+        assert region.field_bytes("idx", 4) == 16
+
+    def test_identity_equality(self):
+        ispace = IndexSpace.linear(4)
+        fs = FieldSpace({"v": np.float64})
+        a, b = LogicalRegion(ispace, fs), LogicalRegion(ispace, fs)
+        assert a != b and a == a
+
+
+class TestStore:
+    def test_attach_in_place_is_zero_copy(self, region):
+        store = RegionStore()
+        data = np.arange(16, dtype=np.float64)
+        store.attach(region, "v", data)
+        # Mutating through the store is visible in the user's array: the
+        # in-place ingestion of paper P4.
+        store.raw(region, "v")[0] = 99.0
+        assert data[0] == 99.0
+
+    def test_attach_validates_size_and_dtype(self, region):
+        store = RegionStore()
+        with pytest.raises(ValueError):
+            store.attach(region, "v", np.zeros(15))
+        with pytest.raises(TypeError):
+            store.attach(region, "v", np.zeros(16, dtype=np.float32))
+
+    def test_allocate_fill(self, region):
+        store = RegionStore()
+        store.allocate(region, "v", fill=3.5)
+        assert (store.raw(region, "v") == 3.5).all()
+
+    def test_missing_field_raises(self, region):
+        store = RegionStore()
+        with pytest.raises(KeyError):
+            store.raw(region, "v")
+        assert not store.has(region, "v")
+
+
+class TestAccessor:
+    def test_contiguous_read_is_view(self, region, store):
+        acc = RegionAccessor(
+            store, region, "v", Subset.interval(region.ispace, 4, 7), Privilege.READ_ONLY
+        )
+        view = acc.read()
+        assert view.base is store.raw(region, "v")
+        assert acc.n_points == 4
+        assert acc.n_bytes == 32
+
+    def test_scattered_read_write(self, region, store):
+        sub = Subset(region.ispace, np.array([1, 5, 9]))
+        acc = RegionAccessor(store, region, "v", sub, Privilege.READ_WRITE)
+        acc.write(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(acc.read(), [1.0, 2.0, 3.0])
+        raw = store.raw(region, "v")
+        assert raw[1] == 1.0 and raw[5] == 2.0 and raw[9] == 3.0
+        assert raw[0] == 0.0
+
+    def test_privilege_enforcement(self, region, store):
+        sub = Subset.full(region.ispace)
+        ro = RegionAccessor(store, region, "v", sub, Privilege.READ_ONLY)
+        with pytest.raises(PermissionError):
+            ro.write(np.zeros(16))
+        wd = RegionAccessor(store, region, "v", sub, Privilege.WRITE_DISCARD)
+        with pytest.raises(PermissionError):
+            wd.read()
+        red = RegionAccessor(store, region, "v", sub, Privilege.REDUCE)
+        with pytest.raises(PermissionError):
+            red.read()
+        with pytest.raises(PermissionError):
+            red.write(np.zeros(16))
+
+    def test_reduce_add_accumulates(self, region, store):
+        sub = Subset.interval(region.ispace, 0, 3)
+        red = RegionAccessor(store, region, "v", sub, Privilege.REDUCE)
+        red.reduce_add(np.ones(4))
+        red.reduce_add(np.ones(4))
+        np.testing.assert_array_equal(store.raw(region, "v")[:4], 2.0)
+
+    def test_reduce_add_scattered_handles_duplicates(self, region, store):
+        sub = Subset(region.ispace, np.array([2, 7]))
+        red = RegionAccessor(store, region, "v", sub, Privilege.REDUCE)
+        red.scatter_add(np.array([2, 2, 7]), np.array([1.0, 1.0, 5.0]))
+        raw = store.raw(region, "v")
+        assert raw[2] == 2.0 and raw[7] == 5.0
+
+    def test_wrong_space_subset_rejected(self, region, store):
+        other = IndexSpace.linear(16)
+        with pytest.raises(ValueError):
+            RegionAccessor(store, region, "v", Subset.full(other), Privilege.READ_ONLY)
+
+    def test_unknown_field_rejected(self, region, store):
+        with pytest.raises(KeyError):
+            RegionAccessor(
+                store, region, "nope", Subset.full(region.ispace), Privilege.READ_ONLY
+            )
+
+
+class TestPrivilegeEnum:
+    def test_classification(self):
+        assert Privilege.READ_ONLY.is_read and not Privilege.READ_ONLY.is_write
+        assert Privilege.READ_WRITE.is_read and Privilege.READ_WRITE.is_write
+        assert not Privilege.WRITE_DISCARD.is_read and Privilege.WRITE_DISCARD.is_write
+        assert Privilege.REDUCE.is_write and not Privilege.REDUCE.is_read

@@ -1,0 +1,173 @@
+"""The runtime facade: eager execution, futures, dynamic tracing."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    IndexLauncher,
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    ShardedMapper,
+    Subset,
+    TaskLauncher,
+    lassen,
+)
+
+
+def make_runtime(enable_tracing=True):
+    m = lassen(1)
+    return Runtime(machine=m, mapper=ShardedMapper(m), enable_tracing=enable_tracing)
+
+
+@pytest.fixture
+def rt():
+    return make_runtime()
+
+
+@pytest.fixture
+def vec(rt):
+    region = rt.create_region(IndexSpace.linear(256), {"v": np.float64})
+    rt.allocate(region, "v", fill=1.0)
+    return region
+
+
+def double_task(region, piece, hint):
+    def body(ctx):
+        ctx[0].write(ctx[0].read() * 2.0)
+
+    tl = TaskLauncher("double", body, proc_kind=ProcKind.GPU, owner_hint=hint)
+    tl.add_requirement(region, ["v"], piece, Privilege.READ_WRITE)
+    return tl
+
+
+class TestEagerExecution:
+    def test_body_runs_immediately(self, rt, vec):
+        rt.execute(double_task(vec, Subset.full(vec.ispace), 0))
+        assert (rt.store.raw(vec, "v") == 2.0).all()
+
+    def test_future_value(self, rt, vec):
+        def body(ctx):
+            return float(ctx[0].read().sum())
+
+        tl = TaskLauncher("sum", body)
+        tl.add_requirement(vec, ["v"], Subset.full(vec.ispace), Privilege.READ_ONLY)
+        f = rt.execute(tl)
+        assert f.get() == 256.0
+        assert rt.wait_for(f) == 256.0
+        assert rt.future_ready_time(f) > 0
+
+    def test_index_launch_executes_all_points(self, rt, vec):
+        part = Partition.equal(vec.ispace, 4)
+
+        def make_point(p):
+            return double_task(vec, part[p], p)
+
+        futures = rt.execute_index(IndexLauncher("doubles", 4, make_point))
+        assert len(futures) == 4
+        assert (rt.store.raw(vec, "v") == 2.0).all()
+
+    def test_index_launch_reduction(self, rt, vec):
+        part = Partition.equal(vec.ispace, 4)
+
+        def make_point(p):
+            def body(ctx):
+                return float(ctx[0].read().sum())
+
+            tl = TaskLauncher("partial", body, owner_hint=p)
+            tl.add_requirement(vec, ["v"], part[p], Privilege.READ_ONLY)
+            return tl
+
+        futures = rt.execute_index(
+            IndexLauncher("sum", 4, make_point, reduction=sum)
+        )
+        assert len(futures) == 1
+        assert futures[0].get() == 256.0
+
+
+class TestTracing:
+    def run_iteration(self, rt, vec, part):
+        for p in range(part.n_colors):
+            rt.execute(double_task(vec, part[p], p), point=p)
+
+    def test_replay_pays_reduced_analysis(self, rt, vec):
+        part = Partition.equal(vec.ispace, 4)
+        times = []
+        for it in range(4):
+            t0 = rt.sim_time
+            rt.begin_trace("loop")
+            self.run_iteration(rt, vec, part)
+            rt.end_trace("loop")
+            times.append(rt.sim_time - t0)
+        # Iteration 0 records (fresh analysis, zero traced tasks); the
+        # three replays run all 4 tasks each at the traced cost.
+        assert rt.engine.n_traced_tasks == 3 * 4
+        assert min(times[1:]) < times[0]
+
+    def test_divergent_trace_falls_back_to_fresh(self, rt, vec):
+        part = Partition.equal(vec.ispace, 4)
+        rt.begin_trace("t")
+        self.run_iteration(rt, vec, part)
+        rt.end_trace("t")
+        # Replay with a different shape: diverges, re-records fresh.
+        other = Partition.equal(vec.ispace, 2)
+        base = rt.engine.n_traced_tasks
+        rt.begin_trace("t")
+        self.run_iteration(rt, vec, other)
+        rt.end_trace("t")
+        assert rt.engine.n_traced_tasks == base  # nothing replayed
+        # The new recording becomes the valid trace: next run replays.
+        rt.begin_trace("t")
+        self.run_iteration(rt, vec, other)
+        rt.end_trace("t")
+        assert rt.engine.n_traced_tasks == base + 2
+
+    def test_numerics_identical_with_and_without_tracing(self, vec):
+        results = []
+        for tracing in (True, False):
+            rt = make_runtime(enable_tracing=tracing)
+            region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+            rt.allocate(region, "v", fill=1.0)
+            part = Partition.equal(region.ispace, 4)
+            for _ in range(3):
+                rt.begin_trace("x")
+                for p in range(4):
+                    rt.execute(double_task(region, part[p], p), point=p)
+                rt.end_trace("x")
+            results.append(rt.store.raw(region, "v").copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_nested_traces_rejected(self, rt):
+        rt.begin_trace("a")
+        with pytest.raises(RuntimeError):
+            rt.begin_trace("b")
+        rt.end_trace("a")
+
+    def test_mismatched_end_rejected(self, rt):
+        with pytest.raises(RuntimeError):
+            rt.end_trace("never-started")
+
+    def test_shorter_replay_invalidates(self, rt, vec):
+        part = Partition.equal(vec.ispace, 4)
+        rt.begin_trace("s")
+        self.run_iteration(rt, vec, part)
+        rt.end_trace("s")
+        # Replay fewer tasks than recorded: trace invalidated, next
+        # begin_trace records afresh (no crash, numerics fine).
+        rt.begin_trace("s")
+        rt.execute(double_task(vec, part[0], 0), point=0)
+        rt.end_trace("s")
+        rt.begin_trace("s")
+        self.run_iteration(rt, vec, part)
+        rt.end_trace("s")
+
+
+class TestAttachIngest:
+    def test_attach_solves_in_place(self, rt):
+        region = rt.create_region(IndexSpace.linear(8), {"v": np.float64})
+        user_data = np.arange(8, dtype=np.float64)
+        rt.attach(region, "v", user_data)
+        rt.execute(double_task(region, Subset.full(region.ispace), 0))
+        np.testing.assert_array_equal(user_data, np.arange(8) * 2.0)

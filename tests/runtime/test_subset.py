@@ -1,0 +1,162 @@
+"""Subsets: set algebra, contiguity fast paths, disjointness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import IndexSpace, Subset
+
+
+@pytest.fixture
+def space():
+    return IndexSpace.linear(100)
+
+
+class TestConstruction:
+    def test_from_indices_deduplicates_and_sorts(self, space):
+        s = Subset(space, np.array([5, 3, 5, 7, 3]))
+        np.testing.assert_array_equal(s.indices, [3, 5, 7])
+        assert s.volume == 3
+
+    def test_out_of_bounds_raises(self, space):
+        with pytest.raises(ValueError):
+            Subset(space, np.array([100]))
+        with pytest.raises(ValueError):
+            Subset(space, np.array([-1]))
+
+    def test_interval(self, space):
+        s = Subset.interval(space, 10, 19)
+        assert s.volume == 10
+        assert s.is_contiguous
+        assert s.as_slice() == slice(10, 20)
+
+    def test_interval_validation(self, space):
+        with pytest.raises(ValueError):
+            Subset.interval(space, 10, 5)
+        with pytest.raises(ValueError):
+            Subset.interval(space, 0, 100)
+
+    def test_full_and_empty(self, space):
+        assert Subset.full(space).volume == 100
+        assert Subset.empty(space).is_empty
+        assert Subset.empty(space).as_slice() is None
+
+    def test_from_mask(self, space):
+        mask = np.zeros(100, dtype=bool)
+        mask[[2, 4, 8]] = True
+        s = Subset.from_mask(space, mask)
+        np.testing.assert_array_equal(s.indices, [2, 4, 8])
+        np.testing.assert_array_equal(s.as_mask(), mask)
+
+    def test_mask_length_validated(self, space):
+        with pytest.raises(ValueError):
+            Subset.from_mask(space, np.zeros(99, dtype=bool))
+
+
+class TestContiguity:
+    def test_gap_not_contiguous(self, space):
+        s = Subset(space, np.array([1, 2, 4]))
+        assert not s.is_contiguous
+        assert s.as_slice() is None
+
+    def test_singleton_contiguous(self, space):
+        assert Subset(space, np.array([42])).is_contiguous
+
+    def test_bounds(self, space):
+        assert Subset(space, np.array([9, 3, 7])).bounds == (3, 9)
+        assert Subset.empty(space).bounds is None
+
+
+class TestAlgebra:
+    def test_union(self, space):
+        a = Subset(space, np.array([1, 3, 5]))
+        b = Subset(space, np.array([3, 4]))
+        np.testing.assert_array_equal(a.union(b).indices, [1, 3, 4, 5])
+
+    def test_intersection_general(self, space):
+        a = Subset(space, np.array([1, 3, 5, 9]))
+        b = Subset(space, np.array([3, 9, 11]))
+        np.testing.assert_array_equal(a.intersection(b).indices, [3, 9])
+
+    def test_intersection_interval_fast_path(self, space):
+        a = Subset.interval(space, 0, 50)
+        b = Subset.interval(space, 40, 80)
+        c = a.intersection(b)
+        assert c.is_contiguous and c.bounds == (40, 50)
+
+    def test_difference(self, space):
+        a = Subset(space, np.array([1, 2, 3, 4]))
+        b = Subset(space, np.array([2, 4, 6]))
+        np.testing.assert_array_equal(a.difference(b).indices, [1, 3])
+
+    def test_intersection_volume(self, space):
+        a = Subset.interval(space, 0, 9)
+        b = Subset.interval(space, 5, 14)
+        assert a.intersection_volume(b) == 5
+        assert a.intersection_volume(Subset.empty(space)) == 0
+
+    def test_disjointness(self, space):
+        a = Subset.interval(space, 0, 9)
+        b = Subset.interval(space, 10, 19)
+        c = Subset(space, np.array([9, 50]))
+        assert a.is_disjoint_from(b)
+        assert not a.is_disjoint_from(c)
+        assert Subset.empty(space).is_disjoint_from(a)
+
+    def test_issubset(self, space):
+        a = Subset(space, np.array([2, 4]))
+        b = Subset.interval(space, 0, 10)
+        assert a.issubset(b)
+        assert not b.issubset(a)
+
+    def test_contains_point(self, space):
+        s = Subset(space, np.array([2, 40, 77]))
+        assert 40 in s and 41 not in s
+        i = Subset.interval(space, 10, 20)
+        assert 10 in i and 21 not in i
+
+    def test_cross_space_rejected(self, space):
+        other = IndexSpace.linear(100)
+        with pytest.raises(ValueError):
+            Subset.full(space).union(Subset.full(other))
+
+    def test_value_equality(self, space):
+        a = Subset(space, np.array([1, 2]))
+        b = Subset(space, np.array([2, 1]))
+        assert a == b
+        assert a != Subset(space, np.array([1]))
+
+    def test_coords_2d(self):
+        grid = IndexSpace.grid(4, 4)
+        s = Subset(grid, np.array([0, 5, 15]))
+        np.testing.assert_array_equal(s.coords(), [[0, 0], [1, 1], [3, 3]])
+
+
+@st.composite
+def index_sets(draw, volume=60):
+    n = draw(st.integers(0, 15))
+    return draw(
+        st.lists(st.integers(0, volume - 1), min_size=n, max_size=n)
+    )
+
+
+@given(a=index_sets(), b=index_sets())
+def test_set_algebra_matches_python_sets(a, b):
+    space = IndexSpace.linear(60)
+    sa = Subset(space, np.array(a, dtype=np.int64))
+    sb = Subset(space, np.array(b, dtype=np.int64))
+    assert set(sa.union(sb).indices) == set(a) | set(b)
+    assert set(sa.intersection(sb).indices) == set(a) & set(b)
+    assert set(sa.difference(sb).indices) == set(a) - set(b)
+    assert sa.is_disjoint_from(sb) == (not (set(a) & set(b)))
+    assert sa.intersection_volume(sb) == len(set(a) & set(b))
+
+
+@given(lo=st.integers(0, 50), hi=st.integers(0, 50))
+def test_interval_detection(lo, hi):
+    space = IndexSpace.linear(60)
+    if lo > hi:
+        lo, hi = hi, lo
+    s = Subset(space, np.arange(lo, hi + 1))
+    assert s.is_contiguous
+    assert s.as_slice() == slice(lo, hi + 1)

@@ -1,0 +1,89 @@
+"""Conversion round trips and property-based format equivalence."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import ALL_FORMATS, COOMatrix, to_csr
+
+FORMAT_IDS = [name for name, _ in ALL_FORMATS]
+
+
+@pytest.mark.parametrize(("name_a", "conv_a"), ALL_FORMATS, ids=FORMAT_IDS)
+@pytest.mark.parametrize(("name_b", "conv_b"), ALL_FORMATS, ids=FORMAT_IDS)
+def test_pairwise_conversion_preserves_operator(name_a, conv_a, name_b, conv_b, rng):
+    A = sp.random(8, 12, density=0.4, random_state=np.random.default_rng(17), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    base = COOMatrix.from_scipy(A)
+    converted = conv_b(conv_a(base))
+    np.testing.assert_allclose(converted.to_dense(), A.toarray(), atol=1e-12)
+
+
+@st.composite
+def small_dense_matrices(draw):
+    n_rows = draw(st.integers(2, 8))
+    n_cols = draw(st.integers(2, 8))
+    # Make dims even so block formats accept (2, 2) blocks.
+    n_rows += n_rows % 2
+    n_cols += n_cols % 2
+    values = draw(
+        arrays(
+            np.float64,
+            (n_rows, n_cols),
+            elements=st.floats(-10, 10, allow_nan=False).map(lambda v: round(v, 3)),
+        )
+    )
+    # Sparsify: zero out a random mask.
+    mask = draw(
+        arrays(np.bool_, (n_rows, n_cols), elements=st.booleans())
+    )
+    return values * mask
+
+
+@given(dense=small_dense_matrices())
+@settings(max_examples=30, deadline=None)
+def test_all_formats_agree_on_random_matrices(dense):
+    if not np.any(dense):
+        dense[0, 0] = 1.0
+    base = COOMatrix.from_dense(dense)
+    x = np.linspace(-1, 1, dense.shape[1])
+    expected = dense @ x
+    for name, convert in ALL_FORMATS:
+        m = convert(base)
+        np.testing.assert_allclose(m.spmv(x), expected, atol=1e-9, err_msg=name)
+        np.testing.assert_allclose(m.to_dense(), dense, atol=1e-12, err_msg=name)
+
+
+@given(dense=small_dense_matrices(), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_spmv_linearity(dense, data):
+    """SpMV is linear: A(αx + y) = αAx + Ay, for every format."""
+    if not np.any(dense):
+        dense[0, 0] = 1.0
+    n = dense.shape[1]
+    alpha = data.draw(st.floats(-4, 4, allow_nan=False))
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=n), rng.normal(size=n)
+    m = to_csr(COOMatrix.from_dense(dense))
+    np.testing.assert_allclose(
+        m.spmv(alpha * x + y), alpha * m.spmv(x) + m.spmv(y), atol=1e-8
+    )
+
+
+@given(dense=small_dense_matrices())
+@settings(max_examples=30, deadline=None)
+def test_rmatvec_is_adjoint(dense):
+    """⟨Ax, v⟩ = ⟨x, Aᵀv⟩ for every format."""
+    if not np.any(dense):
+        dense[0, 0] = 1.0
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=dense.shape[1])
+    v = rng.normal(size=dense.shape[0])
+    base = COOMatrix.from_dense(dense)
+    for name, convert in ALL_FORMATS:
+        m = convert(base)
+        lhs = np.dot(m.spmv(x), v)
+        rhs = np.dot(x, m.rmatvec(v))
+        assert lhs == pytest.approx(rhs, abs=1e-8), name

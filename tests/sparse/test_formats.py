@@ -1,0 +1,177 @@
+"""Every storage format computes the same linear transformation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    ALL_FORMATS,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    SparseFormat,
+)
+
+FORMAT_IDS = [name for name, _ in ALL_FORMATS]
+
+
+@pytest.fixture
+def reference(rng):
+    """A 12×16 random matrix (block sizes divide both dims)."""
+    A = sp.random(12, 16, density=0.3, random_state=np.random.default_rng(3), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    return A
+
+
+@pytest.fixture
+def square_reference(rng):
+    A = sp.random(12, 12, density=0.3, random_state=np.random.default_rng(4), format="csr")
+    A.data[:] = rng.normal(size=A.nnz)
+    A = A + sp.identity(12)
+    return A.tocsr()
+
+
+@pytest.mark.parametrize(("name", "convert"), ALL_FORMATS, ids=FORMAT_IDS)
+class TestFormatSemantics:
+    def build(self, convert, reference):
+        return convert(COOMatrix.from_scipy(reference))
+
+    def test_to_dense(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        np.testing.assert_allclose(m.to_dense(), reference.toarray(), atol=1e-12)
+
+    def test_spmv_native(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(m.spmv(x), reference @ x, atol=1e-10)
+
+    def test_rmatvec_native(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        v = rng.normal(size=12)
+        np.testing.assert_allclose(m.rmatvec(v), reference.T @ v, atol=1e-10)
+
+    def test_generic_spmv_from_triplets(self, name, convert, reference, rng):
+        """Equation (2) evaluated generically matches the native kernel."""
+        m = self.build(convert, reference)
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(SparseFormat.spmv(m, x), m.spmv(x), atol=1e-10)
+
+    def test_shape_and_scipy_roundtrip(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        assert m.shape == (12, 16)
+        back = m.to_scipy()
+        np.testing.assert_allclose(back.toarray(), reference.toarray(), atol=1e-12)
+
+    def test_triplets_restricted_to_kernel_subset(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        half = np.arange(m.kernel_space.volume // 2, dtype=np.int64)
+        rest = np.arange(m.kernel_space.volume // 2, m.kernel_space.volume, dtype=np.int64)
+        dense = np.zeros(m.shape)
+        for part in (half, rest):
+            r, c, v = m.triplets(part)
+            np.add.at(dense, (r, c), v)
+        np.testing.assert_allclose(dense, reference.toarray(), atol=1e-12)
+
+    def test_piece_bytes_positive_and_monotone(self, name, convert, reference, rng):
+        m = self.build(convert, reference)
+        b1 = m.piece_bytes(10, 5, 5)
+        b2 = m.piece_bytes(20, 5, 5)
+        assert 0 < b1 < b2
+
+
+class TestConstructionValidation:
+    def test_coo_mismatched_arrays(self):
+        from repro.runtime import IndexSpace
+
+        D, R = IndexSpace.linear(4), IndexSpace.linear(4)
+        with pytest.raises(ValueError):
+            COOMatrix(np.ones(3), np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64), D, R)
+
+    def test_coo_out_of_bounds(self):
+        from repro.runtime import IndexSpace
+
+        D, R = IndexSpace.linear(4), IndexSpace.linear(4)
+        with pytest.raises(ValueError):
+            COOMatrix(np.ones(1), np.array([4]), np.array([0]), D, R)
+        with pytest.raises(ValueError):
+            COOMatrix(np.ones(1), np.array([0]), np.array([-1]), D, R)
+
+    def test_csr_bad_rowptr(self):
+        from repro.runtime import IndexSpace
+
+        D, R = IndexSpace.linear(4), IndexSpace.linear(3)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.zeros(2, dtype=np.int64), np.array([0, 2, 1, 2]), D, R)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.zeros(2, dtype=np.int64), np.array([0, 1, 2]), D, R)
+
+    def test_dia_distinct_offsets(self):
+        with pytest.raises(ValueError):
+            DIAMatrix(np.ones((2, 4)), np.array([0, 0]))
+
+    def test_dense_requires_2d(self):
+        with pytest.raises(ValueError):
+            DenseMatrix(np.ones(4))
+
+    def test_ell_shape_mismatch(self):
+        from repro.runtime import IndexSpace
+
+        with pytest.raises(ValueError):
+            ELLMatrix(np.ones((3, 2)), np.zeros((3, 3), dtype=np.int64), IndexSpace.linear(4))
+
+
+class TestCSRSpecifics:
+    def test_from_coo_arrays_sorts_rows(self, square_reference):
+        coo = square_reference.tocoo()
+        from repro.runtime import IndexSpace
+
+        D = IndexSpace.linear(12)
+        m = CSRMatrix.from_coo_arrays(
+            coo.data, coo.row.astype(np.int64), coo.col.astype(np.int64), D, D
+        )
+        np.testing.assert_allclose(m.to_dense(), square_reference.toarray())
+
+    def test_diagonal(self, square_reference):
+        m = CSRMatrix.from_scipy(square_reference)
+        np.testing.assert_allclose(m.diagonal(), square_reference.diagonal())
+
+    def test_diagonal_requires_square(self, reference):
+        m = CSRMatrix.from_scipy(reference)
+        with pytest.raises(ValueError):
+            m.diagonal()
+
+    def test_row_of_expands_rowptr(self, square_reference):
+        m = CSRMatrix.from_scipy(square_reference)
+        rows = m.row_of()
+        assert rows.size == m.nnz
+        assert (np.diff(rows) >= 0).all()
+
+
+class TestEdgeCases:
+    def test_empty_matrix_representable(self):
+        m = COOMatrix.from_dense(np.zeros((3, 3)))
+        assert m.spmv(np.ones(3)).sum() == 0.0
+
+    def test_single_entry(self):
+        m = CSRMatrix.from_dense(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        np.testing.assert_allclose(m.spmv(np.array([1.0, 3.0])), [6.0, 0.0])
+
+    def test_dia_rectangular(self, rng):
+        A = sp.diags([1.0, 2.0], [0, 1], shape=(4, 6)).tocsr()
+        m = DIAMatrix.from_scipy(A)
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(m.spmv(x), A @ x)
+        v = rng.normal(size=4)
+        np.testing.assert_allclose(m.rmatvec(v), A.T @ v)
+
+    def test_ell_ragged_rows(self, rng):
+        dense = np.zeros((4, 4))
+        dense[0] = [1, 2, 3, 4]  # full row
+        dense[2, 1] = 5.0  # single entry
+        m = ELLMatrix.from_dense(dense)
+        assert m.slots == 4
+        x = rng.normal(size=4)
+        np.testing.assert_allclose(m.spmv(x), dense @ x)

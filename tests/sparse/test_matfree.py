@@ -1,0 +1,188 @@
+"""Matrix-free operators: the §5 'matrix-free tasks' capability."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import make_planner
+from repro.core import CGSolver, SOL
+from repro.core.projection import matvec_copartition
+from repro.runtime import (
+    ComputedRelation,
+    FullRelation,
+    IndexSpace,
+    Partition,
+    lassen,
+)
+from repro.sparse import MatrixFreeOperator
+
+
+@pytest.fixture
+def spaces():
+    return IndexSpace.linear(64, name="D_mf")
+
+
+def laplacian_apply(n):
+    """Matrix-free 1-D Dirichlet Laplacian."""
+
+    def apply_fn(x_piece, rows, cols):
+        xf = np.zeros(n)
+        xf[cols] = x_piece
+        y = 2.0 * xf[rows]
+        y -= np.where(rows > 0, xf[np.maximum(rows - 1, 0)], 0.0)
+        y -= np.where(rows < n - 1, xf[np.minimum(rows + 1, n - 1)], 0.0)
+        return y
+
+    return apply_fn
+
+
+def stencil_dependence(n, space):
+    """Row i depends on columns {i−1, i, i+1}: a genuinely one-to-many
+    relation, so it is expressed as explicit pairs."""
+    from repro.runtime import PairsRelation
+
+    rows = np.repeat(np.arange(n, dtype=np.int64), 3)
+    cols = np.clip(rows + np.tile([-1, 0, 1], n), 0, n - 1)
+    pairs = np.unique(np.stack([rows, cols], axis=1), axis=0)
+    return PairsRelation(IndexSpace.linear(n), space, pairs)
+
+
+class TestSemantics:
+    def test_to_dense_matches_reference(self, spaces):
+        n = spaces.volume
+        op = MatrixFreeOperator(laplacian_apply(n), spaces, spaces)
+        ref = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n)).toarray()
+        np.testing.assert_allclose(op.to_dense(), ref)
+
+    def test_spmv(self, spaces, rng):
+        n = spaces.volume
+        op = MatrixFreeOperator(laplacian_apply(n), spaces, spaces)
+        x = rng.normal(size=n)
+        ref = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n))
+        np.testing.assert_allclose(op.spmv(x), ref @ x)
+
+    def test_triplets_unavailable(self, spaces):
+        op = MatrixFreeOperator(laplacian_apply(64), spaces, spaces)
+        with pytest.raises(NotImplementedError):
+            op.triplets()
+        with pytest.raises(NotImplementedError):
+            op.rmatvec(np.zeros(64))
+
+
+class TestCopartitioning:
+    def test_full_dependence_reads_everything(self, spaces):
+        op = MatrixFreeOperator(laplacian_apply(64), spaces, spaces)
+        P = Partition.equal(op.range_space, 4)
+        KP, DP = matvec_copartition(op, P)
+        for c in range(4):
+            assert DP[c].volume == 64  # conservative all-to-all
+
+    def test_declared_dependence_gives_tight_halos(self, spaces):
+        n = spaces.volume
+        op = MatrixFreeOperator(
+            laplacian_apply(n), spaces, spaces,
+            dependence=stencil_dependence(n, spaces),
+        )
+        P = Partition.equal(op.range_space, 4)
+        KP, DP = matvec_copartition(op, P)
+        # Interior pieces read their 16 own entries plus 2 ghosts.
+        assert DP[1].volume == 18
+        assert DP[0].volume == 17  # boundary piece: one ghost
+
+    def test_piece_kernels_reassemble(self, spaces, rng):
+        n = spaces.volume
+        op = MatrixFreeOperator(
+            laplacian_apply(n), spaces, spaces,
+            dependence=stencil_dependence(n, spaces),
+        )
+        x = rng.normal(size=n)
+        P = Partition.equal(op.range_space, 4)
+        KP, DP = matvec_copartition(op, P)
+        y = np.zeros(n)
+        for c in range(4):
+            pk = op.make_piece_kernel(KP[c], DP[c], P[c])
+            y[P[c].indices] = pk(x[DP[c].indices])
+        np.testing.assert_allclose(y, op.spmv(x))
+
+    def test_transpose_kernels_unsupported(self, spaces):
+        op = MatrixFreeOperator(laplacian_apply(64), spaces, spaces)
+        P = Partition.equal(op.range_space, 2)
+        KP, DP = matvec_copartition(op, P)
+        with pytest.raises(NotImplementedError):
+            op.make_piece_kernel(KP[0], DP[0], P[0], transpose=True)
+
+
+class TestSolverIntegration:
+    def test_cg_on_matrix_free_operator(self, rng):
+        n = 128
+        D = IndexSpace.linear(n, name="D")
+        op = MatrixFreeOperator(
+            laplacian_apply(n), D, D,
+            dependence=stencil_dependence(n, D),
+            flops_per_row=6.0,
+            bytes_per_row=48.0,
+        )
+        b = rng.normal(size=n)
+        planner = make_planner(op, b, machine=lassen(2))
+        result = CGSolver(planner).solve(tolerance=1e-10, max_iterations=500)
+        assert result.converged
+        x = planner.get_array(SOL)
+        ref = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+        assert np.linalg.norm(ref @ x - b) < 1e-8
+
+    def test_bad_apply_shape_detected(self, spaces):
+        op = MatrixFreeOperator(lambda x, r, c: np.zeros(3), spaces, spaces)
+        P = Partition.equal(op.range_space, 2)
+        KP, DP = matvec_copartition(op, P)
+        pk = op.make_piece_kernel(KP[0], DP[0], P[0])
+        with pytest.raises(ValueError):
+            pk(np.zeros(DP[0].volume))
+
+    def test_mixed_stored_and_matrix_free_system(self, rng):
+        """A multi-operator system combining a stored CSR block and a
+        matrix-free perturbation — mixed 'formats' in one system (§7)."""
+        from repro.core import Planner
+        from repro.runtime import Runtime, ShardedMapper
+        from repro.sparse import CSRMatrix
+
+        n = 64
+        machine = lassen(1)
+        runtime = Runtime(machine=machine, mapper=ShardedMapper(machine))
+        planner = Planner(runtime)
+        D = IndexSpace.linear(n)
+        base = sp.diags([-1.0, 4.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+        stored = CSRMatrix.from_scipy(base, domain_space=D, range_space=D)
+
+        def shift_apply(x, rows, cols):
+            xf = np.zeros(n)
+            xf[cols] = x
+            return 0.5 * xf[rows]  # +0.5 I, matrix-free
+
+        free = MatrixFreeOperator(
+            shift_apply, D, D,
+            dependence=ComputedRelation(
+                IndexSpace.linear(n), D,
+                forward=lambda k: k, backward=lambda j: np.asarray(j),
+            ),
+        )
+        b = rng.normal(size=n)
+        part = Partition.equal(D, 4)
+        sid = planner.add_sol_vector((D, np.zeros(n)), part)
+        rid = planner.add_rhs_vector((D, b), part)
+        planner.add_operator(stored, sid, rid)
+        planner.add_operator(free, sid, rid)
+        result = CGSolver(planner).solve(tolerance=1e-10, max_iterations=500)
+        assert result.converged
+        x = planner.get_array(SOL)
+        A_total = base + 0.5 * sp.identity(n)
+        assert np.linalg.norm(A_total @ x - b) < 1e-8
+
+
+class TestFullRelation:
+    def test_image_preimage(self):
+        I, J = IndexSpace.linear(3), IndexSpace.linear(5)
+        rel = FullRelation(I, J)
+        np.testing.assert_array_equal(rel.image_indices(np.array([1])), np.arange(5))
+        np.testing.assert_array_equal(rel.preimage_indices(np.array([4])), np.arange(3))
+        assert rel.image_indices(np.array([], dtype=np.int64)).size == 0
+        assert rel.pairs().shape == (15, 2)

@@ -1,0 +1,123 @@
+"""RelationMatrix: the general (possibly many-to-many) KDR matrix of
+paper equation (2), including aliasing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import IndexSpace
+from repro.runtime.deppart import FunctionalRelation, IntervalRelation, PairsRelation
+from repro.sparse import COOMatrix, RelationMatrix
+
+
+def test_functional_relations_reduce_to_coo(rng):
+    """With one-to-one relations the general definition collapses to COO."""
+    K = IndexSpace.linear(6)
+    D = IndexSpace.linear(5)
+    R = IndexSpace.linear(4)
+    rows = np.array([0, 1, 1, 2, 3, 3])
+    cols = np.array([0, 1, 2, 3, 4, 0])
+    vals = rng.normal(size=6)
+    m = RelationMatrix(
+        vals,
+        FunctionalRelation(K, D, cols),
+        FunctionalRelation(K, R, rows),
+    )
+    coo = COOMatrix(vals, rows, cols, domain_space=D, range_space=R, kernel_space=IndexSpace.linear(6))
+    np.testing.assert_allclose(m.to_dense(), coo.to_dense())
+    x = rng.normal(size=5)
+    np.testing.assert_allclose(m.spmv(x), coo.spmv(x))
+
+
+def test_aliasing_one_value_into_many_entries():
+    """A single stored value aliased into a rectangle of entries: each
+    (i, j) in row(k) × col(k) receives A_k (paper §3, many-to-many)."""
+    K = IndexSpace.linear(1)
+    D = IndexSpace.linear(3)
+    R = IndexSpace.linear(2)
+    col_rel = PairsRelation(K, D, np.array([[0, 0], [0, 2]]))
+    row_rel = PairsRelation(K, R, np.array([[0, 0], [0, 1]]))
+    m = RelationMatrix(np.array([5.0]), col_rel, row_rel)
+    expected = np.array([[5.0, 0.0, 5.0], [5.0, 0.0, 5.0]])
+    np.testing.assert_allclose(m.to_dense(), expected)
+    # The stored count is 1; the logical entry count is 4.
+    assert m.nnz == 1
+    rows, cols, vals = m.triplets()
+    assert vals.size == 4
+
+
+def test_overlapping_aliases_sum():
+    """Two kernel points aliasing into the same entry: contributions add
+    (the implicit sums of paper Figure 4)."""
+    K = IndexSpace.linear(2)
+    D = IndexSpace.linear(2)
+    R = IndexSpace.linear(2)
+    col_rel = FunctionalRelation(K, D, np.array([0, 0]))
+    row_rel = FunctionalRelation(K, R, np.array([1, 1]))
+    m = RelationMatrix(np.array([2.0, 3.0]), col_rel, row_rel)
+    np.testing.assert_allclose(m.to_dense(), [[0.0, 0.0], [5.0, 0.0]])
+
+
+def test_interval_row_relation_supported(rng):
+    """A CSR-shaped relation pair plugged into the general matrix."""
+    K = IndexSpace.linear(5)
+    D = IndexSpace.linear(4)
+    R = IndexSpace.linear(3)
+    rowptr = np.array([0, 2, 2, 5])
+    cols = np.array([0, 2, 1, 2, 3])
+    vals = rng.normal(size=5)
+    m = RelationMatrix(
+        vals,
+        FunctionalRelation(K, D, cols),
+        IntervalRelation(K, R, rowptr[:-1], rowptr[1:]),
+    )
+    dense = np.zeros((3, 4))
+    dense[0, 0], dense[0, 2] = vals[0], vals[1]
+    dense[2, 1], dense[2, 2], dense[2, 3] = vals[2], vals[3], vals[4]
+    np.testing.assert_allclose(m.to_dense(), dense)
+
+
+def test_triplets_restricted_to_kernel_subset():
+    K = IndexSpace.linear(2)
+    D = IndexSpace.linear(2)
+    R = IndexSpace.linear(2)
+    m = RelationMatrix(
+        np.array([1.0, 2.0]),
+        FunctionalRelation(K, D, np.array([0, 1])),
+        FunctionalRelation(K, R, np.array([0, 1])),
+    )
+    r, c, v = m.triplets(np.array([1]))
+    assert list(zip(r, c, v)) == [(1, 1, 2.0)]
+    r, c, v = m.triplets(np.array([], dtype=np.int64))
+    assert v.size == 0
+
+
+def test_mismatched_kernel_spaces_rejected():
+    K1, K2 = IndexSpace.linear(2), IndexSpace.linear(2)
+    D = IndexSpace.linear(2)
+    with pytest.raises(ValueError):
+        RelationMatrix(
+            np.ones(2),
+            FunctionalRelation(K1, D, np.zeros(2, dtype=np.int64)),
+            FunctionalRelation(K2, D, np.zeros(2, dtype=np.int64)),
+        )
+
+
+def test_entry_count_validated():
+    K = IndexSpace.linear(3)
+    D = IndexSpace.linear(2)
+    rel = FunctionalRelation(K, D, np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        RelationMatrix(np.ones(2), rel, rel)
+
+
+def test_rmatvec_matches_transpose(rng):
+    K = IndexSpace.linear(4)
+    D = IndexSpace.linear(3)
+    R = IndexSpace.linear(3)
+    m = RelationMatrix(
+        rng.normal(size=4),
+        FunctionalRelation(K, D, np.array([0, 1, 2, 0])),
+        FunctionalRelation(K, R, np.array([0, 0, 1, 2])),
+    )
+    v = rng.normal(size=3)
+    np.testing.assert_allclose(m.rmatvec(v), m.to_dense().T @ v)

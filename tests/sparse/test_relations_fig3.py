@@ -1,0 +1,204 @@
+"""The Figure 3 table: each format's structural assumptions and the
+row/column relations, verified against brute-force pair enumeration."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.runtime.deppart import (
+    ComputedRelation,
+    FunctionalRelation,
+    IntervalRelation,
+)
+from repro.sparse import (
+    BCSCMatrix,
+    BCSRMatrix,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    ELLTransposedMatrix,
+)
+
+
+@pytest.fixture
+def A(rng):
+    M = sp.random(8, 12, density=0.35, random_state=np.random.default_rng(9), format="csr")
+    M.data[:] = rng.normal(size=M.nnz)
+    return M
+
+
+def relation_pairs_by_brute_force(matrix, relation, target_volume):
+    """Enumerate relation pairs via preimages of every singleton."""
+    pairs = set()
+    for j in range(target_volume):
+        for k in relation.preimage_indices(np.array([j])):
+            pairs.add((int(k), j))
+    return pairs
+
+
+def check_relations_describe_matrix(matrix, reference):
+    """The defining property: expanding the relations against the entry
+    array reproduces the matrix (paper equation (2), functional case)."""
+    rows, cols, vals = matrix.triplets()
+    dense = np.zeros(matrix.shape)
+    np.add.at(dense, (rows, cols), vals)
+    np.testing.assert_allclose(dense, reference.toarray(), atol=1e-12)
+    # Cross-check the relations against triplets: for each kernel point
+    # in the triplet expansion, (k, row) ∈ row relation and (k, col) ∈ col.
+    col_pairs = relation_pairs_by_brute_force(
+        matrix, matrix.col_relation, matrix.domain_space.volume
+    )
+    row_pairs = relation_pairs_by_brute_force(
+        matrix, matrix.row_relation, matrix.range_space.volume
+    )
+    # Image consistency: image of all K along relations covers exactly
+    # the nonempty rows/columns.
+    all_k = np.arange(matrix.kernel_space.volume, dtype=np.int64)
+    img_cols = set(matrix.col_relation.image_indices(all_k).tolist())
+    img_rows = set(matrix.row_relation.image_indices(all_k).tolist())
+    assert img_cols == {j for _, j in col_pairs}
+    assert img_rows == {i for _, i in row_pairs}
+
+
+class TestDenseRow:
+    """Dense: K = R × D; both relations implicit projections."""
+
+    def test_structural_assumption(self, A):
+        m = DenseMatrix(A.toarray())
+        assert m.kernel_space.shape == (8, 12)
+        assert isinstance(m.col_relation, ComputedRelation)
+        assert isinstance(m.row_relation, ComputedRelation)
+
+    def test_projections(self, A):
+        m = DenseMatrix(A.toarray())
+        # Kernel point k = i*12 + j projects to row i and column j.
+        k = np.array([0, 13, 95])
+        np.testing.assert_array_equal(m.row_relation.image_indices(k), [0, 1, 7])
+        np.testing.assert_array_equal(np.sort(m.col_relation.image_indices(k)), [0, 1, 11])
+
+    def test_semantics(self, A):
+        check_relations_describe_matrix(DenseMatrix(A.toarray()), A)
+
+
+class TestCOORow:
+    """COO: no structural assumptions; two stored functions."""
+
+    def test_relations_stored(self, A):
+        m = COOMatrix.from_scipy(A)
+        assert isinstance(m.col_relation, FunctionalRelation)
+        assert isinstance(m.row_relation, FunctionalRelation)
+        assert m.kernel_space.volume == A.nnz
+
+    def test_semantics(self, A):
+        check_relations_describe_matrix(COOMatrix.from_scipy(A), A)
+
+
+class TestCSRRow:
+    """CSR: K totally ordered; col stored, rowptr : R → [K, K]."""
+
+    def test_relation_types(self, A):
+        m = CSRMatrix.from_scipy(A)
+        assert isinstance(m.col_relation, FunctionalRelation)
+        assert isinstance(m.row_relation, IntervalRelation)
+        assert m.row_relation.monotone  # the total-order assumption
+
+    def test_rowptr_intervals(self, A):
+        m = CSRMatrix.from_scipy(A)
+        csr = A.tocsr()
+        for i in range(8):
+            pre = m.row_relation.preimage_indices(np.array([i]))
+            np.testing.assert_array_equal(
+                pre, np.arange(csr.indptr[i], csr.indptr[i + 1])
+            )
+
+    def test_semantics(self, A):
+        check_relations_describe_matrix(CSRMatrix.from_scipy(A), A)
+
+
+class TestCSCRow:
+    """CSC: the mirror — row stored, colptr : D → [K, K]."""
+
+    def test_relation_types(self, A):
+        m = CSCMatrix.from_scipy(A)
+        assert isinstance(m.row_relation, FunctionalRelation)
+        assert isinstance(m.col_relation, IntervalRelation)
+
+    def test_semantics(self, A):
+        check_relations_describe_matrix(CSCMatrix.from_scipy(A), A)
+
+
+class TestELLRows:
+    """ELL: K = R × K₀, implicit row projection; ELL': the transpose."""
+
+    def test_ell_structural(self, A):
+        m = ELLMatrix.from_scipy(A)
+        assert m.kernel_space.dim == 2
+        assert m.kernel_space.shape[0] == 8  # R × K0
+
+    def test_ell_implicit_row_relation(self, A):
+        m = ELLMatrix.from_scipy(A)
+        # Valid slots of row i are exactly the padded-col >= 0 slots.
+        pre = m.row_relation.preimage_indices(np.array([0]))
+        slots = m.slots
+        assert all(k // slots == 0 for k in pre)
+
+    def test_ell_semantics(self, A):
+        check_relations_describe_matrix(ELLMatrix.from_scipy(A), A)
+
+    def test_ell_transposed_structural(self, A):
+        m = ELLTransposedMatrix.from_scipy(A)
+        assert m.kernel_space.shape[0] == 12  # D × K0
+
+    def test_ell_transposed_semantics(self, A):
+        check_relations_describe_matrix(ELLTransposedMatrix.from_scipy(A), A)
+
+
+class TestDIARow:
+    """DIA: K = K₀ × D with offsets; both relations implicit."""
+
+    def test_structural(self, A):
+        m = DIAMatrix.from_scipy(A)
+        assert m.kernel_space.dim == 2
+        assert m.kernel_space.shape[1] == 12
+
+    def test_row_formula(self):
+        """row(k₀, i) = i − offset(k₀), per the Figure 3 formula."""
+        dense = np.diag([1.0, 2.0, 3.0]) + np.diag([4.0, 5.0], k=1)
+        m = DIAMatrix.from_dense(dense)
+        rows, cols, vals = m.triplets()
+        for r, c, v in zip(rows, cols, vals):
+            assert dense[r, c] == v
+
+    def test_out_of_range_slots_are_structural_zeros(self):
+        dense = np.diag([4.0, 5.0], k=1) + np.diag(np.ones(3))
+        m = DIAMatrix.from_dense(dense)
+        rows, _, _ = m.triplets()
+        assert (rows >= 0).all() and (rows < 3).all()
+
+    def test_semantics(self, A):
+        check_relations_describe_matrix(DIAMatrix.from_scipy(A), A)
+
+
+class TestBlockRows:
+    """BCSR/BCSC: factored kernel space K = K₀ × B_R × B_D."""
+
+    def test_bcsr_structural(self, A):
+        m = BCSRMatrix.from_scipy(A, block_size=(2, 2))
+        assert m.kernel_space.dim == 3
+        assert m.kernel_space.shape[1:] == (2, 2)
+
+    def test_bcsr_semantics(self, A):
+        check_relations_describe_matrix(BCSRMatrix.from_scipy(A, block_size=(2, 2)), A)
+
+    def test_bcsc_semantics(self, A):
+        check_relations_describe_matrix(BCSCMatrix.from_scipy(A, block_size=(2, 2)), A)
+
+    def test_block_relations_span_blocks(self, A):
+        m = BCSRMatrix.from_scipy(A, block_size=(2, 2))
+        # The preimage of one row includes whole block rows (bd slots per
+        # block), i.e. comes in multiples of the block width.
+        pre = m.row_relation.preimage_indices(np.array([0]))
+        assert pre.size % m.bd == 0

@@ -1,0 +1,115 @@
+"""The high-level entry points: make_planner and solve."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import make_planner, solve
+from repro.core import CGSolver, SOL
+from repro.problems import tridiagonal_toeplitz
+from repro.runtime import Machine, ProcKind, lassen
+from repro.sparse import CSRMatrix, DIAMatrix
+
+
+@pytest.fixture
+def system(rng):
+    A = tridiagonal_toeplitz(48)
+    return A, rng.normal(size=48)
+
+
+class TestSolve:
+    def test_default_solve(self, system):
+        A, b = system
+        x, result = solve(A, b, tolerance=1e-10)
+        assert result.converged
+        assert np.linalg.norm(A @ x - b) < 1e-8
+
+    def test_unknown_solver_rejected(self, system):
+        A, b = system
+        with pytest.raises(KeyError, match="unknown solver"):
+            solve(A, b, solver="fancy")
+
+    def test_unknown_preconditioner_rejected(self, system):
+        A, b = system
+        with pytest.raises(KeyError):
+            solve(A, b, solver="pcg", preconditioner="ilu-magic")
+
+    def test_jacobi_string_shortcut(self, system):
+        A, b = system
+        x, result = solve(A, b, solver="pcg", preconditioner="jacobi", tolerance=1e-10)
+        assert result.converged
+
+    def test_solution_is_array_of_right_size(self, system):
+        A, b = system
+        x, _ = solve(A, b, max_iterations=5)
+        assert x.shape == (48,)
+
+
+class TestMakePlanner:
+    def test_scipy_matrix_wrapped_as_csr(self, system):
+        A, b = system
+        planner = make_planner(A, b)
+        assert planner.is_square()
+
+    def test_kdr_matrix_used_directly(self, system, rng):
+        A, b = system
+        kdr = CSRMatrix.from_scipy(A)
+        planner = make_planner(kdr, b)
+        res = CGSolver(planner).solve(tolerance=1e-10)
+        assert res.converged
+
+    def test_kdr_shape_mismatch_rejected(self, system):
+        A, b = system
+        kdr = CSRMatrix.from_scipy(tridiagonal_toeplitz(32))
+        with pytest.raises(ValueError):
+            make_planner(kdr, b)
+
+    def test_n_pieces_defaults_to_devices(self, system):
+        A, b = system
+        planner = make_planner(A, b, machine=lassen(2))
+        assert planner.n_pieces == 8
+
+    def test_n_pieces_capped_at_size(self):
+        A = tridiagonal_toeplitz(4)
+        planner = make_planner(A, np.ones(4), machine=lassen(2))
+        assert planner.n_pieces <= 4
+
+    def test_cpu_machine_supported(self, system):
+        A, b = system
+        machine = Machine(n_nodes=2, gpus_per_node=0)
+        planner = make_planner(A, b, machine=machine)
+        assert planner.proc_kind is ProcKind.CPU
+        res = CGSolver(planner).solve(tolerance=1e-9)
+        assert res.converged
+
+    def test_explicit_proc_kind(self, system):
+        A, b = system
+        planner = make_planner(A, b, machine=lassen(1), proc_kind=ProcKind.CPU)
+        assert planner.proc_kind is ProcKind.CPU
+
+    def test_foreign_space_preconditioner_rebound(self, system):
+        A, b = system
+        # Built over its own spaces — make_planner must rebind it.
+        pre = DIAMatrix((0.5 * np.ones(48))[None, :], np.array([0]))
+        planner = make_planner(A, b, preconditioner=pre)
+        assert planner.has_preconditioner()
+
+    def test_wrong_size_preconditioner_rejected(self, system):
+        A, b = system
+        pre = DIAMatrix(np.ones(32)[None, :], np.array([0]))
+        with pytest.raises(ValueError):
+            make_planner(A, b, preconditioner=pre)
+
+    def test_initial_guess_respected(self, system, rng):
+        A, b = system
+        x0 = rng.normal(size=48)
+        planner = make_planner(A, b, x0=x0)
+        np.testing.assert_allclose(planner.get_array(SOL), x0)
+
+    def test_doctest_example(self):
+        import repro.api
+
+        import doctest
+
+        results = doctest.testmod(repro.api)
+        assert results.failed == 0

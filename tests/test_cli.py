@@ -1,0 +1,67 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveCommand:
+    def test_solve_converges(self, capsys):
+        rc = main(["solve", "--stencil", "1d3", "--n", "256", "--solver", "cg"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "time/iteration" in out
+
+    def test_solver_choices(self, capsys):
+        rc = main(["solve", "--stencil", "1d3", "--n", "128", "--solver", "minres"])
+        assert rc == 0
+
+    def test_nonconvergence_exit_code(self, capsys):
+        rc = main([
+            "solve", "--stencil", "2d5", "--n", "4096",
+            "--solver", "gmres", "--tol", "1e-14", "--max-iterations", "2",
+        ])
+        assert rc == 1
+
+
+class TestFigureCommands:
+    def test_fig8_small(self, capsys, tmp_path):
+        out = tmp_path / "fig8.txt"
+        rc = main([
+            "fig8", "--stencils", "1d3", "--solvers", "cg",
+            "--sizes", "12", "--warmup", "1", "--timed", "2",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        assert "geomean improvement" in out.read_text()
+        assert "1d3 / cg" in capsys.readouterr().out
+
+    def test_fig8_model_mode(self, capsys):
+        rc = main([
+            "fig8", "--mode", "model", "--stencils", "2d5",
+            "--solvers", "cg", "--sizes", "28", "--nodes", "16",
+        ])
+        assert rc == 0
+        assert "legion" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        rc = main(["fig9", "--exponents", "5", "--scale", "16"])
+        assert rc == 0
+        assert "single" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        rc = main([
+            "fig10", "--grid-exp", "7", "--nodes", "4",
+            "--iterations", "30", "--load-period", "15",
+        ])
+        assert rc == 0
+        assert "paper: 66%" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_bad_stencil_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--stencil", "9pt"])

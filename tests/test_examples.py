@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; each one asserts its own
+correctness claims internally, so a clean exit is a meaningful check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "boundary_coupling.py",
+    "multiple_rhs.py",
+    "custom_format.py",
+    "heat_implicit.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_load_balancing_example_importable():
+    """The LB example is long-running; verify it at import/config level
+    (the full run is exercised by benchmarks/test_bench_fig10.py)."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import runpy, sys; sys.argv=['x']; "
+            "m = runpy.run_path(r'%s', run_name='not_main'); "
+            "assert 'main' in m" % (EXAMPLES / "load_balancing.py"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
