@@ -9,6 +9,8 @@ Usage::
                           [--seed 0] [--out FILE]
     python -m repro solve --stencil 2d5 --n 65536 --solver cg [--tol 1e-8]
     python -m repro stencil-bench -dim 2 -solver 1 -nx 256 -ny 256 -it 500 -vp 4
+    python -m repro verify [--formats all] [--solvers all] [--seeds 0 1 2]
+                           [--pieces 1 3] [--size 16] [--races] [--verbose]
 
 Each ``figN`` subcommand prints the regenerated table/series (the same
 reports the benchmark suite writes to ``benchmarks/results/``).
@@ -79,6 +81,30 @@ def _build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--tol", type=float, default=1e-8)
     ps.add_argument("--max-iterations", type=int, default=10000)
     ps.add_argument("--nodes", type=int, default=1)
+
+    pv = sub.add_parser(
+        "verify",
+        help="cross-format differential oracle + co-partition/race checks",
+    )
+    pv.add_argument("--formats", nargs="+", default=["all"],
+                    help='format names or "all"')
+    pv.add_argument("--solvers", nargs="+", default=["all"],
+                    help='solver names or "all"')
+    pv.add_argument("--seeds", type=int, nargs="+", default=(0, 1, 2),
+                    help="seeded-problem seeds")
+    pv.add_argument("--pieces", type=int, nargs="+", default=(1, 3),
+                    help="piece-count grid")
+    pv.add_argument("--size", type=int, default=16,
+                    help="problem size (unknowns; kept even for BCSR)")
+    pv.add_argument("--tol", type=float, default=1e-8)
+    pv.add_argument("--max-iterations", type=int, default=400)
+    pv.add_argument("--races", action="store_true",
+                    help="attach the happens-before race detector to every run")
+    pv.add_argument("--no-copartition", action="store_true",
+                    help="skip co-partition invariant checks")
+    pv.add_argument("--verbose", action="store_true",
+                    help="print every case, not just failures")
+    pv.add_argument("--out", default=None)
     return parser
 
 
@@ -173,6 +199,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"on {args.nodes} Lassen node(s)"
         )
         return 0 if result.converged else 1
+
+    if args.command == "verify":
+        from .core.solvers import SOLVER_REGISTRY
+        from .verify import ORACLE_FORMATS, run_oracle
+
+        formats = (
+            list(ORACLE_FORMATS) if args.formats == ["all"] else args.formats
+        )
+        solvers = (
+            sorted(SOLVER_REGISTRY) if args.solvers == ["all"] else args.solvers
+        )
+        for name in formats:
+            if name not in ORACLE_FORMATS:
+                print(f"unknown format {name!r}; known: {ORACLE_FORMATS}")
+                return 2
+        for name in solvers:
+            if name not in SOLVER_REGISTRY:
+                print(f"unknown solver {name!r}; known: {sorted(SOLVER_REGISTRY)}")
+                return 2
+        if args.size < 1:
+            print("--size must be at least 1")
+            return 2
+        if any(p < 1 for p in args.pieces):
+            print("--pieces values must be at least 1")
+            return 2
+        if args.size % 2 and any(f in ("bcsr", "bcsc") for f in formats):
+            print("--size must be even when block formats (bcsr/bcsc) are "
+                  "included (2x2 blocks)")
+            return 2
+        report = run_oracle(
+            formats=formats,
+            solvers=solvers,
+            seeds=tuple(args.seeds),
+            piece_counts=tuple(args.pieces),
+            size=args.size,
+            tolerance=args.tol,
+            max_iterations=args.max_iterations,
+            check_races=args.races,
+            check_copartitions=not args.no_copartition,
+        )
+        _emit(report.summary(verbose=args.verbose), args.out)
+        return 0 if report.ok else 1
 
     return 2  # pragma: no cover
 

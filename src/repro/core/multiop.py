@@ -42,26 +42,33 @@ __all__ = ["OperatorComponent", "MultiOperatorSystem"]
 ENTRY_FIELD = "entries"
 
 # Matrix-entry regions are shared across operator components that wrap
-# the same matrix object (aliasing, §4.2); keyed by runtime and matrix
-# identity.
-_entry_region_cache: Dict[Tuple[int, int], LogicalRegion] = {}
+# the same matrix object (aliasing, §4.2).  The cache lives on the
+# runtime instance and keeps a strong reference to each matrix: a
+# module-global dict keyed by (id(runtime), id(matrix)) would hand a
+# recycled id() the *previous* object's region — a kernel space from an
+# unrelated, garbage-collected matrix.
 
 
 def _entry_region(runtime: Runtime, matrix: SparseFormat) -> LogicalRegion:
-    key = (id(runtime), id(matrix))
-    region = _entry_region_cache.get(key)
-    if region is None:
-        region = runtime.create_region(
-            matrix.kernel_space, {ENTRY_FIELD: np.dtype(np.float64)}, name="mat_entries"
-        )
-        # Attach the stored values in place; aliased operators reuse them.
-        entries = getattr(matrix, "entries", None)
-        if entries is None:
-            entries = getattr(matrix, "values", None)
-        if entries is None:
-            raise TypeError(f"{type(matrix).__name__} exposes no entry array")
-        runtime.attach(region, ENTRY_FIELD, np.asarray(entries, dtype=np.float64).reshape(-1))
-        _entry_region_cache[key] = region
+    cache: Dict[int, Tuple[SparseFormat, LogicalRegion]]
+    cache = getattr(runtime, "_entry_regions", None)
+    if cache is None:
+        cache = {}
+        runtime._entry_regions = cache
+    hit = cache.get(id(matrix))
+    if hit is not None and hit[0] is matrix:
+        return hit[1]
+    region = runtime.create_region(
+        matrix.kernel_space, {ENTRY_FIELD: np.dtype(np.float64)}, name="mat_entries"
+    )
+    # Attach the stored values in place; aliased operators reuse them.
+    entries = getattr(matrix, "entries", None)
+    if entries is None:
+        entries = getattr(matrix, "values", None)
+    if entries is None:
+        raise TypeError(f"{type(matrix).__name__} exposes no entry array")
+    runtime.attach(region, ENTRY_FIELD, np.asarray(entries, dtype=np.float64).reshape(-1))
+    cache[id(matrix)] = (matrix, region)
     return region
 
 

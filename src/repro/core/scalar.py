@@ -61,16 +61,20 @@ class Scalar:
         return self._combine(other, _val(other) * self.value)
 
     def __truediv__(self, other: ScalarLike) -> "Scalar":
-        return self._combine(other, self.value / _val(other))
+        return self._combine(other, _ieee_div(self.value, _val(other)))
 
     def __rtruediv__(self, other: ScalarLike) -> "Scalar":
-        return self._combine(other, _val(other) / self.value)
+        return self._combine(other, _ieee_div(_val(other), self.value))
 
     def __neg__(self) -> "Scalar":
         return Scalar(-self.value, self.future_deps)
 
     def sqrt(self) -> "Scalar":
-        return Scalar(math.sqrt(self.value), self.future_deps)
+        # NaN (not a raise) for negative arguments: solver breakdowns on
+        # singular/indefinite systems must surface as a non-finite
+        # measure the drive loop turns into clean non-convergence.
+        v = self.value
+        return Scalar(math.sqrt(v) if v >= 0.0 else math.nan, self.future_deps)
 
     # -- comparisons (read the eager value) ---------------------------------
 
@@ -95,6 +99,17 @@ class Scalar:
 
 def _val(x: ScalarLike) -> float:
     return x.value if isinstance(x, Scalar) else float(x)
+
+
+def _ieee_div(num: float, den: float) -> float:
+    """IEEE-754 division: ±inf / NaN instead of ZeroDivisionError, so a
+    zero curvature or breakdown flows to the solvers' finite-measure
+    convergence checks as clean non-convergence."""
+    if den == 0.0:
+        if num == 0.0 or math.isnan(num):
+            return math.nan
+        return math.copysign(math.inf, num) * math.copysign(1.0, den)
+    return num / den
 
 
 def as_scalar(x: ScalarLike) -> Scalar:

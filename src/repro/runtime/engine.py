@@ -38,7 +38,31 @@ from .region import LogicalRegion, Privilege
 from .subset import Subset
 from .task import RegionRequirement, TaskRecord
 
-__all__ = ["Engine", "TimelineEntry"]
+__all__ = ["Engine", "EngineObserver", "TimelineEntry"]
+
+
+class EngineObserver:
+    """Hook interface for runtime-verification tools.
+
+    Observers see every simulated task together with the dependence
+    edges (predecessor task ids) the engine's analysis derived for it —
+    region dependences and future dependences alike — plus every
+    execution fence.  The race detector in :mod:`repro.verify` is the
+    canonical implementation.
+    """
+
+    def on_task(
+        self,
+        record: TaskRecord,
+        deps: "set[int]",
+        device_id: int,
+        start: float,
+        finish: float,
+    ) -> None:  # pragma: no cover - interface default
+        pass
+
+    def on_barrier(self, time: float) -> None:  # pragma: no cover
+        pass
 
 
 @dataclass
@@ -57,14 +81,24 @@ class TimelineEntry:
 
 @dataclass
 class _FieldState:
-    """Timing metadata for one (region, field)."""
+    """Timing metadata for one (region, field).
+
+    Epochs map a key to ``(subset, finish, task_ids)``: the subset
+    accessed, the latest finish time of any merged access, and the ids of
+    every task merged into the epoch (so observers receive complete
+    dependence edges even for commuting accesses the engine folds
+    together).  Write epochs are keyed by subset uid; read epochs too;
+    reduction epochs by ``(subset uid, redop)`` so non-commuting
+    reduction kinds occupy distinct epochs and order against each other.
+    """
 
     owner: np.ndarray  # per-element device id
     version: int = 0
-    # last access epochs, keyed by subset uid -> (subset, finish time)
-    writes: Dict[int, Tuple[Subset, float]] = field(default_factory=dict)
-    reads: Dict[int, Tuple[Subset, float]] = field(default_factory=dict)
-    reduces: Dict[int, Tuple[Subset, float]] = field(default_factory=dict)
+    writes: Dict[int, Tuple[Subset, float, Tuple[int, ...]]] = field(default_factory=dict)
+    reads: Dict[int, Tuple[Subset, float, Tuple[int, ...]]] = field(default_factory=dict)
+    reduces: Dict[Tuple[int, str], Tuple[Subset, float, Tuple[int, ...]]] = field(
+        default_factory=dict
+    )
     # (device_id, subset_uid, version) triples with a valid cached copy
     cached: set = field(default_factory=set)
 
@@ -96,9 +130,12 @@ class Engine:
         self._nvlink_out = np.zeros(n_dev)
         self._fields: Dict[Tuple[int, str], _FieldState] = {}
         self._future_ready: Dict[int, float] = {}
+        self._future_producer: Dict[int, int] = {}
         self._task_finish: Dict[int, float] = {}
         self._disjoint: Dict[Tuple[int, int], bool] = {}
         self._home_device: Dict[int, int] = {}
+        #: Verification hooks (see :class:`EngineObserver`); empty by default.
+        self.observers: List[EngineObserver] = []
         # Statistics.
         self.n_tasks = 0
         self.n_traced_tasks = 0
@@ -146,11 +183,23 @@ class Engine:
             self._disjoint[key] = hit
         return not hit
 
-    def _dep_time(self, epochs: Dict[int, Tuple[Subset, float]], subset: Subset) -> float:
+    def _dep_time(
+        self,
+        epochs: Dict,
+        subset: Subset,
+        deps: Optional[set] = None,
+    ) -> float:
+        """Latest finish among epochs overlapping ``subset``.  When
+        ``deps`` is given, the task ids of *every* overlapping epoch are
+        added to it — the dependence edges exist regardless of whether
+        their finish time is the binding constraint."""
         t = 0.0
-        for _, (s, finish) in epochs.items():
-            if finish > t and self._overlap(subset, s):
-                t = finish
+        for _, (s, finish, task_ids) in epochs.items():
+            if self._overlap(subset, s):
+                if finish > t:
+                    t = finish
+                if deps is not None:
+                    deps.update(task_ids)
         return t
 
     # -- transfers -------------------------------------------------------------
@@ -220,10 +269,15 @@ class Engine:
         analysis_done = self._util_free[device.node, slot] + overhead
         self._util_free[device.node, slot] = analysis_done
 
+        deps: set = set()
+
         # 2. Future dependences.
         dep = analysis_done
         for fu in record.future_dep_uids:
             dep = max(dep, self._future_ready.get(fu, 0.0))
+            producer = self._future_producer.get(fu)
+            if producer is not None:
+                deps.add(producer)
 
         # 3. Region dependences and input transfers.
         comm_time = 0.0
@@ -233,14 +287,22 @@ class Engine:
             for fname in req.fields:
                 st = self._field_state(req.region, fname)
                 priv = req.privilege
-                t = self._dep_time(st.writes, req.subset)
+                t = self._dep_time(st.writes, req.subset, deps)
                 if priv.is_write and priv is not Privilege.REDUCE:
-                    t = max(t, self._dep_time(st.reads, req.subset))
-                    t = max(t, self._dep_time(st.reduces, req.subset))
+                    t = max(t, self._dep_time(st.reads, req.subset, deps))
+                    t = max(t, self._dep_time(st.reduces, req.subset, deps))
                 elif priv is Privilege.REDUCE:
-                    t = max(t, self._dep_time(st.reads, req.subset))
+                    t = max(t, self._dep_time(st.reads, req.subset, deps))
+                    # Same-redop reductions commute; a different redop on
+                    # an overlapping subset must be ordered.
+                    other = {
+                        k: v
+                        for k, v in st.reduces.items()
+                        if k[1] != req.redop
+                    }
+                    t = max(t, self._dep_time(other, req.subset, deps))
                 else:  # read-only
-                    t = max(t, self._dep_time(st.reduces, req.subset))
+                    t = max(t, self._dep_time(st.reduces, req.subset, deps))
                 t = max(t, dep)
                 if priv.is_read:
                     t, c = self._gather_remote(st, req, fname, device, t)
@@ -286,10 +348,12 @@ class Engine:
                 # Reductions commute, so a later-launched reduction may
                 # finish earlier than a prior one to the same subset;
                 # the epoch must keep the latest finish.
-                prev = st.reduces.get(req.subset.uid)
-                st.reduces[req.subset.uid] = (
+                rkey = (req.subset.uid, req.redop)
+                prev = st.reduces.get(rkey)
+                st.reduces[rkey] = (
                     req.subset,
                     finish if prev is None else max(finish, prev[1]),
+                    (record.task_id,) if prev is None else prev[2] + (record.task_id,),
                 )
             else:
                 sl = req.subset.as_slice()
@@ -298,7 +362,7 @@ class Engine:
                 else:
                     st.owner[req.subset.indices] = device.device_id
                 st.version += 1
-                st.writes[req.subset.uid] = (req.subset, finish)
+                st.writes[req.subset.uid] = (req.subset, finish, (record.task_id,))
                 st.cached.add((device.device_id, req.subset.uid, st.version))
         for req in record.requirements:
             if req.privilege is Privilege.READ_ONLY:
@@ -310,10 +374,14 @@ class Engine:
                     st.reads[req.subset.uid] = (
                         req.subset,
                         finish if prev is None else max(finish, prev[1]),
+                        (record.task_id,)
+                        if prev is None
+                        else prev[2] + (record.task_id,),
                     )
 
         if record.future_uid is not None:
             self._future_ready[record.future_uid] = finish
+            self._future_producer[record.future_uid] = record.task_id
         self._task_finish[record.task_id] = finish
         self.n_tasks += 1
         if traced:
@@ -331,6 +399,8 @@ class Engine:
                     point=record.point,
                 )
             )
+        for obs in self.observers:
+            obs.on_task(record, deps, device.device_id, start, finish)
         return start, finish
 
     def barrier(self) -> float:
@@ -344,6 +414,8 @@ class Engine:
         self._nic_out[:] = np.maximum(self._nic_out, t)
         self._nic_in[:] = np.maximum(self._nic_in, t)
         self._nvlink_out[:] = np.maximum(self._nvlink_out, t)
+        for obs in self.observers:
+            obs.on_barrier(t)
         return t
 
     # -- queries --------------------------------------------------------------

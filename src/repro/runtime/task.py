@@ -32,12 +32,19 @@ _task_counter = itertools.count()
 
 @dataclass(frozen=True)
 class RegionRequirement:
-    """One (region, field, subset, privilege) access declaration."""
+    """One (region, field, subset, privilege) access declaration.
+
+    ``redop`` names the reduction operator for ``Privilege.REDUCE``
+    requirements; reductions commute only with reductions using the
+    same operator, so the engine orders different-redop accesses to
+    overlapping subsets.  Ignored for non-REDUCE privileges.
+    """
 
     region: LogicalRegion
     fields: Tuple[str, ...]
     subset: Subset
     privilege: Privilege
+    redop: str = "+"
 
     def __post_init__(self) -> None:
         if self.subset.space is not self.region.ispace:
@@ -127,9 +134,10 @@ class TaskLauncher:
         fields: Sequence[str],
         subset: Subset,
         privilege: Privilege,
+        redop: str = "+",
     ) -> "TaskLauncher":
         self.requirements.append(
-            RegionRequirement(region, tuple(fields), subset, privilege)
+            RegionRequirement(region, tuple(fields), subset, privilege, redop)
         )
         return self
 
@@ -182,6 +190,7 @@ class TaskRecord:
             self.owner_hint,
             self.point,
             tuple(
-                (r.region.uid, r.fields, r.subset.uid, r.privilege) for r in self.requirements
+                (r.region.uid, r.fields, r.subset.uid, r.privilege, r.redop)
+                for r in self.requirements
             ),
         )

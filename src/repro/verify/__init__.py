@@ -1,0 +1,57 @@
+"""Runtime verification subsystem.
+
+Two pillars, both opt-in (nothing here runs unless invoked):
+
+* :mod:`repro.verify.race` — a happens-before race detector that
+  attaches to the engine as an observer and independently re-checks
+  that every conflicting access pair is ordered by the dependence
+  analysis.
+* :mod:`repro.verify.oracle` — a cross-format differential oracle
+  running every registered storage format (and a matrix-free operator)
+  through every applicable Krylov solver over a piece-count grid,
+  asserting matching residual histories and co-partition invariants
+  (:mod:`repro.verify.copartition`), with a minimizing shrinker
+  (:mod:`repro.verify.shrink`) for failing cases.
+
+CLI entry point: ``repro verify`` (see :mod:`repro.cli`).
+"""
+
+from .copartition import check_copartition
+from .oracle import (
+    ADJOINT_SOLVERS,
+    ORACLE_FORMATS,
+    SYMMETRIC_SOLVERS,
+    OracleCase,
+    OracleReport,
+    build_format,
+    default_solvers,
+    histories_agree,
+    matfree_from_scipy,
+    run_oracle,
+    seeded_problem,
+)
+from .race import AccessRecord, Race, RaceDetector, RaceError, attach_race_detector
+from .shrink import ShrinkResult, format_reproducer, shrink_case
+
+__all__ = [
+    "ADJOINT_SOLVERS",
+    "ORACLE_FORMATS",
+    "SYMMETRIC_SOLVERS",
+    "AccessRecord",
+    "OracleCase",
+    "OracleReport",
+    "Race",
+    "RaceDetector",
+    "RaceError",
+    "ShrinkResult",
+    "attach_race_detector",
+    "build_format",
+    "check_copartition",
+    "default_solvers",
+    "format_reproducer",
+    "histories_agree",
+    "matfree_from_scipy",
+    "run_oracle",
+    "seeded_problem",
+    "shrink_case",
+]

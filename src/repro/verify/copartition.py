@@ -1,0 +1,89 @@
+"""Co-partition consistency checks (paper §3.1 invariants).
+
+For any format's KDR relations and any range partition ``P``, the
+universal co-partitioning operators must satisfy:
+
+* **Refinement** — ``row_K_to_R[row_R_to_K[P]]`` refines ``P``: both
+  relations are functional (each stored entry has exactly one row and
+  one column), so projecting out and back can only shrink each piece.
+* **Kernel covering** — ``row_R_to_K[P]`` covers the kernel space
+  exactly when ``P`` is complete: every stored entry contributes to some
+  output row.
+* **Domain covering** — ``col_K_to_D[row_R_to_K[P]]`` piece ``c``
+  contains every column read by kernel piece ``c`` (the matvec
+  co-partition property: piece ``c`` of ``y = A x`` is computable from
+  matrix piece ``c`` and input piece ``c`` alone).
+
+All set algebra here is element-exact NumPy over subset index arrays —
+independent of the runtime's cached interference tests, so it doubles as
+an oracle for them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.projection import col_K_to_D, row_K_to_R, row_R_to_K
+from ..runtime.partition import Partition
+from ..sparse.base import SparseFormat
+
+__all__ = ["check_copartition"]
+
+
+def check_copartition(
+    matrix: SparseFormat, n_pieces: int, fmt_name: str = "?"
+) -> List[str]:
+    """Run the §3.1 co-partition invariants for one format at one piece
+    count; returns a list of human-readable violations (empty = pass)."""
+    issues: List[str] = []
+    rng_part = Partition.equal(matrix.range_space, n_pieces)
+
+    kp = row_R_to_K(matrix, rng_part)
+    dp = col_K_to_D(matrix, kp)
+    back = row_K_to_R(matrix, kp)
+
+    # Refinement: image(preimage(P)) piece c ⊆ P piece c.
+    for c, (orig, round_trip) in enumerate(zip(rng_part.pieces, back.pieces)):
+        extra = np.setdiff1d(round_trip.indices, orig.indices, assume_unique=True)
+        if extra.size:
+            issues.append(
+                f"[{fmt_name}, {n_pieces} pieces] row round-trip piece {c} "
+                f"escapes its range piece: rows {extra[:8].tolist()}"
+            )
+
+    # Kernel covering: the preimage pieces jointly cover every stored
+    # entry that maps to some row.  (Padded formats — ELL, DIA — carry
+    # kernel points with no row at all; those legitimately fall outside
+    # every piece.)
+    covered = (
+        np.unique(np.concatenate([p.indices for p in kp.pieces]))
+        if kp.pieces
+        else np.empty(0, dtype=np.int64)
+    )
+    meaningful = np.unique(
+        matrix.row_relation.preimage_indices(
+            np.arange(matrix.range_space.volume, dtype=np.int64)
+        )
+    )
+    missing = np.setdiff1d(meaningful, covered, assume_unique=True)
+    if missing.size:
+        issues.append(
+            f"[{fmt_name}, {n_pieces} pieces] kernel partition misses "
+            f"{missing.size} stored entries, e.g. {missing[:8].tolist()}"
+        )
+
+    # Domain covering: piece c of the domain partition holds every
+    # column that kernel piece c reads.
+    col_rel = matrix.col_relation
+    for c, (kpiece, dpiece) in enumerate(zip(kp.pieces, dp.pieces)):
+        needed = col_rel.image_indices(kpiece.indices)
+        gap = np.setdiff1d(np.unique(needed), dpiece.indices, assume_unique=True)
+        if gap.size:
+            issues.append(
+                f"[{fmt_name}, {n_pieces} pieces] domain piece {c} misses "
+                f"columns read by its matrix piece: {gap[:8].tolist()}"
+            )
+
+    return issues

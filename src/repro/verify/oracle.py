@@ -1,0 +1,418 @@
+"""Cross-format differential oracle.
+
+The paper's central correctness claim (§3–§4) is that any storage
+format expressed through KDR relations yields *identical* solver
+behaviour under universal co-partitioning.  This harness checks the
+claim mechanically: one logical problem is instantiated in every
+registered format (plus a matrix-free operator over the same nonzero
+pattern), run through each Krylov solver via the :class:`Planner`
+across a grid of piece counts, and every combination's residual history
+is compared against a CSR reference.  Since all formats expand to the
+same COO semantics and the planner's reduction order is deterministic
+for a fixed piece count, histories agree to tight floating-point
+tolerance — any disagreement indicates a format conversion, projection,
+or dependence-analysis bug.  Co-partition invariants
+(:mod:`repro.verify.copartition`) and optional happens-before race
+checking (:mod:`repro.verify.race`) ride along on the same runs.
+
+Failing cases can be fed to :func:`repro.verify.shrink.shrink_case` to
+obtain a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..api import make_planner
+from ..core.solvers import SOLVER_REGISTRY
+from ..problems.generators import (
+    convection_diffusion_2d,
+    random_spd,
+    system_with_solution,
+    tridiagonal_toeplitz,
+)
+from ..runtime.deppart import PairsRelation
+from ..runtime.index_space import IndexSpace
+from ..runtime.runtime import Runtime
+from ..sparse.convert import ALL_FORMATS
+from ..sparse.csr import CSRMatrix
+from ..sparse.matfree import MatrixFreeOperator
+from .copartition import check_copartition
+from .race import attach_race_detector
+
+__all__ = [
+    "ORACLE_FORMATS",
+    "SYMMETRIC_SOLVERS",
+    "ADJOINT_SOLVERS",
+    "OracleCase",
+    "OracleReport",
+    "build_format",
+    "default_solvers",
+    "histories_agree",
+    "matfree_from_scipy",
+    "run_oracle",
+    "seeded_problem",
+]
+
+#: Solvers requiring a symmetric (positive definite) operator.
+SYMMETRIC_SOLVERS = frozenset({"cg", "pcg", "minres"})
+#: Solvers applying the adjoint A* (unavailable for matrix-free ops).
+ADJOINT_SOLVERS = frozenset({"bicg", "cgnr"})
+#: Solvers requiring a registered preconditioner.
+PRECONDITIONED_SOLVERS = frozenset({"pcg"})
+
+#: Every format name the oracle can instantiate (the stored-format zoo
+#: of Figure 3 plus the matrix-free operator of §5).
+ORACLE_FORMATS: List[str] = [name for name, _ in ALL_FORMATS] + ["matfree"]
+
+_CONVERTERS: Dict[str, Callable] = {name: conv for name, conv in ALL_FORMATS}
+
+
+def matfree_from_scipy(A: sp.spmatrix) -> MatrixFreeOperator:
+    """Wrap a square SciPy matrix as a matrix-free operator whose
+    dependence relation is the matrix's exact nonzero pattern — the
+    ghost regions derived by co-partitioning must then match the stored
+    formats' exactly."""
+    A = A.tocsr()
+    n, m = A.shape
+    if n != m:
+        raise ValueError("matfree oracle operator requires a square matrix")
+    space = IndexSpace.linear(n, name="S_matfree")
+    coo = A.tocoo()
+    pairs = np.stack([coo.row.astype(np.int64), coo.col.astype(np.int64)], axis=1)
+    dependence = PairsRelation(space, space, pairs)
+
+    def apply_fn(x_piece: np.ndarray, out_rows: np.ndarray, in_cols: np.ndarray) -> np.ndarray:
+        # Scatter the piece's inputs into a dense global vector (zeros
+        # elsewhere are never read: out_rows only touch in_cols entries).
+        x = np.zeros(m)
+        x[in_cols] = x_piece
+        return (A @ x)[out_rows]
+
+    nnz_per_row = max(1.0, A.nnz / max(1, n))
+    return MatrixFreeOperator(
+        apply_fn,
+        domain_space=space,
+        range_space=space,
+        dependence=dependence,
+        flops_per_row=2.0 * nnz_per_row,
+        bytes_per_row=12.0 * nnz_per_row,
+    )
+
+
+def build_format(name: str, A: sp.spmatrix):
+    """Instantiate one oracle format from a SciPy matrix."""
+    if name == "matfree":
+        return matfree_from_scipy(A)
+    conv = _CONVERTERS.get(name)
+    if conv is None:
+        raise KeyError(f"unknown format {name!r}; known: {ORACLE_FORMATS}")
+    return conv(CSRMatrix.from_scipy(A.tocsr()))
+
+
+@dataclass
+class Problem:
+    """One logical seeded problem."""
+
+    name: str
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    symmetric: bool
+    seed: int
+
+
+def seeded_problem(seed: int, size: int = 36) -> Problem:
+    """Deterministic problem for a seed, rotating through problem
+    families so the oracle exercises SPD, random-sparsity SPD, and
+    nonsymmetric operators."""
+    family = seed % 3
+    if family == 0:
+        A = tridiagonal_toeplitz(size)
+        name, symmetric = f"laplace1d(n={size})", True
+    elif family == 1:
+        A = random_spd(size, density=0.12, seed=seed)
+        name, symmetric = f"random_spd(n={size}, seed={seed})", True
+    else:
+        side = max(2, int(round(size ** 0.5)))
+        A = convection_diffusion_2d((side, side))
+        name, symmetric = f"convdiff2d({side}x{side})", False
+    A, b, _ = system_with_solution(A, seed=seed)
+    return Problem(name=name, matrix=A, rhs=b, symmetric=symmetric, seed=seed)
+
+
+def default_solvers(symmetric: bool) -> List[str]:
+    """Solvers applicable to a problem class, from the registry."""
+    out = []
+    for name in sorted(SOLVER_REGISTRY):
+        if name in SYMMETRIC_SOLVERS and not symmetric:
+            continue
+        out.append(name)
+    return out
+
+
+def histories_agree(
+    h: Sequence[float],
+    ref: Sequence[float],
+    tolerance: float,
+    rtol: float = 1e-6,
+) -> Tuple[bool, str]:
+    """Compare two residual-measure histories.
+
+    Different formats execute bitwise-identical piece arithmetic only
+    when reduction trees match, so exact equality is demanded of
+    *convergence behaviour* (iteration counts within one) while the
+    numerical histories must track to tight relative tolerance over
+    their common prefix.
+    """
+    h = np.asarray(h, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if abs(len(h) - len(ref)) > 1:
+        return False, f"iteration counts diverge: {len(h)} vs {len(ref)}"
+    L = min(len(h), len(ref))
+    if L == 0:
+        return True, "empty histories"
+    a, r = h[:L], ref[:L]
+    finite = np.isfinite(a) & np.isfinite(r)
+    if not finite.all():
+        if (np.isfinite(a) != np.isfinite(r)).any():
+            return False, "non-finite entries disagree"
+        a, r = a[finite], r[finite]
+    # Once both runs are within two decades of the target the solver is
+    # in its convergence endgame, where reduction-order roundoff is
+    # amplified arbitrarily (most visibly by CGNR's squared condition
+    # number); agreement there is enforced via iteration counts and
+    # convergence flags instead of per-entry values.
+    meaningful = (np.abs(a) >= tolerance * 100.0) | (np.abs(r) >= tolerance * 100.0)
+    a, r = a[meaningful], r[meaningful]
+    if a.size and not np.allclose(a, r, rtol=rtol, atol=tolerance * 10.0):
+        worst = int(np.argmax(np.abs(a - r) / (np.abs(r) + tolerance)))
+        return (
+            False,
+            f"histories diverge at iteration {worst}: {a[worst]:.6e} vs {r[worst]:.6e}",
+        )
+    return True, f"agree over {L} iterations"
+
+
+@dataclass
+class OracleCase:
+    """One (problem, format, solver, pieces) oracle run."""
+
+    problem: str
+    fmt: str
+    solver: str
+    n_pieces: int
+    ok: bool
+    detail: str
+    converged: Optional[bool] = None
+    iterations: Optional[int] = None
+
+    def describe(self) -> str:
+        status = "ok " if self.ok else "FAIL"
+        return (
+            f"{status} {self.problem:<28} {self.fmt:<8} {self.solver:<9} "
+            f"pieces={self.n_pieces:<3} {self.detail}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Aggregated oracle results."""
+
+    cases: List[OracleCase] = field(default_factory=list)
+    copartition_issues: List[str] = field(default_factory=list)
+    race_reports: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[OracleCase]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failures
+            and not self.copartition_issues
+            and not self.race_reports
+        )
+
+    def summary(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        shown = self.cases if verbose else self.failures
+        lines.extend(c.describe() for c in shown)
+        lines.extend(self.copartition_issues)
+        lines.extend(self.race_reports)
+        n_fail = len(self.failures) + len(self.copartition_issues) + len(self.race_reports)
+        lines.append(
+            f"oracle: {len(self.cases)} cases, "
+            f"{len(self.cases) - len(self.failures)} agree, {n_fail} failure(s)"
+        )
+        return "\n".join(lines)
+
+
+def _run_one(
+    op,
+    A: sp.csr_matrix,
+    b: np.ndarray,
+    solver: str,
+    n_pieces: int,
+    tolerance: float,
+    max_iterations: int,
+    check_races: bool,
+):
+    """Run one solver on one operator instance; returns
+    ``(result, race_report_or_None)``."""
+    runtime = Runtime()
+    detector = attach_race_detector(runtime) if check_races else None
+    kwargs = {}
+    if solver in PRECONDITIONED_SOLVERS:
+        kwargs["preconditioner"] = "jacobi"
+    planner = make_planner(op, b, n_pieces=n_pieces, runtime=runtime, **kwargs)
+    ksm = SOLVER_REGISTRY[solver](planner)
+    result = ksm.solve(tolerance=tolerance, max_iterations=max_iterations)
+    race_report = None
+    if detector is not None:
+        races = detector.check()
+        if races:
+            race_report = "\n".join(r.describe() for r in races)
+    return result, race_report
+
+
+def run_oracle(
+    formats: Optional[Sequence[str]] = None,
+    solvers: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    piece_counts: Sequence[int] = (1, 3),
+    size: int = 36,
+    tolerance: float = 1e-8,
+    max_iterations: int = 400,
+    check_races: bool = False,
+    check_copartitions: bool = True,
+    problems: Optional[Sequence[Problem]] = None,
+    format_builder: Callable[[str, sp.spmatrix], object] = build_format,
+    log: Optional[Callable[[str], None]] = None,
+) -> OracleReport:
+    """Run the differential oracle.
+
+    Parameters
+    ----------
+    formats / solvers:
+        Names to exercise (default: everything registered).  Solvers
+        inapplicable to a problem (symmetry) or format (adjoint for
+        matrix-free) are skipped per combination, not errored.
+    seeds / size:
+        Seeded problems via :func:`seeded_problem`, unless explicit
+        ``problems`` are given.
+    piece_counts:
+        Canonical-partition grid; the first entry at format ``csr``
+        defines the reference history for each (problem, solver).
+    check_races:
+        Attach a happens-before race detector to every run.
+    format_builder:
+        Override for tests (e.g. to inject a deliberately corrupt
+        format and watch the oracle catch it).
+    """
+    if formats is None:
+        formats = list(ORACLE_FORMATS)
+    if problems is None:
+        problems = [seeded_problem(s, size=size) for s in seeds]
+    report = OracleReport()
+
+    for prob in problems:
+        prob_solvers = (
+            [s for s in solvers if s in set(default_solvers(prob.symmetric))]
+            if solvers is not None
+            else default_solvers(prob.symmetric)
+        )
+        A, b = prob.matrix, prob.rhs
+
+        # Co-partition invariants per format (independent of solvers).
+        if check_copartitions:
+            for fmt in formats:
+                op = format_builder(fmt, A)
+                for np_ in piece_counts:
+                    report.copartition_issues.extend(
+                        f"{prob.name}: {msg}"
+                        for msg in check_copartition(op, min(np_, A.shape[0]), fmt)
+                    )
+
+        for solver in prob_solvers:
+            # Formats are compared at equal piece counts: the paper's
+            # claim is format-independence under a given co-partitioning.
+            # Across piece counts, dot-product reduction trees legitimately
+            # differ in floating point, so each grid point gets its own
+            # CSR reference.
+            seen_pieces = set()
+            for np_ in piece_counts:
+                n_pieces = min(np_, A.shape[0])
+                if n_pieces in seen_pieces:
+                    continue
+                seen_pieces.add(n_pieces)
+                ref_fmt = "csr" if "csr" in formats else formats[0]
+                try:
+                    ref_result, ref_races = _run_one(
+                        format_builder(ref_fmt, A), A, b, solver,
+                        n_pieces, tolerance, max_iterations, check_races,
+                    )
+                except Exception as exc:  # pragma: no cover - unexpected
+                    report.cases.append(OracleCase(
+                        prob.name, ref_fmt, solver, n_pieces, False,
+                        f"reference run raised {type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                if ref_races:
+                    report.race_reports.append(
+                        f"{prob.name} {ref_fmt} {solver} pieces={n_pieces}: {ref_races}"
+                    )
+                ref_hist = ref_result.measure_history
+                report.cases.append(OracleCase(
+                    prob.name, ref_fmt, solver, n_pieces, True,
+                    f"reference ({len(ref_hist)} iters)",
+                    converged=ref_result.converged,
+                    iterations=ref_result.iterations,
+                ))
+
+                for fmt in formats:
+                    if fmt == ref_fmt:
+                        continue
+                    if fmt == "matfree" and solver in (
+                        ADJOINT_SOLVERS | PRECONDITIONED_SOLVERS
+                    ):
+                        # No stored entries: neither the adjoint product
+                        # nor a derived Jacobi preconditioner exists.
+                        continue
+                    try:
+                        result, races = _run_one(
+                            format_builder(fmt, A), A, b, solver,
+                            n_pieces, tolerance, max_iterations, check_races,
+                        )
+                    except Exception as exc:
+                        report.cases.append(OracleCase(
+                            prob.name, fmt, solver, n_pieces, False,
+                            f"raised {type(exc).__name__}: {exc}",
+                        ))
+                        continue
+                    if races:
+                        report.race_reports.append(
+                            f"{prob.name} {fmt} {solver} pieces={n_pieces}: {races}"
+                        )
+                    agree, detail = histories_agree(
+                        result.measure_history, ref_hist, tolerance
+                    )
+                    if agree and bool(result.converged) != bool(ref_result.converged):
+                        agree = False
+                        detail = (
+                            f"convergence flags disagree: {bool(result.converged)} "
+                            f"vs reference {bool(ref_result.converged)}"
+                        )
+                    case = OracleCase(
+                        prob.name, fmt, solver, n_pieces, agree, detail,
+                        converged=result.converged,
+                        iterations=result.iterations,
+                    )
+                    report.cases.append(case)
+                    if log is not None:
+                        log(case.describe())
+    return report

@@ -1,0 +1,344 @@
+"""Happens-before race detection for the task graph.
+
+The engine derives task orderings from region requirements (§4.1); this
+module *independently* re-checks them.  A :class:`RaceDetector` attaches
+to an :class:`~repro.runtime.engine.Engine` as an observer and records,
+for every simulated task, the dependence edges the engine produced plus
+the task's own region requirements.  :meth:`RaceDetector.check` then
+replays the classic happens-before argument: any two accesses to the
+same (region, field) with overlapping subsets, at least one of which is
+write-like — excepting commuting reductions under the same operator —
+must be connected in the dependence graph (or separated by an execution
+fence).  Any unordered conflicting pair is a race the dependence
+analysis missed.
+
+Two design points make this a real check rather than a tautology:
+
+* Overlap is recomputed here with an exact ``np.intersect1d`` over the
+  subsets' index sets — deliberately *not* the engine's cached
+  ``_overlap``/``is_disjoint_from`` fast paths, so a bug in those caches
+  (or in the :meth:`OperatorSet.interference` layer feeding them) shows
+  up as a detected race instead of silently propagating.
+* Reachability is computed over the recorded edge set only.  Test
+  fixtures can delete an edge (:meth:`RaceDetector.drop_edge`) to prove
+  the detector reports the conflicting pair with region/field/subset
+  detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..runtime.engine import EngineObserver
+from ..runtime.region import Privilege
+from ..runtime.subset import Subset
+from ..runtime.task import TaskRecord
+
+__all__ = ["AccessRecord", "Race", "RaceDetector", "RaceError", "attach_race_detector"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One (task, region, field) access as seen by the detector."""
+
+    task_id: int
+    task_name: str
+    region_uid: int
+    region_name: str
+    field: str
+    subset: Subset
+    privilege: Privilege
+    redop: str
+    finish: float
+    fence_epoch: int
+
+    def describe(self) -> str:
+        priv = self.privilege.name
+        if self.privilege is Privilege.REDUCE:
+            priv += f"[{self.redop}]"
+        return (
+            f"task {self.task_id} ({self.task_name}) {priv} "
+            f"{self.region_name}.{self.field} subset={_subset_repr(self.subset)}"
+        )
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered conflicting access pair."""
+
+    first: AccessRecord
+    second: AccessRecord
+    overlap: Tuple[int, ...]  # sample of conflicting element indices
+
+    @property
+    def kind(self) -> str:
+        a, b = self.first.privilege, self.second.privilege
+        if a is Privilege.REDUCE and b is Privilege.REDUCE:
+            return f"non-commuting reductions ({self.first.redop} vs {self.second.redop})"
+        if a.is_write and b.is_write:
+            return "write-after-write"
+        if a.is_write:
+            return "read-after-write"
+        return "write-after-read"
+
+    def describe(self) -> str:
+        ov = ", ".join(str(i) for i in self.overlap[:8])
+        if len(self.overlap) > 8:
+            ov += ", …"
+        return (
+            f"RACE ({self.kind}) on {self.first.region_name}.{self.first.field} "
+            f"elements [{ov}]:\n"
+            f"  A: {self.first.describe()}\n"
+            f"  B: {self.second.describe()}\n"
+            f"  no happens-before path orders A and B"
+        )
+
+
+class RaceError(AssertionError):
+    """Raised by :meth:`RaceDetector.assert_race_free` when races exist."""
+
+    def __init__(self, races: List[Race]):
+        self.races = races
+        super().__init__(
+            f"{len(races)} unordered conflicting access pair(s):\n\n"
+            + "\n\n".join(r.describe() for r in races)
+        )
+
+
+@dataclass
+class _TaskNode:
+    task_id: int
+    name: str
+    deps: Set[int]
+    finish: float
+    fence_epoch: int
+    accesses: List[AccessRecord] = field(default_factory=list)
+
+
+class RaceDetector(EngineObserver):
+    """Engine observer implementing happens-before race detection.
+
+    Attach with :func:`attach_race_detector` (or append to
+    ``engine.observers`` directly), run any workload, then call
+    :meth:`check` or :meth:`assert_race_free`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, _TaskNode] = {}
+        #: launch order of task ids (engine simulates in launch order)
+        self._order: List[int] = []
+        self._fence_epoch = 0
+        #: accesses grouped by (region uid, field) for pairwise checking
+        self._by_field: Dict[Tuple[int, str], List[AccessRecord]] = {}
+
+    # -- EngineObserver ----------------------------------------------------
+
+    def on_task(
+        self,
+        record: TaskRecord,
+        deps: Set[int],
+        device_id: int,
+        start: float,
+        finish: float,
+    ) -> None:
+        node = _TaskNode(
+            task_id=record.task_id,
+            name=record.name,
+            deps=set(deps),
+            finish=finish,
+            fence_epoch=self._fence_epoch,
+        )
+        for req in record.requirements:
+            for fname in req.fields:
+                acc = AccessRecord(
+                    task_id=record.task_id,
+                    task_name=record.name,
+                    region_uid=req.region.uid,
+                    region_name=req.region.name,
+                    field=fname,
+                    subset=req.subset,
+                    privilege=req.privilege,
+                    redop=req.redop,
+                    finish=finish,
+                    fence_epoch=self._fence_epoch,
+                )
+                node.accesses.append(acc)
+                self._by_field.setdefault((req.region.uid, fname), []).append(acc)
+        self._nodes[record.task_id] = node
+        self._order.append(record.task_id)
+
+    def on_barrier(self, time: float) -> None:
+        self._fence_epoch += 1
+
+    # -- test fixtures -----------------------------------------------------
+
+    def drop_edge(self, src_task_id: int, dst_task_id: int) -> bool:
+        """Delete the recorded dependence edge ``src → dst`` (fixture for
+        validating the detector itself); returns whether it existed."""
+        node = self._nodes.get(dst_task_id)
+        if node is None or src_task_id not in node.deps:
+            return False
+        node.deps.discard(src_task_id)
+        return True
+
+    def task_ids(self, name: Optional[str] = None) -> List[int]:
+        """Recorded task ids in launch order, optionally filtered by
+        task name (fixture ergonomics)."""
+        return [
+            tid for tid in self._order if name is None or self._nodes[tid].name == name
+        ]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(n.deps) for n in self._nodes.values())
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [
+            (src, node.task_id)
+            for node in self._nodes.values()
+            for src in sorted(node.deps)
+        ]
+
+    # -- happens-before ----------------------------------------------------
+
+    def _ancestor_closure(self) -> Tuple[Dict[int, int], np.ndarray]:
+        """Transitive closure of the dependence graph as packed bitsets.
+
+        Tasks are simulated in launch order and every dependence edge
+        points to an earlier task, so one forward pass in launch order
+        computes each task's full ancestor set: row ``i`` of the returned
+        array has bit ``j`` set iff task ``order[j]`` happens-before task
+        ``order[i]`` through dependence edges.
+        """
+        order = self._order
+        idx = {tid: i for i, tid in enumerate(order)}
+        n = len(order)
+        words = (n + 63) // 64
+        anc = np.zeros((n, words), dtype=np.uint64)
+        one = np.uint64(1)
+        for i, tid in enumerate(order):
+            row = anc[i]
+            for dep in self._nodes[tid].deps:
+                j = idx.get(dep)
+                if j is None or j >= i:
+                    continue
+                row |= anc[j]
+                row[j >> 6] |= one << np.uint64(j & 63)
+        return idx, anc
+
+    def _happens_before(self, a: _TaskNode, b: _TaskNode) -> bool:
+        """True iff ``a`` is ordered before ``b`` — by an execution fence
+        between them or by a dependence path ``a → … → b``.  Convenience
+        wrapper over the closure for one-off queries; :meth:`check`
+        builds the closure once and queries it directly."""
+        if a.fence_epoch != b.fence_epoch:
+            return True
+        idx, anc = self._ancestor_closure()
+        ia, ib = idx[a.task_id], idx[b.task_id]
+        if ia >= ib:
+            return False
+        return bool(anc[ib, ia >> 6] >> np.uint64(ia & 63) & np.uint64(1))
+
+    # -- conflict detection -------------------------------------------------
+
+    @staticmethod
+    def _conflicts(a: AccessRecord, b: AccessRecord) -> bool:
+        pa, pb = a.privilege, b.privilege
+        if not (pa.is_write or pb.is_write):
+            return False  # two reads never conflict
+        if pa is Privilege.REDUCE and pb is Privilege.REDUCE and a.redop == b.redop:
+            return False  # same-operator reductions commute
+        return True
+
+    @staticmethod
+    def _exact_overlap(a: Subset, b: Subset) -> np.ndarray:
+        """Element-exact intersection, independent of the engine's cached
+        disjointness test."""
+        return np.intersect1d(a.indices, b.indices, assume_unique=True)
+
+    def check(self) -> List[Race]:
+        """Scan every conflicting access pair; return unordered ones."""
+        races: List[Race] = []
+        idx, anc = self._ancestor_closure()
+        one = np.uint64(1)
+        # Exact subset intersections, cached by unordered uid pair (our
+        # own cache — still fully independent of the engine's).
+        overlap_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+        def overlap_of(a: AccessRecord, b: AccessRecord) -> np.ndarray:
+            ua, ub = a.subset.uid, b.subset.uid
+            key = (ua, ub) if ua <= ub else (ub, ua)
+            hit = overlap_cache.get(key)
+            if hit is None:
+                hit = self._exact_overlap(a.subset, b.subset)
+                overlap_cache[key] = hit
+            return hit
+
+        def ordered(a: AccessRecord, b: AccessRecord) -> bool:
+            if a.fence_epoch != b.fence_epoch:
+                return True
+            ia, ib = idx[a.task_id], idx[b.task_id]
+            if ia > ib:
+                ia, ib = ib, ia
+            return bool(anc[ib, ia >> 6] >> np.uint64(ia & 63) & one)
+
+        for _, accesses in sorted(self._by_field.items()):
+            # Only pairs with at least one write-like access can race;
+            # iterate write-like × all instead of the full quadratic.
+            writers = [a for a in accesses if a.privilege.is_write]
+            pos = {id(a): k for k, a in enumerate(accesses)}
+            seen_pairs: Set[Tuple[int, int]] = set()
+            for a in writers:
+                ka = pos[id(a)]
+                for kb, b in enumerate(accesses):
+                    if kb == ka:
+                        continue
+                    pair = (min(ka, kb), max(ka, kb))
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    if a.task_id == b.task_id:
+                        continue
+                    if not self._conflicts(a, b):
+                        continue
+                    if ordered(a, b):
+                        continue
+                    overlap = overlap_of(a, b)
+                    if overlap.size == 0:
+                        continue
+                    first, second = (a, b) if ka < kb else (b, a)
+                    races.append(
+                        Race(first, second, tuple(int(x) for x in overlap[:16]))
+                    )
+        return races
+
+    def assert_race_free(self) -> None:
+        races = self.check()
+        if races:
+            raise RaceError(races)
+
+
+def attach_race_detector(runtime) -> RaceDetector:
+    """Attach a fresh :class:`RaceDetector` to a runtime's engine."""
+    det = RaceDetector()
+    runtime.engine.observers.append(det)
+    return det
+
+
+def _subset_repr(s: Subset) -> str:
+    idx = s.indices
+    if idx.size == 0:
+        return "{}"
+    if idx.size <= 6:
+        return "{" + ", ".join(str(int(i)) for i in idx) + "}"
+    lo, hi = int(idx[0]), int(idx[-1])
+    if idx.size == hi - lo + 1:
+        return f"[{lo}, {hi}]"
+    return f"{{{int(idx[0])}, {int(idx[1])}, …, {int(idx[-1])}}} ({idx.size} elems)"

@@ -1,0 +1,134 @@
+"""Minimizing shrinker for failing oracle cases.
+
+When the differential oracle finds a (problem, format, solver, pieces)
+combination that diverges, the raw problem is rarely the best artifact
+for debugging.  :func:`shrink_case` greedily minimizes it while the
+failure persists, in the spirit of property-based testing shrinkers:
+
+1. halve the system (leading principal submatrix) while it still fails;
+2. decrement the size one row/column at a time;
+3. shrink the piece count toward 1.
+
+The predicate is arbitrary, so the same machinery shrinks residual
+divergences, co-partition violations, or race reports.  The result
+carries a ready-to-paste reproducer (:func:`format_reproducer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["ShrinkResult", "shrink_case", "format_reproducer"]
+
+#: fails(A, b, n_pieces) -> True while the failure reproduces
+Predicate = Callable[[sp.csr_matrix, np.ndarray, int], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    n_pieces: int
+    steps: List[str]
+    n_probes: int
+
+    @property
+    def size(self) -> int:
+        return self.matrix.shape[0]
+
+    def reproducer(self) -> str:
+        return format_reproducer(self.matrix, self.rhs, self.n_pieces)
+
+
+def _principal(A: sp.csr_matrix, b: np.ndarray, n: int) -> Tuple[sp.csr_matrix, np.ndarray]:
+    return A[:n, :n].tocsr(), b[:n]
+
+
+def shrink_case(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    n_pieces: int,
+    fails: Predicate,
+    max_probes: int = 64,
+) -> ShrinkResult:
+    """Greedy minimization of a failing case.
+
+    ``fails`` must return True for the input case; the shrinker then
+    probes smaller candidates, keeping any that still fail, until no
+    reduction step applies or ``max_probes`` predicate evaluations have
+    been spent.
+    """
+    A = A.tocsr()
+    b = np.asarray(b, dtype=np.float64)
+    if not fails(A, b, n_pieces):
+        raise ValueError("shrink_case requires a failing input case")
+    steps: List[str] = []
+    probes = 0
+
+    def probe(cand_A, cand_b, cand_p) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        try:
+            return bool(fails(cand_A, cand_b, cand_p))
+        except Exception:
+            # A candidate that errors out is not a *reproduction* of the
+            # original failure; skip it rather than chase a new bug.
+            return False
+
+    # 1. Halve the system while the failure persists.
+    n = A.shape[0]
+    while n > 1:
+        cand = max(1, n // 2)
+        if cand == n:
+            break
+        cA, cb = _principal(A, b, cand)
+        cp = min(n_pieces, cand)
+        if probe(cA, cb, cp):
+            steps.append(f"halved {n} → {cand}")
+            A, b, n, n_pieces = cA, cb, cand, cp
+        else:
+            break
+
+    # 2. Decrement one row at a time.
+    while n > 1:
+        cA, cb = _principal(A, b, n - 1)
+        cp = min(n_pieces, n - 1)
+        if probe(cA, cb, cp):
+            steps.append(f"trimmed {n} → {n - 1}")
+            A, b, n, n_pieces = cA, cb, n - 1, cp
+        else:
+            break
+
+    # 3. Shrink the piece count toward the serial case.
+    while n_pieces > 1:
+        if probe(A, b, n_pieces - 1):
+            steps.append(f"pieces {n_pieces} → {n_pieces - 1}")
+            n_pieces -= 1
+        else:
+            break
+
+    return ShrinkResult(matrix=A, rhs=b, n_pieces=n_pieces, steps=steps, n_probes=probes)
+
+
+def format_reproducer(A: sp.spmatrix, b: np.ndarray, n_pieces: int) -> str:
+    """A self-contained snippet rebuilding the minimal failing case."""
+    A = A.tocoo()
+    rows = A.row.tolist()
+    cols = A.col.tolist()
+    vals = [repr(float(v)) for v in A.data]
+    bvals = [repr(float(v)) for v in np.asarray(b)]
+    return (
+        "import numpy as np, scipy.sparse as sp\n"
+        f"A = sp.csr_matrix((np.array([{', '.join(vals)}]),\n"
+        f"     (np.array({rows}), np.array({cols}))), shape={A.shape})\n"
+        f"b = np.array([{', '.join(bvals)}])\n"
+        f"n_pieces = {n_pieces}\n"
+    )

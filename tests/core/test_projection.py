@@ -147,3 +147,72 @@ def test_copartitioning_is_format_independent(name, convert, rng):
         expected = np.zeros((10, 10))
         expected[P[c].indices] = A.toarray()[P[c].indices]
         np.testing.assert_allclose(dense_piece, expected, atol=1e-12, err_msg=name)
+
+
+class TestSeededRoundTripProperties:
+    """Property-style seeded checks: image(preimage(P)) refines P, and
+    derived K/D/R partitions cover their spaces exactly — for random
+    matrices and random (non-contiguous) partitions."""
+
+    def _random_case(self, seed, n=14):
+        rng = np.random.default_rng(seed)
+        A = sp.random(n, n, density=0.25, random_state=rng, format="csr")
+        A = (A + sp.identity(n)).tocsr()
+        A.data[:] = rng.normal(size=A.nnz)
+        m = CSRMatrix.from_scipy(A)
+        colors = rng.integers(0, 4, size=n)
+        P = Partition.by_field(m.range_space, colors, n_colors=4)
+        return m, P
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_image_of_preimage_refines(self, seed):
+        m, P = self._random_case(seed)
+        KP = row_R_to_K(m, P)
+        back = row_K_to_R(m, KP)
+        for c, (orig, rt) in enumerate(zip(P, back)):
+            assert set(rt.indices).issubset(set(orig.indices)), (seed, c)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_derived_kernel_partition_covers_exactly(self, seed):
+        m, P = self._random_case(seed)
+        KP = row_R_to_K(m, P)
+        covered = np.unique(np.concatenate([p.indices for p in KP]))
+        # Rows partition is complete and every entry has a row, so the
+        # derived kernel pieces cover every stored entry exactly once
+        # (rows are disjoint, so preimages of a functional relation are).
+        assert np.array_equal(covered, np.arange(m.kernel_space.volume))
+        assert sum(p.volume for p in KP) == m.kernel_space.volume
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_derived_domain_partition_covers_reads_exactly(self, seed):
+        m, P = self._random_case(seed)
+        KP, DP = matvec_copartition(m, P)
+        for c, (kp, dp) in enumerate(zip(KP, DP)):
+            _, cols, _ = m.triplets(kp.indices)
+            assert set(dp.indices) == set(cols), (seed, c)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_domain_roundtrip_refines(self, seed):
+        """The dual round trip: col_K_to_D[col_D_to_K[Q]] refines Q."""
+        m, _ = self._random_case(seed)
+        rng = np.random.default_rng(seed + 100)
+        colors = rng.integers(0, 3, size=m.domain_space.volume)
+        Q = Partition.by_field(m.domain_space, colors, n_colors=3)
+        KP = col_D_to_K(m, Q)
+        back = col_K_to_D(m, KP)
+        for c, (orig, rt) in enumerate(zip(Q, back)):
+            assert set(rt.indices).issubset(set(orig.indices)), (seed, c)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_verify_invariants_hold_for_random_formats(self, seed):
+        """Hook the seeded cases into the verification subsystem's
+        co-partition checker across the whole format zoo."""
+        from repro.verify import check_copartition
+
+        rng = np.random.default_rng(seed)
+        n = 12
+        A = sp.random(n, n, density=0.3, random_state=rng, format="csr")
+        A = (A + sp.identity(n)).tocsr()
+        base = COOMatrix.from_scipy(A)
+        for name, convert in ALL_FORMATS:
+            assert check_copartition(convert(base), 3, name) == [], (seed, name)

@@ -1,0 +1,147 @@
+"""Solver edge cases surfaced by the differential oracle's seed grid:
+degenerate sizes, empty pieces, singular operators, restart boundaries."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import solve
+from repro.core.planner import Planner
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.core.solvers.gmres import GMRESSolver
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.runtime import IndexSpace, Partition, Runtime, Subset
+from repro.sparse.csr import CSRMatrix
+from repro.verify import build_format
+
+ALL_SOLVER_NAMES = sorted(set(SOLVER_REGISTRY) - {"pcg"})
+
+
+class TestZeroRHSAcrossFormats:
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "ell", "dia", "bcsr", "matfree"])
+    def test_zero_rhs_converges_to_zero(self, fmt):
+        A = tridiagonal_toeplitz(12)
+        op = build_format(fmt, A)
+        x, result = solve(op, np.zeros(12), solver="cg", tolerance=1e-10)
+        assert result.converged
+        assert result.iterations <= 1
+        np.testing.assert_array_equal(x, np.zeros(12))
+
+
+class TestOneByOneSystems:
+    @pytest.mark.parametrize("solver", ALL_SOLVER_NAMES)
+    def test_1x1_system_solved(self, solver):
+        A = sp.csr_matrix(np.array([[2.0]]))
+        x, result = solve(A, np.array([3.0]), solver=solver, tolerance=1e-12,
+                          max_iterations=20)
+        assert result.converged
+        np.testing.assert_allclose(x, [1.5], rtol=1e-10)
+
+
+class TestEmptyPieces:
+    def _planner_with_empty_piece(self, A, b):
+        """A hand-built partition whose last piece is empty — legal for
+        partitions (they are arbitrary color → subset maps) and must not
+        break the planner's piece tasks."""
+        n = b.size
+        space = IndexSpace.linear(n, name="D")
+        cut = n // 2
+        part = Partition.from_subsets(space, [
+            Subset.interval(space, 0, cut - 1),
+            Subset.interval(space, cut, n - 1),
+            Subset.empty(space),
+        ])
+        planner = Planner(Runtime())
+        sid = planner.add_sol_vector((space, np.zeros(n)), part)
+        rid = planner.add_rhs_vector((space, b), part)
+        planner.add_operator(
+            CSRMatrix.from_scipy(A, domain_space=space, range_space=space),
+            sid, rid,
+        )
+        return planner
+
+    @pytest.mark.parametrize("solver", ["cg", "bicgstab", "gmres"])
+    def test_empty_piece_solve_matches_reference(self, solver):
+        A = tridiagonal_toeplitz(16)
+        b = np.ones(16)
+        planner = self._planner_with_empty_piece(A, b)
+        result = SOLVER_REGISTRY[solver](planner).solve(
+            tolerance=1e-10, max_iterations=200
+        )
+        assert result.converged
+        from repro.core.planner import SOL
+
+        x = planner.get_array(SOL)
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+
+class TestSingularSystems:
+    def test_inconsistent_singular_system_fails_cleanly(self):
+        # diag(1,...,1,0) with b outside the range: no solution exists.
+        d = np.ones(12)
+        d[-1] = 0.0
+        A = sp.diags(d).tocsr()
+        b = np.zeros(12)
+        b[-1] = 1.0
+        x, result = solve(A, b, solver="cg", tolerance=1e-10, max_iterations=50)
+        assert not result.converged
+        # Clean failure: every reported measure before any terminal
+        # breakdown sentinel is finite — no silent NaN propagation.
+        hist = np.asarray(result.measure_history, dtype=np.float64)
+        assert hist.size > 0
+        assert np.isfinite(hist[:-1]).all()
+
+    @pytest.mark.parametrize("solver", ["cg", "bicgstab", "gmres", "tfqmr"])
+    def test_ill_conditioned_system_no_nan_solution_on_failure(self, solver):
+        # Condition number ~1e16: solvers may fail, but must not return
+        # silent NaNs while claiming success.
+        d = np.logspace(0, -16, 10)
+        A = sp.diags(d).tocsr()
+        b = np.ones(10)
+        x, result = solve(A, b, solver=solver, tolerance=1e-12, max_iterations=30)
+        if result.converged:
+            assert np.isfinite(x).all()
+        else:
+            assert not result.converged  # clean signal, no exception
+
+
+class TestGMRESRestartBoundaries:
+    def _planner(self, n=12):
+        A = tridiagonal_toeplitz(n)
+        b = np.ones(n)
+        from repro.api import make_planner
+
+        return make_planner(A, b, n_pieces=3), A, b
+
+    def test_restart_one(self):
+        # GMRES(1) is minimal-residual steepest descent: convergence is
+        # slow but the boundary restart length must work mechanically.
+        planner, A, b = self._planner()
+        result = GMRESSolver(planner, restart=1).solve(
+            tolerance=1e-5, max_iterations=500
+        )
+        assert result.converged
+
+    def test_restart_equal_to_n(self):
+        planner, A, b = self._planner(n=12)
+        result = GMRESSolver(planner, restart=12).solve(
+            tolerance=1e-10, max_iterations=5
+        )
+        # Full GMRES: exact (up to roundoff) within one restart cycle.
+        assert result.converged
+
+    def test_restart_exceeding_n(self):
+        planner, A, b = self._planner(n=12)
+        result = GMRESSolver(planner, restart=40).solve(
+            tolerance=1e-10, max_iterations=5
+        )
+        assert result.converged
+        from repro.core.planner import SOL
+
+        x = planner.get_array(SOL)
+        np.testing.assert_allclose(A @ x, b, atol=1e-7)
+
+    def test_restart_zero_rejected(self):
+        planner, _, _ = self._planner()
+        with pytest.raises(ValueError, match="restart"):
+            GMRESSolver(planner, restart=0)

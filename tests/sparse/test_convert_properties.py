@@ -87,3 +87,45 @@ def test_rmatvec_is_adjoint(dense):
         lhs = np.dot(m.spmv(x), v)
         rhs = np.dot(x, m.rmatvec(v))
         assert lhs == pytest.approx(rhs, abs=1e-8), name
+
+
+@given(dense=small_dense_matrices(), seed=st.integers(0, 2 ** 16))
+@settings(max_examples=25, deadline=None)
+def test_copartition_invariants_hold_after_conversion(dense, seed):
+    """Property: for random matrices, random partition granularities, and
+    every format, the §3.1 co-partition invariants hold (round-trip
+    refinement, kernel covering, domain covering)."""
+    from repro.verify import check_copartition
+
+    if not np.any(dense):
+        dense[0, 0] = 1.0
+    base = COOMatrix.from_dense(dense)
+    n_pieces = 1 + seed % min(4, dense.shape[0])
+    for name, convert in ALL_FORMATS:
+        assert check_copartition(convert(base), n_pieces, name) == [], name
+
+
+@given(dense=small_dense_matrices(), seed=st.integers(0, 2 ** 16))
+@settings(max_examples=25, deadline=None)
+def test_conversion_preserves_copartitioned_spmv(dense, seed):
+    """Property: piecewise SpMV through each format's own derived
+    co-partition equals the dense product — conversion preserves not
+    just the operator but its partitioned execution."""
+    from repro.core.projection import matvec_copartition
+    from repro.runtime.partition import Partition
+
+    if not np.any(dense):
+        dense[0, 0] = 1.0
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=dense.shape[1])
+    base = COOMatrix.from_dense(dense)
+    n_pieces = 1 + seed % min(3, dense.shape[0])
+    for name, convert in ALL_FORMATS:
+        m = convert(base)
+        P = Partition.equal(m.range_space, n_pieces)
+        KP, DP = matvec_copartition(m, P)
+        y = np.zeros(dense.shape[0])
+        for kp in KP.pieces:
+            rows, cols, vals = m.triplets(kp.indices)
+            np.add.at(y, rows, vals * x[cols])
+        np.testing.assert_allclose(y, dense @ x, atol=1e-9, err_msg=name)

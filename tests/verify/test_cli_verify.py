@@ -1,0 +1,88 @@
+"""`repro verify` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_smoke_passes_on_seed_problems(self, capsys):
+        rc = main([
+            "verify",
+            "--formats", "csr", "coo", "matfree",
+            "--solvers", "cg", "gmres",
+            "--seeds", "0",
+            "--pieces", "1", "2",
+            "--size", "12",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 failure(s)" in out
+
+    def test_all_keywords_expand(self, capsys):
+        rc = main([
+            "verify",
+            "--formats", "all",
+            "--solvers", "cg",
+            "--seeds", "0",
+            "--pieces", "2",
+            "--size", "12",
+            "--no-copartition",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # All ten formats ran: 1 reference + 9 comparisons.
+        assert "10 cases" in out
+
+    def test_verbose_lists_cases(self, capsys):
+        rc = main([
+            "verify",
+            "--formats", "csr", "dia",
+            "--solvers", "cg",
+            "--seeds", "0",
+            "--pieces", "1",
+            "--size", "12",
+            "--verbose",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reference" in out
+        assert "agree over" in out
+
+    def test_races_flag_runs(self, capsys):
+        rc = main([
+            "verify",
+            "--formats", "csr",
+            "--solvers", "cg",
+            "--seeds", "0",
+            "--pieces", "2",
+            "--size", "12",
+            "--races",
+            "--no-copartition",
+        ])
+        assert rc == 0
+
+    def test_unknown_format_rejected(self, capsys):
+        rc = main(["verify", "--formats", "nope", "--solvers", "cg"])
+        assert rc == 2
+        assert "unknown format" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self, capsys):
+        rc = main(["verify", "--formats", "csr", "--solvers", "nope"])
+        assert rc == 2
+        assert "unknown solver" in capsys.readouterr().out
+
+    def test_out_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "verify.txt"
+        rc = main([
+            "verify",
+            "--formats", "csr", "coo",
+            "--solvers", "cg",
+            "--seeds", "0",
+            "--pieces", "1",
+            "--size", "12",
+            "--no-copartition",
+            "--out", str(path),
+        ])
+        assert rc == 0
+        assert "0 failure(s)" in path.read_text()

@@ -1,0 +1,298 @@
+"""Cross-format differential oracle: agreement on healthy formats,
+detection + shrinking of injected corruption."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.sparse.convert import ALL_FORMATS
+from repro.sparse.csr import CSRMatrix
+from repro.verify import (
+    ORACLE_FORMATS,
+    build_format,
+    check_copartition,
+    format_reproducer,
+    histories_agree,
+    matfree_from_scipy,
+    run_oracle,
+    seeded_problem,
+    shrink_case,
+)
+
+
+class TestHistoriesAgree:
+    def test_identical_histories_agree(self):
+        h = [1.0, 0.1, 1e-4, 1e-9]
+        ok, _ = histories_agree(h, h, tolerance=1e-8)
+        assert ok
+
+    def test_divergent_histories_flagged(self):
+        ok, detail = histories_agree([1.0, 0.5, 0.25], [1.0, 0.5, 0.05],
+                                     tolerance=1e-8)
+        assert not ok
+        assert "diverge" in detail
+
+    def test_iteration_count_gap_flagged(self):
+        ok, detail = histories_agree([1.0] * 10, [1.0] * 5, tolerance=1e-8)
+        assert not ok
+        assert "iteration counts" in detail
+
+    def test_one_iteration_slack_allowed(self):
+        ok, _ = histories_agree([1.0, 0.5, 1e-9], [1.0, 0.5], tolerance=1e-8)
+        assert ok
+
+    def test_endgame_noise_ignored(self):
+        # Below 100x tolerance both runs are converged; roundoff-scale
+        # disagreement there is not a format divergence.
+        ok, _ = histories_agree([1.0, 0.5, 3e-7], [1.0, 0.5, 5e-7],
+                                tolerance=1e-8)
+        assert ok
+
+    def test_nan_mismatch_flagged(self):
+        ok, detail = histories_agree([1.0, float("nan")], [1.0, 0.5],
+                                     tolerance=1e-8)
+        assert not ok
+
+
+class TestSeededProblems:
+    def test_deterministic(self):
+        a = seeded_problem(5, size=16)
+        b = seeded_problem(5, size=16)
+        assert a.name == b.name
+        assert np.array_equal(a.matrix.toarray(), b.matrix.toarray())
+        assert np.array_equal(a.rhs, b.rhs)
+
+    def test_families_rotate(self):
+        names = {seeded_problem(s, size=16).name.split("(")[0] for s in range(3)}
+        assert len(names) == 3
+
+    def test_symmetry_flags_honest(self):
+        for s in range(3):
+            p = seeded_problem(s, size=16)
+            dense = p.matrix.toarray()
+            assert p.symmetric == bool(np.allclose(dense, dense.T))
+
+
+class TestFormatBuilders:
+    @pytest.mark.parametrize("fmt", ORACLE_FORMATS)
+    def test_builder_preserves_semantics(self, fmt):
+        A = seeded_problem(1, size=8).matrix
+        op = build_format(fmt, A)
+        np.testing.assert_allclose(op.to_dense(), A.toarray(), atol=1e-12)
+
+    def test_matfree_dependence_matches_pattern(self):
+        A = tridiagonal_toeplitz(12)
+        op = matfree_from_scipy(A)
+        # Ghost regions derived from the dependence relation must match
+        # the stored stencil: row i reads cols {i-1, i, i+1}.
+        cols = op.col_relation.image_indices(np.array([5]))
+        assert sorted(np.unique(cols)) == [4, 5, 6]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(KeyError, match="unknown format"):
+            build_format("nope", tridiagonal_toeplitz(4))
+
+
+class TestOracleAgreement:
+    def test_small_grid_all_agree(self):
+        report = run_oracle(
+            formats=["csr", "coo", "dia", "matfree"],
+            solvers=["cg", "gmres", "tfqmr"],
+            seeds=[0],
+            piece_counts=[1, 2],
+            size=16,
+        )
+        assert report.cases, "oracle produced no cases"
+        assert report.ok, report.summary()
+
+    def test_every_format_and_solver_covered_across_seeds(self):
+        """Acceptance criterion: every registered format x solver
+        combination runs on >= 3 seeded problems with per-combination
+        agreement reported."""
+        report = run_oracle(seeds=[0, 1, 2], piece_counts=[2], size=16,
+                            check_copartitions=False)
+        assert report.ok, report.summary()
+        covered = {(c.fmt, c.solver) for c in report.cases}
+        from repro.core.solvers import SOLVER_REGISTRY
+        from repro.verify.oracle import (
+            ADJOINT_SOLVERS,
+            PRECONDITIONED_SOLVERS,
+        )
+        for fmt in ORACLE_FORMATS:
+            for solver in SOLVER_REGISTRY:
+                if fmt == "matfree" and solver in (
+                    ADJOINT_SOLVERS | PRECONDITIONED_SOLVERS
+                ):
+                    continue
+                assert (fmt, solver) in covered, (fmt, solver)
+        # Each non-reference case carries an agreement verdict.
+        for case in report.cases:
+            assert case.detail
+
+    def test_race_checked_run_is_clean(self):
+        report = run_oracle(
+            formats=["csr", "ell"],
+            solvers=["cg"],
+            seeds=[0],
+            piece_counts=[2],
+            size=12,
+            check_races=True,
+            check_copartitions=False,
+        )
+        assert report.ok, report.summary()
+
+    def test_summary_counts(self):
+        report = run_oracle(formats=["csr", "coo"], solvers=["cg"],
+                            seeds=[0], piece_counts=[1], size=12,
+                            check_copartitions=False)
+        text = report.summary(verbose=True)
+        assert f"{len(report.cases)} cases" in text
+        assert "0 failure(s)" in text
+
+
+def _corrupting_builder(target_fmt):
+    """A format builder that deterministically perturbs one stored value
+    of ``target_fmt`` — the class of bug the oracle exists to catch."""
+
+    def build(fmt, A):
+        if fmt != target_fmt:
+            return build_format(fmt, A)
+        B = A.tocsr().copy()
+        B.data = B.data.copy()
+        B.data[B.nnz // 2] *= 1.0 + 1e-3
+        return build_format(fmt, B)
+
+    return build
+
+
+class TestOracleCatchesCorruption:
+    def test_corrupt_format_detected(self):
+        report = run_oracle(
+            formats=["csr", "coo"],
+            solvers=["cg"],
+            seeds=[0],
+            piece_counts=[1],
+            size=16,
+            check_copartitions=False,
+            format_builder=_corrupting_builder("coo"),
+        )
+        assert not report.ok
+        assert any(c.fmt == "coo" and not c.ok for c in report.cases)
+
+    def test_failing_case_shrinks_to_minimal_reproducer(self, capsys):
+        """Acceptance criterion: a seeded failing case shrinks and the
+        minimal reproducer is printed in the test output."""
+        builder = _corrupting_builder("coo")
+
+        def fails(A, b, n_pieces):
+            report = run_oracle(
+                formats=["csr", "coo"],
+                solvers=["cg"],
+                piece_counts=[n_pieces],
+                check_copartitions=False,
+                format_builder=builder,
+                problems=[_as_problem(A, b)],
+            )
+            return not report.ok
+
+        prob = seeded_problem(0, size=16)
+        result = shrink_case(prob.matrix, prob.rhs, 2, fails)
+        assert result.size < 16
+        assert result.n_pieces == 1
+        assert fails(result.matrix, result.rhs, result.n_pieces)
+        print("minimal reproducer after", result.steps, ":")
+        print(result.reproducer())
+        out = capsys.readouterr().out
+        assert "sp.csr_matrix" in out and "n_pieces = 1" in out
+
+
+def _as_problem(A, b):
+    from repro.verify.oracle import Problem
+
+    return Problem(name=f"shrunk(n={A.shape[0]})", matrix=A.tocsr(),
+                   rhs=np.asarray(b), symmetric=True, seed=-1)
+
+
+class TestShrinker:
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError, match="failing input"):
+            shrink_case(tridiagonal_toeplitz(8), np.ones(8), 2,
+                        lambda A, b, p: False)
+
+    def test_shrinks_size_dependent_failure(self):
+        # Failure persists down to n >= 3: shrinker must land exactly on 3.
+        calls = []
+
+        def fails(A, b, p):
+            calls.append(A.shape[0])
+            return A.shape[0] >= 3
+
+        result = shrink_case(tridiagonal_toeplitz(64), np.ones(64), 4, fails)
+        assert result.size == 3
+        assert result.n_pieces == 1
+        assert result.steps
+
+    def test_erroring_candidates_skipped(self):
+        def fails(A, b, p):
+            if A.shape[0] < 6:
+                raise RuntimeError("different bug")
+            return True
+
+        result = shrink_case(tridiagonal_toeplitz(24), np.ones(24), 2, fails)
+        assert result.size == 6
+
+    def test_reproducer_rebuilds_case(self):
+        A = tridiagonal_toeplitz(4)
+        b = np.arange(4.0)
+        snippet = format_reproducer(A, b, 2)
+        env = {}
+        exec(snippet, env)
+        assert np.array_equal(env["A"].toarray(), A.toarray())
+        assert np.array_equal(env["b"], b)
+        assert env["n_pieces"] == 2
+
+
+class TestCopartitionProperties:
+    @pytest.mark.parametrize("fmt,conv", ALL_FORMATS)
+    @pytest.mark.parametrize("n_pieces", [1, 2, 5])
+    def test_all_formats_pass_invariants(self, fmt, conv, n_pieces):
+        A = seeded_problem(1, size=20).matrix
+        op = conv(CSRMatrix.from_scipy(A))
+        assert check_copartition(op, n_pieces, fmt) == []
+
+    def test_matfree_passes_invariants(self):
+        op = matfree_from_scipy(tridiagonal_toeplitz(20))
+        assert check_copartition(op, 4, "matfree") == []
+
+    def test_buggy_preimage_fast_path_reported(self):
+        """The realistic bug class: a user-defined relation whose
+        partial-subset preimage fast path drops entries (full-space
+        queries are fine).  Projections built from per-piece preimages
+        then miss stored entries, which the kernel-covering check
+        reports."""
+        from repro.runtime.deppart import Relation
+
+        op = build_format("csr", tridiagonal_toeplitz(12))
+        base = op.row_relation
+
+        class BuggyPreimage(Relation):
+            def __init__(self):
+                super().__init__(base.source, base.target)
+
+            def image_indices(self, src):
+                return base.image_indices(src)
+
+            def preimage_indices(self, dst):
+                out = base.preimage_indices(dst)
+                if np.asarray(dst).size < base.target.volume:
+                    return out[:-1]  # drop one entry on partial queries
+                return out
+
+            def pairs(self):
+                return base.pairs()
+
+        op._row_rel = BuggyPreimage()
+        issues = check_copartition(op, 3, "buggy-csr")
+        assert issues
+        assert any("misses" in msg and "stored entries" in msg for msg in issues)

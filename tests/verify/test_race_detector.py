@@ -1,0 +1,197 @@
+"""Happens-before race detector: ordered graphs pass, corrupted graphs
+are reported with region/field/subset detail."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    Subset,
+    TaskLauncher,
+)
+from repro.verify import RaceDetector, RaceError, attach_race_detector
+
+
+def make_runtime():
+    return Runtime()
+
+
+def launch(rt, name, region, subset, privilege, redop="+", deps=()):
+    tl = TaskLauncher(name, lambda ctx: None, proc_kind=ProcKind.GPU,
+                      future_deps=list(deps))
+    tl.add_requirement(region, ["v"], subset, privilege, redop=redop)
+    return rt.execute(tl)
+
+
+@pytest.fixture
+def setup():
+    rt = make_runtime()
+    det = attach_race_detector(rt)
+    region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+    rt.allocate(region, "v")
+    part = Partition.equal(region.ispace, 4)
+    return rt, det, region, part
+
+
+class TestOrderedGraphsPass:
+    def test_write_then_read_is_ordered(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY)
+        assert det.n_tasks == 2
+        assert det.check() == []
+        det.assert_race_free()
+
+    def test_write_write_chain_ordered(self, setup):
+        rt, det, region, part = setup
+        for i in range(4):
+            launch(rt, f"w{i}", region, part[0], Privilege.READ_WRITE)
+        assert det.check() == []
+
+    def test_disjoint_writers_do_not_conflict(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD)
+        # No edge between them, but no overlap either.
+        assert det.check() == []
+
+    def test_commuting_reductions_unordered_but_race_free(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "init", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "red_a", region, part[0], Privilege.REDUCE)
+        launch(rt, "red_b", region, part[0], Privilege.REDUCE)
+        # Same-operator reductions commute: no race even without mutual
+        # ordering.
+        assert det.check() == []
+
+    def test_transitive_ordering_suffices(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w1", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "rw", region, part[0], Privilege.READ_WRITE)
+        launch(rt, "w2", region, part[0], Privilege.WRITE_DISCARD)
+        # w1 → rw → w2: the w1/w2 conflict is ordered transitively.
+        assert det.check() == []
+
+    def test_fence_orders_otherwise_unrelated_tasks(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+        rt.fence()
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY)
+        [w] = det.task_ids("w")
+        [r] = det.task_ids("r")
+        # Remove the dependence edge: the fence alone still orders them.
+        assert det.drop_edge(w, r)
+        assert det.check() == []
+
+
+class TestCorruptedGraphsReported:
+    def test_dropped_raw_edge_reports_pair_with_detail(self, setup):
+        """The acceptance-criterion fixture: drop one read-after-write
+        edge and the detector names the conflicting task pair, region,
+        field, and overlapping subset."""
+        rt, det, region, part = setup
+        launch(rt, "writer", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "reader", region, part[0], Privilege.READ_ONLY)
+        [w] = det.task_ids("writer")
+        [r] = det.task_ids("reader")
+        assert det.drop_edge(w, r)
+
+        races = det.check()
+        assert len(races) == 1
+        race = races[0]
+        assert race.kind == "read-after-write"
+        assert {race.first.task_id, race.second.task_id} == {w, r}
+        report = race.describe()
+        assert "writer" in report and "reader" in report
+        assert region.name in report and ".v" in report
+        # Subset detail: part[0] of a 64-element space is [0, 15].
+        assert "[0, 15]" in report
+        with pytest.raises(RaceError, match="read-after-write"):
+            det.assert_race_free()
+
+    def test_dropped_waw_edge_reported(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "first", region, part[1], Privilege.WRITE_DISCARD)
+        launch(rt, "second", region, part[1], Privilege.WRITE_DISCARD)
+        [a] = det.task_ids("first")
+        [b] = det.task_ids("second")
+        assert det.drop_edge(a, b)
+        races = det.check()
+        assert len(races) == 1
+        assert races[0].kind == "write-after-write"
+
+    def test_noncommuting_reductions_require_ordering(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "sum", region, part[0], Privilege.REDUCE, redop="+")
+        launch(rt, "max", region, part[0], Privilege.REDUCE, redop="max")
+        [s] = det.task_ids("sum")
+        [m] = det.task_ids("max")
+        # The engine orders different-operator reductions; drop that edge
+        # and the pair is a race.
+        assert det.drop_edge(s, m)
+        races = det.check()
+        assert len(races) == 1
+        assert "non-commuting" in races[0].kind
+        assert "+" in races[0].kind and "max" in races[0].kind
+
+    def test_partial_overlap_reported_exactly(self, setup):
+        rt, det, region, part = setup
+        lo = Subset.interval(region.ispace, 0, 23)
+        hi = Subset.interval(region.ispace, 16, 39)
+        launch(rt, "w_lo", region, lo, Privilege.WRITE_DISCARD)
+        launch(rt, "w_hi", region, hi, Privilege.WRITE_DISCARD)
+        [a] = det.task_ids("w_lo")
+        [b] = det.task_ids("w_hi")
+        assert det.drop_edge(a, b)
+        races = det.check()
+        assert len(races) == 1
+        # The conflicting elements are exactly the intersection [16, 24).
+        assert races[0].overlap == tuple(range(16, 24))
+
+
+class TestDetectorOnRealWorkloads:
+    @pytest.mark.parametrize("solver", ["cg", "bicgstab", "gmres", "tfqmr"])
+    def test_solver_runs_are_race_free(self, solver):
+        rt = make_runtime()
+        det = attach_race_detector(rt)
+        A = tridiagonal_toeplitz(24)
+        b = np.ones(24)
+        planner = make_planner(A, b, n_pieces=3, runtime=rt)
+        result = SOLVER_REGISTRY[solver](planner).solve(
+            tolerance=1e-8, max_iterations=100
+        )
+        assert result.converged
+        assert det.n_tasks > 0
+        assert det.n_edges > 0
+        det.assert_race_free()
+
+    def test_observer_sees_dependence_edges(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[2], Privilege.WRITE_DISCARD)
+        launch(rt, "r1", region, part[2], Privilege.READ_ONLY)
+        launch(rt, "r2", region, part[2], Privilege.READ_ONLY)
+        launch(rt, "w2", region, part[2], Privilege.WRITE_DISCARD)
+        [w] = det.task_ids("w")
+        [r1] = det.task_ids("r1")
+        [r2] = det.task_ids("r2")
+        [w2] = det.task_ids("w2")
+        edges = set(det.edges())
+        assert (w, r1) in edges and (w, r2) in edges
+        # The later writer must order against *both* merged readers.
+        assert (r1, w2) in edges and (r2, w2) in edges
+
+    def test_future_dependences_are_edges(self, setup):
+        rt, det, region, part = setup
+        f = launch(rt, "producer", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "consumer", region, part[1], Privilege.WRITE_DISCARD, deps=[f])
+        [p] = det.task_ids("producer")
+        [c] = det.task_ids("consumer")
+        assert (p, c) in set(det.edges())
+        assert det.check() == []
