@@ -26,7 +26,7 @@ what the benchmarks read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -23,7 +23,7 @@ from the :class:`~repro.baselines.bsp.BSPMachine` clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -21,10 +21,26 @@ from .fig9 import Fig9Row, bicgstab_time_per_iteration, run_fig9, summarize_fig9
 from .fig10 import Fig10Result, run_fig10, summarize_fig10
 from .report import format_table, geomean, geomean_ratio_on_largest
 from .stencil_driver import DIM_CODES, SOLVER_CODES, StencilBenchResult, benchmark_stencil
+from .wallclock import (
+    FULL_CASES,
+    SMOKE_CASES,
+    WallclockCase,
+    compare_to_baseline,
+    require_speedup,
+    run_wallclock,
+    summarize_wallclock,
+)
 
 __all__ = [
     "BASELINE_EXTRA_DOTS",
     "DIM_CODES",
+    "FULL_CASES",
+    "SMOKE_CASES",
+    "WallclockCase",
+    "compare_to_baseline",
+    "require_speedup",
+    "run_wallclock",
+    "summarize_wallclock",
     "SOLVER_CODES",
     "StencilBenchResult",
     "ascii_xy_plot",

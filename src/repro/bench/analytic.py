@@ -26,11 +26,10 @@ executable engine and BSP paths at overlapping sizes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..problems.stencil import STENCILS, grid_shape_for, stencil_nnz_estimate
+from ..problems.stencil import grid_shape_for, stencil_nnz_estimate
 from ..runtime.machine import Machine
 
 __all__ = [

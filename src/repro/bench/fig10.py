@@ -214,7 +214,7 @@ def summarize_fig10(result: Fig10Result) -> str:
             format_table(["metric", "static", "dynamic"], table, "{:.1f}"),
             "",
             f"tile migrations: {result.migrations}",
-            f"total-time reduction from dynamic load balancing: "
+            "total-time reduction from dynamic load balancing: "
             f"{result.reduction * 100:.1f}%  (paper: 66%)",
         ]
     )

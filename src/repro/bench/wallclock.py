@@ -1,0 +1,340 @@
+"""Wall-clock benchmark harness: serial vs. threaded execution backend.
+
+Unlike the figure harnesses (which report *simulated* time on a modeled
+machine), this module measures real elapsed seconds on the host.  It
+times CG / BiCGStab / GMRES on the Figure 8 stencil families under both
+execution backends (``serial`` and ``threads``), checks that the two
+backends produce bitwise-identical solutions and residual histories
+(the deferred executor must not change numerics, only wall time), and
+emits a JSON report — ``BENCH_wallclock.json`` — that CI compares
+against a checked-in baseline.
+
+Cross-machine comparability: raw wall seconds are meaningless across
+hosts, so every report includes a *calibration* measurement (median
+time of a fixed seeded SpMV workload).  :func:`compare_to_baseline`
+compares calibration-normalized medians, which makes the regression
+tolerance a statement about the *code*, not the machine.
+
+The speedup acceptance (threads ≥ 1.5× serial on a ≥256k-unknown CG
+stencil) only makes sense with real cores; :func:`require_speedup`
+therefore records but does not enforce the bar on single-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import make_planner
+from ..core.planner import SOL
+from ..core.solvers import SOLVER_REGISTRY
+from ..problems.stencil import grid_shape_for, laplacian_scipy
+from ..runtime import Runtime
+from ..runtime.executor import BACKENDS, default_jobs
+
+__all__ = [
+    "SCHEMA",
+    "SMOKE_CASES",
+    "FULL_CASES",
+    "WallclockCase",
+    "run_wallclock",
+    "compare_to_baseline",
+    "require_speedup",
+    "summarize_wallclock",
+    "write_report",
+    "load_report",
+]
+
+SCHEMA = "repro-wallclock/1"
+
+#: Unknown-count floor for the speedup acceptance case.
+SPEEDUP_MIN_UNKNOWNS = 256_000
+
+
+@dataclass(frozen=True)
+class WallclockCase:
+    """One timed configuration: a seeded stencil system and a solver."""
+
+    name: str
+    stencil: str
+    solver: str
+    n_unknowns: int  # target; the actual grid rounds this
+    n_pieces: int
+    iterations: int
+
+
+#: Tiny cases for the CI bench-smoke job: every solver exercises both
+#: backends, sizes small enough that the job stays in seconds.
+SMOKE_CASES: Tuple[WallclockCase, ...] = (
+    WallclockCase("cg-2d5-4k", "2d5", "cg", 2 ** 12, 4, 30),
+    WallclockCase("bicgstab-2d5-4k", "2d5", "bicgstab", 2 ** 12, 4, 20),
+    WallclockCase("gmres-2d5-4k", "2d5", "gmres", 2 ** 12, 4, 20),
+    WallclockCase("cg-3d7-4k", "3d7", "cg", 2 ** 12, 4, 30),
+)
+
+#: The full profile adds mid-size runs plus the ≥256k-unknown CG case
+#: the speedup acceptance is measured on (launch overhead amortizes with
+#: size: at 2^18 the kernels are ~60% of serial wall time, at 2^20
+#: they dominate, which is where a thread pool can win).
+FULL_CASES: Tuple[WallclockCase, ...] = SMOKE_CASES + (
+    WallclockCase("cg-2d5-64k", "2d5", "cg", 2 ** 16, 4, 30),
+    WallclockCase("bicgstab-3d7-64k", "3d7", "bicgstab", 2 ** 16, 4, 20),
+    WallclockCase("gmres-3d7-64k", "3d7", "gmres", 2 ** 16, 4, 20),
+    WallclockCase("cg-2d5-1m", "2d5", "cg", 2 ** 20, 4, 12),
+)
+
+PROFILES: Dict[str, Tuple[WallclockCase, ...]] = {
+    "smoke": SMOKE_CASES,
+    "full": FULL_CASES,
+}
+
+
+def _calibrate(repeats: int = 5) -> float:
+    """Median seconds of a fixed seeded SpMV workload; the unit wall
+    times are normalized by when comparing across machines."""
+    shape = grid_shape_for("2d5", 2 ** 15)
+    A = laplacian_scipy("2d5", shape)
+    rng = np.random.default_rng(0)
+    x = rng.random(A.shape[1])
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(8):
+            x = A @ x
+        times.append(time.perf_counter() - t0)
+    return float(median(times))
+
+
+def _run_case_once(
+    case: WallclockCase,
+    A,
+    b: np.ndarray,
+    backend: str,
+    jobs: Optional[int],
+) -> Tuple[float, List[float], np.ndarray]:
+    """One fresh solve; returns (wall seconds, residual history, x)."""
+    runtime = Runtime(backend=backend, jobs=jobs)
+    planner = make_planner(A, b, n_pieces=case.n_pieces, runtime=runtime)
+    ksm = SOLVER_REGISTRY[case.solver](planner)
+    t0 = time.perf_counter()
+    # tolerance=0 disables the convergence exit: every run performs
+    # exactly `iterations` steps, so wall times are comparable.
+    result = ksm.solve(tolerance=0.0, max_iterations=case.iterations)
+    runtime.sync()
+    elapsed = time.perf_counter() - t0
+    x = planner.get_array(SOL)
+    runtime.executor.shutdown()
+    return elapsed, list(result.measure_history), x
+
+
+def run_wallclock(
+    cases: Optional[Sequence[WallclockCase]] = None,
+    backends: Sequence[str] = BACKENDS,
+    repeats: int = 3,
+    warmup: int = 1,
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    log=None,
+) -> Dict:
+    """Time every case under every backend; return the report dict.
+
+    Per case: the system is built once (seeded RHS), then each backend
+    gets ``warmup`` untimed runs followed by ``repeats`` timed runs on
+    fresh runtimes.  The reported figure is the median.  When both
+    ``serial`` and ``threads`` run, the report records their speedup
+    and whether solutions + residual histories match bitwise.
+    """
+    if cases is None:
+        cases = SMOKE_CASES
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    report_cases: List[Dict] = []
+    for case in cases:
+        shape = grid_shape_for(case.stencil, case.n_unknowns)
+        A = laplacian_scipy(case.stencil, shape)
+        n = A.shape[0]
+        rng = np.random.default_rng(seed)
+        b = rng.random(n)
+        per_backend: Dict[str, Dict] = {}
+        history: Dict[str, List[float]] = {}
+        solution: Dict[str, np.ndarray] = {}
+        for backend in backends:
+            runs: List[float] = []
+            for i in range(warmup + repeats):
+                elapsed, hist, x = _run_case_once(case, A, b, backend, jobs)
+                if i >= warmup:
+                    runs.append(elapsed)
+            history[backend] = hist
+            solution[backend] = x
+            per_backend[backend] = {
+                "median_s": float(median(runs)),
+                "runs_s": [float(t) for t in runs],
+            }
+            if log is not None:
+                log(f"{case.name:<18} {backend:<8} median "
+                    f"{per_backend[backend]['median_s'] * 1e3:8.2f} ms")
+        entry: Dict = {
+            "name": case.name,
+            "stencil": case.stencil,
+            "solver": case.solver,
+            "n_unknowns": n,
+            "n_pieces": case.n_pieces,
+            "iterations": case.iterations,
+            "backends": per_backend,
+            "speedup": None,
+            "residual_match": None,
+        }
+        if "serial" in per_backend and "threads" in per_backend:
+            entry["speedup"] = (
+                per_backend["serial"]["median_s"]
+                / per_backend["threads"]["median_s"]
+            )
+            entry["residual_match"] = bool(
+                history["serial"] == history["threads"]
+                and np.array_equal(solution["serial"], solution["threads"])
+            )
+        report_cases.append(entry)
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "backends": list(backends),
+            "repeats": int(repeats),
+            "warmup": int(warmup),
+            "jobs": int(
+                jobs
+                if jobs is not None
+                else (default_jobs() or os.cpu_count() or 1)
+            ),
+            "seed": int(seed),
+        },
+        "calibration_s": _calibrate(),
+        "cases": report_cases,
+    }
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = 2.0
+) -> List[str]:
+    """Regression failures of ``report`` against ``baseline``.
+
+    Medians are normalized by each report's own calibration measurement
+    before comparison, so a faster/slower host does not read as a
+    change in the code.  A case/backend pair regresses when its
+    normalized median exceeds the baseline's by more than
+    ``max_regression``×.  Pairs missing from the baseline are skipped
+    (new cases are allowed to appear).
+    """
+    failures: List[str] = []
+    cal = float(report.get("calibration_s") or 0.0)
+    base_cal = float(baseline.get("calibration_s") or 0.0)
+    if cal <= 0.0 or base_cal <= 0.0:
+        return ["missing/invalid calibration_s in report or baseline"]
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    for case in report.get("cases", []):
+        base = base_cases.get(case["name"])
+        if base is None:
+            continue
+        for backend, stats in case["backends"].items():
+            base_stats = base.get("backends", {}).get(backend)
+            if base_stats is None:
+                continue
+            ratio = (stats["median_s"] / cal) / (base_stats["median_s"] / base_cal)
+            if ratio > max_regression:
+                failures.append(
+                    f"{case['name']} [{backend}]: {ratio:.2f}x the baseline "
+                    f"(normalized {stats['median_s'] / cal:.3f} vs "
+                    f"{base_stats['median_s'] / base_cal:.3f}; "
+                    f"tolerance {max_regression:.2f}x)"
+                )
+    return failures
+
+
+def require_speedup(
+    report: Dict,
+    min_speedup: float = 1.5,
+    min_unknowns: int = SPEEDUP_MIN_UNKNOWNS,
+    min_cpus: int = 2,
+) -> List[str]:
+    """Failures of the threads-vs-serial speedup acceptance.
+
+    Checks every CG case with at least ``min_unknowns`` unknowns that
+    ran under both backends; each must be bitwise-deterministic and at
+    least one must reach ``min_speedup``.  On hosts with fewer than
+    ``min_cpus`` CPUs a thread pool cannot beat serial, so the speedup
+    bar (but not the determinism bar) is skipped.
+    """
+    failures: List[str] = []
+    enforce = int(report.get("host", {}).get("cpu_count") or 1) >= min_cpus
+    eligible = [
+        c
+        for c in report.get("cases", [])
+        if c["solver"] == "cg"
+        and c["n_unknowns"] >= min_unknowns
+        and c.get("speedup") is not None
+    ]
+    for case in eligible:
+        if not case.get("residual_match"):
+            failures.append(f"{case['name']}: serial/threads numerics diverge")
+    if not eligible:
+        failures.append(
+            f"no CG case with >= {min_unknowns} unknowns ran under both "
+            "backends (use the 'full' profile)"
+        )
+    elif enforce and not any(c["speedup"] >= min_speedup for c in eligible):
+        best = max(eligible, key=lambda c: c["speedup"])
+        failures.append(
+            f"best large-CG speedup {best['speedup']:.2f}x ({best['name']}) "
+            f"< required {min_speedup:.2f}x"
+        )
+    return failures
+
+
+def summarize_wallclock(report: Dict) -> str:
+    """Printable table of the report."""
+    host = report.get("host", {})
+    cfg = report.get("config", {})
+    lines = [
+        f"wall-clock backends={cfg.get('backends')} jobs={cfg.get('jobs')} "
+        f"repeats={cfg.get('repeats')} cpu_count={host.get('cpu_count')}",
+        f"calibration: {float(report.get('calibration_s', 0.0)) * 1e3:.2f} ms",
+        f"{'case':<20} {'n':>9} {'serial':>10} {'threads':>10} "
+        f"{'speedup':>8} {'match':>6}",
+    ]
+    for case in report.get("cases", []):
+        def _ms(backend: str) -> str:
+            stats = case["backends"].get(backend)
+            return f"{stats['median_s'] * 1e3:8.2f}ms" if stats else "-"
+
+        speedup = case.get("speedup")
+        match = case.get("residual_match")
+        lines.append(
+            f"{case['name']:<20} {case['n_unknowns']:>9} "
+            f"{_ms('serial'):>10} {_ms('threads'):>10} "
+            f"{(f'{speedup:.2f}x' if speedup else '-'):>8} "
+            f"{('yes' if match else '-' if match is None else 'NO'):>6}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)

@@ -9,6 +9,10 @@ Usage::
                           [--seed 0] [--out FILE]
     python -m repro solve --stencil 2d5 --n 65536 --solver cg [--tol 1e-8]
     python -m repro stencil-bench -dim 2 -solver 1 -nx 256 -ny 256 -it 500 -vp 4
+    python -m repro bench [--backend serial threads] [--jobs N]
+                          [--profile smoke|full] [--out BENCH_wallclock.json]
+                          [--baseline FILE] [--max-regression 2.0]
+                          [--min-speedup 1.5] [--update-baseline]
     python -m repro verify [--formats all] [--solvers all] [--seeds 0 1 2]
                            [--pieces 1 3] [--size 16] [--races] [--verbose]
 
@@ -81,6 +85,35 @@ def _build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--tol", type=float, default=1e-8)
     ps.add_argument("--max-iterations", type=int, default=10000)
     ps.add_argument("--nodes", type=int, default=1)
+
+    pw = sub.add_parser(
+        "bench",
+        help="wall-clock serial-vs-threads benchmark with regression gate",
+    )
+    pw.add_argument("--backend", nargs="+", choices=("serial", "threads"),
+                    default=None,
+                    help="backends to time (default: both)")
+    pw.add_argument("--jobs", type=int, default=None,
+                    help="thread-pool worker count (default: CPU count)")
+    pw.add_argument("--profile", choices=("smoke", "full"), default="smoke",
+                    help="case set: smoke (tiny, CI) or full (incl. the "
+                         ">=256k-unknown speedup case)")
+    pw.add_argument("--repeats", type=int, default=3)
+    pw.add_argument("--warmup", type=int, default=1)
+    pw.add_argument("--seed", type=int, default=0)
+    pw.add_argument("--out", default="BENCH_wallclock.json",
+                    help="JSON report path")
+    pw.add_argument("--baseline", default=None,
+                    help="baseline JSON to gate against "
+                         "(e.g. benchmarks/results/BENCH_wallclock_baseline.json)")
+    pw.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail when a calibration-normalized median exceeds "
+                         "the baseline's by this factor")
+    pw.add_argument("--min-speedup", type=float, default=None,
+                    help="require this threads-vs-serial speedup on a "
+                         ">=256k-unknown CG case (multi-CPU hosts only)")
+    pw.add_argument("--update-baseline", action="store_true",
+                    help="write the report to --baseline instead of gating")
 
     pv = sub.add_parser(
         "verify",
@@ -199,6 +232,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"on {args.nodes} Lassen node(s)"
         )
         return 0 if result.converged else 1
+
+    if args.command == "bench":
+        from .bench.wallclock import (
+            PROFILES,
+            compare_to_baseline,
+            load_report,
+            require_speedup,
+            run_wallclock,
+            summarize_wallclock,
+            write_report,
+        )
+
+        backends = tuple(args.backend) if args.backend else ("serial", "threads")
+        report = run_wallclock(
+            cases=PROFILES[args.profile],
+            backends=backends,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            jobs=args.jobs,
+            seed=args.seed,
+            log=print,
+        )
+        print(summarize_wallclock(report))
+        if args.out:
+            write_report(report, args.out)
+            print(f"[report written to {args.out}]")
+        failures: List[str] = []
+        mismatched = [
+            c["name"] for c in report["cases"] if c.get("residual_match") is False
+        ]
+        failures += [f"{name}: serial/threads numerics diverge" for name in mismatched]
+        if args.baseline and args.update_baseline:
+            write_report(report, args.baseline)
+            print(f"[baseline updated: {args.baseline}]")
+        elif args.baseline:
+            failures += compare_to_baseline(
+                report, load_report(args.baseline), args.max_regression
+            )
+        if args.min_speedup is not None:
+            failures += require_speedup(report, args.min_speedup)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print("bench gate: OK")
+        return 1 if failures else 0
 
     if args.command == "verify":
         from .core.solvers import SOLVER_REGISTRY

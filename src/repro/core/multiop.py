@@ -35,7 +35,7 @@ from ..runtime.region import LogicalRegion
 from ..runtime.runtime import Runtime
 from ..sparse.base import PieceKernel, SparseFormat
 from .projection import col_K_to_D, row_K_to_R, row_R_to_K
-from .vectors import MultiVector, VectorComponent
+from .vectors import VectorComponent
 
 __all__ = ["OperatorComponent", "MultiOperatorSystem"]
 

@@ -258,10 +258,13 @@ class Planner:
         return vecs[vec_id]
 
     def get_array(self, vec_id: int) -> np.ndarray:
-        """Concatenated copy of a vector's values (inspection only)."""
+        """Concatenated copy of a vector's values (inspection only).
+        Drains any deferred task execution first."""
+        self.runtime.sync()
         return self.vector(vec_id).to_array(self.runtime.store)
 
     def set_array(self, vec_id: int, values: np.ndarray) -> None:
+        self.runtime.sync()
         self.vector(vec_id).set_array(self.runtime.store, values)
 
     @property

@@ -95,7 +95,7 @@ def block_jacobi_preconditioner(matrix: SparseFormat, block: int = 4) -> BCSRMat
     if n_blocks * block != n:
         raise ValueError(
             f"block size {block} must divide the system size {n} "
-            f"(pad the system or choose a divisor)"
+            "(pad the system or choose a divisor)"
         )
     block_cols = np.arange(n_blocks, dtype=np.int64)
     block_rowptr = np.arange(n_blocks + 1, dtype=np.int64)

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..runtime.index_space import IndexSpace
 from ..runtime.partition import Partition
-from ..runtime.region import LogicalRegion, RegionStore
+from ..runtime.region import RegionStore
 from ..runtime.runtime import Runtime
 
 __all__ = ["VectorComponent", "MultiVector"]

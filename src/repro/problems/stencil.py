@@ -87,7 +87,6 @@ def grid_shape_for(kind: str, n_unknowns: int) -> Tuple[int, ...]:
 def stencil_nnz_estimate(kind: str, shape: Tuple[int, ...]) -> int:
     """Exact nonzero count of the Dirichlet Laplacian on ``shape``."""
     offsets, _ = stencil_offsets(kind)
-    n = 1
     total = 0
     for off in offsets:
         cells = 1

@@ -28,7 +28,16 @@ from .deppart import (
     preimage,
     preimage_subset,
 )
-from .engine import Engine, TimelineEntry
+from .engine import Engine, EngineObserver, TimelineEntry
+from .executor import (
+    BACKENDS,
+    DeadlockError,
+    ExecutorError,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 from .future import Future
 from .geometry import Point, Rect
 from .index_space import IndexSpace
@@ -49,9 +58,13 @@ from .subset import Subset
 from .task import IndexLauncher, RegionRequirement, TaskContext, TaskLauncher, TaskRecord
 
 __all__ = [
+    "BACKENDS",
     "ComputedRelation",
+    "DeadlockError",
     "Device",
     "Engine",
+    "EngineObserver",
+    "ExecutorError",
     "FieldSpace",
     "FunctionalRelation",
     "Future",
@@ -74,13 +87,17 @@ __all__ = [
     "Relation",
     "RoundRobinMapper",
     "Runtime",
+    "SerialExecutor",
     "ShardedMapper",
     "Subset",
     "TableMapper",
     "TaskContext",
+    "TaskExecutor",
     "TaskLauncher",
     "TaskRecord",
+    "ThreadedExecutor",
     "TimelineEntry",
+    "make_executor",
     "FullRelation",
     "image",
     "image_subset",

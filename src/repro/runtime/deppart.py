@@ -115,7 +115,7 @@ class FunctionalRelation(Relation):
         values = np.asarray(values, dtype=np.int64).reshape(-1)
         if values.size != source.volume:
             raise ValueError(
-                f"functional relation needs one value per source point "
+                "functional relation needs one value per source point "
                 f"({source.volume}), got {values.size}"
             )
         if values.size and (values.min() < 0 or values.max() >= target.volume):

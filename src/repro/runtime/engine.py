@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .machine import Device, Machine, ProcKind
+from .machine import Device, Machine
 from .mapper import Mapper
 from .region import LogicalRegion, Privilege
 from .subset import Subset
@@ -101,6 +101,15 @@ class _FieldState:
     )
     # (device_id, subset_uid, version) triples with a valid cached copy
     cached: set = field(default_factory=set)
+    # Ownership-layout caches.  ``piece_owner[uid] = (subset, device)``
+    # records that every element of that subset is owned by one device;
+    # ``counts[uid] = (subset, per-device element counts)`` caches the
+    # ownership histogram of a read subset.  Both are invalidated only
+    # when a write actually *changes* the layout (steady-state solver
+    # iterations re-write each piece from the same device, so the
+    # per-launch O(piece) ownership scans disappear after warmup).
+    piece_owner: Dict[int, Tuple[Subset, int]] = field(default_factory=dict)
+    counts: Dict[int, Tuple[Subset, np.ndarray]] = field(default_factory=dict)
 
 
 class Engine:
@@ -154,11 +163,26 @@ class Engine:
         of a data-ingest phase that is not being timed)."""
         st = self._field_state(region, field_name)
         for subset, device_id in pieces:
-            sl = subset.as_slice()
-            if sl is not None:
-                st.owner[sl] = device_id
-            else:
-                st.owner[subset.indices] = device_id
+            self._set_owner(st, subset, device_id)
+
+    def _set_owner(self, st: _FieldState, subset: Subset, device_id: int) -> None:
+        """Record that ``device_id`` now owns every element of ``subset``,
+        maintaining the ownership-layout caches."""
+        entry = st.piece_owner.get(subset.uid)
+        if entry is not None and entry[1] == device_id:
+            return  # layout unchanged: the owner array is already correct
+        sl = subset.as_slice()
+        if sl is not None:
+            st.owner[sl] = device_id
+        else:
+            st.owner[subset.indices] = device_id
+        for uid, (s, _d) in list(st.piece_owner.items()):
+            if uid != subset.uid and self._overlap(subset, s):
+                del st.piece_owner[uid]
+        for uid, (s, _c) in list(st.counts.items()):
+            if self._overlap(subset, s):
+                del st.counts[uid]
+        st.piece_owner[subset.uid] = (subset, device_id)
 
     def _field_state(self, region: LogicalRegion, field_name: str) -> _FieldState:
         key = (region.uid, field_name)
@@ -236,19 +260,33 @@ class Engine:
         cache_key = (dst.device_id, req.subset.uid, st.version)
         if cache_key in st.cached:
             return ready, 0.0
-        sl = req.subset.as_slice()
-        owners = st.owner[sl] if sl is not None else st.owner[req.subset.indices]
-        counts = np.bincount(owners, minlength=self.machine.n_devices)
+        sources: List[Tuple[int, int]]  # (src device, element count)
+        uniform = st.piece_owner.get(req.subset.uid)
+        if uniform is not None:
+            # The whole subset lives on one device: no ownership scan.
+            sources = [(uniform[1], req.subset.volume)]
+        else:
+            hit = st.counts.get(req.subset.uid)
+            if hit is not None:
+                counts = hit[1]
+            else:
+                sl = req.subset.as_slice()
+                owners = st.owner[sl] if sl is not None else st.owner[req.subset.indices]
+                counts = np.bincount(owners, minlength=self.machine.n_devices)
+                st.counts[req.subset.uid] = (req.subset, counts)
+            sources = [
+                (int(src_id), int(counts[src_id])) for src_id in np.flatnonzero(counts)
+            ]
         itemsize = req.region.fspace.itemsize(field_name)
         done = ready
         comm = 0.0
-        for src_id in np.flatnonzero(counts):
+        for src_id, n_elems in sources:
             if src_id == dst.device_id:
                 continue
-            n_bytes = float(counts[src_id]) * itemsize
+            n_bytes = float(n_elems) * itemsize
             t0 = done
             finish = self._channel_transfer(
-                self.machine.device(int(src_id)), dst, n_bytes, ready
+                self.machine.device(src_id), dst, n_bytes, ready
             )
             comm += max(0.0, finish - max(ready, t0))
             done = max(done, finish)
@@ -257,8 +295,11 @@ class Engine:
 
     # -- main entry --------------------------------------------------------------
 
-    def simulate(self, record: TaskRecord, traced: bool = False) -> Tuple[float, float]:
-        """Simulate one task; returns its (start, finish) times."""
+    def simulate(self, record: TaskRecord, traced: bool = False) -> Tuple[float, float, set]:
+        """Simulate one task; returns its (start, finish) times plus the
+        set of predecessor task ids its dependence analysis derived —
+        the same edges observers receive, reused by the deferred
+        executor to schedule the task's actual execution."""
         device = self.machine.device(self.mapper.map_task(record))
         m = self.machine
 
@@ -330,16 +371,22 @@ class Engine:
             if req.privilege is Privilege.REDUCE:
                 # Contributions flow to the current owners; charge the
                 # outbound bytes but leave ownership unchanged.
-                sl = req.subset.as_slice()
-                owners = st.owner[sl] if sl is not None else st.owner[req.subset.indices]
-                remote = int(np.count_nonzero(owners != device.device_id))
+                uniform = st.piece_owner.get(req.subset.uid)
+                if uniform is not None:
+                    owner0 = uniform[1]
+                    remote = 0 if owner0 == device.device_id else req.subset.volume
+                else:
+                    sl = req.subset.as_slice()
+                    owners = st.owner[sl] if sl is not None else st.owner[req.subset.indices]
+                    owner0 = int(owners[0]) if owners.size else device.device_id
+                    remote = int(np.count_nonzero(owners != device.device_id))
                 if remote:
                     out_bytes = remote * req.region.fspace.itemsize(fname)
                     finish = max(
                         finish,
                         self._channel_transfer(
                             device,
-                            self.machine.device(int(owners[0])),
+                            self.machine.device(owner0),
                             out_bytes,
                             finish,
                         ),
@@ -356,11 +403,7 @@ class Engine:
                     (record.task_id,) if prev is None else prev[2] + (record.task_id,),
                 )
             else:
-                sl = req.subset.as_slice()
-                if sl is not None:
-                    st.owner[sl] = device.device_id
-                else:
-                    st.owner[req.subset.indices] = device.device_id
+                self._set_owner(st, req.subset, device.device_id)
                 st.version += 1
                 st.writes[req.subset.uid] = (req.subset, finish, (record.task_id,))
                 st.cached.add((device.device_id, req.subset.uid, st.version))
@@ -401,7 +444,7 @@ class Engine:
             )
         for obs in self.observers:
             obs.on_task(record, deps, device.device_id, start, finish)
-        return start, finish
+        return start, finish, deps
 
     def barrier(self) -> float:
         """Execution fence: every resource becomes free only at the

@@ -1,0 +1,423 @@
+"""Deferred task execution backends.
+
+The runtime historically ran every task body inline at launch.  This
+module splits *launch* from *execution*: :meth:`Runtime.execute` now
+enqueues a thunk (the task body closed over its context) together with
+the dependence edges the engine's region-interference analysis derived
+for the corresponding :class:`~repro.runtime.task.TaskRecord`, and an
+executor decides when the thunk actually runs.
+
+Two backends implement the same interface:
+
+* :class:`SerialExecutor` — runs each thunk immediately at submit time,
+  reproducing the historical eager behaviour exactly (and with zero
+  overhead: no locks, no queues).
+* :class:`ThreadedExecutor` — schedules ready tasks onto a thread pool.
+  NumPy kernels release the GIL, so point tasks from one index launch
+  over a disjoint partition run genuinely concurrently.  Dependences
+  are the engine's happens-before edges (the same epochs the race
+  detector checks) plus one executor-only rule: same-operator
+  reductions to overlapping subsets *commute* in the timing model but
+  are serialized here in launch order, because ``+=`` on a shared NumPy
+  slice is not atomic — and serializing in launch order keeps results
+  bitwise deterministic.
+
+Blocking on a :class:`~repro.runtime.future.Future` produced by a
+deferred task drains the executor up to that task.  Any thread that
+would block — the application thread in ``Future.get``/``fence`` or a
+worker whose body reads a future — instead *helps*: it claims ready
+tasks and runs them inline until its target completes, so a full pool
+of blocked workers can never starve the queue.  Waits that can make no
+progress at all detect deadlock instead of hanging: an unsatisfiable
+dependence, a dependence cycle, or a worker waiting on its own
+descendants raises :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .task import TaskRecord
+
+__all__ = [
+    "BACKENDS",
+    "DeadlockError",
+    "ExecutorError",
+    "SerialExecutor",
+    "TaskExecutor",
+    "ThreadedExecutor",
+    "default_backend",
+    "default_jobs",
+    "make_executor",
+]
+
+#: Names accepted by the ``backend=`` switch.
+BACKENDS = ("serial", "threads")
+
+#: Environment variables overriding the runtime's defaults.
+BACKEND_ENV = "REPRO_BACKEND"
+JOBS_ENV = "REPRO_JOBS"
+
+
+class ExecutorError(RuntimeError):
+    """A deferred task body raised; re-raised at the first drain point."""
+
+
+class DeadlockError(RuntimeError):
+    """A blocking wait can never be satisfied (cycle, missing producer,
+    or a worker waiting on its own descendants)."""
+
+
+def default_backend() -> str:
+    """The backend name to use when none is given: ``REPRO_BACKEND`` or
+    ``serial``."""
+    backend = os.environ.get(BACKEND_ENV, "serial").strip().lower()
+    return backend if backend in BACKENDS else "serial"
+
+
+def default_jobs() -> Optional[int]:
+    """Worker count override from ``REPRO_JOBS`` (None → use CPU count)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def make_executor(backend: Optional[str] = None, jobs: Optional[int] = None) -> "TaskExecutor":
+    """Build an executor by backend name (env-overridable defaults)."""
+    if backend is None:
+        backend = default_backend()
+    backend = backend.strip().lower()
+    if jobs is None:
+        jobs = default_jobs()
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadedExecutor(n_workers=jobs)
+    raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+
+
+class TaskExecutor:
+    """Interface both backends implement."""
+
+    #: Backend name, for reports and the bench harness.
+    name: str = "abstract"
+
+    def submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+        deps: Set[int],
+    ) -> None:
+        """Enqueue one task.  ``deps`` are engine task ids that must
+        complete before the thunk may run; ids the executor has never
+        seen (tasks executed before this executor attached, or purely
+        simulated ones) are treated as already complete."""
+        raise NotImplementedError
+
+    def wait_for_future(self, future_uid: int) -> None:
+        """Block until the task producing ``future_uid`` has executed.
+        No-op for futures this executor does not manage."""
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Block until every submitted task has executed."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    @property
+    def n_parallel(self) -> int:
+        """Worker count (1 for the serial backend)."""
+        return 1
+
+
+class SerialExecutor(TaskExecutor):
+    """The historical behaviour: run the body at launch, inline."""
+
+    name = "serial"
+
+    def submit(self, record, thunk, on_done, deps):
+        on_done(thunk())
+
+    def wait_for_future(self, future_uid: int) -> None:
+        pass
+
+    def drain(self) -> None:
+        pass
+
+
+class _Node:
+    """Scheduler state for one deferred task.
+
+    Lifecycle: *blocked* (``waiting_on`` non-empty) → *ready* → *claimed*
+    (a pool worker or a helping waiter owns the body) → removed from the
+    pending map once the body and its completion bookkeeping finish.
+    """
+
+    __slots__ = ("task_id", "name", "thunk", "on_done", "waiting_on", "dependents", "claimed")
+
+    def __init__(self, task_id: int, name: str, thunk, on_done):
+        self.task_id = task_id
+        self.name = name
+        self.thunk = thunk
+        self.on_done = on_done
+        self.waiting_on: Set[int] = set()
+        self.dependents: List[int] = []
+        self.claimed = False
+
+
+_current_task = threading.local()
+
+
+class ThreadedExecutor(TaskExecutor):
+    """Dependence-driven thread-pool scheduler with helping waiters."""
+
+    name = "threads"
+
+    def __init__(self, n_workers: Optional[int] = None):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        self._n_workers = max(1, int(n_workers))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="repro-exec"
+        )
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: Dict[int, _Node] = {}
+        self._ready: List[int] = []  # ready, unclaimed task ids (FIFO)
+        self._completed: Set[int] = set()
+        self._by_future: Dict[int, int] = {}
+        self._first_error: Optional[BaseException] = None
+        # Executor-only serialization of commuting reductions, per
+        # (region uid, field): the last pending reducer per subset uid
+        # plus the subsets themselves for overlap tests across uids.
+        self._reduce_tail: Dict[Tuple[int, str], Dict[int, Tuple[object, int]]] = {}
+        self._disjoint: Dict[Tuple[int, int], bool] = {}
+
+    @property
+    def n_parallel(self) -> int:
+        return self._n_workers
+
+    # -- dependence augmentation ------------------------------------------
+
+    def _overlaps(self, a, b) -> bool:
+        if a.uid == b.uid:
+            return True
+        key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+        hit = self._disjoint.get(key)
+        if hit is None:
+            hit = a.is_disjoint_from(b)
+            self._disjoint[key] = hit
+        return not hit
+
+    def _reduction_edges(self, record: TaskRecord) -> Set[int]:
+        """Same-redop reductions on overlapping subsets commute in the
+        simulated timeline (the engine adds no edge) but must not run
+        concurrently on shared memory; chaining them in launch order
+        also keeps floating-point results deterministic."""
+        from .region import Privilege
+
+        extra: Set[int] = set()
+        for req in record.requirements:
+            if req.privilege is not Privilege.REDUCE:
+                continue
+            for fname in req.fields:
+                tail = self._reduce_tail.setdefault((req.region.uid, fname), {})
+                for _uid, (subset, tid) in tail.items():
+                    if self._overlaps(req.subset, subset):
+                        extra.add(tid)
+                tail[req.subset.uid] = (req.subset, record.task_id)
+        return extra
+
+    # -- scheduling --------------------------------------------------------
+
+    def submit(self, record, thunk, on_done, deps):
+        node = _Node(record.task_id, record.name, thunk, on_done)
+        with self._lock:
+            wanted = set(deps) | self._reduction_edges(record)
+            for dep in wanted:
+                if dep == record.task_id or dep in self._completed:
+                    continue
+                parent = self._pending.get(dep)
+                if parent is None:
+                    # A task the executor never saw (pre-attach or purely
+                    # simulated): treat as complete.
+                    continue
+                node.waiting_on.add(dep)
+                parent.dependents.append(record.task_id)
+            self._pending[record.task_id] = node
+            if record.future_uid is not None:
+                self._by_future[record.future_uid] = record.task_id
+            ready = not node.waiting_on
+            if ready:
+                self._ready.append(record.task_id)
+        if ready:
+            self._pool.submit(self._worker_tick)
+
+    def _claim_locked(self, task_id: Optional[int] = None) -> Optional[_Node]:
+        """Claim one ready task (``task_id`` if given and ready, else the
+        oldest ready one).  Caller holds the lock."""
+        if task_id is not None:
+            node = self._pending.get(task_id)
+            if node is None or node.claimed or node.waiting_on:
+                task_id = None
+            else:
+                self._ready.remove(task_id)
+                node.claimed = True
+                return node
+        while self._ready:
+            tid = self._ready.pop(0)
+            node = self._pending.get(tid)
+            if node is not None and not node.claimed:
+                node.claimed = True
+                return node
+        return None
+
+    def _worker_tick(self) -> None:
+        """Pool entry point: claim and run one ready task, if any."""
+        with self._lock:
+            node = self._claim_locked()
+        if node is not None:
+            self._execute(node)
+
+    def _execute(self, node: _Node) -> None:
+        token = getattr(_current_task, "task_id", None)
+        _current_task.task_id = node.task_id
+        error: Optional[BaseException] = None
+        try:
+            node.on_done(node.thunk())
+        except BaseException as exc:  # noqa: BLE001 - re-raised at drain
+            error = exc
+        finally:
+            _current_task.task_id = token
+        n_unblocked = 0
+        with self._lock:
+            self._completed.add(node.task_id)
+            del self._pending[node.task_id]
+            if error is not None and self._first_error is None:
+                self._first_error = error
+            for dep_id in node.dependents:
+                child = self._pending.get(dep_id)
+                if child is None or node.task_id not in child.waiting_on:
+                    continue
+                child.waiting_on.discard(node.task_id)
+                if not child.waiting_on:
+                    self._ready.append(dep_id)
+                    n_unblocked += 1
+            self._cond.notify_all()
+        for _ in range(n_unblocked):
+            self._pool.submit(self._worker_tick)
+
+    # -- blocking ----------------------------------------------------------
+
+    def _closure_locked(self, task_id: int) -> Set[int]:
+        """Pending transitive dependence closure of one pending task."""
+        seen: Set[int] = set()
+        stack = [task_id]
+        while stack:
+            tid = stack.pop()
+            if tid in seen:
+                continue
+            seen.add(tid)
+            node = self._pending.get(tid)
+            if node is not None:
+                stack.extend(node.waiting_on)
+        return seen
+
+    def _check_stuck_locked(self, task_id: int) -> None:
+        """Raise :class:`DeadlockError` if ``task_id`` can never complete.
+        Called with the lock held, only when the waiter found nothing to
+        help with; a closure containing a claimed (executing) task is
+        presumed to be making progress."""
+        waiter = getattr(_current_task, "task_id", None)
+        closure = self._closure_locked(task_id)
+        if waiter is not None and waiter in closure and waiter != task_id:
+            node = self._pending.get(task_id)
+            raise DeadlockError(
+                f"task {waiter} blocks on task {task_id} "
+                f"({node.name if node else '?'}), which transitively depends "
+                f"on task {waiter} itself — dependence cycle through a "
+                "blocking future read"
+            )
+        for tid in closure:
+            node = self._pending.get(tid)
+            if node is not None and node.claimed:
+                return  # a body in the closure is executing right now
+        if any(tid in self._ready for tid in closure):
+            return  # ready work exists; the waiter will claim it next
+        for tid in sorted(closure):
+            node = self._pending.get(tid)
+            if node is None or not node.waiting_on:
+                continue
+            missing = [
+                d for d in node.waiting_on
+                if d not in self._pending and d not in self._completed
+            ]
+            if missing:
+                raise DeadlockError(
+                    f"task {tid} ({node.name}) waits on task(s) {sorted(missing)} "
+                    "that were never submitted and can never complete"
+                )
+        raise DeadlockError(
+            f"dependence cycle among pending tasks {sorted(closure & set(self._pending))}; "
+            "no task in the closure can ever become ready"
+        )
+
+    def _raise_if_failed_locked(self) -> None:
+        if self._first_error is not None:
+            exc = self._first_error
+            self._first_error = None
+            raise ExecutorError(
+                f"a deferred task body raised {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _wait_until(self, done_locked: Callable[[], bool], target: Callable[[], Optional[int]]) -> None:
+        """Help-run ready tasks until ``done_locked()`` holds; ``target``
+        names a pending task id to prefer and deadlock-check against
+        (None → any)."""
+        while True:
+            with self._lock:
+                if done_locked():
+                    self._raise_if_failed_locked()
+                    return
+                node = self._claim_locked(target())
+                if node is None:
+                    tid = target()
+                    if tid is None and self._pending:
+                        tid = next(iter(self._pending))
+                    if tid is not None:
+                        self._check_stuck_locked(tid)
+                    self._cond.wait(timeout=0.1)
+                    continue
+            self._execute(node)
+
+    def wait_for_future(self, future_uid: int) -> None:
+        with self._lock:
+            task_id = self._by_future.get(future_uid)
+        if task_id is None:
+            return
+        self._wait_until(
+            lambda: task_id not in self._pending,
+            lambda: task_id if task_id in self._pending else None,
+        )
+
+    def drain(self) -> None:
+        self._wait_until(lambda: not self._pending, lambda: None)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self._pool.shutdown(wait=False)
+        except Exception:
+            pass

@@ -1,11 +1,14 @@
 """Futures: deferred scalar values produced by tasks.
 
-The runtime executes task bodies eagerly (so numerics are always exact
-and inspectable) while *timing* is simulated by the discrete-event
-engine.  A :class:`Future` therefore always holds its value immediately
-after the producing task is launched, but it also records the producing
-task so the engine can model when the value would actually be available
-on a real machine — which is what makes convergence checks
+Task bodies are real NumPy computations (numerics are always exact and
+inspectable) while *timing* is simulated by the discrete-event engine.
+Under the default ``serial`` backend a :class:`Future` holds its value
+immediately after the producing task is launched; under a deferred
+backend (``backend="threads"``) the value materializes when the
+executor runs the producing task, and :meth:`Future.get` drains the
+executor up to that task first.  Either way the future records the
+producing task so the engine can model when the value would actually be
+available on a real machine — which is what makes convergence checks
 (``get_convergence_measure``) contribute latency in the simulated
 timeline exactly as blocking on a Legion future would.
 """
@@ -23,11 +26,14 @@ _counter = itertools.count()
 class Future:
     """A deferred value with a known producer task."""
 
-    __slots__ = ("_value", "_ready", "producer_id", "uid")
+    __slots__ = ("_value", "_ready", "_waiter", "producer_id", "uid")
 
     def __init__(self, value: Any = None, ready: bool = False, producer_id: Optional[int] = None):
         self._value = value
         self._ready = ready
+        #: Executor to drain before reading (set by the runtime when the
+        #: producing task is deferred); None for eager/standalone futures.
+        self._waiter = None
         self.producer_id = producer_id
         self.uid = next(_counter)
 
@@ -47,10 +53,15 @@ class Future:
         return self._ready
 
     def get(self) -> Any:
-        """The value.  In this eager-execution runtime, blocking on a
-        future returns instantly at the Python level; the *simulated* cost
-        of the block is charged by the engine when the consuming task (or
-        an explicit ``Runtime.fence``) names this future as a dependency."""
+        """The value.  Under the serial backend this returns instantly at
+        the Python level; under a deferred backend it first drains the
+        executor up to the producing task (raising
+        :class:`~repro.runtime.executor.DeadlockError` if that wait can
+        never be satisfied).  The *simulated* cost of the block is charged
+        by the engine when the consuming task (or an explicit
+        ``Runtime.fence``) names this future as a dependency."""
+        if not self._ready and self._waiter is not None:
+            self._waiter.wait_for_future(self.uid)
         if not self._ready:
             raise RuntimeError("future value not yet produced")
         return self._value

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 __all__ = ["ProcKind", "Device", "Machine", "lassen", "laptop", "lassen_scaled", "max_unknowns_in_memory"]
 

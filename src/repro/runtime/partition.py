@@ -23,7 +23,7 @@ by :mod:`repro.runtime.deppart`.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -143,7 +143,7 @@ class RegionStore:
         except KeyError:
             raise KeyError(
                 f"field {field!r} of {region.name} has no physical instance; "
-                f"attach or allocate it first"
+                "attach or allocate it first"
             ) from None
 
     def has(self, region: LogicalRegion, field: str) -> bool:

@@ -1,12 +1,18 @@
-"""The runtime facade: eager execution + simulated timing + tracing.
+"""The runtime facade: deferred execution + simulated timing + tracing.
 
 :class:`Runtime` is the single object applications interact with.  It
 
 * owns the physical :class:`~repro.runtime.region.RegionStore`;
-* executes task bodies eagerly (numerics are always real NumPy);
+* runs task bodies through a pluggable *execution backend*
+  (``backend="serial"`` runs each body inline at launch, exactly the
+  historical eager behaviour; ``backend="threads"`` defers bodies onto
+  a dependence-driven thread pool so point tasks over disjoint pieces
+  execute genuinely concurrently — numerics are always real NumPy
+  either way);
 * feeds a :class:`~repro.runtime.engine.Engine` the corresponding
   :class:`~repro.runtime.task.TaskRecord` so the distributed timeline is
-  simulated as the program runs;
+  simulated as the program runs (launch order, independent of which
+  backend executes the bodies — the timing model is unchanged);
 * implements *dynamic tracing* (Lee et al., SC '18): wrapping an
   iteration in ``begin_trace``/``end_trace`` memoizes the dependence
   analysis so replayed iterations pay a much smaller per-task runtime
@@ -20,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .engine import Engine
+from .executor import TaskExecutor, make_executor
 from .future import Future
 from .index_space import IndexSpace
 from .machine import Machine, ProcKind
@@ -27,7 +34,6 @@ from .mapper import Mapper, RoundRobinMapper
 from .region import (
     FieldSpace,
     LogicalRegion,
-    Privilege,
     RegionAccessor,
     RegionStore,
 )
@@ -56,12 +62,20 @@ class Runtime:
         mapper: Optional[Mapper] = None,
         enable_tracing: bool = True,
         keep_timeline: bool = False,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
     ):
         self.machine = machine if machine is not None else Machine(n_nodes=1)
         self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
         self.store = RegionStore()
         self.engine = Engine(self.machine, self.mapper, keep_timeline=keep_timeline)
         self.enable_tracing = enable_tracing
+        #: Execution backend: "serial" | "threads" (default from
+        #: ``REPRO_BACKEND``, falling back to serial); ``jobs`` caps the
+        #: worker count (default ``REPRO_JOBS`` or the CPU count).
+        self.executor: TaskExecutor = make_executor(backend, jobs)
+        self.backend = self.executor.name
+        self._deferred = self.backend != "serial"
         self._traces: Dict[Any, _TraceState] = {}
         self._active_trace: Optional[_TraceState] = None
 
@@ -146,14 +160,14 @@ class Runtime:
     # -- task execution ----------------------------------------------------------
 
     def execute(self, launcher: TaskLauncher, point: Optional[int] = None) -> Future:
-        """Run one task now; simulate its timing; return its future."""
+        """Launch one task: simulate its timing now (launch order), run
+        its body through the execution backend; return its future."""
         accessors = [
             RegionAccessor(self.store, req.region, f, req.subset, req.privilege)
             for req in launcher.requirements
             for f in req.fields
         ]
         ctx = TaskContext(accessors, launcher.args, launcher.kwargs, point=point)
-        value = launcher.body(ctx)
         future = Future()
 
         bytes_touched = launcher.bytes_touched
@@ -173,9 +187,18 @@ class Runtime:
             irregular=launcher.irregular,
         )
         traced = self._trace_step(record)
-        self.engine.simulate(record, traced=traced)
-        future.set(value, producer_id=record.task_id)
+        _, _, deps = self.engine.simulate(record, traced=traced)
+        self._submit(record, lambda: launcher.body(ctx), future, deps)
         return future
+
+    def _submit(self, record: TaskRecord, thunk, future: Future, deps: set) -> None:
+        if self._deferred:
+            future._waiter = self.executor
+
+        def on_done(value, _future=future, _tid=record.task_id):
+            _future.set(value, producer_id=_tid)
+
+        self.executor.submit(record, thunk, on_done, deps)
 
     def execute_index(self, launcher: IndexLauncher) -> List[Future]:
         """Launch one point task per color (Legion index launch)."""
@@ -188,8 +211,9 @@ class Runtime:
         return futures
 
     def _reduce_futures(self, launcher: IndexLauncher, futures: List[Future]) -> Future:
-        """Combine point futures into one, modeling the allreduce."""
-        value = launcher.reduction([f.get() for f in futures])
+        """Combine point futures into one, modeling the allreduce.  The
+        combiner gathers point values in launch order, so the reduction
+        tree is deterministic under every backend."""
         out = Future()
         record = TaskRecord(
             task_id=TaskRecord.next_id(),
@@ -205,15 +229,31 @@ class Runtime:
             comm_bytes=launcher.reduction_bytes,
         )
         traced = self._trace_step(record)
-        self.engine.simulate(record, traced=traced)
-        out.set(value, producer_id=record.task_id)
+        _, _, deps = self.engine.simulate(record, traced=traced)
+        reduction = launcher.reduction
+
+        def thunk():
+            # Point futures are dependences of this task, so they are
+            # ready by the time a deferred backend runs the thunk.
+            return reduction([f.get() for f in futures])
+
+        self._submit(record, thunk, out, deps)
         return out
+
+    def sync(self) -> None:
+        """Drain the execution backend: every launched task body has run
+        when this returns.  Unlike :meth:`fence`, this does not touch
+        the simulated timeline — it is the Python-level synchronization
+        used before inspecting raw region data."""
+        self.executor.drain()
 
     def fence(self) -> float:
         """Execution fence (simulated): everything launched afterwards
         starts only once all prior work completes.  This is how the
         bulk-synchronous baseline style is expressed in the task model —
-        and what task-based applications get to *omit* (paper P1)."""
+        and what task-based applications get to *omit* (paper P1).
+        Also drains the execution backend."""
+        self.executor.drain()
         return self.engine.barrier()
 
     # -- time queries -----------------------------------------------------------

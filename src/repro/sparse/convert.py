@@ -10,7 +10,7 @@ round-trip tests assert.
 
 from __future__ import annotations
 
-from typing import Tuple, Type
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

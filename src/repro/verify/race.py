@@ -93,7 +93,7 @@ class Race:
             f"elements [{ov}]:\n"
             f"  A: {self.first.describe()}\n"
             f"  B: {self.second.describe()}\n"
-            f"  no happens-before path orders A and B"
+            "  no happens-before path orders A and B"
         )
 
 

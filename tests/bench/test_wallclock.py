@@ -1,0 +1,146 @@
+"""Wall-clock harness: report shape, baseline gate, speedup acceptance."""
+
+import copy
+import json
+
+from repro.bench.wallclock import (
+    PROFILES,
+    SCHEMA,
+    WallclockCase,
+    compare_to_baseline,
+    load_report,
+    require_speedup,
+    run_wallclock,
+    summarize_wallclock,
+    write_report,
+)
+from repro.cli import main
+
+TINY = (WallclockCase("cg-2d5-tiny", "2d5", "cg", 256, 4, 4),)
+
+
+def tiny_report():
+    return run_wallclock(TINY, repeats=1, warmup=0)
+
+
+class TestRunWallclock:
+    def test_report_shape_and_determinism(self):
+        report = tiny_report()
+        assert report["schema"] == SCHEMA
+        assert report["host"]["cpu_count"] >= 1
+        assert report["calibration_s"] > 0.0
+        (case,) = report["cases"]
+        assert set(case["backends"]) == {"serial", "threads"}
+        for stats in case["backends"].values():
+            assert stats["median_s"] > 0.0
+            assert len(stats["runs_s"]) == 1
+        assert case["speedup"] is not None
+        assert case["residual_match"] is True  # bitwise, not approximate
+        assert "cg-2d5-tiny" in summarize_wallclock(report)
+
+    def test_single_backend_skips_comparison(self):
+        report = run_wallclock(TINY, backends=("serial",), repeats=1, warmup=0)
+        (case,) = report["cases"]
+        assert case["speedup"] is None
+        assert case["residual_match"] is None
+
+    def test_profiles_cover_speedup_case(self):
+        assert set(PROFILES) == {"smoke", "full"}
+        assert any(
+            c.solver == "cg" and c.n_unknowns >= 256_000 for c in PROFILES["full"]
+        )
+
+
+class TestBaselineGate:
+    def test_self_comparison_passes(self):
+        report = tiny_report()
+        assert compare_to_baseline(report, report) == []
+
+    def test_regression_detected(self):
+        report = tiny_report()
+        baseline = copy.deepcopy(report)
+        for case in baseline["cases"]:
+            case["backends"]["serial"]["median_s"] /= 3.0
+        failures = compare_to_baseline(report, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "cg-2d5-tiny [serial]" in failures[0]
+
+    def test_calibration_normalizes_machine_speed(self):
+        # Same code on a 3x slower machine: times and calibration scale
+        # together, so the gate must not fire.
+        report = tiny_report()
+        slower = copy.deepcopy(report)
+        slower["calibration_s"] *= 3.0
+        for case in slower["cases"]:
+            for stats in case["backends"].values():
+                stats["median_s"] *= 3.0
+                stats["runs_s"] = [t * 3.0 for t in stats["runs_s"]]
+        assert compare_to_baseline(slower, report, max_regression=2.0) == []
+
+    def test_new_cases_are_allowed(self):
+        report = tiny_report()
+        baseline = copy.deepcopy(report)
+        baseline["cases"] = []
+        assert compare_to_baseline(report, baseline) == []
+
+    def test_roundtrip(self, tmp_path):
+        report = tiny_report()
+        path = tmp_path / "BENCH_wallclock.json"
+        write_report(report, str(path))
+        assert load_report(str(path)) == json.loads(path.read_text())
+
+
+class TestSpeedupAcceptance:
+    @staticmethod
+    def doctored(speedup, cpu_count, match=True):
+        return {
+            "schema": SCHEMA,
+            "host": {"cpu_count": cpu_count},
+            "cases": [{
+                "name": "cg-2d5-1m", "solver": "cg", "n_unknowns": 2 ** 20,
+                "speedup": speedup, "residual_match": match,
+                "backends": {},
+            }],
+        }
+
+    def test_passes_on_fast_multicore(self):
+        assert require_speedup(self.doctored(1.8, cpu_count=4)) == []
+
+    def test_fails_below_bar_on_multicore(self):
+        failures = require_speedup(self.doctored(1.1, cpu_count=4))
+        assert failures and "1.10x" in failures[0]
+
+    def test_single_cpu_skips_speedup_but_not_determinism(self):
+        assert require_speedup(self.doctored(0.7, cpu_count=1)) == []
+        failures = require_speedup(self.doctored(0.7, cpu_count=1, match=False))
+        assert failures and "diverge" in failures[0]
+
+    def test_missing_large_case_reported(self):
+        failures = require_speedup(tiny_report())
+        assert failures and "256000" in failures[0]
+
+
+class TestBenchCLI:
+    def test_bench_gate_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(PROFILES, "smoke", TINY)
+        out = tmp_path / "BENCH_wallclock.json"
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "bench", "--repeats", "1", "--warmup", "0",
+            "--out", str(out), "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        assert load_report(str(out))["schema"] == SCHEMA
+        assert main([
+            "bench", "--repeats", "1", "--warmup", "0",
+            "--out", str(out), "--baseline", str(baseline),
+        ]) == 0
+
+    def test_bench_serial_only(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setitem(PROFILES, "smoke", TINY)
+        out = tmp_path / "r.json"
+        assert main([
+            "bench", "--backend", "serial", "--repeats", "1", "--warmup", "0",
+            "--out", str(out),
+        ]) == 0
+        report = load_report(str(out))
+        assert report["config"]["backends"] == ["serial"]

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core import Planner, RHS, SOL
 from repro.core.multiop import MultiOperatorSystem, OperatorComponent
 from repro.core.vectors import VectorComponent
 from repro.runtime import IndexSpace, Partition, Runtime, ShardedMapper, lassen

@@ -10,7 +10,7 @@ import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
-from repro.core import Planner, RHS, SOL
+from repro.core import Planner
 from repro.runtime import IndexSpace, Partition, Runtime, ShardedMapper, lassen
 from repro.sparse import CSRMatrix
 

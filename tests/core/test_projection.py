@@ -99,7 +99,6 @@ class TestPowerCopartition:
     def test_eq5_supports_matrix_power(self, matrix, rng):
         """Equation (5): the p-th partition provides every input needed
         to compute A^p x piecewise."""
-        x = rng.normal(size=16)
         P = Partition.equal(matrix.range_space, 4)
         parts = power_copartition(matrix, P, power=2)
         assert len(parts) == 2

@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.api import make_planner, solve
-from repro.core import BiCGStabSolver, CGSolver, GMRESSolver, SOL
+from repro.core import BiCGStabSolver, GMRESSolver, SOL
 from repro.problems import tridiagonal_toeplitz
 from repro.runtime import lassen
 

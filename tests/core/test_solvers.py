@@ -9,7 +9,6 @@ from repro.api import make_planner, solve
 from repro.core import (
     SOL,
     BiCGSolver,
-    BiCGStabSolver,
     CGSolver,
     CGSSolver,
     GMRESSolver,

@@ -16,7 +16,6 @@ from repro.runtime import (
     Privilege,
     Runtime,
     ShardedMapper,
-    Subset,
     TaskLauncher,
     lassen,
 )

@@ -1,0 +1,309 @@
+"""Deferred execution backends: scheduling, draining, deadlock detection."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    DeadlockError,
+    ExecutorError,
+    Future,
+    IndexLauncher,
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    SerialExecutor,
+    ShardedMapper,
+    Subset,
+    TaskLauncher,
+    TaskRecord,
+    ThreadedExecutor,
+    lassen,
+    make_executor,
+)
+
+
+def make_runtime(backend, jobs=4):
+    m = lassen(1)
+    return Runtime(machine=m, mapper=ShardedMapper(m), backend=backend, jobs=jobs)
+
+
+def record(name="t", future_uid=None):
+    return TaskRecord(
+        task_id=TaskRecord.next_id(),
+        name=name,
+        requirements=[],
+        proc_kind=ProcKind.CPU,
+        flops=0.0,
+        bytes_touched=0.0,
+        owner_hint=0,
+        future_dep_uids=[],
+        future_uid=future_uid,
+    )
+
+
+class TestMakeExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_explicit_threads(self):
+        ex = make_executor("threads", jobs=2)
+        try:
+            assert isinstance(ex, ThreadedExecutor)
+            assert ex.name == "threads"
+            assert ex.n_parallel == 2
+        finally:
+            ex.shutdown()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        ex = make_executor()
+        try:
+            assert ex.name == "threads"
+            assert ex.n_parallel == 3
+        finally:
+            ex.shutdown()
+
+    def test_bogus_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "definitely-not-a-backend")
+        assert make_executor().name == "serial"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_executor("fibers")
+
+
+class TestSerialExecutor:
+    def test_runs_inline(self):
+        ex = SerialExecutor()
+        seen = []
+        ex.submit(record(), lambda: 41 + 1, seen.append, set())
+        assert seen == [42]  # ran at submit, before any drain
+        ex.drain()
+        ex.wait_for_future(12345)  # no-ops
+
+    def test_n_parallel_is_one(self):
+        assert SerialExecutor().n_parallel == 1
+
+
+@pytest.fixture
+def ex():
+    executor = ThreadedExecutor(n_workers=4)
+    yield executor
+    executor.shutdown()
+
+
+class TestThreadedExecutor:
+    def test_dependence_chain_runs_in_order(self, ex):
+        order = []
+        lock = threading.Lock()
+
+        def body(tag):
+            def thunk():
+                with lock:
+                    order.append(tag)
+            return thunk
+
+        r1, r2, r3 = record("a"), record("b"), record("c")
+        ex.submit(r1, body("a"), lambda _: None, set())
+        ex.submit(r2, body("b"), lambda _: None, {r1.task_id})
+        ex.submit(r3, body("c"), lambda _: None, {r2.task_id})
+        ex.drain()
+        assert order == ["a", "b", "c"]
+
+    def test_fan_in_barrier_under_contention(self, ex):
+        done = set()
+        lock = threading.Lock()
+        parents = [record(f"p{i}") for i in range(16)]
+
+        def parent_body(i):
+            def thunk():
+                with lock:
+                    done.add(i)
+            return thunk
+
+        for i, r in enumerate(parents):
+            ex.submit(r, parent_body(i), lambda _: None, set())
+        snapshot = {}
+
+        def child_thunk():
+            with lock:
+                snapshot["done"] = set(done)
+
+        ex.submit(record("child"), child_thunk, lambda _: None,
+                  {r.task_id for r in parents})
+        ex.drain()
+        assert snapshot["done"] == set(range(16))  # all parents ran first
+
+    def test_unknown_deps_treated_as_complete(self, ex):
+        seen = []
+        ex.submit(record(), lambda: "ok", seen.append, {10 ** 9})
+        ex.drain()
+        assert seen == ["ok"]
+
+    def test_body_error_surfaces_at_drain(self, ex):
+        def boom():
+            raise ValueError("kaput")
+
+        ex.submit(record("boom"), boom, lambda _: None, set())
+        with pytest.raises(ExecutorError, match="kaput"):
+            ex.drain()
+        ex.drain()  # error is delivered once; executor stays usable
+
+    def test_wait_for_future_runs_exactly_the_needed_chain(self, ex):
+        ran = []
+        lock = threading.Lock()
+        gate = threading.Event()
+
+        def body(tag, wait=False):
+            def thunk():
+                if wait:
+                    gate.wait(timeout=10)
+                with lock:
+                    ran.append(tag)
+            return thunk
+
+        slow = record("slow")
+        fut = Future()
+        target = record("target", future_uid=fut.uid)
+        ex.submit(slow, body("slow", wait=True), lambda _: None, set())
+        ex.submit(target, body("target"), lambda v: fut.set(v), set())
+        ex.wait_for_future(fut.uid)  # must not require the slow task
+        assert "target" in ran
+        assert fut.ready
+        gate.set()
+        ex.drain()
+        assert sorted(ran) == ["slow", "target"]
+
+    def test_wait_for_unmanaged_future_is_noop(self, ex):
+        ex.wait_for_future(987654)  # returns immediately
+
+
+class TestDeadlockDetection:
+    def test_get_on_never_produced_future_errors_not_hangs(self):
+        rt = make_runtime("threads", jobs=2)
+        try:
+            f = Future()
+            f._waiter = rt.executor
+            with pytest.raises(RuntimeError, match="not yet produced"):
+                f.get()
+        finally:
+            rt.executor.shutdown()
+
+    def test_self_wait_cycle_is_detected(self):
+        """A body that blocks on a future of a task depending on itself
+        can never be satisfied: DeadlockError, not a hang."""
+        rt = make_runtime("threads", jobs=2)
+        try:
+            region = rt.create_region(IndexSpace.linear(8), {"v": np.float64})
+            rt.allocate(region, "v", fill=1.0)
+            cell = {}
+            launched = threading.Event()
+
+            def body_a(ctx):
+                launched.wait(timeout=10)
+                return cell["fb"].get()  # B depends on A: cycle
+
+            tl_a = TaskLauncher("a", body_a)
+            tl_a.add_requirement(region, ["v"], Subset.full(region.ispace),
+                                 Privilege.READ_WRITE)
+            fa = rt.execute(tl_a)
+
+            def body_b(ctx):
+                return float(ctx[0].read().sum())
+
+            tl_b = TaskLauncher("b", body_b)
+            tl_b.add_requirement(region, ["v"], Subset.full(region.ispace),
+                                 Privilege.READ_WRITE)
+            cell["fb"] = rt.execute(tl_b)  # engine edge: b after a
+            launched.set()
+            with pytest.raises(ExecutorError, match="DeadlockError"):
+                rt.sync()
+            assert fa is not None
+        finally:
+            rt.executor.shutdown()
+
+
+def double_task(region, piece, hint):
+    def body(ctx):
+        ctx[0].write(ctx[0].read() * 2.0)
+
+    tl = TaskLauncher("double", body, proc_kind=ProcKind.GPU, owner_hint=hint)
+    tl.add_requirement(region, ["v"], piece, Privilege.READ_WRITE)
+    return tl
+
+
+class TestThreadedRuntime:
+    """The runtime facade on the threads backend: launches defer, drains
+    restore eager semantics."""
+
+    def test_sync_establishes_eager_state(self):
+        rt = make_runtime("threads")
+        vec = rt.create_region(IndexSpace.linear(1 << 10), {"v": np.float64})
+        rt.allocate(vec, "v", fill=1.0)
+        part = Partition.equal(vec.ispace, 8)
+        for _ in range(3):
+            for p in range(8):
+                rt.execute(double_task(vec, part[p], p), point=p)
+        rt.sync()
+        assert (rt.store.raw(vec, "v") == 8.0).all()
+        rt.executor.shutdown()
+
+    def test_future_get_drains_dependences(self):
+        rt = make_runtime("threads")
+        vec = rt.create_region(IndexSpace.linear(256), {"v": np.float64})
+        rt.allocate(vec, "v", fill=1.0)
+        part = Partition.equal(vec.ispace, 4)
+        for p in range(4):
+            rt.execute(double_task(vec, part[p], p), point=p)
+
+        def body(ctx):
+            return float(ctx[0].read().sum())
+
+        tl = TaskLauncher("sum", body)
+        tl.add_requirement(vec, ["v"], Subset.full(vec.ispace), Privilege.READ_ONLY)
+        assert rt.execute(tl).get() == 512.0  # doubles observed, bitwise
+        rt.executor.shutdown()
+
+    def test_fence_drains_and_advances_sim_time(self):
+        rt = make_runtime("threads")
+        vec = rt.create_region(IndexSpace.linear(256), {"v": np.float64})
+        rt.allocate(vec, "v", fill=1.0)
+        part = Partition.equal(vec.ispace, 4)
+        for p in range(4):
+            rt.execute(double_task(vec, part[p], p), point=p)
+        t = rt.fence()
+        assert t > 0.0
+        assert (rt.store.raw(vec, "v") == 2.0).all()
+        rt.executor.shutdown()
+
+    def test_index_reduction_matches_serial_bitwise(self):
+        results = {}
+        for backend in ("serial", "threads"):
+            rt = make_runtime(backend)
+            vec = rt.create_region(IndexSpace.linear(1 << 10), {"v": np.float64})
+            rng = np.random.default_rng(7)
+            rt.attach(vec, "v", rng.random(1 << 10))
+            part = Partition.equal(vec.ispace, 8)
+
+            def make_point(p, part=part, vec=vec):
+                def body(ctx):
+                    return float(ctx[0].read().sum())
+
+                tl = TaskLauncher("partial", body, owner_hint=p)
+                tl.add_requirement(vec, ["v"], part[p], Privilege.READ_ONLY)
+                return tl
+
+            futures = rt.execute_index(
+                IndexLauncher("dot", 8, make_point, reduction=sum)
+            )
+            results[backend] = futures[0].get()
+            rt.executor.shutdown()
+        # Launch-order gathering makes the reduction tree identical, so
+        # floating point agrees bitwise, not just approximately.
+        assert results["serial"] == results["threads"]

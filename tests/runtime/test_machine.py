@@ -1,6 +1,5 @@
 """Machine model: device layout, cost functions, presets."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ import scipy.sparse as sp
 from repro.sparse import (
     ALL_FORMATS,
     COOMatrix,
-    CSCMatrix,
     CSRMatrix,
     DenseMatrix,
     DIAMatrix,

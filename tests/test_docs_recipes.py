@@ -5,7 +5,6 @@ doc test short of literate programming.
 """
 
 import numpy as np
-import pytest
 
 from repro.api import make_planner
 from repro.core.planner import RHS, SOL

@@ -56,7 +56,6 @@ def test_all_formats_same_iteration_count(fmt, convert, rng):
     and produces the same residual history."""
     A = tridiagonal_toeplitz(32)
     b = np.sin(np.arange(32))
-    reference = None
     m = build(convert, A)
     _, result = solve(m, b.copy(), solver="cg", tolerance=1e-10,
                       max_iterations=200, machine=lassen(1))

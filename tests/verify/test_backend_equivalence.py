@@ -1,0 +1,72 @@
+"""Serial vs. threads backends must agree bitwise, for every format.
+
+The deferred executor changes *when* task bodies run, never *what* they
+compute: engine dependence edges plus launch-order serialization of
+commuting reductions pin down one arithmetic order.  These tests reuse
+the differential oracle's problem/format builders and demand exact
+(bitwise) equality — a stronger bar than the oracle's cross-format
+tolerance, because here the operator and partitioning are identical and
+only the backend differs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.planner import SOL
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.runtime import Runtime
+from repro.verify.oracle import ORACLE_FORMATS, build_format, seeded_problem
+
+
+def _solve(op, b, solver, backend, n_pieces):
+    runtime = Runtime(backend=backend, jobs=4)
+    planner = make_planner(op, b, n_pieces=n_pieces, runtime=runtime)
+    result = SOLVER_REGISTRY[solver](planner).solve(
+        tolerance=1e-10, max_iterations=150
+    )
+    x = planner.get_array(SOL)
+    runtime.executor.shutdown()
+    return result, x
+
+
+@pytest.mark.parametrize("fmt", ORACLE_FORMATS)
+def test_backends_bitwise_identical_per_format(fmt):
+    prob = seeded_problem(0, size=24)  # SPD; CG applies to every format
+    results = {}
+    for backend in ("serial", "threads"):
+        op = build_format(fmt, prob.matrix)
+        results[backend] = _solve(op, prob.rhs, "cg", backend, n_pieces=3)
+    res_s, x_s = results["serial"]
+    res_t, x_t = results["threads"]
+    assert res_s.measure_history == res_t.measure_history  # bitwise
+    assert res_s.iterations == res_t.iterations
+    assert np.array_equal(x_s, x_t)
+
+
+@pytest.mark.parametrize("solver", ["bicgstab", "gmres"])
+def test_backends_bitwise_identical_nonsymmetric(solver):
+    prob = seeded_problem(2, size=25)  # convection-diffusion, nonsymmetric
+    results = {}
+    for backend in ("serial", "threads"):
+        op = build_format("csr", prob.matrix)
+        results[backend] = _solve(op, prob.rhs, solver, backend, n_pieces=3)
+    res_s, x_s = results["serial"]
+    res_t, x_t = results["threads"]
+    assert res_s.measure_history == res_t.measure_history
+    assert np.array_equal(x_s, x_t)
+
+
+def test_threads_backend_passes_race_detector():
+    from repro.verify.race import attach_race_detector
+
+    prob = seeded_problem(0, size=24)
+    runtime = Runtime(backend="threads", jobs=4)
+    detector = attach_race_detector(runtime)
+    planner = make_planner(
+        build_format("csr", prob.matrix), prob.rhs, n_pieces=4, runtime=runtime
+    )
+    SOLVER_REGISTRY["cg"](planner).solve(tolerance=1e-10, max_iterations=100)
+    runtime.sync()
+    assert detector.check() == []
+    runtime.executor.shutdown()

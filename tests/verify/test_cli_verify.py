@@ -1,6 +1,5 @@
 """`repro verify` CLI subcommand."""
 
-import pytest
 
 from repro.cli import main
 

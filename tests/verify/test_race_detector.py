@@ -16,7 +16,7 @@ from repro.runtime import (
     Subset,
     TaskLauncher,
 )
-from repro.verify import RaceDetector, RaceError, attach_race_detector
+from repro.verify import RaceError, attach_race_detector
 
 
 def make_runtime():
