@@ -1,0 +1,52 @@
+"""Static plan analysis (the compile-time sibling of ``repro.verify``).
+
+Three cooperating layers:
+
+* **Symbolic capture** (:mod:`repro.analyze.plan`) — run any program
+  under ``Runtime(backend="capture")`` and record its full task stream
+  (names, requirements, privileges, redops, future edges, fences) into
+  a :class:`PlanGraph` without executing a single task body.
+* **Static checkers** (:mod:`repro.analyze.checkers`) — privilege
+  hygiene, the §4 may-conflict interference analysis cross-validated as
+  a superset of the engine's dynamic edges, §3.1 co-partition
+  compatibility, and a dead-write/redundant-fill report.
+* **Source lint** (:mod:`repro.analyze.lint`) — AST rules REPRO001–004
+  for task-body hygiene that no general-purpose linter knows about.
+
+``python -m repro analyze <program>`` and ``python -m repro lint
+<paths>`` are the CLI entry points (:mod:`repro.analyze.driver`).
+"""
+
+from .checkers import (
+    Finding,
+    check_copartitions,
+    check_dead_code,
+    check_privileges,
+    static_interference_edges,
+    verify_interference_superset,
+)
+from .driver import ANALYZE_PROGRAMS, AnalyzeReport, analyze_program, build_program
+from .lint import LINT_RULES, LintViolation, lint_paths, lint_source
+from .plan import PlanCapture, PlanGraph, PlanTask, attach_plan_capture, capture_plan
+
+__all__ = [
+    "ANALYZE_PROGRAMS",
+    "AnalyzeReport",
+    "Finding",
+    "LINT_RULES",
+    "LintViolation",
+    "PlanCapture",
+    "PlanGraph",
+    "PlanTask",
+    "analyze_program",
+    "attach_plan_capture",
+    "build_program",
+    "capture_plan",
+    "check_copartitions",
+    "check_dead_code",
+    "check_privileges",
+    "lint_paths",
+    "lint_source",
+    "static_interference_edges",
+    "verify_interference_superset",
+]

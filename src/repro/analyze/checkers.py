@@ -1,0 +1,428 @@
+"""Static checkers over the :class:`~repro.analyze.plan.PlanGraph` IR.
+
+Four analyses, all purely static (they look only at requirements,
+privileges, subsets, and future uids — never at the engine's derived
+dependence edges, except to *cross-validate* them):
+
+* :func:`check_privileges` — per-task privilege hygiene: ``REDUCE``
+  without a reduction operator, a write requirement that subsumes a
+  read of the same data in the same task, requirements over empty
+  subsets (declared data the task can never touch).
+* :func:`static_interference_edges` /
+  :func:`verify_interference_superset` — the §4 may-conflict analysis:
+  any two tasks whose requirements touch overlapping subsets of the
+  same (region, field) with at least one write-like access (excluding
+  commuting same-operator reductions) *may* interfere.  Together with
+  future producer→consumer edges this forms the static edge set, which
+  must be a **superset** of whatever edges the engine and
+  :class:`~repro.verify.race.RaceDetector` derive dynamically for the
+  same program — the soundness oracle for the whole concurrency stack.
+* :func:`check_copartitions` — the §3.1 compatibility conditions on
+  each operator's derived kernel/domain/range partitions, element-exact.
+* :func:`check_dead_code` — writes fully overwritten before any read
+  (redundant fills get their own code) and read-only tasks whose future
+  nobody consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..runtime.region import Privilege
+from ..runtime.subset import Subset
+from .plan import PlanGraph, PlanTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import Planner
+
+__all__ = [
+    "Finding",
+    "check_privileges",
+    "check_dead_code",
+    "check_copartitions",
+    "static_interference_edges",
+    "verify_interference_superset",
+]
+
+#: Finding severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One issue reported by a static checker."""
+
+    code: str
+    severity: str
+    message: str
+    task_id: Optional[int] = None
+
+    def describe(self) -> str:
+        where = f" (task {self.task_id})" if self.task_id is not None else ""
+        return f"[{self.code}] {self.severity}: {self.message}{where}"
+
+
+# ----------------------------------------------------------------------
+# Privilege checker
+# ----------------------------------------------------------------------
+
+_READS = (Privilege.READ_ONLY, Privilege.READ_WRITE, Privilege.REDUCE)
+
+
+def check_privileges(plan: PlanGraph) -> List[Finding]:
+    """Per-task privilege hygiene over the captured requirements."""
+    findings: List[Finding] = []
+    for task in plan:
+        for req in task.requirements:
+            if req.privilege is Privilege.REDUCE and not req.redop:
+                findings.append(
+                    Finding(
+                        "PLAN-PRIV-REDOP",
+                        "error",
+                        f"{task.name}: REDUCE requirement on "
+                        f"{req.region.name}.{'/'.join(req.fields)} names no "
+                        "reduction operator — commutativity is undecidable",
+                        task.task_id,
+                    )
+                )
+            if req.subset.is_empty:
+                findings.append(
+                    Finding(
+                        "PLAN-PRIV-EMPTY",
+                        "warning",
+                        f"{task.name}: requirement on "
+                        f"{req.region.name}.{'/'.join(req.fields)} covers an "
+                        "empty subset — the task declares data it can never touch",
+                        task.task_id,
+                    )
+                )
+        # WRITE-subsumes-READ: a write-like requirement overlapping a
+        # READ_ONLY requirement of the same (region, field) in the same
+        # task.  The runtime serves both accessors from the same storage,
+        # so the read may observe partially-updated data; the task should
+        # have asked for READ_WRITE on the union instead.
+        for i, a in enumerate(task.requirements):
+            for b in task.requirements[i + 1 :]:
+                if a.region.uid != b.region.uid:
+                    continue
+                shared = set(a.fields) & set(b.fields)
+                if not shared:
+                    continue
+                if a.privilege.is_write and b.privilege is Privilege.READ_ONLY:
+                    writer, reader = a, b
+                elif b.privilege.is_write and a.privilege is Privilege.READ_ONLY:
+                    writer, reader = b, a
+                else:
+                    continue
+                if _overlap(writer.subset, reader.subset).size:
+                    findings.append(
+                        Finding(
+                            "PLAN-PRIV-SUBSUME",
+                            "warning",
+                            f"{task.name}: {writer.privilege.name} requirement "
+                            f"overlaps a READ_ONLY requirement on "
+                            f"{a.region.name}.{'/'.join(sorted(shared))} in "
+                            "the same task — the read may observe the "
+                            "task's own partial writes",
+                            task.task_id,
+                        )
+                    )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Static interference (§4) + soundness oracle
+# ----------------------------------------------------------------------
+
+
+def _conflicts(a_priv: Privilege, a_redop: str, b_priv: Privilege, b_redop: str) -> bool:
+    """Same semantics as :meth:`repro.verify.race.RaceDetector._conflicts`."""
+    if not (a_priv.is_write or b_priv.is_write):
+        return False
+    if a_priv is Privilege.REDUCE and b_priv is Privilege.REDUCE and a_redop == b_redop:
+        return False
+    return True
+
+
+def _overlap(a: Subset, b: Subset) -> np.ndarray:
+    """Element-exact intersection (independent of engine caches)."""
+    return np.intersect1d(a.indices, b.indices, assume_unique=True)
+
+
+def static_interference_edges(plan: PlanGraph) -> Set[Tuple[int, int]]:
+    """May-conflict pairs as launch-index pairs ``(i, j)`` with ``i < j``.
+
+    Derived *only* from region requirements and future uids — the
+    engine's own dependence edges are never consulted, so comparing the
+    result against them is a genuine cross-validation.
+    """
+    edges: Set[Tuple[int, int]] = set()
+    # Requirement conflicts, grouped by (region uid, field).
+    by_field: Dict[Tuple[int, str], List[Tuple[int, Privilege, str, Subset]]] = {}
+    for task in plan:
+        for req in task.requirements:
+            for fname in req.fields:
+                by_field.setdefault((req.region.uid, fname), []).append(
+                    (task.index, req.privilege, req.redop, req.subset)
+                )
+    overlap_cache: Dict[Tuple[int, int], bool] = {}
+
+    def overlapping(a: Subset, b: Subset) -> bool:
+        key = (a.uid, b.uid) if a.uid <= b.uid else (b.uid, a.uid)
+        hit = overlap_cache.get(key)
+        if hit is None:
+            hit = bool(_overlap(a, b).size)
+            overlap_cache[key] = hit
+        return hit
+
+    for accesses in by_field.values():
+        writers = [acc for acc in accesses if acc[1].is_write]
+        for wi, wpriv, wredop, wsub in writers:
+            for oi, opriv, oredop, osub in accesses:
+                if oi == wi:
+                    continue
+                if not _conflicts(wpriv, wredop, opriv, oredop):
+                    continue
+                pair = (wi, oi) if wi < oi else (oi, wi)
+                if pair in edges:
+                    continue
+                if overlapping(wsub, osub):
+                    edges.add(pair)
+    # Future producer → consumer edges.
+    for src, dst in plan.future_edges():
+        i, j = plan.index_of(src), plan.index_of(dst)
+        edges.add((i, j) if i < j else (j, i))
+    return edges
+
+
+def verify_interference_superset(
+    plan: PlanGraph,
+    dynamic_order: Sequence[int],
+    dynamic_edges: Sequence[Tuple[int, int]],
+    dynamic_names: Optional[Sequence[str]] = None,
+) -> Tuple[Optional[bool], List[Finding]]:
+    """Check that the static may-conflict set covers every dynamic edge.
+
+    ``dynamic_order``/``dynamic_edges`` come from a *separate* run of the
+    same program under a real backend (task ids differ between runs, so
+    everything is normalized to launch-order indices).  Returns
+    ``(verified, findings)``; ``verified`` is None when the two streams
+    diverge (value-dependent control flow) and the comparison is
+    meaningless.
+    """
+    findings: List[Finding] = []
+    if len(dynamic_order) != len(plan):
+        findings.append(
+            Finding(
+                "PLAN-INTERFERE-STREAM",
+                "info",
+                f"capture run launched {len(plan)} tasks but the dynamic run "
+                f"launched {len(dynamic_order)} — value-dependent control "
+                "flow; superset check skipped",
+            )
+        )
+        return None, findings
+    if dynamic_names is not None:
+        plan_names = plan.names()
+        for k, (a, b) in enumerate(zip(plan_names, dynamic_names)):
+            if a != b:
+                findings.append(
+                    Finding(
+                        "PLAN-INTERFERE-STREAM",
+                        "info",
+                        f"task streams diverge at launch index {k}: capture "
+                        f"ran {a!r}, dynamic ran {b!r}; superset check skipped",
+                    )
+                )
+                return None, findings
+    static_edges = static_interference_edges(plan)
+    dyn_index = {tid: k for k, tid in enumerate(dynamic_order)}
+    ok = True
+    for src, dst in dynamic_edges:
+        i, j = dyn_index.get(src), dyn_index.get(dst)
+        if i is None or j is None:
+            continue  # edge into a pre-attach task: outside the stream
+        pair = (i, j) if i < j else (j, i)
+        if pair not in static_edges:
+            ok = False
+            a, b = plan.tasks[plan.order[pair[0]]], plan.tasks[plan.order[pair[1]]]
+            findings.append(
+                Finding(
+                    "PLAN-INTERFERE-MISSING",
+                    "error",
+                    f"dynamic dependence edge {a.name}#{pair[0]} → "
+                    f"{b.name}#{pair[1]} is absent from the static "
+                    "may-conflict set — the static analysis is unsound "
+                    "(or the engine invented an edge)",
+                )
+            )
+    return ok, findings
+
+
+# ----------------------------------------------------------------------
+# Co-partition compatibility (§3.1)
+# ----------------------------------------------------------------------
+
+
+def check_copartitions(planner: "Planner") -> List[Finding]:
+    """§3.1 compatibility of every operator's derived K/D/R partitions.
+
+    For each operator component (system and preconditioner), with kernel
+    partition ``KP``, domain partition ``DP``, range partition ``RP``
+    derived from the output canonical partition ``P``:
+
+    * ``KP`` jointly covers every stored entry that maps to some row
+      (padded formats may store row-less points);
+    * for each piece ``c``, ``col_{K→D}(KP[c]) ⊆ DP[c]`` — the domain
+      piece holds every column its matrix piece reads;
+    * for each piece ``c``, ``row_{K→R}(KP[c]) ⊆ RP[c] ⊆ P[c]`` — the
+      range piece is exactly where the output lands, inside the output's
+      canonical piece.
+    """
+    findings: List[Finding] = []
+    planner._freeze()
+    groups = [("A", planner.system), ("P", planner.preconditioner)]
+    for label, system in groups:
+        for ell, op in enumerate(system):
+            m = op.matrix
+            kp, dp, rp = op.kernel_partition, op.domain_partition, op.range_partition
+            out_part = op.rhs_component.partition
+            tag = f"{label}[{ell}] ({type(m).__name__})"
+
+            covered = (
+                np.unique(np.concatenate([p.indices for p in kp.pieces]))
+                if kp.pieces
+                else np.empty(0, dtype=np.int64)
+            )
+            meaningful = np.unique(
+                m.row_relation.preimage_indices(
+                    np.arange(m.range_space.volume, dtype=np.int64)
+                )
+            )
+            missing = np.setdiff1d(meaningful, covered, assume_unique=True)
+            if missing.size:
+                findings.append(
+                    Finding(
+                        "PLAN-COPART-KERNEL",
+                        "error",
+                        f"{tag}: kernel partition misses {missing.size} stored "
+                        f"entries, e.g. {missing[:6].tolist()}",
+                    )
+                )
+
+            col_rel, row_rel = m.col_relation, m.row_relation
+            for c in range(min(len(kp.pieces), len(dp.pieces), len(rp.pieces))):
+                kpiece = kp.pieces[c]
+                needed_cols = np.unique(col_rel.image_indices(kpiece.indices))
+                gap = np.setdiff1d(needed_cols, dp.pieces[c].indices, assume_unique=True)
+                if gap.size:
+                    findings.append(
+                        Finding(
+                            "PLAN-COPART-DOMAIN",
+                            "error",
+                            f"{tag}: domain piece {c} misses columns its matrix "
+                            f"piece reads: {gap[:6].tolist()}",
+                        )
+                    )
+                out_rows = np.unique(row_rel.image_indices(kpiece.indices))
+                gap = np.setdiff1d(out_rows, rp.pieces[c].indices, assume_unique=True)
+                if gap.size:
+                    findings.append(
+                        Finding(
+                            "PLAN-COPART-RANGE",
+                            "error",
+                            f"{tag}: range piece {c} misses rows its matrix "
+                            f"piece writes: {gap[:6].tolist()}",
+                        )
+                    )
+                if c < out_part.n_colors:
+                    escape = np.setdiff1d(
+                        rp.pieces[c].indices, out_part[c].indices, assume_unique=True
+                    )
+                    if escape.size:
+                        findings.append(
+                            Finding(
+                                "PLAN-COPART-ALIGN",
+                                "error",
+                                f"{tag}: range piece {c} escapes the output's "
+                                f"canonical piece: rows {escape[:6].tolist()}",
+                            )
+                        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Dead-task / redundant-fill report
+# ----------------------------------------------------------------------
+
+
+def check_dead_code(plan: PlanGraph) -> List[Finding]:
+    """Writes that are fully overwritten before any read, and read-only
+    tasks whose future nobody consumes.
+
+    Host-side reads (``planner.get_array`` after a sync, convergence
+    checks on scalar values) are invisible to the plan, so everything
+    here is warning/info severity — a report, not a verdict.
+    """
+    findings: List[Finding] = []
+    by_field: Dict[Tuple[int, str, str], List[Tuple[PlanTask, Privilege, Subset]]] = {}
+    for task in plan:
+        for req in task.requirements:
+            for fname in req.fields:
+                by_field.setdefault((req.region.uid, fname, req.region.name), []).append(
+                    (task, req.privilege, req.subset)
+                )
+
+    for (_uid, fname, rname), accesses in sorted(by_field.items()):
+        for k, (task, priv, sub) in enumerate(accesses):
+            if not priv.is_write:
+                continue
+            remaining = sub
+            dead = False
+            for later_task, later_priv, later_sub in accesses[k + 1 :]:
+                if later_task.task_id == task.task_id:
+                    continue
+                if later_priv in _READS:
+                    if _overlap(remaining, later_sub).size:
+                        break  # observed: live
+                if later_priv is Privilege.WRITE_DISCARD:
+                    remaining = remaining.difference(later_sub)
+                    if remaining.is_empty:
+                        dead = True
+                        break
+            if dead:
+                code = "PLAN-DEAD-FILL" if task.name == "fill" else "PLAN-DEAD-WRITE"
+                what = "redundant fill" if code == "PLAN-DEAD-FILL" else "dead write"
+                findings.append(
+                    Finding(
+                        code,
+                        "warning",
+                        f"{task.name}#{task.index}: {what} of {rname}.{fname} — "
+                        "every element is overwritten before any task reads it",
+                        task.task_id,
+                    )
+                )
+
+    consumed: Set[int] = set()
+    for task in plan:
+        consumed.update(task.future_dep_uids)
+    for task in plan:
+        if not task.requirements:
+            continue
+        if any(req.privilege is not Privilege.READ_ONLY for req in task.requirements):
+            continue
+        if task.future_uid is not None and task.future_uid not in consumed:
+            findings.append(
+                Finding(
+                    "PLAN-DEAD-TASK",
+                    "info",
+                    f"{task.name}#{task.index}: reads only, and no captured "
+                    "task consumes its future (host-side reads are invisible "
+                    "to the plan)",
+                    task.task_id,
+                )
+            )
+    return findings

@@ -1,0 +1,245 @@
+"""``repro analyze``: run the static checkers on a shipped program.
+
+:func:`analyze_program` builds one solver program (a seeded problem in a
+chosen storage format, or the Figure 8 stencil CG program), runs it
+**twice**:
+
+1. under ``Runtime(backend="capture")`` — no task body executes; the
+   stream is recorded into a :class:`~repro.analyze.plan.PlanGraph` and
+   every static checker runs over it;
+2. (unless disabled) under the real ``serial`` backend with a
+   :class:`~repro.verify.race.RaceDetector` attached — the dynamic
+   dependence edges are normalized to launch order and verified to be a
+   **subset** of the static may-conflict set (the soundness oracle), and
+   any happens-before race is reported as an error finding.
+
+Value-dependent solvers can legitimately diverge between a symbolic run
+(all scalars are 1.0) and a real run; when the two task streams differ
+the cross-validation is skipped with an info finding rather than
+reporting nonsense.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..api import make_planner
+from ..core.planner import Planner
+from ..core.solvers import SOLVER_REGISTRY
+from ..runtime.runtime import Runtime
+from ..verify.oracle import ADJOINT_SOLVERS, ORACLE_FORMATS, build_format, seeded_problem
+from ..verify.race import attach_race_detector
+from .checkers import (
+    Finding,
+    check_copartitions,
+    check_dead_code,
+    check_privileges,
+    static_interference_edges,
+    verify_interference_superset,
+)
+from .plan import PlanGraph, attach_plan_capture
+
+__all__ = ["AnalyzeReport", "ANALYZE_PROGRAMS", "analyze_program", "build_program"]
+
+#: Program names accepted by ``repro analyze`` beyond plain solver names.
+ANALYZE_PROGRAMS = ("fig8-cg",)
+
+
+def build_program(
+    program: str,
+    fmt: str = "csr",
+    size: int = 24,
+    pieces: int = 3,
+    seed: int = 0,
+    iterations: int = 2,
+) -> Callable[[Runtime], Planner]:
+    """A reproducible solver program: ``run(runtime) -> planner``.
+
+    ``program`` is a solver name from ``SOLVER_REGISTRY`` (seeded SPD
+    tridiagonal problem instantiated in storage format ``fmt``) or
+    ``"fig8-cg"`` (the Figure 8 2d5-stencil CG benchmark program).
+    """
+    if program == "fig8-cg":
+        from ..problems import grid_shape_for, laplacian_scipy
+
+        shape = grid_shape_for("2d5", size)
+        A = laplacian_scipy("2d5", shape)
+        solver = "cg"
+    elif program in SOLVER_REGISTRY:
+        if fmt not in ORACLE_FORMATS:
+            raise KeyError(f"unknown format {fmt!r}; known: {ORACLE_FORMATS}")
+        if fmt == "matfree" and program in ADJOINT_SOLVERS:
+            raise ValueError(f"{program} needs the adjoint; matfree has none")
+        A = seeded_problem(seed, size=size).matrix
+        solver = program
+    else:
+        raise KeyError(
+            f"unknown program {program!r}; known: "
+            f"{sorted(SOLVER_REGISTRY) + list(ANALYZE_PROGRAMS)}"
+        )
+    rng = np.random.default_rng(seed)
+    b = rng.random(A.shape[0])
+
+    def run(runtime: Runtime) -> Planner:
+        matrix = A if program == "fig8-cg" else build_format(fmt, A)
+        planner = make_planner(
+            matrix,
+            b,
+            n_pieces=pieces,
+            runtime=runtime,
+            preconditioner="jacobi" if solver == "pcg" else None,
+        )
+        ksm = SOLVER_REGISTRY[solver](planner)
+        ksm.run_fixed(iterations)
+        return planner
+
+    return run
+
+
+@dataclass
+class AnalyzeReport:
+    """Outcome of one :func:`analyze_program` run."""
+
+    program: str
+    fmt: str
+    size: int
+    pieces: int
+    iterations: int
+    n_tasks: int = 0
+    n_engine_edges: int = 0
+    n_static_edges: int = 0
+    n_dynamic_edges: int = 0
+    #: True/False from the superset oracle; None when skipped/divergent.
+    superset_verified: Optional[bool] = None
+    findings: List[Finding] = field(default_factory=list)
+    task_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and self.superset_verified is not False
+
+    def summary(self, verbose: bool = False) -> str:
+        head = self.program if self.program == "fig8-cg" else f"{self.program}/{self.fmt}"
+        lines = [
+            f"repro analyze {head}: size={self.size} pieces={self.pieces} "
+            f"iterations={self.iterations}",
+            f"  captured {self.n_tasks} tasks, {self.n_engine_edges} engine "
+            f"edges; {self.n_static_edges} static may-conflict edges",
+        ]
+        if self.superset_verified is None:
+            lines.append("  superset oracle: skipped")
+        else:
+            verdict = "VERIFIED" if self.superset_verified else "FAILED"
+            lines.append(
+                f"  superset oracle: {verdict} — {self.n_dynamic_edges} dynamic "
+                "edges all covered statically"
+                if self.superset_verified
+                else f"  superset oracle: {verdict}"
+            )
+        by_sev: Dict[str, int] = {}
+        for f in self.findings:
+            by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
+        counts = ", ".join(f"{by_sev.get(s, 0)} {s}(s)" for s in ("error", "warning", "info"))
+        lines.append(f"  findings: {counts}")
+        shown = self.findings if verbose else self.errors
+        for f in shown:
+            lines.append(f"    {f.describe()}")
+        if verbose and self.task_histogram:
+            for name in sorted(self.task_histogram):
+                lines.append(f"    {self.task_histogram[name]:5d} × {name}")
+        lines.append(f"  result: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "program": self.program,
+                "format": self.fmt,
+                "size": self.size,
+                "pieces": self.pieces,
+                "iterations": self.iterations,
+                "n_tasks": self.n_tasks,
+                "n_engine_edges": self.n_engine_edges,
+                "n_static_edges": self.n_static_edges,
+                "n_dynamic_edges": self.n_dynamic_edges,
+                "superset_verified": self.superset_verified,
+                "ok": self.ok,
+                "task_histogram": self.task_histogram,
+                "findings": [
+                    {
+                        "code": f.code,
+                        "severity": f.severity,
+                        "message": f.message,
+                        "task_id": f.task_id,
+                    }
+                    for f in self.findings
+                ],
+            },
+            indent=2,
+        )
+
+
+def analyze_program(
+    program: str = "cg",
+    fmt: str = "csr",
+    size: int = 24,
+    pieces: int = 3,
+    iterations: int = 2,
+    seed: int = 0,
+    dynamic: bool = True,
+) -> AnalyzeReport:
+    """Capture a program symbolically, run every static checker, and
+    (by default) cross-validate against a dynamic run."""
+    report = AnalyzeReport(
+        program=program, fmt=fmt, size=size, pieces=pieces, iterations=iterations
+    )
+    prog = build_program(
+        program, fmt=fmt, size=size, pieces=pieces, seed=seed, iterations=iterations
+    )
+
+    capture_rt = Runtime(backend="capture")
+    cap = attach_plan_capture(capture_rt)
+    planner = prog(capture_rt)
+    plan: PlanGraph = cap.plan
+
+    report.n_tasks = len(plan)
+    report.n_engine_edges = plan.n_edges
+    for t in plan:
+        report.task_histogram[t.name] = report.task_histogram.get(t.name, 0) + 1
+
+    report.findings += check_privileges(plan)
+    report.findings += check_copartitions(planner)
+    report.findings += check_dead_code(plan)
+    static_edges = static_interference_edges(plan)
+    report.n_static_edges = len(static_edges)
+
+    if dynamic:
+        dynamic_rt = Runtime(backend="serial")
+        detector = attach_race_detector(dynamic_rt)
+        prog(dynamic_rt)
+        dyn_order = detector.task_ids()
+        dyn_names = [detector.task_name(tid) for tid in dyn_order]
+        dyn_edges = detector.edges()
+        report.n_dynamic_edges = len(dyn_edges)
+        verified, findings = verify_interference_superset(
+            plan, dyn_order, dyn_edges, dyn_names
+        )
+        report.superset_verified = verified
+        report.findings += findings
+        for race in detector.check():
+            report.findings.append(
+                Finding(
+                    "PLAN-RACE",
+                    "error",
+                    f"dynamic happens-before race: {race.describe()}",
+                )
+            )
+    return report

@@ -1,0 +1,429 @@
+"""``repro lint``: repo-specific AST rules for task-body hygiene.
+
+The task model only stays sound if bodies follow conventions no general
+linter knows about.  Four rules, each encoding one invariant the runtime
+and the deferred backends rely on:
+
+* **REPRO001** — a task body calls a region accessor method
+  (``read``/``write``/``reduce_add``/``scatter_add``) on something not
+  derived from its :class:`~repro.runtime.task.TaskContext` parameter.
+  Such an access bypasses the body's declared requirements, so the
+  dependence analysis (and therefore every backend and the race
+  detector) is blind to it.
+* **REPRO002** — mutation of a region's backing array (the result of
+  ``store.raw(...)``) outside a task body.  Raw mutation is invisible to
+  the engine's epochs; legitimate post-``sync`` mutation sites carry a
+  ``# repro-lint: disable=REPRO002`` pragma.
+* **REPRO003** — a blocking zero-argument ``.get()`` call inside a task
+  body.  Under the ``threads`` backend a body that blocks on a future
+  can deadlock (cycle through a blocking read); futures a body needs
+  must be declared as ``future_deps`` so they are ready before it runs.
+* **REPRO004** — a task body captures mutable enclosing state: a free
+  variable that is an enclosing loop's target, or is rebound after the
+  body's definition.  Bodies run *later* under deferred backends, so
+  late-binding captures silently read the final value, not the value at
+  launch.
+
+Bodies are recognized syntactically: any function named ``body``, any
+function passed to ``TaskLauncher(...)`` by name (second positional or
+``body=``), and lambdas passed the same way.  A trailing
+``# repro-lint: disable[=RULE[,RULE]]`` comment suppresses findings on
+that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["LINT_RULES", "LintViolation", "lint_source", "lint_paths"]
+
+LINT_RULES: Dict[str, str] = {
+    "REPRO001": "task body accesses a region accessor not derived from its TaskContext",
+    "REPRO002": "mutation of a region's backing array outside a task body",
+    "REPRO003": "blocking Future.get() inside a task body",
+    "REPRO004": "task body captures mutable enclosing state",
+}
+
+_ACCESSOR_METHODS = frozenset({"read", "write", "reduce_add", "scatter_add"})
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Z0-9,\s]+))?")
+
+_BodyNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _pragma_codes(source_line: str) -> Optional[Set[str]]:
+    """Codes disabled by a pragma on this line (empty set → all)."""
+    m = _PRAGMA_RE.search(source_line)
+    if m is None:
+        return None
+    if m.group(1) is None:
+        return set()
+    return {c.strip() for c in m.group(1).split(",") if c.strip()}
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript/call chain, if any."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def _contains_raw_call(node: ast.AST) -> bool:
+    """Whether any descendant is a ``...raw(...)`` call."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "raw"
+        ):
+            return True
+    return False
+
+
+def _assigned_names(target: ast.expr) -> Iterable[str]:
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file pass: collects bodies, then applies the four rules."""
+
+    def __init__(self, tree: ast.Module, path: str, source_lines: Sequence[str]):
+        self.tree = tree
+        self.path = path
+        self.lines = source_lines
+        self.violations: List[LintViolation] = []
+        #: names passed to TaskLauncher as the body argument
+        self.body_names: Set[str] = {"body"}
+        #: lambda nodes passed to TaskLauncher directly
+        self.body_lambdas: List[ast.Lambda] = []
+        #: every body node, with its chain of enclosing function defs
+        self.bodies: List[Tuple[_BodyNode, List[_FuncNode]]] = []
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if callee != "TaskLauncher":
+                continue
+            candidates: List[ast.expr] = []
+            if len(node.args) >= 2:
+                candidates.append(node.args[1])
+            candidates += [kw.value for kw in node.keywords if kw.arg == "body"]
+            for cand in candidates:
+                if isinstance(cand, ast.Name):
+                    self.body_names.add(cand.id)
+                elif isinstance(cand, ast.Lambda):
+                    self.body_lambdas.append(cand)
+        self._find_bodies(self.tree, [])
+
+    def _find_bodies(self, node: ast.AST, stack: List[_FuncNode]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name in self.body_names:
+                    self.bodies.append((child, list(stack)))
+                self._find_bodies(child, stack + [child])
+            elif isinstance(child, ast.Lambda):
+                if child in self.body_lambdas:
+                    self.bodies.append((child, list(stack)))
+                self._find_bodies(child, stack)
+            else:
+                self._find_bodies(child, stack)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            disabled = _pragma_codes(self.lines[line - 1])
+            if disabled is not None and (not disabled or rule in disabled):
+                return
+        self.violations.append(LintViolation(rule, self.path, line, message))
+
+    # -- rules -------------------------------------------------------------
+
+    def run(self) -> List[LintViolation]:
+        self.collect()
+        for body, stack in self.bodies:
+            self._check_body_accessors(body)      # REPRO001
+            self._check_body_blocking_get(body)   # REPRO003
+            self._check_body_captures(body, stack)  # REPRO004
+        self._check_raw_mutation()                # REPRO002
+        self.violations.sort(key=lambda v: (v.line, v.rule))
+        return self.violations
+
+    @staticmethod
+    def _body_statements(body: _BodyNode) -> List[ast.stmt]:
+        if isinstance(body, ast.Lambda):
+            return [ast.Expr(body.body)]
+        return body.body
+
+    @staticmethod
+    def _params(body: _BodyNode) -> List[str]:
+        a = body.args
+        names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+    def _check_body_accessors(self, body: _BodyNode) -> None:
+        """REPRO001: accessor methods must chain back to the ctx param
+        (or a local alias of something ctx-rooted)."""
+        params = self._params(body)
+        if not params:
+            return  # no context parameter at all; nothing to root against
+        derived: Set[str] = set(params)
+        statements = self._body_statements(body)
+
+        def note_assignments(stmt: ast.stmt) -> None:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.expr):
+                    root = _root_name(sub.value)
+                    ok = root is not None and root in derived
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            if ok:
+                                derived.add(tgt.id)
+                            else:
+                                derived.discard(tgt.id)
+
+        for stmt in statements:
+            note_assignments(stmt)
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _ACCESSOR_METHODS:
+                    continue
+                root = _root_name(func.value)
+                if root is None or root not in derived:
+                    self._report(
+                        "REPRO001",
+                        sub,
+                        f"accessor `.{func.attr}()` on "
+                        f"`{ast.unparse(func.value)}` is not derived from the "
+                        "task context — the access bypasses the body's "
+                        "declared region requirements",
+                    )
+
+    def _check_body_blocking_get(self, body: _BodyNode) -> None:
+        """REPRO003: zero-argument ``.get()`` inside a body (the Future
+        signature; dict-style ``get(key[, default])`` carries arguments)."""
+        for stmt in self._body_statements(body):
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "get"
+                    and not sub.args
+                    and not sub.keywords
+                ):
+                    self._report(
+                        "REPRO003",
+                        sub,
+                        "blocking `.get()` inside a task body — deadlock risk "
+                        "under deferred backends; declare the future in "
+                        "`future_deps` instead",
+                    )
+
+    def _check_body_captures(self, body: _BodyNode, stack: List[_FuncNode]) -> None:
+        """REPRO004: free variables bound by an enclosing *loop*, or
+        rebound after the body's definition, are late-binding hazards."""
+        if not stack:
+            return  # module-level body: module globals are out of scope here
+        local: Set[str] = set(self._params(body))
+        loads: List[ast.Name] = []
+        for stmt in self._body_statements(body):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name):
+                    if isinstance(sub.ctx, ast.Load):
+                        loads.append(sub)
+                    else:
+                        local.add(sub.id)
+                elif isinstance(sub, ast.comprehension):
+                    local.update(_assigned_names(sub.target))
+        body_line = getattr(body, "lineno", 0)
+        reported: Set[str] = set()
+        for load in loads:
+            name = load.id
+            if name in local or name in reported:
+                continue
+            binder = self._innermost_binder(name, stack)
+            if binder is None:
+                continue  # module global / builtin: stable enough
+            kind = self._binding_hazard(name, binder, body, body_line)
+            if kind is not None:
+                reported.add(name)
+                self._report(
+                    "REPRO004",
+                    load,
+                    f"body captures `{name}`, {kind} — under deferred "
+                    "backends the body sees the *final* value, not the value "
+                    "at launch; pass it via `kwargs` or a default argument",
+                )
+
+    @staticmethod
+    def _innermost_binder(name: str, stack: List[_FuncNode]) -> Optional[_FuncNode]:
+        for func in reversed(stack):
+            a = func.args
+            params = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+            if a.vararg:
+                params.add(a.vararg.arg)
+            if a.kwarg:
+                params.add(a.kwarg.arg)
+            if name in params:
+                return func
+            for sub in ast.walk(func):
+                if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for tgt in targets:
+                        if name in _assigned_names(tgt):
+                            return func
+                elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                    if name in _assigned_names(sub.target):
+                        return func
+                elif isinstance(sub, ast.With):
+                    for item in sub.items:
+                        if item.optional_vars is not None and name in _assigned_names(
+                            item.optional_vars
+                        ):
+                            return func
+        return None
+
+    @staticmethod
+    def _binding_hazard(
+        name: str, binder: _FuncNode, body: _BodyNode, body_line: int
+    ) -> Optional[str]:
+        """Why capturing ``name`` from ``binder`` is hazardous, or None.
+
+        Parameters are assigned once, before any body definition — safe.
+        Loop targets of a loop *containing* the body definition change
+        every iteration — hazardous.  Plain assignments are hazardous
+        only when one occurs after the body's definition line.
+        """
+        body_node = body
+
+        def contains(node: ast.AST) -> bool:
+            return any(sub is body_node for sub in ast.walk(node))
+
+        for sub in ast.walk(binder):
+            if isinstance(sub, (ast.For, ast.AsyncFor)):
+                if name in _assigned_names(sub.target) and contains(sub):
+                    return "the target of an enclosing loop"
+        for sub in ast.walk(binder):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                if any(name in _assigned_names(t) for t in targets):
+                    if getattr(sub, "lineno", 0) > body_line and not contains(sub):
+                        return "rebound after the body's definition"
+        return None
+
+    def _check_raw_mutation(self) -> None:
+        """REPRO002: subscript assignment through ``.raw(...)`` outside
+        any task body."""
+        inside: Set[int] = set()
+        for b, _ in self.bodies:
+            for sub in ast.walk(b):
+                inside.add(id(sub))
+        for node in ast.walk(self.tree):
+            if id(node) in inside:
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                if isinstance(tgt, ast.Subscript) and _contains_raw_call(tgt.value):
+                    self._report(
+                        "REPRO002",
+                        node,
+                        "assignment into a region's backing array "
+                        "(`...raw(...)[...] = ...`) outside a task body — "
+                        "invisible to the dependence analysis; launch a task "
+                        "or add `# repro-lint: disable=REPRO002` after a sync",
+                    )
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Optional[Iterable[str]] = None
+) -> List[LintViolation]:
+    """Lint one source string; ``select`` restricts to specific rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                "REPRO000", path, exc.lineno or 0, f"syntax error: {exc.msg}"
+            )
+        ]
+    linter = _Linter(tree, path, source.splitlines())
+    violations = linter.run()
+    if select is not None:
+        wanted = set(select)
+        violations = [v for v in violations if v.rule in wanted]
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> List[LintViolation]:
+    """Lint files and directories (recursing into ``*.py``)."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                files += [
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                ]
+        else:
+            files.append(path)
+    violations: List[LintViolation] = []
+    for fname in files:
+        with open(fname, "r", encoding="utf-8") as fh:
+            violations += lint_source(fh.read(), path=fname, select=select)
+    return violations

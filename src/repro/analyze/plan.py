@@ -1,0 +1,198 @@
+"""The PlanGraph IR: a symbolic record of one program's task stream.
+
+Running a solver program under ``Runtime(backend="capture")`` produces
+the complete task stream — task names, region requirements with
+privileges and reduction operators, index-launch points, future
+producer/consumer relationships, fences — without executing a single
+task body (futures resolve to
+:class:`~repro.runtime.executor.SymbolicValue`).  :class:`PlanCapture`
+is the :class:`~repro.runtime.engine.EngineObserver` that records that
+stream into a :class:`PlanGraph`, the IR every static checker in
+:mod:`repro.analyze.checkers` consumes.
+
+The graph deliberately records two *independent* descriptions of each
+task's ordering constraints:
+
+* the raw material a static analyzer may use — region requirements and
+  future uids — from which may-conflict edges are *derived*; and
+* the dependence edges the engine actually produced (``engine_deps``),
+  which the soundness oracle compares against (the derived static edge
+  set must be a superset; see ``checkers.verify_interference_superset``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..runtime.engine import EngineObserver
+from ..runtime.machine import Machine
+from ..runtime.mapper import Mapper
+from ..runtime.runtime import Runtime
+from ..runtime.task import RegionRequirement, TaskRecord
+
+__all__ = ["PlanTask", "PlanGraph", "PlanCapture", "attach_plan_capture", "capture_plan"]
+
+
+@dataclass(frozen=True)
+class PlanTask:
+    """One captured task launch."""
+
+    task_id: int
+    #: Position in launch order (the stable cross-run identity: task ids
+    #: come from a global counter, launch indices are per-program).
+    index: int
+    name: str
+    point: Optional[int]
+    device_id: int
+    requirements: Tuple[RegionRequirement, ...]
+    #: Dependence edges the engine derived (predecessor task ids) —
+    #: recorded for cross-validation, never used to *derive* static edges.
+    engine_deps: FrozenSet[int]
+    future_dep_uids: Tuple[int, ...]
+    future_uid: Optional[int]
+    fence_epoch: int
+
+    def describe(self) -> str:
+        reqs = ", ".join(
+            f"{r.region.name}.{'/'.join(r.fields)}:{r.privilege.name}"
+            + (f"[{r.redop}]" if r.privilege.name == "REDUCE" else "")
+            for r in self.requirements
+        )
+        return f"#{self.index} task {self.task_id} ({self.name}) [{reqs}]"
+
+
+class PlanGraph:
+    """The captured task stream of one program run."""
+
+    def __init__(self) -> None:
+        self.tasks: Dict[int, PlanTask] = {}
+        #: Task ids in launch order.
+        self.order: List[int] = []
+        self.n_fences = 0
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self) -> Iterator[PlanTask]:
+        return (self.tasks[tid] for tid in self.order)
+
+    def task(self, task_id: int) -> PlanTask:
+        return self.tasks[task_id]
+
+    def task_ids(self, name: Optional[str] = None) -> List[int]:
+        """Captured task ids in launch order, optionally by name."""
+        return [
+            tid for tid in self.order if name is None or self.tasks[tid].name == name
+        ]
+
+    def names(self) -> List[str]:
+        """Task names in launch order (the stream signature used to match
+        a capture run against a dynamic run of the same program)."""
+        return [self.tasks[tid].name for tid in self.order]
+
+    def index_of(self, task_id: int) -> int:
+        return self.tasks[task_id].index
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(t.engine_deps) for t in self.tasks.values())
+
+    def engine_edges(self) -> List[Tuple[int, int]]:
+        """The engine-derived ``(src, dst)`` dependence edges, as task ids."""
+        return [
+            (src, t.task_id)
+            for t in self.tasks.values()
+            for src in sorted(t.engine_deps)
+        ]
+
+    def future_producer_of(self, future_uid: int) -> Optional[int]:
+        """Task id that produces ``future_uid``, if captured."""
+        return self._producers().get(future_uid)
+
+    def _producers(self) -> Dict[int, int]:
+        return {
+            t.future_uid: t.task_id
+            for t in self.tasks.values()
+            if t.future_uid is not None
+        }
+
+    def future_edges(self) -> List[Tuple[int, int]]:
+        """``(producer, consumer)`` task-id pairs derived purely from
+        future uids — one of the two ingredients of the static edge set."""
+        producers = self._producers()
+        out: List[Tuple[int, int]] = []
+        for t in self:
+            for uid in t.future_dep_uids:
+                src = producers.get(uid)
+                if src is not None and src != t.task_id:
+                    out.append((src, t.task_id))
+        return out
+
+    def summary(self) -> str:
+        by_name: Dict[str, int] = {}
+        for t in self:
+            by_name[t.name] = by_name.get(t.name, 0) + 1
+        lines = [
+            f"PlanGraph: {len(self)} tasks, {self.n_edges} engine edges, "
+            f"{self.n_fences} fence(s)"
+        ]
+        for name in sorted(by_name):
+            lines.append(f"  {by_name[name]:5d} × {name}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanCapture(EngineObserver):
+    """Engine observer building a :class:`PlanGraph` from the stream."""
+
+    plan: PlanGraph = field(default_factory=PlanGraph)
+
+    def on_task(
+        self,
+        record: TaskRecord,
+        deps: "set[int]",
+        device_id: int,
+        start: float,
+        finish: float,
+    ) -> None:
+        task = PlanTask(
+            task_id=record.task_id,
+            index=len(self.plan.order),
+            name=record.name,
+            point=record.point,
+            device_id=device_id,
+            requirements=tuple(record.requirements),
+            engine_deps=frozenset(deps),
+            future_dep_uids=tuple(record.future_dep_uids),
+            future_uid=record.future_uid,
+            fence_epoch=self.plan.n_fences,
+        )
+        self.plan.tasks[record.task_id] = task
+        self.plan.order.append(record.task_id)
+
+    def on_barrier(self, time: float) -> None:
+        self.plan.n_fences += 1
+
+
+def attach_plan_capture(runtime: Runtime) -> PlanCapture:
+    """Attach a fresh :class:`PlanCapture` to a runtime's engine.  Works
+    under any backend (the engine stream is backend-independent), but is
+    normally paired with ``backend="capture"`` so no bodies execute."""
+    cap = PlanCapture()
+    runtime.engine.observers.append(cap)
+    return cap
+
+
+def capture_plan(
+    program: Callable[[Runtime], object],
+    machine: Optional[Machine] = None,
+    mapper: Optional[Mapper] = None,
+) -> PlanGraph:
+    """Run ``program(runtime)`` under the capture backend and return the
+    recorded :class:`PlanGraph`.  The program's task bodies never
+    execute."""
+    runtime = Runtime(machine=machine, mapper=mapper, backend="capture")
+    cap = attach_plan_capture(runtime)
+    program(runtime)
+    return cap.plan

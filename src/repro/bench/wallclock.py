@@ -37,7 +37,7 @@ from ..core.planner import SOL
 from ..core.solvers import SOLVER_REGISTRY
 from ..problems.stencil import grid_shape_for, laplacian_scipy
 from ..runtime import Runtime
-from ..runtime.executor import BACKENDS, default_jobs
+from ..runtime.executor import EXECUTING_BACKENDS, default_jobs
 
 __all__ = [
     "SCHEMA",
@@ -136,7 +136,7 @@ def _run_case_once(
 
 def run_wallclock(
     cases: Optional[Sequence[WallclockCase]] = None,
-    backends: Sequence[str] = BACKENDS,
+    backends: Sequence[str] = EXECUTING_BACKENDS,
     repeats: int = 3,
     warmup: int = 1,
     jobs: Optional[int] = None,
@@ -154,8 +154,10 @@ def run_wallclock(
     if cases is None:
         cases = SMOKE_CASES
     for backend in backends:
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+        if backend not in EXECUTING_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {EXECUTING_BACKENDS}"
+            )
     report_cases: List[Dict] = []
     for case in cases:
         shape = grid_shape_for(case.stencil, case.n_unknowns)

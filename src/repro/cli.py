@@ -15,6 +15,9 @@ Usage::
                           [--min-speedup 1.5] [--update-baseline]
     python -m repro verify [--formats all] [--solvers all] [--seeds 0 1 2]
                            [--pieces 1 3] [--size 16] [--races] [--verbose]
+    python -m repro analyze [cg|gmres|...|fig8-cg] [--format csr] [--size 24]
+                            [--pieces 3] [--iterations 2] [--json FILE]
+    python -m repro lint src/ examples/ [--select REPRO001 REPRO003]
 
 Each ``figN`` subcommand prints the regenerated table/series (the same
 reports the benchmark suite writes to ``benchmarks/results/``).
@@ -138,6 +141,41 @@ def _build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--verbose", action="store_true",
                     help="print every case, not just failures")
     pv.add_argument("--out", default=None)
+
+    pa = sub.add_parser(
+        "analyze",
+        help="static plan analysis: capture the task graph symbolically and "
+             "run privilege/interference/co-partition/dead-code checkers",
+    )
+    pa.add_argument("program", nargs="?", default="cg",
+                    help='solver name (cg, gmres, ...) or a named program '
+                         'like "fig8-cg" (default: cg)')
+    pa.add_argument("--format", dest="fmt", default="csr",
+                    help="storage format for solver programs (default: csr)")
+    pa.add_argument("--size", type=int, default=24,
+                    help="problem size in unknowns (default: 24)")
+    pa.add_argument("--pieces", type=int, default=3,
+                    help="partition piece count (default: 3)")
+    pa.add_argument("--iterations", type=int, default=2,
+                    help="solver iterations to capture (default: 2)")
+    pa.add_argument("--seed", type=int, default=0)
+    pa.add_argument("--no-dynamic", action="store_true",
+                    help="skip the dynamic cross-validation run (no race "
+                         "detector, no superset check)")
+    pa.add_argument("--json", dest="json_out", default=None,
+                    help="also write the report as JSON to this path")
+    pa.add_argument("--verbose", action="store_true",
+                    help="print every finding and the task histogram")
+
+    pl = sub.add_parser(
+        "lint",
+        help="repro-specific AST lint (rules REPRO001-REPRO004) over "
+             "Python sources",
+    )
+    pl.add_argument("paths", nargs="+", help="files or directories to lint")
+    pl.add_argument("--select", nargs="+", default=None,
+                    choices=("REPRO001", "REPRO002", "REPRO003", "REPRO004"),
+                    help="restrict to these rules (default: all)")
     return parser
 
 
@@ -319,6 +357,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         _emit(report.summary(verbose=args.verbose), args.out)
         return 0 if report.ok else 1
+
+    if args.command == "analyze":
+        from .analyze import analyze_program
+
+        try:
+            report = analyze_program(
+                program=args.program,
+                fmt=args.fmt,
+                size=args.size,
+                pieces=args.pieces,
+                iterations=args.iterations,
+                seed=args.seed,
+                dynamic=not args.no_dynamic,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"analyze: {exc}")
+            return 2
+        print(report.summary(verbose=args.verbose))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"[report written to {args.json_out}]")
+        return 0 if report.ok else 1
+
+    if args.command == "lint":
+        from .analyze import lint_paths
+
+        try:
+            violations = lint_paths(args.paths, select=args.select)
+        except OSError as exc:
+            print(f"lint: {exc}")
+            return 2
+        for v in violations:
+            print(v.describe())
+        n = len(violations)
+        print(f"repro lint: {n} violation{'s' if n != 1 else ''}")
+        return 1 if violations else 0
 
     return 2  # pragma: no cover
 

@@ -71,6 +71,12 @@ class Planner:
         if proc_kind is None:
             proc_kind = ProcKind.GPU if runtime.machine.gpus else ProcKind.CPU
         self.proc_kind = proc_kind
+        #: True under ``backend="capture"``: task bodies never run, every
+        #: future resolves to a symbolic value, and region data is never
+        #: materialized.  Solvers bound their iteration counts and skip
+        #: value-dependent early exits when this is set (static analysis
+        #: wants the *generic* plan, not one shaped by real numerics).
+        self.symbolic = getattr(runtime, "backend", "serial") == "capture"
         self._sol_components: List[VectorComponent] = []
         self._rhs_components: List[VectorComponent] = []
         self.system = MultiOperatorSystem()
@@ -260,12 +266,22 @@ class Planner:
     def get_array(self, vec_id: int) -> np.ndarray:
         """Concatenated copy of a vector's values (inspection only).
         Drains any deferred task execution first."""
+        self._check_materialized("get_array")
         self.runtime.sync()
         return self.vector(vec_id).to_array(self.runtime.store)
 
     def set_array(self, vec_id: int, values: np.ndarray) -> None:
+        self._check_materialized("set_array")
         self.runtime.sync()
         self.vector(vec_id).set_array(self.runtime.store, values)
+
+    def _check_materialized(self, op: str) -> None:
+        if self.symbolic:
+            raise RuntimeError(
+                f"{op} needs materialized region data, but this planner runs "
+                "under the symbolic 'capture' backend where task bodies never "
+                "execute; rerun under backend='serial' or 'threads'"
+            )
 
     @property
     def n_pieces(self) -> int:

@@ -26,7 +26,15 @@ import numpy as np
 
 from ..planner import Planner
 
-__all__ = ["KrylovSolver", "SolveResult"]
+__all__ = ["KrylovSolver", "SolveResult", "SYMBOLIC_ITERATION_BOUND"]
+
+#: Iteration cap applied by :meth:`KrylovSolver.solve` when the planner
+#: is symbolic (``backend="capture"``): under symbolic capture every
+#: scalar is the constant 1.0, so convergence can never trigger and an
+#: unbounded drive loop would record forever.  A small bound captures
+#: the steady-state iteration structure (iteration 1 records the trace,
+#: 2+ replay it).
+SYMBOLIC_ITERATION_BOUND = 3
 
 
 @dataclass
@@ -81,6 +89,8 @@ class KrylovSolver(ABC):
     ) -> SolveResult:
         """Repeatedly ``step()`` until the convergence measure drops below
         ``tolerance`` (paper §5)."""
+        if getattr(self.planner, "symbolic", False):
+            max_iterations = min(max_iterations, SYMBOLIC_ITERATION_BOUND)
         runtime = self.planner.runtime
         trace_id = ("solver", id(self))
         history: List[float] = []

@@ -33,8 +33,12 @@ class GMRESSolver(KrylovSolver):
         self.restart = restart
         self.preconditioned = planner.has_preconditioner()
         alloc = planner.allocate_workspace_vector
-        # Krylov basis V₀..V_m plus a work vector.
-        self.V = [alloc() for _ in range(restart + 1)]
+        # Krylov basis V₀..V_{m−1} plus a work vector.  The classical
+        # v_m is only ever produced, never consumed — MGS orthogonalizes
+        # against V₀..V_{m−1} and the restart overwrites W — so it is
+        # neither stored nor normalized (the static plan analyzer flags
+        # the normalization as a dead write otherwise).
+        self.V = [alloc() for _ in range(restart)]
         self.W = alloc()
         if self.preconditioned:
             self.Z = alloc()
@@ -79,8 +83,9 @@ class GMRESSolver(KrylovSolver):
             if h_next.value <= 1e-300:
                 n_cols = j + 1
                 break
-            planner.copy(self.V[j + 1], self.W)
-            planner.scal(self.V[j + 1], 1.0 / h_next)
+            if j + 1 < m:
+                planner.copy(self.V[j + 1], self.W)
+                planner.scal(self.V[j + 1], 1.0 / h_next)
 
         # Small local least squares: min ‖β e₁ − H y‖.
         g = np.zeros(n_cols + 1)

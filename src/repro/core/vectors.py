@@ -110,7 +110,9 @@ class MultiVector:
             raise ValueError("value length must match the total volume")
         pos = 0
         for c in self.components:
-            store.raw(c.region, VALUE_FIELD)[:] = values[pos : pos + c.volume]
+            # Callers (Planner.set_array) sync the runtime first, so the
+            # raw write cannot race in-flight tasks.
+            store.raw(c.region, VALUE_FIELD)[:] = values[pos : pos + c.volume]  # repro-lint: disable=REPRO002
             pos += c.volume
 
     def like(self, runtime: Runtime) -> "MultiVector":

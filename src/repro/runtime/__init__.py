@@ -31,9 +31,12 @@ from .deppart import (
 from .engine import Engine, EngineObserver, TimelineEntry
 from .executor import (
     BACKENDS,
+    CaptureExecutor,
     DeadlockError,
+    EXECUTING_BACKENDS,
     ExecutorError,
     SerialExecutor,
+    SymbolicValue,
     TaskExecutor,
     ThreadedExecutor,
     make_executor,
@@ -59,6 +62,8 @@ from .task import IndexLauncher, RegionRequirement, TaskContext, TaskLauncher, T
 
 __all__ = [
     "BACKENDS",
+    "EXECUTING_BACKENDS",
+    "CaptureExecutor",
     "ComputedRelation",
     "DeadlockError",
     "Device",
@@ -90,6 +95,7 @@ __all__ = [
     "SerialExecutor",
     "ShardedMapper",
     "Subset",
+    "SymbolicValue",
     "TableMapper",
     "TaskContext",
     "TaskExecutor",

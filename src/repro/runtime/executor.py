@@ -7,11 +7,16 @@ the dependence edges the engine's region-interference analysis derived
 for the corresponding :class:`~repro.runtime.task.TaskRecord`, and an
 executor decides when the thunk actually runs.
 
-Two backends implement the same interface:
+Three backends implement the same interface:
 
 * :class:`SerialExecutor` — runs each thunk immediately at submit time,
   reproducing the historical eager behaviour exactly (and with zero
   overhead: no locks, no queues).
+* :class:`CaptureExecutor` — never runs any thunk.  Every submitted
+  task completes immediately with a :class:`SymbolicValue`, so the full
+  task stream (records, requirements, engine dependences) is produced
+  without executing a single task body — the substrate of the static
+  plan analyzer (``repro.analyze``).
 * :class:`ThreadedExecutor` — schedules ready tasks onto a thread pool.
   NumPy kernels release the GIL, so point tasks from one index launch
   over a disjoint partition run genuinely concurrently.  Dependences
@@ -38,15 +43,21 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from .task import TaskRecord
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .subset import Subset
+
 __all__ = [
     "BACKENDS",
+    "CaptureExecutor",
+    "EXECUTING_BACKENDS",
     "DeadlockError",
     "ExecutorError",
     "SerialExecutor",
+    "SymbolicValue",
     "TaskExecutor",
     "ThreadedExecutor",
     "default_backend",
@@ -55,7 +66,12 @@ __all__ = [
 ]
 
 #: Names accepted by the ``backend=`` switch.
-BACKENDS = ("serial", "threads")
+BACKENDS = ("serial", "threads", "capture")
+
+#: Backends that actually execute task bodies and materialize region
+#: data ("capture" records the plan without running anything, so it is
+#: meaningless to benchmark or compare numerics on).
+EXECUTING_BACKENDS = ("serial", "threads")
 
 #: Environment variables overriding the runtime's defaults.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -100,6 +116,8 @@ def make_executor(backend: Optional[str] = None, jobs: Optional[int] = None) -> 
         return SerialExecutor()
     if backend == "threads":
         return ThreadedExecutor(n_workers=jobs)
+    if backend == "capture":
+        return CaptureExecutor()
     raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
 
 
@@ -145,8 +163,79 @@ class SerialExecutor(TaskExecutor):
 
     name = "serial"
 
-    def submit(self, record, thunk, on_done, deps):
+    def submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+        deps: Set[int],
+    ) -> None:
         on_done(thunk())
+
+    def wait_for_future(self, future_uid: int) -> None:
+        pass
+
+    def drain(self) -> None:
+        pass
+
+
+class SymbolicValue:
+    """The value every future resolves to under ``backend="capture"``.
+
+    Task bodies never run during symbolic capture, so no real value
+    exists; this placeholder keeps host-side solver code alive anyway:
+    it coerces to the *finite* constant ``1.0`` (NaN would crash
+    host-side linear algebra such as GMRES's least-squares solve and
+    make convergence tests take the non-generic branch), and arithmetic
+    between symbolic values stays symbolic."""
+
+    __slots__ = ("task_id", "name")
+
+    def __init__(self, task_id: Optional[int] = None, name: str = "") -> None:
+        self.task_id = task_id
+        self.name = name
+
+    def __float__(self) -> float:
+        return 1.0
+
+    def _derived(self, _other: object = None) -> "SymbolicValue":
+        return SymbolicValue(self.task_id, f"{self.name}'" if self.name else "")
+
+    __add__ = __radd__ = __sub__ = __rsub__ = _derived
+    __mul__ = __rmul__ = __truediv__ = __rtruediv__ = _derived
+
+    def __neg__(self) -> "SymbolicValue":
+        return self._derived()
+
+    def __repr__(self) -> str:
+        tag = self.name or "?"
+        return f"SymbolicValue({tag}#{self.task_id})"
+
+
+class CaptureExecutor(TaskExecutor):
+    """Records instead of runs (the static-analysis backend).
+
+    Every submitted task "completes" at submit time with a
+    :class:`SymbolicValue` — the body thunk is never invoked, so no
+    region data is read or written and no numerics happen.  The engine
+    still simulates every :class:`TaskRecord` in launch order, which is
+    exactly the stream ``repro.analyze`` turns into a ``PlanGraph``."""
+
+    name = "capture"
+
+    def __init__(self) -> None:
+        #: Number of task bodies captured (and skipped).
+        self.n_captured = 0
+
+    def submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+        deps: Set[int],
+    ) -> None:
+        self.n_captured += 1
+        on_done(SymbolicValue(record.task_id, record.name))
 
     def wait_for_future(self, future_uid: int) -> None:
         pass
@@ -165,7 +254,13 @@ class _Node:
 
     __slots__ = ("task_id", "name", "thunk", "on_done", "waiting_on", "dependents", "claimed")
 
-    def __init__(self, task_id: int, name: str, thunk, on_done):
+    def __init__(
+        self,
+        task_id: int,
+        name: str,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+    ):
         self.task_id = task_id
         self.name = name
         self.thunk = thunk
@@ -209,7 +304,7 @@ class ThreadedExecutor(TaskExecutor):
 
     # -- dependence augmentation ------------------------------------------
 
-    def _overlaps(self, a, b) -> bool:
+    def _overlaps(self, a: "Subset", b: "Subset") -> bool:
         if a.uid == b.uid:
             return True
         key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
@@ -240,7 +335,13 @@ class ThreadedExecutor(TaskExecutor):
 
     # -- scheduling --------------------------------------------------------
 
-    def submit(self, record, thunk, on_done, deps):
+    def submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+        deps: Set[int],
+    ) -> None:
         node = _Node(record.task_id, record.name, thunk, on_done)
         with self._lock:
             wanted = set(deps) | self._reduction_edges(record)
@@ -333,19 +434,28 @@ class ThreadedExecutor(TaskExecutor):
                 stack.extend(node.waiting_on)
         return seen
 
-    def _check_stuck_locked(self, task_id: int) -> None:
+    def _task_label_locked(self, task_id: Optional[int]) -> str:
+        """``"{id} ({name})"`` for a pending task, best-effort otherwise."""
+        if task_id is None:
+            return "?"
+        node = self._pending.get(task_id)
+        return f"{task_id} ({node.name})" if node is not None else str(task_id)
+
+    def _check_stuck_locked(self, task_id: int, waiting_for: Optional[str] = None) -> None:
         """Raise :class:`DeadlockError` if ``task_id`` can never complete.
         Called with the lock held, only when the waiter found nothing to
         help with; a closure containing a claimed (executing) task is
-        presumed to be making progress."""
+        presumed to be making progress.  ``waiting_for`` names what the
+        blocked wait is for (e.g. ``"future #12"``) so the error
+        identifies the unsatisfiable wait, not just the stuck tasks."""
         waiter = getattr(_current_task, "task_id", None)
         closure = self._closure_locked(task_id)
+        where = f" while blocking on {waiting_for}" if waiting_for else ""
         if waiter is not None and waiter in closure and waiter != task_id:
-            node = self._pending.get(task_id)
             raise DeadlockError(
-                f"task {waiter} blocks on task {task_id} "
-                f"({node.name if node else '?'}), which transitively depends "
-                f"on task {waiter} itself — dependence cycle through a "
+                f"task {self._task_label_locked(waiter)} blocks on task "
+                f"{self._task_label_locked(task_id)}{where}, which transitively "
+                f"depends on task {waiter} itself — dependence cycle through a "
                 "blocking future read"
             )
         for tid in closure:
@@ -363,12 +473,19 @@ class ThreadedExecutor(TaskExecutor):
                 if d not in self._pending and d not in self._completed
             ]
             if missing:
+                blocked = ", ".join(
+                    self._task_label_locked(t) for t in sorted(closure & set(self._pending))
+                )
                 raise DeadlockError(
                     f"task {tid} ({node.name}) waits on task(s) {sorted(missing)} "
-                    "that were never submitted and can never complete"
+                    f"that were never submitted and can never complete{where}; "
+                    f"blocked tasks: [{blocked}]"
                 )
+        cycle = ", ".join(
+            self._task_label_locked(t) for t in sorted(closure & set(self._pending))
+        )
         raise DeadlockError(
-            f"dependence cycle among pending tasks {sorted(closure & set(self._pending))}; "
+            f"dependence cycle among pending tasks [{cycle}]{where}; "
             "no task in the closure can ever become ready"
         )
 
@@ -380,10 +497,16 @@ class ThreadedExecutor(TaskExecutor):
                 f"a deferred task body raised {type(exc).__name__}: {exc}"
             ) from exc
 
-    def _wait_until(self, done_locked: Callable[[], bool], target: Callable[[], Optional[int]]) -> None:
+    def _wait_until(
+        self,
+        done_locked: Callable[[], bool],
+        target: Callable[[], Optional[int]],
+        waiting_for: Optional[str] = None,
+    ) -> None:
         """Help-run ready tasks until ``done_locked()`` holds; ``target``
         names a pending task id to prefer and deadlock-check against
-        (None → any)."""
+        (None → any); ``waiting_for`` describes the wait for deadlock
+        diagnostics."""
         while True:
             with self._lock:
                 if done_locked():
@@ -395,7 +518,7 @@ class ThreadedExecutor(TaskExecutor):
                     if tid is None and self._pending:
                         tid = next(iter(self._pending))
                     if tid is not None:
-                        self._check_stuck_locked(tid)
+                        self._check_stuck_locked(tid, waiting_for)
                     self._cond.wait(timeout=0.1)
                     continue
             self._execute(node)
@@ -408,15 +531,18 @@ class ThreadedExecutor(TaskExecutor):
         self._wait_until(
             lambda: task_id not in self._pending,
             lambda: task_id if task_id in self._pending else None,
+            waiting_for=f"future #{future_uid} (produced by task {task_id})",
         )
 
     def drain(self) -> None:
-        self._wait_until(lambda: not self._pending, lambda: None)
+        self._wait_until(
+            lambda: not self._pending, lambda: None, waiting_for="drain/fence"
+        )
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
 
-    def __del__(self):  # pragma: no cover - GC safety net
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self._pool.shutdown(wait=False)
         except Exception:

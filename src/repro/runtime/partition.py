@@ -23,7 +23,7 @@ by :mod:`repro.runtime.deppart`.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -150,7 +150,7 @@ class Partition:
     def __getitem__(self, color: int) -> Subset:
         return self.pieces[color]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Subset]:
         return iter(self.pieces)
 
     def __len__(self) -> int:

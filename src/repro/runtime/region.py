@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class FieldSpace:
     def __contains__(self, field: str) -> bool:
         return field in self.fields
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.fields)
 
     def __repr__(self) -> str:

@@ -21,7 +21,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -70,9 +70,12 @@ class Runtime:
         self.store = RegionStore()
         self.engine = Engine(self.machine, self.mapper, keep_timeline=keep_timeline)
         self.enable_tracing = enable_tracing
-        #: Execution backend: "serial" | "threads" (default from
-        #: ``REPRO_BACKEND``, falling back to serial); ``jobs`` caps the
-        #: worker count (default ``REPRO_JOBS`` or the CPU count).
+        #: Execution backend: "serial" | "threads" | "capture" (default
+        #: from ``REPRO_BACKEND``, falling back to serial); ``jobs`` caps
+        #: the worker count (default ``REPRO_JOBS`` or the CPU count).
+        #: Under "capture" task bodies never run — futures resolve to
+        #: :class:`~repro.runtime.executor.SymbolicValue`s and the task
+        #: stream is recordable via ``repro.analyze``.
         self.executor: TaskExecutor = make_executor(backend, jobs)
         self.backend = self.executor.name
         self._deferred = self.backend != "serial"
@@ -191,11 +194,19 @@ class Runtime:
         self._submit(record, lambda: launcher.body(ctx), future, deps)
         return future
 
-    def _submit(self, record: TaskRecord, thunk, future: Future, deps: set) -> None:
+    def _submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        future: Future,
+        deps: Set[int],
+    ) -> None:
         if self._deferred:
             future._waiter = self.executor
 
-        def on_done(value, _future=future, _tid=record.task_id):
+        def on_done(
+            value: object, _future: Future = future, _tid: int = record.task_id
+        ) -> None:
             _future.set(value, producer_id=_tid)
 
         self.executor.submit(record, thunk, on_done, deps)
@@ -232,7 +243,7 @@ class Runtime:
         _, _, deps = self.engine.simulate(record, traced=traced)
         reduction = launcher.reduction
 
-        def thunk():
+        def thunk() -> object:
             # Point futures are dependences of this task, so they are
             # ready by the time a deferred backend runs the thunk.
             return reduction([f.get() for f in futures])

@@ -191,6 +191,10 @@ class RaceDetector(EngineObserver):
             tid for tid in self._order if name is None or self._nodes[tid].name == name
         ]
 
+    def task_name(self, task_id: int) -> str:
+        """Name of a recorded task (KeyError if never recorded)."""
+        return self._nodes[task_id].name
+
     @property
     def n_tasks(self) -> int:
         return len(self._nodes)

@@ -1,0 +1,161 @@
+"""Symbolic capture backend: task bodies never run, futures resolve to
+symbolic values, and the recorded plan matches the dynamic stream."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.core.solvers.base import SYMBOLIC_ITERATION_BOUND
+from repro.analyze import PlanGraph, attach_plan_capture, capture_plan
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.runtime import (
+    CaptureExecutor,
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    Subset,
+    SymbolicValue,
+    TaskLauncher,
+)
+
+
+def launch(rt, name, region, subset, privilege, body=None, deps=()):
+    tl = TaskLauncher(name, body or (lambda ctx: None), proc_kind=ProcKind.CPU,
+                      future_deps=list(deps))
+    tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+class TestSymbolicValue:
+    def test_floats_to_finite_one(self):
+        v = SymbolicValue(7, "dot")
+        assert float(v) == 1.0
+        assert np.isfinite(float(v))
+
+    def test_arithmetic_stays_symbolic(self):
+        v = SymbolicValue(1, "norm")
+        for derived in (v + 2.0, 2.0 + v, v - 1, 1 - v, v * 3, 3 * v,
+                        v / 2, 2 / v, -v):
+            assert isinstance(derived, SymbolicValue)
+
+
+class TestCaptureExecutor:
+    def test_bodies_never_execute(self):
+        rt = Runtime(backend="capture")
+        region = rt.create_region(IndexSpace.linear(16), {"v": np.float64})
+        rt.allocate(region, "v")
+        sub = Subset.full(region.ispace)
+
+        def explode(ctx):
+            raise AssertionError("body must not run under capture")
+
+        launch(rt, "boom", region, sub, Privilege.WRITE_DISCARD, body=explode)
+        rt.sync()  # would re-raise if the body had run
+
+    def test_futures_resolve_symbolically(self):
+        rt = Runtime(backend="capture")
+        region = rt.create_region(IndexSpace.linear(8), {"v": np.float64})
+        rt.allocate(region, "v")
+        f = launch(rt, "dot", region, Subset.full(region.ispace),
+                   Privilege.READ_ONLY, body=lambda ctx: 42.0)
+        value = f.get()
+        assert isinstance(value, SymbolicValue)
+        assert value.name == "dot"
+        assert float(value) == 1.0
+
+    def test_counts_captured_tasks(self):
+        rt = Runtime(backend="capture")
+        assert isinstance(rt.executor, CaptureExecutor)
+        region = rt.create_region(IndexSpace.linear(8), {"v": np.float64})
+        rt.allocate(region, "v")
+        for i in range(5):
+            launch(rt, f"t{i}", region, Subset.full(region.ispace),
+                   Privilege.READ_WRITE)
+        assert rt.executor.n_captured == 5
+
+
+class TestPlanCapture:
+    def test_capture_plan_records_stream(self):
+        def program(rt):
+            region = rt.create_region(IndexSpace.linear(32), {"v": np.float64})
+            rt.allocate(region, "v")
+            part = Partition.equal(region.ispace, 2)
+            f = launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+            rt.fence()
+            launch(rt, "r", region, part[0], Privilege.READ_ONLY, deps=[f])
+
+        plan = capture_plan(program)
+        assert isinstance(plan, PlanGraph)
+        assert len(plan) == 2
+        assert plan.names() == ["w", "r"]
+        assert plan.n_fences == 1
+        w, r = list(plan)
+        assert w.fence_epoch == 0 and r.fence_epoch == 1
+        assert w.requirements[0].privilege is Privilege.WRITE_DISCARD
+        assert (w.task_id, r.task_id) in plan.future_edges()
+
+    def test_capture_matches_dynamic_stream_for_cg(self):
+        A = tridiagonal_toeplitz(16)
+        b = np.ones(16)
+
+        def program(rt):
+            planner = make_planner(A, b, n_pieces=2, runtime=rt)
+            SOLVER_REGISTRY["cg"](planner).run_fixed(2)
+
+        plan = capture_plan(program)
+
+        rt = Runtime()  # serial: bodies actually run
+        cap = attach_plan_capture(rt)
+        program(rt)
+        rt.sync()
+        assert plan.names() == cap.plan.names()
+
+    @pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+    def test_every_stock_solver_captures(self, solver):
+        A = tridiagonal_toeplitz(12)
+        b = np.ones(12)
+
+        def program(rt):
+            planner = make_planner(
+                A, b, n_pieces=2, runtime=rt,
+                preconditioner="jacobi" if solver == "pcg" else None,
+            )
+            SOLVER_REGISTRY[solver](planner).run_fixed(1)
+
+        plan = capture_plan(program)
+        assert len(plan) > 0
+        assert plan.n_edges > 0
+
+
+class TestSymbolicPlannerMode:
+    def make_symbolic_planner(self):
+        rt = Runtime(backend="capture")
+        A = tridiagonal_toeplitz(12)
+        return make_planner(A, np.ones(12), n_pieces=2, runtime=rt)
+
+    def test_planner_flags_symbolic(self):
+        planner = self.make_symbolic_planner()
+        assert planner.symbolic
+        rt = Runtime()
+        A = tridiagonal_toeplitz(12)
+        assert not make_planner(A, np.ones(12), n_pieces=2, runtime=rt).symbolic
+
+    def test_solve_is_bounded_under_symbolic(self):
+        planner = self.make_symbolic_planner()
+        result = SOLVER_REGISTRY["cg"](planner).solve(
+            tolerance=1e-8, max_iterations=1000
+        )
+        # Scalars are the constant 1.0 > tol: without the bound this
+        # would record 1000 iterations.
+        assert result.iterations == SYMBOLIC_ITERATION_BOUND
+        assert not result.converged
+
+    def test_get_array_refuses_symbolic_data(self):
+        planner = self.make_symbolic_planner()
+        with pytest.raises(RuntimeError, match="capture"):
+            planner.get_array(planner.SOL)
+        with pytest.raises(RuntimeError, match="capture"):
+            planner.set_array(planner.SOL, np.zeros(12))

@@ -1,0 +1,282 @@
+"""Static checkers over captured plans: privilege hygiene, the §4
+may-conflict superset oracle, §3.1 co-partitions, and dead-code
+reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    analyze_program,
+    capture_plan,
+    check_copartitions,
+    check_dead_code,
+    check_privileges,
+    static_interference_edges,
+    verify_interference_superset,
+)
+from repro.api import make_planner
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    Subset,
+    TaskLauncher,
+)
+from repro.verify import attach_race_detector
+
+
+def launch(rt, name, region, subset, privilege, redop="+", deps=(), reqs=()):
+    tl = TaskLauncher(name, lambda ctx: None, proc_kind=ProcKind.CPU,
+                      future_deps=list(deps))
+    tl.add_requirement(region, ["v"], subset, privilege, redop=redop)
+    for extra_subset, extra_priv in reqs:
+        tl.add_requirement(region, ["v"], extra_subset, extra_priv)
+    return rt.execute(tl)
+
+
+def plan_of(build):
+    """Capture the plan of a program closure taking (rt, region, part)."""
+    def program(rt):
+        region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+        rt.allocate(region, "v")
+        part = Partition.equal(region.ispace, 4)
+        build(rt, region, part)
+
+    return capture_plan(program)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestPrivilegeChecker:
+    def test_clean_plan_has_no_findings(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "r", region, part[0], Privilege.READ_ONLY),
+        ))
+        assert check_privileges(plan) == []
+
+    def test_reduce_without_redop_is_error(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "red", region, part[0], Privilege.REDUCE, redop=""
+        ))
+        findings = check_privileges(plan)
+        assert codes(findings) == ["PLAN-PRIV-REDOP"]
+        assert findings[0].severity == "error"
+        assert "red" in findings[0].message
+
+    def test_empty_subset_is_warning(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "noop", region, Subset.empty(region.ispace),
+            Privilege.READ_ONLY
+        ))
+        findings = check_privileges(plan)
+        assert codes(findings) == ["PLAN-PRIV-EMPTY"]
+        assert findings[0].severity == "warning"
+
+    def test_write_overlapping_read_only_in_same_task(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "mixed", region, part[0], Privilege.WRITE_DISCARD,
+            reqs=[(part[0], Privilege.READ_ONLY)]
+        ))
+        findings = check_privileges(plan)
+        assert codes(findings) == ["PLAN-PRIV-SUBSUME"]
+
+    def test_disjoint_write_and_read_in_same_task_pass(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "mixed", region, part[0], Privilege.WRITE_DISCARD,
+            reqs=[(part[1], Privilege.READ_ONLY)]
+        ))
+        assert check_privileges(plan) == []
+
+
+class TestStaticInterference:
+    def test_overlapping_write_read_is_an_edge(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "r", region, part[0], Privilege.READ_ONLY),
+        ))
+        assert (0, 1) in static_interference_edges(plan)
+
+    def test_disjoint_writers_are_not_an_edge(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD),
+        ))
+        assert static_interference_edges(plan) == set()
+
+    def test_readers_never_conflict(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "r0", region, part[0], Privilege.READ_ONLY),
+            launch(rt, "r1", region, part[0], Privilege.READ_ONLY),
+        ))
+        assert static_interference_edges(plan) == set()
+
+    def test_same_redop_reductions_commute(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "a", region, part[0], Privilege.REDUCE, redop="+"),
+            launch(rt, "b", region, part[0], Privilege.REDUCE, redop="+"),
+        ))
+        assert static_interference_edges(plan) == set()
+
+    def test_different_redop_reductions_conflict(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "a", region, part[0], Privilege.REDUCE, redop="+"),
+            launch(rt, "b", region, part[0], Privilege.REDUCE, redop="max"),
+        ))
+        assert (0, 1) in static_interference_edges(plan)
+
+    def test_future_edge_included(self):
+        def build(rt, region, part):
+            f = launch(rt, "p", region, part[0], Privilege.READ_ONLY)
+            launch(rt, "c", region, part[1], Privilege.READ_ONLY, deps=[f])
+
+        assert (0, 1) in static_interference_edges(plan_of(build))
+
+
+class TestSupersetOracle:
+    def run_both(self, program):
+        plan = capture_plan(program)
+        rt = Runtime()
+        det = attach_race_detector(rt)
+        program(rt)
+        rt.sync()
+        return plan, det
+
+    def solver_program(self, solver, fmt_matrix, n=16, pieces=2):
+        def program(rt):
+            planner = make_planner(fmt_matrix, np.ones(n), n_pieces=pieces,
+                                   runtime=rt)
+            SOLVER_REGISTRY[solver](planner).run_fixed(2)
+
+        return program
+
+    @pytest.mark.parametrize("fmt", ["csr", "ell", "dense"])
+    def test_cg_static_edges_cover_dynamic_edges(self, fmt):
+        """Acceptance criterion: the static may-conflict set is a
+        verified superset of the engine's dynamic edges, across multiple
+        storage formats."""
+        from repro.verify.oracle import build_format, seeded_problem
+
+        A = build_format(fmt, seeded_problem(0, 16).matrix)
+        plan, det = self.run_both(self.solver_program("cg", A))
+        names = [det.task_name(t) for t in det.task_ids()]
+        verified, findings = verify_interference_superset(
+            plan, det.task_ids(), det.edges(), names
+        )
+        assert verified is True
+        assert findings == []
+
+    def test_stream_divergence_skips_check(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "w", region, part[0], Privilege.WRITE_DISCARD
+        ))
+        verified, findings = verify_interference_superset(
+            plan, [1, 2], [(1, 2)], None
+        )
+        assert verified is None
+        assert codes(findings) == ["PLAN-INTERFERE-STREAM"]
+
+    def test_missing_static_edge_is_unsound(self):
+        # Two disjoint writers: statically no edge.  Fabricate a dynamic
+        # edge between them and the oracle must flag unsoundness.
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD),
+        ))
+        ids = plan.order
+        verified, findings = verify_interference_superset(
+            plan, ids, [(ids[0], ids[1])], plan.names()
+        )
+        assert verified is False
+        assert codes(findings) == ["PLAN-INTERFERE-MISSING"]
+        assert findings[0].severity == "error"
+
+
+class TestCopartitionChecker:
+    def test_stock_planner_is_compatible(self):
+        rt = Runtime(backend="capture")
+        A = tridiagonal_toeplitz(20)
+        planner = make_planner(A, np.ones(20), n_pieces=4, runtime=rt,
+                               preconditioner="jacobi")
+        assert check_copartitions(planner) == []
+
+
+class TestDeadCodeReport:
+    def test_write_fully_overwritten_before_read(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w_dead", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "w_live", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "r", region, part[0], Privilege.READ_ONLY),
+        ))
+        dead_writes = [f for f in check_dead_code(plan)
+                       if f.code == "PLAN-DEAD-WRITE"]
+        assert len(dead_writes) == 1
+        assert "w_dead" in dead_writes[0].message
+
+    def test_fill_reported_with_its_own_code(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "fill", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD),
+        ))
+        findings = check_dead_code(plan)
+        assert "PLAN-DEAD-FILL" in codes(findings)
+
+    def test_read_keeps_write_alive(self):
+        plan = plan_of(lambda rt, region, part: (
+            launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD),
+            launch(rt, "r", region, part[0], Privilege.READ_ONLY),
+            launch(rt, "w2", region, part[0], Privilege.WRITE_DISCARD),
+        ))
+        assert [f for f in check_dead_code(plan) if f.code == "PLAN-DEAD-WRITE"] == []
+
+    def test_partial_overwrite_is_live(self):
+        def build(rt, region, part):
+            full = Subset.full(region.ispace)
+            launch(rt, "w_full", region, full, Privilege.WRITE_DISCARD)
+            launch(rt, "w_part", region, part[0], Privilege.WRITE_DISCARD)
+
+        assert [f for f in check_dead_code(plan_of(build))
+                if f.code == "PLAN-DEAD-WRITE"] == []
+
+    def test_unconsumed_read_only_future_is_info(self):
+        plan = plan_of(lambda rt, region, part: launch(
+            rt, "dot", region, part[0], Privilege.READ_ONLY
+        ))
+        findings = check_dead_code(plan)
+        assert codes(findings) == ["PLAN-DEAD-TASK"]
+        assert findings[0].severity == "info"
+
+
+class TestAnalyzeDriver:
+    @pytest.mark.parametrize("fmt", ["csr", "coo"])
+    def test_cg_report_is_clean_across_formats(self, fmt):
+        report = analyze_program("cg", fmt=fmt, size=16, pieces=2,
+                                 iterations=2)
+        assert report.superset_verified is True
+        assert report.errors == []
+        assert report.ok
+        assert report.n_static_edges >= report.n_dynamic_edges > 0
+
+    def test_fig8_program(self):
+        report = analyze_program("fig8-cg", size=16, pieces=2, iterations=1)
+        assert report.ok
+        assert report.superset_verified is True
+
+    def test_report_json_round_trips(self):
+        import json
+
+        report = analyze_program("cg", size=16, pieces=2, iterations=1,
+                                 dynamic=False)
+        payload = json.loads(report.to_json())
+        assert payload["program"] == "cg"
+        assert payload["n_tasks"] == report.n_tasks
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            analyze_program("not-a-solver")

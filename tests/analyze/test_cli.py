@@ -1,0 +1,83 @@
+"""The ``repro analyze`` and ``repro lint`` CLI subcommands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_clean_program_exits_zero(self, capsys):
+        rc = main(["analyze", "cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "superset oracle: VERIFIED" in out
+        assert "result: OK" in out
+
+    def test_json_report_written(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(["analyze", "cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "1", "--json", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["program"] == "cg"
+        assert payload["ok"] is True
+        assert payload["superset_verified"] is True
+        assert payload["n_static_edges"] >= payload["n_dynamic_edges"]
+
+    def test_no_dynamic_skips_oracle(self, capsys):
+        rc = main(["analyze", "cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "1", "--no-dynamic"])
+        assert rc == 0
+        assert "superset oracle: skipped" in capsys.readouterr().out
+
+    def test_fig8_program(self, capsys):
+        rc = main(["analyze", "fig8-cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "1"])
+        assert rc == 0
+
+    def test_unknown_program_exits_two(self, capsys):
+        rc = main(["analyze", "not-a-program"])
+        assert rc == 2
+        assert "unknown program" in capsys.readouterr().out
+
+    def test_verbose_prints_histogram(self, capsys):
+        rc = main(["analyze", "cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "1", "--verbose"])
+        assert rc == 0
+        assert "× " in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("def body(ctx):\n    return ctx.accessor(0).read(None)\n")
+        rc = main(["lint", str(f)])
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_one_and_are_listed(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def body(ctx):\n    return fut.get()\n")
+        rc = main(["lint", str(f)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REPRO003" in out
+        assert "1 violation" in out
+
+    def test_select_filters_rules(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(
+            "def body(ctx):\n"
+            "    return fut.get()\n"
+            "store.raw(region, 'v')[:] = 0.0\n"
+        )
+        rc = main(["lint", str(f), "--select", "REPRO002"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REPRO002" in out
+        assert "REPRO003" not in out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        rc = main(["lint", str(tmp_path / "does-not-exist.py")])
+        assert rc == 2

@@ -1,0 +1,247 @@
+"""``repro lint``: one deliberately-broken fixture per REPRO rule, plus
+pragma handling and the repo-wide cleanliness gate."""
+
+import os
+import textwrap
+
+from repro.analyze import LINT_RULES, lint_paths, lint_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def lint(snippet, select=None):
+    return lint_source(textwrap.dedent(snippet), path="fixture.py",
+                       select=select)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestRepro001BodyAccessors:
+    def test_accessor_not_rooted_at_context(self):
+        violations = lint(
+            """
+            def make(region, acc):
+                def body(ctx):
+                    return acc.read(region)
+                return TaskLauncher("t", body)
+            """
+        )
+        assert rules_of(violations) == ["REPRO001"]
+        assert "acc" in violations[0].message
+
+    def test_context_rooted_accessor_passes(self):
+        assert lint(
+            """
+            def make(region):
+                def body(ctx):
+                    values = ctx.accessor(0).read(region)
+                    return values.sum()
+                return TaskLauncher("t", body)
+            """
+        ) == []
+
+    def test_local_alias_of_context_passes(self):
+        assert lint(
+            """
+            def make(region):
+                def body(ctx):
+                    acc = ctx.accessor(0)
+                    return acc.read(region)
+                return TaskLauncher("t", body)
+            """
+        ) == []
+
+    def test_alias_rebound_to_foreign_object_flagged(self):
+        violations = lint(
+            """
+            def make(region, foreign):
+                def body(ctx):
+                    acc = ctx.accessor(0)
+                    acc = foreign
+                    return acc.read(region)
+                return TaskLauncher("t", body)
+            """
+        )
+        assert rules_of(violations) == ["REPRO001"]
+
+
+class TestRepro002RawMutation:
+    def test_module_level_raw_write(self):
+        violations = lint(
+            """
+            store.raw(region, "v")[:] = 0.0
+            """
+        )
+        assert rules_of(violations) == ["REPRO002"]
+
+    def test_raw_read_is_fine(self):
+        assert lint(
+            """
+            values = store.raw(region, "v")[:]
+            """
+        ) == []
+
+    def test_raw_write_inside_body_is_fine(self):
+        assert lint(
+            """
+            def body(ctx):
+                ctx.store.raw(region, "v")[:] = 0.0
+            """
+        ) == []
+
+    def test_augmented_assignment_flagged(self):
+        violations = lint(
+            """
+            store.raw(region, "v")[3] += 1.0
+            """
+        )
+        assert rules_of(violations) == ["REPRO002"]
+
+
+class TestRepro003BlockingGet:
+    def test_zero_arg_get_in_body(self):
+        violations = lint(
+            """
+            def body(ctx):
+                return fut.get()
+            """
+        )
+        assert rules_of(violations) == ["REPRO003"]
+
+    def test_dict_get_with_args_passes(self):
+        assert lint(
+            """
+            def body(ctx):
+                return ctx.kwargs.get("alpha", 1.0)
+            """
+        ) == []
+
+    def test_get_outside_body_passes(self):
+        assert lint(
+            """
+            def driver(fut):
+                return fut.get()
+            """
+        ) == []
+
+
+class TestRepro004MutableCaptures:
+    def test_loop_target_capture(self):
+        violations = lint(
+            """
+            def driver(rt, region):
+                for i in range(4):
+                    def body(ctx):
+                        return i
+                    rt.execute(TaskLauncher("t", body))
+            """
+        )
+        assert rules_of(violations) == ["REPRO004"]
+        assert "`i`" in violations[0].message
+
+    def test_rebinding_after_definition(self):
+        violations = lint(
+            """
+            def driver(rt):
+                alpha = 1.0
+                def body(ctx):
+                    return alpha
+                rt.execute(TaskLauncher("t", body))
+                alpha = 2.0
+            """
+        )
+        assert rules_of(violations) == ["REPRO004"]
+
+    def test_stable_binding_passes(self):
+        assert lint(
+            """
+            def driver(rt, alpha):
+                beta = alpha * 2
+                def body(ctx):
+                    return alpha + beta
+                rt.execute(TaskLauncher("t", body))
+            """
+        ) == []
+
+    def test_default_argument_escape_hatch_passes(self):
+        assert lint(
+            """
+            def driver(rt):
+                for i in range(4):
+                    def body(ctx, i=i):
+                        return i
+                    rt.execute(TaskLauncher("t", body))
+            """
+        ) == []
+
+
+class TestLintMachinery:
+    def test_lambda_passed_to_tasklauncher_is_a_body(self):
+        violations = lint(
+            """
+            def driver(rt, fut):
+                rt.execute(TaskLauncher("t", lambda ctx: fut.get()))
+            """
+        )
+        assert rules_of(violations) == ["REPRO003"]
+
+    def test_body_kwarg_recognized(self):
+        violations = lint(
+            """
+            def driver(rt, fut):
+                def run_later(ctx):
+                    return fut.get()
+                rt.execute(TaskLauncher("t", body=run_later))
+            """
+        )
+        assert rules_of(violations) == ["REPRO003"]
+
+    def test_pragma_disables_specific_rule(self):
+        assert lint(
+            """
+            store.raw(region, "v")[:] = 0.0  # repro-lint: disable=REPRO002
+            """
+        ) == []
+
+    def test_bare_pragma_disables_all(self):
+        assert lint(
+            """
+            store.raw(region, "v")[:] = 0.0  # repro-lint: disable
+            """
+        ) == []
+
+    def test_pragma_for_other_rule_does_not_mask(self):
+        violations = lint(
+            """
+            store.raw(region, "v")[:] = 0.0  # repro-lint: disable=REPRO003
+            """
+        )
+        assert rules_of(violations) == ["REPRO002"]
+
+    def test_select_restricts_rules(self):
+        snippet = """
+            def body(ctx):
+                return fut.get()
+            store.raw(region, "v")[:] = 0.0
+            """
+        assert rules_of(lint(snippet)) == ["REPRO003", "REPRO002"]
+        assert rules_of(lint(snippet, select=["REPRO002"])) == ["REPRO002"]
+
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint("def broken(:\n")
+        assert rules_of(violations) == ["REPRO000"]
+
+    def test_rule_table_documents_all_rules(self):
+        assert sorted(LINT_RULES) == [
+            "REPRO001", "REPRO002", "REPRO003", "REPRO004"
+        ]
+
+
+class TestRepoIsClean:
+    def test_src_and_examples_lint_clean(self):
+        """Acceptance criterion: `repro lint` runs clean on the shipped
+        sources."""
+        paths = [os.path.join(REPO_ROOT, "src"), os.path.join(REPO_ROOT, "examples")]
+        assert lint_paths(paths) == []

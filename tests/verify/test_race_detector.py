@@ -195,3 +195,73 @@ class TestDetectorOnRealWorkloads:
         [c] = det.task_ids("consumer")
         assert (p, c) in set(det.edges())
         assert det.check() == []
+
+
+class TestAccessors:
+    """Introspection surface used by fixtures and the static analyzer."""
+
+    def test_task_ids_launch_order_and_filtering(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "a", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "b", region, part[1], Privilege.WRITE_DISCARD)
+        launch(rt, "a", region, part[2], Privilege.WRITE_DISCARD)
+        all_ids = det.task_ids()
+        assert len(all_ids) == 3
+        assert all_ids == sorted(all_ids)  # launch order
+        assert det.task_ids("a") == [all_ids[0], all_ids[2]]
+        assert det.task_ids("b") == [all_ids[1]]
+        assert det.task_ids("never-launched") == []
+
+    def test_task_name_round_trips_and_raises_on_unknown(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "only", region, part[0], Privilege.WRITE_DISCARD)
+        [tid] = det.task_ids("only")
+        assert det.task_name(tid) == "only"
+        with pytest.raises(KeyError):
+            det.task_name(tid + 12345)
+
+    def test_edges_matches_n_edges_and_points_forward(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY)
+        launch(rt, "w2", region, part[0], Privilege.WRITE_DISCARD)
+        edges = det.edges()
+        assert len(edges) == det.n_edges
+        assert len(edges) == len(set(edges))  # no duplicates
+        assert all(src != dst for src, dst in edges)
+        # Engine dependences always point from earlier to later launches.
+        order = {tid: i for i, tid in enumerate(det.task_ids())}
+        assert all(order[src] < order[dst] for src, dst in edges)
+
+    def test_drop_edge_false_when_absent(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w0", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "w1", region, part[1], Privilege.WRITE_DISCARD)
+        [a] = det.task_ids("w0")
+        [b] = det.task_ids("w1")
+        # Disjoint subsets: the engine never created an edge.
+        assert not det.drop_edge(a, b)
+        assert not det.drop_edge(a, 999999)  # unknown destination
+        assert det.n_edges == 0
+
+    def test_drop_edge_true_then_false_on_repeat(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY)
+        [w] = det.task_ids("w")
+        [r] = det.task_ids("r")
+        before = det.n_edges
+        assert det.drop_edge(w, r)
+        assert det.n_edges == before - 1
+        assert (w, r) not in set(det.edges())
+        assert not det.drop_edge(w, r)  # already gone
+
+    def test_drop_edge_is_directional(self, setup):
+        rt, det, region, part = setup
+        launch(rt, "w", region, part[0], Privilege.WRITE_DISCARD)
+        launch(rt, "r", region, part[0], Privilege.READ_ONLY)
+        [w] = det.task_ids("w")
+        [r] = det.task_ids("r")
+        # The recorded edge is w → r; the reverse does not exist.
+        assert not det.drop_edge(r, w)
+        assert det.drop_edge(w, r)
