@@ -17,6 +17,9 @@ Usage::
                            [--pieces 1 3] [--size 16] [--races] [--verbose]
     python -m repro analyze [cg|gmres|...|fig8-cg] [--format csr] [--size 24]
                             [--pieces 3] [--iterations 2] [--json FILE]
+    python -m repro chaos [cg|...|fig8-cg] [--seed 1] [--backend threads]
+                          [--format csr] [--plan "crash:dot_partial:12"]
+                          [--no-monitors] [--crash-policy retry|rollback]
     python -m repro lint src/ examples/ [--select REPRO001 REPRO003]
 
 Each ``figN`` subcommand prints the regenerated table/series (the same
@@ -166,6 +169,53 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="also write the report as JSON to this path")
     pa.add_argument("--verbose", action="store_true",
                     help="print every finding and the task histogram")
+
+    pc = sub.add_parser(
+        "chaos",
+        help="run one solve under deterministic fault injection with "
+             "checkpoint/rollback recovery, and compare it to the "
+             "fault-free run",
+    )
+    pc.add_argument("program", nargs="?", default="fig8-cg",
+                    help='solver name (cg, gmres, ...) or "fig8-<solver>" '
+                         "for the five-point-stencil Laplacian program "
+                         "(default: fig8-cg)")
+    pc.add_argument("--seed", type=int, default=1,
+                    help="fault-plan seed: picks the injection sites "
+                         "(default: 1)")
+    pc.add_argument("--backend", choices=("serial", "threads"), default=None,
+                    help="executor backend (default: REPRO_BACKEND or serial)")
+    pc.add_argument("--format", dest="fmt", default="csr",
+                    help="storage format for solver programs (default: csr)")
+    pc.add_argument("--size", type=int, default=None,
+                    help="problem size in unknowns (default: 144 for fig8 "
+                         "programs, 36 otherwise)")
+    pc.add_argument("--pieces", type=int, default=4,
+                    help="partition piece count (default: 4)")
+    pc.add_argument("--jobs", type=int, default=None,
+                    help="thread-pool worker count for --backend threads")
+    pc.add_argument("--tol", type=float, default=1e-8)
+    pc.add_argument("--max-iterations", type=int, default=400)
+    pc.add_argument("--checkpoint-every", type=int, default=5,
+                    help="iterations between solver checkpoints (default: 5)")
+    pc.add_argument("--payload", choices=("nan", "bitflip"), default="nan",
+                    help="corruption payload for the default plan "
+                         "(default: nan)")
+    pc.add_argument("--plan", default=None,
+                    help='explicit fault plan, e.g. "crash:dot_partial:12; '
+                         'stall:spmv_*:4:8ms; corrupt:axpy:20:nan" '
+                         "(default: one crash + one stall + one corruption "
+                         "drawn from --seed)")
+    pc.add_argument("--crash-policy", choices=("retry", "rollback"),
+                    default="retry",
+                    help="injected crashes: transparently relaunch the task "
+                         "(retry) or let the failure propagate and roll the "
+                         "solver back (rollback)")
+    pc.add_argument("--no-monitors", action="store_true",
+                    help="disable the invariant monitors (corruption then "
+                         "goes undetected — the report shows the damage)")
+    pc.add_argument("--json", dest="json_out", default=None,
+                    help="also write the report as JSON to this path")
 
     pl = sub.add_parser(
         "lint",
@@ -375,6 +425,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"analyze: {exc}")
             return 2
         print(report.summary(verbose=args.verbose))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"[report written to {args.json_out}]")
+        return 0 if report.ok else 1
+
+    if args.command == "chaos":
+        from .faults.chaos import run_chaos
+        from .faults.plan import FaultPlan, default_chaos_plan
+
+        try:
+            if args.plan is not None:
+                plan = FaultPlan.parse(
+                    args.plan,
+                    seed=args.seed,
+                    retry_crashes=(args.crash_policy == "retry"),
+                )
+            else:
+                plan = default_chaos_plan(
+                    args.seed,
+                    payload=args.payload,
+                    retry_crashes=(args.crash_policy == "retry"),
+                )
+            report = run_chaos(
+                program=args.program,
+                seed=args.seed,
+                backend=args.backend,
+                fmt=args.fmt,
+                size=args.size,
+                pieces=args.pieces,
+                jobs=args.jobs,
+                tolerance=args.tol,
+                max_iterations=args.max_iterations,
+                checkpoint_every=args.checkpoint_every,
+                monitors=not args.no_monitors,
+                crash_policy=args.crash_policy,
+                plan=plan,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"chaos: {exc}")
+            return 2
+        print(report.summary())
         if args.json_out:
             with open(args.json_out, "w") as fh:
                 fh.write(report.to_json() + "\n")

@@ -275,6 +275,19 @@ class Planner:
         self.runtime.sync()
         self.vector(vec_id).set_array(self.runtime.store, values)
 
+    def snapshot(self, vec_ids) -> dict:
+        """Bitwise value copies of the given vectors, keyed by id —
+        the planner-API surface solver checkpoints are built on (fault
+        recovery).  Drains deferred execution first."""
+        self._check_materialized("snapshot")
+        return {vid: self.get_array(vid) for vid in dict.fromkeys(vec_ids)}
+
+    def restore(self, snap: dict) -> None:
+        """Write a :meth:`snapshot` back (solver rollback)."""
+        self._check_materialized("restore")
+        for vid, values in snap.items():
+            self.set_array(vid, values)
+
     def _check_materialized(self, op: str) -> None:
         if self.symbolic:
             raise RuntimeError(

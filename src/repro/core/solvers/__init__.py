@@ -1,11 +1,18 @@
 """Stock Krylov subspace methods, all drop-in replaceable (paper §5)."""
 
-from .base import KrylovSolver, SolveResult
+from .base import KrylovSolver, SolveResult, SolverCheckpoint
 from .bicg import BiCGSolver, CGSSolver
 from .bicgstab import BiCGStabSolver
 from .cg import CGSolver, PCGSolver
 from .gmres import GMRESSolver
 from .minres import MINRESSolver
+from .resilient import (
+    RecoveryEvent,
+    ResilientSolveResult,
+    UnrecoverableFaultError,
+    is_recoverable_fault,
+    solve_resilient,
+)
 from .tfqmr import CGNRSolver, TFQMRSolver
 
 #: Registry used by benchmarks and examples: name → constructor.
@@ -31,7 +38,13 @@ __all__ = [
     "KrylovSolver",
     "MINRESSolver",
     "PCGSolver",
+    "RecoveryEvent",
+    "ResilientSolveResult",
     "SOLVER_REGISTRY",
     "SolveResult",
+    "SolverCheckpoint",
     "TFQMRSolver",
+    "UnrecoverableFaultError",
+    "is_recoverable_fault",
+    "solve_resilient",
 ]

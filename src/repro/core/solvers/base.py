@@ -20,13 +20,19 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..planner import Planner
+from ..planner import SOL, Planner
+from ..scalar import Scalar
 
-__all__ = ["KrylovSolver", "SolveResult", "SYMBOLIC_ITERATION_BOUND"]
+__all__ = [
+    "KrylovSolver",
+    "SolveResult",
+    "SolverCheckpoint",
+    "SYMBOLIC_ITERATION_BOUND",
+]
 
 #: Iteration cap applied by :meth:`KrylovSolver.solve` when the planner
 #: is symbolic (``backend="capture"``): under symbolic capture every
@@ -58,11 +64,43 @@ class SolveResult:
         return float(t.mean()) if t.size else 0.0
 
 
+@dataclass
+class SolverCheckpoint:
+    """A bitwise snapshot of one solver's recoverable state.
+
+    ``vectors`` maps planner vector ids to concatenated value copies;
+    ``scalars`` maps solver attribute names to ``(kind, value)`` where
+    ``kind`` records whether the attribute held a
+    :class:`~repro.core.scalar.Scalar` or a plain float (restored Scalars
+    carry no future provenance — that only affects simulated-timing
+    queries, never numerics).
+    """
+
+    iteration: int
+    measure: float
+    vectors: Dict[int, np.ndarray]
+    scalars: Dict[str, Tuple[str, float]]
+
+
 class KrylovSolver(ABC):
     """Common interface of all KSMs: construct from a planner, ``step()``."""
 
     #: Human-readable solver name (used by benchmarks and reports).
     name: str = "ksm"
+
+    #: Names of attributes holding planner vector ids that, together with
+    #: the solution vector, make one iteration's state restartable
+    #: (attributes that do not exist on an instance — e.g. the
+    #: preconditioned-only workspaces — are skipped).
+    _checkpoint_vector_attrs: Tuple[str, ...] = ()
+    #: Names of scalar recurrence attributes (Scalar or float).
+    _checkpoint_scalar_attrs: Tuple[str, ...] = ()
+
+    #: What :meth:`get_convergence_measure` returns: ``"residual"`` for a
+    #: residual-norm(-like) recurrence, ``"bound"`` when it only bounds
+    #: the residual (e.g. TFQMR's quasi-residual τ).  Invariant monitors
+    #: use this to pick a drift check that won't flag healthy runs.
+    measure_kind: str = "residual"
 
     def __init__(self, planner: Planner):
         self.planner = planner
@@ -77,6 +115,57 @@ class KrylovSolver(ABC):
         solvers that track a residual internally override this with a
         task-free read."""
         return float(self.planner.residual_norm())
+
+    # -- checkpoint/restart (fault recovery) ---------------------------------
+
+    def checkpoint_vector_ids(self) -> List[int]:
+        """Planner vector ids covered by a checkpoint: the solution plus
+        every declared recurrence vector, in declaration order."""
+        ids: List[int] = [SOL]
+        for attr in self._checkpoint_vector_attrs:
+            value = getattr(self, attr, None)
+            if value is None:
+                continue
+            if isinstance(value, (list, tuple)):
+                ids.extend(int(v) for v in value)
+            else:
+                ids.append(int(value))
+        return ids
+
+    def checkpoint(self) -> SolverCheckpoint:
+        """Snapshot the recoverable Krylov state (x, r, recurrence
+        vectors and scalars).  Bitwise: restoring and re-running replays
+        the exact fault-free trajectory, because every planner operation
+        is deterministic under every executing backend."""
+        scalars: Dict[str, Tuple[str, float]] = {}
+        for attr in self._checkpoint_scalar_attrs:
+            if not hasattr(self, attr):
+                continue
+            value = getattr(self, attr)
+            if isinstance(value, Scalar):
+                scalars[attr] = ("scalar", float(value.value))
+            else:
+                scalars[attr] = ("float", float(value))
+        return SolverCheckpoint(
+            iteration=self.iterations_done,
+            measure=float(self.get_convergence_measure()),
+            vectors=self.planner.snapshot(self.checkpoint_vector_ids()),
+            scalars=scalars,
+        )
+
+    def restore(self, ckpt: SolverCheckpoint) -> None:
+        """Roll the solver back to a checkpoint taken on this instance."""
+        self.planner.restore(ckpt.vectors)
+        for attr, (kind, value) in ckpt.scalars.items():
+            setattr(self, attr, Scalar(value) if kind == "scalar" else value)
+        self.iterations_done = ckpt.iteration
+
+    def solve_resilient(self, **kwargs: object) -> "SolveResult":
+        """Drive the solve under fault detection/recovery; see
+        :func:`~repro.core.solvers.resilient.solve_resilient`."""
+        from .resilient import solve_resilient
+
+        return solve_resilient(self, **kwargs)  # type: ignore[arg-type]
 
     # -- drive loop ----------------------------------------------------------
 

@@ -25,6 +25,8 @@ class BiCGSolver(KrylovSolver):
     """Biconjugate gradient (Fletcher's variant, unpreconditioned)."""
 
     name = "bicg"
+    _checkpoint_vector_attrs = ("R", "RT", "P", "PT", "Q", "QT")
+    _checkpoint_scalar_attrs = ("rho", "res")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)
@@ -69,6 +71,8 @@ class CGSSolver(KrylovSolver):
     """Conjugate gradient squared (Sonneveld 1989)."""
 
     name = "cgs"
+    _checkpoint_vector_attrs = ("R", "R0", "P", "U", "Q", "V", "W")
+    _checkpoint_scalar_attrs = ("rho", "res")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)

@@ -21,6 +21,8 @@ class BiCGStabSolver(KrylovSolver):
     """Stabilized biconjugate gradient with optional preconditioning."""
 
     name = "bicgstab"
+    _checkpoint_vector_attrs = ("R", "R0", "P", "V", "S", "T", "PHAT", "SHAT")
+    _checkpoint_scalar_attrs = ("rho", "res")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)

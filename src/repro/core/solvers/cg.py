@@ -25,6 +25,8 @@ class CGSolver(KrylovSolver):
     """Unpreconditioned conjugate gradient (paper Figure 7)."""
 
     name = "cg"
+    _checkpoint_vector_attrs = ("P", "Q", "R")
+    _checkpoint_scalar_attrs = ("res",)
 
     def __init__(self, planner: Planner):
         super().__init__(planner)
@@ -58,6 +60,8 @@ class PCGSolver(KrylovSolver):
     definite) preconditioner registered via ``add_preconditioner``."""
 
     name = "pcg"
+    _checkpoint_vector_attrs = ("P", "Q", "R", "Z")
+    _checkpoint_scalar_attrs = ("rz", "res")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)

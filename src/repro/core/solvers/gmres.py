@@ -24,6 +24,10 @@ class GMRESSolver(KrylovSolver):
     """Restarted GMRES with a static restart length (default 10)."""
 
     name = "gmres"
+    # A restart cycle rebuilds W and the basis V from the solution, so
+    # only x (always checkpointed) plus the tracked residual make the
+    # method restartable.
+    _checkpoint_scalar_attrs = ("_residual",)
 
     def __init__(self, planner: Planner, restart: int = 10):
         super().__init__(planner)
@@ -91,6 +95,12 @@ class GMRESSolver(KrylovSolver):
         g = np.zeros(n_cols + 1)
         g[0] = beta.value
         Hc = H[: n_cols + 1, :n_cols]
+        if not (np.isfinite(Hc).all() and np.isfinite(g).all()):
+            # Non-finite Arnoldi data (overflowed or corrupted operands)
+            # would make lstsq raise; report a non-finite measure instead
+            # so drive loops and invariant monitors can react.
+            self._residual = float("nan")
+            return
         y, _, _, _ = np.linalg.lstsq(Hc, g, rcond=None)
         self._residual = float(np.linalg.norm(g - Hc @ y))
 

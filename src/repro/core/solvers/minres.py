@@ -19,6 +19,8 @@ class MINRESSolver(KrylovSolver):
     """Minimum residual method for symmetric (possibly indefinite) A."""
 
     name = "minres"
+    _checkpoint_vector_attrs = ("V_prev", "V", "V_next", "D", "D_old", "W")
+    _checkpoint_scalar_attrs = ("beta", "eta", "c_old", "c", "s_old", "s", "residual")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)

@@ -1,0 +1,304 @@
+"""Resilient solve driver: checkpoints, invariant monitors, rollback.
+
+:func:`solve_resilient` is the fault-tolerant counterpart of
+:meth:`KrylovSolver.solve`.  It drives ``step()`` exactly like the plain
+loop, but
+
+* takes a bitwise :class:`~repro.core.solvers.base.SolverCheckpoint`
+  every ``checkpoint_every`` iterations — *after* the invariant monitors
+  vetted the state, so a checkpoint is never taken on corrupted data;
+* runs the monitors (:func:`~repro.faults.monitors.default_monitors`:
+  NaN/Inf guard and residual-drift check) at every checkpoint boundary
+  and at apparent convergence, so a silently corrupted solve cannot
+  "converge" to a wrong answer undetected;
+* catches **injected** task faults (and only those — genuine errors
+  propagate), quiesces the executor through any cascading failures, and
+  rolls back to the last vetted checkpoint.
+
+Because checkpoints are bitwise and every planner operation is
+deterministic under both executing backends, replay after a rollback
+reproduces the fault-free trajectory exactly: a recovered solve ends on
+the *same bits* as an uninjected one.  (Injected faults do not re-fire
+on replay — launch-index counters keep advancing past the spec.)
+
+Recovery events are appended to the engine timeline
+(``recovery:rollback:<reason>`` entries) next to the injector's
+``fault:*`` entries, so the whole detect/recover story is visible in one
+place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...faults.injector import is_injected_fault
+from ...faults.monitors import InvariantMonitor, default_monitors
+from ...runtime.executor import ExecutorError
+from .base import KrylovSolver, SolveResult, SolverCheckpoint
+
+__all__ = [
+    "RecoveryEvent",
+    "ResilientSolveResult",
+    "UnrecoverableFaultError",
+    "is_recoverable_fault",
+    "solve_resilient",
+]
+
+
+class UnrecoverableFaultError(RuntimeError):
+    """An injected fault destroyed state no checkpoint covers (e.g. a
+    crash during solver setup, before the first checkpoint exists)."""
+
+
+@dataclass
+class RecoveryEvent:
+    """One rollback: why, where it happened, where it restored to."""
+
+    reason: str
+    at_iteration: int
+    restored_iteration: int
+
+    def trace_tuple(self) -> Tuple[str, int, int]:
+        return (self.reason, self.at_iteration, self.restored_iteration)
+
+    def describe(self) -> str:
+        return (
+            f"rollback({self.reason}) at iteration {self.at_iteration} "
+            f"-> restored to iteration {self.restored_iteration}"
+        )
+
+
+@dataclass
+class ResilientSolveResult(SolveResult):
+    """A :class:`SolveResult` plus the recovery history."""
+
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: True when the recovery budget ran out with faults still biting.
+    gave_up: bool = False
+
+    @property
+    def n_rollbacks(self) -> int:
+        return len(self.recoveries)
+
+
+def _is_cascade(exc: BaseException) -> bool:
+    """True for the downstream failures a crashed deferred task causes:
+    dependents reading the future the dead task never set."""
+    if isinstance(exc, ExecutorError):
+        cause = exc.__cause__
+        if cause is not None:
+            return _is_cascade(cause)
+    return isinstance(exc, RuntimeError) and "future value not yet produced" in str(exc)
+
+
+def is_recoverable_fault(exc: BaseException) -> bool:
+    """True for failures rollback can heal: an injected task fault, or
+    the cascade it causes downstream.  Genuine errors return False."""
+    return is_injected_fault(exc) or _is_cascade(exc)
+
+
+_recoverable = is_recoverable_fault
+
+
+def solve_resilient(
+    solver: KrylovSolver,
+    tolerance: float = 1e-8,
+    max_iterations: int = 1000,
+    checkpoint_every: int = 5,
+    monitors: Optional[Sequence[InvariantMonitor]] = None,
+    max_recoveries: int = 8,
+    use_tracing: bool = True,
+    callback: Optional[Callable[[KrylovSolver, int, float], None]] = None,
+) -> ResilientSolveResult:
+    """Drive ``solver`` to convergence under fault detection/recovery.
+
+    ``monitors=None`` installs the stock set; pass ``()`` to disable
+    monitoring entirely (then only crashes are detected — corruption
+    flows through, and the final state is whatever the recurrence
+    produced, reported honestly by the true-residual check of callers
+    such as ``repro chaos``).
+    """
+    planner = solver.planner
+    if getattr(planner, "symbolic", False):
+        raise RuntimeError(
+            "solve_resilient needs materialized region data; the symbolic "
+            "'capture' backend never executes task bodies"
+        )
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    runtime = planner.runtime
+    if monitors is None:
+        monitors = default_monitors(tolerance)
+    injector = getattr(runtime, "fault_injector", None)
+    trace_id = ("resilient", id(solver))
+    recoveries: List[RecoveryEvent] = []
+    history: List[float] = []
+    marks: List[float] = [runtime.sim_time]
+    gave_up = False
+
+    def quiesce() -> None:
+        """Drain the executor through an injected failure and all of its
+        cascades; anything else re-raises."""
+        for _ in range(256):
+            try:
+                runtime.sync()
+                return
+            except Exception as exc:
+                if not _recoverable(exc):
+                    raise
+        raise RuntimeError(
+            "executor kept failing while quiescing after an injected fault"
+        )  # pragma: no cover - defensive
+
+    try:
+        checkpoint = solver.checkpoint()
+    except Exception as exc:
+        if not _recoverable(exc):
+            raise
+        raise UnrecoverableFaultError(
+            "an injected fault hit solver setup, before the first "
+            "checkpoint existed; nothing to roll back to"
+        ) from exc
+    #: Kept forever: slow-growing corruption can pass the monitors at a
+    #: few boundaries and contaminate later checkpoints; when a rollback
+    #: replays into the *same* violation, we escalate to this one.
+    initial_checkpoint = checkpoint
+
+    def recover(reason: str, at_iteration: int) -> Optional[Tuple[int, float]]:
+        """Roll back to the last vetted checkpoint; None when the
+        recovery budget is exhausted."""
+        nonlocal gave_up, checkpoint
+        runtime.abort_trace(trace_id)
+        quiesce()
+        if len(recoveries) >= max_recoveries:
+            gave_up = True
+            return None
+        if any(r.reason == reason for r in recoveries):
+            # Deterministic replay reproduced the violation: the last
+            # checkpoint itself carries the corruption.  Restart from the
+            # pristine initial state (injected faults don't re-fire).
+            checkpoint = initial_checkpoint
+        solver.restore(checkpoint)
+        event = RecoveryEvent(reason, at_iteration, checkpoint.iteration)
+        recoveries.append(event)
+        if injector is not None:
+            injector.log.mark_open_recovered(detected_by=reason)
+        runtime.engine.note_event(f"recovery:rollback:{reason}")
+        return checkpoint.iteration, checkpoint.measure
+
+    it = checkpoint.iteration
+    measure = checkpoint.measure
+    converged = False
+    stagnation = (
+        "monitor:stagnation: iteration budget exhausted with "
+        "undetected faults outstanding"
+    )
+
+    def advance() -> bool:
+        """Loop guard.  Normally ``it < max_iterations`` — but when the
+        budget runs out unconverged while the fault log still shows
+        applied-but-unrecovered injections (corruption the state
+        invariants could not see, e.g. a bit flip in a shadow-sequence
+        vector that only stalls convergence), trigger one last-resort
+        rollback.  Its repeat then escalates to the initial checkpoint,
+        so the second attempt replays the clean trajectory."""
+        nonlocal it, measure
+        while True:
+            if it < max_iterations:
+                return True
+            if converged or gave_up or not monitors or injector is None:
+                return False
+            n_stagnation = sum(r.reason == stagnation for r in recoveries)
+            if n_stagnation >= 2:
+                return False
+            if n_stagnation == 0 and injector.log.n_unrecovered == 0:
+                return False
+            state = recover(stagnation, it)
+            if state is None:
+                return False
+            it, measure = state
+
+    while advance():
+        # -- one step -----------------------------------------------------
+        try:
+            if use_tracing:
+                runtime.begin_trace(trace_id)
+            solver.step()
+            if use_tracing:
+                runtime.end_trace(trace_id)
+            measure = float(solver.get_convergence_measure())
+        except Exception as exc:
+            runtime.abort_trace(trace_id)
+            if not _recoverable(exc):
+                raise
+            state = recover("crash", it + 1)
+            if state is None:
+                break
+            it, measure = state
+            continue
+        it += 1
+        solver.iterations_done = it
+        history.append(measure)
+        marks.append(runtime.sim_time)
+        if callback is not None:
+            callback(solver, it, measure)
+        # -- monitor / checkpoint / convergence boundary ------------------
+        boundary = it % checkpoint_every == 0
+        suspect = not math.isfinite(measure)
+        at_tolerance = measure <= tolerance
+        if not (boundary or suspect or at_tolerance):
+            continue
+        try:
+            violation = None
+            for monitor in monitors:
+                violation = monitor.check(solver)
+                if violation is not None:
+                    violation = f"monitor:{monitor.name}: {violation}"
+                    break
+        except Exception as exc:
+            if not _recoverable(exc):
+                raise
+            violation = "crash"
+        if violation is not None:
+            state = recover(violation, it)
+            if state is None:
+                break
+            it, measure = state
+            continue
+        if at_tolerance:
+            converged = True
+            if monitors and injector is not None:
+                # The monitors just certified the converged state (the
+                # drift check ties the true residual to the measure), so
+                # any still-open injected corruption was absorbed by the
+                # iteration: harmless, if costlier, convergence.
+                injector.log.mark_open_recovered(
+                    detected_by="monitor:convergence-certificate",
+                    recovery="absorbed",
+                )
+            break
+        if suspect:
+            # Non-finite progress that no monitor explains (monitors
+            # disabled): report failure, like the plain drive loop.
+            break
+        try:
+            checkpoint = solver.checkpoint()
+        except Exception as exc:
+            if not _recoverable(exc):
+                raise
+            state = recover("crash", it)
+            if state is None:
+                break
+            it, measure = state
+            continue
+    return ResilientSolveResult(
+        converged=converged,
+        iterations=it,
+        final_measure=measure,
+        measure_history=history,
+        sim_time_marks=marks,
+        recoveries=recoveries,
+        gave_up=gave_up,
+    )

@@ -22,6 +22,10 @@ class TFQMRSolver(KrylovSolver):
     """Transpose-free QMR (Freund's algorithm, unpreconditioned)."""
 
     name = "tfqmr"
+    _checkpoint_vector_attrs = ("R", "R0", "W", "U", "V", "D", "AU")
+    _checkpoint_scalar_attrs = ("rho", "tau", "theta", "eta")
+    #: τ only bounds the residual: ‖r_m‖ ≤ τ_m √(m+1).
+    measure_kind = "bound"
 
     def __init__(self, planner: Planner):
         super().__init__(planner)
@@ -93,6 +97,8 @@ class CGNRSolver(KrylovSolver):
     """CG on the normal equations (supports rectangular systems)."""
 
     name = "cgnr"
+    _checkpoint_vector_attrs = ("R", "Z", "P", "Q")
+    _checkpoint_scalar_attrs = ("zz", "res")
 
     def __init__(self, planner: Planner):
         super().__init__(planner)

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and the chaos harness.
+
+Layering: this package's core (:mod:`plan`, :mod:`injector`,
+:mod:`monitors`) depends only on :mod:`repro.runtime`, so the runtime
+can wrap its executor and the solver layer can import monitors without
+cycles.  The end-to-end chaos driver (:mod:`repro.faults.chaos`) sits on
+top of the full stack (api/solvers/verify) and is therefore *not*
+imported here — use ``from repro.faults.chaos import run_chaos``.
+"""
+
+from .injector import FaultInjector, InjectedTaskFault, is_injected_fault
+from .monitors import (
+    InvariantMonitor,
+    NaNGuard,
+    ResidualDriftMonitor,
+    default_monitors,
+)
+from .plan import (
+    CORRUPT_PAYLOADS,
+    FAULT_KINDS,
+    FAULT_SEED_ENV,
+    FAULTS_ENV,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    default_chaos_plan,
+)
+
+__all__ = [
+    "CORRUPT_PAYLOADS",
+    "FAULT_KINDS",
+    "FAULT_SEED_ENV",
+    "FAULTS_ENV",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedTaskFault",
+    "InvariantMonitor",
+    "NaNGuard",
+    "ResidualDriftMonitor",
+    "default_chaos_plan",
+    "default_monitors",
+    "is_injected_fault",
+]

@@ -1,0 +1,338 @@
+"""``repro chaos``: an end-to-end solve under an injected fault plan.
+
+:func:`run_chaos` runs one solver program twice on the same backend —
+once fault-free (the reference), once under a :class:`FaultPlan` with
+checkpoint/rollback recovery — and reports every scheduled fault as
+detected/recovered/unrecovered plus whether the recovered solution's
+true residual matches the fault-free run.
+
+Because checkpoints are bitwise and replay is deterministic, a fully
+recovered run finishes on the *same bits* as the reference: the residual
+difference of a healthy chaos run is exactly zero.
+
+Programs: any solver name from the registry (seeded SPD tridiagonal
+system — every stock method converges on it), or ``fig8-<solver>``
+(the Figure 8 five-point-stencil Laplacian, e.g. ``fig8-cg``,
+``fig8-bicgstab``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import make_planner
+from ..core.planner import SOL, Planner
+from ..core.solvers import SOLVER_REGISTRY
+from ..core.solvers.resilient import (
+    RecoveryEvent,
+    UnrecoverableFaultError,
+    is_recoverable_fault,
+    solve_resilient,
+)
+from ..runtime.runtime import Runtime
+from ..verify.oracle import ORACLE_FORMATS, build_format
+from .monitors import default_monitors
+from .plan import FaultEvent, FaultPlan, default_chaos_plan
+
+__all__ = ["ChaosReport", "run_chaos", "chaos_program_names"]
+
+#: |residual − residual_ref| bound for a healthy recovered run (the
+#: acceptance bar; bitwise recovery actually achieves 0.0).
+RESIDUAL_MATCH_TOL = 1e-10
+
+
+def chaos_program_names() -> List[str]:
+    return sorted(SOLVER_REGISTRY) + [f"fig8-{s}" for s in sorted(SOLVER_REGISTRY)]
+
+
+def _build_problem(
+    program: str, fmt: str, size: Optional[int], seed: int
+) -> Tuple[str, "np.ndarray", np.ndarray, Callable[[], object]]:
+    """Resolve a program name to (solver, scipy matrix, rhs, factory);
+    the factory builds a fresh per-runtime operator object."""
+    if program.startswith("fig8-"):
+        solver = program[len("fig8-"):]
+        if solver not in SOLVER_REGISTRY:
+            raise KeyError(
+                f"unknown program {program!r}; known: {chaos_program_names()}"
+            )
+        from ..problems import grid_shape_for, laplacian_scipy
+
+        shape = grid_shape_for("2d5", 144 if size is None else size)
+        A = laplacian_scipy("2d5", shape)
+        factory: Callable[[], object] = lambda: A
+    elif program in SOLVER_REGISTRY:
+        solver = program
+        if fmt not in ORACLE_FORMATS:
+            raise KeyError(f"unknown format {fmt!r}; known: {ORACLE_FORMATS}")
+        from ..problems import tridiagonal_toeplitz
+
+        A = tridiagonal_toeplitz(36 if size is None else size).tocsr()
+        factory = lambda: build_format(fmt, A)
+    else:
+        raise KeyError(
+            f"unknown program {program!r}; known: {chaos_program_names()}"
+        )
+    b = np.random.default_rng(seed).random(A.shape[0])
+    return solver, A, b, factory
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` invocation."""
+
+    program: str
+    solver: str
+    fmt: str
+    backend: str
+    seed: int
+    pieces: int
+    plan: str
+    monitors_enabled: bool
+    tolerance: float = 1e-8
+    n_injected: int = 0
+    n_detected: int = 0
+    n_recovered: int = 0
+    n_unrecovered: int = 0
+    n_rollbacks: int = 0
+    converged: bool = False
+    gave_up: bool = False
+    iterations: int = 0
+    residual: float = float("nan")
+    residual_ref: float = float("nan")
+    #: An injected fault hit solver setup (no checkpoint to recover to).
+    setup_fault: Optional[str] = None
+    events: List[FaultEvent] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    x: Optional[np.ndarray] = None
+    x_ref: Optional[np.ndarray] = None
+
+    @property
+    def residual_diff(self) -> float:
+        return abs(self.residual - self.residual_ref)
+
+    @property
+    def ok(self) -> bool:
+        """Healthy chaos run: faults fired, all detected, all recovered,
+        and the recovered solve matches the fault-free one — bitwise
+        (rollback replayed the clean trajectory, ``residual_diff`` is 0)
+        or, for silent perturbations the iteration absorbed under the
+        monitors' convergence certificate, within the solve tolerance."""
+        return (
+            self.setup_fault is None
+            and not self.gave_up
+            and self.n_injected >= 1
+            and self.n_detected == self.n_injected
+            and self.n_unrecovered == 0
+            and self.converged
+            and (
+                self.residual_diff <= RESIDUAL_MATCH_TOL
+                or self.residual <= 100.0 * self.tolerance
+            )
+        )
+
+    def trace(self) -> Tuple[object, ...]:
+        """Canonical recovery trace (process-independent) for
+        bitwise-reproducibility assertions."""
+        return (
+            tuple(e.trace_tuple() for e in self.events),
+            tuple(r.trace_tuple() for r in self.recoveries),
+            self.converged,
+            self.gave_up,
+            self.iterations,
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"repro chaos {self.program}: solver={self.solver} fmt={self.fmt} "
+            f"backend={self.backend} seed={self.seed} pieces={self.pieces} "
+            f"monitors={'on' if self.monitors_enabled else 'off'}",
+            f"plan: {self.plan}",
+            f"faults: injected={self.n_injected} detected={self.n_detected} "
+            f"recovered={self.n_recovered} unrecovered={self.n_unrecovered}",
+        ]
+        lines += [f"  - {e.describe()}" for e in self.events]
+        if self.setup_fault is not None:
+            lines.append(f"setup fault (unrecoverable): {self.setup_fault}")
+        lines.append(
+            f"recoveries: {self.n_rollbacks} rollback(s)"
+            + (" [recovery budget exhausted]" if self.gave_up else "")
+        )
+        lines += [f"  - {r.describe()}" for r in self.recoveries]
+        lines.append(
+            f"converged={self.converged} iterations={self.iterations} "
+            f"residual={self.residual:.3e} "
+            f"(fault-free {self.residual_ref:.3e}, |diff|={self.residual_diff:.3e})"
+        )
+        lines.append(f"result: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "program": self.program,
+            "solver": self.solver,
+            "fmt": self.fmt,
+            "backend": self.backend,
+            "seed": self.seed,
+            "pieces": self.pieces,
+            "plan": self.plan,
+            "monitors_enabled": self.monitors_enabled,
+            "n_injected": self.n_injected,
+            "n_detected": self.n_detected,
+            "n_recovered": self.n_recovered,
+            "n_unrecovered": self.n_unrecovered,
+            "n_rollbacks": self.n_rollbacks,
+            "converged": self.converged,
+            "gave_up": self.gave_up,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "residual_ref": self.residual_ref,
+            "residual_diff": self.residual_diff,
+            "setup_fault": self.setup_fault,
+            "events": [e.describe() for e in self.events],
+            "recoveries": [r.describe() for r in self.recoveries],
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2)
+
+
+def _quiesce(runtime: Runtime) -> None:
+    """Drain through any leftover injected failures (unrecoverable-plan
+    paths) so final state can still be inspected."""
+    for _ in range(256):
+        try:
+            runtime.sync()
+            return
+        except Exception as exc:
+            if not is_recoverable_fault(exc):
+                raise
+
+
+def run_chaos(
+    program: str = "fig8-cg",
+    seed: int = 1,
+    backend: str = "serial",
+    fmt: str = "csr",
+    size: Optional[int] = None,
+    pieces: int = 4,
+    jobs: Optional[int] = None,
+    tolerance: float = 1e-8,
+    max_iterations: int = 400,
+    checkpoint_every: int = 5,
+    monitors: bool = True,
+    crash_policy: str = "retry",
+    plan: Optional[FaultPlan] = None,
+    keep_timeline: bool = False,
+) -> ChaosReport:
+    """Run ``program`` fault-free and under a fault plan; see module doc.
+
+    ``plan=None`` uses :func:`default_chaos_plan` (one crash, one stall,
+    one corruption, sites drawn from ``seed``); ``crash_policy`` is
+    ``"retry"`` (transparent task restart) or ``"rollback"`` (the crash
+    propagates and the solver restores a checkpoint).  ``monitors=False``
+    disables the invariant monitors — corruption then goes undetected,
+    which the report shows as unrecovered faults and/or a residual
+    mismatch instead of silently claiming success.
+    """
+    if crash_policy not in ("retry", "rollback"):
+        raise ValueError("crash_policy must be 'retry' or 'rollback'")
+    solver_name, A, b, factory = _build_problem(program, fmt, size, seed)
+    if plan is None:
+        plan = default_chaos_plan(seed, retry_crashes=(crash_policy == "retry"))
+
+    def build(runtime: Runtime) -> Planner:
+        return make_planner(
+            factory(),
+            b,
+            n_pieces=pieces,
+            runtime=runtime,
+            preconditioner="jacobi" if solver_name == "pcg" else None,
+        )
+
+    # Reference run: same program, same backend, injection explicitly
+    # off (faults=False also shields it from REPRO_FAULTS in the env).
+    ref_runtime = Runtime(backend=backend, jobs=jobs, faults=False)
+    try:
+        ref_planner = build(ref_runtime)
+        ref_solver = SOLVER_REGISTRY[solver_name](ref_planner)
+        ref_solver.solve(tolerance=tolerance, max_iterations=max_iterations)
+        x_ref = ref_planner.get_array(SOL)
+    finally:
+        ref_runtime.executor.shutdown()
+
+    # Chaos run.
+    runtime = Runtime(
+        backend=backend, jobs=jobs, faults=plan, keep_timeline=keep_timeline
+    )
+    report = ChaosReport(
+        program=program,
+        solver=solver_name,
+        fmt="scipy-csr" if program.startswith("fig8-") else fmt,
+        backend=runtime.backend,
+        seed=seed,
+        pieces=pieces,
+        plan=plan.describe(),
+        monitors_enabled=monitors,
+        tolerance=tolerance,
+    )
+    try:
+        planner = build(runtime)
+        try:
+            solver = SOLVER_REGISTRY[solver_name](planner)
+            result = solve_resilient(
+                solver,
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                checkpoint_every=checkpoint_every,
+                monitors=default_monitors(tolerance) if monitors else (),
+            )
+            report.converged = result.converged
+            report.gave_up = result.gave_up
+            report.iterations = result.iterations
+            report.recoveries = list(result.recoveries)
+            report.n_rollbacks = result.n_rollbacks
+        except UnrecoverableFaultError as exc:
+            report.setup_fault = str(exc)
+        except Exception as exc:
+            if not is_recoverable_fault(exc):
+                raise
+            report.setup_fault = str(exc)
+        _quiesce(runtime)
+        x = planner.get_array(SOL)
+    finally:
+        runtime.executor.shutdown()
+
+    log = runtime.fault_log
+    if log is not None:
+        report.events = log.events
+        report.n_injected = log.n_injected
+        report.n_detected = log.n_detected
+        report.n_recovered = log.n_recovered
+        report.n_unrecovered = log.n_unrecovered
+    report.x = x
+    report.x_ref = x_ref
+    with np.errstate(all="ignore"):
+        report.residual = float(np.linalg.norm(A @ x - b))
+        report.residual_ref = float(np.linalg.norm(A @ x_ref - b))
+    return report
+
+
+def run_chaos_matrix(
+    programs: Sequence[str],
+    seeds: Sequence[int],
+    backends: Sequence[str] = ("serial", "threads"),
+    **kwargs: object,
+) -> List[ChaosReport]:
+    """Cartesian sweep used by CI's chaos-smoke job."""
+    reports: List[ChaosReport] = []
+    for backend in backends:
+        for program in programs:
+            for seed in seeds:
+                reports.append(
+                    run_chaos(program=program, seed=int(seed), backend=backend, **kwargs)  # type: ignore[arg-type]
+                )
+    return reports

@@ -1,0 +1,241 @@
+"""The fault-injecting executor wrapper.
+
+:class:`FaultInjector` decorates any executing backend
+(:class:`~repro.runtime.executor.SerialExecutor` or
+:class:`~repro.runtime.executor.ThreadedExecutor`) behind the same
+:class:`~repro.runtime.executor.TaskExecutor` interface.  At **submit
+time** — which happens in launch order under every backend — it matches
+each task's name against the plan's patterns, counts matches per
+pattern, and wraps the thunk of any task a :class:`FaultSpec` selects:
+
+* ``crash`` — the body "dies".  Under the plan's retry policy the
+  injector observes its own fault and re-runs the body (Legion-style
+  transparent task restart: the failed attempt never committed any
+  writes); otherwise an :class:`InjectedTaskFault` propagates exactly as
+  a real task failure would — synchronously under ``serial``, via
+  :class:`~repro.runtime.executor.ExecutorError` at the next drain under
+  ``threads`` — for the solver's rollback recovery to handle.
+* ``stall`` — the body completes late (a real ``time.sleep``), stressing
+  the threaded backend's dependence tracking.  While stalled, the task id
+  is visible through :meth:`currently_stalled`, which the threaded
+  executor's deadlock diagnostics consult to distinguish "slow because
+  fault-stalled" from "genuinely blocked".
+* ``corrupt`` — the body runs, then one element of the task's written or
+  reduced subset is poisoned (NaN) or bit-flipped (exponent MSB), *before*
+  any dependent may observe the data.  Detection is the job of the
+  solver-level invariant monitors.
+
+Every scheduled fault is recorded as a
+:class:`~repro.faults.plan.FaultEvent` in a :class:`FaultLog`, again at
+submit time, so the event stream is deterministic and comparable across
+runs and backends.
+"""
+
+from __future__ import annotations
+
+import time
+from fnmatch import fnmatchcase
+from threading import Lock
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..runtime.executor import ExecutorError, TaskExecutor
+from ..runtime.task import RegionRequirement, TaskRecord
+from .plan import FaultEvent, FaultLog, FaultPlan
+
+__all__ = ["FaultInjector", "InjectedTaskFault", "is_injected_fault"]
+
+
+class InjectedTaskFault(RuntimeError):
+    """The exception an injected crash raises from a task body."""
+
+    def __init__(self, event: FaultEvent):
+        super().__init__(
+            f"injected fault: {event.spec.describe()} killed task "
+            f"{event.task_id} ({event.task_name})"
+        )
+        self.event = event
+
+
+def is_injected_fault(exc: BaseException) -> bool:
+    """True when ``exc`` is an injected crash — directly, or wrapped in
+    the :class:`ExecutorError` a deferred backend raises at its drain
+    point.  Recovery policies must only swallow injected faults; genuine
+    task failures propagate."""
+    if isinstance(exc, InjectedTaskFault):
+        return True
+    if isinstance(exc, ExecutorError):
+        cause = exc.__cause__
+        return cause is not None and is_injected_fault(cause)
+    return False
+
+
+class FaultInjector(TaskExecutor):
+    """A :class:`TaskExecutor` decorator that injects a
+    :class:`FaultPlan` into the task stream of an inner backend."""
+
+    def __init__(
+        self,
+        inner: TaskExecutor,
+        plan: FaultPlan,
+        store=None,
+        engine=None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.store = store
+        self.engine = engine
+        self.log = FaultLog()
+        #: Matches seen so far, per distinct pattern (submit order).
+        self._counters: Dict[str, int] = {}
+        self._patterns = sorted({spec.pattern for spec in plan.specs})
+        self._stalled: Set[int] = set()
+        self._stall_lock = Lock()
+        # The backend name is the *inner* backend's: callers switch on it
+        # (deferred-vs-inline future waits, symbolic capture, reports).
+        self.name = inner.name
+        if hasattr(inner, "stall_monitor"):
+            inner.stall_monitor = self.currently_stalled
+
+    @property
+    def n_parallel(self) -> int:
+        return self.inner.n_parallel
+
+    def currently_stalled(self) -> Set[int]:
+        """Task ids currently sleeping inside an injected stall."""
+        with self._stall_lock:
+            return set(self._stalled)
+
+    # -- submit-time match -------------------------------------------------
+
+    def _match(self, record: TaskRecord) -> List[FaultEvent]:
+        events: List[FaultEvent] = []
+        for pattern in self._patterns:
+            if not fnmatchcase(record.name, pattern):
+                continue
+            index = self._counters.get(pattern, 0)
+            self._counters[pattern] = index + 1
+            for spec in self.plan.specs:
+                if spec.pattern == pattern and spec.launch_index == index:
+                    event = FaultEvent(
+                        spec=spec,
+                        task_name=record.name,
+                        task_id=record.task_id,
+                        point=record.point,
+                    )
+                    self.log.add(event)
+                    events.append(event)
+        return events
+
+    def submit(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        on_done: Callable[[object], None],
+        deps: Set[int],
+    ) -> None:
+        events = self._match(record)
+        if events:
+            for event in events:
+                self._note(f"fault:{event.kind}:{event.task_name}", record)
+            thunk = self._wrap(record, thunk, events)
+        self.inner.submit(record, thunk, on_done, deps)
+
+    def _note(self, name: str, record: TaskRecord) -> None:
+        if self.engine is not None:
+            self.engine.note_event(name, task_id=record.task_id, point=record.point)
+
+    # -- execution-time behaviour ------------------------------------------
+
+    def _wrap(
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        events: List[FaultEvent],
+    ) -> Callable[[], object]:
+        stalls = [e for e in events if e.kind == "stall"]
+        crashes = [e for e in events if e.kind == "crash"]
+        corruptions = [e for e in events if e.kind == "corrupt"]
+
+        def run() -> object:
+            for event in stalls:
+                self._stall(record, event)
+            for event in crashes:
+                event.applied = True
+                if self.plan.retry_crashes:
+                    # The first attempt dies before committing anything;
+                    # the runtime notices the lost task and relaunches it.
+                    event.detected = True
+                    event.detected_by = "retry"
+                    event.recovered = True
+                    event.recovery = "retry"
+                    event.detail = "task body lost once, relaunched"
+                else:
+                    event.detail = "task body raised"
+                    raise InjectedTaskFault(event)
+            value = thunk()
+            for event in corruptions:
+                self._corrupt(record, event)
+            return value
+
+        return run
+
+    def _stall(self, record: TaskRecord, event: FaultEvent) -> None:
+        ms = event.spec.stall_ms
+        with self._stall_lock:
+            self._stalled.add(record.task_id)
+        try:
+            time.sleep(ms / 1000.0)
+        finally:
+            with self._stall_lock:
+                self._stalled.discard(record.task_id)
+        event.applied = True
+        event.detected = True
+        event.detected_by = "injector"
+        event.recovered = True
+        event.recovery = "completed"
+        event.detail = f"completed {ms:g}ms late"
+
+    def _writable_requirement(self, record: TaskRecord) -> Optional[RegionRequirement]:
+        for req in record.requirements:
+            if req.privilege.is_write and req.subset.volume > 0 and req.fields:
+                return req
+        return None
+
+    def _corrupt(self, record: TaskRecord, event: FaultEvent) -> None:
+        req = self._writable_requirement(record)
+        if req is None or self.store is None:
+            event.detail = "no writable subset to corrupt"
+            return
+        fname = req.fields[0]
+        dtype = req.region.fspace.dtype(fname)
+        if not np.issubdtype(dtype, np.floating):
+            event.detail = f"field {fname!r} is not floating point"
+            return
+        arr = self.store.raw(req.region, fname)
+        rng = self.plan.rng_for(event.spec)
+        offset = int(rng.integers(req.subset.volume))
+        sl = req.subset.as_slice()
+        idx = int(sl.start + offset) if sl is not None else int(req.subset.indices[offset])
+        payload = event.spec.payload
+        if payload == "bitflip" and dtype == np.float64:
+            buf = np.array([arr[idx]], dtype=np.float64)
+            buf.view(np.int64)[0] ^= np.int64(1) << np.int64(62)
+            arr[idx] = buf[0]
+        else:
+            arr[idx] = np.nan
+            payload = "nan"
+        event.applied = True
+        event.detail = f"{req.region.name}.{fname}[{idx}] <- {payload}"
+
+    # -- delegation --------------------------------------------------------
+
+    def wait_for_future(self, future_uid: int) -> None:
+        self.inner.wait_for_future(future_uid)
+
+    def drain(self) -> None:
+        self.inner.drain()
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()

@@ -1,0 +1,106 @@
+"""Cheap solver-state invariant monitors.
+
+Monitors are evaluated by :func:`~repro.core.solvers.resilient.solve_resilient`
+every ``checkpoint_every`` iterations, *before* a checkpoint is taken —
+state that fails a monitor is never checkpointed, so rollback always
+lands on a vetted snapshot.  A monitor returns ``None`` when the state
+looks healthy, or a short description of the violated invariant.
+
+Two stock monitors cover the injected-corruption modes:
+
+* :class:`NaNGuard` — any non-finite entry in the solution, the tracked
+  recurrence vectors, or the convergence measure (NaN-poison detection).
+* :class:`ResidualDriftMonitor` — the *true* residual ``‖A x − b‖``
+  (recomputed through planner tasks) diverging from the solver's cheap
+  recurrence-tracked measure (bit-flip detection: a silently perturbed
+  vector breaks the recurrence/true-residual agreement long before the
+  solver "converges" to a wrong answer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.solvers.base import KrylovSolver
+
+__all__ = ["InvariantMonitor", "NaNGuard", "ResidualDriftMonitor", "default_monitors"]
+
+
+class InvariantMonitor:
+    """Interface: ``check(solver)`` returns None or a violation string."""
+
+    name = "monitor"
+
+    def check(self, solver: "KrylovSolver") -> Optional[str]:
+        raise NotImplementedError
+
+
+class NaNGuard(InvariantMonitor):
+    """Flags non-finite values in the solver's checkpointed state."""
+
+    name = "nan-guard"
+
+    def check(self, solver: "KrylovSolver") -> Optional[str]:
+        measure = float(solver.get_convergence_measure())
+        if not math.isfinite(measure):
+            return f"convergence measure is {measure}"
+        planner = solver.planner
+        for vec_id in solver.checkpoint_vector_ids():
+            values = planner.get_array(vec_id)
+            if not np.all(np.isfinite(values)):
+                bad = int(np.flatnonzero(~np.isfinite(values))[0])
+                return f"non-finite entry in vector {vec_id} at [{bad}]"
+        return None
+
+
+class ResidualDriftMonitor(InvariantMonitor):
+    """Flags disagreement between the true and the recurrence residual.
+
+    ``atol`` suppresses the check once both residuals are tiny (near
+    convergence the recurrence estimate legitimately departs from the
+    true residual in the last few digits); set it a little above the
+    solve tolerance.
+    """
+
+    name = "residual-drift"
+
+    def __init__(self, rtol: float = 0.5, atol: float = 1e-7):
+        self.rtol = rtol
+        self.atol = atol
+
+    def check(self, solver: "KrylovSolver") -> Optional[str]:
+        true = float(solver.planner.residual_norm())
+        if not math.isfinite(true):
+            return f"true residual is {true}"
+        recurrence = float(solver.get_convergence_measure())
+        if not math.isfinite(recurrence):
+            return f"recurrence residual is {recurrence}"
+        scale = max(true, recurrence)
+        if scale <= self.atol:
+            return None
+        if solver.measure_kind == "bound":
+            # The measure only bounds the residual (TFQMR's quasi-residual
+            # τ: ‖r‖ ≤ τ·√(it+1)), so a two-sided drift check would flag
+            # healthy runs.  Enforce the one-sided bound with safety 2.
+            limit = 2.0 * recurrence * math.sqrt(solver.iterations_done + 1.0)
+            if true > max(limit, self.atol):
+                return (
+                    f"true residual {true:.3e} exceeds the quasi-residual "
+                    f"bound {limit:.3e}"
+                )
+            return None
+        if abs(true - recurrence) > self.rtol * scale:
+            return (
+                f"true residual {true:.3e} drifted from recurrence "
+                f"residual {recurrence:.3e}"
+            )
+        return None
+
+
+def default_monitors(tolerance: float = 1e-8) -> List[InvariantMonitor]:
+    """The stock monitor set for a solve at ``tolerance``."""
+    return [NaNGuard(), ResidualDriftMonitor(atol=max(10.0 * tolerance, 1e-12))]

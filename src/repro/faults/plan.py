@@ -1,0 +1,357 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a reproducible schedule of injected failures: each
+:class:`FaultSpec` names a *kind* of fault, an ``fnmatch`` pattern over
+task names, and the *launch index* — the how-many-th matching task (in
+launch order, counted per pattern) the fault fires on.  Because the
+injector makes every injection decision at **submit time**, and tasks are
+submitted in launch order under every backend, the same plan hits the
+same tasks whether bodies run inline (``serial``) or on a thread pool
+(``threads``).
+
+Randomized choices (which element to corrupt, how long to stall) come
+from a :func:`numpy.random.default_rng` keyed on ``(plan seed, kind,
+pattern, launch index)`` — never from Python's per-process-randomized
+``hash()`` — so two runs of the same plan are bitwise identical.
+
+Plans can be written as strings (the ``REPRO_FAULTS`` environment
+variable uses this form)::
+
+    crash:dot_partial:12;stall:spmv_*:3:8;corrupt:axpy:20:nan
+
+i.e. ``kind:pattern:launch_index[:payload]`` separated by ``;``.  For
+``stall`` the optional fourth field is the stall duration in
+milliseconds; for ``corrupt`` it is the poison payload (``nan`` or
+``bitflip``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+import numpy as np
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_SEED_ENV",
+    "FAULT_KINDS",
+    "CORRUPT_PAYLOADS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultLog",
+    "default_chaos_plan",
+]
+
+#: Environment variables: a plan string, and the seed for its random
+#: choices (companions to ``REPRO_BACKEND``/``REPRO_JOBS``).
+FAULTS_ENV = "REPRO_FAULTS"
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+FAULT_KINDS = ("crash", "stall", "corrupt")
+CORRUPT_PAYLOADS = ("nan", "bitflip")
+
+#: Default stall duration (milliseconds) when a spec does not give one.
+DEFAULT_STALL_MS = 25.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``launch_index`` counts tasks whose name matches ``pattern``, in
+    launch order, starting from 0.  ``payload`` applies to ``corrupt``
+    (``"nan"`` poisons one element, ``"bitflip"`` XORs its exponent MSB);
+    ``stall_ms`` applies to ``stall``.
+    """
+
+    kind: str
+    pattern: str
+    launch_index: int
+    payload: str = "nan"
+    stall_ms: float = DEFAULT_STALL_MS
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.launch_index < 0:
+            raise ValueError("launch_index must be >= 0")
+        if self.kind == "corrupt" and self.payload not in CORRUPT_PAYLOADS:
+            raise ValueError(
+                f"unknown corrupt payload {self.payload!r}; known: {CORRUPT_PAYLOADS}"
+            )
+        if self.kind == "stall" and self.stall_ms <= 0:
+            raise ValueError("stall_ms must be positive")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind == "corrupt":
+            extra = f":{self.payload}"
+        elif self.kind == "stall":
+            extra = f":{self.stall_ms:g}ms"
+        return f"{self.kind}:{self.pattern}[#{self.launch_index}]{extra}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of :class:`FaultSpec` entries."""
+
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+    #: Crash policy: retry the failed task transparently (True) or let
+    #: the injected exception propagate so the solver rolls back (False).
+    retry_crashes: bool = True
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def rng_for(self, spec: FaultSpec) -> np.random.Generator:
+        """Deterministic generator for one spec's random choices.  Keyed
+        on crc32 of the textual fields (``hash()`` is randomized per
+        process and would break cross-run reproducibility)."""
+        return np.random.default_rng(
+            [
+                self.seed & 0xFFFFFFFF,
+                crc32(spec.kind.encode()),
+                crc32(spec.pattern.encode()),
+                spec.launch_index,
+            ]
+        )
+
+    def describe(self) -> str:
+        body = "; ".join(s.describe() for s in self.specs)
+        policy = "retry" if self.retry_crashes else "rollback"
+        return f"FaultPlan(seed={self.seed}, crashes={policy}: {body})"
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls, text: str, seed: int = 0, retry_crashes: bool = True
+    ) -> "FaultPlan":
+        """Parse the ``kind:pattern:index[:payload|:ms]`` string form."""
+        specs: List[FaultSpec] = []
+        for chunk in text.replace(",", ";").split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"malformed fault spec {chunk!r}; expected "
+                    "kind:pattern:launch_index[:payload]"
+                )
+            kind, pattern = parts[0].strip().lower(), parts[1].strip()
+            if not pattern:
+                raise ValueError(f"empty task pattern in fault spec {chunk!r}")
+            try:
+                index = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"launch index {parts[2]!r} in fault spec {chunk!r} "
+                    "is not an integer"
+                ) from None
+            kwargs: Dict[str, object] = {}
+            if len(parts) == 4:
+                extra = parts[3].strip().lower()
+                if kind == "stall":
+                    try:
+                        kwargs["stall_ms"] = float(extra)
+                    except ValueError:
+                        raise ValueError(
+                            f"stall duration {extra!r} in {chunk!r} is not a number"
+                        ) from None
+                else:
+                    kwargs["payload"] = extra
+            specs.append(FaultSpec(kind, pattern, index, **kwargs))  # type: ignore[arg-type]
+        if not specs:
+            raise ValueError(f"fault plan {text!r} contains no specs")
+        return cls(specs=tuple(specs), seed=seed, retry_crashes=retry_crashes)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan described by ``REPRO_FAULTS``/``REPRO_FAULT_SEED``,
+        or None when the variable is unset/empty."""
+        env = os.environ if environ is None else environ
+        text = env.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        seed_raw = env.get(FAULT_SEED_ENV, "").strip()
+        try:
+            seed = int(seed_raw) if seed_raw else 0
+        except ValueError:
+            seed = 0
+        return cls.parse(text, seed=seed)
+
+
+def default_chaos_plan(
+    seed: int,
+    kinds: Sequence[str] = FAULT_KINDS,
+    payload: str = "nan",
+    retry_crashes: bool = True,
+) -> FaultPlan:
+    """The ``repro chaos`` plan: one crash, one stall, one corruption,
+    with launch indices drawn from the seed.
+
+    The patterns target operations every stock solver launches
+    (``dot_partial``, ``spmv_*``, ``axpy``); the index windows start past
+    the launches any solver's *constructor* can produce (with the default
+    piece counts), so faults land mid-solve where checkpoint/rollback
+    recovery is exercised, never during solver setup where no checkpoint
+    exists yet.
+    """
+    rng = np.random.default_rng([seed & 0xFFFFFFFF, 0xC4A05])
+    specs: List[FaultSpec] = []
+    if "crash" in kinds:
+        specs.append(FaultSpec("crash", "dot_partial", int(rng.integers(10, 36))))
+    if "stall" in kinds:
+        specs.append(
+            FaultSpec(
+                "stall", "spmv_*", int(rng.integers(2, 16)),
+                stall_ms=float(rng.integers(2, 12)),
+            )
+        )
+    if "corrupt" in kinds:
+        specs.append(
+            FaultSpec("corrupt", "axpy", int(rng.integers(10, 40)), payload=payload)
+        )
+    if not specs:
+        raise ValueError(f"no known fault kinds in {kinds!r}")
+    return FaultPlan(specs=tuple(specs), seed=seed, retry_crashes=retry_crashes)
+
+
+@dataclass
+class FaultEvent:
+    """One fault the injector scheduled onto a concrete task.
+
+    Created at submit time (deterministic: launch order); the mutable
+    flags are filled in as the fault executes and is detected/recovered.
+    ``task_id`` is the process-global task counter and is excluded from
+    :meth:`trace_tuple` (two runs in one process see different absolute
+    ids for identical programs).
+    """
+
+    spec: FaultSpec
+    task_name: str
+    task_id: int
+    point: Optional[int]
+    #: The fault actually perturbed execution (a corrupt spec matching a
+    #: task with no writable subset stays False).
+    applied: bool = False
+    detected: bool = False
+    #: What detected it: "retry", "exception", or "monitor:<name>".
+    detected_by: str = ""
+    recovered: bool = False
+    #: How: "retry" | "rollback" | "completed" (stalls complete on their
+    #: own; they only ever delay).
+    recovery: str = ""
+    detail: str = ""
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    def trace_tuple(self) -> Tuple[object, ...]:
+        """Canonical, process-independent record for determinism tests.
+
+        ``task_id`` and ``detail`` are deliberately excluded: both embed
+        process-global counters (task ids, auto-generated region names)
+        that differ from run to run even when the injection itself is
+        bitwise identical.
+        """
+        return (
+            self.spec.kind,
+            self.spec.pattern,
+            self.spec.launch_index,
+            self.task_name,
+            self.point,
+            self.applied,
+            self.detected,
+            self.detected_by,
+            self.recovered,
+            self.recovery,
+        )
+
+    def describe(self) -> str:
+        status = (
+            "recovered" if self.recovered
+            else "detected" if self.detected
+            else "injected" if self.applied
+            else "scheduled"
+        )
+        via = f" via {self.recovery}" if self.recovery else ""
+        by = f" by {self.detected_by}" if self.detected_by else ""
+        what = f" ({self.detail})" if self.detail else ""
+        return f"{self.spec.describe()} on {self.task_name} -> {status}{by}{via}{what}"
+
+
+class FaultLog:
+    """Thread-safe record of every scheduled fault event."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[FaultEvent] = []
+
+    def add(self, event: FaultEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def n_injected(self) -> int:
+        return sum(1 for e in self.events if e.applied)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(1 for e in self.events if e.applied and e.detected)
+
+    @property
+    def n_recovered(self) -> int:
+        return sum(1 for e in self.events if e.applied and e.recovered)
+
+    @property
+    def n_unrecovered(self) -> int:
+        return sum(1 for e in self.events if e.applied and not e.recovered)
+
+    def mark_open_recovered(self, detected_by: str, recovery: str = "rollback") -> int:
+        """Flag every applied-but-unrecovered event as detected and
+        recovered (a rollback wipes all state perturbed since the last
+        checkpoint, whatever faults put it there).  Returns the count."""
+        n = 0
+        with self._lock:
+            for e in self._events:
+                if e.applied and not e.recovered:
+                    if not e.detected:
+                        e.detected = True
+                        e.detected_by = detected_by
+                    e.recovered = True
+                    e.recovery = recovery
+                    n += 1
+        return n
+
+    def trace(self) -> Tuple[Tuple[object, ...], ...]:
+        """Canonical trace for bitwise-reproducibility assertions."""
+        return tuple(e.trace_tuple() for e in self.events)
+
+    def summary_lines(self) -> List[str]:
+        return [e.describe() for e in self.events]

@@ -446,6 +446,33 @@ class Engine:
             obs.on_task(record, deps, device.device_id, start, finish)
         return start, finish, deps
 
+    def note_event(
+        self,
+        name: str,
+        task_id: Optional[int] = None,
+        point: Optional[int] = None,
+    ) -> None:
+        """Record a zero-duration annotation on the timeline (when kept):
+        fault injections and solver recovery actions use this, so chaos
+        runs show ``fault:*``/``recovery:*`` entries inline with the
+        simulated task stream.  Device/node are -1: the event is not tied
+        to a modeled resource and consumes no simulated time."""
+        if not self.keep_timeline:
+            return
+        t = self.current_time
+        self.timeline.append(
+            TimelineEntry(
+                task_id=-1 if task_id is None else task_id,
+                name=name,
+                device_id=-1,
+                node=-1,
+                start=t,
+                finish=t,
+                comm_time=0.0,
+                point=point,
+            )
+        )
+
     def barrier(self) -> float:
         """Execution fence: every resource becomes free only at the
         completion time of all work issued so far — subsequently

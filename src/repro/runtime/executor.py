@@ -297,6 +297,12 @@ class ThreadedExecutor(TaskExecutor):
         # plus the subsets themselves for overlap tests across uids.
         self._reduce_tail: Dict[Tuple[int, str], Dict[int, Tuple[object, int]]] = {}
         self._disjoint: Dict[Tuple[int, int], bool] = {}
+        #: Optional callable returning the task ids currently held in an
+        #: injected stall (set by the fault injector).  Deadlock
+        #: diagnostics consult it so a chaos-test failure states whether
+        #: a task is fault-stalled (slow on purpose) or genuinely
+        #: blocked.
+        self.stall_monitor: Optional[Callable[[], Set[int]]] = None
 
     @property
     def n_parallel(self) -> int:
@@ -434,12 +440,39 @@ class ThreadedExecutor(TaskExecutor):
                 stack.extend(node.waiting_on)
         return seen
 
-    def _task_label_locked(self, task_id: Optional[int]) -> str:
-        """``"{id} ({name})"`` for a pending task, best-effort otherwise."""
+    def _stalled_ids(self) -> Set[int]:
+        """Task ids currently inside an injected stall (empty when no
+        fault injector is attached)."""
+        monitor = self.stall_monitor
+        if monitor is None:
+            return set()
+        try:
+            return set(monitor())
+        except Exception:  # pragma: no cover - diagnostics must not raise
+            return set()
+
+    def _task_label_locked(
+        self, task_id: Optional[int], stalled: "frozenset[int] | Set[int]" = frozenset()
+    ) -> str:
+        """``"{id} ({name})"`` for a pending task, best-effort otherwise;
+        fault-stalled tasks are marked as such."""
         if task_id is None:
             return "?"
         node = self._pending.get(task_id)
-        return f"{task_id} ({node.name})" if node is not None else str(task_id)
+        label = f"{task_id} ({node.name})" if node is not None else str(task_id)
+        if task_id in stalled:
+            label += " [fault-stalled]"
+        return label
+
+    @staticmethod
+    def _stall_note(stalled: Set[int]) -> str:
+        if not stalled:
+            return ""
+        ids = ", ".join(str(t) for t in sorted(stalled))
+        return (
+            f"; fault-injection note: task(s) {ids} are fault-stalled "
+            "(delayed on purpose, still running), not genuinely blocked"
+        )
 
     def _check_stuck_locked(self, task_id: int, waiting_for: Optional[str] = None) -> None:
         """Raise :class:`DeadlockError` if ``task_id`` can never complete.
@@ -451,12 +484,14 @@ class ThreadedExecutor(TaskExecutor):
         waiter = getattr(_current_task, "task_id", None)
         closure = self._closure_locked(task_id)
         where = f" while blocking on {waiting_for}" if waiting_for else ""
+        stalled = self._stalled_ids()
+        note = self._stall_note(stalled)
         if waiter is not None and waiter in closure and waiter != task_id:
             raise DeadlockError(
-                f"task {self._task_label_locked(waiter)} blocks on task "
-                f"{self._task_label_locked(task_id)}{where}, which transitively "
+                f"task {self._task_label_locked(waiter, stalled)} blocks on task "
+                f"{self._task_label_locked(task_id, stalled)}{where}, which transitively "
                 f"depends on task {waiter} itself — dependence cycle through a "
-                "blocking future read"
+                f"blocking future read{note}"
             )
         for tid in closure:
             node = self._pending.get(tid)
@@ -474,19 +509,21 @@ class ThreadedExecutor(TaskExecutor):
             ]
             if missing:
                 blocked = ", ".join(
-                    self._task_label_locked(t) for t in sorted(closure & set(self._pending))
+                    self._task_label_locked(t, stalled)
+                    for t in sorted(closure & set(self._pending))
                 )
                 raise DeadlockError(
                     f"task {tid} ({node.name}) waits on task(s) {sorted(missing)} "
                     f"that were never submitted and can never complete{where}; "
-                    f"blocked tasks: [{blocked}]"
+                    f"blocked tasks: [{blocked}]{note}"
                 )
         cycle = ", ".join(
-            self._task_label_locked(t) for t in sorted(closure & set(self._pending))
+            self._task_label_locked(t, stalled)
+            for t in sorted(closure & set(self._pending))
         )
         raise DeadlockError(
             f"dependence cycle among pending tasks [{cycle}]{where}; "
-            "no task in the closure can ever become ready"
+            f"no task in the closure can ever become ready{note}"
         )
 
     def _raise_if_failed_locked(self) -> None:

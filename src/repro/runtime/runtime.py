@@ -21,9 +21,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import FaultLog, FaultPlan
 
 from .engine import Engine
 from .executor import TaskExecutor, make_executor
@@ -64,6 +68,7 @@ class Runtime:
         keep_timeline: bool = False,
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
+        faults: Any = None,
     ):
         self.machine = machine if machine is not None else Machine(n_nodes=1)
         self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
@@ -76,11 +81,60 @@ class Runtime:
         #: Under "capture" task bodies never run — futures resolve to
         #: :class:`~repro.runtime.executor.SymbolicValue`s and the task
         #: stream is recordable via ``repro.analyze``.
-        self.executor: TaskExecutor = make_executor(backend, jobs)
+        executor: TaskExecutor = make_executor(backend, jobs)
+        #: Fault injection (``faults=``): ``None`` reads the
+        #: ``REPRO_FAULTS``/``REPRO_FAULT_SEED`` environment variables,
+        #: ``False`` disables injection unconditionally, a plan string or
+        #: :class:`~repro.faults.plan.FaultPlan` uses that plan.  When a
+        #: plan is active the executor is wrapped in a
+        #: :class:`~repro.faults.injector.FaultInjector` (never under
+        #: "capture", whose bodies never run).
+        self.fault_injector: Optional["FaultInjector"] = None
+        plan = self._resolve_fault_plan(faults)
+        if plan is not None and len(plan.specs) > 0 and executor.name != "capture":
+            from ..faults.injector import FaultInjector
+
+            injector = FaultInjector(executor, plan, store=self.store, engine=self.engine)
+            self.fault_injector = injector
+            executor = injector
+        self.executor: TaskExecutor = executor
         self.backend = self.executor.name
         self._deferred = self.backend != "serial"
         self._traces: Dict[Any, _TraceState] = {}
         self._active_trace: Optional[_TraceState] = None
+
+    # -- fault injection -------------------------------------------------------
+
+    @staticmethod
+    def _resolve_fault_plan(faults: Any) -> Optional["FaultPlan"]:
+        """``faults=`` argument -> plan: False disables, None consults the
+        environment, a string is parsed, a FaultPlan passes through."""
+        if faults is False:
+            return None
+        from ..faults.plan import FAULT_SEED_ENV, FaultPlan
+
+        if faults is None:
+            return FaultPlan.from_env()
+        if isinstance(faults, FaultPlan):
+            return faults
+        if isinstance(faults, str):
+            import os
+
+            seed_raw = os.environ.get(FAULT_SEED_ENV, "").strip()
+            try:
+                seed = int(seed_raw) if seed_raw else 0
+            except ValueError:
+                seed = 0
+            return FaultPlan.parse(faults, seed=seed)
+        raise TypeError(
+            f"faults must be None, False, a plan string, or a FaultPlan; "
+            f"got {type(faults).__name__}"
+        )
+
+    @property
+    def fault_log(self) -> Optional["FaultLog"]:
+        """The injector's event log, or None when injection is inactive."""
+        return self.fault_injector.log if self.fault_injector is not None else None
 
     # -- region management ----------------------------------------------------
 
@@ -137,6 +191,21 @@ class Runtime:
             state.valid = False
         if state.recording:
             state.valid = True
+        self._active_trace = None
+
+    def abort_trace(self, trace_id: Any = None) -> None:
+        """Abandon the active trace after a mid-iteration failure (fault
+        recovery): the partial recording can never be completed by a
+        matching ``end_trace``, so it is invalidated and cleared.  No-op
+        when no trace is active; ``trace_id`` is advisory (the active
+        trace is aborted regardless, since only one can be active)."""
+        state = self._active_trace
+        if state is None:
+            return
+        state.valid = False
+        state.recording = True
+        state.signatures = []
+        state.cursor = 0
         self._active_trace = None
 
     def _trace_step(self, record: TaskRecord) -> bool:

@@ -1,0 +1,76 @@
+"""`repro chaos` CLI: exit codes, summary output, JSON export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_recovered_run_exits_zero(self, capsys):
+        code = main(["chaos", "fig8-cg", "--seed", "1", "--backend", "threads"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "injected" in out and "recovered" in out
+        assert "unrecovered=0" in out
+
+    def test_unrecovered_run_exits_one(self, capsys):
+        code = main(["chaos", "cg", "--seed", "1", "--no-monitors"])
+        out = capsys.readouterr().out
+        assert code == 1, out
+
+    def test_unknown_program_exits_two(self, capsys):
+        code = main(["chaos", "frobnicate", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "chaos:" in out and "unknown program" in out
+
+    def test_malformed_plan_exits_two(self, capsys):
+        code = main(["chaos", "cg", "--plan", "crash:axpy"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "malformed" in out
+
+
+class TestOptions:
+    def test_explicit_plan_and_rollback_policy(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "cg",
+                "--seed",
+                "3",
+                "--plan",
+                "crash:dot_partial:12",
+                "--crash-policy",
+                "rollback",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "rollback" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main(
+            ["chaos", "cg", "--seed", "2", "--json", str(target)]
+        )
+        assert code == 0, capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["program"] == "cg"
+        assert payload["seed"] == 2
+        assert payload["n_injected"] >= 1
+        assert payload["n_unrecovered"] == 0
+
+    def test_seed_changes_the_printed_plan(self, capsys):
+        main(["chaos", "cg", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["chaos", "cg", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_bitflip_payload_accepted(self, capsys):
+        code = main(["chaos", "cg", "--seed", "1", "--payload", "bitflip"])
+        out = capsys.readouterr().out
+        assert code == 0, out

@@ -1,0 +1,86 @@
+"""Seeded property tests: fault injection and recovery are a pure
+function of (plan, seed, backend) — and backend-independent.
+
+Recovery traces compare via ``trace_tuple()``, which deliberately
+excludes process-global identifiers (task ids, auto-generated region
+names); everything else — injection sites, detection attribution,
+recovery actions, iteration counts, final bits — must match exactly.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, default_chaos_plan
+from repro.faults.chaos import run_chaos
+
+FEW = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+solvers = st.sampled_from(["cg", "bicgstab", "cgs"])
+payloads = st.sampled_from(["nan", "bitflip"])
+
+
+class TestPlanDeterminism:
+    @FEW
+    @given(seed=seeds, payload=payloads)
+    def test_default_plan_is_pure_in_seed(self, seed, payload):
+        a = default_chaos_plan(seed, payload=payload)
+        b = default_chaos_plan(seed, payload=payload)
+        assert a.describe() == b.describe()
+        assert [s.describe() for s in a] == [s.describe() for s in b]
+
+    @FEW
+    @given(seed=seeds)
+    def test_rng_stream_is_bitwise_reproducible(self, seed):
+        spec = FaultSpec("corrupt", "axpy", 17, payload="nan")
+        plan = FaultPlan((spec,), seed=seed)
+        draws = lambda: plan.rng_for(spec).integers(0, 1 << 62, size=128)
+        assert np.array_equal(draws(), draws())
+
+    def test_distinct_seeds_move_injection_sites(self):
+        sites = {
+            tuple((s.kind, s.pattern, s.launch_index) for s in default_chaos_plan(seed))
+            for seed in range(16)
+        }
+        # Not every pair differs, but the family must not collapse.
+        assert len(sites) >= 8
+
+
+class TestRunDeterminism:
+    @FEW
+    @given(seed=seeds, solver=solvers)
+    def test_same_plan_seed_backend_is_bitwise_identical(self, seed, solver):
+        first = run_chaos(solver, seed=seed)
+        second = run_chaos(solver, seed=seed)
+        assert first.trace() == second.trace()
+        assert np.array_equal(first.x, second.x)
+        assert first.residual == second.residual  # exact, not approx
+
+    @FEW
+    @given(seed=seeds, solver=solvers)
+    def test_serial_and_threads_agree(self, seed, solver):
+        serial = run_chaos(solver, seed=seed, backend="serial")
+        threads = run_chaos(solver, seed=seed, backend="threads", jobs=4)
+        assert serial.trace() == threads.trace()
+        assert np.array_equal(serial.x, threads.x)
+
+    def test_threads_twice_is_bitwise_identical(self):
+        a = run_chaos("cg", seed=7, backend="threads", jobs=4)
+        b = run_chaos("cg", seed=7, backend="threads", jobs=4)
+        assert a.trace() == b.trace()
+        assert np.array_equal(a.x, b.x)
+
+    def test_different_seeds_hit_different_sites(self):
+        def injection_sites(seed):
+            report = run_chaos("cg", seed=seed)
+            return tuple(
+                (e.kind, e.task_name, e.spec.launch_index) for e in report.events
+            )
+
+        sites = {injection_sites(seed) for seed in range(8)}
+        assert len(sites) >= 4

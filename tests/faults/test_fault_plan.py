@@ -1,0 +1,217 @@
+"""FaultSpec/FaultPlan: validation, parsing, env wiring, seeded RNG."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_SEED_ENV,
+    FAULTS_ENV,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    default_chaos_plan,
+)
+
+
+class TestFaultSpec:
+    def test_fields_and_describe(self):
+        spec = FaultSpec("corrupt", "axpy", 12, payload="bitflip")
+        assert spec.kind == "corrupt"
+        assert "corrupt:axpy[#12]:bitflip" == spec.describe()
+        assert "stall:spmv_*[#3]:8ms" == FaultSpec(
+            "stall", "spmv_*", 3, stall_ms=8.0
+        ).describe()
+        assert "crash:dot_partial[#7]" == FaultSpec("crash", "dot_partial", 7).describe()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode", "axpy", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="launch_index"):
+            FaultSpec("crash", "axpy", -1)
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(ValueError, match="payload"):
+            FaultSpec("corrupt", "axpy", 0, payload="zero")
+
+    def test_nonpositive_stall_rejected(self):
+        with pytest.raises(ValueError, match="stall_ms"):
+            FaultSpec("stall", "axpy", 0, stall_ms=0.0)
+
+
+class TestParse:
+    def test_three_specs_with_extras(self):
+        plan = FaultPlan.parse(
+            "crash:dot_partial:12; stall:spmv_*:3:8; corrupt:axpy:20:nan", seed=5
+        )
+        assert len(plan) == 3
+        kinds = [s.kind for s in plan]
+        assert kinds == ["crash", "stall", "corrupt"]
+        assert plan.specs[1].stall_ms == 8.0
+        assert plan.specs[2].payload == "nan"
+        assert plan.seed == 5
+
+    def test_comma_separator_and_whitespace(self):
+        plan = FaultPlan.parse(" crash:axpy:1 , corrupt:copy:2:bitflip ")
+        assert len(plan) == 2
+        assert plan.specs[1].payload == "bitflip"
+
+    def test_retry_flag_carried(self):
+        assert FaultPlan.parse("crash:axpy:0").retry_crashes
+        assert not FaultPlan.parse("crash:axpy:0", retry_crashes=False).retry_crashes
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("crash:axpy", "malformed"),
+            ("crash:axpy:one", "not an integer"),
+            ("crash::3", "empty task pattern"),
+            ("stall:axpy:3:soon", "not a number"),
+            (";;", "no specs"),
+            ("corrupt:axpy:3:zeros", "payload"),
+        ],
+    )
+    def test_malformed_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan.parse(text)
+
+    def test_describe_mentions_policy_and_specs(self):
+        plan = FaultPlan.parse("crash:axpy:4", seed=9, retry_crashes=False)
+        text = plan.describe()
+        assert "seed=9" in text and "rollback" in text and "crash:axpy[#4]" in text
+
+
+class TestFromEnv:
+    def test_unset_is_none(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULTS_ENV: "   "}) is None
+
+    def test_set_with_seed(self):
+        env = {FAULTS_ENV: "crash:dot_partial:6", FAULT_SEED_ENV: "11"}
+        plan = FaultPlan.from_env(env)
+        assert plan is not None
+        assert plan.seed == 11
+        assert plan.specs[0].pattern == "dot_partial"
+
+    def test_bad_seed_falls_back_to_zero(self):
+        env = {FAULTS_ENV: "crash:axpy:0", FAULT_SEED_ENV: "eleven"}
+        assert FaultPlan.from_env(env).seed == 0
+
+    def test_reads_process_environ(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "stall:spmv_*:2:4")
+        monkeypatch.setenv(FAULT_SEED_ENV, "3")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 3 and plan.specs[0].kind == "stall"
+
+
+class TestSeededRng:
+    def test_same_spec_same_seed_bitwise_identical(self):
+        plan = FaultPlan.parse("corrupt:axpy:20:nan", seed=7)
+        a = plan.rng_for(plan.specs[0]).integers(0, 1 << 30, size=64)
+        b = plan.rng_for(plan.specs[0]).integers(0, 1 << 30, size=64)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec("corrupt", "axpy", 20)
+        a = FaultPlan((spec,), seed=1).rng_for(spec).integers(0, 1 << 30, size=32)
+        b = FaultPlan((spec,), seed=2).rng_for(spec).integers(0, 1 << 30, size=32)
+        assert not np.array_equal(a, b)
+
+    def test_with_seed_returns_new_plan(self):
+        plan = FaultPlan.parse("crash:axpy:0", seed=1)
+        assert plan.with_seed(9).seed == 9
+        assert plan.seed == 1  # frozen original untouched
+
+
+class TestDefaultChaosPlan:
+    def test_one_of_each_kind(self):
+        plan = default_chaos_plan(1)
+        assert sorted(s.kind for s in plan) == ["corrupt", "crash", "stall"]
+        assert plan.retry_crashes
+
+    def test_deterministic_per_seed(self):
+        assert default_chaos_plan(5).describe() == default_chaos_plan(5).describe()
+
+    def test_different_seeds_pick_different_sites(self):
+        sites = {
+            tuple((s.kind, s.launch_index) for s in default_chaos_plan(seed))
+            for seed in range(12)
+        }
+        assert len(sites) > 1
+
+    def test_windows_stay_clear_of_setup(self):
+        # Indices start past what any solver constructor launches.
+        for seed in range(20):
+            plan = default_chaos_plan(seed)
+            for spec in plan:
+                if spec.kind in ("crash", "corrupt"):
+                    assert spec.launch_index >= 10
+
+    def test_payload_and_policy_forwarded(self):
+        plan = default_chaos_plan(2, payload="bitflip", retry_crashes=False)
+        [corrupt] = [s for s in plan if s.kind == "corrupt"]
+        assert corrupt.payload == "bitflip"
+        assert not plan.retry_crashes
+
+    def test_kind_subset(self):
+        plan = default_chaos_plan(1, kinds=("crash",))
+        assert [s.kind for s in plan] == ["crash"]
+        with pytest.raises(ValueError, match="no known fault kinds"):
+            default_chaos_plan(1, kinds=("meteor",))
+
+
+class TestFaultLog:
+    def _event(self, kind="corrupt", applied=True):
+        return FaultEvent(
+            spec=FaultSpec(kind, "axpy", 3),
+            task_name="axpy",
+            task_id=101,
+            point=0,
+            applied=applied,
+        )
+
+    def test_counters(self):
+        log = FaultLog()
+        done = self._event()
+        done.detected = done.recovered = True
+        log.add(done)
+        log.add(self._event())  # applied, open
+        log.add(self._event(applied=False))  # scheduled only
+        assert len(log) == 3
+        assert log.n_injected == 2
+        assert log.n_detected == 1
+        assert log.n_recovered == 1
+        assert log.n_unrecovered == 1
+
+    def test_mark_open_recovered(self):
+        log = FaultLog()
+        open_event = self._event()
+        log.add(open_event)
+        log.add(self._event(applied=False))
+        n = log.mark_open_recovered(detected_by="monitor:nan-guard")
+        assert n == 1
+        assert open_event.recovered and open_event.detected
+        assert open_event.detected_by == "monitor:nan-guard"
+        assert open_event.recovery == "rollback"
+        assert log.n_unrecovered == 0
+        assert log.mark_open_recovered(detected_by="again") == 0
+
+    def test_trace_excludes_process_counters(self):
+        a, b = self._event(), self._event()
+        b.task_id = a.task_id + 555  # different process-global id
+        b.detail = "vec99.v[3] <- nan"  # different auto-generated name
+        assert a.trace_tuple() == b.trace_tuple()
+
+    def test_describe_status_progression(self):
+        e = self._event(applied=False)
+        assert "scheduled" in e.describe()
+        e.applied = True
+        assert "injected" in e.describe()
+        e.detected = True
+        e.detected_by = "monitor:nan-guard"
+        assert "detected by monitor:nan-guard" in e.describe()
+        e.recovered = True
+        e.recovery = "rollback"
+        assert "recovered" in e.describe() and "via rollback" in e.describe()

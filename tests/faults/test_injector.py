@@ -1,0 +1,258 @@
+"""FaultInjector: submit-time matching, crash/stall/corrupt behaviour,
+runtime wiring (env vars, backend preservation, timeline events)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, InjectedTaskFault, is_injected_fault
+from repro.faults.injector import FaultInjector
+from repro.runtime import (
+    ExecutorError,
+    IndexSpace,
+    Privilege,
+    Runtime,
+    Subset,
+    TaskLauncher,
+)
+
+
+def make_runtime(plan=None, backend="serial", **kwargs):
+    faults = plan if plan is not None else False
+    return Runtime(backend=backend, faults=faults, **kwargs)
+
+
+def writer(rt, region, name="work", value=1.0, subset=None, deps=()):
+    def body(ctx):
+        ctx[0].write(np.full(ctx[0].read().shape, value))
+        return value
+
+    tl = TaskLauncher(name, body, future_deps=list(deps))
+    tl.add_requirement(
+        region, ["v"], subset or Subset.full(region.ispace), Privilege.READ_WRITE
+    )
+    return rt.execute(tl)
+
+
+def reader(rt, region, name="peek"):
+    tl = TaskLauncher(name, lambda ctx: float(ctx[0].read().sum()))
+    tl.add_requirement(region, ["v"], Subset.full(region.ispace), Privilege.READ_ONLY)
+    return rt.execute(tl)
+
+
+@pytest.fixture
+def region_for():
+    def build(rt, n=16):
+        region = rt.create_region(IndexSpace.linear(n), {"v": np.float64})
+        rt.allocate(region, "v", fill=0.0)
+        return region
+
+    return build
+
+
+class TestSubmitTimeMatching:
+    def test_counts_per_pattern_in_launch_order(self, region_for):
+        plan = FaultPlan.parse("crash:work:2")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        for _ in range(4):
+            writer(rt, region, "work")
+        events = rt.fault_log.events
+        assert len(events) == 1
+        assert events[0].task_name == "work"
+        assert events[0].spec.launch_index == 2
+
+    def test_glob_patterns_match(self, region_for):
+        plan = FaultPlan.parse("stall:wo*:0:1")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region, "other")
+        writer(rt, region, "work")
+        [event] = rt.fault_log.events
+        assert event.task_name == "work"
+
+    def test_unmatched_plan_logs_nothing(self, region_for):
+        plan = FaultPlan.parse("crash:never_launched:0")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region)
+        rt.sync()
+        assert rt.fault_log.events == []
+
+    def test_two_specs_can_hit_one_task(self, region_for):
+        plan = FaultPlan.parse("stall:work:0:1; corrupt:work:0:nan")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region)
+        rt.sync()
+        assert rt.fault_log.n_injected == 2
+
+
+class TestCrash:
+    def test_retry_is_transparent(self, region_for):
+        plan = FaultPlan.parse("crash:work:0", retry_crashes=True)
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region, value=3.0)
+        rt.sync()
+        assert reader(rt, region).get() == pytest.approx(48.0)  # body did run
+        [event] = rt.fault_log.events
+        assert event.recovered and event.recovery == "retry"
+        assert event.detected_by == "retry"
+
+    def test_no_retry_raises_synchronously_on_serial(self, region_for):
+        plan = FaultPlan.parse("crash:work:0", retry_crashes=False)
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        with pytest.raises(InjectedTaskFault) as excinfo:
+            writer(rt, region)
+        assert is_injected_fault(excinfo.value)
+        assert excinfo.value.event.spec.kind == "crash"
+
+    def test_no_retry_surfaces_as_executor_error_on_threads(self, region_for):
+        plan = FaultPlan.parse("crash:work:0", retry_crashes=False)
+        rt = make_runtime(plan, backend="threads", jobs=2)
+        try:
+            region = region_for(rt)
+            writer(rt, region)
+            with pytest.raises(ExecutorError) as excinfo:
+                rt.sync()
+            assert is_injected_fault(excinfo.value)
+        finally:
+            rt.executor.shutdown()
+
+    def test_genuine_errors_are_not_injected_faults(self):
+        assert not is_injected_fault(ValueError("boom"))
+        wrapped = ExecutorError("task died")
+        wrapped.__cause__ = RuntimeError("genuine")
+        assert not is_injected_fault(wrapped)
+
+
+class TestStall:
+    def test_stall_completes_late_and_is_logged(self, region_for):
+        plan = FaultPlan.parse("stall:work:0:1")
+        rt = make_runtime(plan)
+        region = region_for(rt, n=8)
+        writer(rt, region, value=2.0)
+        rt.sync()
+        [event] = rt.fault_log.events
+        assert event.applied and event.recovered
+        assert event.recovery == "completed"
+        assert "1ms late" in event.detail
+        assert reader(rt, region).get() == pytest.approx(16.0)
+
+    def test_stalled_set_empty_after_completion(self, region_for):
+        plan = FaultPlan.parse("stall:work:0:1")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region)
+        rt.sync()
+        assert rt.executor.currently_stalled() == set()
+
+
+class TestCorrupt:
+    def test_nan_poisons_one_written_element(self, region_for):
+        plan = FaultPlan.parse("corrupt:work:0:nan", seed=3)
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region, value=1.0)
+        rt.sync()
+        values = rt.store.raw(region, "v")
+        assert np.isnan(values).sum() == 1
+        [event] = rt.fault_log.events
+        assert event.applied
+        assert "<- nan" in event.detail
+
+    def test_corruption_respects_the_task_subset(self, region_for):
+        plan = FaultPlan.parse("corrupt:work:0:nan", seed=5)
+        rt = make_runtime(plan)
+        region = region_for(rt, n=16)
+        lo = Subset.interval(region.ispace, 0, 7)
+        writer(rt, region, subset=lo)
+        rt.sync()
+        values = rt.store.raw(region, "v")
+        assert np.isnan(values[:8]).sum() == 1
+        assert not np.isnan(values[8:]).any()
+
+    def test_bitflip_changes_value_without_nan(self, region_for):
+        plan = FaultPlan.parse("corrupt:work:0:bitflip", seed=3)
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region, value=1.0)
+        rt.sync()
+        values = rt.store.raw(region, "v")
+        assert not np.isnan(values).any()
+        assert (values != 1.0).sum() == 1
+        [event] = rt.fault_log.events
+        assert "<- bitflip" in event.detail
+
+    def test_corrupt_element_choice_is_seeded(self, region_for):
+        def poisoned_index(seed):
+            plan = FaultPlan.parse("corrupt:work:0:nan", seed=seed)
+            rt = make_runtime(plan)
+            region = region_for(rt)
+            writer(rt, region)
+            rt.sync()
+            return int(np.flatnonzero(np.isnan(rt.store.raw(region, "v")))[0])
+
+        assert poisoned_index(3) == poisoned_index(3)
+        assert {poisoned_index(s) for s in range(8)} != {poisoned_index(3)}
+
+    def test_read_only_task_has_nothing_to_corrupt(self, region_for):
+        plan = FaultPlan.parse("corrupt:peek:0:nan")
+        rt = make_runtime(plan)
+        region = region_for(rt)
+        writer(rt, region, value=4.0)
+        assert reader(rt, region).get() == pytest.approx(64.0)
+        rt.sync()
+        [event] = rt.fault_log.events
+        assert not event.applied
+        assert "no writable subset" in event.detail
+        assert rt.fault_log.n_injected == 0
+
+
+class TestRuntimeWiring:
+    def test_faults_param_wraps_executor(self):
+        rt = make_runtime(FaultPlan.parse("crash:x:0"))
+        assert isinstance(rt.executor, FaultInjector)
+        assert rt.fault_injector is rt.executor
+        assert rt.backend == "serial"  # inner backend name preserved
+
+    def test_faults_false_disables_even_with_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:work:0")
+        rt = Runtime(faults=False)
+        assert rt.fault_injector is None
+        assert rt.fault_log is None
+
+    def test_env_var_activates_injection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:work:1")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "6")
+        rt = Runtime()
+        assert isinstance(rt.executor, FaultInjector)
+        assert rt.executor.plan.seed == 6
+
+    def test_plan_string_accepted_directly(self):
+        rt = Runtime(faults="stall:spmv_*:0:2")
+        assert rt.fault_injector is not None
+        assert rt.fault_injector.plan.specs[0].kind == "stall"
+
+    def test_bogus_faults_value_rejected(self):
+        with pytest.raises(TypeError, match="faults"):
+            Runtime(faults=123)
+
+    def test_threads_backend_gets_stall_monitor(self):
+        rt = make_runtime(FaultPlan.parse("stall:work:0:1"), backend="threads", jobs=2)
+        try:
+            assert rt.executor.inner.stall_monitor == rt.executor.currently_stalled
+        finally:
+            rt.executor.shutdown()
+
+    def test_injection_events_land_in_timeline(self, region_for):
+        plan = FaultPlan.parse("crash:work:1; corrupt:work:2:nan")
+        rt = make_runtime(plan, keep_timeline=True)
+        region = region_for(rt)
+        for _ in range(3):
+            writer(rt, region)
+        rt.sync()
+        names = [entry.name for entry in rt.engine.timeline]
+        assert "fault:crash:work" in names
+        assert "fault:corrupt:work" in names

@@ -1,0 +1,313 @@
+"""Checkpoint/restore protocol and the resilient drive loop."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.planner import SOL
+from repro.core.solvers import (
+    SOLVER_REGISTRY,
+    UnrecoverableFaultError,
+    is_recoverable_fault,
+    solve_resilient,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    InjectedTaskFault,
+    default_chaos_plan,
+)
+from repro.faults.chaos import run_chaos
+from repro.faults.monitors import NaNGuard, ResidualDriftMonitor, default_monitors
+from repro.problems import tridiagonal_toeplitz
+from repro.runtime import Runtime
+
+SIZE = 30
+
+
+def build(solver="cg", plan=False, backend="serial", seed=0, **runtime_kwargs):
+    rt = Runtime(backend=backend, faults=plan, **runtime_kwargs)
+    A = tridiagonal_toeplitz(SIZE)
+    b = np.random.default_rng(seed).random(SIZE)
+    extra = {"preconditioner": "jacobi"} if solver == "pcg" else {}
+    planner = make_planner(A, b, n_pieces=3, runtime=rt, **extra)
+    return rt, SOLVER_REGISTRY[solver](planner)
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+    def test_checkpoint_ids_cover_sol(self, solver):
+        rt, ksm = build(solver)
+        ids = ksm.checkpoint_vector_ids()
+        assert ids[0] == SOL
+        assert len(ids) == len(set(ids))
+
+    def test_snapshot_is_bitwise_and_isolated(self):
+        rt, ksm = build("cg")
+        for _ in range(3):
+            ksm.step()
+        ksm.iterations_done = 3
+        ckpt = ksm.checkpoint()
+        assert ckpt.iteration == 3
+        before = {vid: ksm.planner.get_array(vid).copy() for vid in ckpt.vectors}
+        for vid, snap in ckpt.vectors.items():
+            assert np.array_equal(snap, before[vid])
+        # Stepping further must not mutate the snapshot (it is a copy).
+        for _ in range(2):
+            ksm.step()
+        for vid, snap in ckpt.vectors.items():
+            assert np.array_equal(snap, before[vid])
+
+    def test_restore_rewinds_bitwise_and_replays_identically(self):
+        rt, ksm = build("cg")
+        for i in range(3):
+            ksm.step()
+            ksm.iterations_done = i + 1
+        ckpt = ksm.checkpoint()
+        trajectory = []
+        for _ in range(2):
+            ksm.step()
+            trajectory.append(ksm.planner.get_array(SOL).copy())
+        ksm.restore(ckpt)
+        assert ksm.iterations_done == 3
+        for vid, snap in ckpt.vectors.items():
+            assert np.array_equal(ksm.planner.get_array(vid), snap)
+        # Deterministic replay: the same two steps land on the same bits.
+        for k in range(2):
+            ksm.step()
+            assert np.array_equal(ksm.planner.get_array(SOL), trajectory[k])
+
+    @pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+    def test_scalar_state_round_trips(self, solver):
+        rt, ksm = build(solver)
+        for _ in range(2):
+            ksm.step()
+        ckpt = ksm.checkpoint()
+        measure_at_ckpt = float(ksm.get_convergence_measure())
+        for _ in range(2):
+            ksm.step()
+        ksm.restore(ckpt)
+        assert float(ksm.get_convergence_measure()) == measure_at_ckpt
+
+
+class TestResilientLoopFaultFree:
+    @pytest.mark.parametrize("solver", ["cg", "bicgstab", "gmres", "tfqmr"])
+    def test_matches_plain_solve_bitwise(self, solver):
+        rt1, plain = build(solver)
+        result_plain = plain.solve(tolerance=1e-8, max_iterations=200)
+        x_plain = plain.planner.get_array(SOL)
+
+        rt2, resilient = build(solver)
+        result = solve_resilient(resilient, tolerance=1e-8, max_iterations=200)
+        assert result.converged == result_plain.converged
+        assert result.iterations == result_plain.iterations
+        assert result.recoveries == []
+        assert not result.gave_up
+        assert np.array_equal(resilient.planner.get_array(SOL), x_plain)
+
+    def test_solve_resilient_method_delegates(self):
+        rt, ksm = build("cg")
+        result = ksm.solve_resilient(tolerance=1e-8, max_iterations=200)
+        assert result.converged and result.n_rollbacks == 0
+
+    def test_rejects_symbolic_backend(self):
+        rt_capture = Runtime(backend="capture", faults=False)
+        planner = make_planner(
+            tridiagonal_toeplitz(SIZE),
+            np.ones(SIZE),
+            n_pieces=3,
+            runtime=rt_capture,
+        )
+        solver = SOLVER_REGISTRY["cg"](planner)
+        with pytest.raises(RuntimeError, match="symbolic"):
+            solve_resilient(solver)
+
+    def test_checkpoint_every_validated(self):
+        rt, ksm = build("cg")
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            solve_resilient(ksm, checkpoint_every=0)
+
+
+class TestRollbackRecovery:
+    def test_corruption_detected_and_rolled_back(self):
+        plan = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt, ksm = build("cg", plan=plan)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        assert result.converged
+        assert result.n_rollbacks >= 1
+        assert any("nan-guard" in r.reason for r in result.recoveries)
+        log = rt.fault_log
+        assert log.n_injected == 1 and log.n_unrecovered == 0
+        # Bitwise identical to the fault-free run.
+        rt_ref, ref = build("cg")
+        ref.solve(tolerance=1e-8, max_iterations=200)
+        assert np.array_equal(
+            ksm.planner.get_array(SOL), ref.planner.get_array(SOL)
+        )
+
+    def test_crash_without_retry_recovers_via_rollback(self):
+        plan = FaultPlan.parse("crash:dot_partial:12", retry_crashes=False)
+        rt, ksm = build("cg", plan=plan)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        assert result.converged
+        assert any(r.reason == "crash" for r in result.recoveries)
+        assert rt.fault_log.n_unrecovered == 0
+
+    def test_crash_without_retry_on_threads(self):
+        plan = FaultPlan.parse("crash:dot_partial:12", retry_crashes=False)
+        rt, ksm = build("cg", plan=plan, backend="threads", jobs=2)
+        try:
+            result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+            assert result.converged
+            assert rt.fault_log.n_unrecovered == 0
+        finally:
+            rt.executor.shutdown()
+
+    def test_recovery_budget_exhaustion_reported(self):
+        # Every dot crashes forever: no budget survives that.
+        plan = FaultPlan.parse(
+            ";".join(f"crash:dot_partial:{i}" for i in range(9, 200, 3)),
+            retry_crashes=False,
+        )
+        rt, ksm = build("cg", plan=plan)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=50,
+                                 max_recoveries=3)
+        assert result.gave_up
+        assert not result.converged
+        assert result.n_rollbacks == 3
+
+    def test_setup_crash_surfaces_during_construction(self):
+        # On the serial backend the injected crash fires inline, so the
+        # solver constructor itself raises a recoverable fault — the path
+        # ``repro chaos`` reports as a setup fault.
+        plan = FaultPlan.parse("crash:copy:0", retry_crashes=False)
+        rt = Runtime(faults=plan)
+        A = tridiagonal_toeplitz(SIZE)
+        planner = make_planner(A, np.ones(SIZE), n_pieces=3, runtime=rt)
+        with pytest.raises(InjectedTaskFault) as excinfo:
+            SOLVER_REGISTRY["cg"](planner)
+        assert is_recoverable_fault(excinfo.value)
+
+    def test_fault_during_initial_checkpoint_is_unrecoverable(self):
+        rt, ksm = build("cg")
+        event = FaultEvent(
+            spec=FaultSpec("crash", "copy", 0),
+            task_name="copy",
+            task_id=1,
+            point=0,
+            applied=True,
+        )
+        ksm.checkpoint = lambda: (_ for _ in ()).throw(InjectedTaskFault(event))
+        with pytest.raises(UnrecoverableFaultError, match="solver setup"):
+            solve_resilient(ksm, tolerance=1e-8)
+
+    def test_genuine_checkpoint_failure_not_wrapped(self):
+        rt, ksm = build("cg")
+        ksm.checkpoint = lambda: (_ for _ in ()).throw(OSError("disk full"))
+        with pytest.raises(OSError, match="disk full"):
+            solve_resilient(ksm, tolerance=1e-8)
+
+    def test_genuine_failures_propagate(self):
+        rt, ksm = build("cg")
+
+        class Boom(ResidualDriftMonitor):
+            def check(self, solver):
+                raise OSError("disk on fire")
+
+        with pytest.raises(OSError, match="disk on fire"):
+            solve_resilient(ksm, monitors=[Boom()], checkpoint_every=1)
+
+    def test_recovery_events_visible_in_timeline(self):
+        plan = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt, ksm = build("cg", plan=plan, keep_timeline=True)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        assert result.n_rollbacks >= 1
+        names = [entry.name for entry in rt.engine.timeline]
+        assert any(n.startswith("fault:corrupt:") for n in names)
+        assert any(n.startswith("recovery:rollback:monitor:nan-guard") for n in names)
+        # The injection precedes its recovery in the timeline.
+        first_fault = next(i for i, n in enumerate(names) if n.startswith("fault:"))
+        first_recovery = next(
+            i for i, n in enumerate(names) if n.startswith("recovery:")
+        )
+        assert first_fault < first_recovery
+
+
+class TestMonitors:
+    def test_disabled_monitors_fail_honestly(self):
+        plan = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt, ksm = build("cg", plan=plan)
+        result = solve_resilient(
+            ksm, tolerance=1e-8, max_iterations=200, monitors=()
+        )
+        # The recurrence never sees the poisoned solution piece, so the
+        # loop "converges" — but the fault log and the true residual make
+        # the corruption visible to any honest caller.
+        assert result.n_rollbacks == 0
+        assert rt.fault_log.n_unrecovered == 1
+        true_residual = float(ksm.planner.residual_norm())
+        assert not true_residual <= 1e-6  # NaN or large
+
+    def test_nan_guard_names_the_vector(self):
+        rt, ksm = build("cg")
+        ksm.step()
+        guard = NaNGuard()
+        assert guard.check(ksm) is None
+        arr = ksm.planner.get_array(ksm.R)
+        arr[3] = np.nan
+        ksm.planner.set_array(ksm.R, arr)
+        violation = guard.check(ksm)
+        assert violation is not None and "non-finite" in violation
+
+    def test_drift_monitor_quiet_on_healthy_run(self):
+        rt, ksm = build("cg")
+        drift = ResidualDriftMonitor(atol=1e-7)
+        for _ in range(6):
+            ksm.step()
+            assert drift.check(ksm) is None
+
+    def test_drift_monitor_flags_divorced_solution(self):
+        rt, ksm = build("cg")
+        for _ in range(3):
+            ksm.step()
+        x = ksm.planner.get_array(SOL)
+        ksm.planner.set_array(SOL, x + 100.0)  # true residual jumps; res doesn't
+        violation = ResidualDriftMonitor(atol=1e-7).check(ksm)
+        assert violation is not None and "drifted" in violation
+
+    def test_bound_measure_uses_one_sided_check(self):
+        rt, ksm = build("tfqmr")
+        drift = ResidualDriftMonitor(atol=1e-7)
+        for _ in range(8):
+            ksm.step()
+            # τ under-reports ‖r‖ by up to √(it+1): never a violation.
+            assert drift.check(ksm) is None
+
+    def test_default_monitors_composition(self):
+        monitors = default_monitors(1e-8)
+        kinds = [type(m) for m in monitors]
+        assert NaNGuard in kinds and ResidualDriftMonitor in kinds
+
+
+class TestEscalation:
+    def test_contaminated_checkpoint_escalates_to_initial(self):
+        # A bit flip that stays under the drift threshold for a few
+        # boundaries contaminates later checkpoints; recovery must fall
+        # back to the pristine initial state instead of livelocking.
+        report = run_chaos(
+            "pcg", seed=4, plan=default_chaos_plan(4, payload="bitflip")
+        )
+        assert report.ok, report.summary()
+        assert not report.gave_up
+        assert any(r.restored_iteration == 0 for r in report.recoveries)
+
+    def test_undetectable_corruption_recovers_via_stagnation_restart(self):
+        # Seed 9's bit flip lands where the invariants cannot see it:
+        # convergence stalls, and the last-resort stagnation restart
+        # replays the clean trajectory from the initial checkpoint.
+        report = run_chaos(
+            "bicg", seed=9, plan=default_chaos_plan(9, payload="bitflip")
+        )
+        assert report.ok, report.summary()
+        assert report.n_unrecovered == 0

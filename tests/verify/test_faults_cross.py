@@ -1,0 +1,88 @@
+"""Verification tools under active fault injection: the differential
+oracle still agrees across formats when faults are recovered, and the
+race detector reports no spurious races for retried or rolled-back
+tasks."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.solvers import SOLVER_REGISTRY, solve_resilient
+from repro.faults import FAULT_SEED_ENV, FAULTS_ENV, FaultPlan
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.runtime import Runtime
+from repro.verify import attach_race_detector
+from repro.verify.oracle import run_oracle
+
+RECOVERED_PLAN = "crash:dot_partial:6; stall:spmv_*:2:3"
+
+
+class TestOracleUnderFaults:
+    def test_formats_agree_with_recovered_faults(self, monkeypatch):
+        # Crashes retried transparently + a short stall: every per-format
+        # run sees the same injections at the same launch indices, so the
+        # differential comparison must still agree bitwise-for-bitwise.
+        monkeypatch.setenv(FAULTS_ENV, RECOVERED_PLAN)
+        monkeypatch.setenv(FAULT_SEED_ENV, "3")
+        report = run_oracle(
+            formats=["csr", "coo", "dia"],
+            solvers=["cg", "bicgstab"],
+            seeds=[0],
+            piece_counts=[3],
+            check_races=True,
+        )
+        assert report.ok, report.summary(verbose=True)
+        assert report.race_reports == []
+
+    def test_oracle_matches_fault_free_baseline(self, monkeypatch):
+        baseline = run_oracle(
+            formats=["csr"], solvers=["cg"], seeds=[0], piece_counts=[3]
+        )
+        monkeypatch.setenv(FAULTS_ENV, RECOVERED_PLAN)
+        faulted = run_oracle(
+            formats=["csr"], solvers=["cg"], seeds=[0], piece_counts=[3]
+        )
+        assert baseline.ok and faulted.ok, faulted.summary(verbose=True)
+        assert len(faulted.cases) == len(baseline.cases)
+        for base, fault in zip(baseline.cases, faulted.cases):
+            assert fault.iterations == base.iterations
+
+
+class TestRaceDetectorUnderFaults:
+    def _solve_with_detector(self, plan, solver="cg"):
+        rt = Runtime(faults=plan)
+        det = attach_race_detector(rt)
+        n = 30
+        A = tridiagonal_toeplitz(n)
+        b = np.random.default_rng(0).random(n)
+        planner = make_planner(A, b, n_pieces=3, runtime=rt)
+        ksm = SOLVER_REGISTRY[solver](planner)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        return rt, det, result
+
+    def test_retried_crash_produces_no_spurious_race(self):
+        plan = FaultPlan.parse("crash:dot_partial:9", retry_crashes=True)
+        rt, det, result = self._solve_with_detector(plan)
+        assert result.converged
+        assert rt.fault_log.n_injected == 1
+        det.assert_race_free()
+
+    def test_rollback_replay_produces_no_spurious_race(self):
+        plan = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt, det, result = self._solve_with_detector(plan)
+        assert result.converged
+        assert result.n_rollbacks >= 1  # replayed writes really happened
+        det.assert_race_free()
+
+    def test_stall_reordering_produces_no_spurious_race(self):
+        plan = FaultPlan.parse("stall:spmv_*:2:3; stall:axpy:6:2")
+        rt, det, result = self._solve_with_detector(plan)
+        assert result.converged
+        assert rt.fault_log.n_injected == 2
+        det.assert_race_free()
+
+    def test_detector_still_sees_fault_tasks(self):
+        plan = FaultPlan.parse("crash:dot_partial:9", retry_crashes=True)
+        rt, det, result = self._solve_with_detector(plan)
+        names = {det.task_name(t) for t in det.task_ids()}
+        assert "dot_partial" in names  # injection did not hide the task
