@@ -155,6 +155,7 @@ class PlanCapture(EngineObserver):
         device_id: int,
         start: float,
         finish: float,
+        comm_time: float = 0.0,
     ) -> None:
         task = PlanTask(
             task_id=record.task_id,

@@ -118,9 +118,14 @@ def _run_case_once(
     b: np.ndarray,
     backend: str,
     jobs: Optional[int],
+    observability: object = False,
 ) -> Tuple[float, List[float], np.ndarray]:
-    """One fresh solve; returns (wall seconds, residual history, x)."""
-    runtime = Runtime(backend=backend, jobs=jobs)
+    """One fresh solve; returns (wall seconds, residual history, x).
+
+    ``observability=False`` (the default for timed runs) forces the
+    zero-overhead no-op path even when ``REPRO_TRACE`` is set, so the
+    regression gate always measures the uninstrumented runtime."""
+    runtime = Runtime(backend=backend, jobs=jobs, observability=observability)
     planner = make_planner(A, b, n_pieces=case.n_pieces, runtime=runtime)
     ksm = SOLVER_REGISTRY[case.solver](planner)
     t0 = time.perf_counter()
@@ -203,6 +208,14 @@ def run_wallclock(
                 history["serial"] == history["threads"]
                 and np.array_equal(solution["serial"], solution["threads"])
             )
+        # One extra *untimed* instrumented run embeds a metrics snapshot
+        # (per-iteration residuals, executor counters) so the artifact
+        # is self-describing; it never contributes to the timed figures.
+        from ..obs import Observability
+
+        obs = Observability(trace=False)
+        _run_case_once(case, A, b, backends[0], jobs, observability=obs)
+        entry["metrics"] = obs.metrics.snapshot()
         report_cases.append(entry)
     return {
         "schema": SCHEMA,

@@ -20,6 +20,10 @@ Usage::
     python -m repro chaos [cg|...|fig8-cg] [--seed 1] [--backend threads]
                           [--format csr] [--plan "crash:dot_partial:12"]
                           [--no-monitors] [--crash-policy retry|rollback]
+    python -m repro trace [cg|...|fig8-cg] [--backend serial|threads]
+                          [--iterations 3] [--out trace.json] [--check]
+    python -m repro stats [cg|...|fig8-cg] [--backend serial|threads]
+                          [--json [FILE]]
     python -m repro lint src/ examples/ [--select REPRO001 REPRO003]
 
 Each ``figN`` subcommand prints the regenerated table/series (the same
@@ -216,6 +220,50 @@ def _build_parser() -> argparse.ArgumentParser:
                          "goes undetected — the report shows the damage)")
     pc.add_argument("--json", dest="json_out", default=None,
                     help="also write the report as JSON to this path")
+
+    def add_trace_program_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", nargs="?", default="fig8-cg",
+                       help='solver name (cg, gmres, ...) or "fig8-cg" '
+                            "(default: fig8-cg)")
+        p.add_argument("--backend", choices=("serial", "threads"), default=None,
+                       help="executor backend (default: REPRO_BACKEND or serial)")
+        p.add_argument("--format", dest="fmt", default="csr",
+                       help="storage format for solver programs (default: csr)")
+        p.add_argument("--size", type=int, default=64,
+                       help="problem size in unknowns (default: 64)")
+        p.add_argument("--pieces", type=int, default=4,
+                       help="partition piece count (default: 4)")
+        p.add_argument("--iterations", type=int, default=3,
+                       help="solver iterations to run (default: 3)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--jobs", type=int, default=None,
+                       help="thread-pool worker count for --backend threads")
+
+    pt = sub.add_parser(
+        "trace",
+        help="run a program under the observability layer and export a "
+             "Perfetto-loadable Chrome trace (simulated + wall-clock "
+             "tracks, dependence flow events)",
+    )
+    add_trace_program_args(pt)
+    pt.add_argument("--out", default="trace.json",
+                    help="trace-event JSON output path (default: trace.json)")
+    pt.add_argument("--check", action="store_true",
+                    help="validate the exported trace (monotonic lane "
+                         "timestamps, matched B/E pairs, flow ids) and "
+                         "fail on errors")
+
+    pst = sub.add_parser(
+        "stats",
+        help="run a program under the observability layer and report "
+             "critical-path length, per-task-name slack, comm-overlap "
+             "fraction, and the metrics registry",
+    )
+    add_trace_program_args(pst)
+    pst.add_argument("--json", dest="json_out", nargs="?", const="-",
+                     default=None,
+                     help="emit the stats document as JSON (to stdout, or "
+                          "to FILE when given)")
 
     pl = sub.add_parser(
         "lint",
@@ -472,6 +520,72 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fh.write(report.to_json() + "\n")
             print(f"[report written to {args.json_out}]")
         return 0 if report.ok else 1
+
+    if args.command in ("trace", "stats"):
+        import json
+
+        from .obs import (
+            chrome_trace,
+            stats_report,
+            summarize_stats,
+            validate_trace_events,
+        )
+        from .obs.driver import run_traced
+
+        try:
+            obs, backend = run_traced(
+                program=args.program,
+                backend=args.backend,
+                fmt=args.fmt,
+                size=args.size,
+                pieces=args.pieces,
+                seed=args.seed,
+                iterations=args.iterations,
+                jobs=args.jobs,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"{args.command}: {exc}")
+            return 2
+
+        if args.command == "trace":
+            document = chrome_trace(obs.tracer) if obs.tracer else {"traceEvents": []}
+            with open(args.out, "w") as fh:
+                json.dump(document, fh)
+            tracer = obs.tracer
+            n_tasks = len(tracer.task_spans) if tracer else 0
+            n_wall = len(tracer.wall_tasks) if tracer else 0
+            n_phases = len(tracer.phase_events) if tracer else 0
+            print(
+                f"repro trace {args.program}: backend={backend} "
+                f"{n_tasks} task spans, {n_phases} phase events, "
+                f"{n_wall} wall-clock task spans"
+            )
+            print(f"[trace written to {args.out} — open at https://ui.perfetto.dev]")
+            if args.check:
+                events = document.get("traceEvents", [])
+                errors = validate_trace_events(events)  # type: ignore[arg-type]
+                for error in errors:
+                    print(f"INVALID: {error}")
+                print(
+                    f"trace check: {'FAIL' if errors else 'OK'} "
+                    f"({len(events)} events)"
+                )
+                return 1 if errors else 0
+            return 0
+
+        stats = stats_report(obs)
+        stats["program"] = args.program
+        stats["backend"] = backend
+        if args.json_out == "-":
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"repro stats {args.program}: backend={backend}")
+            print(summarize_stats(stats))
+            if args.json_out:
+                with open(args.json_out, "w") as fh:
+                    json.dump(stats, fh, indent=2)
+                print(f"[stats written to {args.json_out}]")
+        return 0
 
     if args.command == "lint":
         from .analyze import lint_paths

@@ -18,9 +18,10 @@ benchmarks and load balancers.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -32,7 +33,36 @@ __all__ = [
     "SolveResult",
     "SolverCheckpoint",
     "SYMBOLIC_ITERATION_BOUND",
+    "instrumented_step",
 ]
+
+
+def instrumented_step(
+    fn: Callable[["KrylovSolver"], None],
+) -> Callable[["KrylovSolver"], None]:
+    """Decorator for solver ``step()`` implementations: brackets each
+    step in an observability span (category ``step``) recording the
+    iteration index plus the FLOP and communication-volume deltas the
+    step added to the engine's running totals.  When observability is
+    disabled (the default) the wrapper falls through to the body after a
+    single flag check."""
+
+    @functools.wraps(fn)
+    def wrapper(self: "KrylovSolver") -> None:
+        obs = self.planner.runtime.obs
+        if not obs.enabled:
+            fn(self)
+            return
+        with obs.span(
+            f"step:{self.name}",
+            category="step",
+            capture_cost=True,
+            iteration=self.iterations_done,
+        ):
+            fn(self)
+
+    return wrapper
+
 
 #: Iteration cap applied by :meth:`KrylovSolver.solve` when the planner
 #: is symbolic (``backend="capture"``): under symbolic capture every
@@ -181,28 +211,33 @@ class KrylovSolver(ABC):
         if getattr(self.planner, "symbolic", False):
             max_iterations = min(max_iterations, SYMBOLIC_ITERATION_BOUND)
         runtime = self.planner.runtime
+        obs = runtime.obs
+        residual_series = obs.metrics.series(f"solver.{self.name}.residual")
         trace_id = ("solver", id(self))
         history: List[float] = []
         marks: List[float] = [runtime.sim_time]
         measure = float(self.get_convergence_measure())
         converged = measure <= tolerance
         it = 0
-        while not converged and it < max_iterations:
-            if use_tracing:
-                runtime.begin_trace(trace_id)
-            self.step()
-            if use_tracing:
-                runtime.end_trace(trace_id)
-            it += 1
-            self.iterations_done += 1
-            measure = float(self.get_convergence_measure())
-            history.append(measure)
-            marks.append(runtime.sim_time)
-            if callback is not None:
-                callback(self, it, measure)
-            if not np.isfinite(measure):
-                break
-            converged = measure <= tolerance
+        with obs.span(f"solve:{self.name}", category="solve", tolerance=tolerance):
+            while not converged and it < max_iterations:
+                with obs.span("iteration", category="iteration", index=it):
+                    if use_tracing:
+                        runtime.begin_trace(trace_id)
+                    self.step()
+                    if use_tracing:
+                        runtime.end_trace(trace_id)
+                it += 1
+                self.iterations_done += 1
+                measure = float(self.get_convergence_measure())
+                history.append(measure)
+                residual_series.append(measure)
+                marks.append(runtime.sim_time)
+                if callback is not None:
+                    callback(self, it, measure)
+                if not np.isfinite(measure):
+                    break
+                converged = measure <= tolerance
         return SolveResult(
             converged=converged,
             iterations=it,
@@ -216,16 +251,19 @@ class KrylovSolver(ABC):
         the benchmarking mode of the paper's Figure 8 runs (which disable
         convergence exits with extreme tolerances)."""
         runtime = self.planner.runtime
+        obs = runtime.obs
         trace_id = ("solver", id(self))
         marks: List[float] = [runtime.sim_time]
-        for _ in range(n_iterations):
-            if use_tracing:
-                runtime.begin_trace(trace_id)
-            self.step()
-            if use_tracing:
-                runtime.end_trace(trace_id)
-            self.iterations_done += 1
-            marks.append(runtime.sim_time)
+        with obs.span(f"solve:{self.name}", category="solve", fixed=n_iterations):
+            for i in range(n_iterations):
+                with obs.span("iteration", category="iteration", index=i):
+                    if use_tracing:
+                        runtime.begin_trace(trace_id)
+                    self.step()
+                    if use_tracing:
+                        runtime.end_trace(trace_id)
+                self.iterations_done += 1
+                marks.append(runtime.sim_time)
         return SolveResult(
             converged=False,
             iterations=n_iterations,

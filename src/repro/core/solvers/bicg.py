@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 
 from ..planner import RHS, SOL, Planner
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["BiCGSolver", "CGSSolver"]
 
@@ -47,6 +47,7 @@ class BiCGSolver(KrylovSolver):
         self.rho = planner.dot(self.RT, self.R)
         self.res = planner.dot(self.R, self.R)
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         planner.matmul(self.Q, self.P)
@@ -94,6 +95,7 @@ class CGSSolver(KrylovSolver):
         self.rho = planner.dot(self.R0, self.R)
         self.res = planner.dot(self.R, self.R)
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         planner.matmul(self.V, self.P)

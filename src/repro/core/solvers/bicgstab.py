@@ -12,7 +12,7 @@ import math
 
 from ..planner import RHS, SOL, Planner
 from ..scalar import Scalar
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["BiCGStabSolver"]
 
@@ -57,6 +57,7 @@ class BiCGStabSolver(KrylovSolver):
         planner.matmul(dst, src)
         return src
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         # v ← A p  (or A M⁻¹ p)

@@ -16,7 +16,7 @@ import math
 
 from ..planner import RHS, SOL, Planner
 from ..scalar import Scalar
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["CGSolver", "PCGSolver"]
 
@@ -41,6 +41,7 @@ class CGSolver(KrylovSolver):
         planner.copy(self.P, self.R)
         self.res: Scalar = planner.dot(self.R, self.R)  # squared residual
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         planner.matmul(self.Q, self.P)
@@ -78,6 +79,7 @@ class PCGSolver(KrylovSolver):
         self.rz: Scalar = planner.dot(self.R, self.Z)
         self.res: Scalar = planner.dot(self.R, self.R)
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         planner.matmul(self.Q, self.P)

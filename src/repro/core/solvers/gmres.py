@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..planner import RHS, SOL, Planner
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["GMRESSolver"]
 
@@ -54,6 +54,7 @@ class GMRESSolver(KrylovSolver):
         planner.xpay(self.W, -1.0, RHS)
         return float(planner.norm(self.W).value)
 
+    @instrumented_step
     def step(self) -> None:
         """One restart cycle of ``m`` Arnoldi iterations."""
         planner = self.planner

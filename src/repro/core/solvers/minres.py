@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 
 from ..planner import RHS, SOL, Planner
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["MINRESSolver"]
 
@@ -50,6 +50,7 @@ class MINRESSolver(KrylovSolver):
         self.s_old, self.s = 0.0, 0.0
         self.residual = self.beta
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         if self.residual == 0.0:

@@ -129,6 +129,8 @@ def solve_resilient(
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
     runtime = planner.runtime
+    obs = runtime.obs
+    residual_series = obs.metrics.series(f"solver.{solver.name}.residual")
     if monitors is None:
         monitors = default_monitors(tolerance)
     injector = getattr(runtime, "fault_injector", None)
@@ -186,6 +188,8 @@ def solve_resilient(
         if injector is not None:
             injector.log.mark_open_recovered(detected_by=reason)
         runtime.engine.note_event(f"recovery:rollback:{reason}")
+        obs.metrics.counter("recovery:rollback").inc()
+        obs.metrics.counter(f"recovery:rollback:{reason.split(':', 1)[0]}").inc()
         return checkpoint.iteration, checkpoint.measure
 
     it = checkpoint.iteration
@@ -241,6 +245,7 @@ def solve_resilient(
         it += 1
         solver.iterations_done = it
         history.append(measure)
+        residual_series.append(measure)
         marks.append(runtime.sim_time)
         if callback is not None:
             callback(solver, it, measure)

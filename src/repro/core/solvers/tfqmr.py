@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 from ..planner import RHS, SOL, Planner
-from .base import KrylovSolver
+from .base import KrylovSolver, instrumented_step
 
 __all__ = ["TFQMRSolver", "CGNRSolver"]
 
@@ -52,6 +52,7 @@ class TFQMRSolver(KrylovSolver):
         self.theta = 0.0
         self.eta = 0.0
 
+    @instrumented_step
     def step(self) -> None:
         """One TFQMR iteration = two half-steps of the CGS recurrence
         with quasi-minimization smoothing."""
@@ -115,6 +116,7 @@ class CGNRSolver(KrylovSolver):
         self.zz = planner.dot(self.Z, self.Z)
         self.res = planner.dot(self.R, self.R)
 
+    @instrumented_step
     def step(self) -> None:
         planner = self.planner
         planner.matmul(self.Q, self.P)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,6 +108,10 @@ class ChaosReport:
     setup_fault: Optional[str] = None
     events: List[FaultEvent] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: Metrics-registry snapshot of the chaos run (fault/recovery
+    #: counters, per-iteration residual series) — makes the JSON
+    #: artifact self-describing.
+    metrics: Dict[str, object] = field(default_factory=dict)
     x: Optional[np.ndarray] = None
     x_ref: Optional[np.ndarray] = None
 
@@ -195,6 +199,7 @@ class ChaosReport:
             "setup_fault": self.setup_fault,
             "events": [e.describe() for e in self.events],
             "recoveries": [r.describe() for r in self.recoveries],
+            "metrics": self.metrics,
             "ok": self.ok,
         }
         return json.dumps(payload, indent=2)
@@ -264,9 +269,17 @@ def run_chaos(
     finally:
         ref_runtime.executor.shutdown()
 
-    # Chaos run.
+    # Chaos run.  Metrics-only observability: fault/recovery counters
+    # and per-iteration residuals land in the report without the cost of
+    # span capture.
+    from ..obs import Observability
+
     runtime = Runtime(
-        backend=backend, jobs=jobs, faults=plan, keep_timeline=keep_timeline
+        backend=backend,
+        jobs=jobs,
+        faults=plan,
+        keep_timeline=keep_timeline,
+        observability=Observability(trace=False),
     )
     report = ChaosReport(
         program=program,
@@ -313,6 +326,7 @@ def run_chaos(
         report.n_detected = log.n_detected
         report.n_recovered = log.n_recovered
         report.n_unrecovered = log.n_unrecovered
+    report.metrics = dict(runtime.obs.metrics.snapshot())
     report.x = x
     report.x_ref = x_ref
     with np.errstate(all="ignore"):

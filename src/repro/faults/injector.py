@@ -81,11 +81,19 @@ class FaultInjector(TaskExecutor):
         plan: FaultPlan,
         store=None,
         engine=None,
+        metrics=None,
     ):
         self.inner = inner
         self.plan = plan
         self.store = store
         self.engine = engine
+        if metrics is None:
+            from ..obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        #: Metrics registry fed ``fault:*`` counters at injection time
+        #: (no-op unless the owning runtime enables observability).
+        self.metrics = metrics
         self.log = FaultLog()
         #: Matches seen so far, per distinct pattern (submit order).
         self._counters: Dict[str, int] = {}
@@ -126,6 +134,8 @@ class FaultInjector(TaskExecutor):
                     )
                     self.log.add(event)
                     events.append(event)
+                    self.metrics.counter("fault.injected").inc()
+                    self.metrics.counter(f"fault:{spec.kind}").inc()
         return events
 
     def submit(

@@ -1,0 +1,250 @@
+"""Unified observability: structured tracing, metrics, and exporters.
+
+One :class:`Observability` bundle carries the two halves of the layer —
+a :class:`~repro.obs.tracing.Tracer` (hierarchical spans on simulated
+and wall clocks) and a :class:`~repro.obs.metrics.MetricsRegistry`
+(named counters/gauges/histograms/series) — and doubles as the executor
+*probe* so backend internals (queue depth, worker occupancy, per-task
+submit → start → finish latencies) land in the same trace.
+
+Wiring:
+
+* ``Runtime(observability=Observability())`` enables both tracing and
+  metrics; ``Observability(trace=False)`` is metrics-only (used by
+  ``repro chaos``/``repro bench`` artifact embedding); the default
+  (``observability=None``) consults the ``REPRO_TRACE`` environment
+  variable, and when that is unset resolves to the shared
+  :data:`NULL_OBSERVABILITY` whose every operation is a no-op.
+* ``REPRO_TRACE=1`` (any value other than ``0/off/false/no/metrics``)
+  turns on full tracing; ``REPRO_TRACE=metrics`` enables the registry
+  without span capture.
+
+Export with :func:`repro.obs.export.chrome_trace` (Perfetto-loadable)
+or :func:`repro.obs.export.stats_report`; the ``repro trace`` and
+``repro stats`` CLI commands drive both ends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+from .critpath import CriticalPathReport, TaskPathStats, critical_path
+from .export import (
+    STATS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    chrome_trace_events,
+    stats_report,
+    summarize_stats,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Series,
+)
+from .tracing import (
+    InstantEvent,
+    PhaseEvent,
+    PhaseSpan,
+    TaskSpan,
+    Tracer,
+    TracingObserver,
+    WallTaskSpan,
+)
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBSERVABILITY",
+    "NULL_SPAN",
+    "NullMetrics",
+    "Observability",
+    "PhaseEvent",
+    "PhaseSpan",
+    "STATS_SCHEMA",
+    "Series",
+    "TRACE_ENV",
+    "TRACE_SCHEMA",
+    "TaskPathStats",
+    "TaskSpan",
+    "Tracer",
+    "TracingObserver",
+    "WallTaskSpan",
+    "chrome_trace",
+    "chrome_trace_events",
+    "critical_path",
+    "resolve_observability",
+    "stats_report",
+    "summarize_stats",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_trace",
+]
+
+#: Environment switch consulted when ``Runtime(observability=None)``.
+TRACE_ENV = "REPRO_TRACE"
+
+_OFF_VALUES = frozenset({"", "0", "off", "false", "no"})
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager bracketing one phase on both clocks; optionally
+    records the FLOP / comm-byte deltas the phase added to the engine's
+    running totals (``capture_cost=True``)."""
+
+    __slots__ = ("_obs", "_name", "_category", "_args", "_capture", "_flops0", "_comm0")
+
+    def __init__(
+        self,
+        obs: "Observability",
+        name: str,
+        category: str,
+        capture_cost: bool,
+        args: Dict[str, object],
+    ) -> None:
+        self._obs = obs
+        self._name = name
+        self._category = category
+        self._args = args
+        self._capture = capture_cost
+        self._flops0 = 0.0
+        self._comm0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._obs.tracer
+        if tracer is not None:
+            if self._capture:
+                self._flops0, self._comm0 = tracer.engine_cost()
+            tracer.open_phase(self._name, self._category, self._args)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        tracer = self._obs.tracer
+        if tracer is None:
+            return None
+        close_args: Dict[str, object] = {}
+        if self._capture:
+            flops1, comm1 = tracer.engine_cost()
+            d_flops = flops1 - self._flops0
+            d_comm = comm1 - self._comm0
+            close_args = {"flops": d_flops, "comm_bytes": d_comm}
+            metrics = self._obs.metrics
+            metrics.counter(f"{self._category}.flops").inc(d_flops)
+            metrics.counter(f"{self._category}.comm_bytes").inc(d_comm)
+        tracer.close_phase(self._name, self._category, close_args)
+        return None
+
+
+class Observability:
+    """Tracer + metrics registry behind one switch.
+
+    Also implements the executor's ``TaskProbe`` protocol, translating
+    backend callbacks into wall-clock task spans, queue/occupancy
+    samples, and ``executor.*`` metrics.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(self, enabled: bool = True, trace: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics: MetricsRegistry = MetricsRegistry() if enabled else NULL_METRICS
+        self.tracer: Optional[Tracer] = Tracer() if (enabled and trace) else None
+
+    # -- spans -------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "phase",
+        capture_cost: bool = False,
+        **args: object,
+    ) -> Union[_Span, _NullSpan]:
+        """Open a hierarchical phase span (no-op when tracing is off)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return _Span(self, name, category, capture_cost, dict(args))
+
+    # -- TaskProbe protocol (executor callbacks) ---------------------------
+
+    def task_submitted(self, task_id: int, name: str, n_pending: int, n_ready: int) -> None:
+        self.metrics.counter("executor.tasks_submitted").inc()
+        self.metrics.gauge("executor.queue_depth").set(float(n_pending))
+        if self.tracer is not None:
+            self.tracer.task_submitted(task_id, name, n_pending, n_ready)
+
+    def task_started(self, task_id: int, worker: str = "") -> None:
+        if self.tracer is not None:
+            active = self.tracer.task_started(task_id, worker)
+            self.metrics.gauge("executor.workers_active").set(float(active))
+
+    def task_finished(self, task_id: int) -> None:
+        self.metrics.counter("executor.tasks_executed").inc()
+        if self.tracer is not None:
+            span = self.tracer.task_finished(task_id)
+            if span is not None:
+                self.metrics.histogram("executor.task_queued_s").observe(span.queued)
+                self.metrics.histogram("executor.task_run_s").observe(span.duration)
+
+    def future_wait(self, future_uid: int) -> None:
+        self.metrics.counter("executor.futures_waited").inc()
+
+    def deadlock(self) -> None:
+        self.metrics.counter("executor.deadlocks").inc()
+
+
+#: Shared disabled bundle — the default for every runtime.
+NULL_OBSERVABILITY = Observability(enabled=False)
+
+
+def resolve_observability(
+    value: Union["Observability", bool, None],
+) -> "Observability":
+    """Normalize the ``Runtime(observability=...)`` argument.
+
+    * an :class:`Observability` instance passes through unchanged;
+    * ``True`` builds a fresh fully-enabled bundle;
+    * ``False`` forces :data:`NULL_OBSERVABILITY` regardless of the
+      environment (used by timed benchmark runs);
+    * ``None`` consults ``REPRO_TRACE``: unset/``0/off/false/no`` →
+      disabled, ``metrics`` → metrics-only, anything else → full.
+    """
+    if isinstance(value, Observability):
+        return value
+    if value is True:
+        return Observability()
+    if value is False:
+        return NULL_OBSERVABILITY
+    env = os.environ.get(TRACE_ENV, "").strip().lower()
+    if env in _OFF_VALUES:
+        return NULL_OBSERVABILITY
+    if env == "metrics":
+        return Observability(trace=False)
+    return Observability()

@@ -1,0 +1,215 @@
+"""Critical-path analysis over the captured span/dependence graph.
+
+Standard CPM over the *actual* simulated schedule: a forward pass finds
+the longest dependence chain by summed task duration, a backward pass
+assigns each task its latest finish (the latest it could have finished
+without delaying any successor, capped at the makespan) and hence its
+slack.  Task ids are launch-ordered and every dependence references an
+earlier id, so a single pass in id order is a valid topological sweep.
+
+The communication-overlap estimate asks, per task, how much of the
+modeled transfer window ``[start - comm_time, start]`` coincides with
+*any* task computing somewhere on the machine; the ratio of hidden to
+total communication time is the "comm hidden under compute" fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tracing import TaskSpan
+
+__all__ = ["CriticalPathReport", "TaskPathStats", "critical_path"]
+
+
+@dataclass
+class TaskPathStats:
+    """Per-task-name aggregate of slack and path membership."""
+
+    name: str
+    count: int = 0
+    total_time: float = 0.0
+    total_comm: float = 0.0
+    total_slack: float = 0.0
+    min_slack: float = 0.0
+    on_critical_path: int = 0
+
+    @property
+    def mean_slack(self) -> float:
+        return self.total_slack / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total_time_s": self.total_time,
+            "total_comm_s": self.total_comm,
+            "min_slack_s": self.min_slack,
+            "mean_slack_s": self.mean_slack,
+            "on_critical_path": self.on_critical_path,
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """Longest chain, per-name slack, and comm-overlap summary."""
+
+    makespan: float = 0.0
+    length: float = 0.0
+    n_tasks: int = 0
+    path: List[Tuple[int, str]] = field(default_factory=list)
+    per_name: Dict[str, TaskPathStats] = field(default_factory=dict)
+    total_comm: float = 0.0
+    hidden_comm: float = 0.0
+
+    @property
+    def comm_overlap_fraction(self) -> float:
+        """Fraction of modeled comm time hidden under compute (0.0 when
+        the program moved no data)."""
+        return self.hidden_comm / self.total_comm if self.total_comm > 0.0 else 0.0
+
+    @property
+    def parallelism(self) -> float:
+        """Total task time / makespan — average busy devices."""
+        total = sum(s.total_time for s in self.per_name.values())
+        return total / self.makespan if self.makespan > 0.0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "makespan_s": self.makespan,
+            "length_s": self.length,
+            "n_tasks": self.n_tasks,
+            "path_length": len(self.path),
+            "path": [{"task_id": tid, "name": name} for tid, name in self.path],
+            "per_name": {n: s.to_dict() for n, s in sorted(self.per_name.items())},
+            "total_comm_s": self.total_comm,
+            "hidden_comm_s": self.hidden_comm,
+            "comm_overlap_fraction": self.comm_overlap_fraction,
+            "parallelism": self.parallelism,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"critical path: {self.length:.3e} s over {len(self.path)} tasks "
+            f"(makespan {self.makespan:.3e} s, {self.n_tasks} tasks, "
+            f"parallelism {self.parallelism:.2f})",
+            f"comm hidden under compute: {self.hidden_comm:.3e} / "
+            f"{self.total_comm:.3e} s ({100.0 * self.comm_overlap_fraction:.1f}%)",
+            "slack by task name (min / mean, seconds):",
+        ]
+        ranked = sorted(self.per_name.values(), key=lambda s: (s.min_slack, s.name))
+        for stats in ranked:
+            marker = " *critical*" if stats.on_critical_path else ""
+            lines.append(
+                f"  {stats.name:<28s} x{stats.count:<5d} "
+                f"{stats.min_slack:.3e} / {stats.mean_slack:.3e}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _overlap(merged: List[Tuple[float, float]], lo: float, hi: float) -> float:
+    total = 0.0
+    for mlo, mhi in merged:
+        if mhi <= lo:
+            continue
+        if mlo >= hi:
+            break
+        total += min(hi, mhi) - max(lo, mlo)
+    return total
+
+
+def critical_path(spans: Sequence[TaskSpan]) -> CriticalPathReport:
+    """Analyze a set of simulated task spans (any iteration order)."""
+    report = CriticalPathReport(n_tasks=len(spans))
+    if not spans:
+        return report
+
+    ordered = sorted(spans, key=lambda s: s.task_id)
+    by_id: Dict[int, TaskSpan] = {s.task_id: s for s in ordered}
+    report.makespan = max(s.finish for s in ordered)
+
+    # Forward pass: longest chain by summed duration.
+    length: Dict[int, float] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+    for span in ordered:
+        best = 0.0
+        pred: Optional[int] = None
+        for dep in span.deps:
+            dep_len = length.get(dep)
+            if dep_len is not None and dep_len > best:
+                best = dep_len
+                pred = dep
+        length[span.task_id] = best + span.duration
+        best_pred[span.task_id] = pred
+
+    end_id = max(length, key=lambda tid: length[tid])
+    report.length = length[end_id]
+    chain: List[Tuple[int, str]] = []
+    cursor: Optional[int] = end_id
+    while cursor is not None:
+        chain.append((cursor, by_id[cursor].name))
+        cursor = best_pred[cursor]
+    chain.reverse()
+    report.path = chain
+    critical_ids = {tid for tid, _ in chain}
+
+    # Backward pass: latest finish without delaying any successor.
+    successors: Dict[int, List[int]] = {}
+    for span in ordered:
+        for dep in span.deps:
+            if dep in by_id:
+                successors.setdefault(dep, []).append(span.task_id)
+    latest_finish: Dict[int, float] = {}
+    for span in reversed(ordered):
+        succs = successors.get(span.task_id)
+        if not succs:
+            latest_finish[span.task_id] = report.makespan
+        else:
+            latest_finish[span.task_id] = min(
+                latest_finish[s] - by_id[s].duration for s in succs
+            )
+
+    for span in ordered:
+        slack = max(0.0, latest_finish[span.task_id] - span.finish)
+        stats = report.per_name.get(span.name)
+        if stats is None:
+            stats = TaskPathStats(name=span.name, min_slack=slack)
+            report.per_name[span.name] = stats
+        elif slack < stats.min_slack:
+            stats.min_slack = slack
+        stats.count += 1
+        stats.total_time += span.duration
+        stats.total_comm += span.comm_time
+        stats.total_slack += slack
+        if span.task_id in critical_ids:
+            stats.on_critical_path += 1
+
+    # Comm hidden under compute: transfer windows vs the merged union of
+    # compute intervals across all devices.
+    compute = _merge_intervals(
+        [(s.start, s.finish) for s in ordered if s.finish > s.start]
+    )
+    for span in ordered:
+        if span.comm_time <= 0.0:
+            continue
+        lo = max(0.0, span.start - span.comm_time)
+        hi = span.start
+        report.total_comm += span.comm_time
+        if hi > lo:
+            report.hidden_comm += _overlap(compute, lo, hi)
+    return report

@@ -1,0 +1,42 @@
+"""Drivers for ``repro trace`` and ``repro stats``.
+
+Runs one of the shipped programs (any solver name from
+``SOLVER_REGISTRY`` or ``fig8-cg``, reusing the builder behind ``repro
+analyze``) under a fully-instrumented runtime and returns the populated
+:class:`~repro.obs.Observability` bundle for export.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..analyze.driver import build_program
+from ..runtime.runtime import Runtime
+from . import Observability
+
+__all__ = ["run_traced"]
+
+
+def run_traced(
+    program: str = "fig8-cg",
+    backend: Optional[str] = None,
+    fmt: str = "csr",
+    size: int = 64,
+    pieces: int = 4,
+    seed: int = 0,
+    iterations: int = 3,
+    jobs: Optional[int] = None,
+) -> Tuple[Observability, str]:
+    """Run ``program`` instrumented; returns ``(observability bundle,
+    resolved backend name)``."""
+    run = build_program(
+        program, fmt=fmt, size=size, pieces=pieces, seed=seed, iterations=iterations
+    )
+    obs = Observability()
+    runtime = Runtime(backend=backend, jobs=jobs, observability=obs)
+    try:
+        run(runtime)
+        runtime.sync()
+    finally:
+        runtime.executor.shutdown()
+    return obs, runtime.backend

@@ -1,0 +1,393 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and flat stats reports.
+
+The trace exporter emits the Trace Event Format understood by
+https://ui.perfetto.dev and ``chrome://tracing``.  Two process lanes
+separate the clocks:
+
+* pid 1 ``simulated time`` — per-device ``X`` task slices (timestamps
+  are simulated seconds scaled to microseconds), dependence edges as
+  ``s``/``f`` flow events, the hierarchical phase B/E stream on tid 0,
+  and ``i`` instants for faults/recoveries/fences.
+* pid 2 ``wall clock`` — real task bodies per worker thread, the same
+  phase stream on the wall clock, and ``C`` counter series for queue
+  depth and worker occupancy.
+
+``validate_trace_events`` enforces the structural subset the CI smoke
+job gates on: non-negative monotonic per-lane timestamps, matched and
+same-named B/E pairs, non-negative ``X`` durations, and flow ``f``
+events whose ids were opened by an ``s``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from .critpath import critical_path
+from .tracing import Tracer
+
+if TYPE_CHECKING:
+    from . import Observability
+
+__all__ = [
+    "STATS_SCHEMA",
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "chrome_trace_events",
+    "stats_report",
+    "summarize_stats",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_trace",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+STATS_SCHEMA = "repro-stats/1"
+
+SIM_PID = 1
+WALL_PID = 2
+_PHASE_TID = 0
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, object]]:
+    """Flatten a tracer into a sorted trace-event list."""
+    events: List[Dict[str, object]] = []
+
+    def meta(pid: int, tid: Optional[int], key: str, name: str) -> None:
+        ev: Dict[str, object] = {
+            "ph": "M",
+            "pid": pid,
+            "ts": 0,
+            "name": key,
+            "args": {"name": name},
+        }
+        if tid is not None:
+            ev["tid"] = tid
+        events.append(ev)
+
+    meta(SIM_PID, None, "process_name", "simulated time")
+    meta(WALL_PID, None, "process_name", "wall clock")
+    meta(SIM_PID, _PHASE_TID, "thread_name", "phases")
+    meta(WALL_PID, _PHASE_TID, "thread_name", "phases")
+
+    # --- simulated track: task slices + dependence flow edges -----------
+    by_task = {span.task_id: span for span in tracer.task_spans}
+    devices: Set[int] = set()
+    for span in tracer.task_spans:
+        devices.add(span.device_id)
+        events.append(
+            {
+                "ph": "X",
+                "pid": SIM_PID,
+                "tid": span.device_id + 1,
+                "name": span.name,
+                "cat": "task",
+                "ts": _us(span.start),
+                "dur": _us(span.duration),
+                "args": {
+                    "task_id": span.task_id,
+                    "point": span.point,
+                    "comm_time_us": _us(span.comm_time),
+                    "deps": list(span.deps),
+                },
+            }
+        )
+    for device_id in devices:
+        meta(SIM_PID, device_id + 1, "thread_name", f"device {device_id}")
+
+    flow_id = 0
+    for span in tracer.task_spans:
+        for dep in span.deps:
+            src = by_task.get(dep)
+            if src is None:
+                continue
+            flow_id += 1
+            events.append(
+                {
+                    "ph": "s",
+                    "pid": SIM_PID,
+                    "tid": src.device_id + 1,
+                    "name": "dep",
+                    "cat": "dep",
+                    "id": flow_id,
+                    "ts": _us(src.finish),
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "pid": SIM_PID,
+                    "tid": span.device_id + 1,
+                    "name": "dep",
+                    "cat": "dep",
+                    "id": flow_id,
+                    "ts": _us(span.start),
+                }
+            )
+
+    # --- phase stream on both clocks -------------------------------------
+    for ev in tracer.phase_events:
+        for pid, ts in ((SIM_PID, ev.sim_time), (WALL_PID, ev.wall_time)):
+            events.append(
+                {
+                    "ph": ev.kind,
+                    "pid": pid,
+                    "tid": _PHASE_TID,
+                    "name": ev.name,
+                    "cat": ev.category,
+                    "ts": _us(ts),
+                    "args": dict(ev.args),
+                }
+            )
+
+    # --- instants (faults / recoveries / fences) --------------------------
+    for instant in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "pid": SIM_PID,
+                "tid": _PHASE_TID,
+                "name": instant.name,
+                "cat": instant.category,
+                "ts": _us(instant.sim_time),
+                "args": {"task_id": instant.task_id, "point": instant.point},
+            }
+        )
+
+    # --- wall-clock track: real task bodies per worker --------------------
+    workers = sorted({ws.worker for ws in tracer.wall_tasks if ws.worker})
+    worker_tid = {name: idx + 1 for idx, name in enumerate(workers)}
+    for name, tid in worker_tid.items():
+        meta(WALL_PID, tid, "thread_name", name)
+    for ws in tracer.wall_tasks:
+        if ws.start < 0.0 or ws.finish < 0.0:
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": WALL_PID,
+                "tid": worker_tid.get(ws.worker, len(workers) + 1),
+                "name": ws.name,
+                "cat": "task",
+                "ts": _us(ws.start),
+                "dur": _us(ws.duration),
+                "args": {
+                    "task_id": ws.task_id,
+                    "queued_us": _us(ws.queued),
+                    "worker": ws.worker,
+                },
+            }
+        )
+
+    # --- counter series ----------------------------------------------------
+    for t, pending, ready in tracer.queue_samples:
+        events.append(
+            {
+                "ph": "C",
+                "pid": WALL_PID,
+                "tid": _PHASE_TID,
+                "name": "queue",
+                "ts": _us(t),
+                "args": {"pending": pending, "ready": ready},
+            }
+        )
+    for t, active in tracer.occupancy_samples:
+        events.append(
+            {
+                "ph": "C",
+                "pid": WALL_PID,
+                "tid": _PHASE_TID,
+                "name": "workers_active",
+                "ts": _us(t),
+                "args": {"active": active},
+            }
+        )
+
+    # Stable sort keeps emission order (hence B/E nesting) at equal
+    # timestamps within a lane.
+    events.sort(key=_sort_key)
+    return events
+
+
+def _sort_key(event: Dict[str, object]) -> Tuple[int, int, float, int]:
+    pid = event.get("pid")
+    tid = event.get("tid", 0)
+    ts = event.get("ts", 0)
+    # Metadata first within its lane.
+    is_meta = 0 if event.get("ph") == "M" else 1
+    return (
+        int(pid) if isinstance(pid, int) else 0,
+        int(tid) if isinstance(tid, int) else 0,
+        float(ts) if isinstance(ts, (int, float)) else 0.0,
+        is_meta,
+    )
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """Full Perfetto-loadable trace document."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+
+
+def write_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer), fh)
+
+
+def validate_trace_events(events: Sequence[Dict[str, object]]) -> List[str]:
+    """Structural validation; returns a list of error strings (empty =
+    valid)."""
+    errors: List[str] = []
+    last_ts: Dict[Tuple[object, object], float] = {}
+    stacks: Dict[Tuple[object, object], List[Tuple[str, float]]] = {}
+    flow_starts: Set[object] = set()
+    flow_ends: List[Tuple[int, object]] = []
+
+    for idx, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {idx}: missing/non-numeric ts ({event!r})")
+            continue
+        if ts < 0:
+            errors.append(f"event {idx}: negative ts {ts}")
+        lane = (event.get("pid"), event.get("tid"))
+        prev = last_ts.get(lane)
+        if prev is not None and ts < prev - 1e-9:
+            errors.append(
+                f"event {idx}: ts {ts} < {prev} — not monotonic in lane {lane}"
+            )
+        last_ts[lane] = max(prev, float(ts)) if prev is not None else float(ts)
+
+        if ph == "B":
+            stacks.setdefault(lane, []).append((str(event.get("name")), float(ts)))
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                errors.append(f"event {idx}: 'E' without matching 'B' in lane {lane}")
+            else:
+                b_name, b_ts = stack.pop()
+                if str(event.get("name")) != b_name:
+                    errors.append(
+                        f"event {idx}: 'E' name {event.get('name')!r} does not "
+                        f"match open 'B' {b_name!r} in lane {lane}"
+                    )
+                if ts < b_ts:
+                    errors.append(
+                        f"event {idx}: 'E' ts {ts} precedes its 'B' ts {b_ts}"
+                    )
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {idx}: 'X' with invalid dur {dur!r}")
+        elif ph == "s":
+            flow_starts.add(event.get("id"))
+        elif ph == "f":
+            flow_ends.append((idx, event.get("id")))
+
+    for lane, stack in stacks.items():
+        for b_name, _ in stack:
+            errors.append(f"unclosed 'B' {b_name!r} in lane {lane}")
+    for idx, fid in flow_ends:
+        if fid not in flow_starts:
+            errors.append(f"event {idx}: flow 'f' id {fid!r} has no matching 's'")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no 'traceEvents' list"]
+    return validate_trace_events(events)
+
+
+def stats_report(obs: "Observability") -> Dict[str, object]:
+    """Flat stats document: metrics snapshot + per-task-name aggregates +
+    critical-path report."""
+    tasks: Dict[str, Dict[str, object]] = {}
+    crit: Optional[Dict[str, object]] = None
+    tracer = obs.tracer
+    if tracer is not None:
+        agg: Dict[str, List[float]] = {}
+        for span in tracer.task_spans:
+            entry = agg.setdefault(span.name, [0.0, 0.0, 0.0])
+            entry[0] += 1.0
+            entry[1] += span.duration
+            entry[2] += span.comm_time
+        for name, (count, total, comm) in sorted(agg.items()):
+            tasks[name] = {
+                "count": int(count),
+                "total_time_s": total,
+                "mean_time_s": total / count if count else 0.0,
+                "total_comm_s": comm,
+            }
+        crit = critical_path(tracer.task_spans).to_dict()
+    return {
+        "schema": STATS_SCHEMA,
+        "metrics": obs.metrics.snapshot(),
+        "tasks": tasks,
+        "critical_path": crit,
+    }
+
+
+def summarize_stats(stats: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`stats_report` document."""
+    lines: List[str] = []
+    crit = stats.get("critical_path")
+    if isinstance(crit, dict):
+        lines.append(
+            f"critical path: {crit.get('length_s', 0.0):.3e} s over "
+            f"{crit.get('path_length', 0)} tasks "
+            f"(makespan {crit.get('makespan_s', 0.0):.3e} s, "
+            f"parallelism {crit.get('parallelism', 0.0):.2f})"
+        )
+        frac = crit.get("comm_overlap_fraction", 0.0)
+        if isinstance(frac, (int, float)):
+            lines.append(
+                f"comm hidden under compute: {100.0 * frac:.1f}% "
+                f"({crit.get('hidden_comm_s', 0.0):.3e} / "
+                f"{crit.get('total_comm_s', 0.0):.3e} s)"
+            )
+        per_name = crit.get("per_name")
+        if isinstance(per_name, dict) and per_name:
+            lines.append("slack by task name (min / mean, seconds):")
+            ranked = sorted(
+                per_name.items(),
+                key=lambda kv: (kv[1].get("min_slack_s", 0.0), kv[0]),
+            )
+            for name, entry in ranked:
+                marker = " *critical*" if entry.get("on_critical_path") else ""
+                lines.append(
+                    f"  {name:<28s} x{entry.get('count', 0):<5d} "
+                    f"{entry.get('min_slack_s', 0.0):.3e} / "
+                    f"{entry.get('mean_slack_s', 0.0):.3e}{marker}"
+                )
+    metrics = stats.get("metrics")
+    if isinstance(metrics, dict):
+        counters = metrics.get("counters")
+        if isinstance(counters, dict) and counters:
+            lines.append("counters:")
+            for name, value in counters.items():
+                lines.append(f"  {name:<36s} {value:g}")
+        series = metrics.get("series")
+        if isinstance(series, dict):
+            for name, values in series.items():
+                if isinstance(values, list) and values:
+                    lines.append(
+                        f"series {name}: n={len(values)} "
+                        f"last={values[-1]:.6e}"
+                    )
+    return "\n".join(lines) if lines else "(no observability data captured)"

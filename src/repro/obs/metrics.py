@@ -1,0 +1,248 @@
+"""Named metrics: counters, gauges, histograms, and series.
+
+The registry is the numeric half of the observability layer (the
+:mod:`repro.obs.tracing` spans are the temporal half).  Instruments are
+created on first use and live for the registry's lifetime, so callers
+write ``metrics.counter("executor.tasks_executed").inc()`` without any
+registration ceremony.
+
+Naming scheme: dotted lowercase ``component.metric`` for static
+instruments (``executor.queue_depth``, ``step.flops``,
+``solver.cg.residual``) and ``:``-separated dynamic suffixes for
+event-keyed counters (``fault:crash``, ``recovery:rollback:monitor``).
+
+The default registry attached to a :class:`~repro.runtime.runtime.Runtime`
+is :data:`NULL_METRICS`: a shared no-op whose instruments discard every
+update, so instrumented code pays one attribute load and one no-op call
+when observability is disabled — nothing is allocated and nothing is
+locked.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "Series",
+]
+
+#: One process-wide lock serializes instrument mutation: metrics are
+#: updated from pool workers as well as the application thread, and a
+#: plain ``+=`` on a Python attribute is not atomic across threads.
+#: Only *enabled* registries take it; the null instruments never do.
+_LOCK = threading.Lock()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with _LOCK:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value, with the observed maximum kept alongside."""
+
+    __slots__ = ("name", "value", "max_value", "n_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self.n_samples = 0
+
+    def set(self, value: float) -> None:
+        with _LOCK:
+            self.value = value
+            if self.n_samples == 0 or value > self.max_value:
+                self.max_value = value
+            self.n_samples += 1
+
+
+class Histogram:
+    """Streaming summary (count / total / min / max) of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        with _LOCK:
+            if self.count == 0:
+                self.min = value
+                self.max = value
+            else:
+                if value < self.min:
+                    self.min = value
+                if value > self.max:
+                    self.max = value
+            self.count += 1
+            self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Series:
+    """Full ordered history of one quantity (per-iteration residuals)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def append(self, value: float) -> None:
+        with _LOCK:
+            self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MetricsRegistry:
+    """Create-on-first-use named instruments plus a JSON-able snapshot."""
+
+    #: False only on :class:`NullMetrics`; lets hot paths skip work that
+    #: exists solely to feed the registry.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            with _LOCK:
+                inst = self._counters.setdefault(name, Counter(name))
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            with _LOCK:
+                inst = self._gauges.setdefault(name, Gauge(name))
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            with _LOCK:
+                inst = self._histograms.setdefault(name, Histogram(name))
+        return inst
+
+    def series(self, name: str) -> Series:
+        inst = self._series.get(name)
+        if inst is None:
+            with _LOCK:
+                inst = self._series.setdefault(name, Series(name))
+        return inst
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data view of every instrument (embedded in ``repro
+        chaos --json`` / ``repro bench`` / ``repro stats`` artifacts)."""
+        with _LOCK:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {
+                    n: {"value": g.value, "max": g.max_value, "samples": g.n_samples}
+                    for n, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+                "series": {n: list(s.values) for n, s in sorted(self._series.items())},
+            }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSeries(Series):
+    __slots__ = ()
+
+    def append(self, value: float) -> None:
+        pass
+
+
+class NullMetrics(MetricsRegistry):
+    """The zero-overhead default: every lookup returns a shared no-op
+    instrument, every update is discarded, snapshots are empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+        self._null_series = _NullSeries("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+    def series(self, name: str) -> Series:
+        return self._null_series
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
+
+
+#: Shared disabled registry; safe to hand to any number of runtimes.
+NULL_METRICS = NullMetrics()

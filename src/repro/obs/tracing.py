@@ -1,0 +1,312 @@
+"""Structured tracing: hierarchical spans on two clocks.
+
+The tracer captures four kinds of records, all timestamped from a
+single pair of clocks — the engine's *simulated* clock (seconds of
+modeled machine time) and a *wall* clock (``time.perf_counter`` relative
+to tracer creation):
+
+* **task spans** (simulated clock) — one per simulated task, captured by
+  :class:`TracingObserver` from the engine's ``on_task`` hook, carrying
+  the dependence edges, mapped device, and modeled communication time.
+* **phase events** (both clocks) — hierarchical begin/end brackets
+  (``solve:cg`` → ``iteration`` → ``step:cg``) opened through
+  :meth:`repro.obs.Observability.span` on the application thread.  The
+  B/E stream is recorded directly at open/close time, so it is
+  well-nested and monotonic by construction.
+* **wall task spans** (wall clock) — real submit → start → finish
+  latencies of each deferred task body, fed by the executor probe, with
+  worker attribution plus queue-depth and worker-occupancy samples.
+* **instant events** (simulated clock) — faults, recoveries, and fences
+  forwarded from ``Engine.note_event`` / ``Engine.barrier``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..runtime.engine import EngineObserver
+from ..runtime.task import TaskRecord
+
+if TYPE_CHECKING:
+    from ..runtime.engine import Engine
+
+__all__ = [
+    "InstantEvent",
+    "PhaseEvent",
+    "PhaseSpan",
+    "TaskSpan",
+    "Tracer",
+    "TracingObserver",
+    "WallTaskSpan",
+]
+
+
+@dataclass
+class TaskSpan:
+    """One simulated task execution, as scheduled by the engine."""
+
+    task_id: int
+    name: str
+    device_id: int
+    start: float
+    finish: float
+    comm_time: float = 0.0
+    deps: Tuple[int, ...] = ()
+    point: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class PhaseEvent:
+    """One begin ("B") or end ("E") bracket of a hierarchical phase."""
+
+    kind: str
+    name: str
+    category: str
+    depth: int
+    sim_time: float
+    wall_time: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PhaseSpan:
+    """A matched B/E pair reconstructed from the phase-event stream."""
+
+    name: str
+    category: str
+    depth: int
+    sim_start: float
+    sim_end: float
+    wall_start: float
+    wall_end: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def sim_duration(self) -> float:
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_end - self.wall_start
+
+
+@dataclass
+class WallTaskSpan:
+    """Real submit/start/finish of one deferred task body."""
+
+    task_id: int
+    name: str
+    submit: float
+    start: float = -1.0
+    finish: float = -1.0
+    worker: str = ""
+
+    @property
+    def queued(self) -> float:
+        """Submit → start latency (time spent waiting on dependences)."""
+        return max(0.0, self.start - self.submit) if self.start >= 0.0 else 0.0
+
+    @property
+    def duration(self) -> float:
+        if self.start < 0.0 or self.finish < 0.0:
+            return 0.0
+        return max(0.0, self.finish - self.start)
+
+
+@dataclass
+class InstantEvent:
+    """A point event on the simulated clock (fault, recovery, fence)."""
+
+    name: str
+    sim_time: float
+    task_id: Optional[int] = None
+    point: Optional[int] = None
+    category: str = "event"
+
+
+class Tracer:
+    """Accumulates spans and events for one instrumented run.
+
+    Phase methods run on the application thread only; the probe methods
+    (``task_submitted`` / ``task_started`` / ``task_finished``) are
+    called from pool workers too and serialize on an internal lock, which
+    also keeps the sample streams monotonic in wall time.
+    """
+
+    def __init__(self) -> None:
+        self._wall0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._engine: Optional["Engine"] = None
+        self.task_spans: List[TaskSpan] = []
+        self.phase_events: List[PhaseEvent] = []
+        self.wall_tasks: List[WallTaskSpan] = []
+        self.events: List[InstantEvent] = []
+        #: (wall_time, n_pending, n_ready) sampled at every submit.
+        self.queue_samples: List[Tuple[float, int, int]] = []
+        #: (wall_time, n_active_workers) sampled at body start/finish.
+        self.occupancy_samples: List[Tuple[float, int]] = []
+        self._by_task: Dict[int, WallTaskSpan] = {}
+        self._active_workers = 0
+        self._depth = 0
+
+    def bind_engine(self, engine: "Engine") -> None:
+        """Attach the engine whose simulated clock timestamps phases."""
+        self._engine = engine
+
+    def wall_now(self) -> float:
+        return time.perf_counter() - self._wall0
+
+    def sim_now(self) -> float:
+        return self._engine.current_time if self._engine is not None else 0.0
+
+    def engine_cost(self) -> Tuple[float, float]:
+        """Running (total_flops, total_comm_bytes) from the bound engine."""
+        engine = self._engine
+        if engine is None:
+            return (0.0, 0.0)
+        return (engine.total_flops, engine.total_comm_bytes)
+
+    # -- phase spans (application thread) ---------------------------------
+
+    def open_phase(self, name: str, category: str, args: Dict[str, object]) -> None:
+        self.phase_events.append(
+            PhaseEvent("B", name, category, self._depth, self.sim_now(), self.wall_now(), args)
+        )
+        self._depth += 1
+
+    def close_phase(self, name: str, category: str, args: Dict[str, object]) -> None:
+        self._depth -= 1
+        self.phase_events.append(
+            PhaseEvent("E", name, category, self._depth, self.sim_now(), self.wall_now(), args)
+        )
+
+    def phase_spans(self) -> List[PhaseSpan]:
+        """Reconstruct matched spans from the B/E stream (open phases at
+        the time of the call are omitted)."""
+        out: List[PhaseSpan] = []
+        stack: List[PhaseEvent] = []
+        for ev in self.phase_events:
+            if ev.kind == "B":
+                stack.append(ev)
+            elif stack:
+                begin = stack.pop()
+                merged = dict(begin.args)
+                merged.update(ev.args)
+                out.append(
+                    PhaseSpan(
+                        begin.name,
+                        begin.category,
+                        begin.depth,
+                        begin.sim_time,
+                        ev.sim_time,
+                        begin.wall_time,
+                        ev.wall_time,
+                        merged,
+                    )
+                )
+        return out
+
+    # -- executor probe stream (any thread) -------------------------------
+
+    def task_submitted(self, task_id: int, name: str, n_pending: int, n_ready: int) -> None:
+        with self._lock:
+            t = self.wall_now()
+            span = WallTaskSpan(task_id, name, submit=t)
+            self.wall_tasks.append(span)
+            self._by_task[task_id] = span
+            self.queue_samples.append((t, n_pending, n_ready))
+
+    def task_started(self, task_id: int, worker: str = "") -> int:
+        """Record body start; returns the new active-worker count."""
+        with self._lock:
+            t = self.wall_now()
+            span = self._by_task.get(task_id)
+            if span is not None:
+                span.start = t
+                span.worker = worker
+            self._active_workers += 1
+            self.occupancy_samples.append((t, self._active_workers))
+            return self._active_workers
+
+    def task_finished(self, task_id: int) -> Optional[WallTaskSpan]:
+        """Record body finish; returns the completed span, if known."""
+        with self._lock:
+            t = self.wall_now()
+            span = self._by_task.get(task_id)
+            if span is not None and span.finish < 0.0:
+                if span.start < 0.0:
+                    span.start = t
+                span.finish = t
+            self._active_workers = max(0, self._active_workers - 1)
+            self.occupancy_samples.append((t, self._active_workers))
+            return span
+
+    # -- instant events ----------------------------------------------------
+
+    def note_instant(
+        self,
+        name: str,
+        sim_time: float,
+        task_id: Optional[int] = None,
+        point: Optional[int] = None,
+        category: str = "event",
+    ) -> None:
+        self.events.append(InstantEvent(name, sim_time, task_id, point, category))
+
+
+class TracingObserver(EngineObserver):
+    """Bridges the engine's observer hooks into a :class:`Tracer`.
+
+    ``on_task`` fires on the application thread at launch time (the
+    engine schedules eagerly even when bodies are deferred), so the
+    simulated track is complete and ordered regardless of backend.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def on_task(
+        self,
+        record: TaskRecord,
+        deps: List[int],
+        device_id: int,
+        start: float,
+        finish: float,
+        comm_time: float = 0.0,
+    ) -> None:
+        self.tracer.task_spans.append(
+            TaskSpan(
+                task_id=record.task_id,
+                name=record.name,
+                device_id=device_id,
+                start=start,
+                finish=finish,
+                comm_time=comm_time,
+                deps=tuple(deps),
+                point=record.point,
+            )
+        )
+
+    def on_barrier(self, time: float) -> None:
+        self.tracer.note_instant("barrier", time, category="fence")
+
+    def on_event(
+        self,
+        name: str,
+        time: float,
+        task_id: Optional[int] = None,
+        point: Optional[int] = None,
+    ) -> None:
+        category = "event"
+        if name.startswith("fault:"):
+            category = "fault"
+        elif name.startswith("recovery:"):
+            category = "recovery"
+        self.tracer.note_instant(name, time, task_id=task_id, point=point, category=category)

@@ -58,10 +58,21 @@ class EngineObserver:
         device_id: int,
         start: float,
         finish: float,
+        comm_time: float = 0.0,
     ) -> None:  # pragma: no cover - interface default
         pass
 
     def on_barrier(self, time: float) -> None:  # pragma: no cover
+        pass
+
+    def on_event(
+        self,
+        name: str,
+        time: float,
+        task_id: Optional[int] = None,
+        point: Optional[int] = None,
+    ) -> None:  # pragma: no cover - interface default
+        """Zero-duration annotation (``fault:*``/``recovery:*`` marks)."""
         pass
 
 
@@ -149,6 +160,7 @@ class Engine:
         self.n_tasks = 0
         self.n_traced_tasks = 0
         self.total_comm_bytes = 0.0
+        self.total_flops = 0.0
         self.device_busy = np.zeros(n_dev)
         self._util_slot = 0
 
@@ -427,6 +439,7 @@ class Engine:
             self._future_producer[record.future_uid] = record.task_id
         self._task_finish[record.task_id] = finish
         self.n_tasks += 1
+        self.total_flops += record.flops
         if traced:
             self.n_traced_tasks += 1
         if self.keep_timeline:
@@ -443,7 +456,7 @@ class Engine:
                 )
             )
         for obs in self.observers:
-            obs.on_task(record, deps, device.device_id, start, finish)
+            obs.on_task(record, deps, device.device_id, start, finish, comm_time)
         return start, finish, deps
 
     def note_event(
@@ -456,22 +469,27 @@ class Engine:
         fault injections and solver recovery actions use this, so chaos
         runs show ``fault:*``/``recovery:*`` entries inline with the
         simulated task stream.  Device/node are -1: the event is not tied
-        to a modeled resource and consumes no simulated time."""
-        if not self.keep_timeline:
+        to a modeled resource and consumes no simulated time.  Observers
+        receive the event through ``on_event`` regardless of whether the
+        timeline is kept."""
+        if not self.keep_timeline and not self.observers:
             return
         t = self.current_time
-        self.timeline.append(
-            TimelineEntry(
-                task_id=-1 if task_id is None else task_id,
-                name=name,
-                device_id=-1,
-                node=-1,
-                start=t,
-                finish=t,
-                comm_time=0.0,
-                point=point,
+        if self.keep_timeline:
+            self.timeline.append(
+                TimelineEntry(
+                    task_id=-1 if task_id is None else task_id,
+                    name=name,
+                    device_id=-1,
+                    node=-1,
+                    start=t,
+                    finish=t,
+                    comm_time=0.0,
+                    point=point,
+                )
             )
-        )
+        for obs in self.observers:
+            obs.on_event(name, t, task_id, point)
 
     def barrier(self) -> float:
         """Execution fence: every resource becomes free only at the

@@ -40,10 +40,12 @@ descendants raises :class:`DeadlockError`.
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 from .task import TaskRecord
 
@@ -59,6 +61,7 @@ __all__ = [
     "SerialExecutor",
     "SymbolicValue",
     "TaskExecutor",
+    "TaskProbe",
     "ThreadedExecutor",
     "default_backend",
     "default_jobs",
@@ -121,11 +124,38 @@ def make_executor(backend: Optional[str] = None, jobs: Optional[int] = None) -> 
     raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
 
 
+class TaskProbe(Protocol):
+    """Observability callbacks an executor fires around each task body.
+
+    Implemented by :class:`repro.obs.Observability`; the executor holds
+    at most one probe and every call site guards with ``probe is not
+    None`` so the disabled default costs a single attribute load."""
+
+    def task_submitted(self, task_id: int, name: str, n_pending: int, n_ready: int) -> None:
+        ...
+
+    def task_started(self, task_id: int, worker: str = "") -> None:
+        ...
+
+    def task_finished(self, task_id: int) -> None:
+        ...
+
+    def future_wait(self, future_uid: int) -> None:
+        ...
+
+    def deadlock(self) -> None:
+        ...
+
+
 class TaskExecutor:
     """Interface both backends implement."""
 
     #: Backend name, for reports and the bench harness.
     name: str = "abstract"
+
+    #: Optional observability probe (queue depth, per-task latencies);
+    #: None by default — the zero-overhead path.
+    probe: Optional[TaskProbe] = None
 
     def submit(
         self,
@@ -170,7 +200,16 @@ class SerialExecutor(TaskExecutor):
         on_done: Callable[[object], None],
         deps: Set[int],
     ) -> None:
-        on_done(thunk())
+        probe = self.probe
+        if probe is None:
+            on_done(thunk())
+            return
+        probe.task_submitted(record.task_id, record.name, 0, 1)
+        probe.task_started(record.task_id, threading.current_thread().name)
+        try:
+            on_done(thunk())
+        finally:
+            probe.task_finished(record.task_id)
 
     def wait_for_future(self, future_uid: int) -> None:
         pass
@@ -367,6 +406,14 @@ class ThreadedExecutor(TaskExecutor):
             ready = not node.waiting_on
             if ready:
                 self._ready.append(record.task_id)
+            probe = self.probe
+            if probe is not None:
+                # Inside the lock so the submit event precedes any
+                # worker's start event for this task (the probe's own
+                # lock never acquires the executor lock).
+                probe.task_submitted(
+                    record.task_id, record.name, len(self._pending), len(self._ready)
+                )
         if ready:
             self._pool.submit(self._worker_tick)
 
@@ -399,6 +446,9 @@ class ThreadedExecutor(TaskExecutor):
     def _execute(self, node: _Node) -> None:
         token = getattr(_current_task, "task_id", None)
         _current_task.task_id = node.task_id
+        probe = self.probe
+        if probe is not None:
+            probe.task_started(node.task_id, threading.current_thread().name)
         error: Optional[BaseException] = None
         try:
             node.on_done(node.thunk())
@@ -406,6 +456,8 @@ class ThreadedExecutor(TaskExecutor):
             error = exc
         finally:
             _current_task.task_id = token
+            if probe is not None:
+                probe.task_finished(node.task_id)
         n_unblocked = 0
         with self._lock:
             self._completed.add(node.task_id)
@@ -464,6 +516,44 @@ class ThreadedExecutor(TaskExecutor):
             label += " [fault-stalled]"
         return label
 
+    def _dump_blocked_locked(self, closure: Set[int], reason: str) -> str:
+        """Write a JSON snapshot of the blocked pending subgraph to a
+        temporary file for post-mortem diagnosis; returns a message
+        fragment naming the path (empty when the dump could not be
+        written).  Also counts the deadlock on the attached probe."""
+        probe = self.probe
+        if probe is not None:
+            probe.deadlock()
+        nodes = []
+        for tid in sorted(closure):
+            node = self._pending.get(tid)
+            if node is None:
+                continue
+            nodes.append(
+                {
+                    "task_id": node.task_id,
+                    "name": node.name,
+                    "claimed": node.claimed,
+                    "ready": tid in self._ready,
+                    "waiting_on": sorted(node.waiting_on),
+                    "dependents": sorted(node.dependents),
+                }
+            )
+        payload = {
+            "schema": "repro-deadlock/1",
+            "reason": reason,
+            "n_pending_total": len(self._pending),
+            "stalled_task_ids": sorted(self._stalled_ids()),
+            "blocked_subgraph": nodes,
+        }
+        try:
+            fd, path = tempfile.mkstemp(prefix="repro-deadlock-", suffix=".json")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError:  # pragma: no cover - the dump is best-effort
+            return ""
+        return f"; blocked-subgraph trace written to {path}"
+
     @staticmethod
     def _stall_note(stalled: Set[int]) -> str:
         if not stalled:
@@ -487,11 +577,12 @@ class ThreadedExecutor(TaskExecutor):
         stalled = self._stalled_ids()
         note = self._stall_note(stalled)
         if waiter is not None and waiter in closure and waiter != task_id:
+            dump = self._dump_blocked_locked(closure, "cycle-through-waiter")
             raise DeadlockError(
                 f"task {self._task_label_locked(waiter, stalled)} blocks on task "
                 f"{self._task_label_locked(task_id, stalled)}{where}, which transitively "
                 f"depends on task {waiter} itself — dependence cycle through a "
-                f"blocking future read{note}"
+                f"blocking future read{note}{dump}"
             )
         for tid in closure:
             node = self._pending.get(tid)
@@ -512,18 +603,20 @@ class ThreadedExecutor(TaskExecutor):
                     self._task_label_locked(t, stalled)
                     for t in sorted(closure & set(self._pending))
                 )
+                dump = self._dump_blocked_locked(closure, "missing-producer")
                 raise DeadlockError(
                     f"task {tid} ({node.name}) waits on task(s) {sorted(missing)} "
                     f"that were never submitted and can never complete{where}; "
-                    f"blocked tasks: [{blocked}]{note}"
+                    f"blocked tasks: [{blocked}]{note}{dump}"
                 )
         cycle = ", ".join(
             self._task_label_locked(t, stalled)
             for t in sorted(closure & set(self._pending))
         )
+        dump = self._dump_blocked_locked(closure, "dependence-cycle")
         raise DeadlockError(
             f"dependence cycle among pending tasks [{cycle}]{where}; "
-            f"no task in the closure can ever become ready{note}"
+            f"no task in the closure can ever become ready{note}{dump}"
         )
 
     def _raise_if_failed_locked(self) -> None:
@@ -565,6 +658,9 @@ class ThreadedExecutor(TaskExecutor):
             task_id = self._by_future.get(future_uid)
         if task_id is None:
             return
+        probe = self.probe
+        if probe is not None:
+            probe.future_wait(future_uid)
         self._wait_until(
             lambda: task_id not in self._pending,
             lambda: task_id if task_id in self._pending else None,

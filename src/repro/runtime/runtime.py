@@ -28,6 +28,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
     from ..faults.plan import FaultLog, FaultPlan
+    from ..obs import Observability
 
 from .engine import Engine
 from .executor import TaskExecutor, make_executor
@@ -69,6 +70,7 @@ class Runtime:
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
         faults: Any = None,
+        observability: Any = None,
     ):
         self.machine = machine if machine is not None else Machine(n_nodes=1)
         self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
@@ -89,19 +91,57 @@ class Runtime:
         #: plan is active the executor is wrapped in a
         #: :class:`~repro.faults.injector.FaultInjector` (never under
         #: "capture", whose bodies never run).
+        #: Observability (``observability=``): ``None`` consults the
+        #: ``REPRO_TRACE`` environment variable, ``False`` disables
+        #: unconditionally, ``True``/an :class:`~repro.obs.Observability`
+        #: enables structured tracing + the metrics registry.  The
+        #: disabled default is the shared no-op bundle (zero overhead).
+        from ..obs import resolve_observability  # local import: obs imports runtime
+
+        self.obs: "Observability" = resolve_observability(observability)
         self.fault_injector: Optional["FaultInjector"] = None
         plan = self._resolve_fault_plan(faults)
         if plan is not None and len(plan.specs) > 0 and executor.name != "capture":
             from ..faults.injector import FaultInjector
 
-            injector = FaultInjector(executor, plan, store=self.store, engine=self.engine)
+            injector = FaultInjector(
+                executor,
+                plan,
+                store=self.store,
+                engine=self.engine,
+                metrics=self.obs.metrics,
+            )
             self.fault_injector = injector
             executor = injector
         self.executor: TaskExecutor = executor
         self.backend = self.executor.name
         self._deferred = self.backend != "serial"
+        if self.obs.enabled:
+            self._attach_observability()
         self._traces: Dict[Any, _TraceState] = {}
         self._active_trace: Optional[_TraceState] = None
+
+    def _attach_observability(self) -> None:
+        """Wire the enabled observability bundle into every layer: the
+        tracer observes the engine (simulated task spans + fault and
+        fence events) and the bundle becomes the probe of the innermost
+        executing backend (wall-clock task latencies, queue depth,
+        worker occupancy)."""
+        tracer = self.obs.tracer
+        if tracer is not None:
+            from ..obs import TracingObserver
+
+            tracer.bind_engine(self.engine)
+            self.engine.observers.append(TracingObserver(tracer))
+        target: TaskExecutor = self.executor
+        while True:
+            # Unwrap decorators (the fault injector) so probe callbacks
+            # fire where bodies actually run.
+            inner = getattr(target, "inner", None)
+            if inner is None:
+                break
+            target = inner
+        target.probe = self.obs
 
     # -- fault injection -------------------------------------------------------
 

@@ -143,6 +143,7 @@ class RaceDetector(EngineObserver):
         device_id: int,
         start: float,
         finish: float,
+        comm_time: float = 0.0,
     ) -> None:
         node = _TaskNode(
             task_id=record.task_id,

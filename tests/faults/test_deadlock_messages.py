@@ -122,3 +122,57 @@ class TestStallPlumbing:
             assert rt.executor.inner._stalled_ids() == set()
         finally:
             rt.executor.shutdown()
+
+
+class TestBlockedSubgraphDump:
+    def test_message_names_a_loadable_dump_file(self):
+        import json
+        import os
+        import re
+
+        from repro.obs import Observability
+
+        obs = Observability(trace=False)
+        rt = Runtime(backend="threads", jobs=2, faults=False, observability=obs)
+        path = None
+        try:
+            message = deadlock_message(rt)
+            match = re.search(r"blocked-subgraph trace written to (\S+)", message)
+            assert match, message
+            path = match.group(1)
+            with open(path) as fh:
+                dump = json.load(fh)
+            assert dump["schema"] == "repro-deadlock/1"
+            assert dump["reason"]
+            assert dump["n_pending_total"] >= 1
+            assert dump["blocked_subgraph"]
+            node = dump["blocked_subgraph"][0]
+            assert set(node) >= {
+                "task_id", "name", "claimed", "ready", "waiting_on", "dependents",
+            }
+            names = {n["name"] for n in dump["blocked_subgraph"]}
+            assert {"a", "b"} <= names
+            # The probe counted the deadlock on the way out.
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters["executor.deadlocks"] == 1.0
+        finally:
+            rt.executor.shutdown()
+            if path is not None and os.path.exists(path):
+                os.unlink(path)
+
+    def test_dump_is_written_without_observability_too(self):
+        import os
+        import re
+
+        rt = make_runtime()
+        message = None
+        try:
+            message = deadlock_message(rt)
+            assert re.search(r"blocked-subgraph trace written to \S+", message)
+        finally:
+            rt.executor.shutdown()
+            match = message and re.search(
+                r"blocked-subgraph trace written to (\S+)", message
+            )
+            if match and os.path.exists(match.group(1)):
+                os.unlink(match.group(1))

@@ -1,0 +1,80 @@
+"""CLI surface: ``repro trace`` and ``repro stats``."""
+
+import json
+
+from repro.cli import main
+from repro.obs import validate_trace_file
+
+
+class TestTraceCommand:
+    def test_writes_valid_trace_and_checks_clean(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "cg", "--size", "16", "--pieces", "2",
+             "--iterations", "2", "--out", str(out), "--check"]
+        )
+        assert code == 0
+        assert validate_trace_file(str(out)) == []
+        text = capsys.readouterr().out
+        assert "task spans" in text
+        assert "trace check: OK" in text
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["schema"] == "repro-trace/1"
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_threads_backend(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "fig8-cg", "--backend", "threads", "--jobs", "2",
+             "--size", "64", "--pieces", "4", "--iterations", "2",
+             "--out", str(out), "--check"]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        wall_slices = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e.get("pid") == 2
+        ]
+        assert wall_slices
+
+    def test_unknown_program_exits_2(self, tmp_path, capsys):
+        code = main(["trace", "nonsense", "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "trace:" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_text_output(self, capsys):
+        code = main(["stats", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "2"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "critical path:" in text
+        assert "slack by task name" in text
+
+    def test_json_to_stdout(self, capsys):
+        code = main(["stats", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "2", "--json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == "repro-stats/1"
+        assert stats["program"] == "cg"
+        assert stats["backend"] == "serial"
+        assert stats["critical_path"]["path_length"] > 0
+        assert "comm_overlap_fraction" in stats["critical_path"]
+        per_name = stats["critical_path"]["per_name"]
+        assert all("min_slack_s" in entry for entry in per_name.values())
+
+    def test_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        code = main(["stats", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "2", "--json", str(out)])
+        assert code == 0
+        assert "stats written to" in capsys.readouterr().out
+        stats = json.loads(out.read_text())
+        assert stats["metrics"]["counters"]["executor.tasks_executed"] > 0
+
+    def test_unknown_program_exits_2(self, capsys):
+        assert main(["stats", "nonsense"]) == 2
+        assert "stats:" in capsys.readouterr().out

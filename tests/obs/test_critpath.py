@@ -1,0 +1,131 @@
+"""Critical-path CPM on hand-built span graphs."""
+
+import pytest
+
+from repro.obs.critpath import critical_path
+from repro.obs.tracing import TaskSpan
+
+
+def span(tid, name, start, finish, deps=(), comm=0.0, device=0):
+    return TaskSpan(
+        task_id=tid,
+        name=name,
+        device_id=device,
+        start=start,
+        finish=finish,
+        comm_time=comm,
+        deps=tuple(deps),
+    )
+
+
+class TestChain:
+    def test_empty_input(self):
+        report = critical_path([])
+        assert report.n_tasks == 0
+        assert report.length == 0.0
+        assert report.path == []
+        assert report.comm_overlap_fraction == 0.0
+        assert report.parallelism == 0.0
+
+    def test_straight_chain_has_zero_slack(self):
+        spans = [
+            span(1, "a", 0.0, 1.0),
+            span(2, "b", 1.0, 3.0, deps=[1]),
+            span(3, "c", 3.0, 6.0, deps=[2]),
+        ]
+        report = critical_path(spans)
+        assert report.makespan == 6.0
+        assert report.length == pytest.approx(6.0)
+        assert [name for _, name in report.path] == ["a", "b", "c"]
+        for stats in report.per_name.values():
+            assert stats.min_slack == 0.0
+            assert stats.on_critical_path == 1
+
+    def test_parallel_branch_gets_slack(self):
+        # a -> c is the long chain; b runs beside it with room to spare.
+        spans = [
+            span(1, "a", 0.0, 4.0),
+            span(2, "b", 0.0, 1.0, device=1),
+            span(3, "c", 4.0, 6.0, deps=[1, 2]),
+        ]
+        report = critical_path(spans)
+        assert [name for _, name in report.path] == ["a", "c"]
+        assert report.length == pytest.approx(6.0)
+        b = report.per_name["b"]
+        # b could finish as late as c's latest start (4.0): slack 3.0.
+        assert b.min_slack == pytest.approx(3.0)
+        assert b.on_critical_path == 0
+        assert report.per_name["a"].on_critical_path == 1
+        # parallelism: 7 task-seconds over a 6 s makespan.
+        assert report.parallelism == pytest.approx(7.0 / 6.0)
+
+    def test_length_counts_durations_not_gaps(self):
+        # Dependence chain with an idle gap: the chain length sums task
+        # durations only, while the makespan includes the gap.
+        spans = [
+            span(1, "a", 0.0, 1.0),
+            span(2, "b", 5.0, 6.0, deps=[1]),
+        ]
+        report = critical_path(spans)
+        assert report.makespan == 6.0
+        assert report.length == pytest.approx(2.0)
+
+    def test_per_name_aggregation(self):
+        spans = [
+            span(1, "axpy", 0.0, 1.0),
+            span(2, "axpy", 1.0, 3.0, deps=[1]),
+        ]
+        report = critical_path(spans)
+        stats = report.per_name["axpy"]
+        assert stats.count == 2
+        assert stats.total_time == pytest.approx(3.0)
+        assert stats.mean_slack == 0.0
+        d = stats.to_dict()
+        assert d["count"] == 2
+        assert d["on_critical_path"] == 2
+
+
+class TestCommOverlap:
+    def test_fully_hidden_comm(self):
+        # b's transfer window [1, 2] sits entirely under a's compute.
+        spans = [
+            span(1, "a", 0.0, 4.0),
+            span(2, "b", 2.0, 3.0, deps=[1], comm=1.0, device=1),
+        ]
+        report = critical_path(spans)
+        assert report.total_comm == pytest.approx(1.0)
+        assert report.hidden_comm == pytest.approx(1.0)
+        assert report.comm_overlap_fraction == pytest.approx(1.0)
+
+    def test_exposed_comm(self):
+        # The transfer window [1, 3] only overlaps compute during [1, 2].
+        spans = [
+            span(1, "a", 0.0, 2.0),
+            span(2, "b", 3.0, 4.0, deps=[1], comm=2.0),
+        ]
+        report = critical_path(spans)
+        assert report.total_comm == pytest.approx(2.0)
+        assert report.hidden_comm == pytest.approx(1.0)
+        assert report.comm_overlap_fraction == pytest.approx(0.5)
+
+    def test_no_comm_reports_zero_fraction(self):
+        report = critical_path([span(1, "a", 0.0, 1.0)])
+        assert report.comm_overlap_fraction == 0.0
+
+
+class TestReportRendering:
+    def test_to_dict_and_summary(self):
+        spans = [
+            span(1, "a", 0.0, 1.0),
+            span(2, "b", 1.0, 2.0, deps=[1], comm=0.5),
+        ]
+        report = critical_path(spans)
+        d = report.to_dict()
+        assert d["n_tasks"] == 2
+        assert d["path_length"] == 2
+        assert d["path"][0] == {"task_id": 1, "name": "a"}
+        assert set(d["per_name"]) == {"a", "b"}
+        text = report.summary()
+        assert "critical path:" in text
+        assert "*critical*" in text
+        assert "comm hidden under compute" in text

@@ -1,0 +1,29 @@
+"""Metrics-registry snapshots embedded in chaos and bench artifacts."""
+
+import json
+
+from repro.bench.wallclock import WallclockCase, run_wallclock
+from repro.faults.chaos import run_chaos
+
+
+class TestChaosEmbed:
+    def test_report_carries_metrics_snapshot(self):
+        report = run_chaos("cg", seed=1, size=24, pieces=2, max_iterations=60)
+        snap = report.metrics
+        assert snap["counters"]["executor.tasks_executed"] > 0
+        assert snap["counters"]["fault.injected"] >= 1
+        assert any(name.startswith("fault:") for name in snap["counters"])
+        # Residual history of the injected run, via the solver series.
+        assert any(name.startswith("solver.") for name in snap["series"])
+        payload = json.loads(report.to_json())
+        assert payload["metrics"]["counters"] == snap["counters"]
+
+
+class TestBenchEmbed:
+    def test_cases_carry_metrics_snapshot(self):
+        case = WallclockCase("cg-2d5-tiny", "2d5", "cg", 256, 4, 4)
+        report = run_wallclock((case,), repeats=1, warmup=0)
+        (entry,) = report["cases"]
+        snap = entry["metrics"]
+        assert snap["counters"]["executor.tasks_executed"] > 0
+        json.dumps(report)  # whole report stays serializable

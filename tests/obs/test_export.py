@@ -1,0 +1,177 @@
+"""Chrome-trace exporter, trace validation, and the stats document."""
+
+import json
+
+from repro.obs import (
+    STATS_SCHEMA,
+    TRACE_SCHEMA,
+    Observability,
+    chrome_trace,
+    chrome_trace_events,
+    stats_report,
+    summarize_stats,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.driver import run_traced
+
+SIM_PID, WALL_PID = 1, 2
+
+
+def traced_cg():
+    obs, backend = run_traced("cg", size=16, pieces=2, iterations=2)
+    return obs
+
+
+class TestChromeTrace:
+    def test_export_is_valid_and_has_both_process_lanes(self):
+        obs = traced_cg()
+        events = chrome_trace_events(obs.tracer)
+        assert validate_trace_events(events) == []
+        pids = {e.get("pid") for e in events}
+        assert pids == {SIM_PID, WALL_PID}
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert names == {"simulated time", "wall clock"}
+
+    def test_flow_events_pair_up_per_dependence_edge(self):
+        obs = traced_cg()
+        events = chrome_trace_events(obs.tracer)
+        starts = [e for e in events if e.get("ph") == "s"]
+        ends = [e for e in events if e.get("ph") == "f"]
+        assert starts and len(starts) == len(ends)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        assert all(e.get("bp") == "e" for e in ends)
+        n_edges = sum(len(s.deps) for s in obs.tracer.task_spans)
+        assert len(starts) == n_edges
+
+    def test_task_slices_carry_dependences_and_comm(self):
+        obs = traced_cg()
+        events = chrome_trace_events(obs.tracer)
+        slices = [
+            e for e in events if e.get("ph") == "X" and e.get("pid") == SIM_PID
+        ]
+        assert len(slices) == len(obs.tracer.task_spans)
+        assert all("comm_time_us" in e["args"] for e in slices)
+        assert any(e["args"]["deps"] for e in slices)
+
+    def test_phase_stream_appears_on_both_clocks(self):
+        obs = traced_cg()
+        events = chrome_trace_events(obs.tracer)
+        for pid in (SIM_PID, WALL_PID):
+            b_names = [
+                e["name"]
+                for e in events
+                if e.get("ph") == "B" and e.get("pid") == pid
+            ]
+            assert any(n.startswith("solve:") for n in b_names)
+            assert "iteration" in b_names
+            assert any(n.startswith("step:") for n in b_names)
+
+    def test_document_shape_and_file_round_trip(self, tmp_path):
+        obs = traced_cg()
+        doc = chrome_trace(obs.tracer)
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["displayTimeUnit"] == "ms"
+        path = tmp_path / "t.json"
+        write_trace(obs.tracer, str(path))
+        assert validate_trace_file(str(path)) == []
+        reloaded = json.loads(path.read_text())
+        assert reloaded["traceEvents"] == json.loads(json.dumps(doc))["traceEvents"]
+
+
+class TestValidation:
+    def test_non_monotonic_lane_is_flagged(self):
+        events = [
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 5.0, "name": "a"},
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 1.0, "name": "b"},
+        ]
+        assert any("not monotonic" in e for e in validate_trace_events(events))
+
+    def test_separate_lanes_do_not_interact(self):
+        events = [
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 5.0, "name": "a"},
+            {"ph": "i", "pid": 1, "tid": 1, "ts": 1.0, "name": "b"},
+        ]
+        assert validate_trace_events(events) == []
+
+    def test_unmatched_and_mismatched_phase_pairs(self):
+        assert any(
+            "'E' without matching 'B'" in e
+            for e in validate_trace_events(
+                [{"ph": "E", "pid": 1, "tid": 0, "ts": 0.0, "name": "x"}]
+            )
+        )
+        errors = validate_trace_events(
+            [
+                {"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "x"},
+                {"ph": "E", "pid": 1, "tid": 0, "ts": 1.0, "name": "y"},
+            ]
+        )
+        assert any("does not match" in e for e in errors)
+        errors = validate_trace_events(
+            [{"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "x"}]
+        )
+        assert any("unclosed 'B'" in e for e in errors)
+
+    def test_bad_duration_missing_ts_and_orphan_flow(self):
+        errors = validate_trace_events(
+            [
+                {"ph": "X", "pid": 1, "tid": 0, "ts": 0.0, "dur": -1.0, "name": "x"},
+                {"ph": "i", "pid": 1, "tid": 0, "name": "no-ts"},
+                {"ph": "f", "pid": 1, "tid": 0, "ts": 0.0, "id": 42, "name": "dep"},
+                {"ph": "i", "pid": 1, "tid": 0, "ts": -2.0, "name": "neg"},
+            ]
+        )
+        assert any("invalid dur" in e for e in errors)
+        assert any("non-numeric ts" in e for e in errors)
+        assert any("no matching 's'" in e for e in errors)
+        assert any("negative ts" in e for e in errors)
+
+    def test_metadata_is_exempt(self):
+        events = [
+            {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "p"}},
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 0.0, "name": "a"},
+        ]
+        assert validate_trace_events(events) == []
+
+
+class TestStatsReport:
+    def test_document_contents(self):
+        obs = traced_cg()
+        stats = stats_report(obs)
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["metrics"]["counters"]["executor.tasks_executed"] > 0
+        assert stats["critical_path"]["n_tasks"] == len(obs.tracer.task_spans)
+        assert stats["critical_path"]["length_s"] > 0.0
+        some_task = next(iter(stats["tasks"].values()))
+        assert set(some_task) == {
+            "count",
+            "total_time_s",
+            "mean_time_s",
+            "total_comm_s",
+        }
+        # The whole document must be JSON-serializable for --json.
+        json.dumps(stats)
+
+    def test_metrics_only_bundle_has_no_task_sections(self):
+        obs = Observability(trace=False)
+        obs.metrics.counter("x").inc()
+        stats = stats_report(obs)
+        assert stats["tasks"] == {}
+        assert stats["critical_path"] is None
+
+    def test_summary_text(self):
+        obs = traced_cg()
+        text = summarize_stats(stats_report(obs))
+        assert "critical path:" in text
+        assert "comm hidden under compute" in text
+        assert "slack by task name" in text
+        assert "executor.tasks_executed" in text
+
+    def test_summary_of_empty_document(self):
+        assert summarize_stats({}) == "(no observability data captured)"

@@ -1,0 +1,128 @@
+"""Metrics registry: instruments, snapshots, and the no-op default."""
+
+import threading
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_tracks_value_max_and_samples(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3.0)
+        g.set(7.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.max_value == 7.0
+        assert g.n_samples == 3
+
+    def test_gauge_max_of_negative_samples(self):
+        g = MetricsRegistry().gauge("neg")
+        g.set(-5.0)
+        g.set(-9.0)
+        assert g.max_value == -5.0  # first sample seeds the max
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0
+        assert h.max == 7.0
+        assert h.mean == 4.0
+        assert h.summary() == {
+            "count": 3.0,
+            "total": 12.0,
+            "mean": 4.0,
+            "min": 1.0,
+            "max": 7.0,
+        }
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("e").mean == 0.0
+
+    def test_series_orders_and_counts(self):
+        s = MetricsRegistry().series("residual")
+        s.append(1.0)
+        s.append(0.5)
+        assert s.values == [1.0, 0.5]
+        assert len(s) == 2
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("a") is reg.gauge("a")
+        assert reg.histogram("a") is reg.histogram("a")
+        assert reg.series("a") is reg.series("a")
+        assert reg.enabled is True
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2.0)
+        reg.gauge("g").set(4.0)
+        reg.histogram("h").observe(1.0)
+        reg.series("s").append(0.25)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2.0, "b": 1.0}
+        assert snap["gauges"]["g"] == {"value": 4.0, "max": 4.0, "samples": 1}
+        assert snap["histograms"]["h"]["count"] == 1.0
+        assert snap["series"]["s"] == [0.25]
+
+    def test_snapshot_series_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.series("s").append(1.0)
+        snap = reg.snapshot()
+        snap["series"]["s"].append(99.0)
+        assert reg.series("s").values == [1.0]
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hot")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+
+class TestNullMetrics:
+    def test_shared_noop_instruments(self):
+        null = NullMetrics()
+        assert null.enabled is False
+        assert null.counter("a") is null.counter("b")
+        null.counter("a").inc()
+        null.gauge("g").set(9.0)
+        null.histogram("h").observe(1.0)
+        null.series("s").append(1.0)
+        assert null.counter("a").value == 0.0
+        assert null.gauge("g").n_samples == 0
+        assert null.histogram("h").count == 0
+        assert len(null.series("s")) == 0
+
+    def test_snapshot_is_empty(self):
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "series": {},
+        }

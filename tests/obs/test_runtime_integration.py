@@ -1,0 +1,138 @@
+"""Observability wired through Runtime, solvers, and executors."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import make_planner
+from repro.core import CGSolver
+from repro.obs import NULL_OBSERVABILITY, Observability, TracingObserver
+from repro.obs.driver import run_traced
+from repro.runtime import Runtime
+
+
+def poisson(n=32):
+    A = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+    return A, np.ones(n)
+
+
+class TestRuntimeWiring:
+    def test_default_runtime_is_unobserved(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        rt = Runtime()
+        try:
+            assert rt.obs is NULL_OBSERVABILITY
+            assert rt.executor.probe is None
+            assert not any(
+                isinstance(o, TracingObserver) for o in rt.engine.observers
+            )
+        finally:
+            rt.executor.shutdown()
+
+    def test_observability_false_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        rt = Runtime(observability=False)
+        try:
+            assert rt.obs is NULL_OBSERVABILITY
+        finally:
+            rt.executor.shutdown()
+
+    def test_env_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        rt = Runtime()
+        try:
+            assert rt.obs.enabled
+            assert rt.obs.tracer is not None
+            assert rt.executor.probe is rt.obs
+            assert any(
+                isinstance(o, TracingObserver) for o in rt.engine.observers
+            )
+        finally:
+            rt.executor.shutdown()
+
+    def test_enabled_runtime_attaches_probe_and_observer(self):
+        rt = Runtime(observability=True)
+        try:
+            assert rt.executor.probe is rt.obs
+            assert any(
+                isinstance(o, TracingObserver) for o in rt.engine.observers
+            )
+        finally:
+            rt.executor.shutdown()
+
+
+class TestSolverInstrumentation:
+    def test_solve_populates_spans_series_and_cost_counters(self):
+        rt = Runtime(observability=True)
+        try:
+            A, b = poisson()
+            planner = make_planner(A, b, n_pieces=2, runtime=rt)
+            result = CGSolver(planner).solve(tolerance=1e-10, max_iterations=40)
+            rt.sync()
+        finally:
+            rt.executor.shutdown()
+        obs = rt.obs
+        series = obs.metrics.series("solver.cg.residual")
+        assert series.values == pytest.approx(result.measure_history)
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["step.flops"] > 0.0
+        assert snap["counters"]["executor.tasks_executed"] > 0.0
+        names = [s.name for s in obs.tracer.phase_spans()]
+        assert "solve:cg" in names
+        assert "iteration" in names
+        assert "step:cg" in names
+        # step spans carry per-step cost deltas.
+        step_spans = [
+            s for s in obs.tracer.phase_spans() if s.name == "step:cg"
+        ]
+        assert step_spans
+        assert all("flops" in s.args for s in step_spans)
+        assert sum(s.args["flops"] for s in step_spans) == pytest.approx(
+            snap["counters"]["step.flops"]
+        )
+
+    def test_disabled_solve_pays_no_observability(self):
+        rt = Runtime(observability=False)
+        try:
+            A, b = poisson()
+            planner = make_planner(A, b, n_pieces=2, runtime=rt)
+            result = CGSolver(planner).solve(tolerance=1e-10, max_iterations=40)
+            rt.sync()
+        finally:
+            rt.executor.shutdown()
+        assert result.converged
+        assert rt.obs.metrics.snapshot()["counters"] == {}
+
+
+class TestBackends:
+    def test_threads_backend_fills_wall_track(self):
+        obs, backend = run_traced(
+            "cg", backend="threads", size=16, pieces=2, iterations=2, jobs=2
+        )
+        assert backend == "threads"
+        tracer = obs.tracer
+        assert tracer.task_spans
+        done = [w for w in tracer.wall_tasks if w.finish >= 0.0]
+        assert len(done) == len(tracer.wall_tasks)
+        assert {w.worker for w in done}  # worker attribution present
+        assert tracer.queue_samples
+        assert tracer.occupancy_samples
+        assert max(n for _, n in tracer.occupancy_samples) >= 1
+
+    def test_serial_and_threads_agree_on_simulated_track(self):
+        obs_s, _ = run_traced("cg", backend="serial", size=16, pieces=2, iterations=2)
+        obs_t, _ = run_traced(
+            "cg", backend="threads", size=16, pieces=2, iterations=2, jobs=2
+        )
+        sim = lambda obs: [
+            (s.name, s.device_id, s.start, s.finish)
+            for s in sorted(obs.tracer.task_spans, key=lambda s: s.task_id)
+        ]
+        assert sim(obs_s) == sim(obs_t)
+
+    def test_executed_count_matches_simulated_spans(self):
+        obs, _ = run_traced("fig8-cg", size=64, pieces=4, iterations=2)
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["executor.tasks_executed"] == len(
+            obs.tracer.task_spans
+        )

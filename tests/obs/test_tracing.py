@@ -1,0 +1,173 @@
+"""Tracer primitives and the Observability bundle's span/probe wiring."""
+
+from repro.obs import NULL_OBSERVABILITY, NULL_SPAN, Observability, resolve_observability
+from repro.obs.tracing import Tracer, TracingObserver
+from repro.runtime.machine import ProcKind
+from repro.runtime.task import TaskRecord
+
+
+def make_record(task_id, name="t", point=None):
+    return TaskRecord(
+        task_id=task_id,
+        name=name,
+        requirements=[],
+        proc_kind=ProcKind.GPU,
+        flops=0.0,
+        bytes_touched=0.0,
+        owner_hint=None,
+        future_dep_uids=[],
+        future_uid=None,
+        point=point,
+    )
+
+
+class TestPhases:
+    def test_nesting_depth_and_reconstruction(self):
+        tr = Tracer()
+        tr.open_phase("solve:cg", "solve", {"tolerance": 1e-8})
+        tr.open_phase("iteration", "iteration", {"index": 0})
+        tr.close_phase("iteration", "iteration", {})
+        tr.close_phase("solve:cg", "solve", {"flops": 10.0})
+        spans = tr.phase_spans()
+        assert [s.name for s in spans] == ["iteration", "solve:cg"]
+        inner, outer = spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.args == {"tolerance": 1e-8, "flops": 10.0}
+        assert outer.wall_end >= outer.wall_start
+        assert inner.sim_duration >= 0.0
+
+    def test_open_phase_is_omitted_from_spans(self):
+        tr = Tracer()
+        tr.open_phase("outer", "phase", {})
+        assert tr.phase_spans() == []
+
+    def test_sim_clock_defaults_to_zero_without_engine(self):
+        tr = Tracer()
+        assert tr.sim_now() == 0.0
+        assert tr.engine_cost() == (0.0, 0.0)
+
+
+class TestProbeStream:
+    def test_wall_task_lifecycle(self):
+        tr = Tracer()
+        tr.task_submitted(1, "spmv", n_pending=2, n_ready=1)
+        assert tr.task_started(1, worker="w0") == 1
+        tr.task_finished(1)
+        (span,) = tr.wall_tasks
+        assert span.name == "spmv"
+        assert span.worker == "w0"
+        assert span.submit <= span.start <= span.finish
+        assert span.queued >= 0.0
+        assert span.duration >= 0.0
+        assert tr.queue_samples[0][1:] == (2, 1)
+        # started +1, finished -1
+        assert [n for _, n in tr.occupancy_samples] == [1, 0]
+
+    def test_finish_without_start_backfills(self):
+        tr = Tracer()
+        tr.task_submitted(3, "inline", 0, 1)
+        tr.task_finished(3)
+        (span,) = tr.wall_tasks
+        assert span.start >= 0.0
+        assert span.finish == span.start
+        assert span.duration == 0.0
+
+    def test_unknown_task_ids_are_tolerated(self):
+        tr = Tracer()
+        tr.task_started(99)
+        tr.task_finished(99)
+        assert tr.wall_tasks == []
+
+
+class TestTracingObserver:
+    def test_on_task_captures_span(self):
+        tr = Tracer()
+        obs = TracingObserver(tr)
+        obs.on_task(make_record(7, "axpy", point=2), [3, 5], 1, 0.5, 0.75, comm_time=0.1)
+        (span,) = tr.task_spans
+        assert span.task_id == 7
+        assert span.deps == (3, 5)
+        assert span.device_id == 1
+        assert span.point == 2
+        assert span.duration == 0.25
+        assert span.comm_time == 0.1
+
+    def test_event_categorization(self):
+        tr = Tracer()
+        obs = TracingObserver(tr)
+        obs.on_barrier(1.0)
+        obs.on_event("fault:crash:dot", 2.0, task_id=4)
+        obs.on_event("recovery:rollback:crash", 3.0)
+        obs.on_event("custom", 4.0)
+        cats = [(e.name, e.category) for e in tr.events]
+        assert cats == [
+            ("barrier", "fence"),
+            ("fault:crash:dot", "fault"),
+            ("recovery:rollback:crash", "recovery"),
+            ("custom", "event"),
+        ]
+
+
+class TestObservabilityBundle:
+    def test_span_captures_and_probe_feeds_metrics(self):
+        obs = Observability()
+        with obs.span("solve:cg", category="solve", tolerance=1e-8):
+            pass
+        assert len(obs.tracer.phase_spans()) == 1
+        obs.task_submitted(1, "t", 4, 2)
+        obs.task_started(1, "w")
+        obs.task_finished(1)
+        obs.future_wait(10)
+        obs.deadlock()
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["executor.tasks_submitted"] == 1.0
+        assert snap["counters"]["executor.tasks_executed"] == 1.0
+        assert snap["counters"]["executor.futures_waited"] == 1.0
+        assert snap["counters"]["executor.deadlocks"] == 1.0
+        assert snap["gauges"]["executor.queue_depth"]["value"] == 4.0
+        assert snap["gauges"]["executor.workers_active"]["max"] == 1.0
+        assert snap["histograms"]["executor.task_run_s"]["count"] == 1.0
+        assert snap["histograms"]["executor.task_queued_s"]["count"] == 1.0
+
+    def test_metrics_only_mode_has_no_tracer(self):
+        obs = Observability(trace=False)
+        assert obs.tracer is None
+        assert obs.span("anything") is NULL_SPAN
+        obs.task_submitted(1, "t", 0, 1)
+        obs.task_finished(1)
+        assert obs.metrics.snapshot()["counters"]["executor.tasks_executed"] == 1.0
+
+    def test_disabled_bundle_is_fully_inert(self):
+        obs = NULL_OBSERVABILITY
+        assert obs.enabled is False
+        assert obs.tracer is None
+        assert obs.metrics.enabled is False
+        with obs.span("x"):
+            pass
+        obs.task_submitted(1, "t", 0, 1)
+        assert obs.metrics.snapshot()["counters"] == {}
+
+
+class TestResolveObservability:
+    def test_instance_passes_through(self):
+        obs = Observability()
+        assert resolve_observability(obs) is obs
+
+    def test_true_false(self):
+        assert resolve_observability(True).enabled is True
+        assert resolve_observability(False) is NULL_OBSERVABILITY
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("", "0", "off", "FALSE", "no"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert resolve_observability(None) is NULL_OBSERVABILITY
+        monkeypatch.delenv("REPRO_TRACE")
+        assert resolve_observability(None) is NULL_OBSERVABILITY
+
+    def test_env_metrics_and_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "metrics")
+        obs = resolve_observability(None)
+        assert obs.enabled and obs.tracer is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        obs = resolve_observability(None)
+        assert obs.enabled and obs.tracer is not None

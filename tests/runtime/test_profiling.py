@@ -1,0 +1,104 @@
+"""Timeline profiling helpers: per-name stats, utilization, windows."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.engine import TimelineEntry
+from repro.runtime.machine import Machine
+from repro.runtime.profiling import (
+    TaskStats,
+    device_utilization,
+    profile_by_name,
+    window_times,
+)
+
+
+def entry(task_id, name, device, start, finish, comm=0.0):
+    return TimelineEntry(
+        task_id=task_id,
+        name=name,
+        device_id=device,
+        node=0,
+        start=start,
+        finish=finish,
+        comm_time=comm,
+    )
+
+
+def machine(n_gpus):
+    # Device 0 is the node's CPU pool; GPUs follow.
+    return Machine(n_nodes=1, gpus_per_node=n_gpus)
+
+
+class TestProfileByName:
+    def test_empty_timeline(self):
+        assert profile_by_name([]) == {}
+
+    def test_aggregates_per_name(self):
+        timeline = [
+            entry(1, "spmv", 0, 0.0, 2.0, comm=0.5),
+            entry(2, "spmv", 1, 1.0, 2.0, comm=0.25),
+            entry(3, "axpy", 0, 2.0, 3.0),
+        ]
+        stats = profile_by_name(timeline)
+        assert set(stats) == {"spmv", "axpy"}
+        spmv = stats["spmv"]
+        assert spmv.count == 2
+        assert spmv.total_time == pytest.approx(3.0)
+        assert spmv.total_comm == pytest.approx(0.75)
+        assert spmv.mean_time == pytest.approx(1.5)
+        assert stats["axpy"].count == 1
+
+    def test_mean_of_empty_stats_is_zero(self):
+        assert TaskStats("x", 0, 0.0, 0.0).mean_time == 0.0
+
+
+class TestDeviceUtilization:
+    def test_empty_timeline_is_all_zeros(self):
+        m = machine(3)
+        util = device_utilization([], m)
+        assert util.shape == (m.n_devices,)
+        assert np.all(util == 0.0)
+
+    def test_default_horizon_is_last_finish(self):
+        timeline = [
+            entry(1, "a", 0, 0.0, 2.0),
+            entry(2, "b", 1, 0.0, 4.0),
+        ]
+        util = device_utilization(timeline, machine(2))
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == pytest.approx(1.0)
+
+    def test_until_clamps_busy_time(self):
+        # Device 0 is busy [0, 4]; at horizon 2 only half counts.
+        timeline = [entry(1, "a", 0, 0.0, 4.0)]
+        util = device_utilization(timeline, machine(1), until=2.0)
+        assert util[0] == pytest.approx(1.0)
+
+    def test_task_entirely_past_horizon_contributes_nothing(self):
+        timeline = [
+            entry(1, "a", 0, 0.0, 1.0),
+            entry(2, "b", 0, 5.0, 9.0),
+        ]
+        util = device_utilization(timeline, machine(1), until=2.0)
+        assert util[0] == pytest.approx(0.5)
+
+    def test_zero_horizon_returns_zeros_not_nan(self):
+        timeline = [entry(1, "a", 0, 0.0, 0.0)]
+        util = device_utilization(timeline, machine(1))
+        assert np.all(util == 0.0)
+        assert np.all(np.isfinite(util))
+
+
+class TestWindowTimes:
+    def test_empty_marks(self):
+        out = window_times([])
+        assert out.shape == (0,)
+
+    def test_single_mark(self):
+        out = window_times([1.5])
+        assert out.shape == (0,)
+
+    def test_differences(self):
+        out = window_times([0.0, 1.0, 3.5])
+        assert out == pytest.approx([1.0, 2.5])
