@@ -52,6 +52,9 @@ class PlanTask:
     future_dep_uids: Tuple[int, ...]
     future_uid: Optional[int]
     fence_epoch: int
+    #: Keyword-argument names of the launcher (sorted) — the per-iteration
+    #: varying inputs the plan compiler turns into a slot table.
+    slots: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         reqs = ", ".join(
@@ -168,6 +171,7 @@ class PlanCapture(EngineObserver):
             future_dep_uids=tuple(record.future_dep_uids),
             future_uid=record.future_uid,
             fence_epoch=self.plan.n_fences,
+            slots=tuple(record.slots),
         )
         self.plan.tasks[record.task_id] = task
         self.plan.order.append(record.task_id)

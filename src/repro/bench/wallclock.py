@@ -47,6 +47,7 @@ __all__ = [
     "run_wallclock",
     "compare_to_baseline",
     "require_speedup",
+    "require_replay_overhead",
     "summarize_wallclock",
     "write_report",
     "load_report",
@@ -217,6 +218,7 @@ def run_wallclock(
         _run_case_once(case, A, b, backends[0], jobs, observability=obs)
         entry["metrics"] = obs.metrics.snapshot()
         report_cases.append(entry)
+    replay = _measure_replay_overhead(log=log)
     return {
         "schema": SCHEMA,
         "host": {
@@ -237,7 +239,66 @@ def run_wallclock(
         },
         "calibration_s": _calibrate(),
         "cases": report_cases,
+        #: Fresh-vs-replay per-task dispatch overhead on fig8-cg; a new
+        #: top-level key, invisible to `compare_to_baseline` (which only
+        #: inspects `cases`) so older baselines stay valid.
+        "replay": replay,
     }
+
+
+def _measure_replay_overhead(
+    program: str = "fig8-cg",
+    size: int = 2 ** 12,
+    iterations: int = 12,
+    log=None,
+) -> Dict:
+    """Compile ``program`` once and replay it, reporting the mean
+    per-task dispatch cost fresh vs replayed (the ISSUE 6 acceptance
+    figure: replayed dispatch must stay <= 0.5x fresh)."""
+    from ..replay import run_replay
+
+    rep = run_replay(program, backend="serial", size=size, iterations=iterations)
+    if log is not None:
+        ratio = rep.overhead_ratio
+        log(
+            f"replay {program:<13} dispatch "
+            f"{rep.fresh_ns_per_task / 1e3:6.1f} -> "
+            f"{rep.replay_ns_per_task / 1e3:6.1f} us/task"
+            + (f" ({ratio:.2f}x)" if ratio is not None else "")
+        )
+    return {
+        "program": program,
+        "iterations": iterations,
+        "structure_hash": rep.structure_hash,
+        "windows_replayed": rep.windows_replayed,
+        "tasks_replayed": rep.tasks_replayed,
+        "fallbacks": rep.fallbacks,
+        "fresh_ns_per_task": rep.fresh_ns_per_task,
+        "replay_ns_per_task": rep.replay_ns_per_task,
+        "overhead_ratio": rep.overhead_ratio,
+        "bitwise_match": rep.bitwise_match,
+    }
+
+
+def require_replay_overhead(report: Dict, max_ratio: float = 0.5) -> List[str]:
+    """Failures of the replay dispatch-overhead acceptance: the report's
+    ``replay`` section must exist, be bitwise-correct, and show replayed
+    dispatch at most ``max_ratio`` of fresh dispatch per task."""
+    failures: List[str] = []
+    replay = report.get("replay")
+    if not replay:
+        return ["report has no 'replay' section (re-run `repro bench`)"]
+    if not replay.get("bitwise_match"):
+        failures.append(f"{replay.get('program')}: replayed numerics diverge")
+    ratio = replay.get("overhead_ratio")
+    if ratio is None:
+        failures.append("replay overhead ratio unavailable (no fresh tasks?)")
+    elif ratio > max_ratio:
+        failures.append(
+            f"{replay.get('program')}: replayed dispatch {ratio:.2f}x fresh "
+            f"(required <= {max_ratio:.2f}x)"
+        )
+    return failures
 
 
 def compare_to_baseline(
@@ -340,6 +401,16 @@ def summarize_wallclock(report: Dict) -> str:
             f"{_ms('serial'):>10} {_ms('threads'):>10} "
             f"{(f'{speedup:.2f}x' if speedup else '-'):>8} "
             f"{('yes' if match else '-' if match is None else 'NO'):>6}"
+        )
+    replay = report.get("replay")
+    if replay:
+        ratio = replay.get("overhead_ratio")
+        lines.append(
+            f"replay dispatch ({replay.get('program')}): "
+            f"{float(replay.get('fresh_ns_per_task', 0.0)) / 1e3:.1f} -> "
+            f"{float(replay.get('replay_ns_per_task', 0.0)) / 1e3:.1f} us/task"
+            + (f" ({ratio:.2f}x fresh)" if ratio is not None else "")
+            + (", bitwise MATCH" if replay.get("bitwise_match") else ", bitwise MISMATCH")
         )
     return "\n".join(lines)
 

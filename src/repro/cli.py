@@ -24,6 +24,9 @@ Usage::
                           [--iterations 3] [--out trace.json] [--check]
     python -m repro stats [cg|...|fig8-cg] [--backend serial|threads]
                           [--json [FILE]]
+    python -m repro replay [cg|...|fig8-cg] [--backend serial|threads]
+                           [--iterations 12] [--max-overhead-ratio 0.5]
+                           [--json FILE]
     python -m repro lint src/ examples/ [--select REPRO001 REPRO003]
 
 Each ``figN`` subcommand prints the regenerated table/series (the same
@@ -124,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          ">=256k-unknown CG case (multi-CPU hosts only)")
     pw.add_argument("--update-baseline", action="store_true",
                     help="write the report to --baseline instead of gating")
+    pw.add_argument("--max-replay-overhead", type=float, default=None,
+                    help="require replayed dispatch ns/task <= this fraction "
+                         "of fresh on the report's replay section "
+                         "(acceptance: 0.5)")
 
     pv = sub.add_parser(
         "verify",
@@ -265,6 +272,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit the stats document as JSON (to stdout, or "
                           "to FILE when given)")
 
+    pr = sub.add_parser(
+        "replay",
+        help="compile one solver iteration to a frozen plan, replay it, "
+             "and verify bitwise numerics plus the fresh-vs-replay "
+             "per-task dispatch overhead",
+    )
+    add_trace_program_args(pr)
+    pr.add_argument("--json", dest="json_out", default=None,
+                    help="also write the report as JSON to this path")
+    pr.add_argument("--max-overhead-ratio", type=float, default=None,
+                    help="fail unless replayed dispatch ns/task <= this "
+                         "fraction of fresh dispatch ns/task")
+
     pl = sub.add_parser(
         "lint",
         help="repro-specific AST lint (rules REPRO001-REPRO004) over "
@@ -374,6 +394,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             PROFILES,
             compare_to_baseline,
             load_report,
+            require_replay_overhead,
             require_speedup,
             run_wallclock,
             summarize_wallclock,
@@ -408,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.min_speedup is not None:
             failures += require_speedup(report, args.min_speedup)
+        if args.max_replay_overhead is not None:
+            failures += require_replay_overhead(report, args.max_replay_overhead)
         for failure in failures:
             print(f"FAIL: {failure}")
         if not failures:
@@ -586,6 +609,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                     json.dump(stats, fh, indent=2)
                 print(f"[stats written to {args.json_out}]")
         return 0
+
+    if args.command == "replay":
+        from .replay import PlanCompileError, run_replay
+
+        try:
+            report = run_replay(
+                program=args.program,
+                backend=args.backend or "serial",
+                fmt=args.fmt,
+                size=args.size,
+                pieces=args.pieces,
+                iterations=args.iterations,
+                seed=args.seed,
+                jobs=args.jobs,
+                max_overhead_ratio=args.max_overhead_ratio,
+            )
+        except (KeyError, ValueError, PlanCompileError) as exc:
+            print(f"replay: {exc}")
+            return 2
+        print(report.summary())
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"[report written to {args.json_out}]")
+        return 0 if report.ok else 1
 
     if args.command == "lint":
         from .analyze import lint_paths

@@ -26,7 +26,8 @@ tracing) is exposed for inspection and asserted on by tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +38,15 @@ from ..sparse.base import PieceKernel, SparseFormat
 from .projection import col_K_to_D, row_K_to_R, row_R_to_K
 from .vectors import VectorComponent
 
-__all__ = ["OperatorComponent", "MultiOperatorSystem"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .solvers.base import SolveResult
+
+__all__ = [
+    "OperatorComponent",
+    "MultiOperatorSystem",
+    "BatchReplayEntry",
+    "replay_batch",
+]
 
 ENTRY_FIELD = "entries"
 
@@ -219,3 +228,89 @@ class MultiOperatorSystem:
         """Bytes the same system would need with every component stored
         separately (what a block formulation without aliasing pays)."""
         return sum(c.matrix.kernel_space.volume * 8 for c in self.components)
+
+
+# ----------------------------------------------------------------------
+# Batched replay of many same-structure systems (paper §4.2 + replay)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchReplayEntry:
+    """Outcome of one system in a :func:`replay_batch` run."""
+
+    x: np.ndarray
+    result: "SolveResult"
+    windows_replayed: int
+    tasks_replayed: int
+    fallbacks: int
+
+
+def replay_batch(
+    matrix,
+    rhs_list: Sequence[np.ndarray],
+    solver: str = "cg",
+    *,
+    n_pieces: Optional[int] = None,
+    iterations: int = 8,
+    machine=None,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> List[BatchReplayEntry]:
+    """Solve ``A x = bᵢ`` for many right-hand sides through one compiled
+    plan: the iteration is captured symbolically *once* (no task bodies
+    run), then each system replays it on one shared live runtime.
+
+    Because every planner wraps the *same* matrix object, the matrix
+    entry region is shared across systems (§4.2 aliasing: the bytes are
+    attached once), and because the compiled plan's guard signatures are
+    canonical — region/subset uids rewritten to first-occurrence indices
+    — the one plan replays across each system's freshly-built regions.
+    """
+    from ..api import make_planner
+    from ..replay.compiler import compile_solver_program
+    from ..runtime.machine import Machine
+    from .planner import SOL
+    from .solvers import SOLVER_REGISTRY
+
+    if solver not in SOLVER_REGISTRY:
+        raise KeyError(f"unknown solver {solver!r}; known: {sorted(SOLVER_REGISTRY)}")
+    rhs_arrays = [np.asarray(b, dtype=np.float64) for b in rhs_list]
+    if not rhs_arrays:
+        return []
+    if machine is None:
+        machine = Machine(n_nodes=1)
+    if not isinstance(matrix, SparseFormat):
+        from ..runtime.index_space import IndexSpace
+        from ..sparse.csr import CSRMatrix
+
+        space = IndexSpace.linear(rhs_arrays[0].size, name="D")
+        matrix = CSRMatrix.from_scipy(matrix, domain_space=space, range_space=space)
+
+    def build(runtime: Runtime, b: np.ndarray):
+        planner = make_planner(
+            matrix, b, machine=machine, n_pieces=n_pieces, runtime=runtime
+        )
+        return SOLVER_REGISTRY[solver](planner)
+
+    plan = compile_solver_program(
+        lambda rt: build(rt, rhs_arrays[0]), machine=machine, warmup=2
+    )
+    runtime = Runtime(machine=machine, backend=backend, jobs=jobs)
+    out: List[BatchReplayEntry] = []
+    for b in rhs_arrays:
+        session = runtime.attach_plan(plan)
+        ksm = build(runtime, b)
+        result = ksm.run_fixed(iterations)  # type: ignore[attr-defined]
+        runtime.sync()
+        x = np.array(ksm.planner.get_array(SOL), copy=True)  # type: ignore[attr-defined]
+        out.append(
+            BatchReplayEntry(
+                x=x,
+                result=result,
+                windows_replayed=session.windows_replayed,
+                tasks_replayed=session.tasks_replayed,
+                fallbacks=session.fallbacks,
+            )
+        )
+    return out

@@ -197,6 +197,44 @@ class KrylovSolver(ABC):
 
         return solve_resilient(self, **kwargs)  # type: ignore[arg-type]
 
+    # -- compiled plan replay ------------------------------------------------
+
+    def attach_plan(self, plan) -> None:
+        """Attach a :class:`~repro.replay.compiler.CompiledPlan` to this
+        solver's runtime: iterations driven by :meth:`solve` /
+        :meth:`run_fixed` (with ``use_tracing=True``) replay the frozen
+        task stream, guard-checked per launch, falling back to dynamic
+        tracing on any structural mismatch."""
+        self.planner.runtime.attach_plan(plan)
+
+    def compile(self, warmup: int = 2):
+        """Capture ``warmup`` live iterations of *this* solver, compile
+        them into a :class:`~repro.replay.compiler.CompiledPlan`, and
+        attach it, so every subsequent iteration replays.  The warmup
+        steps execute for real (they advance the solve); only their task
+        stream is additionally recorded."""
+        from ...analyze.plan import attach_plan_capture
+        from ...replay.compiler import compile_plan
+
+        runtime = self.planner.runtime
+        cap = attach_plan_capture(runtime)
+        try:
+            boundaries = [len(cap.plan.order)]
+            for _ in range(warmup):
+                self.step()
+                self.iterations_done += 1
+                boundaries.append(len(cap.plan.order))
+            plan = compile_plan(
+                cap.plan,
+                boundaries,
+                n_devices=runtime.machine.n_devices,
+                source="live",
+            )
+        finally:
+            runtime.engine.observers.remove(cap)
+        runtime.attach_plan(plan)
+        return plan
+
     # -- drive loop ----------------------------------------------------------
 
     def solve(
@@ -223,10 +261,10 @@ class KrylovSolver(ABC):
             while not converged and it < max_iterations:
                 with obs.span("iteration", category="iteration", index=it):
                     if use_tracing:
-                        runtime.begin_trace(trace_id)
+                        runtime.begin_iteration(trace_id)
                     self.step()
                     if use_tracing:
-                        runtime.end_trace(trace_id)
+                        runtime.end_iteration(trace_id)
                 it += 1
                 self.iterations_done += 1
                 measure = float(self.get_convergence_measure())
@@ -258,10 +296,10 @@ class KrylovSolver(ABC):
             for i in range(n_iterations):
                 with obs.span("iteration", category="iteration", index=i):
                     if use_tracing:
-                        runtime.begin_trace(trace_id)
+                        runtime.begin_iteration(trace_id)
                     self.step()
                     if use_tracing:
-                        runtime.end_trace(trace_id)
+                        runtime.end_iteration(trace_id)
                 self.iterations_done += 1
                 marks.append(runtime.sim_time)
         return SolveResult(

@@ -172,7 +172,7 @@ def solve_resilient(
         """Roll back to the last vetted checkpoint; None when the
         recovery budget is exhausted."""
         nonlocal gave_up, checkpoint
-        runtime.abort_trace(trace_id)
+        runtime.abort_iteration(trace_id)
         quiesce()
         if len(recoveries) >= max_recoveries:
             gave_up = True
@@ -228,13 +228,13 @@ def solve_resilient(
         # -- one step -----------------------------------------------------
         try:
             if use_tracing:
-                runtime.begin_trace(trace_id)
+                runtime.begin_iteration(trace_id)
             solver.step()
             if use_tracing:
-                runtime.end_trace(trace_id)
+                runtime.end_iteration(trace_id)
             measure = float(solver.get_convergence_measure())
         except Exception as exc:
-            runtime.abort_trace(trace_id)
+            runtime.abort_iteration(trace_id)
             if not _recoverable(exc):
                 raise
             state = recover("crash", it + 1)

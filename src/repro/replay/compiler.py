@@ -1,0 +1,330 @@
+"""Lower a captured :class:`~repro.analyze.plan.PlanGraph` to a
+:class:`CompiledPlan`.
+
+The compiler views the captured stream as a sequence of *windows* — one
+window per solver iteration, with boundaries recorded by whoever drove
+the capture (``compile_solver_program`` steps the solver manually, so no
+periodicity detection is needed).  The last window becomes the replay
+template after two gates:
+
+* **steadiness** — the last two windows must have identical canonical
+  signatures position-by-position, proving the iteration has reached its
+  structural steady state (first iterations may differ: setup fills,
+  branch-on-first-iteration solvers);
+* **static checkers** — the window subgraph is re-checked with
+  :func:`~repro.analyze.checkers.check_privileges` and
+  :func:`~repro.analyze.checkers.check_dead_code`; privilege *errors*
+  and dead-write/redundant-fill findings refuse compilation with an
+  error naming the offending task.
+
+Dependence edges are pre-resolved per template position and classified
+by distance: *intra* edges point at earlier positions in the same
+window, *carried* edges at positions one window back.  Edges reaching
+further back are dropped — safe because (a) the engine's write epochs
+only keep the latest writer, so a same-position task one window later
+subsumes any older write dependence, and (b) reader→writer (WAR) and
+writer→reader (RAW) chains at distance ≥ 2 are transitively covered by
+the distance-≤ 1 chain through the intervening window; the replay
+session additionally drains the runtime before the first replayed
+window, covering everything launched before the session began.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..analyze.plan import PlanGraph, PlanTask, attach_plan_capture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.machine import Machine
+    from ..runtime.mapper import Mapper
+    from ..runtime.task import TaskRecord
+
+__all__ = [
+    "PlanCompileError",
+    "CompiledTask",
+    "CompiledPlan",
+    "canonical_signature",
+    "compile_plan",
+    "compile_solver_program",
+]
+
+
+class PlanCompileError(RuntimeError):
+    """A captured plan cannot be lowered to a replayable template."""
+
+
+def canonical_signature(
+    task: "PlanTask | TaskRecord",
+    region_map: Dict[int, int],
+    subset_map: Dict[int, int],
+) -> Tuple:
+    """Structural identity of one launch, canonicalized for replay.
+
+    Region and subset uids are rewritten to first-occurrence indices via
+    the caller's maps (mutated in place), so two captures of the *same
+    program structure* on different runtimes — fresh uid counters, fresh
+    planners — canonicalize identically.  This is what lets one compiled
+    plan guard-check replays across many systems in a batch.
+
+    Works on both :class:`~repro.analyze.plan.PlanTask` (at compile
+    time) and :class:`~repro.runtime.task.TaskRecord` (live, in the
+    replay session) — the shared fields are the signature.
+    """
+    reqs = tuple(
+        (
+            region_map.setdefault(r.region.uid, len(region_map)),
+            r.fields,
+            subset_map.setdefault(r.subset.uid, len(subset_map)),
+            r.privilege.name,
+            r.redop if r.privilege.name == "REDUCE" else "",
+        )
+        for r in task.requirements
+    )
+    return (
+        task.name,
+        task.point,
+        reqs,
+        tuple(task.slots),
+        len(task.future_dep_uids),
+        task.future_uid is not None,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledTask:
+    """One position of the frozen per-iteration task stream."""
+
+    #: Position within the window, 0-based.
+    position: int
+    name: str
+    point: Optional[int]
+    #: Pre-bound device placement (the capture-time mapping decision).
+    device_id: int
+    #: Canonical structural signature the replay guard compares against.
+    signature: Tuple
+    #: Slot table: keyword-argument names rebound on every iteration.
+    slots: Tuple[str, ...]
+    #: Dependence edges on earlier positions of the *same* window.
+    intra_deps: Tuple[int, ...]
+    #: Dependence edges on positions of the *previous* window.
+    carried_deps: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A frozen single-iteration task stream ready for replay."""
+
+    tasks: Tuple[CompiledTask, ...]
+    #: sha256 over the canonical stream — the guard identity.  Two plans
+    #: with equal hashes replay interchangeably.
+    structure_hash: str
+    #: Device count of the machine the plan was mapped for; a replay
+    #: session on a differently-sized machine refuses to attach.
+    n_devices: int
+    #: ``"symbolic"`` (capture backend) or ``"live"`` (solver.compile()).
+    source: str
+    #: Cross-window edges at distance ≥ 2 that were dropped (see module
+    #: docstring for why this is safe).
+    n_dropped_deps: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def describe(self) -> str:
+        n_intra = sum(len(t.intra_deps) for t in self.tasks)
+        n_carried = sum(len(t.carried_deps) for t in self.tasks)
+        lines = [
+            f"CompiledPlan[{self.structure_hash[:12]}]: {len(self.tasks)} "
+            f"tasks/iteration, {n_intra} intra + {n_carried} carried edges "
+            f"({self.n_dropped_deps} dropped), {self.n_devices} device(s), "
+            f"source={self.source}"
+        ]
+        for t in self.tasks:
+            deps = ",".join(str(d) for d in t.intra_deps)
+            carried = ",".join(f"^{d}" for d in t.carried_deps)
+            edges = "+".join(x for x in (deps, carried) if x)
+            lines.append(
+                f"  #{t.position:3d} {t.name}"
+                + (f"[{t.point}]" if t.point is not None else "")
+                + f" @dev{t.device_id}"
+                + (f" slots={list(t.slots)}" if t.slots else "")
+                + (f" <- {edges}" if edges else "")
+            )
+        return "\n".join(lines)
+
+
+def _window_signatures(window: Sequence[PlanTask]) -> List[Tuple]:
+    region_map: Dict[int, int] = {}
+    subset_map: Dict[int, int] = {}
+    return [canonical_signature(t, region_map, subset_map) for t in window]
+
+
+def _check_window(window: Sequence[PlanTask]) -> None:
+    """Run the static checkers over the window subgraph and refuse
+    compilation on privilege errors or dead-write/redundant-fill
+    findings."""
+    from ..analyze.checkers import check_dead_code, check_privileges
+
+    sub = PlanGraph()
+    for i, t in enumerate(window):
+        # Re-index the window as a standalone plan so the dead-code
+        # checker's "last writer with no reader" logic sees only the
+        # steady-state iteration, not the program's setup prologue.
+        clone = PlanTask(
+            task_id=t.task_id,
+            index=i,
+            name=t.name,
+            point=t.point,
+            device_id=t.device_id,
+            requirements=t.requirements,
+            engine_deps=frozenset(
+                d for d in t.engine_deps if any(w.task_id == d for w in window)
+            ),
+            future_dep_uids=t.future_dep_uids,
+            future_uid=t.future_uid,
+            fence_epoch=0,
+            slots=t.slots,
+        )
+        sub.tasks[t.task_id] = clone
+        sub.order.append(t.task_id)
+
+    refused_codes = {"PLAN-DEAD-FILL", "PLAN-DEAD-WRITE"}
+    findings = [f for f in check_privileges(sub) if f.severity == "error"]
+    findings += [f for f in check_dead_code(sub) if f.code in refused_codes]
+    if findings:
+        f = findings[0]
+        task = sub.tasks.get(f.task_id) if f.task_id is not None else None
+        where = f" in {task.describe()}" if task is not None else ""
+        raise PlanCompileError(
+            f"refusing to compile plan: [{f.code}] {f.message}{where} — "
+            "fix the launch (drop the dead write / redundant fill or "
+            "correct the privilege) and re-capture"
+        )
+
+
+def compile_plan(
+    plan: PlanGraph,
+    boundaries: Sequence[int],
+    *,
+    n_devices: int,
+    source: str = "symbolic",
+) -> CompiledPlan:
+    """Lower ``plan`` to a :class:`CompiledPlan`.
+
+    ``boundaries`` are stream indices marking the start of each captured
+    iteration window (recorded by the capture driver around each solver
+    ``step()``); at least two full windows must have been captured so
+    steadiness can be verified.
+    """
+    bounds = list(boundaries)
+    if len(bounds) < 3:
+        raise PlanCompileError(
+            "need at least two captured iteration windows to verify the "
+            f"stream is steady (got {max(0, len(bounds) - 1)}); capture "
+            "more warmup steps"
+        )
+    if bounds != sorted(bounds) or bounds[-1] > len(plan.order):
+        raise PlanCompileError(f"window boundaries {bounds} are not a valid "
+                               f"partition of a {len(plan.order)}-task stream")
+
+    tasks_in_order = [plan.tasks[tid] for tid in plan.order]
+    prev = tasks_in_order[bounds[-3]: bounds[-2]]
+    window = tasks_in_order[bounds[-2]: bounds[-1]]
+    if not window:
+        raise PlanCompileError("last captured window is empty")
+    if _window_signatures(prev) != _window_signatures(window):
+        raise PlanCompileError(
+            "captured stream is not steady: the last two iteration windows "
+            f"differ structurally ({len(prev)} vs {len(window)} tasks); "
+            "increase warmup so the solver reaches its repeating shape"
+        )
+
+    _check_window(window)
+
+    start = bounds[-2]
+    w = len(window)
+    pos_of: Dict[int, int] = {t.task_id: i for i, t in enumerate(tasks_in_order)}
+
+    region_map: Dict[int, int] = {}
+    subset_map: Dict[int, int] = {}
+    compiled: List[CompiledTask] = []
+    n_dropped = 0
+    for rel, task in enumerate(window):
+        intra: List[int] = []
+        carried: List[int] = []
+        for dep_id in sorted(task.engine_deps):
+            q = pos_of.get(dep_id)
+            if q is None:
+                n_dropped += 1
+                continue
+            if start <= q < start + w:
+                intra.append(q - start)
+            elif start - w <= q < start:
+                carried.append(q - (start - w))
+            else:
+                n_dropped += 1
+        sig = canonical_signature(task, region_map, subset_map)
+        compiled.append(
+            CompiledTask(
+                position=rel,
+                name=task.name,
+                point=task.point,
+                device_id=task.device_id,
+                signature=sig,
+                slots=task.slots,
+                intra_deps=tuple(intra),
+                carried_deps=tuple(carried),
+            )
+        )
+
+    digest = hashlib.sha256(
+        repr([t.signature for t in compiled]).encode()
+    ).hexdigest()
+    return CompiledPlan(
+        tasks=tuple(compiled),
+        structure_hash=digest,
+        n_devices=n_devices,
+        source=source,
+        n_dropped_deps=n_dropped,
+        meta={"window": w, "captured_windows": len(bounds) - 1,
+              "captured_tasks": len(plan.order)},
+    )
+
+
+def compile_solver_program(
+    factory: Callable[["object"], "object"],
+    *,
+    machine: Optional["Machine"] = None,
+    mapper: Optional["Mapper"] = None,
+    warmup: int = 2,
+) -> CompiledPlan:
+    """Capture ``factory(runtime) -> solver`` symbolically and compile
+    its steady-state iteration.
+
+    The factory builds the problem and returns an (unstarted) solver on
+    the given runtime; its setup launches land before the first window
+    boundary, then ``warmup`` solver steps are captured as windows.  No
+    task bodies execute (capture backend), so this costs microseconds
+    per task regardless of problem size.
+    """
+    from ..runtime.runtime import Runtime
+
+    if warmup < 2:
+        raise PlanCompileError("warmup must be >= 2 (steadiness needs two windows)")
+    runtime = Runtime(machine=machine, mapper=mapper, backend="capture")
+    cap = attach_plan_capture(runtime)
+    solver = factory(runtime)
+    boundaries = [len(cap.plan.order)]
+    for _ in range(warmup):
+        solver.step()  # type: ignore[attr-defined]
+        boundaries.append(len(cap.plan.order))
+    return compile_plan(
+        cap.plan,
+        boundaries,
+        n_devices=runtime.machine.n_devices,
+        source="symbolic",
+    )

@@ -1,0 +1,196 @@
+"""``repro replay``: compile a solver program once, replay it, and prove
+it — bitwise numerics against a fresh-launch serial reference, plus the
+fresh-vs-replay per-task dispatch overhead.
+
+Programs are the chaos/analyze program names: any solver from the
+registry (seeded SPD tridiagonal system) or ``fig8-<solver>`` (the
+Figure 8 five-point-stencil Laplacian).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..api import make_planner
+from ..core.planner import SOL
+from ..core.solvers import SOLVER_REGISTRY
+from ..faults.chaos import _build_problem, chaos_program_names
+from ..runtime.machine import Machine
+from ..runtime.runtime import Runtime
+from .compiler import CompiledPlan, compile_solver_program
+
+__all__ = ["ReplayReport", "run_replay", "replay_program_names"]
+
+
+def replay_program_names() -> List[str]:
+    return chaos_program_names()
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one :func:`run_replay` invocation."""
+
+    program: str
+    solver: str
+    backend: str
+    fmt: str
+    seed: int
+    pieces: Optional[int]
+    iterations: int
+    structure_hash: str
+    #: Tasks per compiled iteration window.
+    window: int
+    windows_replayed: int
+    tasks_replayed: int
+    fallbacks: int
+    #: Mean wall-clock dispatch cost per task, fresh (reference run)
+    #: vs replayed (replay run).
+    fresh_ns_per_task: float
+    replay_ns_per_task: float
+    #: Replayed iterations reproduced the fresh-launch serial reference
+    #: bit for bit (residual history and solution vector).
+    bitwise_match: bool
+    max_overhead_ratio: Optional[float] = None
+    measure_history: List[float] = field(default_factory=list)
+
+    @property
+    def overhead_ratio(self) -> Optional[float]:
+        if self.fresh_ns_per_task <= 0:
+            return None
+        return self.replay_ns_per_task / self.fresh_ns_per_task
+
+    @property
+    def ok(self) -> bool:
+        if not self.bitwise_match or self.windows_replayed < 1:
+            return False
+        if self.max_overhead_ratio is not None:
+            ratio = self.overhead_ratio
+            if ratio is None or ratio > self.max_overhead_ratio:
+                return False
+        return True
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {
+            "schema": "repro-replay/1",
+            "program": self.program,
+            "solver": self.solver,
+            "backend": self.backend,
+            "format": self.fmt,
+            "seed": self.seed,
+            "pieces": self.pieces,
+            "iterations": self.iterations,
+            "structure_hash": self.structure_hash,
+            "window": self.window,
+            "windows_replayed": self.windows_replayed,
+            "tasks_replayed": self.tasks_replayed,
+            "fallbacks": self.fallbacks,
+            "fresh_ns_per_task": self.fresh_ns_per_task,
+            "replay_ns_per_task": self.replay_ns_per_task,
+            "overhead_ratio": self.overhead_ratio,
+            "bitwise_match": self.bitwise_match,
+            "max_overhead_ratio": self.max_overhead_ratio,
+            "ok": self.ok,
+            "measure_history": self.measure_history,
+        }
+        return json.dumps(payload, indent=2)
+
+    def summary(self) -> str:
+        ratio = self.overhead_ratio
+        lines = [
+            f"replay {self.program} [{self.backend}/{self.fmt}]: "
+            f"plan {self.structure_hash[:12]} ({self.window} tasks/iter)",
+            f"  windows replayed : {self.windows_replayed}"
+            f" ({self.tasks_replayed} tasks, {self.fallbacks} fallback(s))",
+            f"  dispatch ns/task : fresh {self.fresh_ns_per_task:.0f}"
+            f" -> replay {self.replay_ns_per_task:.0f}"
+            + (f" ({ratio:.2f}x)" if ratio is not None else ""),
+            f"  bitwise vs fresh : {'MATCH' if self.bitwise_match else 'MISMATCH'}",
+            f"  verdict          : {'OK' if self.ok else 'FAIL'}",
+        ]
+        if self.max_overhead_ratio is not None:
+            lines.insert(
+                -1, f"  overhead gate    : <= {self.max_overhead_ratio:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_replay(
+    program: str,
+    backend: str = "serial",
+    fmt: str = "csr",
+    size: Optional[int] = None,
+    pieces: Optional[int] = None,
+    iterations: int = 8,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    max_overhead_ratio: Optional[float] = None,
+    plan: Optional[CompiledPlan] = None,
+) -> ReplayReport:
+    """Compile ``program`` symbolically, replay it on ``backend``, and
+    compare bitwise against a fresh-launch serial reference.
+
+    The overhead ratio divides the replay run's mean replayed-task
+    dispatch time by the *reference* run's mean fresh-task dispatch
+    time, so both sides of the ratio come from full solver runs.
+    """
+    solver_name, _A, b, mat_factory = _build_problem(program, fmt, size, seed)
+    machine = Machine(n_nodes=1)
+
+    def factory(runtime: Runtime):
+        planner = make_planner(
+            mat_factory(),
+            b,
+            machine=machine,
+            n_pieces=pieces,
+            runtime=runtime,
+            preconditioner="jacobi" if solver_name == "pcg" else None,
+        )
+        return SOLVER_REGISTRY[solver_name](planner)
+
+    if plan is None:
+        plan = compile_solver_program(factory, machine=machine, warmup=2)
+
+    # Fresh-launch serial reference (also the fresh-dispatch baseline).
+    ref_rt = Runtime(machine=Machine(n_nodes=1), backend="serial")
+    ref_solver = factory(ref_rt)
+    ref_result = ref_solver.solve(tolerance=0.0, max_iterations=iterations)
+    ref_rt.sync()
+    x_ref = np.array(ref_solver.planner.get_array(SOL), copy=True)
+    ref_stats = ref_rt.dispatch_stats()
+
+    # Replay run.
+    rt = Runtime(machine=Machine(n_nodes=1), backend=backend, jobs=jobs, plan=plan)
+    solver = factory(rt)
+    result = solver.solve(tolerance=0.0, max_iterations=iterations)
+    rt.sync()
+    x = np.array(solver.planner.get_array(SOL), copy=True)
+    stats = rt.dispatch_stats()
+    session = stats.get("session", {})
+
+    bitwise = (
+        list(result.measure_history) == list(ref_result.measure_history)
+        and np.array_equal(x, x_ref)
+    )
+    return ReplayReport(
+        program=program,
+        solver=solver_name,
+        backend=rt.backend,
+        fmt=fmt,
+        seed=seed,
+        pieces=pieces,
+        iterations=iterations,
+        structure_hash=plan.structure_hash,
+        window=len(plan),
+        windows_replayed=int(session.get("windows_replayed", 0)),
+        tasks_replayed=int(session.get("tasks_replayed", 0)),
+        fallbacks=int(session.get("fallbacks", 0)),
+        fresh_ns_per_task=float(ref_stats["fresh_ns_per_task"]),
+        replay_ns_per_task=float(stats["replay_ns_per_task"]),
+        bitwise_match=bool(bitwise),
+        max_overhead_ratio=max_overhead_ratio,
+        measure_history=[float(v) for v in result.measure_history],
+    )

@@ -1,0 +1,202 @@
+"""The replay session: guard-checked execution of a compiled plan.
+
+A :class:`ReplaySession` sits between the runtime's launch path and the
+engine.  When the solver opens an iteration window
+(``runtime.begin_iteration``), each launch is compared position-by-
+position against the compiled template's canonical signatures:
+
+* **match** — the launch bypasses the engine's dependence analysis; the
+  session maps the template's pre-resolved intra/carried edges onto the
+  live task ids of this and the previous window and hands them straight
+  to the executor.
+* **mismatch** (different structure, extra/missing launches, different
+  slot shapes) — the session *re-arms*: it drains in-flight work, marks
+  the rest of this window fresh-launch, and tries again at the next
+  window.  A stale plan is never silently replayed; after
+  ``max_misses`` consecutive failed windows the session goes dead and
+  every subsequent launch is fresh.
+
+Fault recovery calls :meth:`ReplaySession.abort`, which kills the
+session permanently — after a rollback the runtime's region state was
+rebuilt by fresh launches and the conservative choice is to stay in
+fresh-launch mode (matching the paper's trace-invalidation semantics).
+
+Correctness of the skipped analysis rests on two drains: the session
+drains the runtime before the *first* replayed window (so pre-session
+launches can never race a replayed task), and re-drains whenever it
+falls back mid-window (so replayed tasks can never race the fresh
+launches that follow).  Within steady-state replay, the template's
+intra + carried edges are exactly the engine's own analysis of the
+steady window, verified by the bitwise-equivalence test matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from .compiler import CompiledPlan, canonical_signature
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+    from ..runtime.task import TaskRecord
+
+__all__ = ["ReplaySession"]
+
+
+class ReplaySession:
+    """Replays one :class:`CompiledPlan` on a live runtime."""
+
+    def __init__(self, plan: CompiledPlan, runtime: "Runtime",
+                 max_misses: int = 8) -> None:
+        n_dev = runtime.machine.n_devices
+        if plan.n_devices != n_dev:
+            raise ValueError(
+                f"compiled plan was mapped for {plan.n_devices} device(s) "
+                f"but this runtime has {n_dev}; re-capture on the target "
+                "machine"
+            )
+        self.plan = plan
+        self.runtime = runtime
+        self.window = plan.tasks
+        self.w = len(plan.tasks)
+        self.max_misses = max_misses
+
+        #: Permanently killed (fault recovery, or too many misses).
+        self.dead = False
+        #: A window is currently open (between begin/end_iteration).
+        self._open = False
+        #: Still matching inside the open window.
+        self._matching = False
+        self.cursor = 0
+        #: Live task ids of the previous fully-replayed window (None
+        #: until one completes — carried deps are skipped then, which is
+        #: safe because a drain precedes the first replayed window).
+        self.prev_ids: Optional[List[int]] = None
+        self.cur_ids: List[int] = []
+        self._region_map: Dict[int, int] = {}
+        self._subset_map: Dict[int, int] = {}
+        #: Fresh launches happened since the last drain → the engine's
+        #: epochs are authoritative again and the next replayed window
+        #: must re-drain before trusting precompiled edges.
+        self.fresh_since_window = True
+        #: Replayed tasks in flight since the last drain.
+        self.dirty = False
+        self.misses = 0
+
+        # Counters surfaced through dispatch_stats / the obs layer.
+        self.windows_replayed = 0
+        self.tasks_replayed = 0
+        self.fallbacks = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """A window is open and still matching the template."""
+        return self._open and self._matching and not self.dead
+
+    def begin_window(self) -> bool:
+        """Open an iteration window.  Returns False if the session is
+        dead (caller should fall back to dynamic tracing)."""
+        if self.dead:
+            return False
+        if self.fresh_since_window:
+            # Fresh launches (or nothing at all) happened since the last
+            # replayed window: drain so their region state is final, and
+            # forget carried ids — those tasks are already complete.
+            self.quiesce()
+            self.prev_ids = None
+            self.fresh_since_window = False
+        self.cursor = 0
+        self.cur_ids = []
+        self._region_map = {}
+        self._subset_map = {}
+        self._open = True
+        self._matching = True
+        return True
+
+    def step(self, record: "TaskRecord") -> Optional[Tuple[int, Set[int]]]:
+        """Guard-check one live launch against the template.
+
+        Returns ``(device_id, dep_ids)`` on a match — the pre-bound
+        placement and the template edges mapped onto live task ids — or
+        None on a mismatch (caller must launch fresh)."""
+        if not self.active:
+            return None
+        if self.cursor >= self.w:
+            self._mismatch()
+            return None
+        tmpl = self.window[self.cursor]
+        live_sig = canonical_signature(record, self._region_map, self._subset_map)
+        if live_sig != tmpl.signature:
+            self._mismatch()
+            return None
+
+        deps: Set[int] = {self.cur_ids[p] for p in tmpl.intra_deps}
+        if self.prev_ids is not None:
+            deps.update(self.prev_ids[p] for p in tmpl.carried_deps)
+        self.cursor += 1
+        self.cur_ids.append(record.task_id)
+        self.dirty = True
+        self.tasks_replayed += 1
+        return tmpl.device_id, deps
+
+    def end_window(self) -> bool:
+        """Close the window.  Returns True iff it fully replayed."""
+        self._open = False
+        if self._matching and self.cursor == self.w:
+            self.windows_replayed += 1
+            self.prev_ids = self.cur_ids
+            self.misses = 0
+            return True
+        # Short window (fewer launches than the template) — same
+        # fallback path as a signature mismatch.
+        if self._matching:
+            self._mismatch()
+        return False
+
+    def note_fresh(self) -> None:
+        """A fresh launch went through while this session exists."""
+        self.fresh_since_window = True
+
+    def abort(self) -> None:
+        """Kill the session permanently (fault recovery path).  The
+        caller is responsible for quiescing before relaunching."""
+        self.dead = True
+        self._open = False
+        self._matching = False
+        self.prev_ids = None
+        self.fresh_since_window = True
+        self.dirty = False
+
+    def quiesce(self) -> None:
+        """Drain all in-flight work so the engine's epoch state is
+        authoritative before fresh analysis resumes."""
+        self.runtime.sync()
+        self.runtime.engine.barrier()
+        self.dirty = False
+
+    # -- internals -----------------------------------------------------
+
+    def _mismatch(self) -> None:
+        """The live stream diverged from the template mid-window: stop
+        matching, drain replayed work, and re-arm for the next window."""
+        self._matching = False
+        self.prev_ids = None
+        self.fresh_since_window = True
+        self.fallbacks += 1
+        self.misses += 1
+        if self.dirty:
+            self.quiesce()
+        if self.misses >= self.max_misses:
+            self.dead = True
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "structure_hash": self.plan.structure_hash,
+            "window": self.w,
+            "windows_replayed": self.windows_replayed,
+            "tasks_replayed": self.tasks_replayed,
+            "fallbacks": self.fallbacks,
+            "dead": self.dead,
+        }

@@ -21,6 +21,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -29,6 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
     from ..faults.plan import FaultLog, FaultPlan
     from ..obs import Observability
+    from ..replay.compiler import CompiledPlan
+    from ..replay.session import ReplaySession
 
 from .engine import Engine
 from .executor import TaskExecutor, make_executor
@@ -71,6 +74,7 @@ class Runtime:
         jobs: Optional[int] = None,
         faults: Any = None,
         observability: Any = None,
+        plan: Optional["CompiledPlan"] = None,
     ):
         self.machine = machine if machine is not None else Machine(n_nodes=1)
         self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
@@ -100,13 +104,13 @@ class Runtime:
 
         self.obs: "Observability" = resolve_observability(observability)
         self.fault_injector: Optional["FaultInjector"] = None
-        plan = self._resolve_fault_plan(faults)
-        if plan is not None and len(plan.specs) > 0 and executor.name != "capture":
+        fault_plan = self._resolve_fault_plan(faults)
+        if fault_plan is not None and len(fault_plan.specs) > 0 and executor.name != "capture":
             from ..faults.injector import FaultInjector
 
             injector = FaultInjector(
                 executor,
-                plan,
+                fault_plan,
                 store=self.store,
                 engine=self.engine,
                 metrics=self.obs.metrics,
@@ -120,6 +124,21 @@ class Runtime:
             self._attach_observability()
         self._traces: Dict[Any, _TraceState] = {}
         self._active_trace: Optional[_TraceState] = None
+        #: Compiled-plan replay (``plan=``): attach a
+        #: :class:`~repro.replay.compiler.CompiledPlan` so iteration
+        #: windows opened via :meth:`begin_iteration` replay the frozen
+        #: task stream instead of re-running dependence analysis.
+        self._replay: Optional["ReplaySession"] = None
+        self._replay_open = False
+        # Wall-clock dispatch cost (submit-path Python work up to and
+        # including the engine), split fresh vs replayed — the numerator
+        # and denominator of the replay overhead ratio.
+        self._dispatch_fresh_ns = 0
+        self._dispatch_fresh_n = 0
+        self._dispatch_replay_ns = 0
+        self._dispatch_replay_n = 0
+        if plan is not None:
+            self.attach_plan(plan)
 
     def _attach_observability(self) -> None:
         """Wire the enabled observability bundle into every layer: the
@@ -269,6 +288,83 @@ class Runtime:
         state.signatures.append(sig)
         return False
 
+    # -- compiled plan replay ----------------------------------------------------
+
+    def attach_plan(self, plan: "CompiledPlan") -> "ReplaySession":
+        """Attach a compiled plan; iteration windows opened afterwards
+        replay it (guard-checked, falling back to dynamic tracing on any
+        structural mismatch).  Replaces any previous session."""
+        from ..replay.session import ReplaySession  # local import: replay imports runtime
+
+        self._replay = ReplaySession(plan, self)
+        self._replay_open = False
+        return self._replay
+
+    @property
+    def replay_session(self) -> Optional["ReplaySession"]:
+        return self._replay
+
+    def begin_iteration(self, trace_id: Any) -> None:
+        """Open one solver-iteration window: replayed against the
+        attached plan when one is alive, else dynamically traced."""
+        session = self._replay
+        if session is not None and session.begin_window():
+            self._replay_open = True
+            return
+        self.begin_trace(trace_id)
+
+    def end_iteration(self, trace_id: Any) -> None:
+        if self._replay_open:
+            self._replay_open = False
+            assert self._replay is not None
+            self._replay.end_window()
+            return
+        self.end_trace(trace_id)
+
+    def abort_iteration(self, trace_id: Any = None) -> None:
+        """Abandon the active iteration after a mid-iteration failure.
+        Kills the replay session permanently — after a rollback the
+        region state is rebuilt by fresh launches, so the conservative
+        choice is to stay in fresh-launch mode — and invalidates the
+        active dynamic trace (a no-op when none is active)."""
+        self._replay_open = False
+        if self._replay is not None:
+            self._replay.abort()
+        self.abort_trace(trace_id)
+
+    def dispatch_stats(self) -> Dict[str, Any]:
+        """Wall-clock dispatch cost split fresh vs replayed, plus the
+        session counters.  ``overhead_ratio`` is replayed-per-task over
+        fresh-per-task dispatch time (< 1 means replay is cheaper)."""
+        fresh_per = (
+            self._dispatch_fresh_ns / self._dispatch_fresh_n
+            if self._dispatch_fresh_n
+            else 0.0
+        )
+        replay_per = (
+            self._dispatch_replay_ns / self._dispatch_replay_n
+            if self._dispatch_replay_n
+            else 0.0
+        )
+        stats: Dict[str, Any] = {
+            "fresh_tasks": self._dispatch_fresh_n,
+            "fresh_ns_per_task": fresh_per,
+            "replayed_tasks": self._dispatch_replay_n,
+            "replay_ns_per_task": replay_per,
+            "overhead_ratio": (replay_per / fresh_per) if fresh_per > 0 else None,
+        }
+        if self._replay is not None:
+            stats["session"] = self._replay.stats()
+        if self.obs.enabled:
+            m = self.obs.metrics
+            m.gauge("replay.fresh_ns_per_task").set(fresh_per)
+            m.gauge("replay.replay_ns_per_task").set(replay_per)
+            if self._replay is not None:
+                m.gauge("replay.windows_replayed").set(float(self._replay.windows_replayed))
+                m.gauge("replay.tasks_replayed").set(float(self._replay.tasks_replayed))
+                m.gauge("replay.fallbacks").set(float(self._replay.fallbacks))
+        return stats
+
     # -- task execution ----------------------------------------------------------
 
     def execute(self, launcher: TaskLauncher, point: Optional[int] = None) -> Future:
@@ -297,11 +393,45 @@ class Runtime:
             future_uid=future.uid,
             point=point,
             irregular=launcher.irregular,
+            slots=tuple(sorted(launcher.kwargs)),
         )
-        traced = self._trace_step(record)
-        _, _, deps = self.engine.simulate(record, traced=traced)
-        self._submit(record, lambda: launcher.body(ctx), future, deps)
+        self._launch(record, lambda: launcher.body(ctx), future)
         return future
+
+    def _launch(
+        self, record: TaskRecord, thunk: Callable[[], object], future: Future
+    ) -> None:
+        """The single dispatch path: replay the attached plan when the
+        open window still matches, else fresh dependence analysis.  The
+        wall-clock cost of everything up to ``_submit`` is accumulated
+        into the fresh/replay dispatch counters."""
+        t0 = time.perf_counter_ns()
+        deps: Optional[Set[int]] = None
+        session = self._replay
+        if session is not None:
+            if session.active:
+                mapped = session.step(record)
+                if mapped is not None:
+                    device_id, rdeps = mapped
+                    self.engine.replay_task(record, device_id, rdeps)
+                    deps = rdeps
+            if deps is None:
+                # Fresh launch alongside a live session: make sure no
+                # replayed task is still in flight (its region effects
+                # are not in the engine's epochs), then mark the state
+                # so the next window re-drains before replaying.
+                if session.dirty:
+                    session.quiesce()
+                session.note_fresh()
+        if deps is None:
+            traced = self._trace_step(record)
+            _, _, deps = self.engine.simulate(record, traced=traced)
+            self._dispatch_fresh_ns += time.perf_counter_ns() - t0
+            self._dispatch_fresh_n += 1
+        else:
+            self._dispatch_replay_ns += time.perf_counter_ns() - t0
+            self._dispatch_replay_n += 1
+        self._submit(record, thunk, future, deps)
 
     def _submit(
         self,
@@ -348,8 +478,6 @@ class Runtime:
             n_collective_parties=len(futures),
             comm_bytes=launcher.reduction_bytes,
         )
-        traced = self._trace_step(record)
-        _, _, deps = self.engine.simulate(record, traced=traced)
         reduction = launcher.reduction
 
         def thunk() -> object:
@@ -357,7 +485,7 @@ class Runtime:
             # ready by the time a deferred backend runs the thunk.
             return reduction([f.get() for f in futures])
 
-        self._submit(record, thunk, out, deps)
+        self._launch(record, thunk, out)
         return out
 
     def sync(self) -> None:

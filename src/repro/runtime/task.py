@@ -176,6 +176,12 @@ class TaskRecord:
     point: Optional[int] = None
     n_collective_parties: int = 0  # >0 → charge an allreduce across parties
     irregular: bool = False
+    #: Slot table: the launcher's keyword-argument names, sorted.  These
+    #: are the per-iteration varying inputs (scalars such as an AXPY's
+    #: alpha) a compiled plan rebinds on every replayed iteration; the
+    #: replay guard compares them so a structurally identical stream
+    #: with different slot shapes never replays silently.
+    slots: Tuple[str, ...] = ()
 
     @staticmethod
     def next_id() -> int:

@@ -1,0 +1,121 @@
+"""Chaos under replay: faults fired into replayed iteration windows.
+
+A compiled plan is attached to a faulted runtime and driven by
+:func:`solve_resilient`.  The contract under test:
+
+* before the fault bites, iterations genuinely replay (the session's
+  counters prove the fast path engaged);
+* the injected fault is still detected — replay skips dependence
+  analysis, not execution, so monitors and crash handling see the same
+  state they would on a fresh launch;
+* rollback kills the session permanently (``abort_iteration`` → the
+  conservative trace-invalidation semantics) and the remainder of the
+  solve runs fresh;
+* the recovered trajectory still lands on the fault-free bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.planner import SOL
+from repro.core.solvers import SOLVER_REGISTRY, solve_resilient
+from repro.faults import FaultPlan
+from repro.problems import tridiagonal_toeplitz
+from repro.replay import compile_solver_program
+from repro.runtime import Runtime
+
+SIZE = 30
+
+
+def make(runtime, solver="cg", seed=0):
+    A = tridiagonal_toeplitz(SIZE)
+    b = np.random.default_rng(seed).random(SIZE)
+    planner = make_planner(A, b, n_pieces=3, runtime=runtime)
+    return SOLVER_REGISTRY[solver](planner)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_solver_program(lambda rt: make(rt))
+
+
+@pytest.fixture(scope="module")
+def fault_free_bits():
+    rt = Runtime(backend="serial")
+    ksm = make(rt)
+    ksm.solve(tolerance=1e-8, max_iterations=200)
+    rt.sync()
+    return np.array(ksm.planner.get_array(SOL), copy=True)
+
+
+class TestFaultFreeResilientReplay:
+    def test_resilient_loop_replays_and_matches_plain_solve(
+        self, compiled, fault_free_bits
+    ):
+        rt = Runtime(backend="serial", plan=compiled)
+        ksm = make(rt)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        rt.sync()
+        session = rt.replay_session
+        assert result.converged and result.recoveries == []
+        assert not session.dead
+        assert session.windows_replayed >= 1
+        assert session.fallbacks == 0
+        assert np.array_equal(ksm.planner.get_array(SOL), fault_free_bits)
+
+
+class TestFaultsUnderReplay:
+    def test_corruption_mid_replay_detected_and_recovered(
+        self, compiled, fault_free_bits
+    ):
+        faults = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt = Runtime(backend="serial", faults=faults, plan=compiled)
+        ksm = make(rt)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        rt.sync()
+        session = rt.replay_session
+        # The fast path was genuinely engaged before the fault...
+        assert session.windows_replayed >= 1
+        # ...the corruption was still caught and rolled back...
+        assert result.converged
+        assert result.n_rollbacks >= 1
+        assert any("nan-guard" in r.reason for r in result.recoveries)
+        assert rt.fault_log.n_injected == 1
+        assert rt.fault_log.n_unrecovered == 0
+        # ...the rollback killed the session for good (trace
+        # invalidation: post-restore state was rebuilt outside replay)...
+        assert session.dead
+        # ...and recovery still lands on the fault-free bits.
+        assert np.array_equal(ksm.planner.get_array(SOL), fault_free_bits)
+
+    def test_crash_mid_replay_recovers_via_rollback(
+        self, compiled, fault_free_bits
+    ):
+        faults = FaultPlan.parse("crash:dot_partial:12", retry_crashes=False)
+        rt = Runtime(backend="serial", faults=faults, plan=compiled)
+        ksm = make(rt)
+        result = solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        rt.sync()
+        session = rt.replay_session
+        assert result.converged
+        assert any(r.reason == "crash" for r in result.recoveries)
+        assert rt.fault_log.n_unrecovered == 0
+        assert session.windows_replayed >= 1
+        assert session.dead
+        assert np.array_equal(ksm.planner.get_array(SOL), fault_free_bits)
+
+    def test_dead_session_never_resurrects_after_recovery(self, compiled):
+        faults = FaultPlan.parse("corrupt:axpy:14:nan", seed=2)
+        rt = Runtime(backend="serial", faults=faults, plan=compiled)
+        ksm = make(rt)
+        solve_resilient(ksm, tolerance=1e-8, max_iterations=200)
+        session = rt.replay_session
+        replayed_before = session.tasks_replayed
+        # Further iterations on the same runtime must stay fresh-launch.
+        rt.begin_iteration(("post", 0))
+        ksm.step()
+        rt.end_iteration(("post", 0))
+        rt.sync()
+        assert session.dead
+        assert session.tasks_replayed == replayed_before

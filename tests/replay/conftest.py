@@ -1,0 +1,86 @@
+"""Shared builders for the replay test matrix.
+
+Compiled plans and fresh-launch serial references are cached per
+``(solver, fmt, size, pieces, seed, iterations)`` so the bitwise matrix
+pays for each expensive artifact once, not once per backend.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.planner import SOL
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.replay import CompiledPlan, compile_solver_program
+from repro.runtime import Runtime
+from repro.verify.oracle import build_format
+
+SIZE = 16
+ITERATIONS = 3
+
+
+def make_solver(runtime: Runtime, solver: str, fmt: str, size: int = SIZE,
+                pieces: Optional[int] = None, seed: int = 0):
+    """Build one seeded SPD system + solver on ``runtime`` (the chaos
+    problem family: every stock method converges on it)."""
+    A = tridiagonal_toeplitz(size).tocsr()
+    b = np.random.default_rng(seed).random(size)
+    planner = make_planner(
+        build_format(fmt, A),
+        b,
+        n_pieces=pieces,
+        runtime=runtime,
+        preconditioner="jacobi" if solver == "pcg" else None,
+    )
+    return SOLVER_REGISTRY[solver](planner)
+
+
+_PLANS: Dict[Tuple, CompiledPlan] = {}
+_REFS: Dict[Tuple, Tuple[List[float], np.ndarray]] = {}
+
+
+def plan_for(solver: str, fmt: str, size: int = SIZE,
+             pieces: Optional[int] = None, seed: int = 0) -> CompiledPlan:
+    key = (solver, fmt, size, pieces, seed)
+    if key not in _PLANS:
+        _PLANS[key] = compile_solver_program(
+            lambda rt: make_solver(rt, solver, fmt, size, pieces, seed)
+        )
+    return _PLANS[key]
+
+
+def reference_for(solver: str, fmt: str, size: int = SIZE,
+                  pieces: Optional[int] = None, seed: int = 0,
+                  iterations: int = ITERATIONS) -> Tuple[List[float], np.ndarray]:
+    """Fresh-launch serial run: (residual history, solution bits)."""
+    key = (solver, fmt, size, pieces, seed, iterations)
+    if key not in _REFS:
+        rt = Runtime(backend="serial")
+        ksm = make_solver(rt, solver, fmt, size, pieces, seed)
+        result = ksm.solve(tolerance=0.0, max_iterations=iterations)
+        rt.sync()
+        x = np.array(ksm.planner.get_array(SOL), copy=True)
+        _REFS[key] = (list(result.measure_history), x)
+    return _REFS[key]
+
+
+def replayed_run(solver: str, fmt: str, backend: str, size: int = SIZE,
+                 pieces: Optional[int] = None, seed: int = 0,
+                 iterations: int = ITERATIONS):
+    """Solve with the compiled plan attached; returns
+    (history, x, session)."""
+    plan = plan_for(solver, fmt, size, pieces, seed)
+    rt = Runtime(backend=backend, plan=plan)
+    ksm = make_solver(rt, solver, fmt, size, pieces, seed)
+    result = ksm.solve(tolerance=0.0, max_iterations=iterations)
+    rt.sync()
+    x = np.array(ksm.planner.get_array(SOL), copy=True)
+    return list(result.measure_history), x, rt.replay_session
+
+
+@pytest.fixture(scope="session")
+def all_solvers():
+    return sorted(SOLVER_REGISTRY)

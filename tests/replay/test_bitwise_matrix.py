@@ -1,0 +1,35 @@
+"""Satellite 1: the bitwise-equivalence matrix.
+
+All nine solvers × {csr, coo, dia, ell} × {serial, threads} × piece
+counts: replayed iterations must produce bitwise-identical residual
+histories and solution vectors vs a fresh-launch serial run, and the
+replay must actually have engaged (windows replayed, zero fallbacks —
+a silently fresh-launching run would pass the bitwise bar vacuously).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solvers import SOLVER_REGISTRY
+
+from .conftest import ITERATIONS, reference_for, replayed_run
+
+FORMATS = ("csr", "coo", "dia", "ell")
+BACKENDS = ("serial", "threads")
+PIECE_COUNTS = (1, 3)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+def test_replay_matches_fresh_serial_bitwise(solver, fmt):
+    for pieces in PIECE_COUNTS:
+        ref_hist, ref_x = reference_for(solver, fmt, pieces=pieces)
+        for backend in BACKENDS:
+            hist, x, session = replayed_run(solver, fmt, backend, pieces=pieces)
+            label = f"{solver}/{fmt}/{backend}/p{pieces}"
+            assert session is not None, label
+            assert session.windows_replayed >= 1, label
+            assert session.fallbacks == 0, label
+            assert session.windows_replayed == ITERATIONS, label
+            assert hist == ref_hist, label
+            assert np.array_equal(x, ref_x), label

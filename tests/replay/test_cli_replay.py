@@ -1,0 +1,95 @@
+"""`repro replay` CLI and the driver report: exit codes, summary text,
+JSON schema, and the overhead gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.replay import run_replay
+
+
+class TestExitCodes:
+    def test_successful_replay_exits_zero(self, capsys):
+        code = main(["replay", "cg", "--size", "16", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "bitwise" in out
+        assert "windows" in out
+
+    def test_unknown_program_exits_two(self, capsys):
+        code = main(["replay", "frobnicate"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "replay:" in out
+
+    def test_unsatisfiable_overhead_gate_exits_one(self, capsys):
+        # A ratio no implementation can meet: the gate must fail the run
+        # while the numerics still verify.
+        code = main(
+            ["replay", "cg", "--size", "16", "--iterations", "3",
+             "--max-overhead-ratio", "1e-9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, out
+
+
+class TestJsonExport:
+    def test_report_schema(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main(
+            ["replay", "cg", "--size", "16", "--iterations", "3",
+             "--backend", "threads", "--json", str(target)]
+        )
+        assert code == 0, capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-replay/1"
+        assert payload["program"] == "cg"
+        assert payload["backend"] == "threads"
+        assert payload["bitwise_match"] is True
+        assert payload["windows_replayed"] == 3
+        assert payload["fallbacks"] == 0
+        assert payload["structure_hash"]
+
+
+class TestDriver:
+    def test_report_fields_and_ok(self):
+        report = run_replay("cg", size=16, iterations=3)
+        assert report.ok
+        assert report.bitwise_match
+        assert report.windows_replayed == 3
+        assert report.window > 0
+        assert report.overhead_ratio is None or report.overhead_ratio > 0
+        assert report.summary()
+
+    def test_fig8_program_and_pcg_preconditioner(self):
+        # fig8-* resolves to the Laplacian family; pcg exercises the
+        # implicit jacobi preconditioner in the factory.
+        report = run_replay("fig8-pcg", iterations=2)
+        assert report.ok, report.summary()
+        assert report.solver == "pcg"
+
+    def test_unknown_program_is_refused(self):
+        with pytest.raises(KeyError, match="unknown program"):
+            run_replay("frobnicate")
+
+    def test_program_names_cover_solvers(self):
+        from repro.replay import replay_program_names
+
+        names = replay_program_names()
+        assert "cg" in names and "fig8-cg" in names
+
+    def test_report_edge_cases(self):
+        from repro.replay import ReplayReport
+
+        report = ReplayReport(
+            program="cg", solver="cg", backend="serial", fmt="csr",
+            seed=0, pieces=None, iterations=1, structure_hash="ab" * 32,
+            window=5, windows_replayed=0, tasks_replayed=0, fallbacks=1,
+            fresh_ns_per_task=0.0, replay_ns_per_task=100.0,
+            bitwise_match=False,
+        )
+        # No fresh baseline -> no ratio; no replayed window -> not ok.
+        assert report.overhead_ratio is None
+        assert not report.ok
+        assert "MISMATCH" in report.summary()

@@ -1,0 +1,219 @@
+"""Plan compiler: canonical hashing, steadiness, window boundaries, the
+checker gate (satellite 4), and the slot table."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.plan import attach_plan_capture
+from repro.replay import (
+    PlanCompileError,
+    ReplaySession,
+    compile_plan,
+    compile_solver_program,
+)
+from repro.runtime import (
+    IndexSpace,
+    Machine,
+    Partition,
+    Privilege,
+    ProcKind,
+    Runtime,
+    Subset,
+    TaskLauncher,
+)
+
+from .conftest import make_solver, plan_for
+
+
+def launch(rt, name, region, subset, privilege, kwargs=None):
+    tl = TaskLauncher(name, lambda ctx: None, proc_kind=ProcKind.CPU,
+                      kwargs=kwargs or {})
+    tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+def windowed_capture(build_window, n_windows=2, n=64, pieces=4):
+    """Capture ``n_windows`` invocations of ``build_window(rt, region,
+    part, i)`` and return (plan, boundaries)."""
+    rt = Runtime(backend="capture")
+    cap = attach_plan_capture(rt)
+    region = rt.create_region(IndexSpace.linear(n), {"v": np.float64})
+    rt.allocate(region, "v")
+    part = Partition.equal(region.ispace, pieces)
+    boundaries = [len(cap.plan.order)]
+    for i in range(n_windows):
+        build_window(rt, region, part, i)
+        boundaries.append(len(cap.plan.order))
+    return cap.plan, boundaries, rt
+
+
+class TestCompile:
+    def test_structure_hash_is_deterministic_across_runtimes(self):
+        # Two independent captures: fresh runtimes, fresh uid counters.
+        a = plan_for("cg", "csr")
+        b = compile_solver_program(lambda rt: make_solver(rt, "cg", "csr"))
+        assert a.structure_hash == b.structure_hash
+        assert len(a) == len(b)
+        assert [t.signature for t in a.tasks] == [t.signature for t in b.tasks]
+
+    def test_distinct_programs_hash_differently(self):
+        assert (
+            plan_for("cg", "csr").structure_hash
+            != plan_for("bicgstab", "csr").structure_hash
+        )
+
+    def test_slot_table_captures_kwarg_names(self):
+        plan = plan_for("cg", "csr")
+        slotted = [t for t in plan.tasks if t.slots]
+        assert slotted, "CG's AXPY/XPAY launches carry scalar kwargs"
+        assert all(s in (("alpha",), ("value",)) for t in slotted
+                   for s in [t.slots])
+
+    def test_needs_two_windows(self):
+        def window(rt, region, part, i):
+            launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+
+        plan, bounds, _ = windowed_capture(window, n_windows=1)
+        with pytest.raises(PlanCompileError, match="at least two"):
+            compile_plan(plan, bounds, n_devices=1)
+
+    def test_unsteady_stream_is_refused(self):
+        def window(rt, region, part, i):
+            launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+            if i == 1:  # second window grows an extra task
+                launch(rt, "extra", region, part[1], Privilege.READ_WRITE)
+
+        plan, bounds, _ = windowed_capture(window)
+        with pytest.raises(PlanCompileError, match="not steady"):
+            compile_plan(plan, bounds, n_devices=1)
+
+    def test_invalid_boundaries_are_refused(self):
+        def window(rt, region, part, i):
+            launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+
+        plan, bounds, _ = windowed_capture(window)
+        with pytest.raises(PlanCompileError, match="boundaries"):
+            compile_plan(plan, [0, 10 ** 6, 2 * 10 ** 6], n_devices=1)
+
+    def test_warmup_below_two_is_refused(self):
+        with pytest.raises(PlanCompileError, match="warmup"):
+            compile_solver_program(
+                lambda rt: make_solver(rt, "cg", "csr"), warmup=1
+            )
+
+    def test_dead_write_refuses_compilation_naming_the_task(self):
+        # Within each window: a full-subset write that is entirely
+        # overwritten before any read — the checker gate must refuse.
+        def window(rt, region, part, i):
+            full = Subset.interval(region.ispace, 0, region.ispace.volume - 1)
+            launch(rt, "doomed_write", region, full, Privilege.WRITE_DISCARD)
+            launch(rt, "overwrite", region, full, Privilege.WRITE_DISCARD)
+            launch(rt, "read", region, full, Privilege.READ_ONLY)
+
+        plan, bounds, _ = windowed_capture(window)
+        with pytest.raises(PlanCompileError) as err:
+            compile_plan(plan, bounds, n_devices=1)
+        msg = str(err.value)
+        assert "PLAN-DEAD-WRITE" in msg
+        assert "doomed_write" in msg
+
+    def test_clean_window_compiles_with_carried_deps(self):
+        def window(rt, region, part, i):
+            full = Subset.interval(region.ispace, 0, region.ispace.volume - 1)
+            launch(rt, "produce", region, full, Privilege.READ_WRITE)
+            launch(rt, "consume", region, full, Privilege.READ_ONLY)
+
+        plan, bounds, rt = windowed_capture(window, n_windows=3)
+        compiled = compile_plan(plan, bounds, n_devices=rt.machine.n_devices)
+        assert len(compiled) == 2
+        # consume depends on produce within the window; produce carries a
+        # dependence on the previous window's tasks.
+        assert compiled.tasks[1].intra_deps == (0,)
+        assert compiled.tasks[0].carried_deps
+
+    def test_empty_last_window_is_refused(self):
+        def window(rt, region, part, i):
+            launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+
+        plan, bounds, _ = windowed_capture(window, n_windows=1)
+        end = bounds[-1]
+        with pytest.raises(PlanCompileError, match="empty"):
+            compile_plan(plan, [bounds[0], end, end], n_devices=1)
+
+    def test_dependences_older_than_one_window_are_dropped(self):
+        # A setup-time writer read by every window: by the last window
+        # that write is >= 2 windows back and its edge must be dropped —
+        # safe because the pre-replay drain covers it transitively.
+        rt = Runtime(backend="capture")
+        cap = attach_plan_capture(rt)
+        region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+        rt.allocate(region, "v")
+        full = Subset.interval(region.ispace, 0, region.ispace.volume - 1)
+        launch(rt, "setup", region, full, Privilege.READ_WRITE)
+        boundaries = [len(cap.plan.order)]
+        for _ in range(3):
+            launch(rt, "reader", region, full, Privilege.READ_ONLY)
+            boundaries.append(len(cap.plan.order))
+        compiled = compile_plan(
+            cap.plan, boundaries, n_devices=rt.machine.n_devices
+        )
+        assert compiled.n_dropped_deps >= 1
+        assert compiled.tasks[0].intra_deps == ()
+
+
+class TestSessionGuards:
+    def test_device_count_mismatch_refuses_attach(self):
+        plan = plan_for("cg", "csr")
+        rt = Runtime(machine=Machine(n_nodes=2))
+        with pytest.raises(ValueError, match="device"):
+            ReplaySession(plan, rt)
+
+    def test_describe_mentions_hash_and_slots(self):
+        plan = plan_for("cg", "csr")
+        text = plan.describe()
+        assert plan.structure_hash[:12] in text
+        assert "alpha" in text
+
+    def test_step_outside_a_window_is_a_no_op(self):
+        plan = plan_for("cg", "csr")
+        session = ReplaySession(plan, Runtime(backend="serial"))
+        # No begin_window(): the session is not active and must decline
+        # without touching the record.
+        assert session.step(None) is None
+        assert session.fallbacks == 0
+
+    def _one_task_plan_and_live_runtime(self):
+        def window(rt, region, part, i):
+            launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+
+        plan, bounds, cap_rt = windowed_capture(window)
+        compiled = compile_plan(plan, bounds,
+                                n_devices=cap_rt.machine.n_devices)
+        rt = Runtime(backend="serial", plan=compiled)
+        region = rt.create_region(IndexSpace.linear(64), {"v": np.float64})
+        rt.allocate(region, "v")
+        part = Partition.equal(region.ispace, 4)
+        return rt, region, part
+
+    def test_overrun_window_falls_back(self):
+        # One extra launch past the template's end: the window must fall
+        # back, not replay the surplus task with stale edges.
+        rt, region, part = self._one_task_plan_and_live_runtime()
+        session = rt.replay_session
+        rt.begin_iteration("t")
+        launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+        launch(rt, "w", region, part[0], Privilege.READ_WRITE)
+        rt.end_iteration("t")
+        rt.sync()
+        assert session.fallbacks == 1
+        assert session.windows_replayed == 0
+
+    def test_short_window_falls_back(self):
+        # Fewer launches than the template: closing the window counts as
+        # a miss even though every launch so far matched.
+        rt, region, part = self._one_task_plan_and_live_runtime()
+        session = rt.replay_session
+        rt.begin_iteration("t")
+        rt.end_iteration("t")
+        assert session.fallbacks == 1
+        assert session.windows_replayed == 0

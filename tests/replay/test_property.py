@@ -1,0 +1,120 @@
+"""Satellite 2: hypothesis property suite for plan compilation.
+
+(a) capture -> compile -> replay is deterministic across runs;
+(b) a guard mismatch always falls back to fresh launches — a stale
+    plan is never silently replayed, and the numerics stay correct;
+(c) slot rebinding round-trips the per-iteration scalars exactly (the
+    replayed trajectory is bit-for-bit the fresh trajectory, iteration
+    by iteration, not just at the end).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import SOL
+from repro.runtime import Runtime
+
+from .conftest import make_solver, plan_for, reference_for, replayed_run
+
+FEW = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+solvers = st.sampled_from(["cg", "bicgstab", "cgs", "tfqmr"])
+formats = st.sampled_from(["csr", "coo", "dia", "ell"])
+piece_counts = st.integers(min_value=1, max_value=3)
+seeds = st.integers(min_value=0, max_value=1000)
+
+
+class TestDeterminism:
+    @FEW
+    @given(solver=solvers, fmt=formats, pieces=piece_counts, seed=seeds)
+    def test_compile_is_pure_in_the_program(self, solver, fmt, pieces, seed):
+        import repro.replay as replay_mod
+
+        a = replay_mod.compile_solver_program(
+            lambda rt: make_solver(rt, solver, fmt, pieces=pieces, seed=seed)
+        )
+        b = replay_mod.compile_solver_program(
+            lambda rt: make_solver(rt, solver, fmt, pieces=pieces, seed=seed)
+        )
+        assert a.structure_hash == b.structure_hash
+        assert [t.signature for t in a.tasks] == [t.signature for t in b.tasks]
+        assert [t.intra_deps for t in a.tasks] == [t.intra_deps for t in b.tasks]
+        assert [t.carried_deps for t in a.tasks] == [
+            t.carried_deps for t in b.tasks
+        ]
+
+    @FEW
+    @given(solver=solvers, fmt=formats, seed=seeds)
+    def test_replay_is_deterministic_across_runs(self, solver, fmt, seed):
+        first = replayed_run(solver, fmt, "serial", seed=seed)
+        second = replayed_run(solver, fmt, "serial", seed=seed)
+        assert first[0] == second[0]
+        assert np.array_equal(first[1], second[1])
+        assert first[2].windows_replayed == second[2].windows_replayed >= 1
+
+
+class TestGuardFallback:
+    @FEW
+    @given(fmt=formats, pieces=piece_counts, seed=seeds)
+    def test_stale_plan_never_silently_replays(self, fmt, pieces, seed):
+        # Attach a *different solver's* plan: the very first guarded
+        # launch mismatches, every window falls back to fresh launches,
+        # and the numerics are exactly the fresh-launch numerics.
+        stale = plan_for("bicgstab", fmt, pieces=pieces)
+        rt = Runtime(backend="serial", plan=stale)
+        ksm = make_solver(rt, "cg", fmt, pieces=pieces, seed=seed)
+        result = ksm.solve(tolerance=0.0, max_iterations=3)
+        rt.sync()
+        x = np.array(ksm.planner.get_array(SOL), copy=True)
+        session = rt.replay_session
+        # A structurally-matching *prefix* may replay (the guard is
+        # positional), but no window may ever complete as a replay, and
+        # every window must have fallen back.
+        assert session.windows_replayed == 0
+        assert session.fallbacks >= 1
+        ref_hist, ref_x = reference_for("cg", fmt, pieces=pieces, seed=seed)
+        assert list(result.measure_history) == ref_hist
+        assert np.array_equal(x, ref_x)
+
+    def test_dead_session_stays_dead(self):
+        stale = plan_for("bicgstab", "csr")
+        rt = Runtime(backend="serial", plan=stale)
+        ksm = make_solver(rt, "cg", "csr")
+        ksm.solve(tolerance=0.0, max_iterations=12)
+        session = rt.replay_session
+        # Eight consecutive missed windows kill the session for good.
+        assert session.dead
+        assert session.windows_replayed == 0
+
+
+class TestSlotRoundTrip:
+    @FEW
+    @given(solver=solvers, fmt=formats, seed=seeds)
+    def test_per_iteration_solution_bits_round_trip(self, solver, fmt, seed):
+        # Stronger than end-state equality: snapshot the solution vector
+        # after every iteration.  Replay rebinds each iteration's scalar
+        # futures (AXPY alphas etc.) through the slot table; any rounding
+        # difference would show up in some iteration's bits.
+        def run(plan):
+            rt = Runtime(backend="serial", plan=plan)
+            ksm = make_solver(rt, solver, fmt, seed=seed)
+            snaps = []
+
+            def snap(s, it, measure):
+                rt.sync()
+                snaps.append(np.array(s.planner.get_array(SOL), copy=True))
+
+            ksm.solve(tolerance=0.0, max_iterations=3, callback=snap)
+            return snaps, rt.replay_session
+
+        fresh_snaps, _ = run(None)
+        replay_snaps, session = run(plan_for(solver, fmt, seed=seed))
+        assert session is not None and session.windows_replayed >= 1
+        assert len(fresh_snaps) == len(replay_snaps) == 3
+        for a, b in zip(fresh_snaps, replay_snaps):
+            assert np.array_equal(a, b)
