@@ -1,0 +1,148 @@
+"""Plan-driven task fusion.
+
+The capture backend records one :class:`~repro.analyze.plan.PlanTask`
+per launch; a steady-state iteration window therefore contains, for
+every piece, a chain of small kernels (fill/axpy/spmv/...) whose
+per-task dispatch overhead dominates at small piece sizes and whose
+cross-process hand-off cost dominates under the ``procs`` backend.
+This pass coalesces those per-piece chains into *fusion groups*: sets
+of window positions a backend may execute as one coarse task body,
+running the member thunks back-to-back in launch order.
+
+Running members in launch order inside one node preserves every
+intra-group dependence (all edges in a window point from earlier to
+later launch index), so the only way fusion can go wrong is by
+*collapsing the inter-group graph into a cycle*: if group A holds a
+task that depends on group B and B holds a task that depends on A,
+neither fused node can ever become ready.  Launch order within a window
+is op-major (all points of one operation, then the next), so per-piece
+groups occupy strided positions and such cross-dependences are the
+common case, not a corner case — halo exchanges make piece ``p`` read
+neighbours written by ``p±1``.
+
+The greedy pass therefore maintains *transitive reachability over the
+contracted (cluster) graph*, updated as clusters grow: appending task
+``t`` to its piece's open cluster ``C`` is legal iff no predecessor
+cluster of ``t`` (other than ``C`` itself) is already reachable *from*
+``C``.  When the test fails the open cluster is sealed and a fresh one
+starts — correctness first, fusion second.
+
+Two task classes never join a group:
+
+* ``point is None`` (host-side tasks: dot reductions, convergence
+  checks) — they carry the future hand-off points the runtime uses as
+  natural flush boundaries;
+* any task holding a ``REDUCE`` requirement — executors serialize
+  same-redop overlap by *launch-order chaining* and burying a reduce in
+  a coarse node would re-order that chain, breaking bitwise
+  reproducibility.
+
+Edges come from the engine's recorded dependences *plus* the static
+checker's may-conflict set (:func:`static_interference_edges`), so the
+pass never merges across an interference edge even if the engine's
+dynamic edge set were somehow narrower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .checkers import static_interference_edges
+from .plan import PlanGraph, PlanTask
+
+__all__ = ["fuse_window", "window_subgraph"]
+
+
+def window_subgraph(window: Sequence[PlanTask]) -> PlanGraph:
+    """Re-index a window as a standalone plan (indices 0..n-1, engine
+    deps restricted to the window) so plan-level analyses see only the
+    steady-state iteration."""
+    inside = {t.task_id for t in window}
+    sub = PlanGraph()
+    for i, t in enumerate(window):
+        clone = PlanTask(
+            task_id=t.task_id,
+            index=i,
+            name=t.name,
+            point=t.point,
+            device_id=t.device_id,
+            requirements=t.requirements,
+            engine_deps=frozenset(d for d in t.engine_deps if d in inside),
+            future_dep_uids=t.future_dep_uids,
+            future_uid=t.future_uid,
+            fence_epoch=0,
+            slots=t.slots,
+        )
+        sub.tasks[t.task_id] = clone
+        sub.order.append(t.task_id)
+    return sub
+
+
+def _eligible(task: PlanTask) -> bool:
+    if task.point is None or not task.requirements:
+        return False
+    return all(req.privilege.name != "REDUCE" for req in task.requirements)
+
+
+def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
+    """Group window positions into fusable clusters.
+
+    Returns tuples of window-relative positions, each sorted ascending,
+    ordered by first member; singleton clusters are omitted (nothing to
+    fuse).  Guarantees: members share ``(device_id, point)``, no member
+    holds a REDUCE requirement, and contracting each group to one node
+    leaves the window's dependence + interference graph acyclic.
+    """
+    n = len(window)
+    if n == 0:
+        return ()
+
+    pos_of = {t.task_id: i for i, t in enumerate(window)}
+    preds: List[Set[int]] = [set() for _ in range(n)]
+    for j, t in enumerate(window):
+        for dep in t.engine_deps:
+            i = pos_of.get(dep)
+            if i is not None and i != j:
+                preds[j].add(i)
+    # Interference edges are launch-index pairs over the re-indexed
+    # window, i.e. window positions; orient them by launch order.
+    for i, j in static_interference_edges(window_subgraph(window)):
+        preds[max(i, j)].add(min(i, j))
+
+    cluster_of: List[int] = [-1] * n
+    members: List[List[int]] = []
+    reach: List[Set[int]] = []      # cluster -> clusters reachable from it
+    ancestors: List[Set[int]] = []  # cluster -> clusters that reach it
+
+    def add_edge(src: int, dst: int) -> None:
+        if dst in reach[src]:
+            return
+        down = {dst} | reach[dst]
+        up = {src} | ancestors[src]
+        for y in up:
+            reach[y] |= down
+        for d in down:
+            ancestors[d] |= up
+
+    open_cluster: Dict[Tuple[int, Optional[int]], int] = {}
+    for j, task in enumerate(window):
+        pset = {cluster_of[i] for i in preds[j]}
+        key = (task.device_id, task.point)
+        cid: Optional[int] = None
+        if _eligible(task):
+            cand = open_cluster.get(key)
+            if cand is not None and not ((pset - {cand}) & reach[cand]):
+                cid = cand
+        if cid is None:
+            cid = len(members)
+            members.append([])
+            reach.append(set())
+            ancestors.append(set())
+            if _eligible(task):
+                open_cluster[key] = cid
+        cluster_of[j] = cid
+        members[cid].append(j)
+        for src in pset - {cid}:
+            add_edge(src, cid)
+
+    return tuple(tuple(group) for group in members if len(group) >= 2)

@@ -9,7 +9,7 @@ Usage::
                           [--seed 0] [--out FILE]
     python -m repro solve --stencil 2d5 --n 65536 --solver cg [--tol 1e-8]
     python -m repro stencil-bench -dim 2 -solver 1 -nx 256 -ny 256 -it 500 -vp 4
-    python -m repro bench [--backend serial threads] [--jobs N]
+    python -m repro bench [--backends serial,threads,procs] [--jobs N]
                           [--profile smoke|full] [--out BENCH_wallclock.json]
                           [--baseline FILE] [--max-regression 2.0]
                           [--min-speedup 1.5] [--update-baseline]
@@ -101,13 +101,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     pw = sub.add_parser(
         "bench",
-        help="wall-clock serial-vs-threads benchmark with regression gate",
+        help="wall-clock serial-vs-parallel benchmark with regression gate",
     )
-    pw.add_argument("--backend", nargs="+", choices=("serial", "threads"),
-                    default=None,
-                    help="backends to time (default: both)")
+    pw.add_argument("--backends", "--backend", nargs="+", dest="backends",
+                    default=None, metavar="BACKEND",
+                    help="executing backends to time, from "
+                         "serial/threads/procs; also accepts one "
+                         "comma-separated list (default: serial threads)")
     pw.add_argument("--jobs", type=int, default=None,
-                    help="thread-pool worker count (default: CPU count)")
+                    help="worker count for parallel backends "
+                         "(default: CPU count)")
     pw.add_argument("--profile", choices=("smoke", "full"), default="smoke",
                     help="case set: smoke (tiny, CI) or full (incl. the "
                          ">=256k-unknown speedup case)")
@@ -123,8 +126,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="fail when a calibration-normalized median exceeds "
                          "the baseline's by this factor")
     pw.add_argument("--min-speedup", type=float, default=None,
-                    help="require this threads-vs-serial speedup on a "
+                    help="require this parallel-vs-serial speedup on a "
                          ">=256k-unknown CG case (multi-CPU hosts only)")
+    pw.add_argument("--speedup-backend", default=None,
+                    choices=("threads", "procs"),
+                    help="restrict --min-speedup to one parallel backend")
     pw.add_argument("--update-baseline", action="store_true",
                     help="write the report to --baseline instead of gating")
     pw.add_argument("--max-replay-overhead", type=float, default=None,
@@ -194,7 +200,8 @@ def _build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--seed", type=int, default=1,
                     help="fault-plan seed: picks the injection sites "
                          "(default: 1)")
-    pc.add_argument("--backend", choices=("serial", "threads"), default=None,
+    pc.add_argument("--backend", choices=("serial", "threads", "procs"),
+                    default=None,
                     help="executor backend (default: REPRO_BACKEND or serial)")
     pc.add_argument("--format", dest="fmt", default="csr",
                     help="storage format for solver programs (default: csr)")
@@ -232,7 +239,8 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("program", nargs="?", default="fig8-cg",
                        help='solver name (cg, gmres, ...) or "fig8-cg" '
                             "(default: fig8-cg)")
-        p.add_argument("--backend", choices=("serial", "threads"), default=None,
+        p.add_argument("--backend", choices=("serial", "threads", "procs"),
+                       default=None,
                        help="executor backend (default: REPRO_BACKEND or serial)")
         p.add_argument("--format", dest="fmt", default="csr",
                        help="storage format for solver programs (default: csr)")
@@ -401,7 +409,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_report,
         )
 
-        backends = tuple(args.backend) if args.backend else ("serial", "threads")
+        from .runtime.executor import EXECUTING_BACKENDS
+
+        if args.backends:
+            backends = tuple(
+                name
+                for item in args.backends
+                for name in item.split(",")
+                if name
+            )
+            unknown = [b for b in backends if b not in EXECUTING_BACKENDS]
+            if unknown:
+                print(
+                    f"error: unknown backend(s) {unknown}; "
+                    f"choose from {EXECUTING_BACKENDS}"
+                )
+                return 2
+        else:
+            backends = ("serial", "threads")
         report = run_wallclock(
             cases=PROFILES[args.profile],
             backends=backends,
@@ -416,10 +441,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_report(report, args.out)
             print(f"[report written to {args.out}]")
         failures: List[str] = []
-        mismatched = [
-            c["name"] for c in report["cases"] if c.get("residual_match") is False
-        ]
-        failures += [f"{name}: serial/threads numerics diverge" for name in mismatched]
+        for c in report["cases"]:
+            for bk, ok in sorted((c.get("matches") or {}).items()):
+                if not ok:
+                    failures.append(f"{c['name']}: serial/{bk} numerics diverge")
         if args.baseline and args.update_baseline:
             write_report(report, args.baseline)
             print(f"[baseline updated: {args.baseline}]")
@@ -428,7 +453,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 report, load_report(args.baseline), args.max_regression
             )
         if args.min_speedup is not None:
-            failures += require_speedup(report, args.min_speedup)
+            failures += require_speedup(
+                report, args.min_speedup, backend=args.speedup_backend
+            )
         if args.max_replay_overhead is not None:
             failures += require_replay_overhead(report, args.max_replay_overhead)
         for failure in failures:

@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..runtime.index_space import IndexSpace
+from ..runtime.kernels import KernelBody
 from ..runtime.machine import ProcKind
 from ..runtime.partition import Partition
 from ..runtime.region import Privilege
@@ -344,9 +345,7 @@ class Planner:
 
     def copy(self, dst: int, src: int) -> None:
         """``dst ← src``."""
-        def body(ctx):
-            ctx[0].write(ctx[1].read())
-
+        body = KernelBody("copy")
         for d, s in self._pairs(dst, src):
             self._launch_pointwise(
                 "copy", d, [s], body, 0.0, 16.0, dst_privilege=Privilege.WRITE_DISCARD
@@ -358,9 +357,7 @@ class Planner:
             self._fill_component(d, value)
 
     def _fill_component(self, d: VectorComponent, value: float) -> None:
-        def body(ctx):
-            ctx[0].write(np.full(ctx[0].n_points, ctx.kwargs["value"]))
-
+        body = KernelBody("fill")
         part = d.partition
         for p in range(part.n_colors):
             launcher = TaskLauncher(
@@ -378,30 +375,21 @@ class Planner:
     def scal(self, dst: int, alpha: ScalarLike) -> None:
         """``dst ← α · dst``."""
         alpha = as_scalar(alpha)
-
-        def body(ctx):
-            ctx[0].write(ctx[0].read() * ctx.kwargs["alpha"])
-
+        body = KernelBody("scal")
         for d in self.vector(dst).components:
             self._launch_pointwise("scal", d, [], body, 1.0, 16.0, alpha=alpha)
 
     def axpy(self, dst: int, alpha: ScalarLike, src: int) -> None:
         """``dst ← dst + α · src``."""
         alpha = as_scalar(alpha)
-
-        def body(ctx):
-            ctx[0].write(ctx[0].read() + ctx.kwargs["alpha"] * ctx[1].read())
-
+        body = KernelBody("axpy")
         for d, s in self._pairs(dst, src):
             self._launch_pointwise("axpy", d, [s], body, 2.0, 24.0, alpha=alpha)
 
     def xpay(self, dst: int, alpha: ScalarLike, src: int) -> None:
         """``dst ← src + α · dst``."""
         alpha = as_scalar(alpha)
-
-        def body(ctx):
-            ctx[0].write(ctx[1].read() + ctx.kwargs["alpha"] * ctx[0].read())
-
+        body = KernelBody("xpay")
         for d, s in self._pairs(dst, src):
             self._launch_pointwise("xpay", d, [s], body, 2.0, 24.0, alpha=alpha)
 
@@ -416,13 +404,9 @@ class Planner:
         def make_point(idx: int) -> TaskLauncher:
             a, b, p = pieces[idx]
             piece = a.partition[p]
-
-            def body(ctx):
-                return float(np.dot(ctx[0].read(), ctx[1].read()))
-
             launcher = TaskLauncher(
                 name="dot_partial",
-                body=body,
+                body=KernelBody("dot_partial"),
                 proc_kind=self.proc_kind,
                 flops=2.0 * piece.volume,
                 bytes_touched=16.0 * piece.volume,
@@ -579,18 +563,10 @@ class Planner:
             return
 
         if exclusive:
-
-            def body(ctx):
-                # ctx[0]: matrix entries (read, drives matrix-piece
-                # movement); ctx[1]: input vector piece; ctx[2]: output.
-                ctx[2].write(kernel(ctx[1].read()))
-
+            body = KernelBody("spmv_exclusive", payload=kernel)
             out_priv = Privilege.WRITE_DISCARD
         else:
-
-            def body(ctx):
-                ctx[2].reduce_add(kernel(ctx[1].read()))
-
+            body = KernelBody("spmv_reduce", payload=kernel)
             out_priv = Privilege.REDUCE
 
         launcher = TaskLauncher(

@@ -207,12 +207,14 @@ class KrylovSolver(ABC):
         tracing on any structural mismatch."""
         self.planner.runtime.attach_plan(plan)
 
-    def compile(self, warmup: int = 2):
+    def compile(self, warmup: int = 2, fuse: bool = False):
         """Capture ``warmup`` live iterations of *this* solver, compile
         them into a :class:`~repro.replay.compiler.CompiledPlan`, and
         attach it, so every subsequent iteration replays.  The warmup
         steps execute for real (they advance the solve); only their task
-        stream is additionally recorded."""
+        stream is additionally recorded.  ``fuse=True`` additionally runs
+        the compiler's fusion pass, so replayed per-piece kernel chains
+        are dispatched as coarse fused tasks."""
         from ...analyze.plan import attach_plan_capture
         from ...replay.compiler import compile_plan
 
@@ -229,6 +231,7 @@ class KrylovSolver(ABC):
                 boundaries,
                 n_devices=runtime.machine.n_devices,
                 source="live",
+                fuse=fuse,
             )
         finally:
             runtime.engine.observers.remove(cap)

@@ -138,19 +138,46 @@ class FaultInjector(TaskExecutor):
                     self.metrics.counter(f"fault:{spec.kind}").inc()
         return events
 
+    def _arm(
+        self, record: TaskRecord, thunk: Callable[[], object]
+    ) -> Callable[[], object]:
+        """Match + schedule faults for one task; returns the (possibly
+        wrapped) thunk.  Backends that execute bodies out-of-process
+        advertise a ``fault_directives`` mailbox: injected behaviour
+        cannot run as a closure there, so the events are deposited for
+        the backend to apply around the worker-side execution (stall
+        sleeps + corruption on the shared store), keeping the thunk
+        portable.  Fatal crashes still wrap the thunk — the backend runs
+        wrapped bodies in-parent, which is exactly where the failure
+        must surface for recovery to observe it."""
+        events = self._match(record)
+        if not events:
+            return thunk
+        for event in events:
+            self._note(f"fault:{event.kind}:{event.task_name}", record)
+        directives = getattr(self.inner, "fault_directives", None)
+        if directives is not None:
+            directives[record.task_id] = (events, self)
+            return thunk
+        return self._wrap(record, thunk, events)
+
     def submit(
         self,
         record: TaskRecord,
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
+        invocation=None,
     ) -> None:
-        events = self._match(record)
-        if events:
-            for event in events:
-                self._note(f"fault:{event.kind}:{event.task_name}", record)
-            thunk = self._wrap(record, thunk, events)
-        self.inner.submit(record, thunk, on_done, deps)
+        thunk = self._arm(record, thunk)
+        self.inner.submit(record, thunk, on_done, deps, invocation=invocation)
+
+    def submit_fused(self, parts, invocations=None) -> None:
+        armed = [
+            (record, self._arm(record, thunk), on_done, deps)
+            for record, thunk, on_done, deps in parts
+        ]
+        self.inner.submit_fused(armed, invocations)
 
     def _note(self, name: str, record: TaskRecord) -> None:
         if self.engine is not None:

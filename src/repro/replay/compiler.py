@@ -130,6 +130,10 @@ class CompiledPlan:
     #: docstring for why this is safe).
     n_dropped_deps: int
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Fusable position groups from :func:`~repro.analyze.fusion.fuse_window`
+    #: (empty unless compiled with ``fuse=True``).  Backends may execute
+    #: each group as one coarse node running members in launch order.
+    fusion_groups: Tuple[Tuple[int, ...], ...] = ()
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -137,11 +141,17 @@ class CompiledPlan:
     def describe(self) -> str:
         n_intra = sum(len(t.intra_deps) for t in self.tasks)
         n_carried = sum(len(t.carried_deps) for t in self.tasks)
+        fused = sum(len(g) for g in self.fusion_groups)
         lines = [
             f"CompiledPlan[{self.structure_hash[:12]}]: {len(self.tasks)} "
             f"tasks/iteration, {n_intra} intra + {n_carried} carried edges "
             f"({self.n_dropped_deps} dropped), {self.n_devices} device(s), "
             f"source={self.source}"
+            + (
+                f", {len(self.fusion_groups)} fusion group(s) over {fused} tasks"
+                if self.fusion_groups
+                else ""
+            )
         ]
         for t in self.tasks:
             deps = ",".join(str(d) for d in t.intra_deps)
@@ -212,6 +222,7 @@ def compile_plan(
     *,
     n_devices: int,
     source: str = "symbolic",
+    fuse: bool = False,
 ) -> CompiledPlan:
     """Lower ``plan`` to a :class:`CompiledPlan`.
 
@@ -281,6 +292,12 @@ def compile_plan(
             )
         )
 
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    if fuse:
+        from ..analyze.fusion import fuse_window
+
+        groups = fuse_window(window)
+
     digest = hashlib.sha256(
         repr([t.signature for t in compiled]).encode()
     ).hexdigest()
@@ -292,6 +309,7 @@ def compile_plan(
         n_dropped_deps=n_dropped,
         meta={"window": w, "captured_windows": len(bounds) - 1,
               "captured_tasks": len(plan.order)},
+        fusion_groups=groups,
     )
 
 
@@ -301,6 +319,7 @@ def compile_solver_program(
     machine: Optional["Machine"] = None,
     mapper: Optional["Mapper"] = None,
     warmup: int = 2,
+    fuse: bool = False,
 ) -> CompiledPlan:
     """Capture ``factory(runtime) -> solver`` symbolically and compile
     its steady-state iteration.
@@ -327,4 +346,5 @@ def compile_solver_program(
         boundaries,
         n_devices=runtime.machine.n_devices,
         source="symbolic",
+        fuse=fuse,
     )

@@ -45,11 +45,23 @@ import os
 import tempfile
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from .kernels import TaskInvocation, fused_label
 from .task import TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .region import RegionStore
     from .subset import Subset
 
 __all__ = [
@@ -69,12 +81,12 @@ __all__ = [
 ]
 
 #: Names accepted by the ``backend=`` switch.
-BACKENDS = ("serial", "threads", "capture")
+BACKENDS = ("serial", "threads", "procs", "capture")
 
 #: Backends that actually execute task bodies and materialize region
 #: data ("capture" records the plan without running anything, so it is
 #: meaningless to benchmark or compare numerics on).
-EXECUTING_BACKENDS = ("serial", "threads")
+EXECUTING_BACKENDS = ("serial", "threads", "procs")
 
 #: Environment variables overriding the runtime's defaults.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -108,8 +120,14 @@ def default_jobs() -> Optional[int]:
         return None
 
 
-def make_executor(backend: Optional[str] = None, jobs: Optional[int] = None) -> "TaskExecutor":
-    """Build an executor by backend name (env-overridable defaults)."""
+def make_executor(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    store: "Optional[RegionStore]" = None,
+) -> "TaskExecutor":
+    """Build an executor by backend name (env-overridable defaults).
+    ``store`` is required by the process-pool backend, which must know
+    the shared-memory descriptors of the region instances it ships."""
     if backend is None:
         backend = default_backend()
     backend = backend.strip().lower()
@@ -119,6 +137,10 @@ def make_executor(backend: Optional[str] = None, jobs: Optional[int] = None) -> 
         return SerialExecutor()
     if backend == "threads":
         return ThreadedExecutor(n_workers=jobs)
+    if backend == "procs":
+        from .procpool import ProcPoolExecutor
+
+        return ProcPoolExecutor(n_workers=jobs, store=store)
     if backend == "capture":
         return CaptureExecutor()
     raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
@@ -157,18 +179,44 @@ class TaskExecutor:
     #: None by default — the zero-overhead path.
     probe: Optional[TaskProbe] = None
 
+    #: True for backends that want the runtime to derive a portable
+    #: :class:`~repro.runtime.kernels.TaskInvocation` per launch (the
+    #: process-pool backend); the in-process backends skip that work.
+    wants_invocations: bool = False
+
     def submit(
         self,
         record: TaskRecord,
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         """Enqueue one task.  ``deps`` are engine task ids that must
         complete before the thunk may run; ids the executor has never
         seen (tasks executed before this executor attached, or purely
-        simulated ones) are treated as already complete."""
+        simulated ones) are treated as already complete.  ``invocation``
+        is the task's portable body description when the backend asked
+        for one via :attr:`wants_invocations` (ignored otherwise)."""
         raise NotImplementedError
+
+    def submit_fused(
+        self,
+        parts: Sequence[
+            Tuple[TaskRecord, Callable[[], object], Callable[[object], None], Set[int]]
+        ],
+        invocations: Optional[Sequence[Optional[TaskInvocation]]] = None,
+    ) -> None:
+        """Enqueue a plan-fused group of tasks as one scheduling unit.
+
+        The members run in launch order inside a single dispatch, so the
+        numerics are bitwise those of submitting them individually; the
+        default simply does that (correct for every backend), and
+        deferred backends override it to build one coarse node."""
+        if invocations is None:
+            invocations = [None] * len(parts)
+        for (record, thunk, on_done, deps), inv in zip(parts, invocations):
+            self.submit(record, thunk, on_done, deps, invocation=inv)
 
     def wait_for_future(self, future_uid: int) -> None:
         """Block until the task producing ``future_uid`` has executed.
@@ -199,6 +247,7 @@ class SerialExecutor(TaskExecutor):
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         probe = self.probe
         if probe is None:
@@ -272,6 +321,7 @@ class CaptureExecutor(TaskExecutor):
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         self.n_captured += 1
         on_done(SymbolicValue(record.task_id, record.name))
@@ -291,7 +341,16 @@ class _Node:
     pending map once the body and its completion bookkeeping finish.
     """
 
-    __slots__ = ("task_id", "name", "thunk", "on_done", "waiting_on", "dependents", "claimed")
+    __slots__ = (
+        "task_id",
+        "name",
+        "thunk",
+        "on_done",
+        "waiting_on",
+        "dependents",
+        "claimed",
+        "members",
+    )
 
     def __init__(
         self,
@@ -307,6 +366,8 @@ class _Node:
         self.waiting_on: Set[int] = set()
         self.dependents: List[int] = []
         self.claimed = False
+        #: Member records of a plan-fused node, else None.
+        self.members: Optional[List[TaskRecord]] = None
 
 
 _current_task = threading.local()
@@ -330,6 +391,9 @@ class ThreadedExecutor(TaskExecutor):
         self._ready: List[int] = []  # ready, unclaimed task ids (FIFO)
         self._completed: Set[int] = set()
         self._by_future: Dict[int, int] = {}
+        #: Fused-member task id -> owning node id, so dependences named
+        #: against a member resolve to the node that subsumed it.
+        self._alias: Dict[int, int] = {}
         self._first_error: Optional[BaseException] = None
         # Executor-only serialization of commuting reductions, per
         # (region uid, field): the last pending reducer per subset uid
@@ -342,10 +406,23 @@ class ThreadedExecutor(TaskExecutor):
         #: a task is fault-stalled (slow on purpose) or genuinely
         #: blocked.
         self.stall_monitor: Optional[Callable[[], Set[int]]] = None
+        # Dispatch statistics (surfaced via Runtime.dispatch_stats()).
+        self.n_dispatched = 0
+        self.n_fused_groups = 0
+        self.n_fused_members = 0
 
     @property
     def n_parallel(self) -> int:
         return self._n_workers
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "workers": self._n_workers,
+            "dispatched_tasks": self.n_dispatched,
+            "fused_groups": self.n_fused_groups,
+            "fused_member_tasks": self.n_fused_members,
+        }
 
     # -- dependence augmentation ------------------------------------------
 
@@ -359,13 +436,17 @@ class ThreadedExecutor(TaskExecutor):
             self._disjoint[key] = hit
         return not hit
 
-    def _reduction_edges(self, record: TaskRecord) -> Set[int]:
+    def _reduction_edges(self, record: TaskRecord, node_id: Optional[int] = None) -> Set[int]:
         """Same-redop reductions on overlapping subsets commute in the
         simulated timeline (the engine adds no edge) but must not run
         concurrently on shared memory; chaining them in launch order
-        also keeps floating-point results deterministic."""
+        also keeps floating-point results deterministic.  ``node_id``
+        overrides the recorded tail id so fused members chain through
+        the node that subsumed them."""
         from .region import Privilege
 
+        if node_id is None:
+            node_id = record.task_id
         extra: Set[int] = set()
         for req in record.requirements:
             if req.privilege is not Privilege.REDUCE:
@@ -375,7 +456,7 @@ class ThreadedExecutor(TaskExecutor):
                 for _uid, (subset, tid) in tail.items():
                     if self._overlaps(req.subset, subset):
                         extra.add(tid)
-                tail[req.subset.uid] = (req.subset, record.task_id)
+                tail[req.subset.uid] = (req.subset, node_id)
         return extra
 
     # -- scheduling --------------------------------------------------------
@@ -386,12 +467,54 @@ class ThreadedExecutor(TaskExecutor):
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         node = _Node(record.task_id, record.name, thunk, on_done)
+        self.n_dispatched += 1
+        self._submit_node(node, [(record, deps)])
+
+    def submit_fused(
+        self,
+        parts: Sequence[
+            Tuple[TaskRecord, Callable[[], object], Callable[[object], None], Set[int]]
+        ],
+        invocations: Optional[Sequence[Optional[TaskInvocation]]] = None,
+    ) -> None:
+        """One scheduling unit for a plan-fused group: the member bodies
+        (and their completions) run back-to-back in launch order inside
+        a single claimed node, so one dispatch / one GIL round-trip does
+        the NumPy work of the whole chain, bitwise identically."""
+        records = [p[0] for p in parts]
+
+        def fused_thunk() -> None:
+            for _record, thunk, on_done, _deps in parts:
+                on_done(thunk())
+
+        node = _Node(
+            records[0].task_id,
+            fused_label(tuple(r.name for r in records)),
+            fused_thunk,
+            lambda _value: None,
+        )
+        node.members = records
+        self.n_dispatched += len(parts)
+        self.n_fused_groups += 1
+        self.n_fused_members += len(parts)
+        self._submit_node(node, [(p[0], p[3]) for p in parts])
+
+    def _submit_node(
+        self, node: _Node, record_deps: Sequence[Tuple[TaskRecord, Set[int]]]
+    ) -> None:
+        member_ids = (
+            {r.task_id for r in node.members} if node.members is not None else set()
+        )
         with self._lock:
-            wanted = set(deps) | self._reduction_edges(record)
+            wanted: Set[int] = set()
+            for record, deps in record_deps:
+                wanted |= set(deps) | self._reduction_edges(record, node.task_id)
             for dep in wanted:
-                if dep == record.task_id or dep in self._completed:
+                dep = self._alias.get(dep, dep)
+                if dep == node.task_id or dep in member_ids or dep in self._completed:
                     continue
                 parent = self._pending.get(dep)
                 if parent is None:
@@ -399,20 +522,23 @@ class ThreadedExecutor(TaskExecutor):
                     # simulated): treat as complete.
                     continue
                 node.waiting_on.add(dep)
-                parent.dependents.append(record.task_id)
-            self._pending[record.task_id] = node
-            if record.future_uid is not None:
-                self._by_future[record.future_uid] = record.task_id
+                parent.dependents.append(node.task_id)
+            self._pending[node.task_id] = node
+            for record, _deps in record_deps:
+                if record.task_id != node.task_id:
+                    self._alias[record.task_id] = node.task_id
+                if record.future_uid is not None:
+                    self._by_future[record.future_uid] = node.task_id
             ready = not node.waiting_on
             if ready:
-                self._ready.append(record.task_id)
+                self._ready.append(node.task_id)
             probe = self.probe
             if probe is not None:
                 # Inside the lock so the submit event precedes any
                 # worker's start event for this task (the probe's own
                 # lock never acquires the executor lock).
                 probe.task_submitted(
-                    record.task_id, record.name, len(self._pending), len(self._ready)
+                    node.task_id, node.name, len(self._pending), len(self._ready)
                 )
         if ready:
             self._pool.submit(self._worker_tick)
@@ -461,6 +587,8 @@ class ThreadedExecutor(TaskExecutor):
         n_unblocked = 0
         with self._lock:
             self._completed.add(node.task_id)
+            if node.members is not None:
+                self._completed.update(r.task_id for r in node.members)
             del self._pending[node.task_id]
             if error is not None and self._first_error is None:
                 self._first_error = error
@@ -529,16 +657,21 @@ class ThreadedExecutor(TaskExecutor):
             node = self._pending.get(tid)
             if node is None:
                 continue
-            nodes.append(
-                {
-                    "task_id": node.task_id,
-                    "name": node.name,
-                    "claimed": node.claimed,
-                    "ready": tid in self._ready,
-                    "waiting_on": sorted(node.waiting_on),
-                    "dependents": sorted(node.dependents),
-                }
-            )
+            entry = {
+                "task_id": node.task_id,
+                "name": node.name,
+                "claimed": node.claimed,
+                "ready": tid in self._ready,
+                "waiting_on": sorted(node.waiting_on),
+                "dependents": sorted(node.dependents),
+            }
+            if node.members is not None:
+                # Fusion must not cost debuggability: list which original
+                # tasks this fused node contains.
+                entry["fused"] = [
+                    {"task_id": r.task_id, "name": r.name} for r in node.members
+                ]
+            nodes.append(entry)
         payload = {
             "schema": "repro-deadlock/1",
             "reason": reason,

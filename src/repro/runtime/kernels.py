@@ -1,0 +1,159 @@
+"""Portable task-body kernels.
+
+Historically every planner operation defined its task body as an inline
+closure, which works for in-process backends (the closure simply runs)
+but cannot cross a process boundary: closures do not pickle.  This
+module is the single source of truth for the library's task bodies,
+expressed as *named module-level kernels*:
+
+``kernel(ctx, payload) -> value``
+
+where ``ctx`` is the usual :class:`~repro.runtime.task.TaskContext`
+(accessors + kwargs) and ``payload`` is an optional picklable object
+closed over at launch time (e.g. the
+:class:`~repro.sparse.base.PieceKernel` of an SpMV piece).
+
+:class:`KernelBody` wraps a registry name + payload as an ordinary
+callable, so in-process backends (serial/threads) execute the exact same
+NumPy expressions as before — numerics stay bitwise identical — while
+the process-pool backend recognizes the body as *portable* and ships a
+:class:`TaskInvocation` (name + payload + kwargs) to a worker instead of
+the closure.  Workers resolve the name against the same registry, so
+there is exactly one definition of every kernel in the codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KERNEL_REGISTRY", "KernelBody", "TaskInvocation", "register_kernel"]
+
+#: name -> kernel(ctx, payload).  Module-level functions only, so every
+#: entry is importable (and therefore resolvable) in a worker process.
+KERNEL_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_kernel(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a module-level task-body kernel under ``name``."""
+
+    def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in KERNEL_REGISTRY:
+            raise ValueError(f"kernel {name!r} is already registered")
+        KERNEL_REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+class KernelBody:
+    """A task body that names a registry kernel instead of closing over
+    it.  Calling it runs the kernel in-process (serial/threads/capture
+    behave exactly as with an inline closure); the process-pool backend
+    instead derives a :class:`TaskInvocation` and runs the same kernel
+    in a worker."""
+
+    __slots__ = ("kernel", "payload")
+
+    def __init__(self, kernel: str, payload: Any = None):
+        if kernel not in KERNEL_REGISTRY:
+            raise KeyError(f"unknown kernel {kernel!r}; known: {sorted(KERNEL_REGISTRY)}")
+        self.kernel = kernel
+        self.payload = payload
+
+    def __call__(self, ctx: Any) -> Any:
+        return KERNEL_REGISTRY[self.kernel](ctx, self.payload)
+
+    def __repr__(self) -> str:
+        return f"KernelBody({self.kernel!r})"
+
+
+class TaskInvocation:
+    """The portable description of one task body execution: a registry
+    kernel name, its launch-time payload, and the launcher kwargs.  The
+    region requirements travel separately on the
+    :class:`~repro.runtime.task.TaskRecord`."""
+
+    __slots__ = ("kernel", "payload", "kwargs", "point")
+
+    def __init__(
+        self,
+        kernel: str,
+        payload: Any = None,
+        kwargs: Optional[Dict[str, Any]] = None,
+        point: Optional[int] = None,
+    ):
+        self.kernel = kernel
+        self.payload = payload
+        self.kwargs = dict(kwargs) if kwargs else {}
+        self.point = point
+
+    def __repr__(self) -> str:
+        return f"TaskInvocation({self.kernel!r}, point={self.point})"
+
+
+# ---------------------------------------------------------------------------
+# The library's kernel set.  Bodies must keep the exact NumPy expressions
+# of the historical inline closures: the serial-vs-threads-vs-procs
+# bitwise equivalence matrix depends on it.
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("copy")
+def _k_copy(ctx: Any, payload: Any) -> None:
+    ctx[0].write(ctx[1].read())
+
+
+@register_kernel("fill")
+def _k_fill(ctx: Any, payload: Any) -> None:
+    ctx[0].write(np.full(ctx[0].n_points, ctx.kwargs["value"]))
+
+
+@register_kernel("scal")
+def _k_scal(ctx: Any, payload: Any) -> None:
+    ctx[0].write(ctx[0].read() * ctx.kwargs["alpha"])
+
+
+@register_kernel("axpy")
+def _k_axpy(ctx: Any, payload: Any) -> None:
+    ctx[0].write(ctx[0].read() + ctx.kwargs["alpha"] * ctx[1].read())
+
+
+@register_kernel("xpay")
+def _k_xpay(ctx: Any, payload: Any) -> None:
+    ctx[0].write(ctx[1].read() + ctx.kwargs["alpha"] * ctx[0].read())
+
+
+@register_kernel("dot_partial")
+def _k_dot_partial(ctx: Any, payload: Any) -> float:
+    return float(np.dot(ctx[0].read(), ctx[1].read()))
+
+
+@register_kernel("spmv_exclusive")
+def _k_spmv_exclusive(ctx: Any, payload: Any) -> None:
+    # ctx[0]: matrix entries (read, drives matrix-piece movement);
+    # ctx[1]: input vector piece; ctx[2]: output.
+    ctx[2].write(payload(ctx[1].read()))
+
+
+@register_kernel("spmv_reduce")
+def _k_spmv_reduce(ctx: Any, payload: Any) -> None:
+    ctx[2].reduce_add(payload(ctx[1].read()))
+
+
+def invocation_for(launcher: Any, point: Optional[int]) -> Optional[TaskInvocation]:
+    """The portable invocation of a launcher whose body is a
+    :class:`KernelBody`, else None (the body stays an opaque closure and
+    a process-pool backend must fall back to in-parent execution)."""
+    body = launcher.body
+    if not isinstance(body, KernelBody):
+        return None
+    return TaskInvocation(body.kernel, body.payload, launcher.kwargs, point=point)
+
+
+def fused_label(names: Tuple[str, ...]) -> str:
+    """Display name of a fused task composed of the given member names."""
+    if not names:
+        return "fused[]"
+    return f"fused[{'+'.join(names)}]"

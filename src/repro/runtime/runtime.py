@@ -33,9 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..replay.compiler import CompiledPlan
     from ..replay.session import ReplaySession
 
+import heapq
+
 from .engine import Engine
 from .executor import TaskExecutor, make_executor
 from .future import Future
+from .kernels import TaskInvocation, invocation_for
 from .index_space import IndexSpace
 from .machine import Machine, ProcKind
 from .mapper import Mapper, RoundRobinMapper
@@ -78,16 +81,26 @@ class Runtime:
     ):
         self.machine = machine if machine is not None else Machine(n_nodes=1)
         self.mapper = mapper if mapper is not None else RoundRobinMapper(self.machine)
-        self.store = RegionStore()
+        #: Execution backend: "serial" | "threads" | "procs" | "capture"
+        #: (default from ``REPRO_BACKEND``, falling back to serial);
+        #: ``jobs`` caps the worker count (default ``REPRO_JOBS`` or the
+        #: CPU count).  Under "capture" task bodies never run — futures
+        #: resolve to :class:`~repro.runtime.executor.SymbolicValue`s and
+        #: the task stream is recordable via ``repro.analyze``.  The
+        #: "procs" backend needs region payloads in shared memory, so the
+        #: store flavour is chosen by the resolved backend name.
+        from .executor import default_backend
+
+        resolved = backend.strip().lower() if backend else default_backend()
+        if resolved == "procs":
+            from .procpool import SharedRegionStore
+
+            self.store: RegionStore = SharedRegionStore()
+        else:
+            self.store = RegionStore()
         self.engine = Engine(self.machine, self.mapper, keep_timeline=keep_timeline)
         self.enable_tracing = enable_tracing
-        #: Execution backend: "serial" | "threads" | "capture" (default
-        #: from ``REPRO_BACKEND``, falling back to serial); ``jobs`` caps
-        #: the worker count (default ``REPRO_JOBS`` or the CPU count).
-        #: Under "capture" task bodies never run — futures resolve to
-        #: :class:`~repro.runtime.executor.SymbolicValue`s and the task
-        #: stream is recordable via ``repro.analyze``.
-        executor: TaskExecutor = make_executor(backend, jobs)
+        executor: TaskExecutor = make_executor(resolved, jobs, store=self.store)
         #: Fault injection (``faults=``): ``None`` reads the
         #: ``REPRO_FAULTS``/``REPRO_FAULT_SEED`` environment variables,
         #: ``False`` disables injection unconditionally, a plan string or
@@ -120,10 +133,25 @@ class Runtime:
         self.executor: TaskExecutor = executor
         self.backend = self.executor.name
         self._deferred = self.backend != "serial"
+        # Does the (innermost) backend want portable TaskInvocations?
+        # Decorators like the fault injector forward them untouched.
+        inner: TaskExecutor = executor
+        while getattr(inner, "inner", None) is not None:
+            inner = inner.inner  # type: ignore[attr-defined]
+        self._wants_invocations = bool(getattr(inner, "wants_invocations", False))
         if self.obs.enabled:
             self._attach_observability()
         self._traces: Dict[Any, _TraceState] = {}
         self._active_trace: Optional[_TraceState] = None
+        # Plan-driven task fusion: window positions grouped by the
+        # compiler's fusion pass are buffered at launch and submitted as
+        # coarse fused nodes (see attach_plan / _flush_fused).
+        self._fuse_group_of: Dict[int, int] = {}
+        self._fuse_last_pos: Set[int] = set()
+        self._fuse_buffers: Dict[int, List[Tuple[TaskRecord, Callable[[], object], Future, Set[int], Any]]] = {}
+        self._buffered_ids: Set[int] = set()
+        self._fused_groups = 0
+        self._fused_tasks = 0
         #: Compiled-plan replay (``plan=``): attach a
         #: :class:`~repro.replay.compiler.CompiledPlan` so iteration
         #: windows opened via :meth:`begin_iteration` replay the frozen
@@ -298,6 +326,13 @@ class Runtime:
 
         self._replay = ReplaySession(plan, self)
         self._replay_open = False
+        groups = getattr(plan, "fusion_groups", ()) or ()
+        self._fuse_group_of = {
+            pos: gi for gi, group in enumerate(groups) for pos in group
+        }
+        self._fuse_last_pos = {group[-1] for group in groups}
+        self._fuse_buffers = {}
+        self._buffered_ids = set()
         return self._replay
 
     @property
@@ -314,6 +349,7 @@ class Runtime:
         self.begin_trace(trace_id)
 
     def end_iteration(self, trace_id: Any) -> None:
+        self._flush_fused()
         if self._replay_open:
             self._replay_open = False
             assert self._replay is not None
@@ -327,6 +363,7 @@ class Runtime:
         region state is rebuilt by fresh launches, so the conservative
         choice is to stay in fresh-launch mode — and invalidates the
         active dynamic trace (a no-op when none is active)."""
+        self._flush_fused()
         self._replay_open = False
         if self._replay is not None:
             self._replay.abort()
@@ -347,18 +384,32 @@ class Runtime:
             else 0.0
         )
         stats: Dict[str, Any] = {
+            "backend": self.backend,
             "fresh_tasks": self._dispatch_fresh_n,
             "fresh_ns_per_task": fresh_per,
             "replayed_tasks": self._dispatch_replay_n,
             "replay_ns_per_task": replay_per,
             "overhead_ratio": (replay_per / fresh_per) if fresh_per > 0 else None,
+            "fused_groups": self._fused_groups,
+            "fused_tasks": self._fused_tasks,
         }
         if self._replay is not None:
             stats["session"] = self._replay.stats()
+        inner: TaskExecutor = self.executor
+        while getattr(inner, "inner", None) is not None:
+            inner = inner.inner  # type: ignore[attr-defined]
+        exec_stats = getattr(inner, "stats", None)
+        if callable(exec_stats):
+            stats["executor"] = exec_stats()
         if self.obs.enabled:
             m = self.obs.metrics
             m.gauge("replay.fresh_ns_per_task").set(fresh_per)
             m.gauge("replay.replay_ns_per_task").set(replay_per)
+            m.gauge("dispatch.fused_groups").set(float(self._fused_groups))
+            m.gauge("dispatch.fused_tasks").set(float(self._fused_tasks))
+            for key, val in (stats.get("executor") or {}).items():
+                if isinstance(val, (int, float)):
+                    m.gauge(f"dispatch.{key}").set(float(val))
             if self._replay is not None:
                 m.gauge("replay.windows_replayed").set(float(self._replay.windows_replayed))
                 m.gauge("replay.tasks_replayed").set(float(self._replay.tasks_replayed))
@@ -395,11 +446,16 @@ class Runtime:
             irregular=launcher.irregular,
             slots=tuple(sorted(launcher.kwargs)),
         )
-        self._launch(record, lambda: launcher.body(ctx), future)
+        invocation = invocation_for(launcher, point) if self._wants_invocations else None
+        self._launch(record, lambda: launcher.body(ctx), future, invocation)
         return future
 
     def _launch(
-        self, record: TaskRecord, thunk: Callable[[], object], future: Future
+        self,
+        record: TaskRecord,
+        thunk: Callable[[], object],
+        future: Future,
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         """The single dispatch path: replay the attached plan when the
         open window still matches, else fresh dependence analysis.  The
@@ -415,6 +471,26 @@ class Runtime:
                     device_id, rdeps = mapped
                     self.engine.replay_task(record, device_id, rdeps)
                     deps = rdeps
+                    if self._fuse_group_of:
+                        # Window position of this launch (the session's
+                        # cursor already advanced past it).
+                        pos = session.cursor - 1
+                        gi = self._fuse_group_of.get(pos)
+                        if gi is not None:
+                            self._fuse_buffers.setdefault(gi, []).append(
+                                (record, thunk, future, deps, invocation)
+                            )
+                            self._buffered_ids.add(record.task_id)
+                            self._dispatch_replay_ns += time.perf_counter_ns() - t0
+                            self._dispatch_replay_n += 1
+                            if pos in self._fuse_last_pos:
+                                self._flush_fused()
+                            return
+                        if self._buffered_ids and not deps.isdisjoint(self._buffered_ids):
+                            # A non-member depends on buffered work;
+                            # executors treat ids they have never seen as
+                            # satisfied, so the buffers must go first.
+                            self._flush_fused()
             if deps is None:
                 # Fresh launch alongside a live session: make sure no
                 # replayed task is still in flight (its region effects
@@ -431,7 +507,7 @@ class Runtime:
         else:
             self._dispatch_replay_ns += time.perf_counter_ns() - t0
             self._dispatch_replay_n += 1
-        self._submit(record, thunk, future, deps)
+        self._submit(record, thunk, future, deps, invocation)
 
     def _submit(
         self,
@@ -439,6 +515,7 @@ class Runtime:
         thunk: Callable[[], object],
         future: Future,
         deps: Set[int],
+        invocation: Optional[TaskInvocation] = None,
     ) -> None:
         if self._deferred:
             future._waiter = self.executor
@@ -448,7 +525,69 @@ class Runtime:
         ) -> None:
             _future.set(value, producer_id=_tid)
 
-        self.executor.submit(record, thunk, on_done, deps)
+        self.executor.submit(record, thunk, on_done, deps, invocation=invocation)
+
+    def _flush_fused(self) -> None:
+        """Submit every buffered fusion group as one coarse node per
+        group (members run back-to-back in launch order).  Groups are
+        submitted in topological order of their cross-group dependences
+        — executors treat dependence ids they have never seen as already
+        satisfied, so a group must land after everything it waits on."""
+        if not self._buffered_ids:
+            return
+        batches = [buf for buf in self._fuse_buffers.values() if buf]
+        self._fuse_buffers = {}
+        self._buffered_ids = set()
+
+        owner: Dict[int, int] = {}
+        for k, batch in enumerate(batches):
+            for record, _t, _f, _d, _i in batch:
+                owner[record.task_id] = k
+        firsts = [batch[0][0].task_id for batch in batches]
+        out_edges: List[Set[int]] = [set() for _ in batches]
+        indeg = [0] * len(batches)
+        for k, batch in enumerate(batches):
+            for _r, _t, _f, deps, _i in batch:
+                for dep in deps:
+                    j = owner.get(dep)
+                    if j is not None and j != k and k not in out_edges[j]:
+                        out_edges[j].add(k)
+                        indeg[k] += 1
+        ready = [(firsts[k], k) for k in range(len(batches)) if indeg[k] == 0]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            _, k = heapq.heappop(ready)
+            order.append(k)
+            for m in out_edges[k]:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    heapq.heappush(ready, (firsts[m], m))
+        if len(order) != len(batches):  # pragma: no cover - fusion pass keeps this acyclic
+            order = sorted(range(len(batches)), key=lambda k: firsts[k])
+
+        for k in order:
+            batch = batches[k]
+            if len(batch) == 1:
+                record, thunk, future, deps, inv = batch[0]
+                self._submit(record, thunk, future, deps, inv)
+                continue
+            parts = []
+            invs = []
+            for record, thunk, future, deps, inv in batch:
+                if self._deferred:
+                    future._waiter = self.executor
+
+                def on_done(
+                    value: object, _future: Future = future, _tid: int = record.task_id
+                ) -> None:
+                    _future.set(value, producer_id=_tid)
+
+                parts.append((record, thunk, on_done, deps))
+                invs.append(inv)
+            self.executor.submit_fused(parts, invs)
+            self._fused_groups += 1
+            self._fused_tasks += len(batch)
 
     def execute_index(self, launcher: IndexLauncher) -> List[Future]:
         """Launch one point task per color (Legion index launch)."""
@@ -493,6 +632,7 @@ class Runtime:
         when this returns.  Unlike :meth:`fence`, this does not touch
         the simulated timeline — it is the Python-level synchronization
         used before inspecting raw region data."""
+        self._flush_fused()
         self.executor.drain()
 
     def fence(self) -> float:
@@ -501,6 +641,7 @@ class Runtime:
         bulk-synchronous baseline style is expressed in the task model —
         and what task-based applications get to *omit* (paper P1).
         Also drains the execution backend."""
+        self._flush_fused()
         self.executor.drain()
         return self.engine.barrier()
 

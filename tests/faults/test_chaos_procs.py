@@ -1,0 +1,34 @@
+"""Chaos under the process-pool backend.
+
+The default chaos plan (crash + stall + corruption) must behave under
+``backend="procs"`` exactly as under serial: every fault detected, the
+solve recovered to the fault-free bits, and the recovery *trace* —
+which fault fired where and how it was handled — identical, for both
+crash policies (transparent retry and checkpoint rollback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import RESIDUAL_MATCH_TOL, run_chaos
+
+
+@pytest.mark.parametrize("policy", ["retry", "rollback"])
+class TestChaosUnderProcs:
+    def test_recovers_to_fault_free_bits(self, policy):
+        report = run_chaos("fig8-cg", seed=3, backend="procs", crash_policy=policy)
+        assert report.ok, report.summary()
+        assert report.n_injected >= 1
+        assert report.n_detected == report.n_injected
+        assert report.n_unrecovered == 0
+        assert report.converged
+        assert (
+            report.residual_diff <= RESIDUAL_MATCH_TOL
+            or report.residual <= 100.0 * report.tolerance
+        )
+
+    def test_trace_and_bits_match_serial_chaos(self, policy):
+        ref = run_chaos("fig8-cg", seed=3, backend="serial", crash_policy=policy)
+        rep = run_chaos("fig8-cg", seed=3, backend="procs", crash_policy=policy)
+        assert rep.trace() == ref.trace()
+        assert np.array_equal(rep.x, ref.x)

@@ -1,0 +1,193 @@
+"""The plan-driven fusion pass.
+
+Properties under test, on captured steady-state CG windows (the
+op-major launch order makes per-piece chains *strided*, so the halo
+case is adversarial, not convenient):
+
+* group well-formedness — sorted, disjoint, size >= 2, single
+  (device, point) per group, never a host task, never a REDUCE holder;
+* safety — no group spans tasks of different pieces that the static
+  checkers flag as interfering, and the contracted (cluster) graph over
+  engine + interference edges stays acyclic, so fused nodes can always
+  become ready;
+* equivalence — a fused replay produces bitwise the histories and bits
+  of the unfused fresh-launch serial reference on every backend, while
+  actually fusing (``dispatch_stats`` counts groups).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analyze import attach_plan_capture, static_interference_edges
+from repro.analyze.fusion import fuse_window, window_subgraph
+from repro.core.planner import SOL
+from repro.replay import compile_solver_program
+from repro.runtime import Runtime
+
+from .conftest import ITERATIONS, make_solver, reference_for
+
+BACKENDS = ("serial", "threads", "procs")
+
+_FUSED_PLANS = {}
+
+
+def fused_plan_for(solver="cg", fmt="csr", pieces=3):
+    key = (solver, fmt, pieces)
+    if key not in _FUSED_PLANS:
+        _FUSED_PLANS[key] = compile_solver_program(
+            lambda rt: make_solver(rt, solver, fmt, pieces=pieces), fuse=True
+        )
+    return _FUSED_PLANS[key]
+
+
+def captured_window(solver="cg", fmt="csr", pieces=3):
+    """The last steady-state window of a symbolic capture, as PlanTasks."""
+    rt = Runtime(backend="capture")
+    cap = attach_plan_capture(rt)
+    ksm = make_solver(rt, solver, fmt, pieces=pieces)
+    boundaries = [len(cap.plan.order)]
+    for _ in range(2):
+        ksm.step()
+        boundaries.append(len(cap.plan.order))
+    in_order = [cap.plan.tasks[tid] for tid in cap.plan.order]
+    return in_order[boundaries[-2]: boundaries[-1]]
+
+
+class TestGroupWellFormedness:
+    def test_unfused_compile_has_no_groups(self):
+        plan = compile_solver_program(
+            lambda rt: make_solver(rt, "cg", "csr", pieces=3)
+        )
+        assert plan.fusion_groups == ()
+
+    def test_fused_compile_finds_groups(self):
+        plan = fused_plan_for()
+        assert len(plan.fusion_groups) > 0
+        assert "fusion group" in plan.describe()
+
+    def test_groups_are_sorted_disjoint_and_nontrivial(self):
+        plan = fused_plan_for()
+        seen = set()
+        for group in plan.fusion_groups:
+            assert len(group) >= 2, group
+            assert list(group) == sorted(group), group
+            assert not (set(group) & seen), group
+            seen |= set(group)
+            assert all(0 <= pos < len(plan.tasks) for pos in group)
+
+    def test_members_share_device_and_point(self):
+        plan = fused_plan_for()
+        for group in plan.fusion_groups:
+            members = [plan.tasks[pos] for pos in group]
+            assert len({t.device_id for t in members}) == 1, group
+            assert len({t.point for t in members}) == 1, group
+            # Host tasks (point None) are flush boundaries, never members.
+            assert all(t.point is not None for t in members), group
+
+    def test_no_member_holds_a_reduce_requirement(self):
+        # Executors serialize same-redop overlap by launch-order
+        # chaining; a reduce buried inside a coarse node would reorder
+        # that chain.  signature = (name, point, reqs, ...), one req
+        # tuple per requirement with the privilege name at index 3.
+        plan = fused_plan_for()
+        for group in plan.fusion_groups:
+            for pos in group:
+                reqs = plan.tasks[pos].signature[2]
+                assert reqs, (group, pos)
+                assert all(r[3] != "REDUCE" for r in reqs), (group, pos)
+
+
+class TestGroupSafety:
+    def test_never_merges_interfering_pieces(self):
+        window = captured_window(pieces=3)
+        groups = fuse_window(window)
+        assert groups
+        edges = static_interference_edges(window_subgraph(window))
+        # Halo exchange makes neighbouring pieces interfere; if this
+        # comes back empty the assertion below is vacuous.
+        cross = [
+            (i, j) for i, j in edges if window[i].point != window[j].point
+        ]
+        assert cross
+        group_of = {pos: gi for gi, g in enumerate(groups) for pos in g}
+        for i, j in cross:
+            gi, gj = group_of.get(i), group_of.get(j)
+            assert gi is None or gj is None or gi != gj, (i, j)
+
+    def test_contracted_graph_is_acyclic(self):
+        # Collapse each group to one cluster, orient engine +
+        # interference edges by launch order, and Kahn the result: a
+        # leftover node would be a fused-replay deadlock.
+        window = captured_window(pieces=3)
+        groups = fuse_window(window)
+        cluster_of = {pos: ("g", gi) for gi, g in enumerate(groups) for pos in g}
+        for pos in range(len(window)):
+            cluster_of.setdefault(pos, ("t", pos))
+
+        sub = window_subgraph(window)
+        pairs = {(min(i, j), max(i, j)) for i, j in static_interference_edges(sub)}
+        pos_of = {t.task_id: i for i, t in enumerate(window)}
+        for j, task in enumerate(window):
+            for dep in task.engine_deps:
+                i = pos_of.get(dep)
+                if i is not None:
+                    pairs.add((min(i, j), max(i, j)))
+
+        succs = {c: set() for c in set(cluster_of.values())}
+        indeg = {c: 0 for c in succs}
+        for i, j in pairs:
+            ci, cj = cluster_of[i], cluster_of[j]
+            if ci != cj and cj not in succs[ci]:
+                succs[ci].add(cj)
+                indeg[cj] += 1
+        ready = [c for c, d in indeg.items() if d == 0]
+        done = 0
+        while ready:
+            c = ready.pop()
+            done += 1
+            for nxt in succs[c]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        assert done == len(succs)
+
+    def test_single_piece_window_still_fuses(self):
+        window = captured_window(pieces=1)
+        groups = fuse_window(window)
+        assert groups
+        assert all(len(g) >= 2 for g in groups)
+
+
+class TestFusedReplayEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fused_replay_matches_unfused_serial_bitwise(self, backend):
+        ref_hist, ref_x = reference_for("cg", "csr", pieces=3)
+        plan = fused_plan_for()
+        rt = Runtime(backend=backend, plan=plan)
+        try:
+            ksm = make_solver(rt, "cg", "csr", pieces=3)
+            result = ksm.solve(tolerance=0.0, max_iterations=ITERATIONS)
+            rt.sync()
+            x = np.array(ksm.planner.get_array(SOL), copy=True)
+            stats = rt.dispatch_stats()
+            session = rt.replay_session
+        finally:
+            rt.executor.shutdown()
+        assert session.windows_replayed == ITERATIONS, backend
+        assert session.fallbacks == 0, backend
+        assert stats["fused_groups"] > 0, stats
+        assert stats["fused_tasks"] >= 2 * stats["fused_groups"], stats
+        assert list(result.measure_history) == ref_hist, backend
+        assert np.array_equal(x, ref_x), backend
+
+    def test_fused_threads_executor_counts_groups(self):
+        plan = fused_plan_for()
+        rt = Runtime(backend="threads", plan=plan)
+        try:
+            ksm = make_solver(rt, "cg", "csr", pieces=3)
+            ksm.solve(tolerance=0.0, max_iterations=ITERATIONS)
+            rt.sync()
+            stats = rt.dispatch_stats()["executor"]
+        finally:
+            rt.executor.shutdown()
+        assert stats["fused_groups"] > 0, stats
