@@ -1,6 +1,6 @@
 """Static plan analysis (the compile-time sibling of ``repro.verify``).
 
-Three cooperating layers:
+Five cooperating layers:
 
 * **Symbolic capture** (:mod:`repro.analyze.plan`) — run any program
   under ``Runtime(backend="capture")`` and record its full task stream
@@ -10,11 +10,20 @@ Three cooperating layers:
   hygiene, the §4 may-conflict interference analysis cross-validated as
   a superset of the engine's dynamic edges, §3.1 co-partition
   compatibility, and a dead-write/redundant-fill report.
-* **Source lint** (:mod:`repro.analyze.lint`) — AST rules REPRO001–004
+* **Effect inference** (:mod:`repro.analyze.effects`) — AST analysis of
+  registry kernel bodies recovering each slot's true access mode, used
+  to cross-check declared privileges and to certify plans portable for
+  the process-pool backend.
+* **Verified rewrites** (:mod:`repro.analyze.passes`) — the static plan
+  optimizer: dead-fill elision with replay compensation metadata and
+  interference-weakening privilege narrowing, each re-validated against
+  the unmodified checkers before a plan may use it.
+* **Source lint** (:mod:`repro.analyze.lint`) — AST rules REPRO001–005
   for task-body hygiene that no general-purpose linter knows about.
 
-``python -m repro analyze <program>`` and ``python -m repro lint
-<paths>`` are the CLI entry points (:mod:`repro.analyze.driver`).
+``python -m repro analyze <program>``, ``python -m repro optimize
+<program>``, and ``python -m repro lint <paths>`` are the CLI entry
+points (:mod:`repro.analyze.driver`, :mod:`repro.analyze.optimize`).
 """
 
 from .checkers import (
@@ -26,27 +35,63 @@ from .checkers import (
     verify_interference_superset,
 )
 from .driver import ANALYZE_PROGRAMS, AnalyzeReport, analyze_program, build_program
+from .effects import (
+    KernelEffects,
+    PortabilityCertificate,
+    certify_window,
+    cross_check_task,
+    infer_kernel_effects,
+    kernel_effects,
+)
 from .lint import LINT_RULES, LintViolation, lint_paths, lint_source
+from .optimize import (
+    OPTIMIZE_PROGRAMS,
+    OptimizeReport,
+    compare_optimize_baseline,
+    optimize_program,
+    run_optimize,
+)
+from .passes import (
+    OptimizedWindow,
+    PassVerificationError,
+    narrow_window,
+    optimize_window,
+)
 from .plan import PlanCapture, PlanGraph, PlanTask, attach_plan_capture, capture_plan
 
 __all__ = [
     "ANALYZE_PROGRAMS",
     "AnalyzeReport",
     "Finding",
+    "KernelEffects",
     "LINT_RULES",
     "LintViolation",
+    "OPTIMIZE_PROGRAMS",
+    "OptimizeReport",
+    "OptimizedWindow",
+    "PassVerificationError",
     "PlanCapture",
     "PlanGraph",
     "PlanTask",
+    "PortabilityCertificate",
     "analyze_program",
     "attach_plan_capture",
     "build_program",
     "capture_plan",
+    "certify_window",
     "check_copartitions",
     "check_dead_code",
     "check_privileges",
+    "compare_optimize_baseline",
+    "cross_check_task",
+    "infer_kernel_effects",
+    "kernel_effects",
     "lint_paths",
     "lint_source",
+    "narrow_window",
+    "optimize_program",
+    "optimize_window",
+    "run_optimize",
     "static_interference_edges",
     "verify_interference_superset",
 ]

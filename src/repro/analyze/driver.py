@@ -41,6 +41,7 @@ from .checkers import (
     static_interference_edges,
     verify_interference_superset,
 )
+from .effects import cross_check_task
 from .plan import PlanGraph, attach_plan_capture
 
 __all__ = ["AnalyzeReport", "ANALYZE_PROGRAMS", "analyze_program", "build_program"]
@@ -125,6 +126,17 @@ class AnalyzeReport:
     @property
     def ok(self) -> bool:
         return not self.errors and self.superset_verified is not False
+
+    def gated_findings(self, allow: Optional[List[str]] = None) -> List[Finding]:
+        """Findings that gate the CLI exit code: every error and warning
+        whose code is not explicitly allowed.  Info findings (narrowing
+        opportunities, dead-task notes) never gate."""
+        allowed = set(allow or ())
+        return [
+            f
+            for f in self.findings
+            if f.severity in ("error", "warning") and f.code not in allowed
+        ]
 
     def summary(self, verbose: bool = False) -> str:
         head = self.program if self.program == "fig8-cg" else f"{self.program}/{self.fmt}"
@@ -218,6 +230,11 @@ def analyze_program(
     report.findings += check_privileges(plan)
     report.findings += check_copartitions(planner)
     report.findings += check_dead_code(plan)
+    # Effect inference: cross-check each task's declared privileges
+    # against its kernel body's actual accessor use (REPRO005's
+    # plan-level counterpart; opaque bodies are skipped).
+    for t in plan:
+        report.findings += cross_check_task(t)
     static_edges = static_interference_edges(plan)
     report.n_static_edges = len(static_edges)
 

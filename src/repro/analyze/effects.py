@@ -1,0 +1,581 @@
+"""AST-based effect inference for registry kernel bodies.
+
+The procs kernel registry (:mod:`repro.runtime.kernels`) is the single
+source of truth for the library's task bodies, and every body is a
+module-level function over an explicit :class:`~repro.runtime.task.
+TaskContext` — which makes the *actual* accessor effects of each body
+statically derivable.  This module parses each registered kernel's
+source and infers, per accessor slot:
+
+* whether the slot is read (``.read()``), written (``.write(...)``), or
+  reduced into (``.reduce_add(...)``/``.scatter_add(...)``);
+* whether every write is in *additive reduction form* —
+  ``ctx[i].write(ctx[i].read() + E)`` (either operand order) with ``E``
+  free of slot ``i`` — which proves the slot commutes like a
+  ``REDUCE "+"`` requirement even though the launcher declared
+  ``READ_WRITE``;
+* the *minimal privilege* the body actually needs, which the optimizer
+  (:mod:`repro.analyze.passes`) compares against the declared privilege
+  to narrow over-declared requirements and shrink the static
+  interference set.
+
+The same inference drives the static **portability certificate**: a
+captured window is certified for the process-pool backend iff every
+requirement-bearing task names a registry kernel whose body passes the
+hygiene checks (accessors rooted at the context parameter, no blocking
+``.get()``, no unclassifiable context uses).  ``compile(optimize=True)``
+embeds the certificate so unportable bodies are rejected at compile
+time instead of silently falling back to in-parent execution.
+
+Accessor slots are the *flattened* (requirement, field) pairs, exactly
+the order :meth:`~repro.runtime.runtime.Runtime.execute` builds the
+context's accessor list in; :func:`slot_to_requirement` recovers the
+mapping for multi-field requirements.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..runtime.kernels import KERNEL_REGISTRY
+from ..runtime.region import Privilege
+from ..runtime.task import RegionRequirement
+from .checkers import Finding
+from .plan import PlanTask
+
+__all__ = [
+    "SlotEffect",
+    "KernelEffects",
+    "PortabilityCertificate",
+    "infer_kernel_effects",
+    "kernel_effects",
+    "slot_to_requirement",
+    "minimal_requirement_privileges",
+    "cross_check_task",
+    "certify_window",
+]
+
+#: Accessor methods that read slot data.
+_READ_METHODS = frozenset({"read"})
+#: Accessor methods that write slot data (overwrite semantics).
+_WRITE_METHODS = frozenset({"write"})
+#: Accessor methods that reduce into slot data (commuting accumulation).
+_REDUCE_METHODS = frozenset({"reduce_add", "scatter_add"})
+#: Accessor attributes that touch only metadata, never data.
+_META_ATTRS = frozenset({"n_points", "subset", "region", "field", "privilege"})
+
+
+@dataclass(frozen=True)
+class SlotEffect:
+    """Inferred data effects of one accessor slot."""
+
+    index: int
+    reads: bool = False
+    writes: bool = False
+    reduces: bool = False
+    #: Reduction operator, when the slot reduces (``reduce_add`` → "+").
+    redop: str = ""
+    #: Every write is ``write(old + E)`` / ``write(E + old)`` with ``E``
+    #: free of this slot, and every read of the slot is consumed by such
+    #: a pattern — the slot behaves exactly like ``REDUCE "+"``.
+    reduction_form: bool = False
+
+    @property
+    def touched(self) -> bool:
+        return self.reads or self.writes or self.reduces
+
+    def minimal_privilege(self) -> Optional[Tuple[Privilege, str]]:
+        """The weakest privilege that permits the inferred accesses, or
+        None for an untouched slot (or contradictory usage)."""
+        if self.reduces:
+            if self.writes or self.reads:
+                return None  # contradictory: no single privilege fits
+            return (Privilege.REDUCE, self.redop or "+")
+        if self.reduction_form:
+            return (Privilege.REDUCE, "+")
+        if self.writes and self.reads:
+            return (Privilege.READ_WRITE, "")
+        if self.writes:
+            return (Privilege.WRITE_DISCARD, "")
+        if self.reads:
+            return (Privilege.READ_ONLY, "")
+        return None
+
+
+@dataclass(frozen=True)
+class KernelEffects:
+    """The inferred effect summary of one registry kernel body."""
+
+    kernel: str
+    slots: Tuple[SlotEffect, ...]
+    #: Kwarg keys the body reads via ``ctx.kwargs[...]``.
+    kwargs_read: Tuple[str, ...]
+    #: The body calls its launch-time payload.
+    uses_payload: bool
+    #: Every context use was classified; False disables narrowing and
+    #: mismatch claims (the body may touch slots in ways we cannot see).
+    exact: bool
+    #: Hygiene problems (empty → the body is statically portable).
+    issues: Tuple[str, ...] = ()
+
+    @property
+    def portable(self) -> bool:
+        return not self.issues
+
+    def slot(self, i: int) -> SlotEffect:
+        for s in self.slots:
+            if s.index == i:
+                return s
+        return SlotEffect(index=i)
+
+
+@dataclass(frozen=True)
+class PortabilityCertificate:
+    """Static proof that a window runs fully portable on the procs
+    backend: every requirement-bearing task names a registry kernel
+    whose body passed hygiene, so the executor never needs the silent
+    in-parent fallback."""
+
+    kernels: Tuple[str, ...]
+    n_tasks: int
+    n_host_tasks: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernels": list(self.kernels),
+            "n_tasks": self.n_tasks,
+            "n_host_tasks": self.n_host_tasks,
+        }
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Single pass over one kernel body, attributing accessor calls to
+    constant context slots (``ctx[0]`` or a local alias of one)."""
+
+    def __init__(self, ctx_name: str, payload_name: Optional[str]):
+        self.ctx = ctx_name
+        self.payload = payload_name
+        self.reads: Dict[int, int] = {}
+        self.writes: Dict[int, int] = {}
+        self.reduces: Dict[int, Set[str]] = {}
+        #: writes in additive reduction form, and the reads they consume
+        self.reduction_writes: Dict[int, int] = {}
+        self.reduction_reads: Dict[int, int] = {}
+        self.kwargs_read: Set[str] = set()
+        self.uses_payload = False
+        self.unknown: List[str] = []
+        self.issues: List[str] = []
+        #: local name -> slot index (``a = ctx[0]`` aliases)
+        self.aliases: Dict[str, int] = {}
+        #: node ids already consumed by an enclosing pattern
+        self._consumed: Set[int] = set()
+
+    # -- slot resolution ----------------------------------------------
+
+    def _slot_of(self, node: ast.expr) -> Optional[int]:
+        """Slot index of ``ctx[<const>]`` or a recorded alias."""
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            if node.value.id == self.ctx:
+                idx = node.slice
+                if isinstance(idx, ast.Constant) and isinstance(idx.value, int):
+                    return idx.value
+        if isinstance(node, ast.Name) and node.id in self.aliases:
+            return self.aliases[node.id]
+        return None
+
+    def _is_slot_read(self, node: ast.expr, slot: int) -> bool:
+        """``node`` is exactly ``<slot>.read()``."""
+        return (
+            isinstance(node, ast.Call)
+            and not node.args
+            and not node.keywords
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _READ_METHODS
+            and self._slot_of(node.func.value) == slot
+        )
+
+    def _mentions_slot(self, node: ast.AST, slot: int) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.expr) and self._slot_of(sub) == slot:
+                return True
+        return False
+
+    # -- visitors ------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        slot = self._slot_of(node.value)
+        if slot is not None:
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    self.aliases[tgt.id] = slot
+            self._consumed.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            slot = self._slot_of(func.value)
+            if slot is not None:
+                self._consumed.add(id(func.value))
+                attr = func.attr
+                if attr in _READ_METHODS:
+                    self.reads[slot] = self.reads.get(slot, 0) + 1
+                elif attr in _WRITE_METHODS:
+                    self.writes[slot] = self.writes.get(slot, 0) + 1
+                    self._note_reduction_form(node, slot)
+                elif attr in _REDUCE_METHODS:
+                    self.reduces.setdefault(slot, set()).add("+")
+                else:
+                    self.unknown.append(
+                        f"slot {slot}: unclassified accessor method .{attr}()"
+                    )
+        if isinstance(func, ast.Name) and func.id == self.payload:
+            self.uses_payload = True
+        self.generic_visit(node)
+
+    def _note_reduction_form(self, call: ast.Call, slot: int) -> None:
+        """Record whether ``<slot>.write(arg)`` is additive reduction
+        form: ``arg = <slot>.read() + E`` or ``E + <slot>.read()`` with
+        ``E`` free of the slot."""
+        if len(call.args) != 1 or call.keywords:
+            return
+        arg = call.args[0]
+        if not (isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Add)):
+            return
+        for own, other in ((arg.left, arg.right), (arg.right, arg.left)):
+            if self._is_slot_read(own, slot) and not self._mentions_slot(other, slot):
+                self.reduction_writes[slot] = self.reduction_writes.get(slot, 0) + 1
+                self.reduction_reads[slot] = self.reduction_reads.get(slot, 0) + 1
+                return
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ctx.kwargs["key"]
+        v = node.value
+        if (
+            isinstance(v, ast.Attribute)
+            and v.attr == "kwargs"
+            and isinstance(v.value, ast.Name)
+            and v.value.id == self.ctx
+        ):
+            if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, str):
+                self.kwargs_read.add(node.slice.value)
+            self._consumed.add(id(node))
+            return  # the inner ctx attribute is accounted for
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        slot = self._slot_of(node.value)
+        if slot is not None and id(node.value) not in self._consumed:
+            if node.attr not in _META_ATTRS and node.attr not in (
+                _READ_METHODS | _WRITE_METHODS | _REDUCE_METHODS
+            ):
+                self.unknown.append(
+                    f"slot {slot}: unclassified attribute .{node.attr}"
+                )
+            self._consumed.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id == self.ctx and id(node) not in self._consumed:
+            # Bare uses of ctx are fine when the parent consumed them
+            # (subscripts/attributes mark the *child* node); a ctx that
+            # escapes into a call or return is unclassifiable.
+            pass
+        self.generic_visit(node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        # Flag context values escaping into calls (other than accessor
+        # methods handled above): effects become unknowable.
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                slot = self._slot_of(arg)
+                if slot is not None:
+                    self.unknown.append(
+                        f"slot {slot}: accessor escapes into a call"
+                    )
+                if isinstance(arg, ast.Name) and arg.id == self.ctx:
+                    self.unknown.append("context object escapes into a call")
+            # blocking Future.get() — same hazard REPRO003 lints for
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and not node.args
+                and not node.keywords
+            ):
+                self.issues.append("blocking .get() inside a kernel body")
+        super().generic_visit(node)
+
+
+def _kernel_source_tree(fn: Callable[..., object]) -> Optional[ast.FunctionDef]:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):  # pragma: no cover - builtins
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    return None
+
+
+_EFFECTS_CACHE: Dict[str, KernelEffects] = {}
+
+
+def infer_kernel_effects(
+    name: str, fn: Optional[Callable[..., object]] = None
+) -> KernelEffects:
+    """Infer the effect summary of registry kernel ``name`` (cached)."""
+    cached = _EFFECTS_CACHE.get(name)
+    if cached is not None and fn is None:
+        return cached
+    if fn is None:
+        fn = KERNEL_REGISTRY[name]
+    node = _kernel_source_tree(fn)
+    issues: List[str] = []
+    if node is None:
+        eff = KernelEffects(
+            kernel=name,
+            slots=(),
+            kwargs_read=(),
+            uses_payload=False,
+            exact=False,
+            issues=("kernel source is unavailable for static analysis",),
+        )
+        _EFFECTS_CACHE[name] = eff
+        return eff
+
+    params = [p.arg for p in node.args.posonlyargs + node.args.args]
+    if not params:
+        issues.append("kernel takes no context parameter")
+        ctx_name, payload_name = "<none>", None
+    else:
+        ctx_name = params[0]
+        payload_name = params[1] if len(params) > 1 else None
+
+    visitor = _EffectVisitor(ctx_name, payload_name)
+    for stmt in node.body:
+        visitor.visit(stmt)
+    issues.extend(visitor.issues)
+
+    slots: List[SlotEffect] = []
+    indices = sorted(
+        set(visitor.reads)
+        | set(visitor.writes)
+        | set(visitor.reduces)
+    )
+    for i in indices:
+        n_writes = visitor.writes.get(i, 0)
+        n_reads = visitor.reads.get(i, 0)
+        red_writes = visitor.reduction_writes.get(i, 0)
+        red_reads = visitor.reduction_reads.get(i, 0)
+        reduction_form = (
+            n_writes > 0
+            and red_writes == n_writes
+            and red_reads == n_reads
+            and i not in visitor.reduces
+        )
+        redops = visitor.reduces.get(i, set())
+        slots.append(
+            SlotEffect(
+                index=i,
+                reads=n_reads > 0,
+                writes=n_writes > 0,
+                reduces=bool(redops),
+                redop="+" if redops else "",
+                reduction_form=reduction_form,
+            )
+        )
+        if redops and n_writes:
+            issues.append(
+                f"slot {i}: both write() and reduce_add() — no single "
+                "privilege permits both"
+            )
+        if redops and n_reads:
+            issues.append(
+                f"slot {i}: read() under REDUCE-style accumulation — "
+                "REDUCE accessors do not permit reads"
+            )
+
+    eff = KernelEffects(
+        kernel=name,
+        slots=tuple(slots),
+        kwargs_read=tuple(sorted(visitor.kwargs_read)),
+        uses_payload=visitor.uses_payload,
+        exact=not visitor.unknown,
+        issues=tuple(issues),
+    )
+    _EFFECTS_CACHE[name] = eff
+    return eff
+
+
+def kernel_effects(task: PlanTask) -> Optional[KernelEffects]:
+    """Effects of a captured task's body, when it names a registry
+    kernel; None for opaque bodies."""
+    if task.kernel is None or task.kernel not in KERNEL_REGISTRY:
+        return None
+    return infer_kernel_effects(task.kernel)
+
+
+def slot_to_requirement(requirements: Sequence[RegionRequirement]) -> List[int]:
+    """Accessor-slot index -> requirement index (slots flatten each
+    requirement's fields in declaration order, matching the runtime's
+    accessor construction)."""
+    out: List[int] = []
+    for ri, req in enumerate(requirements):
+        out.extend([ri] * len(req.fields))
+    return out
+
+
+def minimal_requirement_privileges(
+    effects: KernelEffects, requirements: Sequence[RegionRequirement]
+) -> List[Optional[Tuple[Privilege, str]]]:
+    """Weakest privilege per requirement the body actually needs, or
+    None where untouched / not provable.  Multi-field requirements join
+    their slots (strongest wins)."""
+    strength = {
+        Privilege.READ_ONLY: 0,
+        Privilege.REDUCE: 1,
+        Privilege.WRITE_DISCARD: 2,
+        Privilege.READ_WRITE: 3,
+    }
+    slot_req = slot_to_requirement(requirements)
+    out: List[Optional[Tuple[Privilege, str]]] = [None] * len(requirements)
+    if not effects.exact:
+        return out
+    for slot_idx, req_idx in enumerate(slot_req):
+        minimal = effects.slot(slot_idx).minimal_privilege()
+        if minimal is None:
+            continue
+        cur = out[req_idx]
+        if cur is None or strength[minimal[0]] > strength[cur[0]]:
+            out[req_idx] = minimal
+    return out
+
+
+def cross_check_task(task: PlanTask) -> List[Finding]:
+    """Compare a task's declared privileges against its body's inferred
+    effects.  Errors are unsound declarations (the body exceeds its
+    privileges); warnings are over-declarations; info findings are
+    narrowing opportunities the optimizer will exploit."""
+    findings: List[Finding] = []
+    eff = kernel_effects(task)
+    if eff is None or not eff.exact:
+        return findings
+    slot_req = slot_to_requirement(task.requirements)
+    n_slots = len(slot_req)
+    for slot_idx in range(n_slots):
+        req = task.requirements[slot_req[slot_idx]]
+        s = eff.slot(slot_idx)
+        declared = req.privilege
+        where = f"{task.name}#{task.index} slot {slot_idx} ({req.region.name})"
+        if declared is Privilege.READ_ONLY and (s.writes or s.reduces):
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-MISMATCH",
+                    "error",
+                    f"{where}: body writes a READ_ONLY requirement — the "
+                    "dependence analysis is blind to the mutation",
+                    task.task_id,
+                )
+            )
+        elif declared is Privilege.WRITE_DISCARD and s.reads:
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-MISMATCH",
+                    "error",
+                    f"{where}: body reads a WRITE_DISCARD requirement — "
+                    "discard semantics make the read undefined",
+                    task.task_id,
+                )
+            )
+        elif declared is Privilege.REDUCE and s.writes:
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-MISMATCH",
+                    "error",
+                    f"{where}: body overwrites a REDUCE requirement — "
+                    "reductions must accumulate, not overwrite",
+                    task.task_id,
+                )
+            )
+        elif declared.is_write and not s.touched:
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-OVERDECLARED",
+                    "warning",
+                    f"{where}: declared {declared.name} but the body never "
+                    "touches the slot — over-declared privilege inflates "
+                    "the interference set",
+                    task.task_id,
+                )
+            )
+        elif declared is Privilege.READ_WRITE and s.reduction_form:
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-NARROWABLE",
+                    "info",
+                    f"{where}: every write is additive reduction form — "
+                    'READ_WRITE narrows to REDUCE "+"',
+                    task.task_id,
+                )
+            )
+        elif declared is Privilege.READ_WRITE and s.writes and not s.reads:
+            findings.append(
+                Finding(
+                    "PLAN-EFFECT-NARROWABLE",
+                    "info",
+                    f"{where}: body writes without reading — READ_WRITE "
+                    "narrows to WRITE_DISCARD",
+                    task.task_id,
+                )
+            )
+    return findings
+
+
+def certify_window(
+    window: Sequence[PlanTask],
+) -> Tuple[Optional[PortabilityCertificate], List[str]]:
+    """Certify a window for the procs backend.  Returns ``(certificate,
+    problems)``; the certificate is None when any requirement-bearing
+    task lacks a portable registry kernel.  Requirement-less tasks are
+    host tasks (future reductions, convergence checks) — the executor
+    runs those in-parent by design, so they are exempt."""
+    problems: List[str] = []
+    kernels: Set[str] = set()
+    n_host = 0
+    for task in window:
+        if not task.requirements:
+            n_host += 1
+            continue
+        if task.kernel is None:
+            problems.append(
+                f"{task.name}#{task.index}: opaque task body (no registry "
+                "kernel) — the procs backend would fall back in-parent"
+            )
+            continue
+        if task.kernel not in KERNEL_REGISTRY:
+            problems.append(
+                f"{task.name}#{task.index}: kernel {task.kernel!r} is not "
+                "in the registry"
+            )
+            continue
+        eff = infer_kernel_effects(task.kernel)
+        if not eff.portable:
+            problems.append(
+                f"{task.name}#{task.index}: kernel {task.kernel!r} failed "
+                f"hygiene: {'; '.join(eff.issues)}"
+            )
+            continue
+        kernels.add(task.kernel)
+    if problems:
+        return None, problems
+    cert = PortabilityCertificate(
+        kernels=tuple(sorted(kernels)),
+        n_tasks=sum(1 for t in window if t.requirements),
+        n_host_tasks=n_host,
+    )
+    return cert, []

@@ -45,12 +45,14 @@ dynamic edge set were somehow narrower.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .checkers import static_interference_edges
 from .plan import PlanGraph, PlanTask
 
 __all__ = ["fuse_window", "window_subgraph"]
+
+_NO_EXCLUDE: FrozenSet[int] = frozenset()
 
 
 def window_subgraph(window: Sequence[PlanTask]) -> PlanGraph:
@@ -72,6 +74,7 @@ def window_subgraph(window: Sequence[PlanTask]) -> PlanGraph:
             future_uid=t.future_uid,
             fence_epoch=0,
             slots=t.slots,
+            kernel=t.kernel,
         )
         sub.tasks[t.task_id] = clone
         sub.order.append(t.task_id)
@@ -84,7 +87,12 @@ def _eligible(task: PlanTask) -> bool:
     return all(req.privilege.name != "REDUCE" for req in task.requirements)
 
 
-def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
+def fuse_window(
+    window: Sequence[PlanTask],
+    *,
+    interference: Optional[Set[Tuple[int, int]]] = None,
+    exclude: FrozenSet[int] = _NO_EXCLUDE,
+) -> Tuple[Tuple[int, ...], ...]:
     """Group window positions into fusable clusters.
 
     Returns tuples of window-relative positions, each sorted ascending,
@@ -92,6 +100,13 @@ def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
     fuse).  Guarantees: members share ``(device_id, point)``, no member
     holds a REDUCE requirement, and contracting each group to one node
     leaves the window's dependence + interference graph acyclic.
+
+    ``interference`` overrides the window's own may-conflict set — the
+    optimizer passes the *narrowed* edge set here, which is verified to
+    be a subset of the declared one, so fewer cluster seals happen and
+    groups grow (engine dependences are always honoured regardless).
+    ``exclude`` positions (elided dead stores) never join any group and
+    never seed one.
     """
     n = len(window)
     if n == 0:
@@ -106,7 +121,9 @@ def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
                 preds[j].add(i)
     # Interference edges are launch-index pairs over the re-indexed
     # window, i.e. window positions; orient them by launch order.
-    for i, j in static_interference_edges(window_subgraph(window)):
+    if interference is None:
+        interference = static_interference_edges(window_subgraph(window))
+    for i, j in interference:
         preds[max(i, j)].add(min(i, j))
 
     cluster_of: List[int] = [-1] * n
@@ -129,7 +146,7 @@ def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
         pset = {cluster_of[i] for i in preds[j]}
         key = (task.device_id, task.point)
         cid: Optional[int] = None
-        if _eligible(task):
+        if _eligible(task) and j not in exclude:
             cand = open_cluster.get(key)
             if cand is not None and not ((pset - {cand}) & reach[cand]):
                 cid = cand
@@ -138,7 +155,7 @@ def fuse_window(window: Sequence[PlanTask]) -> Tuple[Tuple[int, ...], ...]:
             members.append([])
             reach.append(set())
             ancestors.append(set())
-            if _eligible(task):
+            if _eligible(task) and j not in exclude:
                 open_cluster[key] = cid
         cluster_of[j] = cid
         members[cid].append(j)

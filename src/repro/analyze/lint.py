@@ -23,6 +23,14 @@ and the deferred backends rely on:
   body's definition.  Bodies run *later* under deferred backends, so
   late-binding captures silently read the final value, not the value at
   launch.
+* **REPRO005** — a task body uses contradictory accessor methods on the
+  same context slot: ``reduce_add``/``scatter_add`` combined with
+  ``write`` or ``read`` on one slot.  No single privilege permits both
+  (``REDUCE`` forbids read/write, write privileges forbid reduction),
+  so whichever call runs second is a guaranteed ``PermissionError`` —
+  and the declared privilege cannot describe the body's true effect,
+  which breaks static effect inference (see
+  :mod:`repro.analyze.effects`).
 
 Bodies are recognized syntactically: any function named ``body``, any
 function passed to ``TaskLauncher(...)`` by name (second positional or
@@ -46,6 +54,7 @@ LINT_RULES: Dict[str, str] = {
     "REPRO002": "mutation of a region's backing array outside a task body",
     "REPRO003": "blocking Future.get() inside a task body",
     "REPRO004": "task body captures mutable enclosing state",
+    "REPRO005": "task body mixes reduction and read/write accessors on one slot",
 }
 
 _ACCESSOR_METHODS = frozenset({"read", "write", "reduce_add", "scatter_add"})
@@ -181,6 +190,7 @@ class _Linter(ast.NodeVisitor):
             self._check_body_accessors(body)      # REPRO001
             self._check_body_blocking_get(body)   # REPRO003
             self._check_body_captures(body, stack)  # REPRO004
+            self._check_slot_privileges(body)     # REPRO005
         self._check_raw_mutation()                # REPRO002
         self.violations.sort(key=lambda v: (v.line, v.rule))
         return self.violations
@@ -356,6 +366,74 @@ class _Linter(ast.NodeVisitor):
                     if getattr(sub, "lineno", 0) > body_line and not contains(sub):
                         return "rebound after the body's definition"
         return None
+
+    def _check_slot_privileges(self, body: _BodyNode) -> None:
+        """REPRO005: a reduction accessor and a read/write accessor on
+        the same constant context slot.  One accessor has exactly one
+        privilege — ``reduce_add``/``scatter_add`` require ``REDUCE``
+        (which forbids ``read``/``write``); ``write`` requires a write
+        privilege (which forbids reduction) — so the combination is a
+        guaranteed runtime ``PermissionError``."""
+        params = self._params(body)
+        if not params:
+            return
+        ctx_name = params[0]
+
+        def slot_of(expr: ast.expr, aliases: Dict[str, int]) -> Optional[int]:
+            if isinstance(expr, ast.Name):
+                return aliases.get(expr.id)
+            if (
+                isinstance(expr, ast.Subscript)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == ctx_name
+                and isinstance(expr.slice, ast.Constant)
+                and isinstance(expr.slice.value, int)
+            ):
+                return expr.slice.value
+            return None
+
+        aliases: Dict[str, int] = {}
+        #: slot -> accessor method -> first call node using it
+        used: Dict[int, Dict[str, ast.Call]] = {}
+        _REDUCING = ("reduce_add", "scatter_add")
+        for stmt in self._body_statements(body):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign):
+                    slot = slot_of(sub.value, aliases)
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            if slot is not None:
+                                aliases[tgt.id] = slot
+                            else:
+                                aliases.pop(tgt.id, None)
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ACCESSOR_METHODS
+                ):
+                    slot = slot_of(sub.func.value, aliases)
+                    if slot is not None:
+                        used.setdefault(slot, {}).setdefault(sub.func.attr, sub)
+        for slot in sorted(used):
+            methods = used[slot]
+            reducing = [m for m in _REDUCING if m in methods]
+            if not reducing:
+                continue
+            for other in ("read", "write"):
+                if other in methods:
+                    later = max(
+                        (methods[reducing[0]], methods[other]),
+                        key=lambda n: getattr(n, "lineno", 0),
+                    )
+                    self._report(
+                        "REPRO005",
+                        later,
+                        f"slot {slot} is accessed with both "
+                        f"`.{reducing[0]}()` and `.{other}()` — no single "
+                        "privilege permits both, so the second call raises "
+                        "PermissionError at runtime; split the slot or use "
+                        "one access mode",
+                    )
 
     def _check_raw_mutation(self) -> None:
         """REPRO002: subscript assignment through ``.raw(...)`` outside

@@ -1,0 +1,227 @@
+"""``repro optimize``: run the static plan optimizer over solver
+programs and report — or gate on — its measured effect.
+
+For each program the driver compiles the steady-state window twice
+(plain and ``optimize=True``), reports the optimizer's metrics (elided
+fills, narrowed requirements, interference edges before/after, footprint
+savings, portability certification), and — unless verification is
+disabled — replays the *optimized* plan through
+:func:`repro.replay.driver.run_replay` to prove the rewrites kept the
+numerics bitwise-identical to a fresh-launch serial reference.
+
+The gate mode (``--baseline``) compares against a committed JSON
+baseline and fails when the optimizer *regresses*: more narrowed-set
+interference edges or live tasks than the baseline recorded, fewer
+narrowed requirements, a lost portability certificate, or a broken
+bitwise match.  ``--update-baseline`` rewrites the baseline instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..runtime.machine import Machine
+
+__all__ = [
+    "OPTIMIZE_PROGRAMS",
+    "OptimizeReport",
+    "optimize_program",
+    "run_optimize",
+    "compare_optimize_baseline",
+]
+
+#: The fig8 solver matrix the CI optimize-gate sweeps.
+OPTIMIZE_PROGRAMS = ("fig8-cg", "fig8-bicgstab", "fig8-gmres")
+
+
+@dataclass
+class OptimizeReport:
+    """Outcome of one ``repro optimize`` sweep."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and all(
+            r.get("bitwise_match") is not False for r in self.rows
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": "repro-optimize/1",
+                "ok": self.ok,
+                "rows": self.rows,
+                "failures": self.failures,
+            },
+            indent=2,
+        )
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        for r in self.rows:
+            lines.append(
+                f"optimize {r['program']} [{r['backend']}/{r['format']}]: "
+                f"window {r['tasks_before']} -> {r['tasks_after']} tasks "
+                f"({r['elided_fills']} fill(s) elided, "
+                f"{r['footprint_bytes_saved']} bytes saved)"
+            )
+            lines.append(
+                f"  interference edges : {r['interference_edges_declared']} -> "
+                f"{r['interference_edges_narrowed']} "
+                f"({r['narrowed_requirements']} requirement(s) narrowed)"
+            )
+            lines.append(
+                "  portability        : "
+                + ("CERTIFIED" if r["portability_certified"] else "NOT CERTIFIED")
+            )
+            if "bitwise_match" in r:
+                lines.append(
+                    f"  replay verification: "
+                    f"{'MATCH' if r['bitwise_match'] else 'MISMATCH'} "
+                    f"({r['windows_replayed']} window(s), "
+                    f"{r['fallbacks']} fallback(s))"
+                )
+        for failure in self.failures:
+            lines.append(f"FAIL: {failure}")
+        lines.append(f"optimize gate: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def optimize_program(
+    program: str,
+    backend: str = "serial",
+    fmt: str = "csr",
+    size: Optional[int] = None,
+    pieces: Optional[int] = None,
+    iterations: int = 6,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    verify: bool = True,
+) -> Dict[str, Any]:
+    """Optimize one program's plan and (optionally) verify it by replay."""
+    from ..api import make_planner
+    from ..core.solvers import SOLVER_REGISTRY
+    from ..faults.chaos import _build_problem
+    from ..replay.compiler import compile_solver_program
+    from ..replay.driver import run_replay
+
+    solver_name, _A, b, mat_factory = _build_problem(program, fmt, size, seed)
+    machine = Machine(n_nodes=1)
+
+    def factory(runtime: Any) -> Any:
+        planner = make_planner(
+            mat_factory(),
+            b,
+            machine=machine,
+            n_pieces=pieces,
+            runtime=runtime,
+            preconditioner="jacobi" if solver_name == "pcg" else None,
+        )
+        return SOLVER_REGISTRY[solver_name](planner)
+
+    plan = compile_solver_program(factory, machine=machine, warmup=2, optimize=True)
+    metrics = dict(plan.meta.get("optimization") or {})
+    portability = dict(plan.meta.get("portability") or {})
+    row: Dict[str, Any] = {
+        "program": program,
+        "solver": solver_name,
+        "backend": backend,
+        "format": fmt,
+        "pieces": pieces,
+        "iterations": iterations,
+        "structure_hash": plan.structure_hash,
+        **metrics,
+        "portability": portability,
+    }
+    if verify:
+        report = run_replay(
+            program,
+            backend=backend,
+            fmt=fmt,
+            size=size,
+            pieces=pieces,
+            iterations=iterations,
+            seed=seed,
+            jobs=jobs,
+            plan=plan,
+        )
+        row["bitwise_match"] = report.bitwise_match
+        row["windows_replayed"] = report.windows_replayed
+        row["fallbacks"] = report.fallbacks
+    return row
+
+
+def run_optimize(
+    programs: Optional[List[str]] = None,
+    backend: str = "serial",
+    fmt: str = "csr",
+    size: Optional[int] = None,
+    pieces: Optional[int] = None,
+    iterations: int = 6,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    verify: bool = True,
+) -> OptimizeReport:
+    """Sweep the optimizer over ``programs`` (fig8 matrix by default)."""
+    report = OptimizeReport()
+    for program in programs or list(OPTIMIZE_PROGRAMS):
+        row = optimize_program(
+            program,
+            backend=backend,
+            fmt=fmt,
+            size=size,
+            pieces=pieces,
+            iterations=iterations,
+            seed=seed,
+            jobs=jobs,
+            verify=verify,
+        )
+        report.rows.append(row)
+        if row.get("bitwise_match") is False:
+            report.failures.append(
+                f"{program}: optimized replay diverged from the fresh-launch "
+                "serial reference"
+            )
+    return report
+
+
+#: Per-program gate: (key, direction) — +1 means "larger is a
+#: regression", -1 means "smaller is a regression".
+_GATE_KEYS = (
+    ("interference_edges_narrowed", +1),
+    ("tasks_after", +1),
+    ("narrowed_requirements", -1),
+    ("elided_fills", -1),
+)
+
+
+def compare_optimize_baseline(
+    report: OptimizeReport, baseline: Dict[str, Any]
+) -> List[str]:
+    """Regression failures of ``report`` against a committed baseline."""
+    failures: List[str] = []
+    base_rows = {r["program"]: r for r in baseline.get("rows", [])}
+    for row in report.rows:
+        base = base_rows.get(row["program"])
+        if base is None:
+            continue
+        for key, direction in _GATE_KEYS:
+            if key not in base or key not in row:
+                continue
+            if direction * (row[key] - base[key]) > 0:
+                failures.append(
+                    f"{row['program']}: {key} regressed "
+                    f"{base[key]} -> {row[key]}"
+                )
+        if base.get("portability_certified") and not row.get(
+            "portability_certified"
+        ):
+            failures.append(
+                f"{row['program']}: portability certificate lost "
+                "(baseline had one)"
+            )
+    return failures

@@ -1,0 +1,303 @@
+"""The static plan optimizer: verified dataflow passes over one window.
+
+:func:`optimize_window` runs a fixed pass pipeline over a steady-state
+iteration window (the same window :mod:`repro.replay.compiler` freezes
+into a template) and returns an :class:`OptimizedWindow` the compiler
+lowers:
+
+1. **Effects** — annotate every task with its kernel's inferred effect
+   summary (:mod:`repro.analyze.effects`) and cross-check declared
+   privileges against the body's actual accessor use.
+2. **Liveness / dead-store elimination** — the per-(region, field)
+   linear scan of :func:`~repro.analyze.checkers.check_dead_code`,
+   extended to *act*: a ``fill`` whose every element is overwritten by
+   later ``WRITE_DISCARD`` launches before any read is marked *elided*
+   together with its overwriter positions (the replay session needs
+   them to compensate if a window diverges mid-replay).  Only fills are
+   elided — a fill is the one dead store replay can re-materialize from
+   its scalar slot value alone; generic dead writes are reported and
+   counted, never deleted.
+3. **Privilege narrowing** — requirements whose kernel provably never
+   writes narrow to ``READ_ONLY``; ``READ_WRITE`` requirements whose
+   kernel is additive reduction form narrow to ``REDUCE "+"``.  The
+   narrowed privileges are an *analysis overlay*: they shrink the
+   static interference set (unlocking fusion groups) but never change
+   the executed privileges, the replay guard signatures, or the
+   template's dependence edges — execution stays bitwise identical by
+   construction.
+4. **Verification** — the narrowed window is re-run through
+   :func:`~repro.analyze.checkers.check_privileges` (no new errors) and
+   its interference set is recomputed: narrowing weakens conflicts, so
+   the narrowed edge set must be a *subset* of the declared one.  Any
+   violation raises :class:`PassVerificationError` — an optimization
+   that cannot be verified is not applied.
+
+Metrics (task counts, interference edges before/after, shared-memory
+footprint savings) ride on the result for ``repro optimize`` reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..runtime.region import Privilege
+from .checkers import (
+    Finding,
+    _READS,
+    _overlap,
+    check_privileges,
+    static_interference_edges,
+)
+from .effects import (
+    PortabilityCertificate,
+    certify_window,
+    cross_check_task,
+    kernel_effects,
+    minimal_requirement_privileges,
+)
+from .fusion import window_subgraph
+from .plan import PlanTask
+
+__all__ = [
+    "PassVerificationError",
+    "OptimizedWindow",
+    "optimize_window",
+    "narrow_window",
+]
+
+
+class PassVerificationError(RuntimeError):
+    """A rewrite failed re-validation; the plan must not be used."""
+
+
+@dataclass
+class OptimizedWindow:
+    """The verified result of the pass pipeline over one window."""
+
+    #: The original window, launch order preserved (elided tasks included).
+    window: Tuple[PlanTask, ...]
+    #: Elided position -> overwriter positions (the later WRITE_DISCARD
+    #: launches that jointly cover the elided fill's subset).
+    elided: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: (position, requirement index) -> narrowed (privilege, redop).
+    narrowed: Dict[Tuple[int, int], Tuple[Privilege, str]] = field(default_factory=dict)
+    #: Effect cross-check + liveness findings (report, not verdict).
+    findings: List[Finding] = field(default_factory=list)
+    #: Portability certificate, or None with the problems listed.
+    certificate: Optional[PortabilityCertificate] = None
+    portability_problems: List[str] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Interference edges of the narrowed window (position pairs) — a
+    #: verified subset of the declared set; the compiler feeds these to
+    #: the fusion pass.
+    narrowed_edges: Set[Tuple[int, int]] = field(default_factory=set)
+
+    def narrowed_window(self) -> List[PlanTask]:
+        """The window with the narrowing overlay applied (for analysis:
+        interference metrics and fusion — never for execution)."""
+        out: List[PlanTask] = []
+        for pos, task in enumerate(self.window):
+            reqs = list(task.requirements)
+            changed = False
+            for ri in range(len(reqs)):
+                repl = self.narrowed.get((pos, ri))
+                if repl is not None:
+                    reqs[ri] = dataclasses.replace(
+                        reqs[ri], privilege=repl[0], redop=repl[1] or reqs[ri].redop
+                    )
+                    changed = True
+            out.append(
+                dataclasses.replace(task, requirements=tuple(reqs)) if changed else task
+            )
+        return out
+
+    def live_window(self) -> List[PlanTask]:
+        """The narrowed window with elided positions removed."""
+        return [
+            t for pos, t in enumerate(self.narrowed_window()) if pos not in self.elided
+        ]
+
+
+def _fill_liveness(window: Sequence[PlanTask]) -> Dict[int, Tuple[int, ...]]:
+    """Elidable fills: position -> overwriter positions.
+
+    Mirrors :func:`~repro.analyze.checkers.check_dead_code`'s linear
+    scan, restricted to single-requirement ``fill`` kernels whose value
+    arrives via the ``value`` slot — the one store replay can
+    re-materialize without running the body."""
+    from ..runtime.subset import Subset
+
+    by_field: Dict[Tuple[int, str], List[Tuple[int, Privilege, Subset]]] = {}
+    for pos, task in enumerate(window):
+        for req in task.requirements:
+            for fname in req.fields:
+                by_field.setdefault((req.region.uid, fname), []).append(
+                    (pos, req.privilege, req.subset)
+                )
+
+    elided: Dict[int, Tuple[int, ...]] = {}
+    for pos, task in enumerate(window):
+        if task.kernel != "fill" or len(task.requirements) != 1:
+            continue
+        req = task.requirements[0]
+        if req.privilege is not Privilege.WRITE_DISCARD or len(req.fields) != 1:
+            continue
+        if "value" not in task.slots:
+            continue
+        accesses = by_field[(req.region.uid, req.fields[0])]
+        remaining = req.subset
+        overwriters: List[int] = []
+        dead = False
+        for later_pos, later_priv, later_sub in accesses:
+            if later_pos <= pos:
+                continue
+            if later_priv in _READS and _overlap(remaining, later_sub).size:
+                break  # observed before fully overwritten: live
+            if later_priv is Privilege.WRITE_DISCARD:
+                if _overlap(remaining, later_sub).size:
+                    overwriters.append(later_pos)
+                    remaining = remaining.difference(later_sub)
+                    if remaining.is_empty:
+                        dead = True
+                        break
+        if dead:
+            elided[pos] = tuple(overwriters)
+    return elided
+
+
+def narrow_window(
+    window: Sequence[PlanTask],
+) -> Dict[Tuple[int, int], Tuple[Privilege, str]]:
+    """The privilege-narrowing overlay for one window.
+
+    Only interference-weakening transitions are taken: any write-like
+    privilege whose kernel provably never touches the slot narrows to
+    ``READ_ONLY``, and ``READ_WRITE`` whose kernel is additive reduction
+    form narrows to ``REDUCE "+"``.  ``READ_WRITE → WRITE_DISCARD``
+    changes no conflicts, so it is reported (see
+    :func:`~repro.analyze.effects.cross_check_task`) but not applied.
+    """
+    narrowed: Dict[Tuple[int, int], Tuple[Privilege, str]] = {}
+    for pos, task in enumerate(window):
+        eff = kernel_effects(task)
+        if eff is None or not eff.exact:
+            continue
+        minimal = minimal_requirement_privileges(eff, task.requirements)
+        for ri, req in enumerate(task.requirements):
+            m = minimal[ri]
+            declared = req.privilege
+            if m is None:
+                # Untouched by the body.  READ_ONLY stays (it models
+                # data movement, e.g. SpMV matrix entries); write-like
+                # privileges narrow to READ_ONLY — the slot is never
+                # written, so no conflict it implied can materialize.
+                if declared.is_write:
+                    narrowed[(pos, ri)] = (Privilege.READ_ONLY, "")
+                continue
+            if declared is Privilege.READ_WRITE and m[0] is Privilege.REDUCE:
+                narrowed[(pos, ri)] = (Privilege.REDUCE, m[1] or "+")
+            elif declared.is_write and m[0] is Privilege.READ_ONLY:
+                narrowed[(pos, ri)] = (Privilege.READ_ONLY, "")
+    return narrowed
+
+
+def optimize_window(
+    window: Sequence[PlanTask],
+    *,
+    elide_dead_fills: bool = True,
+    narrow_privileges: bool = True,
+) -> OptimizedWindow:
+    """Run the verified pass pipeline over one steady-state window."""
+    win = tuple(window)
+    result = OptimizedWindow(window=win)
+
+    # Pass 1: effect cross-checks (report only).
+    for task in win:
+        result.findings.extend(cross_check_task(task))
+
+    # Pass 2: liveness / dead-fill elision.
+    if elide_dead_fills:
+        result.elided = _fill_liveness(win)
+        for pos in sorted(result.elided):
+            t = win[pos]
+            req = t.requirements[0]
+            result.findings.append(
+                Finding(
+                    "PLAN-OPT-ELIDED",
+                    "info",
+                    f"{t.name}#{pos}: dead fill of "
+                    f"{req.region.name}.{req.fields[0]} elided "
+                    f"({req.n_bytes} bytes never materialize)",
+                    t.task_id,
+                )
+            )
+
+    # Pass 3: privilege narrowing overlay.
+    if narrow_privileges:
+        result.narrowed = narrow_window(win)
+
+    # Pass 4: portability certificate.
+    cert, problems = certify_window(win)
+    result.certificate = cert
+    result.portability_problems = problems
+
+    # Verification: the rewrites must be provably conservative.
+    edges_before = static_interference_edges(window_subgraph(win))
+    narrowed_view = result.narrowed_window()
+    edges_after = static_interference_edges(window_subgraph(narrowed_view))
+    result.narrowed_edges = edges_after
+    added = edges_after - edges_before
+    if added:
+        raise PassVerificationError(
+            f"privilege narrowing added {len(added)} interference edge(s) "
+            f"(e.g. {sorted(added)[:3]}) — narrowing must only weaken "
+            "conflicts; refusing the rewrite"
+        )
+    errors_before = {
+        (f.code, f.task_id)
+        for f in check_privileges(window_subgraph(win))
+        if f.severity == "error"
+    }
+    new_errors = [
+        f
+        for f in check_privileges(window_subgraph(narrowed_view))
+        if f.severity == "error" and (f.code, f.task_id) not in errors_before
+    ]
+    if new_errors:
+        raise PassVerificationError(
+            f"narrowed window fails privilege hygiene: {new_errors[0].describe()}"
+        )
+    # Every elided fill must also be dead by the unmodified checker's
+    # rules — cross-validate the liveness pass against check_dead_code.
+    from .checkers import check_dead_code
+
+    dead_findings = check_dead_code(window_subgraph(win))
+    dead_fill_ids = {
+        f.task_id for f in dead_findings if f.code == "PLAN-DEAD-FILL"
+    }
+    for pos in result.elided:
+        if win[pos].task_id not in dead_fill_ids:
+            raise PassVerificationError(
+                f"liveness pass elided fill #{pos} but check_dead_code "
+                "does not agree it is dead — refusing the rewrite"
+            )
+
+    live = result.live_window()
+    footprint_saved = sum(
+        win[pos].requirements[0].n_bytes for pos in result.elided
+    )
+    n_dead_writes = sum(1 for f in dead_findings if f.code == "PLAN-DEAD-WRITE")
+    result.metrics = {
+        "tasks_before": len(win),
+        "tasks_after": len(live),
+        "elided_fills": len(result.elided),
+        "dead_writes_reported": n_dead_writes,
+        "narrowed_requirements": len(result.narrowed),
+        "interference_edges_declared": len(edges_before),
+        "interference_edges_narrowed": len(edges_after),
+        "footprint_bytes_saved": footprint_saved,
+        "portability_certified": result.certificate is not None,
+    }
+    return result

@@ -55,6 +55,10 @@ class PlanTask:
     #: Keyword-argument names of the launcher (sorted) — the per-iteration
     #: varying inputs the plan compiler turns into a slot table.
     slots: Tuple[str, ...] = ()
+    #: Kernel-registry name of the task body, when known (None for
+    #: opaque bodies).  Drives static effect inference and the
+    #: portability certificate.
+    kernel: Optional[str] = None
 
     def describe(self) -> str:
         reqs = ", ".join(
@@ -172,6 +176,7 @@ class PlanCapture(EngineObserver):
             future_uid=record.future_uid,
             fence_epoch=self.plan.n_fences,
             slots=tuple(record.slots),
+            kernel=record.kernel,
         )
         self.plan.tasks[record.task_id] = task
         self.plan.order.append(record.task_id)

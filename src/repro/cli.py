@@ -17,6 +17,10 @@ Usage::
                            [--pieces 1 3] [--size 16] [--races] [--verbose]
     python -m repro analyze [cg|gmres|...|fig8-cg] [--format csr] [--size 24]
                             [--pieces 3] [--iterations 2] [--json FILE]
+                            [--allow PLAN-DEAD-WRITE ...]
+    python -m repro optimize [fig8-cg fig8-bicgstab ...] [--backend serial]
+                             [--json FILE] [--baseline FILE]
+                             [--update-baseline] [--no-verify]
     python -m repro chaos [cg|...|fig8-cg] [--seed 1] [--backend threads]
                           [--format csr] [--plan "crash:dot_partial:12"]
                           [--no-monitors] [--crash-policy retry|rollback]
@@ -184,8 +188,47 @@ def _build_parser() -> argparse.ArgumentParser:
                          "detector, no superset check)")
     pa.add_argument("--json", dest="json_out", default=None,
                     help="also write the report as JSON to this path")
+    pa.add_argument("--allow", nargs="+", default=None, metavar="CODE",
+                    help="finding codes (e.g. PLAN-DEAD-WRITE) that do not "
+                         "gate the exit code; errors and warnings otherwise "
+                         "exit nonzero")
     pa.add_argument("--verbose", action="store_true",
                     help="print every finding and the task histogram")
+
+    po = sub.add_parser(
+        "optimize",
+        help="run the static plan optimizer (dead-fill elision + privilege "
+             "narrowing) over solver programs and verify the optimized "
+             "plan replays bitwise-identically",
+    )
+    po.add_argument("programs", nargs="*", default=None, metavar="PROGRAM",
+                    help="programs to optimize (default: the fig8 gate "
+                         "matrix: fig8-cg fig8-bicgstab fig8-gmres)")
+    po.add_argument("--backend", choices=("serial", "threads", "procs"),
+                    default="serial",
+                    help="backend for the replay verification run "
+                         "(default: serial)")
+    po.add_argument("--format", dest="fmt", default="csr",
+                    help="storage format for solver programs (default: csr)")
+    po.add_argument("--size", type=int, default=None,
+                    help="problem size in unknowns (default: program-specific)")
+    po.add_argument("--pieces", type=int, default=None,
+                    help="partition piece count (default: 1)")
+    po.add_argument("--iterations", type=int, default=6,
+                    help="solver iterations for the verification replay "
+                         "(default: 6)")
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--jobs", type=int, default=None,
+                    help="worker count for parallel backends")
+    po.add_argument("--no-verify", action="store_true",
+                    help="skip the bitwise replay verification run")
+    po.add_argument("--json", dest="json_out", default=None,
+                    help="write the report as JSON to this path")
+    po.add_argument("--baseline", default=None,
+                    help="committed baseline JSON to gate against "
+                         "(fail on optimizer regressions)")
+    po.add_argument("--update-baseline", action="store_true",
+                    help="write the report to --baseline instead of gating")
 
     pc = sub.add_parser(
         "chaos",
@@ -295,12 +338,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser(
         "lint",
-        help="repro-specific AST lint (rules REPRO001-REPRO004) over "
+        help="repro-specific AST lint (rules REPRO001-REPRO005) over "
              "Python sources",
     )
     pl.add_argument("paths", nargs="+", help="files or directories to lint")
     pl.add_argument("--select", nargs="+", default=None,
-                    choices=("REPRO001", "REPRO002", "REPRO003", "REPRO004"),
+                    choices=("REPRO001", "REPRO002", "REPRO003", "REPRO004",
+                             "REPRO005"),
                     help="restrict to these rules (default: all)")
     return parser
 
@@ -523,6 +567,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"analyze: {exc}")
             return 2
         print(report.summary(verbose=args.verbose))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"[report written to {args.json_out}]")
+        gate = report.gated_findings(args.allow)
+        if gate and report.ok:
+            for f in gate:
+                print(f"GATE: {f.describe()}")
+            print(
+                f"analyze gate: {len(gate)} blocking finding(s) "
+                "(suppress known-good codes with --allow CODE)"
+            )
+        return 0 if report.ok and not gate else 1
+
+    if args.command == "optimize":
+        from .analyze.optimize import (
+            OPTIMIZE_PROGRAMS,
+            compare_optimize_baseline,
+            run_optimize,
+        )
+        from .replay import PlanCompileError
+
+        try:
+            report = run_optimize(
+                programs=list(args.programs or OPTIMIZE_PROGRAMS),
+                backend=args.backend,
+                fmt=args.fmt,
+                size=args.size,
+                pieces=args.pieces,
+                iterations=args.iterations,
+                seed=args.seed,
+                jobs=args.jobs,
+                verify=not args.no_verify,
+            )
+        except (KeyError, ValueError, PlanCompileError) as exc:
+            print(f"optimize: {exc}")
+            return 2
+        if args.baseline and args.update_baseline:
+            with open(args.baseline, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"[baseline updated: {args.baseline}]")
+        elif args.baseline:
+            import json as _json
+
+            with open(args.baseline) as fh:
+                baseline = _json.load(fh)
+            report.failures += compare_optimize_baseline(report, baseline)
+        print(report.summary())
         if args.json_out:
             with open(args.json_out, "w") as fh:
                 fh.write(report.to_json() + "\n")

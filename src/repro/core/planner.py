@@ -481,9 +481,12 @@ class Planner:
             vecs = self._freeze()
             out_vec = vecs[SOL] if adjoint_shape else vecs[RHS]
             for idx in range(out_vec.n_components):
-                if adjoint_shape:
-                    continue  # adjoint plans always fill + reduce
-                ops = system.by_rhs(idx)
+                # Preconditioner applications (adjoint_shape) index the
+                # output by sol_index, but the pieces still run the
+                # *forward* kernels over the forward range partition, so
+                # the same disjoint+complete test proves exclusive-write
+                # safety there too.
+                ops = system.by_sol(idx) if adjoint_shape else system.by_rhs(idx)
                 for op in ops:
                     part = op.range_partition
                     if part.is_disjoint and part.is_complete:

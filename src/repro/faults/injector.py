@@ -36,11 +36,14 @@ from __future__ import annotations
 import time
 from fnmatch import fnmatchcase
 from threading import Lock
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..runtime.executor import ExecutorError, TaskExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.kernels import TaskInvocation
 from ..runtime.task import RegionRequirement, TaskRecord
 from .plan import FaultEvent, FaultLog, FaultPlan
 
@@ -50,7 +53,7 @@ __all__ = ["FaultInjector", "InjectedTaskFault", "is_injected_fault"]
 class InjectedTaskFault(RuntimeError):
     """The exception an injected crash raises from a task body."""
 
-    def __init__(self, event: FaultEvent):
+    def __init__(self, event: FaultEvent) -> None:
         super().__init__(
             f"injected fault: {event.spec.describe()} killed task "
             f"{event.task_id} ({event.task_name})"
@@ -79,10 +82,10 @@ class FaultInjector(TaskExecutor):
         self,
         inner: TaskExecutor,
         plan: FaultPlan,
-        store=None,
-        engine=None,
-        metrics=None,
-    ):
+        store: Any = None,
+        engine: Any = None,
+        metrics: Any = None,
+    ) -> None:
         self.inner = inner
         self.plan = plan
         self.store = store
@@ -167,12 +170,18 @@ class FaultInjector(TaskExecutor):
         thunk: Callable[[], object],
         on_done: Callable[[object], None],
         deps: Set[int],
-        invocation=None,
+        invocation: Optional["TaskInvocation"] = None,
     ) -> None:
         thunk = self._arm(record, thunk)
         self.inner.submit(record, thunk, on_done, deps, invocation=invocation)
 
-    def submit_fused(self, parts, invocations=None) -> None:
+    def submit_fused(
+        self,
+        parts: Sequence[
+            Tuple[TaskRecord, Callable[[], object], Callable[[object], None], Set[int]]
+        ],
+        invocations: Optional[Sequence[Optional["TaskInvocation"]]] = None,
+    ) -> None:
         armed = [
             (record, self._arm(record, thunk), on_done, deps)
             for record, thunk, on_done, deps in parts

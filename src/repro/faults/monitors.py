@@ -68,7 +68,7 @@ class ResidualDriftMonitor(InvariantMonitor):
 
     name = "residual-drift"
 
-    def __init__(self, rtol: float = 0.5, atol: float = 1e-7):
+    def __init__(self, rtol: float = 0.5, atol: float = 1e-7) -> None:
         self.rtol = rtol
         self.atol = atol
 

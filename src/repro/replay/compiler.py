@@ -17,6 +17,16 @@ template after two gates:
   and dead-write/redundant-fill findings refuse compilation with an
   error naming the offending task.
 
+Compiling with ``optimize=True`` additionally runs the verified pass
+pipeline (:func:`~repro.analyze.passes.optimize_window`): dead fills
+are *elided* instead of refused (their positions stay in the template
+as guard-checked no-ops, with dependence edges forwarded through them),
+privilege narrowing shrinks the interference set the fusion pass sees,
+and a static portability certificate is embedded so the procs backend
+can refuse silent in-parent fallbacks.  ``require_portable=True``
+(implied by ``optimize=True``) turns a missing certificate into a
+compile-time :class:`PlanCompileError`.
+
 Dependence edges are pre-resolved per template position and classified
 by distance: *intra* edges point at earlier positions in the same
 window, *carried* edges at positions one window back.  Edges reaching
@@ -33,7 +43,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..analyze.plan import PlanGraph, PlanTask, attach_plan_capture
 
@@ -111,6 +121,14 @@ class CompiledTask:
     intra_deps: Tuple[int, ...]
     #: Dependence edges on positions of the *previous* window.
     carried_deps: Tuple[int, ...]
+    #: Dead store deleted by the optimizer: the position stays in the
+    #: template (the guard still checks the live launch against the
+    #: signature) but replay completes it without running the body.
+    elided: bool = False
+    #: For an elided fill: the later WRITE_DISCARD positions that
+    #: jointly overwrite its subset — the replay session compensates
+    #: through these if a window diverges mid-replay.
+    overwriters: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -173,38 +191,26 @@ def _window_signatures(window: Sequence[PlanTask]) -> List[Tuple]:
     return [canonical_signature(t, region_map, subset_map) for t in window]
 
 
-def _check_window(window: Sequence[PlanTask]) -> None:
+def _check_window(
+    window: Sequence[PlanTask], elided_ids: Optional[Set[int]] = None
+) -> None:
     """Run the static checkers over the window subgraph and refuse
     compilation on privilege errors or dead-write/redundant-fill
-    findings."""
+    findings.  ``elided_ids`` are dead fills the optimizer deletes —
+    those findings are resolved by the rewrite, not refused."""
     from ..analyze.checkers import check_dead_code, check_privileges
+    from ..analyze.fusion import window_subgraph
 
-    sub = PlanGraph()
-    for i, t in enumerate(window):
-        # Re-index the window as a standalone plan so the dead-code
-        # checker's "last writer with no reader" logic sees only the
-        # steady-state iteration, not the program's setup prologue.
-        clone = PlanTask(
-            task_id=t.task_id,
-            index=i,
-            name=t.name,
-            point=t.point,
-            device_id=t.device_id,
-            requirements=t.requirements,
-            engine_deps=frozenset(
-                d for d in t.engine_deps if any(w.task_id == d for w in window)
-            ),
-            future_dep_uids=t.future_dep_uids,
-            future_uid=t.future_uid,
-            fence_epoch=0,
-            slots=t.slots,
-        )
-        sub.tasks[t.task_id] = clone
-        sub.order.append(t.task_id)
-
+    sub = window_subgraph(window)
+    elided = elided_ids or set()
     refused_codes = {"PLAN-DEAD-FILL", "PLAN-DEAD-WRITE"}
     findings = [f for f in check_privileges(sub) if f.severity == "error"]
-    findings += [f for f in check_dead_code(sub) if f.code in refused_codes]
+    findings += [
+        f
+        for f in check_dead_code(sub)
+        if f.code in refused_codes
+        and not (f.code == "PLAN-DEAD-FILL" and f.task_id in elided)
+    ]
     if findings:
         f = findings[0]
         task = sub.tasks.get(f.task_id) if f.task_id is not None else None
@@ -212,7 +218,8 @@ def _check_window(window: Sequence[PlanTask]) -> None:
         raise PlanCompileError(
             f"refusing to compile plan: [{f.code}] {f.message}{where} — "
             "fix the launch (drop the dead write / redundant fill or "
-            "correct the privilege) and re-capture"
+            "correct the privilege) and re-capture, or compile with "
+            "optimize=True to elide dead fills"
         )
 
 
@@ -223,6 +230,8 @@ def compile_plan(
     n_devices: int,
     source: str = "symbolic",
     fuse: bool = False,
+    optimize: bool = False,
+    require_portable: Optional[bool] = None,
 ) -> CompiledPlan:
     """Lower ``plan`` to a :class:`CompiledPlan`.
 
@@ -230,7 +239,15 @@ def compile_plan(
     iteration window (recorded by the capture driver around each solver
     ``step()``); at least two full windows must have been captured so
     steadiness can be verified.
+
+    ``optimize=True`` runs the verified pass pipeline over the window:
+    dead fills are elided, privileges narrowed for the fusion pass, and
+    a portability certificate embedded.  ``require_portable`` (default:
+    the value of ``optimize``) refuses compilation when the certificate
+    cannot be issued.
     """
+    if require_portable is None:
+        require_portable = optimize
     bounds = list(boundaries)
     if len(bounds) < 3:
         raise PlanCompileError(
@@ -254,17 +271,41 @@ def compile_plan(
             "increase warmup so the solver reaches its repeating shape"
         )
 
-    _check_window(window)
+    opt = None
+    elided_pos: Dict[int, Tuple[int, ...]] = {}
+    if optimize:
+        from ..analyze.passes import optimize_window
+
+        opt = optimize_window(window)
+        elided_pos = opt.elided
+
+    _check_window(
+        window,
+        elided_ids={window[p].task_id for p in elided_pos},
+    )
+
+    if require_portable:
+        if opt is None:
+            from ..analyze.effects import certify_window
+
+            cert, problems = certify_window(window)
+        else:
+            cert, problems = opt.certificate, opt.portability_problems
+        if cert is None:
+            raise PlanCompileError(
+                "plan is not statically portable for the procs backend: "
+                + "; ".join(problems[:3])
+                + (f" (+{len(problems) - 3} more)" if len(problems) > 3 else "")
+            )
 
     start = bounds[-2]
     w = len(window)
     pos_of: Dict[int, int] = {t.task_id: i for i, t in enumerate(tasks_in_order)}
 
-    region_map: Dict[int, int] = {}
-    subset_map: Dict[int, int] = {}
-    compiled: List[CompiledTask] = []
+    intra_raw: List[List[int]] = []
+    carried_raw: List[List[int]] = []
     n_dropped = 0
-    for rel, task in enumerate(window):
+    for task in window:
         intra: List[int] = []
         carried: List[int] = []
         for dep_id in sorted(task.engine_deps):
@@ -278,7 +319,53 @@ def compile_plan(
                 carried.append(q - (start - w))
             else:
                 n_dropped += 1
+        intra_raw.append(intra)
+        carried_raw.append(carried)
+
+    elided_set = set(elided_pos)
+    if elided_set:
+        # Forward dependence edges *through* elided positions so their
+        # dependents inherit the ordering the dead store used to carry.
+        # Stage 1 (position order): intra deps on an elided position
+        # become that position's already-expanded intra deps plus its
+        # raw carried deps.  After this, no expanded intra set names an
+        # elided position.
+        intra_exp: List[Set[int]] = []
+        carried_exp: List[Set[int]] = []
+        for j in range(w):
+            ni: Set[int] = set()
+            nc: Set[int] = set(carried_raw[j])
+            for q in intra_raw[j]:
+                if q in elided_set:
+                    ni |= intra_exp[q]
+                    nc |= set(carried_raw[q])
+                else:
+                    ni.add(q)
+            intra_exp.append(ni)
+            carried_exp.append(nc)
+        # Stage 2: carried deps on an elided position of the previous
+        # window forward to its intra deps (still the previous window).
+        # Its own carried deps sit two windows back — dropped, which is
+        # safe for the same reason distance-≥2 edges always are: the
+        # same-position task one window later subsumes them.
+        for j in range(w):
+            nc = set()
+            for q in carried_exp[j]:
+                if q in elided_set:
+                    nc |= intra_exp[q]
+                    n_dropped += len(carried_raw[q])
+                else:
+                    nc.add(q)
+            carried_exp[j] = nc
+        intra_raw = [sorted(s) for s in intra_exp]
+        carried_raw = [sorted(s) for s in carried_exp]
+
+    region_map: Dict[int, int] = {}
+    subset_map: Dict[int, int] = {}
+    compiled: List[CompiledTask] = []
+    for rel, task in enumerate(window):
         sig = canonical_signature(task, region_map, subset_map)
+        is_elided = rel in elided_set
         compiled.append(
             CompiledTask(
                 position=rel,
@@ -287,8 +374,10 @@ def compile_plan(
                 device_id=task.device_id,
                 signature=sig,
                 slots=task.slots,
-                intra_deps=tuple(intra),
-                carried_deps=tuple(carried),
+                intra_deps=() if is_elided else tuple(intra_raw[rel]),
+                carried_deps=() if is_elided else tuple(carried_raw[rel]),
+                elided=is_elided,
+                overwriters=elided_pos.get(rel, ()),
             )
         )
 
@@ -296,7 +385,29 @@ def compile_plan(
     if fuse:
         from ..analyze.fusion import fuse_window
 
-        groups = fuse_window(window)
+        if opt is not None:
+            groups = fuse_window(
+                window,
+                interference=opt.narrowed_edges,
+                exclude=frozenset(elided_set),
+            )
+        else:
+            groups = fuse_window(window)
+
+    meta: Dict[str, object] = {
+        "window": w,
+        "captured_windows": len(bounds) - 1,
+        "captured_tasks": len(plan.order),
+        "fuse": fuse,
+        "optimize": optimize,
+    }
+    if opt is not None:
+        meta["optimization"] = dict(opt.metrics)
+        meta["portability"] = (
+            {"certified": True, **opt.certificate.to_dict()}
+            if opt.certificate is not None
+            else {"certified": False, "problems": list(opt.portability_problems)}
+        )
 
     digest = hashlib.sha256(
         repr([t.signature for t in compiled]).encode()
@@ -307,8 +418,7 @@ def compile_plan(
         n_devices=n_devices,
         source=source,
         n_dropped_deps=n_dropped,
-        meta={"window": w, "captured_windows": len(bounds) - 1,
-              "captured_tasks": len(plan.order)},
+        meta=meta,
         fusion_groups=groups,
     )
 
@@ -320,6 +430,8 @@ def compile_solver_program(
     mapper: Optional["Mapper"] = None,
     warmup: int = 2,
     fuse: bool = False,
+    optimize: bool = False,
+    require_portable: Optional[bool] = None,
 ) -> CompiledPlan:
     """Capture ``factory(runtime) -> solver`` symbolically and compile
     its steady-state iteration.
@@ -347,4 +459,6 @@ def compile_solver_program(
         n_devices=runtime.machine.n_devices,
         source="symbolic",
         fuse=fuse,
+        optimize=optimize,
+        require_portable=require_portable,
     )

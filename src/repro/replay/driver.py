@@ -140,7 +140,7 @@ def run_replay(
     solver_name, _A, b, mat_factory = _build_problem(program, fmt, size, seed)
     machine = Machine(n_nodes=1)
 
-    def factory(runtime: Runtime):
+    def factory(runtime: Runtime) -> Any:
         planner = make_planner(
             mat_factory(),
             b,

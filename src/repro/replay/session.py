@@ -9,17 +9,35 @@ position against the compiled template's canonical signatures:
   session maps the template's pre-resolved intra/carried edges onto the
   live task ids of this and the previous window and hands them straight
   to the executor.
+* **elided** (optimized plans) — the guard still checks the signature,
+  but the task's body never runs: the optimizer proved the store dead
+  (a fill fully overwritten before any read).  If the window later
+  diverges mid-replay, :meth:`step` has stashed enough (the live
+  record and its scalar fill value) to *compensate*: the un-overwritten
+  remainder of each skipped fill is materialized before fresh launches
+  resume, so partial windows stay bitwise-correct.
 * **mismatch** (different structure, extra/missing launches, different
   slot shapes) — the session *re-arms*: it drains in-flight work, marks
   the rest of this window fresh-launch, and tries again at the next
-  window.  A stale plan is never silently replayed; after
-  ``max_misses`` consecutive failed windows the session goes dead and
-  every subsequent launch is fresh.
+  window.  A stale plan is never silently replayed.
+
+After ``max_misses`` consecutive failed windows the session no longer
+goes permanently dead: it enters **re-capture** — a gated plan-capture
+observer records the next fresh iterations (between the runtime's
+iteration hooks), and once two consecutive segments are structurally
+steady the stream is recompiled with the original ``fuse``/``optimize``
+settings and replay resumes against the fresh template.  Re-capture is
+bounded (``max_recaptures`` attempts, each giving up after
+``max_recapture_segments`` unsteady segments) so a structurally chaotic
+program degenerates to plain fresh execution, exactly as before.
 
 Fault recovery calls :meth:`ReplaySession.abort`, which kills the
 session permanently — after a rollback the runtime's region state was
 rebuilt by fresh launches and the conservative choice is to stay in
 fresh-launch mode (matching the paper's trace-invalidation semantics).
+No fill compensation is needed on abort: recovery restores a
+checkpoint and re-runs iterations fresh, which re-materializes every
+fill the optimizer had elided.
 
 Correctness of the skipped analysis rests on two drains: the session
 drains the runtime before the *first* replayed window (so pre-session
@@ -32,22 +50,37 @@ steady window, verified by the bitwise-equivalence test matrix.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from .compiler import CompiledPlan, canonical_signature
+from .compiler import CompiledPlan, PlanCompileError, canonical_signature, compile_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..runtime.runtime import Runtime
+    from ..analyze.plan import PlanCapture
     from ..runtime.task import TaskRecord
+    from ..runtime.runtime import Runtime
 
-__all__ = ["ReplaySession"]
+__all__ = ["ReplaySession", "ELIDED"]
+
+
+class _Elided:
+    """Sentinel returned by :meth:`ReplaySession.step` for an optimizer-
+    elided position: the launch matched the guard but must not run."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "<ELIDED>"
+
+
+ELIDED = _Elided()
 
 
 class ReplaySession:
     """Replays one :class:`CompiledPlan` on a live runtime."""
 
     def __init__(self, plan: CompiledPlan, runtime: "Runtime",
-                 max_misses: int = 8) -> None:
+                 max_misses: int = 8, max_recaptures: int = 2,
+                 max_recapture_segments: int = 8) -> None:
         n_dev = runtime.machine.n_devices
         if plan.n_devices != n_dev:
             raise ValueError(
@@ -55,13 +88,13 @@ class ReplaySession:
                 f"but this runtime has {n_dev}; re-capture on the target "
                 "machine"
             )
-        self.plan = plan
         self.runtime = runtime
-        self.window = plan.tasks
-        self.w = len(plan.tasks)
         self.max_misses = max_misses
+        self.max_recaptures = max_recaptures
+        self.max_recapture_segments = max_recapture_segments
+        self._install_plan(plan)
 
-        #: Permanently killed (fault recovery, or too many misses).
+        #: Permanently killed (fault recovery, or re-capture exhausted).
         self.dead = False
         #: A window is currently open (between begin/end_iteration).
         self._open = False
@@ -83,10 +116,35 @@ class ReplaySession:
         self.dirty = False
         self.misses = 0
 
+        # Elided fills skipped in the open window, with the data needed
+        # to compensate on a mid-window divergence:
+        # position -> (live record, fill value).
+        self._skipped: Dict[int, Tuple["TaskRecord", Any]] = {}
+        #: Live records of the open window so far (overwriter subsets
+        #: for compensation come from here).
+        self._live_records: List["TaskRecord"] = []
+
+        # Windowed re-capture state.
+        self._recapturing = False
+        self._recapture_cap: Optional["PlanCapture"] = None
+        self._recapture_bounds: List[int] = []
+        self._recapture_segments = 0
+        self._recording_open = False
+
         # Counters surfaced through dispatch_stats / the obs layer.
         self.windows_replayed = 0
         self.tasks_replayed = 0
+        self.tasks_elided = 0
         self.fallbacks = 0
+        self.recaptures = 0
+
+    def _install_plan(self, plan: CompiledPlan) -> None:
+        self.plan = plan
+        self.window = plan.tasks
+        self.w = len(plan.tasks)
+        self._elided_positions = frozenset(
+            t.position for t in plan.tasks if t.elided
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -97,8 +155,9 @@ class ReplaySession:
 
     def begin_window(self) -> bool:
         """Open an iteration window.  Returns False if the session is
-        dead (caller should fall back to dynamic tracing)."""
-        if self.dead:
+        dead or re-capturing (caller should fall back to dynamic
+        tracing and report iteration boundaries via the note hooks)."""
+        if self.dead or self._recapturing:
             return False
         if self.fresh_since_window:
             # Fresh launches (or nothing at all) happened since the last
@@ -111,16 +170,22 @@ class ReplaySession:
         self.cur_ids = []
         self._region_map = {}
         self._subset_map = {}
+        self._skipped = {}
+        self._live_records = []
         self._open = True
         self._matching = True
         return True
 
-    def step(self, record: "TaskRecord") -> Optional[Tuple[int, Set[int]]]:
+    def step(
+        self, record: "TaskRecord", kwargs: Optional[Dict[str, Any]] = None
+    ) -> "Optional[Tuple[int, Set[int]] | _Elided]":
         """Guard-check one live launch against the template.
 
         Returns ``(device_id, dep_ids)`` on a match — the pre-bound
-        placement and the template edges mapped onto live task ids — or
-        None on a mismatch (caller must launch fresh)."""
+        placement and the template edges mapped onto live task ids —
+        the :data:`ELIDED` sentinel when the optimizer deleted this
+        position (the caller must complete the future without running
+        the body), or None on a mismatch (caller must launch fresh)."""
         if not self.active:
             return None
         if self.cursor >= self.w:
@@ -132,11 +197,26 @@ class ReplaySession:
             self._mismatch()
             return None
 
+        if tmpl.elided:
+            # Guard passed; the body is provably dead.  Keep the live
+            # task id so later positions' dep indices stay aligned, and
+            # stash what compensation would need.
+            self.cursor += 1
+            self.cur_ids.append(record.task_id)
+            self._live_records.append(record)
+            self._skipped[tmpl.position] = (
+                record,
+                (kwargs or {}).get("value"),
+            )
+            self.tasks_elided += 1
+            return ELIDED
+
         deps: Set[int] = {self.cur_ids[p] for p in tmpl.intra_deps}
         if self.prev_ids is not None:
             deps.update(self.prev_ids[p] for p in tmpl.carried_deps)
         self.cursor += 1
         self.cur_ids.append(record.task_id)
+        self._live_records.append(record)
         self.dirty = True
         self.tasks_replayed += 1
         return tmpl.device_id, deps
@@ -148,6 +228,8 @@ class ReplaySession:
             self.windows_replayed += 1
             self.prev_ids = self.cur_ids
             self.misses = 0
+            self._skipped = {}
+            self._live_records = []
             return True
         # Short window (fewer launches than the template) — same
         # fallback path as a signature mismatch.
@@ -161,13 +243,18 @@ class ReplaySession:
 
     def abort(self) -> None:
         """Kill the session permanently (fault recovery path).  The
-        caller is responsible for quiescing before relaunching."""
+        caller is responsible for quiescing before relaunching; skipped
+        fills need no compensation because recovery restores a
+        checkpoint and re-runs iterations fresh."""
         self.dead = True
         self._open = False
         self._matching = False
         self.prev_ids = None
         self.fresh_since_window = True
         self.dirty = False
+        self._skipped = {}
+        self._live_records = []
+        self._stop_recapture()
 
     def quiesce(self) -> None:
         """Drain all in-flight work so the engine's epoch state is
@@ -176,11 +263,141 @@ class ReplaySession:
         self.runtime.engine.barrier()
         self.dirty = False
 
+    # -- windowed re-capture -------------------------------------------
+
+    def note_iteration_begin(self) -> None:
+        """The runtime opened a fresh (non-replayed) iteration window.
+        In re-capture mode this starts recording a segment."""
+        if not self._recapturing or self._recapture_cap is None:
+            return
+        self._recording_open = True
+        if not self._recapture_bounds:
+            self._recapture_bounds.append(len(self._recapture_cap.plan.order))
+
+    def note_iteration_end(self) -> None:
+        """The runtime closed a fresh iteration window: seal the
+        recorded segment and recompile once two segments are steady."""
+        if not self._recapturing or not self._recording_open:
+            return
+        self._recording_open = False
+        cap = self._recapture_cap
+        assert cap is not None
+        self._recapture_bounds.append(len(cap.plan.order))
+        self._recapture_segments += 1
+        if len(self._recapture_bounds) < 3:
+            return
+        if self._try_recompile():
+            return
+        if self._recapture_segments >= self.max_recapture_segments:
+            # The stream never settled: give up on this plan for good.
+            self._stop_recapture()
+            self.dead = True
+
+    def _try_recompile(self) -> bool:
+        """Recompile from the last two recorded segments if steady."""
+        cap = self._recapture_cap
+        assert cap is not None
+        meta = self.plan.meta
+        from ..analyze.passes import PassVerificationError
+
+        try:
+            new_plan = compile_plan(
+                cap.plan,
+                self._recapture_bounds[-3:],
+                n_devices=self.runtime.machine.n_devices,
+                source="recapture",
+                fuse=bool(meta.get("fuse", bool(self.plan.fusion_groups))),
+                optimize=bool(meta.get("optimize", False)),
+            )
+        except (PlanCompileError, PassVerificationError):
+            return False
+        self._stop_recapture()
+        self._install_plan(new_plan)
+        self.prev_ids = None
+        self.fresh_since_window = True
+        self.misses = 0
+        self.recaptures += 1
+        self.runtime._on_plan_swapped(new_plan)
+        return True
+
+    def _start_recapture(self) -> None:
+        from ..analyze.plan import PlanCapture
+
+        class _GatedCapture(PlanCapture):
+            """Records only between the session's iteration hooks, so
+            segments exactly match live window task sets."""
+
+            def __init__(self, session: "ReplaySession") -> None:
+                super().__init__()
+                self._session = session
+
+            def on_task(self, *args: Any, **kw: Any) -> None:
+                if self._session._recording_open:
+                    super().on_task(*args, **kw)
+
+            def on_barrier(self, time: float) -> None:
+                if self._session._recording_open:
+                    super().on_barrier(time)
+
+        self._recapturing = True
+        self._recapture_cap = _GatedCapture(self)
+        self._recapture_bounds = []
+        self._recapture_segments = 0
+        self._recording_open = False
+        self.runtime.engine.observers.append(self._recapture_cap)
+
+    def _stop_recapture(self) -> None:
+        if self._recapture_cap is not None:
+            try:
+                self.runtime.engine.observers.remove(self._recapture_cap)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._recapturing = False
+        self._recapture_cap = None
+        self._recording_open = False
+
     # -- internals -----------------------------------------------------
+
+    def _compensate_skipped(self) -> None:
+        """Materialize the un-overwritten remainder of every elided fill
+        skipped in this (now diverged) window.  Called after the drain:
+        overwriters at positions before the cursor have fully executed,
+        so exactly their subsets are subtracted; the rest of the fill's
+        subset gets its scalar value written directly."""
+        if not self._skipped:
+            return
+        store = self.runtime.store
+        for pos, (record, value) in sorted(self._skipped.items()):
+            tmpl = self.window[pos]
+            req = record.requirements[0]
+            remaining = req.subset
+            for q in tmpl.overwriters:
+                if q >= self.cursor:
+                    continue  # not launched before the divergence
+                over = self._live_records[q]
+                for oreq in over.requirements:
+                    if (
+                        oreq.region.uid == req.region.uid
+                        and req.fields[0] in oreq.fields
+                    ):
+                        remaining = remaining.difference(oreq.subset)
+                if remaining.is_empty:
+                    break
+            if remaining.is_empty:
+                continue
+            arr = store.raw(req.region, req.fields[0])
+            sl = remaining.as_slice()
+            if sl is not None:
+                arr[sl] = value  # repro-lint: disable=REPRO002
+            else:
+                arr[remaining.indices] = value  # repro-lint: disable=REPRO002
+        self._skipped = {}
 
     def _mismatch(self) -> None:
         """The live stream diverged from the template mid-window: stop
-        matching, drain replayed work, and re-arm for the next window."""
+        matching, drain replayed work, compensate skipped fills, and
+        re-arm for the next window (or enter re-capture once the miss
+        budget is exhausted)."""
         self._matching = False
         self.prev_ids = None
         self.fresh_since_window = True
@@ -188,8 +405,14 @@ class ReplaySession:
         self.misses += 1
         if self.dirty:
             self.quiesce()
+        self._compensate_skipped()
+        self._live_records = []
         if self.misses >= self.max_misses:
-            self.dead = True
+            if self.recaptures < self.max_recaptures:
+                self.misses = 0
+                self._start_recapture()
+            else:
+                self.dead = True
 
     def stats(self) -> Dict[str, object]:
         return {
@@ -197,6 +420,9 @@ class ReplaySession:
             "window": self.w,
             "windows_replayed": self.windows_replayed,
             "tasks_replayed": self.tasks_replayed,
+            "tasks_elided": self.tasks_elided,
             "fallbacks": self.fallbacks,
+            "recaptures": self.recaptures,
+            "recapturing": self._recapturing,
             "dead": self.dead,
         }

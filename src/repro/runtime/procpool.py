@@ -524,6 +524,13 @@ class ProcPoolExecutor(TaskExecutor):
         self.fault_directives: Dict[int, Tuple[List[Any], Any]] = {}
         self._stalled: Set[int] = set()
         self.stall_monitor: Optional[Callable[[], Set[int]]] = None
+        #: Set by the runtime when the attached compiled plan carries a
+        #: static portability certificate: every requirement-bearing
+        #: body was proven shippable, so a silent inline fallback would
+        #: mask a real defect — fail loudly at drain instead.  Host
+        #: tasks (no region requirements) stay inline; the certificate
+        #: exempts them explicitly.
+        self.strict_portable = False
         # Dispatch statistics (surfaced via Runtime.dispatch_stats()).
         self.n_dispatched = 0
         self.n_inline_host = 0
@@ -736,6 +743,15 @@ class ProcPoolExecutor(TaskExecutor):
                 return
             node.claimed = True
         if self._shutdown or not node.portable:
+            if (
+                self.strict_portable
+                and not self._shutdown
+                and any(r.requirements for r, _, _, _ in node.parts)
+            ):
+                self._fail_portability(
+                    node, "body is not a portable registry kernel"
+                )
+                return
             self._execute_inline(node)
             return
         widx = self._worker_for(node)
@@ -786,8 +802,24 @@ class ProcPoolExecutor(TaskExecutor):
                     self._first_error = send_exc
             self._complete(node, error=True)
             return
+        if self.strict_portable:
+            self._fail_portability(node, "payload failed to ship to a worker")
+            return
         self.n_inline_fallback += len(node.parts)
         self._execute_inline(node, counted=True)
+
+    def _fail_portability(self, node: _ProcNode, why: str) -> None:
+        """Strict-portability violation: the plan's certificate promised
+        this could not happen, so surface it at drain instead of falling
+        back inline silently."""
+        with self._lock:
+            if self._first_error is None:
+                self._first_error = RuntimeError(
+                    f"strict portability violated by task {node.task_id} "
+                    f"({node.name}): {why}, yet the attached plan carries "
+                    "a portability certificate"
+                )
+        self._complete(node, error=True)
 
     def _execute_inline(self, node: _ProcNode, counted: bool = False) -> None:
         """Run a node's bodies in the parent (host tasks and fallbacks);
@@ -1057,6 +1089,7 @@ class ProcPoolExecutor(TaskExecutor):
             "inline_fallback_tasks": self.n_inline_fallback,
             "fused_groups": self.n_fused_groups,
             "fused_member_tasks": self.n_fused_members,
+            "strict_portable": self.strict_portable,
         }
 
     def shutdown(self) -> None:

@@ -38,7 +38,7 @@ import heapq
 from .engine import Engine
 from .executor import TaskExecutor, make_executor
 from .future import Future
-from .kernels import TaskInvocation, invocation_for
+from .kernels import KernelBody, TaskInvocation, invocation_for
 from .index_space import IndexSpace
 from .machine import Machine, ProcKind
 from .mapper import Mapper, RoundRobinMapper
@@ -326,6 +326,13 @@ class Runtime:
 
         self._replay = ReplaySession(plan, self)
         self._replay_open = False
+        self._on_plan_swapped(plan)
+        return self._replay
+
+    def _on_plan_swapped(self, plan: "CompiledPlan") -> None:
+        """Rebuild plan-derived dispatch state (fusion maps, strict
+        portability) — called from :meth:`attach_plan` and again by the
+        session after a windowed re-capture swaps in a fresh template."""
         groups = getattr(plan, "fusion_groups", ()) or ()
         self._fuse_group_of = {
             pos: gi for gi, group in enumerate(groups) for pos in group
@@ -333,7 +340,17 @@ class Runtime:
         self._fuse_last_pos = {group[-1] for group in groups}
         self._fuse_buffers = {}
         self._buffered_ids = set()
-        return self._replay
+        # A certified plan promises every requirement-bearing body is a
+        # portable registry kernel: under the procs backend, a silent
+        # inline fallback would then mask a real defect, so make the
+        # pool fail loudly instead.
+        portability = (getattr(plan, "meta", None) or {}).get("portability") or {}
+        if portability.get("certified") and self.backend == "procs":
+            inner: TaskExecutor = self.executor
+            while getattr(inner, "inner", None) is not None:
+                inner = inner.inner  # type: ignore[attr-defined]
+            if hasattr(inner, "strict_portable"):
+                inner.strict_portable = True  # type: ignore[attr-defined]
 
     @property
     def replay_session(self) -> Optional["ReplaySession"]:
@@ -343,9 +360,14 @@ class Runtime:
         """Open one solver-iteration window: replayed against the
         attached plan when one is alive, else dynamically traced."""
         session = self._replay
-        if session is not None and session.begin_window():
-            self._replay_open = True
-            return
+        if session is not None:
+            if session.begin_window():
+                self._replay_open = True
+                return
+            # Dead or re-capturing session: fall back to dynamic
+            # tracing, but let the session see the window boundary (the
+            # re-capture observer records exactly between these hooks).
+            session.note_iteration_begin()
         self.begin_trace(trace_id)
 
     def end_iteration(self, trace_id: Any) -> None:
@@ -356,6 +378,8 @@ class Runtime:
             self._replay.end_window()
             return
         self.end_trace(trace_id)
+        if self._replay is not None:
+            self._replay.note_iteration_end()
 
     def abort_iteration(self, trace_id: Any = None) -> None:
         """Abandon the active iteration after a mid-iteration failure.
@@ -413,7 +437,9 @@ class Runtime:
             if self._replay is not None:
                 m.gauge("replay.windows_replayed").set(float(self._replay.windows_replayed))
                 m.gauge("replay.tasks_replayed").set(float(self._replay.tasks_replayed))
+                m.gauge("replay.tasks_elided").set(float(self._replay.tasks_elided))
                 m.gauge("replay.fallbacks").set(float(self._replay.fallbacks))
+                m.gauge("replay.recaptures").set(float(self._replay.recaptures))
         return stats
 
     # -- task execution ----------------------------------------------------------
@@ -445,9 +471,14 @@ class Runtime:
             point=point,
             irregular=launcher.irregular,
             slots=tuple(sorted(launcher.kwargs)),
+            kernel=launcher.body.kernel
+            if isinstance(launcher.body, KernelBody)
+            else None,
         )
         invocation = invocation_for(launcher, point) if self._wants_invocations else None
-        self._launch(record, lambda: launcher.body(ctx), future, invocation)
+        self._launch(
+            record, lambda: launcher.body(ctx), future, invocation, kwargs=launcher.kwargs
+        )
         return future
 
     def _launch(
@@ -456,6 +487,7 @@ class Runtime:
         thunk: Callable[[], object],
         future: Future,
         invocation: Optional[TaskInvocation] = None,
+        kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
         """The single dispatch path: replay the attached plan when the
         open window still matches, else fresh dependence analysis.  The
@@ -466,7 +498,17 @@ class Runtime:
         session = self._replay
         if session is not None:
             if session.active:
-                mapped = session.step(record)
+                mapped = session.step(record, kwargs)
+                if mapped is not None and not isinstance(mapped, tuple):
+                    # Optimizer-elided dead store: the guard matched but
+                    # the body must not run — the fill's every element is
+                    # overwritten before any read (the session holds what
+                    # it needs to compensate if this window diverges).
+                    # The task never reaches the engine or the executor.
+                    future.set(None, producer_id=record.task_id)
+                    self._dispatch_replay_ns += time.perf_counter_ns() - t0
+                    self._dispatch_replay_n += 1
+                    return
                 if mapped is not None:
                     device_id, rdeps = mapped
                     self.engine.replay_task(record, device_id, rdeps)

@@ -182,6 +182,10 @@ class TaskRecord:
     #: replay guard compares them so a structurally identical stream
     #: with different slot shapes never replays silently.
     slots: Tuple[str, ...] = ()
+    #: Registry name of the kernel body (``KernelBody.kernel``) when the
+    #: launcher's body came from the procs kernel registry, else None.
+    #: Static effect inference keys on this to look up the body source.
+    kernel: Optional[str] = None
 
     @staticmethod
     def next_id() -> int:

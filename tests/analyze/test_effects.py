@@ -1,0 +1,266 @@
+"""AST effect inference over registry kernel bodies, the plan-level
+privilege cross-checks, and the static portability certificate."""
+
+import numpy as np
+
+from repro.analyze import capture_plan
+from repro.analyze.effects import (
+    SlotEffect,
+    certify_window,
+    cross_check_task,
+    infer_kernel_effects,
+    kernel_effects,
+    minimal_requirement_privileges,
+    slot_to_requirement,
+)
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    TaskLauncher,
+)
+from repro.runtime.kernels import KernelBody
+
+
+def kernel_window(build):
+    """Capture a window of kernel-bodied tasks.  ``build`` receives
+    ``(rt, (region_a, part_a), (region_b, part_b))``."""
+    def program(rt):
+        a = rt.create_region(IndexSpace.linear(32), {"v": np.float64})
+        b = rt.create_region(IndexSpace.linear(32), {"v": np.float64})
+        rt.allocate(a, "v")
+        rt.allocate(b, "v")
+        build(rt, (a, Partition.equal(a.ispace, 2)),
+              (b, Partition.equal(b.ispace, 2)))
+
+    return list(capture_plan(program))
+
+
+def klaunch(rt, kernel, reqs, **kwargs):
+    """Launch a registry kernel with explicit (region, subset, privilege)
+    requirements."""
+    tl = TaskLauncher(kernel, KernelBody(kernel), proc_kind=ProcKind.CPU,
+                      kwargs=kwargs)
+    for region, subset, privilege in reqs:
+        tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+def opaque_launch(rt, name, reqs):
+    tl = TaskLauncher(name, lambda ctx: None, proc_kind=ProcKind.CPU)
+    for region, subset, privilege in reqs:
+        tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+class TestRegistryInference:
+    def test_copy_writes_dst_reads_src(self):
+        eff = infer_kernel_effects("copy")
+        assert eff.exact and eff.portable
+        assert eff.slot(0).writes and not eff.slot(0).reads
+        assert eff.slot(1).reads and not eff.slot(1).writes
+        assert eff.slot(0).minimal_privilege() == (Privilege.WRITE_DISCARD, "")
+        assert eff.slot(1).minimal_privilege() == (Privilege.READ_ONLY, "")
+
+    def test_fill_reads_its_value_kwarg(self):
+        eff = infer_kernel_effects("fill")
+        assert eff.kwargs_read == ("value",)
+        assert eff.slot(0).writes
+
+    def test_axpy_is_additive_reduction_form(self):
+        # ctx[0].write(ctx[0].read() + alpha * ctx[1].read()) — the write
+        # commutes like REDUCE "+", which is what unlocks narrowing.
+        eff = infer_kernel_effects("axpy")
+        assert eff.slot(0).reduction_form
+        assert eff.slot(0).minimal_privilege() == (Privilege.REDUCE, "+")
+        assert eff.slot(1).minimal_privilege() == (Privilege.READ_ONLY, "")
+
+    def test_xpay_is_not_reduction_form(self):
+        # ctx[0].write(ctx[1].read() + alpha * ctx[0].read()) — the own
+        # read is buried inside a product, so the write does not commute.
+        eff = infer_kernel_effects("xpay")
+        assert not eff.slot(0).reduction_form
+        assert eff.slot(0).minimal_privilege() == (Privilege.READ_WRITE, "")
+
+    def test_dot_partial_only_reads(self):
+        eff = infer_kernel_effects("dot_partial")
+        for i in (0, 1):
+            assert eff.slot(i).minimal_privilege() == (Privilege.READ_ONLY, "")
+
+    def test_spmv_reduce_reduces_its_output(self):
+        eff = infer_kernel_effects("spmv_reduce")
+        assert eff.uses_payload
+        assert eff.slot(2).reduces
+        assert eff.slot(2).minimal_privilege() == (Privilege.REDUCE, "+")
+
+    def test_spmv_exclusive_never_touches_matrix_slot(self):
+        # Slot 0 (the matrix entries) models data movement only; the
+        # body never dereferences it.
+        eff = infer_kernel_effects("spmv_exclusive")
+        assert not eff.slot(0).touched
+        assert eff.slot(2).minimal_privilege() == (Privilege.WRITE_DISCARD, "")
+
+
+class TestInferenceHygiene:
+    def test_blocking_get_fails_hygiene(self):
+        def bad(ctx, payload):
+            return ctx[0].read() + payload.get()
+
+        eff = infer_kernel_effects("test-blocking-get", bad)
+        assert not eff.portable
+        assert any("blocking .get()" in issue for issue in eff.issues)
+
+    def test_escaping_context_disables_exactness(self):
+        def bad(ctx, payload):
+            payload(ctx)
+
+        eff = infer_kernel_effects("test-ctx-escape", bad)
+        assert not eff.exact
+
+    def test_alias_resolves_to_slot(self):
+        def body(ctx, payload):
+            acc = ctx[0]
+            acc.write(acc.read() + 1.0)
+
+        eff = infer_kernel_effects("test-alias", body)
+        assert eff.slot(0).reduction_form
+
+    def test_write_plus_reduce_is_contradictory(self):
+        def bad(ctx, payload):
+            ctx[0].write(np.zeros(1))
+            ctx[0].reduce_add(np.ones(1))
+
+        eff = infer_kernel_effects("test-contradiction", bad)
+        assert not eff.portable
+        assert eff.slot(0).minimal_privilege() is None
+
+    def test_untouched_slot_effect_is_empty(self):
+        s = SlotEffect(index=3)
+        assert not s.touched
+        assert s.minimal_privilege() is None
+
+
+class TestRequirementMapping:
+    def test_slots_flatten_fields_in_declaration_order(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        assert slot_to_requirement(window[0].requirements) == [0, 1]
+
+    def test_minimal_requirement_privileges_join_slots(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "axpy",
+            [(a[0], a[1][0], Privilege.READ_WRITE),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+            alpha=0.5,
+        ))
+        task = window[0]
+        minimal = minimal_requirement_privileges(
+            kernel_effects(task), task.requirements
+        )
+        assert minimal[0] == (Privilege.REDUCE, "+")
+        assert minimal[1] == (Privilege.READ_ONLY, "")
+
+    def test_opaque_body_has_no_effects(self):
+        window = kernel_window(lambda rt, a, b: opaque_launch(
+            rt, "mystery", [(a[0], a[1][0], Privilege.READ_WRITE)]
+        ))
+        assert kernel_effects(window[0]) is None
+        assert cross_check_task(window[0]) == []
+
+
+class TestCrossCheck:
+    def test_clean_declaration_yields_no_findings(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        assert cross_check_task(window[0]) == []
+
+    def test_write_under_read_only_is_error(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.READ_ONLY),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        findings = cross_check_task(window[0])
+        assert [f.code for f in findings] == ["PLAN-EFFECT-MISMATCH"]
+        assert findings[0].severity == "error"
+        assert "writes a READ_ONLY" in findings[0].message
+
+    def test_read_under_write_discard_is_error(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.WRITE_DISCARD)],
+        ))
+        findings = cross_check_task(window[0])
+        assert [f.code for f in findings] == ["PLAN-EFFECT-MISMATCH"]
+        assert "WRITE_DISCARD" in findings[0].message
+
+    def test_untouched_write_requirement_is_overdeclared(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY),
+             (a[0], a[1][1], Privilege.READ_WRITE)],  # never a 3rd slot
+        ))
+        findings = cross_check_task(window[0])
+        assert [f.code for f in findings] == ["PLAN-EFFECT-OVERDECLARED"]
+        assert findings[0].severity == "warning"
+
+    def test_reduction_form_read_write_is_narrowable_info(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "axpy",
+            [(a[0], a[1][0], Privilege.READ_WRITE),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+            alpha=2.0,
+        ))
+        findings = cross_check_task(window[0])
+        assert [f.code for f in findings] == ["PLAN-EFFECT-NARROWABLE"]
+        assert findings[0].severity == "info"
+        assert 'REDUCE "+"' in findings[0].message
+
+
+class TestPortabilityCertificate:
+    def test_registry_window_certifies(self):
+        window = kernel_window(lambda rt, a, b: (
+            klaunch(rt, "fill", [(a[0], a[1][0], Privilege.WRITE_DISCARD)],
+                    value=0.0),
+            klaunch(rt, "copy",
+                    [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+                     (b[0], b[1][0], Privilege.READ_ONLY)]),
+        ))
+        cert, problems = certify_window(window)
+        assert problems == []
+        assert cert is not None
+        assert cert.kernels == ("copy", "fill")
+        assert cert.n_tasks == 2
+        assert cert.to_dict()["n_host_tasks"] == 0
+
+    def test_opaque_body_blocks_certification(self):
+        window = kernel_window(lambda rt, a, b: (
+            klaunch(rt, "fill", [(a[0], a[1][0], Privilege.WRITE_DISCARD)],
+                    value=0.0),
+            opaque_launch(rt, "mystery", [(a[0], a[1][0], Privilege.READ_ONLY)]),
+        ))
+        cert, problems = certify_window(window)
+        assert cert is None
+        assert len(problems) == 1
+        assert "opaque task body" in problems[0]
+
+    def test_requirement_less_host_tasks_are_exempt(self):
+        def build(rt, a, b):
+            klaunch(rt, "fill", [(a[0], a[1][0], Privilege.WRITE_DISCARD)],
+                    value=0.0)
+            rt.execute(TaskLauncher("host", lambda ctx: 1.0,
+                                    proc_kind=ProcKind.CPU))
+
+        cert, problems = certify_window(kernel_window(build))
+        assert problems == []
+        assert cert is not None
+        assert cert.n_host_tasks == 1

@@ -235,7 +235,7 @@ class TestLintMachinery:
 
     def test_rule_table_documents_all_rules(self):
         assert sorted(LINT_RULES) == [
-            "REPRO001", "REPRO002", "REPRO003", "REPRO004"
+            "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"
         ]
 
 

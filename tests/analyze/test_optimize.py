@@ -1,0 +1,171 @@
+"""``repro optimize``: the optimizer sweep driver, its baseline gate,
+and the CLI plumbing (including ``repro analyze --allow``)."""
+
+import json
+
+import pytest
+
+from repro.analyze.optimize import (
+    OptimizeReport,
+    compare_optimize_baseline,
+    optimize_program,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cg_row():
+    # One small verified run shared across the module: metrics + a
+    # bitwise replay check on the optimized plan.
+    return optimize_program("cg", size=16, pieces=2, iterations=3)
+
+
+class TestOptimizeProgram:
+    def test_row_reports_metrics_and_verification(self, cg_row):
+        assert cg_row["program"] == "cg"
+        assert cg_row["tasks_after"] <= cg_row["tasks_before"]
+        assert (cg_row["interference_edges_narrowed"]
+                <= cg_row["interference_edges_declared"])
+        assert cg_row["portability_certified"] is True
+        assert cg_row["bitwise_match"] is True
+        assert cg_row["windows_replayed"] == 3
+        assert cg_row["fallbacks"] == 0
+
+    def test_fig8_plan_measurably_shrinks(self):
+        # Acceptance criterion: the optimizer shrinks at least one fig8
+        # plan — fewer narrowed-set interference edges than declared.
+        row = optimize_program("fig8-bicgstab", size=16, pieces=2,
+                               iterations=3, verify=False)
+        assert (row["interference_edges_narrowed"]
+                < row["interference_edges_declared"])
+        assert row["narrowed_requirements"] > 0
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            optimize_program("not-a-program", verify=False)
+
+
+class TestBaselineGate:
+    def base_report(self):
+        report = OptimizeReport()
+        report.rows.append({
+            "program": "fig8-cg",
+            "interference_edges_narrowed": 10,
+            "tasks_after": 20,
+            "narrowed_requirements": 4,
+            "elided_fills": 1,
+            "portability_certified": True,
+        })
+        return report
+
+    def test_identical_report_passes(self):
+        report = self.base_report()
+        baseline = json.loads(report.to_json())
+        assert compare_optimize_baseline(report, baseline) == []
+
+    def test_more_edges_is_a_regression(self):
+        report = self.base_report()
+        baseline = json.loads(report.to_json())
+        report.rows[0]["interference_edges_narrowed"] = 11
+        failures = compare_optimize_baseline(report, baseline)
+        assert len(failures) == 1
+        assert "interference_edges_narrowed" in failures[0]
+
+    def test_fewer_narrowed_requirements_is_a_regression(self):
+        report = self.base_report()
+        baseline = json.loads(report.to_json())
+        report.rows[0]["narrowed_requirements"] = 3
+        assert compare_optimize_baseline(report, baseline)
+
+    def test_lost_certificate_is_a_regression(self):
+        report = self.base_report()
+        baseline = json.loads(report.to_json())
+        report.rows[0]["portability_certified"] = False
+        failures = compare_optimize_baseline(report, baseline)
+        assert any("certificate" in f for f in failures)
+
+    def test_improvements_pass(self):
+        report = self.base_report()
+        baseline = json.loads(report.to_json())
+        report.rows[0]["interference_edges_narrowed"] = 8
+        report.rows[0]["elided_fills"] = 2
+        assert compare_optimize_baseline(report, baseline) == []
+
+    def test_unknown_program_in_report_is_ignored(self):
+        report = self.base_report()
+        assert compare_optimize_baseline(report, {"rows": []}) == []
+
+
+class TestOptimizeCli:
+    def test_single_program_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "opt.json"
+        rc = main(["optimize", "cg", "--size", "16", "--pieces", "2",
+                   "--iterations", "3", "--json", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "interference edges" in printed
+        assert "optimize gate: OK" in printed
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-optimize/1"
+        assert payload["ok"] is True
+        assert payload["rows"][0]["bitwise_match"] is True
+
+    def test_baseline_round_trip(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        common = ["optimize", "cg", "--size", "16", "--pieces", "2",
+                  "--iterations", "3", "--no-verify"]
+        assert main(common + ["--baseline", str(baseline),
+                              "--update-baseline"]) == 0
+        assert main(common + ["--baseline", str(baseline)]) == 0
+
+    def test_baseline_regression_fails(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        common = ["optimize", "cg", "--size", "16", "--pieces", "2",
+                  "--iterations", "3", "--no-verify"]
+        assert main(common + ["--baseline", str(baseline),
+                              "--update-baseline"]) == 0
+        # Doctor the committed baseline to promise an impossibly good
+        # optimizer; the gate must now fail.
+        doctored = json.loads(baseline.read_text())
+        doctored["rows"][0]["interference_edges_narrowed"] = 0
+        baseline.write_text(json.dumps(doctored))
+        rc = main(common + ["--baseline", str(baseline)])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_unknown_program_exits_two(self, capsys):
+        assert main(["optimize", "not-a-program", "--no-verify"]) == 2
+
+
+class TestAnalyzeAllowGate:
+    def test_committed_baseline_matches_cli_schema(self):
+        with open("benchmarks/results/OPTIMIZE_baseline.json") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "repro-optimize/1"
+        assert payload["ok"] is True
+        programs = [r["program"] for r in payload["rows"]]
+        assert programs == ["fig8-cg", "fig8-bicgstab", "fig8-gmres"]
+
+    def test_warning_gates_exit_code_and_allow_suppresses(self, capsys,
+                                                          monkeypatch):
+        # Inject a synthetic warning finding into an otherwise clean
+        # report: exit 1 without --allow, exit 0 with it.
+        from repro.analyze import driver as driver_mod
+        from repro.analyze.checkers import Finding
+
+        real = driver_mod.analyze_program
+
+        def with_warning(*args, **kwargs):
+            report = real(*args, **kwargs)
+            report.findings.append(
+                Finding("PLAN-TEST-WARN", "warning", "synthetic warning")
+            )
+            return report
+
+        monkeypatch.setattr(driver_mod, "analyze_program", with_warning)
+        monkeypatch.setattr("repro.analyze.analyze_program", with_warning)
+        args = ["analyze", "cg", "--size", "16", "--pieces", "2",
+                "--iterations", "1", "--no-dynamic"]
+        assert main(args) == 1
+        assert "GATE: " in capsys.readouterr().out
+        assert main(args + ["--allow", "PLAN-TEST-WARN"]) == 0

@@ -1,0 +1,242 @@
+"""The verified pass pipeline: dead-fill elision, privilege narrowing,
+and the conservativeness checks that gate every rewrite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import build_program, capture_plan
+from repro.analyze.checkers import static_interference_edges
+from repro.analyze.fusion import window_subgraph
+from repro.analyze.passes import (
+    PassVerificationError,
+    narrow_window,
+    optimize_window,
+)
+from repro.runtime import (
+    IndexSpace,
+    Partition,
+    Privilege,
+    ProcKind,
+    Subset,
+    TaskLauncher,
+)
+from repro.runtime.kernels import KernelBody
+
+FEW = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def kernel_window(build):
+    def program(rt):
+        a = rt.create_region(IndexSpace.linear(32), {"v": np.float64})
+        b = rt.create_region(IndexSpace.linear(32), {"v": np.float64})
+        rt.allocate(a, "v")
+        rt.allocate(b, "v")
+        build(rt, (a, Partition.equal(a.ispace, 2)),
+              (b, Partition.equal(b.ispace, 2)))
+
+    return list(capture_plan(program))
+
+
+def klaunch(rt, kernel, reqs, **kwargs):
+    tl = TaskLauncher(kernel, KernelBody(kernel), proc_kind=ProcKind.CPU,
+                      kwargs=kwargs)
+    for region, subset, privilege in reqs:
+        tl.add_requirement(region, ["v"], subset, privilege)
+    return rt.execute(tl)
+
+
+class TestDeadFillElision:
+    def window_with_dead_fill(self):
+        # fill a[0] = 3.0 is fully overwritten by the copy before any
+        # read — the canonical elidable store.
+        return kernel_window(lambda rt, a, b: (
+            klaunch(rt, "fill", [(a[0], a[1][0], Privilege.WRITE_DISCARD)],
+                    value=3.0),
+            klaunch(rt, "copy",
+                    [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+                     (b[0], b[1][0], Privilege.READ_ONLY)]),
+        ))
+
+    def test_fully_overwritten_fill_is_elided(self):
+        opt = optimize_window(self.window_with_dead_fill())
+        assert opt.elided == {0: (1,)}
+        assert opt.metrics["tasks_before"] == 2
+        assert opt.metrics["tasks_after"] == 1
+        assert opt.metrics["elided_fills"] == 1
+        assert opt.metrics["footprint_bytes_saved"] > 0
+        assert [t.name for t in opt.live_window()] == ["copy"]
+        assert any(f.code == "PLAN-OPT-ELIDED" for f in opt.findings)
+
+    def test_elision_can_be_disabled(self):
+        opt = optimize_window(self.window_with_dead_fill(),
+                              elide_dead_fills=False)
+        assert opt.elided == {}
+        assert opt.metrics["tasks_after"] == 2
+
+    def test_intervening_read_keeps_fill_live(self):
+        window = kernel_window(lambda rt, a, b: (
+            klaunch(rt, "fill", [(a[0], a[1][0], Privilege.WRITE_DISCARD)],
+                    value=3.0),
+            klaunch(rt, "copy",
+                    [(b[0], b[1][0], Privilege.WRITE_DISCARD),
+                     (a[0], a[1][0], Privilege.READ_ONLY)]),  # reads the fill
+            klaunch(rt, "copy",
+                    [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+                     (b[0], b[1][1], Privilege.READ_ONLY)]),
+        ))
+        assert optimize_window(window).elided == {}
+
+    def test_partial_overwrite_keeps_fill_live(self):
+        def build(rt, a, b):
+            region, part = a
+            klaunch(rt, "fill",
+                    [(region, Subset.full(region.ispace),
+                      Privilege.WRITE_DISCARD)], value=3.0)
+            klaunch(rt, "copy",
+                    [(region, part[0], Privilege.WRITE_DISCARD),
+                     (b[0], b[1][0], Privilege.READ_ONLY)])
+
+        assert optimize_window(kernel_window(build)).elided == {}
+
+    def test_multi_piece_overwrite_joins(self):
+        # A full-region fill overwritten piecewise by two WRITE_DISCARD
+        # copies: both overwriters recorded, fill dead.
+        def build(rt, a, b):
+            region, part = a
+            klaunch(rt, "fill",
+                    [(region, Subset.full(region.ispace),
+                      Privilege.WRITE_DISCARD)], value=1.5)
+            for p in range(2):
+                klaunch(rt, "copy",
+                        [(region, part[p], Privilege.WRITE_DISCARD),
+                         (b[0], b[1][p], Privilege.READ_ONLY)])
+
+        opt = optimize_window(kernel_window(build))
+        assert opt.elided == {0: (1, 2)}
+
+
+class TestPrivilegeNarrowing:
+    def test_reduction_form_read_write_narrows_to_reduce(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "axpy",
+            [(a[0], a[1][0], Privilege.READ_WRITE),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+            alpha=0.5,
+        ))
+        assert narrow_window(window) == {(0, 0): (Privilege.REDUCE, "+")}
+
+    def test_read_only_usage_narrows_write_declaration(self):
+        # dot_partial only reads; a READ_WRITE declaration narrows.
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "dot_partial",
+            [(a[0], a[1][0], Privilege.READ_WRITE),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        assert narrow_window(window) == {(0, 0): (Privilege.READ_ONLY, "")}
+
+    def test_untouched_write_slot_narrows_to_read_only(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY),
+             (a[0], a[1][1], Privilege.READ_WRITE)],  # body never touches
+        ))
+        assert narrow_window(window) == {(0, 2): (Privilege.READ_ONLY, "")}
+
+    def test_correct_declarations_are_untouched(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        assert narrow_window(window) == {}
+
+    def test_narrowing_shrinks_interference(self):
+        # Two axpy launches accumulating into the same piece: declared
+        # READ_WRITE they conflict; narrowed to REDUCE "+" they commute.
+        window = kernel_window(lambda rt, a, b: (
+            klaunch(rt, "axpy",
+                    [(a[0], a[1][0], Privilege.READ_WRITE),
+                     (b[0], b[1][0], Privilege.READ_ONLY)], alpha=1.0),
+            klaunch(rt, "axpy",
+                    [(a[0], a[1][0], Privilege.READ_WRITE),
+                     (b[0], b[1][1], Privilege.READ_ONLY)], alpha=2.0),
+        ))
+        declared = static_interference_edges(window_subgraph(window))
+        opt = optimize_window(window)
+        assert (0, 1) in declared
+        assert opt.narrowed_edges == set()
+        assert opt.metrics["interference_edges_declared"] == len(declared)
+        assert opt.metrics["interference_edges_narrowed"] == 0
+
+    def test_overlay_never_mutates_the_window(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "axpy",
+            [(a[0], a[1][0], Privilege.READ_WRITE),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+            alpha=0.5,
+        ))
+        opt = optimize_window(window)
+        assert opt.narrowed
+        # Execution sees the declared privileges, untouched.
+        assert window[0].requirements[0].privilege is Privilege.READ_WRITE
+        narrowed = opt.narrowed_window()
+        assert narrowed[0].requirements[0].privilege is Privilege.REDUCE
+
+
+class TestVerification:
+    def test_illegal_narrowing_is_refused(self, monkeypatch):
+        # Fabricate a "narrowing" that strengthens READ_ONLY into
+        # READ_WRITE on overlapping readers: it adds an interference
+        # edge, and the verifier must refuse the rewrite.
+        window = kernel_window(lambda rt, a, b: (
+            klaunch(rt, "dot_partial",
+                    [(a[0], a[1][0], Privilege.READ_ONLY),
+                     (b[0], b[1][0], Privilege.READ_ONLY)]),
+            klaunch(rt, "dot_partial",
+                    [(a[0], a[1][0], Privilege.READ_ONLY),
+                     (b[0], b[1][0], Privilege.READ_ONLY)]),
+        ))
+        monkeypatch.setattr(
+            "repro.analyze.passes.narrow_window",
+            lambda win: {(0, 0): (Privilege.READ_WRITE, "")},
+        )
+        with pytest.raises(PassVerificationError, match="interference"):
+            optimize_window(window)
+
+    def test_portability_rides_on_the_result(self):
+        window = kernel_window(lambda rt, a, b: klaunch(
+            rt, "copy",
+            [(a[0], a[1][0], Privilege.WRITE_DISCARD),
+             (b[0], b[1][0], Privilege.READ_ONLY)],
+        ))
+        opt = optimize_window(window)
+        assert opt.certificate is not None
+        assert opt.portability_problems == []
+        assert opt.metrics["portability_certified"] is True
+
+
+class TestNarrowingNeverAddsEdges:
+    """Satellite property: over real captured solver programs, the
+    narrowed interference set is always a subset of the declared set
+    (optimize_window would raise otherwise — assert the metrics too)."""
+
+    @FEW
+    @given(
+        solver=st.sampled_from(["cg", "bicgstab", "cgs", "minres", "tfqmr"]),
+        fmt=st.sampled_from(["csr", "coo", "dia", "ell"]),
+    )
+    def test_solver_streams_only_shrink(self, solver, fmt):
+        prog = build_program(solver, fmt=fmt, size=16, pieces=2, iterations=2)
+        window = list(capture_plan(prog))
+        declared = static_interference_edges(window_subgraph(window))
+        opt = optimize_window(window)
+        assert opt.narrowed_edges <= declared
+        assert (opt.metrics["interference_edges_narrowed"]
+                <= opt.metrics["interference_edges_declared"])

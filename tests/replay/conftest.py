@@ -52,6 +52,20 @@ def plan_for(solver: str, fmt: str, size: int = SIZE,
     return _PLANS[key]
 
 
+def optimized_plan_for(solver: str, fmt: str, size: int = SIZE,
+                       pieces: Optional[int] = None,
+                       seed: int = 0) -> CompiledPlan:
+    """Like :func:`plan_for` but through the verified pass pipeline
+    (dead-fill elision + privilege narrowing + portability certificate)."""
+    key = ("opt", solver, fmt, size, pieces, seed)
+    if key not in _PLANS:
+        _PLANS[key] = compile_solver_program(
+            lambda rt: make_solver(rt, solver, fmt, size, pieces, seed),
+            optimize=True,
+        )
+    return _PLANS[key]
+
+
 def reference_for(solver: str, fmt: str, size: int = SIZE,
                   pieces: Optional[int] = None, seed: int = 0,
                   iterations: int = ITERATIONS) -> Tuple[List[float], np.ndarray]:
@@ -69,10 +83,11 @@ def reference_for(solver: str, fmt: str, size: int = SIZE,
 
 def replayed_run(solver: str, fmt: str, backend: str, size: int = SIZE,
                  pieces: Optional[int] = None, seed: int = 0,
-                 iterations: int = ITERATIONS):
+                 iterations: int = ITERATIONS, optimize: bool = False):
     """Solve with the compiled plan attached; returns
     (history, x, session)."""
-    plan = plan_for(solver, fmt, size, pieces, seed)
+    maker = optimized_plan_for if optimize else plan_for
+    plan = maker(solver, fmt, size, pieces, seed)
     rt = Runtime(backend=backend, plan=plan)
     ksm = make_solver(rt, solver, fmt, size, pieces, seed)
     result = ksm.solve(tolerance=0.0, max_iterations=iterations)

@@ -1,0 +1,121 @@
+"""The optimized-plan bitwise matrix (hypothesis property suite).
+
+Plans compiled through the verified pass pipeline (``optimize=True``:
+dead-fill elision, privilege narrowing, portability certificate) must
+replay **bitwise-identically** to the unoptimized plan and to a
+fresh-launch serial reference — across all nine solvers × the four
+partitioned storage formats × serial/threads/procs.  On the procs
+backend the certificate additionally arms strict-portable dispatch, so
+the matrix proves itself over bodies that truly crossed the process
+boundary (zero inline fallbacks).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import SOL
+from repro.core.solvers import SOLVER_REGISTRY
+from repro.runtime import Runtime
+
+from .conftest import (
+    ITERATIONS,
+    make_solver,
+    optimized_plan_for,
+    plan_for,
+    reference_for,
+    replayed_run,
+)
+
+FORMATS = ("csr", "coo", "dia", "ell")
+
+FEW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+solvers = st.sampled_from(sorted(SOLVER_REGISTRY))
+formats = st.sampled_from(FORMATS)
+piece_counts = st.integers(min_value=1, max_value=3)
+
+
+def assert_bitwise(solver, fmt, backend, pieces=None):
+    ref_hist, ref_x = reference_for(solver, fmt, pieces=pieces)
+    hist, x, session = replayed_run(solver, fmt, backend, pieces=pieces,
+                                    optimize=True)
+    label = f"{solver}/{fmt}/{backend}/p{pieces}/optimized"
+    assert session is not None, label
+    assert session.windows_replayed == ITERATIONS, label
+    assert session.fallbacks == 0, label
+    assert hist == ref_hist, label
+    assert np.array_equal(x, ref_x), label
+    return session
+
+
+class TestOptimizedBitwiseMatrix:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+    def test_serial_and_threads_match_reference(self, solver, fmt):
+        for backend in ("serial", "threads"):
+            assert_bitwise(solver, fmt, backend, pieces=3)
+
+    @pytest.mark.parametrize("solver", sorted(SOLVER_REGISTRY))
+    def test_procs_matches_reference_with_zero_fallbacks(self, solver):
+        ref_hist, ref_x = reference_for(solver, "csr", pieces=3)
+        plan = optimized_plan_for(solver, "csr", pieces=3)
+        rt = Runtime(backend="procs", plan=plan)
+        try:
+            ksm = make_solver(rt, solver, "csr", pieces=3)
+            result = ksm.solve(tolerance=0.0, max_iterations=ITERATIONS)
+            rt.sync()
+            x = np.array(ksm.planner.get_array(SOL), copy=True)
+            stats = rt.dispatch_stats()["executor"]
+            session = rt.replay_session
+        finally:
+            rt.executor.shutdown()
+        label = f"{solver}/csr/procs/optimized"
+        # The certificate armed strict-portable dispatch: work really
+        # shipped to workers, and nothing silently degraded inline.
+        assert stats["strict_portable"] is True, label
+        assert stats["dispatched_tasks"] > 0, label
+        assert stats["inline_fallback_tasks"] == 0, label
+        assert session.windows_replayed == ITERATIONS, label
+        assert session.fallbacks == 0, label
+        assert list(result.measure_history) == ref_hist, label
+        assert np.array_equal(x, ref_x), label
+
+
+class TestOptimizedProperties:
+    @FEW
+    @given(solver=solvers, fmt=formats, pieces=piece_counts)
+    def test_optimized_equals_unoptimized_replay(self, solver, fmt, pieces):
+        plain = replayed_run(solver, fmt, "serial", pieces=pieces)
+        opt = replayed_run(solver, fmt, "serial", pieces=pieces,
+                           optimize=True)
+        assert plain[0] == opt[0]
+        assert np.array_equal(plain[1], opt[1])
+        assert opt[2].windows_replayed == plain[2].windows_replayed
+
+    @FEW
+    @given(solver=solvers, fmt=formats, pieces=piece_counts)
+    def test_procs_sampled_formats_match(self, solver, fmt, pieces):
+        session = assert_bitwise(solver, fmt, "procs", pieces=pieces)
+        assert session.fallbacks == 0
+
+    @FEW
+    @given(solver=solvers, fmt=formats)
+    def test_optimizer_metadata_is_conservative(self, solver, fmt):
+        plain = plan_for(solver, fmt, pieces=2)
+        opt = optimized_plan_for(solver, fmt, pieces=2)
+        metrics = opt.meta["optimization"]
+        # Narrowing may only shrink the interference set; elision may
+        # only shrink the window; the certificate must hold (every
+        # solver body lives in the kernel registry).
+        assert (metrics["interference_edges_narrowed"]
+                <= metrics["interference_edges_declared"])
+        assert metrics["tasks_after"] <= metrics["tasks_before"]
+        assert opt.meta["portability"]["certified"] is True
+        # Elision and narrowing never change guard signatures.
+        assert opt.structure_hash == plain.structure_hash

@@ -81,15 +81,37 @@ class TestGuardFallback:
         assert list(result.measure_history) == ref_hist
         assert np.array_equal(x, ref_x)
 
-    def test_dead_session_stays_dead(self):
+    def test_stale_plan_recaptures_and_resumes(self):
         stale = plan_for("bicgstab", "csr")
         rt = Runtime(backend="serial", plan=stale)
         ksm = make_solver(rt, "cg", "csr")
+        result = ksm.solve(tolerance=0.0, max_iterations=16)
+        rt.sync()
+        session = rt.replay_session
+        # Eight consecutive missed windows trigger windowed re-capture:
+        # the session records fresh iterations, recompiles, and resumes
+        # replaying against the new template instead of going dead.
+        assert not session.dead
+        assert session.recaptures == 1
+        assert session.windows_replayed >= 1
+        x = np.array(ksm.planner.get_array(SOL), copy=True)
+        ref_hist, ref_x = reference_for("cg", "csr", iterations=16)
+        assert list(result.measure_history) == ref_hist
+        assert np.array_equal(x, ref_x)
+
+    def test_recapture_exhausted_goes_dead(self):
+        stale = plan_for("bicgstab", "csr")
+        rt = Runtime(backend="serial", plan=stale)
+        session = rt.replay_session
+        session.max_recaptures = 0  # no re-capture budget at all
+        ksm = make_solver(rt, "cg", "csr")
         ksm.solve(tolerance=0.0, max_iterations=12)
         session = rt.replay_session
-        # Eight consecutive missed windows kill the session for good.
+        # With the budget exhausted, eight consecutive missed windows
+        # kill the session for good (the historical behaviour).
         assert session.dead
         assert session.windows_replayed == 0
+        assert session.recaptures == 0
 
 
 class TestSlotRoundTrip:

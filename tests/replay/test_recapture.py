@@ -1,0 +1,187 @@
+"""Windowed re-capture, elided-fill replay, mid-window compensation,
+and strict-portable dispatch.
+
+The synthetic program here is built so its steady window contains a
+*dead* fill (fully overwritten by a copy before any read) — real
+solvers keep their fills in the initializer, outside the steady window,
+so elision must be exercised explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_planner
+from repro.core.planner import RHS, SOL
+from repro.problems.generators import tridiagonal_toeplitz
+from repro.replay import compile_solver_program
+from repro.runtime import Privilege, ProcKind, Runtime, TaskLauncher
+from repro.runtime.executor import ExecutorError
+
+from .conftest import make_solver, plan_for
+
+N = 16
+FILL_VALUE = 7.0
+
+
+class DeadFillProgram:
+    """step(): fill tmp (dead), tmp <- rhs, sol += 0.5*tmp.
+
+    With ``diverge=True`` the overwriting copy is skipped, so the fill
+    becomes *live* and the task stream diverges right after the elided
+    position — the compensation path must re-materialize the fill value
+    before the fresh-launched axpy reads it.
+    """
+
+    def __init__(self, planner):
+        self.planner = planner
+        self.tmp = planner.allocate_workspace_vector()
+
+    def step(self, diverge: bool = False) -> None:
+        p = self.planner
+        p.fill(self.tmp, FILL_VALUE)
+        if not diverge:
+            p.copy(self.tmp, RHS)
+        p.axpy(SOL, 0.5, self.tmp)
+
+
+def build_program(runtime, pieces=2):
+    A = tridiagonal_toeplitz(N).tocsr()
+    b = np.random.default_rng(0).random(N)
+    planner = make_planner(A, b, n_pieces=pieces, runtime=runtime)
+    return DeadFillProgram(planner)
+
+
+def dead_fill_plan(pieces=2):
+    return compile_solver_program(
+        lambda rt: build_program(rt, pieces), optimize=True
+    )
+
+
+def run_program(plan, iterations, diverge_at=None, backend="serial",
+                pieces=2):
+    rt = Runtime(backend=backend, plan=plan)
+    prog = build_program(rt, pieces)
+    for i in range(iterations):
+        rt.begin_iteration("step")
+        prog.step(diverge=(diverge_at is not None and i >= diverge_at))
+        rt.end_iteration("step")
+    rt.sync()
+    sol = np.array(prog.planner.get_array(SOL), copy=True)
+    tmp = np.array(prog.planner.get_array(prog.tmp), copy=True)
+    return sol, tmp, rt
+
+
+class TestElidedReplay:
+    def test_optimizer_elides_the_dead_fill(self):
+        plan = dead_fill_plan()
+        metrics = plan.meta["optimization"]
+        assert metrics["elided_fills"] == 2  # one fill task per piece
+        assert metrics["footprint_bytes_saved"] == 8 * N
+        elided = [t for t in plan.tasks if t.elided]
+        assert [t.name for t in elided] == ["fill", "fill"]
+        assert all(t.overwriters for t in elided)
+        assert all(t.intra_deps == () and t.carried_deps == () for t in elided)
+
+    def test_elided_replay_is_bitwise_and_skips_bodies(self):
+        plan = dead_fill_plan()
+        ref_sol, ref_tmp, _ = run_program(None, 5)
+        sol, tmp, rt = run_program(plan, 5)
+        session = rt.replay_session
+        assert session.windows_replayed >= 1
+        assert session.fallbacks == 0
+        # Two fill bodies per window never ran...
+        assert session.tasks_elided == 2 * session.windows_replayed
+        # ...and the numerics are untouched by the elision.
+        assert np.array_equal(sol, ref_sol)
+        assert np.array_equal(tmp, ref_tmp)
+        assert rt.dispatch_stats()["session"]["tasks_elided"] > 0
+
+    def test_mid_window_divergence_compensates_skipped_fills(self):
+        # The program itself diverges at iteration 3: the copy vanishes,
+        # the guard mismatches *after* the elided fill was skipped, and
+        # the session must write FILL_VALUE back before the axpy runs.
+        plan = dead_fill_plan()
+        ref_sol, ref_tmp, _ = run_program(None, 6, diverge_at=3)
+        sol, tmp, rt = run_program(plan, 6, diverge_at=3)
+        session = rt.replay_session
+        assert session.windows_replayed >= 1
+        assert session.fallbacks >= 1
+        # Compensation materialized the fill: tmp holds the fill value.
+        assert np.array_equal(tmp, np.full(N, FILL_VALUE))
+        assert np.array_equal(tmp, ref_tmp)
+        assert np.array_equal(sol, ref_sol)
+
+
+class TestRecapture:
+    def test_recapture_swaps_plan_and_resumes_replay(self):
+        # A stale plan (different solver) misses max_misses times, then
+        # re-captures the live stream and replays the fresh template.
+        stale = plan_for("bicgstab", "csr")
+        rt = Runtime(backend="serial", plan=stale)
+        ksm = make_solver(rt, "cg", "csr")
+        ksm.solve(tolerance=0.0, max_iterations=16)
+        rt.sync()
+        session = rt.replay_session
+        assert session.recaptures == 1
+        assert not session.dead
+        assert session.windows_replayed >= 1
+        # The swapped-in template is a fresh compile of the live stream.
+        assert session.plan.source == "recapture"
+        assert session.plan.structure_hash != stale.structure_hash
+        counters = rt.dispatch_stats()["session"]
+        assert counters["recaptures"] == 1
+        assert counters["tasks_elided"] == 0
+
+    def test_recapture_preserves_optimize_setting(self):
+        # The stale plan was compiled with optimize=True; the recompiled
+        # template must run the pass pipeline again.
+        stale = dead_fill_plan()
+        rt = Runtime(backend="serial", plan=stale)
+        ksm = make_solver(rt, "cg", "csr")
+        result = ksm.solve(tolerance=0.0, max_iterations=16)
+        rt.sync()
+        session = rt.replay_session
+        assert session.recaptures == 1
+        assert session.windows_replayed >= 1
+        assert session.plan.meta["optimize"] is True
+        assert "optimization" in session.plan.meta
+        # Numerics still match a fresh run despite the mid-run swap.
+        from .conftest import reference_for
+
+        ref_hist, ref_x = reference_for("cg", "csr", iterations=16)
+        assert list(result.measure_history) == ref_hist
+        x = np.array(ksm.planner.get_array(SOL), copy=True)
+        assert np.array_equal(x, ref_x)
+
+
+class TestStrictPortable:
+    def test_certified_plan_arms_strict_dispatch(self):
+        plan = dead_fill_plan()
+        assert plan.meta["portability"]["certified"] is True
+        rt = Runtime(backend="procs", plan=plan)
+        try:
+            inner = rt.executor
+            while getattr(inner, "inner", None) is not None:
+                inner = inner.inner
+            assert inner.strict_portable is True
+        finally:
+            rt.executor.shutdown()
+
+    def test_opaque_body_fails_loudly_under_strict_dispatch(self):
+        rt = Runtime(backend="procs")
+        try:
+            inner = rt.executor
+            while getattr(inner, "inner", None) is not None:
+                inner = inner.inner
+            inner.strict_portable = True
+            prog = build_program(rt)
+            region = prog.planner.vector(SOL).components[0].region
+            sub = prog.planner.vector(SOL).components[0].partition[0]
+            tl = TaskLauncher("opaque", lambda ctx: None,
+                              proc_kind=ProcKind.CPU)
+            tl.add_requirement(region, ["v"], sub, Privilege.READ_WRITE)
+            rt.execute(tl)
+            with pytest.raises(ExecutorError, match="strict portability"):
+                rt.sync()
+        finally:
+            rt.executor.shutdown()
