@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Bring-your-own-format in ~40 lines: the plugin kit end to end.
+
+Where ``custom_format.py`` shows that a hand-rolled
+:class:`~repro.sparse.SparseFormat` flows through co-partitioning and a
+solver, this example shows the *registration* story: one
+:func:`~repro.sparse.register_format` call enrolls a format in
+everything the library does by name — CLI/oracle format lists,
+conversion, the conformance battery, chaos coverage, and the bitwise
+replay/procs matrices.
+
+The format itself is deliberately minimal: **column-major COO** (the
+stored triplets of Figure 3's COO row, sorted by column then row —
+the natural layout after a transpose-free gather).  It defines nothing
+but the KDR triple; every kernel it runs — piece compilation, SpMV
+task bodies, procs dispatch — is inherited from the ``SparseFormat``
+base and the stock kernel registry.
+
+The demo solves the Figure 8 five-point-stencil Laplacian with CG on
+the serial backend and on the process-pool backend, and asserts both
+residual histories are **bitwise identical** to CSR's — the same bar
+the built-in formats are held to.
+
+Run:  python examples/custom_format_plugin.py
+"""
+
+import numpy as np
+
+from repro.api import make_planner
+from repro.core import CGSolver
+from repro.core.planner import SOL
+from repro.runtime import FunctionalRelation, IndexSpace, Runtime
+from repro.sparse import FormatSpec, SparseFormat, register_format
+
+
+class ColMajorCOO(SparseFormat):
+    """COO triplets sorted column-major: K is the entry list, and the
+    row/col functions are stored arrays — nothing else."""
+
+    def __init__(self, vals, rows, cols, domain_space, range_space):
+        super().__init__(IndexSpace.linear(max(len(vals), 1), name="K_cmcoo"),
+                         domain_space, range_space)
+        order = np.lexsort((rows, cols))  # column-major entry order
+        self.entries = np.asarray(vals, dtype=np.float64)[order]
+        self.rows = np.asarray(rows, dtype=np.int64)[order]
+        self.cols = np.asarray(cols, dtype=np.int64)[order]
+
+    @classmethod
+    def from_scipy(cls, A):
+        coo = A.tocoo()
+        coo.sum_duplicates()
+        n_rows, n_cols = coo.shape
+        vals, rows, cols = coo.data, coo.row, coo.col
+        if len(vals) == 0:  # degenerate padding entry, as CSR does
+            vals, rows, cols = np.zeros(1), np.zeros(1, int), np.zeros(1, int)
+        return cls(vals, rows, cols,
+                   domain_space=IndexSpace.linear(n_cols, name="D"),
+                   range_space=IndexSpace.linear(n_rows, name="R"))
+
+    @property
+    def col_relation(self):
+        return FunctionalRelation(self.kernel_space, self.domain_space, self.cols)
+
+    @property
+    def row_relation(self):
+        return FunctionalRelation(self.kernel_space, self.range_space, self.rows)
+
+    def triplets(self, kernel_indices=None):
+        k = (np.arange(self.kernel_space.volume, dtype=np.int64)
+             if kernel_indices is None else np.asarray(kernel_indices, dtype=np.int64))
+        return self.rows[k], self.cols[k], self.entries[k]
+
+
+# One call: the format is now a first-class citizen everywhere formats
+# are enumerated (oracle, CLI, conformance, chaos, replay matrices).
+register_format(FormatSpec(
+    name="coo_colmajor",
+    cls=ColMajorCOO,
+    convert=lambda m: ColMajorCOO.from_scipy(m.to_scipy()),
+    from_scipy=ColMajorCOO.from_scipy,
+    description="COO triplets in column-major order (example plugin)",
+))
+
+
+def solve_cg(op, b, backend, pieces=4):
+    """CG on the given backend; returns (history, solution)."""
+    rt = Runtime(backend=backend)
+    try:
+        planner = make_planner(op, b, n_pieces=pieces, runtime=rt)
+        result = CGSolver(planner).solve(tolerance=1e-10, max_iterations=400)
+        rt.sync()
+        x = np.array(planner.get_array(SOL), copy=True)
+        if backend == "procs":
+            stats = rt.dispatch_stats()["executor"]
+            assert stats["dispatched_tasks"] > 0
+            assert stats["inline_fallback_tasks"] == 0
+    finally:
+        if backend == "procs":
+            rt.executor.shutdown()
+    return list(result.measure_history), x
+
+
+def main() -> None:
+    from repro.problems import grid_shape_for, laplacian_scipy
+    from repro.sparse.plugin import build_format, format_names
+
+    assert "coo_colmajor" in format_names()
+    A = laplacian_scipy("2d5", grid_shape_for("2d5", 144))  # Figure 8 stencil
+    rng = np.random.default_rng(8)
+    b = rng.random(A.shape[0])
+
+    ref_hist, ref_x = solve_cg(build_format("csr", A), b, "serial")
+    for fmt, backend in [("coo_colmajor", "serial"), ("coo_colmajor", "procs")]:
+        hist, x = solve_cg(build_format(fmt, A), b, backend)
+        assert hist == ref_hist, f"{fmt}/{backend}: history diverged from CSR"
+        assert np.array_equal(x, ref_x), f"{fmt}/{backend}: solution diverged"
+        print(f"{fmt:>14}/{backend:<6}: {len(hist)} CG iterations, "
+              f"bitwise-identical to csr/serial")
+    print("column-major COO enrolled and proven bitwise with one "
+          "register_format call")
+
+
+if __name__ == "__main__":
+    main()

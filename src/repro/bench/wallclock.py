@@ -48,6 +48,7 @@ __all__ = [
     "compare_to_baseline",
     "require_speedup",
     "require_replay_overhead",
+    "require_spmv_formats",
     "summarize_wallclock",
     "write_report",
     "load_report",
@@ -235,6 +236,7 @@ def run_wallclock(
         entry["metrics"] = obs.metrics.snapshot()
         report_cases.append(entry)
     replay = _measure_replay_overhead(log=log)
+    spmv_formats = _measure_spmv_formats(log=log)
     return {
         "schema": SCHEMA,
         "host": {
@@ -259,6 +261,9 @@ def run_wallclock(
         #: top-level key, invisible to `compare_to_baseline` (which only
         #: inspects `cases`) so older baselines stay valid.
         "replay": replay,
+        #: Raw SpMV race across registered formats on a fig3-style
+        #: stencil; also a top-level key invisible to the baseline gate.
+        "spmv_formats": spmv_formats,
     }
 
 
@@ -294,6 +299,91 @@ def _measure_replay_overhead(
         "overhead_ratio": rep.overhead_ratio,
         "bitwise_match": rep.bitwise_match,
     }
+
+
+def _measure_spmv_formats(
+    kind: str = "3d27",
+    n_unknowns: int = 2 ** 15,
+    formats: Tuple[str, ...] = ("csr", "ell", "sell_c_sigma"),
+    repeats: int = 11,
+    log=None,
+) -> Dict:
+    """Race raw per-format ``spmv`` kernels on one fig3-style stencil.
+
+    The 27-point Laplacian is the paper's widest stencil: boundary rows
+    are ragged (8–18 stored entries vs 27 in the interior), which is
+    exactly the shape SELL-C-σ exists for — ELL pads every row to the
+    global maximum, CSR pays a scalar segment-sum per entry, and
+    SELL-C-σ's σ-sort confines padding to slice boundaries.  Formats are
+    built through the plugin registry (defaults as registered, no
+    per-call tuning) and timed interleaved, one repeat of every format
+    per sweep, so slow host-level drift cancels out of the ratios.  Each
+    format's result is compared bitwise against CSR's and the flag
+    recorded: SELL-C-σ must match (a win with different bits would be
+    meaningless); ELL is not expected to (its axis-sum is pairwise).
+    """
+    from ..sparse.plugin import build_format
+
+    A = laplacian_scipy(kind, grid_shape_for(kind, n_unknowns))
+    A.sum_duplicates()
+    x = np.random.default_rng(3).random(A.shape[0])
+    ops = {name: build_format(name, A) for name in formats}
+    reference = ops[formats[0]].spmv(x).tobytes()
+    samples: Dict[str, List[float]] = {name: [] for name in formats}
+    for name, op in ops.items():
+        op.spmv(x)  # warm: build any lazy per-structure plans
+    for _ in range(int(repeats)):
+        for name, op in ops.items():
+            t0 = time.perf_counter()
+            op.spmv(x)
+            samples[name].append(time.perf_counter() - t0)
+    entries = {
+        name: {
+            "median_s": float(np.median(samples[name])),
+            "bitwise_vs_csr": ops[name].spmv(x).tobytes() == reference,
+        }
+        for name in formats
+    }
+    if log is not None:
+        raced = "  ".join(
+            f"{name}={entries[name]['median_s'] * 1e3:.2f}ms" for name in formats
+        )
+        log(f"spmv race {kind} n={A.shape[0]}: {raced}")
+    return {
+        "kind": kind,
+        "n_unknowns": int(A.shape[0]),
+        "nnz": int(A.nnz),
+        "repeats": int(repeats),
+        "formats": entries,
+    }
+
+
+def require_spmv_formats(
+    report: Dict, fmt: str = "sell_c_sigma", max_ratio: float = 1.0
+) -> List[str]:
+    """Failures of the SpMV format-race acceptance: ``fmt`` must match
+    CSR bitwise and its median must be at most ``max_ratio`` of every
+    rival format's median (1.0 = strictly no slower than any rival)."""
+    failures: List[str] = []
+    race = report.get("spmv_formats")
+    if not race:
+        return ["report has no 'spmv_formats' section (re-run `repro bench`)"]
+    entries = race.get("formats", {})
+    mine = entries.get(fmt)
+    if mine is None:
+        return [f"spmv race has no entry for {fmt!r}"]
+    if not mine.get("bitwise_vs_csr"):
+        failures.append(f"{fmt}: spmv diverges bitwise from csr")
+    for rival, stats in sorted(entries.items()):
+        if rival == fmt:
+            continue
+        ratio = mine["median_s"] / stats["median_s"]
+        if ratio > max_ratio:
+            failures.append(
+                f"{fmt} spmv {ratio:.2f}x {rival} on {race.get('kind')} "
+                f"(required <= {max_ratio:.2f}x)"
+            )
+    return failures
 
 
 def require_replay_overhead(report: Dict, max_ratio: float = 0.5) -> List[str]:
@@ -472,6 +562,17 @@ def summarize_wallclock(report: Dict) -> str:
             f"{float(replay.get('replay_ns_per_task', 0.0)) / 1e3:.1f} us/task"
             + (f" ({ratio:.2f}x fresh)" if ratio is not None else "")
             + (", bitwise MATCH" if replay.get("bitwise_match") else ", bitwise MISMATCH")
+        )
+    race = report.get("spmv_formats")
+    if race:
+        cols = "  ".join(
+            f"{name}={stats['median_s'] * 1e3:.2f}ms"
+            + ("" if stats.get("bitwise_vs_csr") else " [DIVERGES]")
+            for name, stats in sorted(race.get("formats", {}).items())
+        )
+        lines.append(
+            f"spmv race ({race.get('kind')}, n={race.get('n_unknowns')}, "
+            f"nnz={race.get('nnz')}): {cols}"
         )
     return "\n".join(lines)
 

@@ -141,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="require replayed dispatch ns/task <= this fraction "
                          "of fresh on the report's replay section "
                          "(acceptance: 0.5)")
+    pw.add_argument("--max-spmv-ratio", type=float, default=None,
+                    help="require the SELL-C-sigma spmv median <= this "
+                         "fraction of every rival format's median in the "
+                         "report's spmv race (acceptance: 1.0 = no slower "
+                         "than csr or ell)")
 
     pv = sub.add_parser(
         "verify",
@@ -448,6 +453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             load_report,
             require_replay_overhead,
             require_speedup,
+            require_spmv_formats,
             run_wallclock,
             summarize_wallclock,
             write_report,
@@ -502,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.max_replay_overhead is not None:
             failures += require_replay_overhead(report, args.max_replay_overhead)
+        if args.max_spmv_ratio is not None:
+            failures += require_spmv_formats(report, max_ratio=args.max_spmv_ratio)
         for failure in failures:
             print(f"FAIL: {failure}")
         if not failures:
@@ -532,9 +540,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if any(p < 1 for p in args.pieces):
             print("--pieces values must be at least 1")
             return 2
-        if args.size % 2 and any(f in ("bcsr", "bcsc") for f in formats):
-            print("--size must be even when block formats (bcsr/bcsc) are "
-                  "included (2x2 blocks)")
+        from .sparse.plugin import get_spec
+
+        blocked = sorted(
+            f for f in formats if args.size % get_spec(f).size_multiple
+        )
+        if blocked:
+            print(
+                f"--size must be a multiple of "
+                f"{max(get_spec(f).size_multiple for f in blocked)} for "
+                f"format(s) {', '.join(blocked)}"
+            )
             return 2
         report = run_oracle(
             formats=formats,

@@ -565,11 +565,12 @@ class Planner:
         if out_piece.is_empty:
             return
 
+        excl_name, reduce_name = op.matrix.spmv_body_kernels()
         if exclusive:
-            body = KernelBody("spmv_exclusive", payload=kernel)
+            body = KernelBody(excl_name, payload=kernel)
             out_priv = Privilege.WRITE_DISCARD
         else:
-            body = KernelBody("spmv_reduce", payload=kernel)
+            body = KernelBody(reduce_name, payload=kernel)
             out_priv = Privilege.REDUCE
 
         launcher = TaskLauncher(

@@ -7,10 +7,18 @@ only through these relations, every format here — and any user-defined
 format implementing :class:`~repro.sparse.base.SparseFormat` — is
 automatically compatible with the co-partitioning machinery of
 :mod:`repro.core`.
+
+Formats enroll through the plugin kit (:mod:`repro.sparse.plugin`):
+:func:`register_format` is the single entry point for built-ins and
+third-party plugins alike, and registration automatically wires a
+format into conversion, co-partitioning, the planner cost model, the
+differential oracle, the bitwise replay/procs matrices, chaos coverage,
+and static effect certification.  ``repro.sparse.plugins`` holds the
+bundled pure plugins (SELL-C-σ, BCSC).
 """
 
 from .base import PieceKernel, SparseFormat
-from .bcsr import BCSCMatrix, BCSRMatrix
+from .bcsr import BCSRMatrix
 from .convert import (
     ALL_FORMATS,
     to_bcsc,
@@ -29,7 +37,27 @@ from .csr import CSRMatrix
 from .dense import DenseMatrix
 from .dia import DIAMatrix
 from .ell import ELLMatrix, ELLTransposedMatrix
-from .matfree import MatrixFreeOperator
+from .matfree import MatrixFreeOperator, matfree_from_scipy
+from .plugin import (
+    FORMAT_REGISTRY,
+    ORACLE_FORMATS,
+    FormatSpec,
+    build_format,
+    conversion_formats,
+    format_names,
+    get_spec,
+    matrix_format_names,
+    register_format,
+    unregister_format,
+)
+
+# Bundled pure plugins register themselves on import; this must come
+# after .convert so the built-ins are already enrolled.
+from .plugins import (  # noqa: E402  (ordering is load-bearing)
+    BCSCMatrix,
+    SELLCSigmaMatrix,
+    to_sell_c_sigma,
+)
 from .relation_matrix import RelationMatrix
 
 __all__ = [
@@ -43,10 +71,21 @@ __all__ = [
     "DIAMatrix",
     "ELLMatrix",
     "ELLTransposedMatrix",
+    "FORMAT_REGISTRY",
+    "FormatSpec",
     "MatrixFreeOperator",
+    "ORACLE_FORMATS",
     "PieceKernel",
     "RelationMatrix",
+    "SELLCSigmaMatrix",
     "SparseFormat",
+    "build_format",
+    "conversion_formats",
+    "format_names",
+    "get_spec",
+    "matfree_from_scipy",
+    "matrix_format_names",
+    "register_format",
     "to_bcsc",
     "to_bcsr",
     "to_coo",
@@ -56,4 +95,6 @@ __all__ = [
     "to_dia",
     "to_ell",
     "to_ell_transposed",
+    "to_sell_c_sigma",
+    "unregister_format",
 ]

@@ -130,6 +130,21 @@ class SparseFormat(ABC):
         pointers; DIA: values only; etc.)."""
         return 12.0 * n_kernel_points + 8.0 * (n_domain + 2 * n_range)
 
+    # -- task-body dispatch --------------------------------------------------------
+
+    def spmv_body_kernels(self) -> Tuple[str, str]:
+        """Kernel-registry names ``(exclusive, reduce)`` the planner
+        launches this format's SpMV piece tasks with.
+
+        The default bodies apply the compiled piece kernel payload
+        directly; a plugin that registered its own bodies through
+        ``FormatSpec.kernels`` overrides this to return their
+        namespaced names (``format.<name>.<key>``).  Either way the
+        body lives in :data:`~repro.runtime.kernels.KERNEL_REGISTRY`,
+        which is what keeps it procs-portable and effect-inferable.
+        """
+        return ("spmv_exclusive", "spmv_reduce")
+
     # -- reference kernels ---------------------------------------------------------
 
     def spmv(self, x: np.ndarray) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""BCSR / BCSC (block compressed sparse row/column) formats.
+"""BCSR (block compressed sparse row) format and shared block machinery.
 
 Figure 3 rows "BCSR"/"BCSC": the structural assumptions factor all three
 index spaces into block grids —
@@ -7,11 +7,13 @@ index spaces into block grids —
 * ``D = D₀ × B_D`` and ``R = R₀ × B_R`` (block columns and rows),
 
 with ``K₀`` totally ordered.  BCSR stores ``col : K₀ → D₀`` plus
-``rowptr : R₀ → [K₀, K₀]``; BCSC stores ``colptr : D₀ → [K₀, K₀]`` plus
-``row : K₀ → R₀``.  The full row/column relations on ``K`` are the
-block relations composed with the in-block coordinate projections, and
-are exposed as :class:`~repro.runtime.deppart.ComputedRelation` objects
-so the universal co-partitioning operators (paper §3.1) apply unchanged.
+``rowptr : R₀ → [K₀, K₀]``.  The full row/column relations on ``K`` are
+the block relations composed with the in-block coordinate projections,
+and are exposed as :class:`~repro.runtime.deppart.ComputedRelation`
+objects so the universal co-partitioning operators (paper §3.1) apply
+unchanged.  The column-major sibling BCSC builds on the same
+:class:`_BlockFormatBase` but ships as a pure plugin
+(:mod:`repro.sparse.plugins.bcsc`).
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from ..runtime.deppart import ComputedRelation, Relation
 from ..runtime.index_space import IndexSpace
 from .base import SparseFormat
 
-__all__ = ["BCSRMatrix", "BCSCMatrix"]
+__all__ = ["BCSRMatrix"]
 
 
 def _blocks_matching(
@@ -201,10 +203,21 @@ class BCSRMatrix(_BlockFormatBase):
             domain_space = IndexSpace.linear(bsr.shape[1], name="D")
         if range_space is None:
             range_space = IndexSpace.linear(bsr.shape[0], name="R")
+        values = np.asarray(bsr.data, dtype=np.float64)
+        indices = bsr.indices.astype(np.int64)
+        indptr = bsr.indptr.astype(np.int64)
+        if values.shape[0] == 0:
+            # Degenerate all-zero matrix: pad one explicit zero block at
+            # (0, 0) so the kernel space stays non-empty (CSR does the
+            # same with a single padding entry).
+            br, bd = block_size
+            values = np.zeros((1, br, bd))
+            indices = np.zeros(1, dtype=np.int64)
+            indptr = np.minimum(np.arange(indptr.size, dtype=np.int64), 1)
         return cls(
-            np.asarray(bsr.data, dtype=np.float64),
-            bsr.indices.astype(np.int64),
-            bsr.indptr.astype(np.int64),
+            values,
+            indices,
+            indptr,
             domain_space=domain_space,
             range_space=range_space,
         )
@@ -219,59 +232,3 @@ class BCSRMatrix(_BlockFormatBase):
 
     def block_col_of(self) -> np.ndarray:
         return self.block_cols
-
-
-class BCSCMatrix(_BlockFormatBase):
-    """BCSC: ``colptr : D₀ → [K₀, K₀]`` stored, ``row : K₀ → R₀``."""
-
-    def __init__(
-        self,
-        values: np.ndarray,
-        block_rows: np.ndarray,
-        block_colptr: np.ndarray,
-        domain_space: IndexSpace,
-        range_space: IndexSpace,
-        index_bytes: int = 4,
-    ):
-        super().__init__(values, domain_space, range_space, index_bytes)
-        block_rows = np.asarray(block_rows, dtype=np.int64)
-        block_colptr = np.asarray(block_colptr, dtype=np.int64)
-        n_block_cols = domain_space.volume // self.bd
-        if block_rows.size != self.n_blocks:
-            raise ValueError("one block row index per block required")
-        if block_colptr.size != n_block_cols + 1:
-            raise ValueError("block colptr must have n_block_cols + 1 entries")
-        if block_colptr[0] != 0 or block_colptr[-1] != self.n_blocks or np.any(np.diff(block_colptr) < 0):
-            raise ValueError("block colptr must be monotone from 0 to n_blocks")
-        self.block_rows = block_rows
-        self.block_colptr = block_colptr
-        self._block_cols: Optional[np.ndarray] = None
-
-    @classmethod
-    def from_scipy(cls, mat, block_size: Tuple[int, int], domain_space=None, range_space=None) -> "BCSCMatrix":
-        # scipy has no BSC; build from the BSR of the transpose.
-        bsr_t = mat.T.tobsr(blocksize=(block_size[1], block_size[0]))
-        values_t = np.asarray(bsr_t.data, dtype=np.float64)  # blocks of Aᵀ
-        values = np.transpose(values_t, (0, 2, 1))
-        if domain_space is None:
-            domain_space = IndexSpace.linear(mat.shape[1], name="D")
-        if range_space is None:
-            range_space = IndexSpace.linear(mat.shape[0], name="R")
-        return cls(
-            values,
-            bsr_t.indices.astype(np.int64),
-            bsr_t.indptr.astype(np.int64),
-            domain_space=domain_space,
-            range_space=range_space,
-        )
-
-    def block_row_of(self) -> np.ndarray:
-        return self.block_rows
-
-    def block_col_of(self) -> np.ndarray:
-        if self._block_cols is None:
-            lens = np.diff(self.block_colptr)
-            self._block_cols = np.repeat(
-                np.arange(lens.size, dtype=np.int64), lens
-            )
-        return self._block_cols

@@ -17,13 +17,15 @@ import scipy.sparse as sp
 
 from ..runtime.index_space import IndexSpace
 from .base import SparseFormat
-from .bcsr import BCSCMatrix, BCSRMatrix
+from .bcsr import BCSRMatrix
 from .coo import COOMatrix
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dense import DenseMatrix
 from .dia import DIAMatrix
 from .ell import ELLMatrix, ELLTransposedMatrix
+from .matfree import MatrixFreeOperator, matfree_from_scipy
+from .plugin import ALL_FORMATS, FormatSpec, register_format
 
 __all__ = [
     "to_coo",
@@ -86,20 +88,73 @@ def to_bcsr(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)) -> BCSRM
     return BCSRMatrix.from_scipy(_as_scipy(matrix), block_size=block_size)
 
 
-def to_bcsc(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)) -> BCSCMatrix:
-    return BCSCMatrix.from_scipy(_as_scipy(matrix), block_size=block_size)
+def to_bcsc(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)):
+    """Legacy alias — BCSC is now a plugin under ``repro.sparse.plugins``."""
+    from .plugins.bcsc import to_bcsc as _to_bcsc
+
+    return _to_bcsc(matrix, block_size=block_size)
 
 
-#: The format zoo of Figure 3, as (name, converter) pairs usable by
-#: parameterized tests and the format-ablation benchmark.
-ALL_FORMATS = [
-    ("dense", to_dense_format),
-    ("coo", to_coo),
-    ("csr", to_csr),
-    ("csc", to_csc),
-    ("ell", to_ell),
-    ("ell_t", to_ell_transposed),
-    ("dia", to_dia),
-    ("bcsr", to_bcsr),
-    ("bcsc", to_bcsc),
-]
+# ---------------------------------------------------------------------------
+# Built-in registrations: the Figure 3 zoo goes through the exact same
+# entry point plugins use, so the registry is the single enumeration
+# source of truth.  ``ALL_FORMATS`` (re-exported from .plugin above) is
+# a live view over these plus any later-registered plugin.
+#
+# ``bitwise_matrix``: the heavy all-solvers × all-backends bitwise
+# matrices enroll one representative per relation shape — csr (stored
+# rowptr), coo (stored row+col), dia (computed diagonal relations), ell
+# (padded grid relations).  dense/csc/ell_t/bcsr opt out: their piece
+# dispatch is structurally identical to an enrolled sibling (csc/ell_t
+# mirror csr/ell transposed; bcsr mirrors the bcsc plugin), and they
+# remain fully covered by the differential oracle and conformance
+# battery.
+# ---------------------------------------------------------------------------
+
+register_format(FormatSpec(
+    name="dense", cls=DenseMatrix, convert=to_dense_format,
+    description="dense 2-D array with full K = R x D grid",
+    bitwise_matrix=False, builtin=True,
+))
+register_format(FormatSpec(
+    name="coo", cls=COOMatrix, convert=to_coo,
+    description="coordinate list: stored row and col functions",
+    builtin=True,
+))
+register_format(FormatSpec(
+    name="csr", cls=CSRMatrix, convert=to_csr,
+    description="compressed sparse row: rowptr + stored col function",
+    builtin=True,
+))
+register_format(FormatSpec(
+    name="csc", cls=CSCMatrix, convert=to_csc,
+    description="compressed sparse column: colptr + stored row function",
+    bitwise_matrix=False, builtin=True,
+))
+register_format(FormatSpec(
+    name="ell", cls=ELLMatrix, convert=to_ell,
+    description="ELLPACK: K = R x K0 grid with per-row padding",
+    builtin=True,
+))
+register_format(FormatSpec(
+    name="ell_t", cls=ELLTransposedMatrix, convert=to_ell_transposed,
+    description="transposed ELLPACK: K = D x K0 grid",
+    bitwise_matrix=False, builtin=True,
+))
+register_format(FormatSpec(
+    name="dia", cls=DIAMatrix, convert=to_dia,
+    description="diagonal storage: computed offset relations",
+    builtin=True,
+))
+register_format(FormatSpec(
+    name="bcsr", cls=BCSRMatrix, convert=to_bcsr,
+    description="block CSR: K = K0 x Br x Bd with block rowptr",
+    size_multiple=2, bitwise_matrix=False, builtin=True,
+))
+register_format(FormatSpec(
+    name="matfree", cls=MatrixFreeOperator,
+    from_scipy=matfree_from_scipy,
+    description="matrix-free apply callback over an explicit dependence relation",
+    stored=False, supports_adjoint=False, supports_precond=False,
+    bitwise_matrix=False, builtin=True,
+))

@@ -25,12 +25,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..runtime.deppart import ComputedRelation, FullRelation, Relation
+from ..runtime.deppart import ComputedRelation, FullRelation, PairsRelation, Relation
 from ..runtime.index_space import IndexSpace
 from ..runtime.subset import Subset
 from .base import SparseFormat
 
-__all__ = ["MatrixFreeOperator"]
+__all__ = ["MatrixFreeOperator", "matfree_from_scipy"]
 
 #: apply(x_piece, out_rows, in_cols) -> y_piece
 #:   x_piece:  input values, ordered like ``in_cols`` (global domain ids)
@@ -190,6 +190,39 @@ class MatrixFreeOperator(SparseFormat):
     @property
     def entries(self) -> np.ndarray:
         return np.zeros(self.kernel_space.volume)
+
+
+def matfree_from_scipy(A) -> "MatrixFreeOperator":
+    """Wrap a square SciPy matrix as a matrix-free operator whose
+    dependence relation is the matrix's exact nonzero pattern — the
+    ghost regions derived by co-partitioning must then match the stored
+    formats' exactly.  This is the oracle's (and the registry's)
+    ``from_scipy`` builder for the ``matfree`` format."""
+    A = A.tocsr()
+    n, m = A.shape
+    if n != m:
+        raise ValueError("matfree oracle operator requires a square matrix")
+    space = IndexSpace.linear(n, name="S_matfree")
+    coo = A.tocoo()
+    pairs = np.stack([coo.row.astype(np.int64), coo.col.astype(np.int64)], axis=1)
+    dependence = PairsRelation(space, space, pairs)
+
+    def apply_fn(x_piece: np.ndarray, out_rows: np.ndarray, in_cols: np.ndarray) -> np.ndarray:
+        # Scatter the piece's inputs into a dense global vector (zeros
+        # elsewhere are never read: out_rows only touch in_cols entries).
+        x = np.zeros(m)
+        x[in_cols] = x_piece
+        return (A @ x)[out_rows]
+
+    nnz_per_row = max(1.0, A.nnz / max(1, n))
+    return MatrixFreeOperator(
+        apply_fn,
+        domain_space=space,
+        range_space=space,
+        dependence=dependence,
+        flops_per_row=2.0 * nnz_per_row,
+        bytes_per_row=12.0 * nnz_per_row,
+    )
 
 
 class _Rebased(Relation):

@@ -1,0 +1,283 @@
+"""Declarative format-plugin registry (the bring-your-own-format kit).
+
+The paper (§5) claims user-defined storage formats require "no
+modification to library code".  This module is that claim made
+mechanical: a plugin calls :func:`register_format` once with a
+:class:`FormatSpec` describing its format class (a
+:class:`~repro.sparse.base.SparseFormat` subclass, i.e. a KDR relation
+pair plus storage arrays), a converter, and optional task-body kernels
+— and automatically receives
+
+* universal co-partitioning and planner/cost-model integration (these
+  only ever see the ``SparseFormat`` interface),
+* format conversion (:data:`ALL_FORMATS` is a live view of the
+  registry, so every ``to_*``-style round-trip test covers the plugin),
+* the cross-format differential oracle and chaos matrix
+  (:data:`ORACLE_FORMATS` is the same live view plus capability flags),
+* static analysis, effect certification, and replay/fusion/procs
+  dispatch (plugin kernels are installed into the *existing*
+  :data:`~repro.runtime.kernels.KERNEL_REGISTRY` under a namespaced
+  ``format.<name>.<key>``, so bodies stay procs-portable by name and
+  effect-inferable from source),
+* the conformance battery (``tests/sparse/conformance.py``) and the
+  bitwise replay/procs matrices, which enumerate the registry.
+
+The built-in formats of Figure 3 register through exactly the same
+entry point (see :mod:`repro.sparse.convert`), so there is one
+enumeration source of truth; SELL-C-σ and BCSC live under
+:mod:`repro.sparse.plugins` as pure plugins of this API.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import scipy.sparse as sp
+
+from ..runtime.kernels import KERNEL_REGISTRY, register_kernel
+from .base import SparseFormat
+
+__all__ = [
+    "ALL_FORMATS",
+    "FORMAT_REGISTRY",
+    "FormatSpec",
+    "ORACLE_FORMATS",
+    "build_format",
+    "conversion_formats",
+    "format_names",
+    "get_spec",
+    "kernel_name",
+    "matrix_format_names",
+    "register_format",
+    "unregister_format",
+]
+
+_NAME_RE = re.compile(r"[a-z][a-z0-9_]*\Z")
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """Everything the library needs to know about one storage format.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``[a-z][a-z0-9_]*``); doubles as the CLI
+        ``--format`` value and the oracle/bench label.
+    cls:
+        The :class:`~repro.sparse.base.SparseFormat` subclass.  The KDR
+        relation pair and storage arrays live here; everything
+        downstream (co-partitioning, planning, piece compilation)
+        works through this interface alone.
+    convert:
+        ``convert(matrix: SparseFormat) -> cls`` from *any* other
+        format (conversions go through the COO expansion, so
+        ``matrix.triplets()`` is all a converter may rely on).  None
+        for operators without stored entries (matrix-free).
+    from_scipy:
+        ``from_scipy(A: scipy sparse) -> cls``.  Defaults to
+        ``convert(CSRMatrix.from_scipy(A))``; formats without a
+        converter (matrix-free) must provide it.
+    description:
+        One line for docs/CLI listings.
+    stored:
+        Whether the format stores entries (False for matrix-free).
+        Non-stored formats are excluded from conversion round-trips.
+    supports_adjoint:
+        Whether ``Aᵀ`` products exist (False ⇒ the oracle and analyzer
+        skip adjoint-hungry solvers such as BiCG/CGNR).
+    supports_precond:
+        Whether a Jacobi preconditioner can be derived from the format
+        (False ⇒ PCG is skipped for it).
+    size_multiple:
+        Problem sizes must be a multiple of this (block formats: the
+        block edge).  CLI validation is driven by it.
+    bitwise_matrix:
+        Enroll in the heavy bitwise replay/procs/chaos matrices (all
+        solvers × backends × piece counts).  Plugins default to True —
+        shipping a format means proving it bitwise; a built-in may opt
+        out when its dispatch behaviour duplicates an enrolled format.
+    kernels:
+        Optional task-body kernels ``{key: fn(ctx, payload)}`` the
+        format's pieces dispatch through.  Each is installed into the
+        process-portable :data:`KERNEL_REGISTRY` as
+        ``format.<name>.<key>`` (see :func:`kernel_name`), which makes
+        the bodies effect-inferable and procs-portable like any stock
+        kernel.  The format class names them via
+        :meth:`SparseFormat.spmv_body_kernels`.
+    builtin:
+        True for the stock Figure 3 formats (informational).
+    """
+
+    name: str
+    cls: type
+    convert: Optional[Callable[[SparseFormat], SparseFormat]] = None
+    from_scipy: Optional[Callable[[sp.spmatrix], Any]] = None
+    description: str = ""
+    stored: bool = True
+    supports_adjoint: bool = True
+    supports_precond: bool = True
+    size_multiple: int = 1
+    bitwise_matrix: bool = True
+    kernels: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+    builtin: bool = False
+
+
+#: name -> spec, in registration order (insertion-ordered dict).
+FORMAT_REGISTRY: Dict[str, FormatSpec] = {}
+
+
+def kernel_name(fmt: str, key: str) -> str:
+    """The :data:`KERNEL_REGISTRY` name of a plugin kernel."""
+    return f"format.{fmt}.{key}"
+
+
+def register_format(spec: FormatSpec) -> FormatSpec:
+    """Register one storage format; returns the spec for chaining.
+
+    Raises ``ValueError`` on an invalid or duplicate spec.  Plugin
+    kernels are installed into the runtime kernel registry as part of
+    registration, so a format is procs-dispatchable the moment its
+    module is imported — workers re-run the same module-level
+    registration when they unpickle a piece payload.
+    """
+    if not isinstance(spec, FormatSpec):
+        raise TypeError(f"expected a FormatSpec, got {type(spec).__name__}")
+    if not _NAME_RE.match(spec.name):
+        raise ValueError(
+            f"format name {spec.name!r} must match {_NAME_RE.pattern!r}"
+        )
+    if spec.name in FORMAT_REGISTRY:
+        raise ValueError(f"format {spec.name!r} is already registered")
+    if not (isinstance(spec.cls, type) and issubclass(spec.cls, SparseFormat)):
+        raise ValueError(
+            f"format {spec.name!r}: cls must subclass SparseFormat"
+        )
+    if spec.convert is None and spec.from_scipy is None:
+        raise ValueError(
+            f"format {spec.name!r}: provide at least one of convert/from_scipy"
+        )
+    if spec.stored and spec.convert is None:
+        raise ValueError(
+            f"format {spec.name!r}: stored formats need a converter "
+            "(conversions are how the differential oracle round-trips)"
+        )
+    if spec.size_multiple < 1:
+        raise ValueError(f"format {spec.name!r}: size_multiple must be >= 1")
+    installed: List[str] = []
+    try:
+        for key, fn in spec.kernels.items():
+            full = kernel_name(spec.name, key)
+            register_kernel(full)(fn)
+            installed.append(full)
+    except Exception:
+        for full in installed:
+            KERNEL_REGISTRY.pop(full, None)
+        raise
+    FORMAT_REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_format(name: str) -> None:
+    """Remove a format and its namespaced kernels (test/teardown hook)."""
+    spec = FORMAT_REGISTRY.pop(name, None)
+    if spec is None:
+        raise KeyError(f"format {name!r} is not registered")
+    for key in spec.kernels:
+        KERNEL_REGISTRY.pop(kernel_name(name, key), None)
+
+
+def get_spec(name: str) -> FormatSpec:
+    """The spec registered under ``name`` (KeyError lists known names)."""
+    try:
+        return FORMAT_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; known: {format_names()}"
+        ) from None
+
+
+def format_names() -> List[str]:
+    """Every registered format name, in registration order."""
+    return list(FORMAT_REGISTRY)
+
+
+def conversion_formats() -> List[Tuple[str, Callable[[SparseFormat], SparseFormat]]]:
+    """(name, converter) for every stored format — the Figure 3 zoo."""
+    return [
+        (spec.name, spec.convert)
+        for spec in FORMAT_REGISTRY.values()
+        if spec.convert is not None
+    ]
+
+
+def matrix_format_names() -> List[str]:
+    """Formats enrolled in the heavy bitwise replay/procs/chaos
+    matrices (every plugin, unless it opted out)."""
+    return [
+        spec.name for spec in FORMAT_REGISTRY.values() if spec.bitwise_matrix
+    ]
+
+
+def build_format(name: str, A: sp.spmatrix) -> Any:
+    """Instantiate format ``name`` from a SciPy matrix."""
+    spec = get_spec(name)
+    if spec.from_scipy is not None:
+        return spec.from_scipy(A)
+    from .csr import CSRMatrix
+
+    assert spec.convert is not None  # register_format guarantees one of the two
+    return spec.convert(CSRMatrix.from_scipy(sp.csr_matrix(A)))
+
+
+class _RegistryView:
+    """A live, sequence-shaped view of the registry.
+
+    Existing call sites (tests, the oracle, the CLI) iterate, index,
+    ``len()`` and ``in``-test module-level format lists; making those
+    names *views* means a plugin registered after import time is still
+    visible everywhere without re-imports.
+    """
+
+    __slots__ = ("_produce",)
+
+    def __init__(self, produce: Callable[[], List[Any]]):
+        self._produce = produce
+
+    def _items(self) -> List[Any]:
+        return self._produce()
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items())
+
+    def __len__(self) -> int:
+        return len(self._items())
+
+    def __getitem__(self, idx: Any) -> Any:
+        return self._items()[idx]
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items()
+
+    def __add__(self, other: Any) -> List[Any]:
+        return self._items() + list(other)
+
+    def __radd__(self, other: Any) -> List[Any]:
+        return list(other) + self._items()
+
+    def __eq__(self, other: Any) -> bool:
+        return self._items() == other
+
+    def __repr__(self) -> str:
+        return repr(self._items())
+
+
+#: Live view of the stored-format zoo as (name, converter) pairs —
+#: the drop-in replacement for the old static ``convert.ALL_FORMATS``.
+ALL_FORMATS = _RegistryView(conversion_formats)
+
+#: Live view of every registered format name (stored + matrix-free) —
+#: the drop-in replacement for the old static ``oracle.ORACLE_FORMATS``.
+ORACLE_FORMATS = _RegistryView(format_names)

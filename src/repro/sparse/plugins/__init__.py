@@ -1,0 +1,21 @@
+"""Bundled format plugins.
+
+Everything under this package is a *pure plugin*: each module defines a
+:class:`~repro.sparse.base.SparseFormat` subclass and registers it via
+:func:`repro.sparse.plugin.register_format` at import time — no edits
+to ``core/``, ``runtime/``, ``analyze/`` or ``replay/`` are involved in
+enabling one.  Importing :mod:`repro.sparse` imports this package, so
+the bundled plugins are always registered; third-party plugins follow
+the identical recipe from their own modules (see
+``examples/custom_format_plugin.py`` and ``docs/architecture.md``).
+"""
+
+from .bcsc import BCSCMatrix, to_bcsc
+from .sell import SELLCSigmaMatrix, to_sell_c_sigma
+
+__all__ = [
+    "BCSCMatrix",
+    "SELLCSigmaMatrix",
+    "to_bcsc",
+    "to_sell_c_sigma",
+]

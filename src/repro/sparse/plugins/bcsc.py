@@ -1,0 +1,106 @@
+"""BCSC (block compressed sparse column) — a pure format plugin.
+
+Figure 3 row "BCSC": the structural assumptions factor all three index
+spaces into block grids (``K = K₀ × B_R × B_D``, ``D = D₀ × B_D``,
+``R = R₀ × B_R``) and store ``colptr : D₀ → [K₀, K₀]`` plus
+``row : K₀ → R₀``.  All of the block machinery — the composed
+relations, the batched-einsum SpMV, the amortized-metadata byte model —
+is shared with BCSR through :class:`~repro.sparse.bcsr._BlockFormatBase`;
+this module only supplies the column-major block metadata and the
+registry spec.  It demonstrates the plugin kit on a format whose kernel
+space is *not* row-shaped: co-partitioning, the differential oracle,
+the bitwise replay/procs matrices, and chaos coverage all enroll it
+automatically from :func:`~repro.sparse.plugin.register_format` alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..base import SparseFormat
+from ..bcsr import _BlockFormatBase
+from ..plugin import FormatSpec, register_format
+
+__all__ = ["BCSCMatrix", "to_bcsc"]
+
+
+class BCSCMatrix(_BlockFormatBase):
+    """BCSC: ``colptr : D₀ → [K₀, K₀]`` stored, ``row : K₀ → R₀``."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        block_rows: np.ndarray,
+        block_colptr: np.ndarray,
+        domain_space,
+        range_space,
+        index_bytes: int = 4,
+    ):
+        super().__init__(values, domain_space, range_space, index_bytes)
+        block_rows = np.asarray(block_rows, dtype=np.int64)
+        block_colptr = np.asarray(block_colptr, dtype=np.int64)
+        n_block_cols = domain_space.volume // self.bd
+        if block_rows.size != self.n_blocks:
+            raise ValueError("one block row index per block required")
+        if block_colptr.size != n_block_cols + 1:
+            raise ValueError("block colptr must have n_block_cols + 1 entries")
+        if block_colptr[0] != 0 or block_colptr[-1] != self.n_blocks or np.any(np.diff(block_colptr) < 0):
+            raise ValueError("block colptr must be monotone from 0 to n_blocks")
+        self.block_rows = block_rows
+        self.block_colptr = block_colptr
+        self._block_cols: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_scipy(cls, mat, block_size: Tuple[int, int] = (2, 2), domain_space=None, range_space=None) -> "BCSCMatrix":
+        # scipy has no BSC; build from the BSR of the transpose.
+        from ...runtime.index_space import IndexSpace
+
+        bsr_t = mat.T.tobsr(blocksize=(block_size[1], block_size[0]))
+        values_t = np.asarray(bsr_t.data, dtype=np.float64)  # blocks of Aᵀ
+        values = np.transpose(values_t, (0, 2, 1))
+        indices = bsr_t.indices.astype(np.int64)
+        indptr = bsr_t.indptr.astype(np.int64)
+        if values.shape[0] == 0:
+            # Degenerate all-zero matrix: one explicit zero block at
+            # (0, 0), mirroring BCSR/CSR padding.
+            values = np.zeros((1, block_size[0], block_size[1]))
+            indices = np.zeros(1, dtype=np.int64)
+            indptr = np.minimum(np.arange(indptr.size, dtype=np.int64), 1)
+        if domain_space is None:
+            domain_space = IndexSpace.linear(mat.shape[1], name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(mat.shape[0], name="R")
+        return cls(
+            values,
+            indices,
+            indptr,
+            domain_space=domain_space,
+            range_space=range_space,
+        )
+
+    def block_row_of(self) -> np.ndarray:
+        return self.block_rows
+
+    def block_col_of(self) -> np.ndarray:
+        if self._block_cols is None:
+            lens = np.diff(self.block_colptr)
+            self._block_cols = np.repeat(
+                np.arange(lens.size, dtype=np.int64), lens
+            )
+        return self._block_cols
+
+
+def to_bcsc(matrix: SparseFormat, block_size: Tuple[int, int] = (2, 2)) -> BCSCMatrix:
+    from ..convert import _as_scipy
+
+    return BCSCMatrix.from_scipy(_as_scipy(matrix), block_size=block_size)
+
+
+register_format(FormatSpec(
+    name="bcsc", cls=BCSCMatrix, convert=to_bcsc,
+    from_scipy=BCSCMatrix.from_scipy,
+    description="block CSC: K = K0 x Br x Bd with block colptr (plugin)",
+    size_multiple=2,
+))

@@ -1,0 +1,490 @@
+"""SELL-C-σ (sorted sliced ELLPACK) — a pure format plugin.
+
+The format of Kreutzer et al. that closes the Figure 3 gap between ELL
+(vector-friendly, but padded to the *global* max row length) and CSR
+(no padding, but scalar row loops): rows are sorted by length inside
+windows of ``σ`` consecutive rows, grouped into *slices* of ``C``
+rows, and each slice is padded only to its own max width and stored
+slot-major.  Sorting makes slice-mates similar in length, so padding is
+per-slice-minimal while every slot is still a contiguous ``C``-lane
+block an SIMD unit (here: a NumPy vector op) can chew through.
+
+KDR structure: one kernel point per *padded slot*, laid out
+``k = sliceptr[t] + s*C + l`` (slice ``t``, slot ``s``, lane ``l``).
+The column relation is a stored function with ``-1`` marking padding
+(exactly ELL's relation shape); the row relation maps a valid slot to
+``perm[t*C + l]`` — the σ-window sort permutation composed with the
+slice/lane projection.  Padding slots relate to nothing, so
+co-partitioning and conversions see only real entries.
+
+Bitwise contract: SpMV accumulates each row's products *sequentially in
+stored (CSR) order* — slot 0, slot 1, … — with the accumulator starting
+at +0.0, which is the exact association of SciPy's CSR ``matvec`` and
+of :class:`~repro.sparse.csr.CSRMatrix`'s ``bincount`` kernel.  Padding
+contributes ``0.0 * x[0]`` terms; for finite ``x`` these are ``±0.0``
+and adding ``±0.0`` to a partial sum that is never ``-0.0`` (it starts
+at ``+0.0`` and IEEE-754 round-to-nearest never produces ``-0.0`` from
+a sum of unequal-signed zeros) is bitwise-neutral.  Hence SELL-C-σ SpMV
+matches CSR *bitwise* on finite data — the property the auto-enrolled
+replay/procs matrices and the hypothesis suite pin down.
+
+The piece kernels re-slice locally: a co-partitioned kernel piece is
+localized to piece coordinates and rebuilt as a small SELL-C-σ
+structure at planning time, then applied every iteration as a pure
+array-in/array-out kernel.  Pieces carry only plain arrays, so they
+pickle cleanly; the task bodies dispatching them are registered through
+the plugin kit into the process-portable kernel registry
+(``format.sell_c_sigma.spmv_exclusive`` / ``.spmv_reduce``), keeping
+the format effect-inferable and procs-dispatchable with zero inline
+fallbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...runtime.deppart import ComputedRelation, Relation
+from ...runtime.index_space import IndexSpace
+from ...runtime.subset import Subset
+from ..base import SparseFormat, _localize
+from ..ell import _PaddedColRelation
+from ..plugin import FormatSpec, kernel_name, register_format
+
+__all__ = ["SELLCSigmaMatrix", "to_sell_c_sigma"]
+
+#: Default chunk (lane count) and sort-window multiple.
+DEFAULT_CHUNK = 64
+DEFAULT_SIGMA_CHUNKS = 8
+
+
+class _SellArrays:
+    """The storage arrays of one SELL-C-σ structure (picklable)."""
+
+    __slots__ = (
+        "n_rows", "chunk", "sigma", "perm", "inv_perm", "row_lens",
+        "slice_widths", "sliceptr", "values", "cols_rel", "n_padding",
+        "_plan",
+    )
+
+    def __init__(self, csr: sp.csr_matrix, chunk: int, sigma: int):
+        n_rows = csr.shape[0]
+        lens = np.diff(csr.indptr).astype(np.int64)
+        # σ-window sort: stable descending-length order inside each
+        # window of `sigma` consecutive rows (stability makes the
+        # permutation reproducible and round-trippable).
+        perm = np.empty(n_rows, dtype=np.int64)
+        for w0 in range(0, max(n_rows, 1), sigma):
+            w1 = min(w0 + sigma, n_rows)
+            order = np.argsort(-lens[w0:w1], kind="stable")
+            perm[w0:w1] = w0 + order
+        inv_perm = np.empty_like(perm)
+        inv_perm[perm] = np.arange(n_rows, dtype=np.int64)
+        sorted_lens = lens[perm]
+        n_slices = max(1, -(-n_rows // chunk))
+        slice_widths = np.zeros(n_slices, dtype=np.int64)
+        for t in range(n_slices):
+            sl = sorted_lens[t * chunk:(t + 1) * chunk]
+            slice_widths[t] = int(sl.max()) if sl.size else 0
+        if int(slice_widths.sum()) == 0:
+            # All-zero matrix: keep the kernel space nonempty (one
+            # all-padding slot), mirroring CSR's degenerate-entry pad.
+            slice_widths[0] = 1
+        sliceptr = np.zeros(n_slices + 1, dtype=np.int64)
+        np.cumsum(slice_widths * chunk, out=sliceptr[1:])
+        total = int(sliceptr[-1])
+        values = np.zeros(total, dtype=np.float64)
+        cols_rel = np.full(total, -1, dtype=np.int64)
+        if csr.nnz:
+            # Vectorized fill: nnz j of row r lands in slot j of the
+            # row's lane, preserving CSR (ascending-column) order.
+            pos = inv_perm[np.repeat(np.arange(n_rows), lens)]
+            t = pos // chunk
+            lane = pos % chunk
+            j = np.arange(csr.nnz, dtype=np.int64) - np.repeat(csr.indptr[:-1], lens)
+            k = sliceptr[t] + j * chunk + lane
+            values[k] = csr.data
+            cols_rel[k] = csr.indices
+        self.n_rows = n_rows
+        self.chunk = chunk
+        self.sigma = sigma
+        self.perm = perm
+        self.inv_perm = inv_perm
+        self.row_lens = lens
+        self.slice_widths = slice_widths
+        self.sliceptr = sliceptr
+        self.values = values
+        self.cols_rel = cols_rel
+        self.n_padding = total - int(csr.nnz)
+        self._plan = None
+
+    @property
+    def total_slots(self) -> int:
+        return int(self.sliceptr[-1])
+
+    def __getstate__(self):
+        # The SpMV plan is derived data; rebuild it after unpickling.
+        return {s: getattr(self, s) for s in self.__slots__ if s != "_plan"}
+
+    def __setstate__(self, state):
+        for s, v in state.items():
+            setattr(self, s, v)
+        self._plan = None
+
+    def spmv_plan(self):
+        """Width-grouped gather plan, built once per structure.
+
+        Slices of equal width are processed together even when they are
+        not adjacent: lanes (rows) are independent, so cross-slice
+        grouping never reorders any row's slot sequence — the bitwise
+        contract only constrains the per-row (ascending-slot) order.
+        Column indices are structural (never mutated after
+        construction), so the clamped, per-slot-contiguous copies are
+        cached here alongside a scratch buffer; values are re-read on
+        every call because the planner attaches that array in place.
+        """
+        if self._plan is None:
+            C = self.chunk
+            widths = self.slice_widths
+            order = np.argsort(widths, kind="stable")
+            safe_cols = np.maximum(self.cols_rel, 0)
+            lane = np.arange(C, dtype=np.int64)
+            plan = []
+            i = 0
+            while i < widths.size:
+                w = int(widths[order[i]])
+                j = i
+                while j < widths.size and int(widths[order[j]]) == w:
+                    j += 1
+                ts = np.sort(order[i:j])
+                i = j
+                if w == 0:
+                    continue
+                g = ts.size
+                slot_idx = (
+                    self.sliceptr[ts][:, None]
+                    + np.arange(w * C, dtype=np.int64)[None, :]
+                ).reshape(-1)
+                acc_idx = (ts[:, None] * C + lane[None, :]).reshape(-1)
+                if g == int(ts[-1]) - int(ts[0]) + 1:
+                    # Consecutive slices: use views, skip the gather copy.
+                    slot_idx = slice(int(slot_idx[0]), int(slot_idx[-1]) + 1)
+                    acc_idx = slice(int(acc_idx[0]), int(acc_idx[-1]) + 1)
+                cols_g = safe_cols[slot_idx].reshape(g, w, C)
+                # One contiguous (g, C) column block per slot: np.take
+                # with a contiguous index array is the fast path.
+                cols_slots = [
+                    np.ascontiguousarray(cols_g[:, s, :]) for s in range(w)
+                ]
+                buf = np.empty((g, C), dtype=np.float64)
+                plan.append((w, slot_idx, cols_slots, acc_idx, buf))
+            self._plan = plan
+        return self._plan
+
+
+def _sell_spmv(arrays: _SellArrays, x: np.ndarray, n_cols: int) -> np.ndarray:
+    """The SELL-C-σ SpMV kernel over one structure.
+
+    Processes each equal-width slice group (see
+    :meth:`_SellArrays.spmv_plan`) as a single ``(group, width, C)``
+    block: one vectorized multiply-accumulate per slot, sequential over
+    slots — the bitwise-CSR association described in the module
+    docstring.  Padding gathers ``x[0]`` (value 0.0), so ``x`` must be
+    finite for the bitwise contract to hold.
+    """
+    C = arrays.chunk
+    acc = np.zeros(arrays.slice_widths.size * C, dtype=np.float64)
+    for w, slot_idx, cols_slots, acc_idx, buf in arrays.spmv_plan():
+        vals = arrays.values[slot_idx].reshape(-1, w, C)
+        contiguous = isinstance(acc_idx, slice)
+        out = (acc[acc_idx].reshape(-1, C) if contiguous
+               else np.zeros((vals.shape[0], C), dtype=np.float64))
+        for s in range(w):
+            np.take(x, cols_slots[s], out=buf)
+            np.multiply(buf, vals[:, s, :], out=buf)
+            out += buf
+        if not contiguous:
+            acc[acc_idx] = out.reshape(-1)
+    y = np.empty(arrays.n_rows, dtype=np.float64)
+    y[arrays.perm] = acc[:arrays.n_rows]
+    return y
+
+
+class _SellPieceKernel:
+    """One co-partitioned SpMV piece, re-sliced into a local SELL-C-σ
+    structure at planning time.  Plain-array state only: pickles across
+    the process boundary, and unpickling imports this module, which
+    (re-)registers the format and its task-body kernels in the worker.
+    """
+
+    __slots__ = (
+        "arrays", "n_local_cols", "flops", "bytes_touched",
+        "kernel_subset", "domain_subset", "range_subset",
+    )
+
+    def __init__(self, arrays: _SellArrays, n_local_cols: int, flops: float,
+                 bytes_touched: float, kernel_subset: Subset,
+                 domain_subset: Subset, range_subset: Subset):
+        self.arrays = arrays
+        self.n_local_cols = n_local_cols
+        self.flops = flops
+        self.bytes_touched = bytes_touched
+        self.kernel_subset = kernel_subset
+        self.domain_subset = domain_subset
+        self.range_subset = range_subset
+
+    def __call__(self, x_piece: np.ndarray) -> np.ndarray:
+        return _sell_spmv(self.arrays, np.asarray(x_piece), self.n_local_cols)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.arrays.n_rows, self.n_local_cols)
+
+
+# Task bodies for SELL piece dispatch.  Source-identical to the stock
+# spmv bodies (the bitwise matrices depend on the expressions), but
+# registered *by the plugin* through FormatSpec.kernels — exercising the
+# namespaced registry path end-to-end: effect inference reads these
+# definitions, the portability certificate names them, and procs
+# workers resolve them after importing this module.
+
+def _sell_spmv_exclusive(ctx: Any, payload: Any) -> None:
+    ctx[2].write(payload(ctx[1].read()))
+
+
+def _sell_spmv_reduce(ctx: Any, payload: Any) -> None:
+    ctx[2].reduce_add(payload(ctx[1].read()))
+
+
+class SELLCSigmaMatrix(SparseFormat):
+    """SELL-C-σ: σ-window-sorted, C-row slices, per-slice padding."""
+
+    def __init__(
+        self,
+        csr: sp.csr_matrix,
+        chunk: int = DEFAULT_CHUNK,
+        sigma: Optional[int] = None,
+        domain_space: Optional[IndexSpace] = None,
+        range_space: Optional[IndexSpace] = None,
+        index_bytes: int = 4,
+    ):
+        csr = csr.tocsr().copy()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        if chunk < 1:
+            raise ValueError("chunk size C must be at least 1")
+        if sigma is None:
+            sigma = chunk * DEFAULT_SIGMA_CHUNKS
+        if sigma < 1:
+            raise ValueError("sort window sigma must be at least 1")
+        arrays = _SellArrays(csr, int(chunk), int(sigma))
+        n_rows, n_cols = csr.shape
+        if domain_space is None:
+            domain_space = IndexSpace.linear(n_cols, name="D")
+        if range_space is None:
+            range_space = IndexSpace.linear(n_rows, name="R")
+        if range_space.volume != n_rows or domain_space.volume != n_cols:
+            raise ValueError("index space volumes must match the matrix shape")
+        kernel_space = IndexSpace.linear(arrays.total_slots, name="K_sell")
+        super().__init__(kernel_space, domain_space, range_space)
+        self._arrays = arrays
+        self.index_bytes = index_bytes
+        self._col_rel: Optional[Relation] = None
+        self._row_rel: Optional[Relation] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, chunk: int = DEFAULT_CHUNK,
+                   sigma: Optional[int] = None,
+                   domain_space=None, range_space=None) -> "SELLCSigmaMatrix":
+        return cls(sp.csr_matrix(mat), chunk=chunk, sigma=sigma,
+                   domain_space=domain_space, range_space=range_space)
+
+    # -- layout accessors (the hypothesis property suite reads these) --------
+
+    @property
+    def chunk(self) -> int:
+        return self._arrays.chunk
+
+    @property
+    def sigma(self) -> int:
+        return self._arrays.sigma
+
+    @property
+    def perm(self) -> np.ndarray:
+        """``perm[p]`` = original row at sorted position ``p``."""
+        return self._arrays.perm
+
+    @property
+    def slice_widths(self) -> np.ndarray:
+        return self._arrays.slice_widths
+
+    @property
+    def sliceptr(self) -> np.ndarray:
+        return self._arrays.sliceptr
+
+    @property
+    def n_slices(self) -> int:
+        return self._arrays.slice_widths.size
+
+    @property
+    def n_padding(self) -> int:
+        """Padded slots (the per-slice price ELL pays globally)."""
+        return self._arrays.n_padding
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._arrays.values
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Stored column function with ``-1`` marking padding slots."""
+        return self._arrays.cols_rel
+
+    # -- KDR interface -------------------------------------------------------
+
+    @property
+    def col_relation(self) -> Relation:
+        if self._col_rel is None:
+            self._col_rel = _PaddedColRelation(
+                self.kernel_space, self.domain_space, self._arrays.cols_rel
+            )
+        return self._col_rel
+
+    @property
+    def row_relation(self) -> Relation:
+        if self._row_rel is None:
+            a = self._arrays
+            C = a.chunk
+
+            def forward(k: np.ndarray) -> np.ndarray:
+                t = np.searchsorted(a.sliceptr, k, side="right") - 1
+                lane = (k - a.sliceptr[t]) % C
+                p = np.minimum(t * C + lane, max(a.n_rows - 1, 0))
+                return np.where(a.cols_rel[k] >= 0, a.perm[p], -1)
+
+            def backward(i: np.ndarray) -> np.ndarray:
+                i = np.asarray(i, dtype=np.int64)
+                pos = a.inv_perm[i]
+                li = a.row_lens[i]
+                base = a.sliceptr[pos // C] + pos % C
+                total = int(li.sum())
+                if total == 0:
+                    return np.empty(0, dtype=np.int64)
+                ramp = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.concatenate(([0], np.cumsum(li)[:-1])), li
+                )
+                return np.repeat(base, li) + ramp * C
+
+            self._row_rel = ComputedRelation(
+                self.kernel_space, self.range_space, forward, backward
+            )
+        return self._row_rel
+
+    def triplets(self, kernel_indices: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        a = self._arrays
+        C = a.chunk
+        if kernel_indices is None:
+            k = np.arange(self.kernel_space.volume, dtype=np.int64)
+        else:
+            k = np.asarray(kernel_indices, dtype=np.int64)
+        c = a.cols_rel[k]
+        keep = c >= 0
+        k = k[keep]
+        t = np.searchsorted(a.sliceptr, k, side="right") - 1
+        lane = (k - a.sliceptr[t]) % C
+        rows = a.perm[t * C + lane]
+        return rows, c[keep], a.values[k]
+
+    # -- kernels -------------------------------------------------------------
+
+    def spmv_body_kernels(self) -> Tuple[str, str]:
+        return (
+            kernel_name("sell_c_sigma", "spmv_exclusive"),
+            kernel_name("sell_c_sigma", "spmv_reduce"),
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        return _sell_spmv(self._arrays, np.asarray(x, dtype=np.float64),
+                          self.domain_space.volume)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        rows, cols, vals = self.triplets()
+        return np.bincount(
+            cols, weights=vals * v[rows], minlength=self.domain_space.volume
+        ).astype(np.float64)
+
+    def piece_flops(self, n_kernel_points: int) -> float:
+        # Kernel pieces arrive as *valid* slots (the relations exclude
+        # padding); padded lanes still burn multiply-adds.
+        pad = 1.0 + self.n_padding / max(1, self.nnz - self.n_padding)
+        return 2.0 * pad * n_kernel_points
+
+    def piece_bytes(self, n_kernel_points: int, n_domain: int, n_range: int) -> float:
+        # Per-slice padding is the storage cost; far below ELL's
+        # global-width padding on irregular rows, slightly above CSR.
+        pad = 1.0 + self.n_padding / max(1, self.nnz - self.n_padding)
+        per_slot = 8.0 + self.index_bytes
+        return per_slot * pad * n_kernel_points + 8.0 * (n_domain + 2 * n_range)
+
+    def make_piece_kernel(
+        self,
+        kernel_subset: Subset,
+        domain_subset: Subset,
+        range_subset: Subset,
+        transpose: bool = False,
+    ):
+        if transpose:
+            # Adjoint pieces use the generic local-CSR path (bitwise
+            # identical to every other stored format's adjoint pieces).
+            return super().make_piece_kernel(
+                kernel_subset, domain_subset, range_subset, transpose=True
+            )
+        if kernel_subset.space is not self.kernel_space:
+            raise ValueError("kernel subset must live in this matrix's kernel space")
+        rows, cols, vals = self.triplets(kernel_subset.indices)
+        local_rows = _localize(range_subset, rows)
+        local_cols = _localize(domain_subset, cols)
+        # Canonical local CSR (sorted columns, summed duplicates), then
+        # re-slice with the parent's C/σ: stored order per local row is
+        # ascending-column — the same order every other format's piece
+        # kernel accumulates in.
+        local = sp.csr_matrix(
+            (vals, (local_rows, local_cols)),
+            shape=(range_subset.volume, domain_subset.volume),
+        )
+        local.sum_duplicates()
+        local.sort_indices()
+        arrays = _SellArrays(local, self._arrays.chunk, self._arrays.sigma)
+        n_k = kernel_subset.volume
+        return _SellPieceKernel(
+            arrays,
+            domain_subset.volume,
+            flops=self.piece_flops(n_k),
+            bytes_touched=self.piece_bytes(
+                n_k, domain_subset.volume, range_subset.volume
+            ),
+            kernel_subset=kernel_subset,
+            domain_subset=domain_subset,
+            range_subset=range_subset,
+        )
+
+
+def to_sell_c_sigma(matrix: SparseFormat) -> SELLCSigmaMatrix:
+    from ..convert import _as_scipy
+
+    return SELLCSigmaMatrix.from_scipy(_as_scipy(matrix))
+
+
+register_format(FormatSpec(
+    name="sell_c_sigma", cls=SELLCSigmaMatrix, convert=to_sell_c_sigma,
+    from_scipy=SELLCSigmaMatrix.from_scipy,
+    description="SELL-C-sigma: sorted sliced ELL with per-slice padding (plugin)",
+    kernels={
+        "spmv_exclusive": _sell_spmv_exclusive,
+        "spmv_reduce": _sell_spmv_reduce,
+    },
+))

@@ -22,7 +22,7 @@ obtain a minimal reproducer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -35,12 +35,10 @@ from ..problems.generators import (
     system_with_solution,
     tridiagonal_toeplitz,
 )
-from ..runtime.deppart import PairsRelation
-from ..runtime.index_space import IndexSpace
 from ..runtime.runtime import Runtime
-from ..sparse.convert import ALL_FORMATS
-from ..sparse.csr import CSRMatrix
-from ..sparse.matfree import MatrixFreeOperator
+from ..sparse import plugins as _plugins  # noqa: F401  (registers bundled plugins)
+from ..sparse.matfree import matfree_from_scipy
+from ..sparse.plugin import ORACLE_FORMATS, build_format, get_spec
 from .copartition import check_copartition
 from .race import attach_race_detector
 
@@ -65,53 +63,12 @@ ADJOINT_SOLVERS = frozenset({"bicg", "cgnr"})
 #: Solvers requiring a registered preconditioner.
 PRECONDITIONED_SOLVERS = frozenset({"pcg"})
 
-#: Every format name the oracle can instantiate (the stored-format zoo
-#: of Figure 3 plus the matrix-free operator of §5).
-ORACLE_FORMATS: List[str] = [name for name, _ in ALL_FORMATS] + ["matfree"]
-
-_CONVERTERS: Dict[str, Callable] = {name: conv for name, conv in ALL_FORMATS}
-
-
-def matfree_from_scipy(A: sp.spmatrix) -> MatrixFreeOperator:
-    """Wrap a square SciPy matrix as a matrix-free operator whose
-    dependence relation is the matrix's exact nonzero pattern — the
-    ghost regions derived by co-partitioning must then match the stored
-    formats' exactly."""
-    A = A.tocsr()
-    n, m = A.shape
-    if n != m:
-        raise ValueError("matfree oracle operator requires a square matrix")
-    space = IndexSpace.linear(n, name="S_matfree")
-    coo = A.tocoo()
-    pairs = np.stack([coo.row.astype(np.int64), coo.col.astype(np.int64)], axis=1)
-    dependence = PairsRelation(space, space, pairs)
-
-    def apply_fn(x_piece: np.ndarray, out_rows: np.ndarray, in_cols: np.ndarray) -> np.ndarray:
-        # Scatter the piece's inputs into a dense global vector (zeros
-        # elsewhere are never read: out_rows only touch in_cols entries).
-        x = np.zeros(m)
-        x[in_cols] = x_piece
-        return (A @ x)[out_rows]
-
-    nnz_per_row = max(1.0, A.nnz / max(1, n))
-    return MatrixFreeOperator(
-        apply_fn,
-        domain_space=space,
-        range_space=space,
-        dependence=dependence,
-        flops_per_row=2.0 * nnz_per_row,
-        bytes_per_row=12.0 * nnz_per_row,
-    )
-
-
-def build_format(name: str, A: sp.spmatrix):
-    """Instantiate one oracle format from a SciPy matrix."""
-    if name == "matfree":
-        return matfree_from_scipy(A)
-    conv = _CONVERTERS.get(name)
-    if conv is None:
-        raise KeyError(f"unknown format {name!r}; known: {ORACLE_FORMATS}")
-    return conv(CSRMatrix.from_scipy(A.tocsr()))
+# ``ORACLE_FORMATS`` (every registered format name, matfree included)
+# and ``build_format`` now come straight from the format-plugin
+# registry: registering a format auto-enrolls it in the oracle, and
+# ``matfree_from_scipy`` lives with the format in
+# :mod:`repro.sparse.matfree`.  All three stay re-exported here for
+# backwards compatibility.
 
 
 @dataclass
@@ -377,11 +334,13 @@ def run_oracle(
                 for fmt in formats:
                     if fmt == ref_fmt:
                         continue
-                    if fmt == "matfree" and solver in (
-                        ADJOINT_SOLVERS | PRECONDITIONED_SOLVERS
+                    spec = get_spec(fmt)
+                    if (solver in ADJOINT_SOLVERS and not spec.supports_adjoint) or (
+                        solver in PRECONDITIONED_SOLVERS and not spec.supports_precond
                     ):
-                        # No stored entries: neither the adjoint product
-                        # nor a derived Jacobi preconditioner exists.
+                        # Capability-gated (e.g. matfree: no stored
+                        # entries, so neither the adjoint product nor a
+                        # derived Jacobi preconditioner exists).
                         continue
                     try:
                         result, races = _run_one(

@@ -23,6 +23,7 @@ from repro.runtime import (
     TaskLauncher,
 )
 from repro.runtime.kernels import KernelBody
+from repro.sparse.plugin import matrix_format_names
 
 FEW = settings(
     max_examples=6,
@@ -230,7 +231,7 @@ class TestNarrowingNeverAddsEdges:
     @FEW
     @given(
         solver=st.sampled_from(["cg", "bicgstab", "cgs", "minres", "tfqmr"]),
-        fmt=st.sampled_from(["csr", "coo", "dia", "ell"]),
+        fmt=st.sampled_from(matrix_format_names()),
     )
     def test_solver_streams_only_shrink(self, solver, fmt):
         prog = build_program(solver, fmt=fmt, size=16, pieces=2, iterations=2)

@@ -10,6 +10,7 @@ from repro.bench.wallclock import (
     compare_to_baseline,
     load_report,
     require_speedup,
+    require_spmv_formats,
     run_wallclock,
     summarize_wallclock,
     write_report,
@@ -118,6 +119,53 @@ class TestSpeedupAcceptance:
     def test_missing_large_case_reported(self):
         failures = require_speedup(tiny_report())
         assert failures and "256000" in failures[0]
+
+
+class TestSpmvFormatRace:
+    @staticmethod
+    def doctored(sell=1.0, csr=2.0, ell=3.0, bitwise=True):
+        return {
+            "spmv_formats": {
+                "kind": "3d27",
+                "formats": {
+                    "csr": {"median_s": csr, "bitwise_vs_csr": True},
+                    "ell": {"median_s": ell, "bitwise_vs_csr": True},
+                    "sell_c_sigma": {
+                        "median_s": sell, "bitwise_vs_csr": bitwise,
+                    },
+                },
+            }
+        }
+
+    def test_report_contains_race(self):
+        report = tiny_report()
+        race = report["spmv_formats"]
+        assert set(race["formats"]) == {"csr", "ell", "sell_c_sigma"}
+        for stats in race["formats"].values():
+            assert stats["median_s"] > 0.0
+        # Only SELL-C-σ *claims* bitwise-CSR SpMV (ELL's axis-sum uses
+        # pairwise reduction); the race records the flag per format.
+        assert race["formats"]["csr"]["bitwise_vs_csr"] is True
+        assert race["formats"]["sell_c_sigma"]["bitwise_vs_csr"] is True
+        assert "spmv race" in summarize_wallclock(report)
+
+    def test_gate_passes_when_fastest(self):
+        assert require_spmv_formats(self.doctored()) == []
+
+    def test_gate_fails_when_slower_than_any_rival(self):
+        failures = require_spmv_formats(self.doctored(sell=2.5))
+        assert failures and "csr" in failures[0]
+
+    def test_gate_ratio_is_tunable(self):
+        report = self.doctored(sell=2.5)
+        assert require_spmv_formats(report, max_ratio=1.5) == []
+
+    def test_gate_reports_bitwise_divergence(self):
+        failures = require_spmv_formats(self.doctored(bitwise=False))
+        assert failures and "bitwise" in failures[0]
+
+    def test_missing_section_reported(self):
+        assert "spmv_formats" in require_spmv_formats({})[0]
 
 
 class TestBenchCLI:

@@ -18,9 +18,13 @@ from repro.faults.chaos import (
     run_chaos,
     run_chaos_matrix,
 )
+from repro.sparse.plugin import matrix_format_names
 
 SOLVERS = sorted(SOLVER_REGISTRY)
-FORMATS = ["csr", "coo", "dia"]
+# Every bitwise-enrolled registered format except ell (structurally a
+# duplicate of sell_c_sigma's padded-grid dispatch under chaos, and the
+# matrix is wall-clock-bounded); plugins auto-enroll via the registry.
+FORMATS = [f for f in matrix_format_names() if f != "ell"]
 BACKENDS = ["serial", "threads"]
 
 

@@ -1,20 +1,23 @@
 """Satellite 1: the bitwise-equivalence matrix.
 
-All nine solvers × {csr, coo, dia, ell} × {serial, threads} × piece
-counts: replayed iterations must produce bitwise-identical residual
-histories and solution vectors vs a fresh-launch serial run, and the
-replay must actually have engaged (windows replayed, zero fallbacks —
-a silently fresh-launching run would pass the bitwise bar vacuously).
+All nine solvers × every bitwise-enrolled registered format (plugins
+auto-enroll via ``FormatSpec.bitwise_matrix``) × {serial, threads} ×
+piece counts: replayed iterations must produce bitwise-identical
+residual histories and solution vectors vs a fresh-launch serial run,
+and the replay must actually have engaged (windows replayed, zero
+fallbacks — a silently fresh-launching run would pass the bitwise bar
+vacuously).
 """
 
 import numpy as np
 import pytest
 
 from repro.core.solvers import SOLVER_REGISTRY
+from repro.sparse.plugin import matrix_format_names
 
 from .conftest import ITERATIONS, reference_for, replayed_run
 
-FORMATS = ("csr", "coo", "dia", "ell")
+FORMATS = tuple(matrix_format_names())
 BACKENDS = ("serial", "threads")
 PIECE_COUNTS = (1, 3)
 

@@ -3,8 +3,9 @@
 Plans compiled through the verified pass pipeline (``optimize=True``:
 dead-fill elision, privilege narrowing, portability certificate) must
 replay **bitwise-identically** to the unoptimized plan and to a
-fresh-launch serial reference — across all nine solvers × the four
-partitioned storage formats × serial/threads/procs.  On the procs
+fresh-launch serial reference — across all nine solvers × every
+bitwise-enrolled registered format (plugins included, via
+``FormatSpec.bitwise_matrix``) × serial/threads/procs.  On the procs
 backend the certificate additionally arms strict-portable dispatch, so
 the matrix proves itself over bodies that truly crossed the process
 boundary (zero inline fallbacks).
@@ -18,6 +19,7 @@ from hypothesis import strategies as st
 from repro.core.planner import SOL
 from repro.core.solvers import SOLVER_REGISTRY
 from repro.runtime import Runtime
+from repro.sparse.plugin import matrix_format_names
 
 from .conftest import (
     ITERATIONS,
@@ -28,7 +30,7 @@ from .conftest import (
     replayed_run,
 )
 
-FORMATS = ("csr", "coo", "dia", "ell")
+FORMATS = tuple(matrix_format_names())
 
 FEW = settings(
     max_examples=8,

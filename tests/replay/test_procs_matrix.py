@@ -1,11 +1,12 @@
 """The serial-vs-procs bitwise equivalence matrix.
 
-All nine solvers × {csr, coo, dia, ell} × piece counts must produce
-bitwise-identical residual histories and solution vectors under the
-process-pool backend, both fresh-launched and replayed from a compiled
-plan — with *zero* inline fallbacks, so the equivalence is established
-over bodies that actually crossed the process boundary, not over a
-silent in-parent degradation.
+All nine solvers × every bitwise-enrolled registered format (see
+``FormatSpec.bitwise_matrix`` — plugins auto-enroll here) × piece
+counts must produce bitwise-identical residual histories and solution
+vectors under the process-pool backend, both fresh-launched and
+replayed from a compiled plan — with *zero* inline fallbacks, so the
+equivalence is established over bodies that actually crossed the
+process boundary, not over a silent in-parent degradation.
 """
 
 import numpy as np
@@ -14,10 +15,11 @@ import pytest
 from repro.core.planner import SOL
 from repro.core.solvers import SOLVER_REGISTRY
 from repro.runtime import Runtime
+from repro.sparse.plugin import matrix_format_names
 
 from .conftest import ITERATIONS, make_solver, reference_for, replayed_run
 
-FORMATS = ("csr", "coo", "dia", "ell")
+FORMATS = tuple(matrix_format_names())
 PIECE_COUNTS = (1, 3)
 
 

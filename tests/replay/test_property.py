@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.core.planner import SOL
 from repro.runtime import Runtime
+from repro.sparse.plugin import matrix_format_names
 
 from .conftest import make_solver, plan_for, reference_for, replayed_run
 
@@ -24,7 +25,7 @@ FEW = settings(
 )
 
 solvers = st.sampled_from(["cg", "bicgstab", "cgs", "tfqmr"])
-formats = st.sampled_from(["csr", "coo", "dia", "ell"])
+formats = st.sampled_from(matrix_format_names())
 piece_counts = st.integers(min_value=1, max_value=3)
 seeds = st.integers(min_value=0, max_value=1000)
 

@@ -1,0 +1,180 @@
+"""Auto-enrolled format conformance suite (satellite 1).
+
+:func:`make_format_conformance_suite` builds, for any *registered*
+format name, a dictionary of named conformance checks — the behavioural
+contract a format must satisfy to participate in co-partitioning, the
+differential oracle, and the replay matrices:
+
+* ``round_trip_csr`` — converting to the format and expanding back
+  through ``to_scipy`` preserves the linear operator exactly (stored
+  formats only; a matrix-free operator has no triplets to expand).
+* ``spmv_matches_csr`` — the format's whole-matrix SpMV agrees with the
+  SciPy/CSR reference.
+* ``piece_spmv_matches_csr`` — piece kernels compiled under §3.1
+  co-partitioning reassemble the global SpMV.
+* ``subset_descriptors`` — co-partitioned subset descriptors are
+  well-formed: right index spaces, sorted unique indices, and the
+  column/row images of each kernel piece contained in the piece's
+  domain/range subsets (the precondition ``make_piece_kernel``
+  documents).
+* ``edge_<name>`` — the empty, singleton, ragged-banded, and
+  unsymmetric edge matrices build, round-trip (stored formats), and
+  SpMV correctly.
+
+The suite reads everything it needs from the format's
+:class:`~repro.sparse.plugin.FormatSpec` (``size_multiple`` scales the
+test matrices, ``stored`` gates the triplet-based checks), so a plugin
+registered via :func:`~repro.sparse.plugin.register_format` is enrolled
+with zero test edits — ``test_conformance.py`` parametrizes over the
+live registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.projection import col_K_to_D, row_K_to_R, row_R_to_K
+from repro.runtime import Partition
+from repro.sparse.plugin import build_format, get_spec
+
+__all__ = ["conformance_matrices", "make_format_conformance_suite"]
+
+
+def _banded(n: int) -> sp.csr_matrix:
+    """Ragged band: tridiagonal plus a sparse outer band, so row lengths
+    vary (the case that separates per-slice from global padding)."""
+    A = sp.diags(
+        [np.full(n - 1, -1.0), np.full(n, 4.0), np.full(n - 1, -1.0)],
+        offsets=(-1, 0, 1),
+        format="lil",
+    )
+    for i in range(0, n, 3):
+        j = (i * 5 + 2) % n
+        A[i, j] += 0.5
+    return sp.csr_matrix(A)
+
+
+def _unsymmetric(n: int) -> sp.csr_matrix:
+    """Deterministic unsymmetric pattern with uneven row lengths."""
+    rng = np.random.default_rng(1234)
+    A = sp.random(n, n, density=0.2, random_state=rng, format="csr")
+    A.data[:] = rng.uniform(-2.0, 2.0, A.nnz)
+    A = A + sp.eye(n, format="csr")  # keep it structurally nonsingular
+    A.sum_duplicates()
+    return sp.csr_matrix(A)
+
+
+def conformance_matrices(fmt: str) -> List[Tuple[str, sp.csr_matrix]]:
+    """The edge-matrix battery, scaled to the format's size multiple."""
+    m = get_spec(fmt).size_multiple
+    n = 12 * m
+    single = sp.csr_matrix(
+        (np.array([3.0]), (np.array([0]), np.array([0]))), shape=(m, m)
+    )
+    return [
+        ("empty", sp.csr_matrix((n, n))),
+        ("singleton", single),
+        ("banded", _banded(n)),
+        ("unsymmetric", _unsymmetric(n)),
+    ]
+
+
+def _reference_problem(fmt: str) -> Tuple[sp.csr_matrix, np.ndarray]:
+    A = _unsymmetric(12 * get_spec(fmt).size_multiple)
+    x = np.cos(1.0 + np.arange(A.shape[1], dtype=np.float64))
+    return A, x
+
+
+def _check_round_trip(fmt: str, A: sp.csr_matrix) -> None:
+    op = build_format(fmt, A)
+    assert op.shape == A.shape, (fmt, op.shape, A.shape)
+    back = sp.csr_matrix(op.to_scipy())
+    back.sum_duplicates()
+    np.testing.assert_allclose(back.toarray(), A.toarray(), atol=1e-12)
+
+
+def _check_spmv(fmt: str, A: sp.csr_matrix, x: np.ndarray) -> None:
+    op = build_format(fmt, A)
+    np.testing.assert_allclose(op.spmv(x), A @ x, atol=1e-10)
+
+
+def _copartition(op, n_pieces: int):
+    P = Partition.equal(op.range_space, n_pieces)
+    KP = row_R_to_K(op, P)
+    return KP, col_K_to_D(op, KP), row_K_to_R(op, KP)
+
+
+def _check_piece_spmv(fmt: str, A: sp.csr_matrix, x: np.ndarray) -> None:
+    op = build_format(fmt, A)
+    for n_pieces in (1, 3):
+        KP, DP, RP = _copartition(op, n_pieces)
+        y = np.zeros(A.shape[0])
+        for c in range(n_pieces):
+            if RP[c].is_empty:
+                continue
+            pk = op.make_piece_kernel(KP[c], DP[c], RP[c])
+            np.add.at(y, RP[c].indices, pk(x[DP[c].indices]))
+        np.testing.assert_allclose(y, A @ x, atol=1e-10)
+
+
+def _assert_subset_well_formed(sub, space, label: str) -> None:
+    assert sub.space is space, f"{label}: subset lives in the wrong index space"
+    idx = np.asarray(sub.indices)
+    assert idx.size == sub.volume, f"{label}: volume disagrees with indices"
+    if idx.size:
+        assert idx.min() >= 0 and idx.max() < space.volume, (
+            f"{label}: indices escape the space"
+        )
+        assert np.all(np.diff(idx) > 0), f"{label}: indices not sorted unique"
+
+
+def _check_subset_descriptors(fmt: str, A: sp.csr_matrix) -> None:
+    op = build_format(fmt, A)
+    KP, DP, RP = _copartition(op, 3)
+    seen_kernel = []
+    for c in range(3):
+        _assert_subset_well_formed(KP[c], op.kernel_space, f"{fmt}/K[{c}]")
+        _assert_subset_well_formed(DP[c], op.domain_space, f"{fmt}/D[{c}]")
+        _assert_subset_well_formed(RP[c], op.range_space, f"{fmt}/R[{c}]")
+        if KP[c].is_empty:
+            continue
+        seen_kernel.append(np.asarray(KP[c].indices))
+        # The piece's image under the relations must be contained in the
+        # descriptors make_piece_kernel receives — otherwise piece
+        # compilation reads out of bounds.
+        cols = op.col_relation.image_indices(np.asarray(KP[c].indices))
+        rows = op.row_relation.image_indices(np.asarray(KP[c].indices))
+        assert np.isin(cols, DP[c].indices).all(), (
+            f"{fmt}: column image escapes the domain subset of piece {c}"
+        )
+        assert np.isin(rows, RP[c].indices).all(), (
+            f"{fmt}: row image escapes the range subset of piece {c}"
+        )
+    if seen_kernel:
+        flat = np.concatenate(seen_kernel)
+        assert flat.size == np.unique(flat).size, (
+            f"{fmt}: kernel pieces overlap"
+        )
+
+
+def make_format_conformance_suite(fmt: str) -> Dict[str, Callable[[], None]]:
+    """Named conformance checks for one registered format."""
+    spec = get_spec(fmt)
+    A, x = _reference_problem(fmt)
+    suite: Dict[str, Callable[[], None]] = {}
+    if spec.stored:
+        suite["round_trip_csr"] = lambda: _check_round_trip(fmt, A)
+    suite["spmv_matches_csr"] = lambda: _check_spmv(fmt, A, x)
+    suite["piece_spmv_matches_csr"] = lambda: _check_piece_spmv(fmt, A, x)
+    suite["subset_descriptors"] = lambda: _check_subset_descriptors(fmt, A)
+    for name, M in conformance_matrices(fmt):
+        def edge_check(M=M) -> None:
+            xe = np.cos(1.0 + np.arange(M.shape[1], dtype=np.float64))
+            _check_spmv(fmt, M, xe)
+            if spec.stored:
+                _check_round_trip(fmt, M)
+        suite[f"edge_{name}"] = edge_check
+    return suite

@@ -1,0 +1,26 @@
+"""Satellite 1: the auto-enrolled conformance matrix.
+
+Every registered format — built-in or plugin — runs every applicable
+check from :func:`conformance.make_format_conformance_suite`.  The
+parametrization reads the live registry, so ``register_format`` alone
+enrolls a new format here.
+"""
+
+import pytest
+
+from repro.sparse.plugin import format_names
+
+from .conformance import make_format_conformance_suite
+
+CASES = [
+    (fmt, check)
+    for fmt in format_names()
+    for check in make_format_conformance_suite(fmt)
+]
+
+
+@pytest.mark.parametrize(
+    ("fmt", "check"), CASES, ids=[f"{f}-{c}" for f, c in CASES]
+)
+def test_format_conformance(fmt, check):
+    make_format_conformance_suite(fmt)[check]()

@@ -1,0 +1,192 @@
+"""The format-plugin registry: validation, kernel installation with
+rollback, live views, and end-to-end enrollment of a toy plugin."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.runtime.kernels import KERNEL_REGISTRY
+from repro.sparse import COOMatrix, CSRMatrix, to_csr
+from repro.sparse.plugin import (
+    ALL_FORMATS,
+    FORMAT_REGISTRY,
+    ORACLE_FORMATS,
+    FormatSpec,
+    build_format,
+    conversion_formats,
+    format_names,
+    get_spec,
+    kernel_name,
+    matrix_format_names,
+    register_format,
+    unregister_format,
+)
+
+
+class _ToyFormat(CSRMatrix):
+    """A CSR clone under a new name — enough to exercise registration."""
+
+
+def _toy_spec(name="toyfmt", **overrides):
+    defaults = dict(
+        name=name,
+        cls=_ToyFormat,
+        convert=lambda m: _ToyFormat.from_scipy(m.to_scipy()),
+        description="toy",
+    )
+    defaults.update(overrides)
+    return FormatSpec(**defaults)
+
+
+@pytest.fixture
+def clean_registry():
+    yield
+    for name in ("toyfmt", "toyfmt2"):
+        if name in FORMAT_REGISTRY:
+            unregister_format(name)
+
+
+class TestValidation:
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="FormatSpec"):
+            register_format({"name": "x"})
+
+    @pytest.mark.parametrize("bad", ["", "UPPER", "1leading", "has-dash", "sp ace"])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError, match="must match"):
+            register_format(_toy_spec(name=bad))
+
+    def test_rejects_duplicates(self, clean_registry):
+        register_format(_toy_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            register_format(_toy_spec())
+
+    def test_rejects_non_sparseformat_cls(self):
+        with pytest.raises(ValueError, match="subclass SparseFormat"):
+            register_format(_toy_spec(cls=dict))
+
+    def test_rejects_missing_constructors(self):
+        with pytest.raises(ValueError, match="convert/from_scipy"):
+            register_format(FormatSpec(name="toyfmt", cls=_ToyFormat))
+
+    def test_stored_formats_need_converter(self):
+        with pytest.raises(ValueError, match="stored formats need a converter"):
+            register_format(
+                FormatSpec(
+                    name="toyfmt", cls=_ToyFormat,
+                    from_scipy=_ToyFormat.from_scipy,
+                )
+            )
+
+    def test_rejects_bad_size_multiple(self):
+        with pytest.raises(ValueError, match="size_multiple"):
+            register_format(_toy_spec(size_multiple=0))
+
+
+class TestKernelInstallation:
+    def test_kernels_installed_namespaced(self, clean_registry):
+        body = lambda ctx, payload: None
+        register_format(_toy_spec(kernels={"spmv_exclusive": body}))
+        assert KERNEL_REGISTRY[kernel_name("toyfmt", "spmv_exclusive")] is body
+
+    def test_collision_rolls_back_partial_installs(self, clean_registry):
+        body = lambda ctx, payload: None
+        # Pre-occupy the second kernel slot so installation fails midway;
+        # the first installed kernel must be rolled back with the spec.
+        KERNEL_REGISTRY[kernel_name("toyfmt2", "k2")] = body
+        try:
+            with pytest.raises(ValueError):
+                register_format(
+                    _toy_spec(name="toyfmt2", kernels={"k1": body, "k2": body})
+                )
+            assert "toyfmt2" not in FORMAT_REGISTRY
+            assert kernel_name("toyfmt2", "k1") not in KERNEL_REGISTRY
+        finally:
+            KERNEL_REGISTRY.pop(kernel_name("toyfmt2", "k2"), None)
+
+    def test_unregister_removes_spec_and_kernels(self, clean_registry):
+        register_format(_toy_spec(kernels={"k": lambda ctx, p: None}))
+        unregister_format("toyfmt")
+        assert "toyfmt" not in FORMAT_REGISTRY
+        assert kernel_name("toyfmt", "k") not in KERNEL_REGISTRY
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError, match="not registered"):
+            unregister_format("no_such_format")
+
+
+class TestLookup:
+    def test_get_spec_lists_known_on_miss(self):
+        with pytest.raises(KeyError, match="csr"):
+            get_spec("no_such_format")
+
+    def test_build_format_prefers_from_scipy(self, clean_registry):
+        calls = []
+
+        def fs(A):
+            calls.append(A)
+            return _ToyFormat.from_scipy(sp.csr_matrix(A))
+
+        register_format(_toy_spec(from_scipy=fs))
+        A = sp.eye(4, format="csr")
+        op = build_format("toyfmt", A)
+        assert calls and isinstance(op, _ToyFormat)
+
+    def test_build_format_falls_back_to_convert(self, clean_registry):
+        register_format(_toy_spec())
+        op = build_format("toyfmt", sp.eye(4, format="csr"))
+        assert isinstance(op, _ToyFormat)
+        np.testing.assert_allclose(op.to_dense(), np.eye(4))
+
+    def test_matrix_format_names_respects_opt_out(self, clean_registry):
+        register_format(_toy_spec(bitwise_matrix=False))
+        assert "toyfmt" in format_names()
+        assert "toyfmt" not in matrix_format_names()
+        assert "sell_c_sigma" in matrix_format_names()
+
+
+class TestLiveViews:
+    def test_views_reflect_registration(self, clean_registry):
+        n_before = len(ALL_FORMATS)
+        assert "toyfmt" not in ORACLE_FORMATS
+        register_format(_toy_spec())
+        assert len(ALL_FORMATS) == n_before + 1
+        assert "toyfmt" in ORACLE_FORMATS
+        assert ("toyfmt" in dict(conversion_formats()))
+        unregister_format("toyfmt")
+        assert len(ALL_FORMATS) == n_before
+
+    def test_view_sequence_protocol(self):
+        names = list(ORACLE_FORMATS)
+        assert ORACLE_FORMATS[0] == names[0]
+        assert ORACLE_FORMATS[:2] == names[:2]
+        assert ORACLE_FORMATS == names
+        assert ORACLE_FORMATS + ["x"] == names + ["x"]
+        assert ["x"] + ORACLE_FORMATS == ["x"] + names
+        assert repr(ORACLE_FORMATS) == repr(names)
+        assert "matfree" in ORACLE_FORMATS
+
+    def test_bundled_plugins_are_registered(self):
+        for name in ("bcsc", "sell_c_sigma"):
+            spec = get_spec(name)
+            assert not spec.builtin
+        assert get_spec("csr").builtin
+
+
+class TestEndToEndEnrollment:
+    def test_registered_toy_format_runs_through_oracle(self, clean_registry):
+        from repro.verify.oracle import run_oracle
+
+        register_format(_toy_spec())
+        report = run_oracle(
+            formats=["csr", "toyfmt"], solvers=["cg"], seeds=(0,),
+            piece_counts=(2,), size=12, check_copartitions=False,
+        )
+        assert report.ok, report.summary()
+
+    def test_conversion_round_trip(self, clean_registry):
+        register_format(_toy_spec())
+        A = sp.random(8, 8, density=0.4, random_state=np.random.default_rng(7), format="csr")
+        toy = build_format("toyfmt", A)
+        back = to_csr(COOMatrix.from_scipy(toy.to_scipy()))
+        np.testing.assert_allclose(back.to_dense(), A.toarray())

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "boundary_coupling.py",
     "multiple_rhs.py",
     "custom_format.py",
+    "custom_format_plugin.py",
     "heat_implicit.py",
 ]
 
