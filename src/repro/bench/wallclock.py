@@ -49,6 +49,7 @@ __all__ = [
     "require_speedup",
     "require_replay_overhead",
     "require_spmv_formats",
+    "require_obs_overhead",
     "summarize_wallclock",
     "write_report",
     "load_report",
@@ -154,6 +155,7 @@ def run_wallclock(
     warmup: int = 1,
     jobs: Optional[int] = None,
     seed: int = 0,
+    obs_sample_rate: float = 0.1,
     log=None,
 ) -> Dict:
     """Time every case under every backend; return the report dict.
@@ -233,10 +235,12 @@ def run_wallclock(
 
         obs = Observability(trace=False)
         _run_case_once(case, A, b, backends[0], jobs, observability=obs)
+        obs.flush_overhead()
         entry["metrics"] = obs.metrics.snapshot()
         report_cases.append(entry)
     replay = _measure_replay_overhead(log=log)
     spmv_formats = _measure_spmv_formats(log=log)
+    obs_overhead = _measure_obs_overhead(sample_rate=obs_sample_rate, log=log)
     return {
         "schema": SCHEMA,
         "host": {
@@ -264,6 +268,10 @@ def run_wallclock(
         #: Raw SpMV race across registered formats on a fig3-style
         #: stencil; also a top-level key invisible to the baseline gate.
         "spmv_formats": spmv_formats,
+        #: Sampled-telemetry tax on a smoke case (observability off vs
+        #: ``REPRO_TRACE=sampled:<rate>``); another top-level key the
+        #: baseline gate never inspects.
+        "obs_overhead": obs_overhead,
     }
 
 
@@ -356,6 +364,141 @@ def _measure_spmv_formats(
         "repeats": int(repeats),
         "formats": entries,
     }
+
+
+#: Case the telemetry-overhead acceptance is measured on.  Per-piece
+#: kernels must be big enough that the probes' fixed per-task cost is
+#: a *fraction* of task compute — that is the regime sampled tracing is
+#: built for (on microsecond toy tasks any pure-Python callback is a
+#: large relative tax, which says nothing about production overhead).
+#: Two half-million-row pieces put each SpMV/axpy body in the
+#: sub-millisecond-to-millisecond band typical of the paper's runs.
+OBS_OVERHEAD_CASE = WallclockCase("cg-2d5-1m", "2d5", "cg", 2 ** 20, 2, 4)
+
+
+def _measure_obs_overhead(
+    case: Optional[WallclockCase] = None,
+    sample_rate: float = 0.1,
+    repeats: int = 31,
+    warmup: int = 1,
+    seed: int = 0,
+    log=None,
+) -> Dict:
+    """Time one case with observability off vs a sampled full bundle
+    (metrics + tracer + flight recorder at ``sample_rate``).
+
+    Measurement design, tuned for noisy shared hosts whose per-run
+    jitter dwarfs the few-percent quantity being estimated:
+
+    * ONE runtime stack is built and warmed (absorbing the lazy
+      per-structure format builds); instrumentation is toggled on/off
+      between solves by detaching/reattaching the probe and the engine
+      observer.  Two separately-built stacks measure their own memory
+      layouts (multi-ms bias in either direction); a single toggled
+      stack runs bit-identical work either way.
+    * Many *short* timed solves alternate between the modes; the
+      estimate is the median of the paired off→on deltas — pairing
+      cancels slow host drift, the median rejects preemption spikes,
+      and many short windows beat few long ones because each spike
+      poisons less of the sample.
+
+    The sampled run's ``obs.overhead.*`` meters are embedded so the
+    report shows both the end-to-end tax and the tracer's own
+    self-accounting of where it went.
+    """
+    from ..obs import NULL_OBSERVABILITY, Observability
+
+    if case is None:
+        case = OBS_OVERHEAD_CASE
+    shape = grid_shape_for(case.stencil, case.n_unknowns)
+    A = laplacian_scipy(case.stencil, shape)
+    b = np.random.default_rng(seed).random(A.shape[0])
+
+    obs = Observability(sample_rate=sample_rate, sample_seed=seed)
+    runtime = Runtime(backend="serial", observability=obs)
+    planner = make_planner(A, b, n_pieces=case.n_pieces, runtime=runtime)
+    ksm = SOLVER_REGISTRY[case.solver](planner)
+    target = runtime.executor
+    while getattr(target, "inner", None) is not None:
+        target = target.inner
+    observers_on = list(runtime.engine.observers)
+
+    def _set_instrumented(enabled: bool) -> None:
+        runtime.obs = obs if enabled else NULL_OBSERVABILITY
+        target.probe = obs if enabled else None
+        runtime.engine.observers[:] = observers_on if enabled else []
+
+    def _solve_once() -> float:
+        t0 = time.perf_counter()
+        ksm.solve(tolerance=0.0, max_iterations=case.iterations)
+        runtime.sync()
+        return time.perf_counter() - t0
+
+    off: List[float] = []
+    on: List[float] = []
+    try:
+        for i in range(warmup + repeats):
+            _set_instrumented(False)
+            elapsed_off = _solve_once()
+            _set_instrumented(True)
+            elapsed_on = _solve_once()
+            if i >= warmup:
+                off.append(elapsed_off)
+                on.append(elapsed_on)
+    finally:
+        _set_instrumented(True)
+        runtime.executor.shutdown()
+    median_off = float(median(off))
+    median_on = float(median(on))
+    min_off = float(min(off))
+    min_on = float(min(on))
+    delta = float(median(b_ - a_ for a_, b_ in zip(off, on)))
+    ratio = (median_off + delta) / median_off if median_off > 0 else None
+    obs.flush_overhead()
+    counters = obs.metrics.snapshot().get("counters", {})
+    probe_s = counters.get("obs.overhead.probe_s")
+    probe_calls = counters.get("obs.overhead.probe_calls")
+    if log is not None:
+        log(
+            f"obs overhead {case.name:<13} sampled:{sample_rate:g} "
+            f"{median_off * 1e3:8.2f} ms/solve "
+            f"+{delta * 1e3:.2f} ms paired-median delta"
+            + (f" ({ratio:.3f}x)" if ratio is not None else "")
+        )
+    return {
+        "case": case.name,
+        "sample_rate": float(sample_rate),
+        "repeats": int(repeats),
+        "off_median_s": median_off,
+        "sampled_median_s": median_on,
+        "off_min_s": min_off,
+        "sampled_min_s": min_on,
+        "delta_median_s": delta,
+        "overhead_ratio": ratio,
+        "probe_s": probe_s,
+        "probe_calls": probe_calls,
+    }
+
+
+def require_obs_overhead(report: Dict, max_ratio: float = 1.03) -> List[str]:
+    """Failures of the telemetry-overhead acceptance: the report's
+    ``obs_overhead`` section must exist and show sampled-mode wall time
+    at most ``max_ratio`` of the uninstrumented run (1.03 = at most a
+    3% tax)."""
+    failures: List[str] = []
+    section = report.get("obs_overhead")
+    if not section:
+        return ["report has no 'obs_overhead' section (re-run `repro bench`)"]
+    ratio = section.get("overhead_ratio")
+    if ratio is None:
+        failures.append("obs overhead ratio unavailable (zero-length off run?)")
+    elif ratio > max_ratio:
+        failures.append(
+            f"{section.get('case')}: sampled:{section.get('sample_rate'):g} "
+            f"telemetry costs {ratio:.3f}x the uninstrumented run "
+            f"(required <= {max_ratio:.2f}x)"
+        )
+    return failures
 
 
 def require_spmv_formats(
@@ -573,6 +716,17 @@ def summarize_wallclock(report: Dict) -> str:
         lines.append(
             f"spmv race ({race.get('kind')}, n={race.get('n_unknowns')}, "
             f"nnz={race.get('nnz')}): {cols}"
+        )
+    section = report.get("obs_overhead")
+    if section:
+        ratio = section.get("overhead_ratio")
+        off_s = section.get("off_min_s", section.get("off_median_s", 0.0))
+        on_s = section.get("sampled_min_s", section.get("sampled_median_s", 0.0))
+        lines.append(
+            f"obs overhead ({section.get('case')}, "
+            f"sampled:{section.get('sample_rate'):g}): "
+            f"{float(off_s) * 1e3:.2f} -> {float(on_s) * 1e3:.2f} ms"
+            + (f" ({ratio:.3f}x off)" if ratio is not None else "")
         )
     return "\n".join(lines)
 

@@ -146,6 +146,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          "fraction of every rival format's median in the "
                          "report's spmv race (acceptance: 1.0 = no slower "
                          "than csr or ell)")
+    pw.add_argument("--max-obs-overhead", type=float, default=None,
+                    help="measure sampled-mode tracer overhead and require "
+                         "wall-clock <= this ratio of the untraced run "
+                         "(acceptance: 1.03 = at most 3%% slower)")
+    pw.add_argument("--obs-sample-rate", type=float, default=0.1,
+                    help="task sampling rate for the --max-obs-overhead "
+                         "measurement (default: 0.1)")
 
     pv = sub.add_parser(
         "verify",
@@ -315,6 +322,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="validate the exported trace (monotonic lane "
                          "timestamps, matched B/E pairs, flow ids) and "
                          "fail on errors")
+    pt.add_argument("--sample", type=float, default=1.0, metavar="RATE",
+                    help="probabilistic task sampling rate in [0, 1]: spans "
+                         "are captured for a deterministic task subset, "
+                         "counters stay exact (default: 1.0 = everything)")
 
     pst = sub.add_parser(
         "stats",
@@ -327,6 +338,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="emit the stats document as JSON (to stdout, or "
                           "to FILE when given)")
+    pst.add_argument("--rollup", dest="rollup_out", default=None, metavar="FILE",
+                     help="also aggregate task latencies into windowed "
+                          "rollups and append them to FILE as repro-rollup/1 "
+                          "JSON lines")
+    pst.add_argument("--rollup-window", type=float, default=0.05,
+                     help="rollup window duration in seconds (default: 0.05)")
+
+    pp = sub.add_parser(
+        "profile",
+        help="diff two repro-stats JSON documents and attribute the "
+             "regression: per-task wall-clock deltas ranked by "
+             "critical-path slack contribution (repro-profilediff/1)",
+    )
+    pp.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                    required=True,
+                    help="baseline and candidate stats documents "
+                         "(from repro stats --json FILE)")
+    pp.add_argument("--json", dest="json_out", nargs="?", const="-",
+                    default=None,
+                    help="emit the diff document as JSON (to stdout, or to "
+                         "FILE when given)")
+    pp.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when the verdict is 'regression'")
+    pp.add_argument("--rel-threshold", type=float, default=None,
+                    help="relative mean-latency growth that counts as a "
+                         "regression (default: 0.25)")
+    pp.add_argument("--abs-threshold", type=float, default=None,
+                    help="absolute mean-latency growth floor in seconds "
+                         "(default: 1e-3)")
 
     pr = sub.add_parser(
         "replay",
@@ -452,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             compare_to_baseline,
             load_report,
             require_replay_overhead,
+            require_obs_overhead,
             require_speedup,
             require_spmv_formats,
             run_wallclock,
@@ -484,6 +525,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup=args.warmup,
             jobs=args.jobs,
             seed=args.seed,
+            obs_sample_rate=args.obs_sample_rate,
             log=print,
         )
         print(summarize_wallclock(report))
@@ -510,6 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures += require_replay_overhead(report, args.max_replay_overhead)
         if args.max_spmv_ratio is not None:
             failures += require_spmv_formats(report, max_ratio=args.max_spmv_ratio)
+        if args.max_obs_overhead is not None:
+            failures += require_obs_overhead(report, args.max_obs_overhead)
         for failure in failures:
             print(f"FAIL: {failure}")
         if not failures:
@@ -690,6 +734,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         from .obs.driver import run_traced
 
+        rollup_out = getattr(args, "rollup_out", None)
         try:
             obs, backend = run_traced(
                 program=args.program,
@@ -700,10 +745,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 iterations=args.iterations,
                 jobs=args.jobs,
+                sample_rate=getattr(args, "sample", 1.0),
+                rollup_window_s=(
+                    args.rollup_window if rollup_out is not None else None
+                ),
             )
         except (KeyError, ValueError) as exc:
             print(f"{args.command}: {exc}")
             return 2
+
+        if rollup_out is not None and obs.rollup is not None:
+            with open(rollup_out, "w") as fh:
+                n_records = obs.rollup.write_jsonl(fh)
+            print(
+                f"[{n_records} rollup records "
+                f"({obs.rollup.n_windows()} windows) written to {rollup_out}]"
+            )
 
         if args.command == "trace":
             document = chrome_trace(obs.tracer) if obs.tracer else {"traceEvents": []}
@@ -713,10 +770,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_tasks = len(tracer.task_spans) if tracer else 0
             n_wall = len(tracer.wall_tasks) if tracer else 0
             n_phases = len(tracer.phase_events) if tracer else 0
+            sampled = (
+                f" (sampled:{args.sample:g})" if args.sample < 1.0 else ""
+            )
             print(
                 f"repro trace {args.program}: backend={backend} "
                 f"{n_tasks} task spans, {n_phases} phase events, "
-                f"{n_wall} wall-clock task spans"
+                f"{n_wall} wall-clock task spans{sampled}"
             )
             print(f"[trace written to {args.out} — open at https://ui.perfetto.dev]")
             if args.check:
@@ -743,6 +803,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                 with open(args.json_out, "w") as fh:
                     json.dump(stats, fh, indent=2)
                 print(f"[stats written to {args.json_out}]")
+        return 0
+
+    if args.command == "profile":
+        import json
+
+        from .obs.diff import load_stats, profile_diff, summarize_diff
+
+        overrides = {}
+        if args.rel_threshold is not None:
+            overrides["rel_threshold"] = args.rel_threshold
+        if args.abs_threshold is not None:
+            overrides["abs_threshold_s"] = args.abs_threshold
+        try:
+            baseline = load_stats(args.diff[0])
+            candidate = load_stats(args.diff[1])
+            diff = profile_diff(baseline, candidate, **overrides)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"profile: {exc}")
+            return 2
+        if args.json_out == "-":
+            print(json.dumps(diff, indent=2))
+        else:
+            print(summarize_diff(diff))
+            if args.json_out:
+                with open(args.json_out, "w") as fh:
+                    json.dump(diff, fh, indent=2)
+                print(f"[diff written to {args.json_out}]")
+        if args.fail_on_regression and diff["verdict"] == "regression":
+            return 1
         return 0
 
     if args.command == "replay":

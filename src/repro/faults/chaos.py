@@ -112,6 +112,9 @@ class ChaosReport:
     #: counters, per-iteration residual series) — makes the JSON
     #: artifact self-describing.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Flight-recorder post-mortem (``repro-flight/1``) captured when the
+    #: config turned out unrecoverable; None for healthy runs.
+    flight: Optional[Dict[str, object]] = None
     x: Optional[np.ndarray] = None
     x_ref: Optional[np.ndarray] = None
 
@@ -202,6 +205,8 @@ class ChaosReport:
             "metrics": self.metrics,
             "ok": self.ok,
         }
+        if self.flight is not None:
+            payload["flight"] = self.flight
         return json.dumps(payload, indent=2)
 
 
@@ -310,10 +315,12 @@ def run_chaos(
             report.n_rollbacks = result.n_rollbacks
         except UnrecoverableFaultError as exc:
             report.setup_fault = str(exc)
+            runtime.obs.note("unrecoverable", str(exc))
         except Exception as exc:
             if not is_recoverable_fault(exc):
                 raise
             report.setup_fault = str(exc)
+            runtime.obs.note("unrecoverable", str(exc))
         _quiesce(runtime)
         x = planner.get_array(SOL)
     finally:
@@ -326,7 +333,14 @@ def run_chaos(
         report.n_detected = log.n_detected
         report.n_recovered = log.n_recovered
         report.n_unrecovered = log.n_unrecovered
+    runtime.obs.flush_overhead()
     report.metrics = dict(runtime.obs.metrics.snapshot())
+    if report.setup_fault is not None or report.gave_up or report.n_unrecovered:
+        # The config proved unrecoverable: dump the flight recorder so
+        # the JSON artifact carries the last events before the failure.
+        report.flight = runtime.obs.flight_bundle(
+            f"unrecoverable:{report.setup_fault or 'recovery-exhausted'}"
+        )
     report.x = x
     report.x_ref = x_ref
     with np.errstate(all="ignore"):

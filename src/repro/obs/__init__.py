@@ -7,6 +7,24 @@ and wall clocks) and a :class:`~repro.obs.metrics.MetricsRegistry`
 *probe* so backend internals (queue depth, worker occupancy, per-task
 submit → start → finish latencies) land in the same trace.
 
+Beyond one-shot tracing, the bundle is the front end of the continuous
+telemetry pipeline:
+
+* a :class:`~repro.obs.flight.FlightRecorder` ring keeps the most
+  recent probe events at near-zero cost and is dumped as a
+  ``repro-flight/1`` post-mortem on deadlock / unrecoverable fault /
+  dead replay session (:meth:`Observability.flight_bundle`);
+* an optional :class:`~repro.obs.rollup.RollupAggregator` buckets task
+  latencies into labeled fixed-duration windows
+  (:meth:`Observability.enable_rollup`);
+* probabilistic task sampling (``sample_rate < 1``) keeps per-task span
+  capture affordable under sustained load — sampling decisions hash the
+  task id, so they are deterministic and identical across
+  serial/threads/procs backends;
+* every probe callback times itself into the ``obs.overhead.*`` meters
+  (``probe_s`` total seconds + ``probe_calls``), so the tracer's own
+  cost is a first-class metric the bench gate can enforce.
+
 Wiring:
 
 * ``Runtime(observability=Observability())`` enables both tracing and
@@ -15,21 +33,26 @@ Wiring:
   (``observability=None``) consults the ``REPRO_TRACE`` environment
   variable, and when that is unset resolves to the shared
   :data:`NULL_OBSERVABILITY` whose every operation is a no-op.
-* ``REPRO_TRACE=1`` (any value other than ``0/off/false/no/metrics``)
-  turns on full tracing; ``REPRO_TRACE=metrics`` enables the registry
-  without span capture.
+* ``REPRO_TRACE=1`` (any value other than ``0/off/false/no/metrics/
+  sampled:<rate>``) turns on full tracing; ``REPRO_TRACE=metrics``
+  enables the registry without span capture;
+  ``REPRO_TRACE=sampled:0.1`` traces ~10% of tasks.
 
 Export with :func:`repro.obs.export.chrome_trace` (Perfetto-loadable)
-or :func:`repro.obs.export.stats_report`; the ``repro trace`` and
-``repro stats`` CLI commands drive both ends.
+or :func:`repro.obs.export.stats_report`; the ``repro trace``,
+``repro stats``, and ``repro profile`` CLI commands drive both ends.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+import time
+import zlib
+from typing import Dict, Mapping, Optional, Union
 
 from .critpath import CriticalPathReport, TaskPathStats, critical_path
+from .digest import QuantileDigest, Reservoir
+from .diff import DIFF_SCHEMA, profile_diff, summarize_diff
 from .export import (
     STATS_SCHEMA,
     TRACE_SCHEMA,
@@ -41,6 +64,7 @@ from .export import (
     validate_trace_file,
     write_trace,
 )
+from .flight import FLIGHT_SCHEMA, FlightRecorder, validate_flight_bundle
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -50,6 +74,7 @@ from .metrics import (
     NullMetrics,
     Series,
 )
+from .rollup import ROLLUP_SCHEMA, RollupAggregator
 from .tracing import (
     InstantEvent,
     PhaseEvent,
@@ -63,6 +88,9 @@ from .tracing import (
 __all__ = [
     "Counter",
     "CriticalPathReport",
+    "DIFF_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InstantEvent",
@@ -74,6 +102,10 @@ __all__ = [
     "Observability",
     "PhaseEvent",
     "PhaseSpan",
+    "QuantileDigest",
+    "ROLLUP_SCHEMA",
+    "Reservoir",
+    "RollupAggregator",
     "STATS_SCHEMA",
     "Series",
     "TRACE_ENV",
@@ -86,9 +118,12 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_events",
     "critical_path",
+    "profile_diff",
     "resolve_observability",
     "stats_report",
+    "summarize_diff",
     "summarize_stats",
+    "validate_flight_bundle",
     "validate_trace_events",
     "validate_trace_file",
     "write_trace",
@@ -98,6 +133,8 @@ __all__ = [
 TRACE_ENV = "REPRO_TRACE"
 
 _OFF_VALUES = frozenset({"", "0", "off", "false", "no"})
+
+_SAMPLED_PREFIX = "sampled:"
 
 
 class _NullSpan:
@@ -164,19 +201,133 @@ class _Span:
 
 
 class Observability:
-    """Tracer + metrics registry behind one switch.
+    """Tracer + metrics registry + flight recorder behind one switch.
 
     Also implements the executor's ``TaskProbe`` protocol, translating
     backend callbacks into wall-clock task spans, queue/occupancy
     samples, and ``executor.*`` metrics.
+
+    ``sample_rate`` < 1 keeps the counters exact but captures per-task
+    spans (and rollup latencies) only for the sampled subset; the
+    decision for a task id is a hash of ``(sample_seed, task_id)``, so
+    it is reproducible and backend-independent.
     """
 
-    __slots__ = ("enabled", "metrics", "tracer")
+    __slots__ = (
+        "enabled",
+        "metrics",
+        "tracer",
+        "flight",
+        "rollup",
+        "labels",
+        "sample_rate",
+        "sample_seed",
+        "_c_submitted",
+        "_c_sampled",
+        "_c_executed",
+        "_c_futures",
+        "_g_queue_depth",
+        "_g_workers",
+        "_h_queued",
+        "_h_run",
+        "_h_body",
+        "_overhead_s",
+        "_overhead_calls",
+        "_flushed_s",
+        "_flushed_calls",
+        "_n_submitted",
+        "_n_sampled",
+        "_n_executed",
+        "_n_futures",
+        "_seed_crc",
+        "_sample_bound",
+        "_sampled_inflight",
+    )
 
-    def __init__(self, enabled: bool = True, trace: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace: bool = True,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
+        labels: Optional[Mapping[str, str]] = None,
+        flight: bool = True,
+    ) -> None:
         self.enabled = enabled
         self.metrics: MetricsRegistry = MetricsRegistry() if enabled else NULL_METRICS
         self.tracer: Optional[Tracer] = Tracer() if (enabled and trace) else None
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder() if (enabled and flight) else None
+        )
+        self.rollup: Optional[RollupAggregator] = None
+        self.labels: Dict[str, str] = dict(labels) if labels else {}
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self.sample_seed = int(sample_seed)
+        # Probe hot path: instrument handles are resolved once here so
+        # per-task callbacks skip the registry's lock + dict lookup.
+        metrics = self.metrics
+        self._c_submitted = metrics.counter("executor.tasks_submitted")
+        self._c_sampled = metrics.counter("executor.tasks_sampled")
+        self._c_executed = metrics.counter("executor.tasks_executed")
+        self._c_futures = metrics.counter("executor.futures_waited")
+        self._g_queue_depth = metrics.gauge("executor.queue_depth")
+        self._g_workers = metrics.gauge("executor.workers_active")
+        self._h_queued = metrics.histogram("executor.task_queued_s")
+        self._h_run = metrics.histogram("executor.task_run_s")
+        self._h_body = metrics.histogram("executor.task_body_s")
+        # Self-accounting accumulates in plain floats (an attribute add
+        # is ~20ns; a histogram observe is ~2us) and flushes into the
+        # ``obs.overhead.*`` meters every 1024 probes / on demand.
+        self._overhead_s = 0.0
+        self._overhead_calls = 0
+        self._flushed_s = 0.0
+        self._flushed_calls = 0
+        # Task counts likewise accumulate lock-free (a Counter.inc is a
+        # lock round-trip) and drain to the executor.* counters on flush.
+        self._n_submitted = 0
+        self._n_sampled = 0
+        self._n_executed = 0
+        self._n_futures = 0
+        # CRC streams: crc32(a + b) == crc32(b, crc32(a)), so the seed
+        # prefix is hashed once and each decision is one short update
+        # plus an integer compare against the precomputed rate bound.
+        self._seed_crc = zlib.crc32(f"{self.sample_seed}:".encode("ascii"))
+        self._sample_bound = int(self.sample_rate * 4294967296.0)
+        # Task ids whose submit-time decision was "sample": started /
+        # finished probes check membership instead of re-hashing (set
+        # ops are atomic under the GIL; entries leave at finish).
+        self._sampled_inflight: set = set()
+
+    # -- configuration -----------------------------------------------------
+
+    def set_labels(self, **labels: str) -> None:
+        """Attach run-level rollup labels (solver/format/backend/...)."""
+        for key, value in labels.items():
+            self.labels[key] = str(value)
+
+    def enable_rollup(
+        self, window_s: float = 1.0, max_windows: int = 64
+    ) -> RollupAggregator:
+        """Turn on windowed rollups; returns the aggregator."""
+        if self.rollup is None:
+            self.rollup = RollupAggregator(window_s=window_s, max_windows=max_windows)
+        return self.rollup
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, task_id: int) -> bool:
+        """Deterministic per-task sampling decision — equivalent to
+        ``crc32(f"{seed}:{task_id}") / 2**32 < rate``, so it is stable
+        across processes and backends."""
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        h = zlib.crc32(str(task_id).encode("ascii"), self._seed_crc)
+        return h < self._sample_bound
 
     # -- spans -------------------------------------------------------------
 
@@ -193,35 +344,166 @@ class Observability:
         return _Span(self, name, category, capture_cost, dict(args))
 
     # -- TaskProbe protocol (executor callbacks) ---------------------------
+    #
+    # Each callback times its own body into plain-float accumulators
+    # flushed to the ``obs.overhead.*`` meters, so the telemetry layer's
+    # cost is itself observable (and gateable) without per-probe
+    # histogram traffic.
+
+    def _note_overhead(self, dt: float) -> None:
+        self._overhead_s += dt
+        self._overhead_calls += 1
+        if not (self._overhead_calls & 1023):
+            self.flush_overhead()
+
+    def flush_overhead(self) -> None:
+        """Drain the probes' lock-free accumulators into the registry:
+        the ``executor.tasks_*`` counts and the ``obs.overhead.*``
+        self-timing (``probe_s`` total seconds + ``probe_calls``).
+        Exporters call this before snapshotting; the probes themselves
+        flush every 1024 calls."""
+        if self._n_submitted:
+            self._c_submitted.inc(self._n_submitted)
+            self._n_submitted = 0
+        if self._n_sampled:
+            self._c_sampled.inc(self._n_sampled)
+            self._n_sampled = 0
+        if self._n_executed:
+            self._c_executed.inc(self._n_executed)
+            self._n_executed = 0
+        if self._n_futures:
+            self._c_futures.inc(self._n_futures)
+            self._n_futures = 0
+        calls = self._overhead_calls - self._flushed_calls
+        if calls:
+            self.metrics.counter("obs.overhead.probe_calls").inc(calls)
+            self.metrics.counter("obs.overhead.probe_s").inc(
+                self._overhead_s - self._flushed_s
+            )
+            self._flushed_calls = self._overhead_calls
+            self._flushed_s = self._overhead_s
 
     def task_submitted(self, task_id: int, name: str, n_pending: int, n_ready: int) -> None:
-        self.metrics.counter("executor.tasks_submitted").inc()
-        self.metrics.gauge("executor.queue_depth").set(float(n_pending))
+        if not self.enabled:
+            return
+        t0 = time.perf_counter()
+        self._n_submitted += 1
+        if self.flight is not None:
+            self.flight.record("submit", task_id, name, now=t0)
         if self.tracer is not None:
-            self.tracer.task_submitted(task_id, name, n_pending, n_ready)
+            if self.sample_rate >= 1.0:
+                sampled = True
+            elif self.sample(task_id):
+                sampled = True
+                self._sampled_inflight.add(task_id)
+            else:
+                sampled = False
+            if sampled:
+                self._n_sampled += 1
+                self._g_queue_depth.set(float(n_pending))
+                self.tracer.task_submitted(task_id, name, n_pending, n_ready)
+        else:
+            self._g_queue_depth.set(float(n_pending))
+        self._note_overhead(time.perf_counter() - t0)
 
     def task_started(self, task_id: int, worker: str = "") -> None:
-        if self.tracer is not None:
+        if not self.enabled:
+            return
+        t0 = time.perf_counter()
+        if self.flight is not None:
+            self.flight.record("start", task_id, detail=worker, now=t0)
+        if self.tracer is not None and (
+            self.sample_rate >= 1.0 or task_id in self._sampled_inflight
+        ):
             active = self.tracer.task_started(task_id, worker)
-            self.metrics.gauge("executor.workers_active").set(float(active))
+            self._g_workers.set(float(active))
+        self._note_overhead(time.perf_counter() - t0)
 
     def task_finished(self, task_id: int) -> None:
-        self.metrics.counter("executor.tasks_executed").inc()
-        if self.tracer is not None:
+        if not self.enabled:
+            return
+        t0 = time.perf_counter()
+        self._n_executed += 1
+        if self.flight is not None:
+            self.flight.record("finish", task_id, now=t0)
+        if self.tracer is not None and (
+            self.sample_rate >= 1.0 or task_id in self._sampled_inflight
+        ):
+            self._sampled_inflight.discard(task_id)
             span = self.tracer.task_finished(task_id)
             if span is not None:
-                self.metrics.histogram("executor.task_queued_s").observe(span.queued)
-                self.metrics.histogram("executor.task_run_s").observe(span.duration)
+                self._h_queued.observe(span.queued)
+                self._h_run.observe(span.duration)
+                if self.rollup is not None:
+                    self.rollup.observe(
+                        span.finish, "latency", f"task.{span.name}",
+                        span.duration, self.labels,
+                    )
+                    self.rollup.observe(
+                        span.finish, "latency", "executor.task_queued_s",
+                        span.queued, self.labels,
+                    )
+        self._note_overhead(time.perf_counter() - t0)
+
+    def task_body_batch(self, task_id: int, worker: str, body_s: float, n_parts: int) -> None:
+        """Span batch shipped back from a pool worker with its result:
+        the measured on-worker body seconds for one task (never sent as
+        per-event messages)."""
+        if not self.enabled:
+            return
+        t0 = time.perf_counter()
+        self._h_body.observe(body_s)
+        if self.tracer is not None:
+            self.tracer.task_body(task_id, body_s, n_parts)
+        if self.rollup is not None:
+            t = self.tracer.wall_now() if self.tracer is not None else t0
+            self.rollup.observe(t, "latency", "executor.task_body_s", body_s, self.labels)
+        self._note_overhead(time.perf_counter() - t0)
 
     def future_wait(self, future_uid: int) -> None:
-        self.metrics.counter("executor.futures_waited").inc()
+        if not self.enabled:
+            return
+        self._n_futures += 1
+        if self.flight is not None:
+            self.flight.record("wait", future_uid)
 
     def deadlock(self) -> None:
         self.metrics.counter("executor.deadlocks").inc()
+        if self.flight is not None:
+            self.flight.record("deadlock")
+
+    # -- post-mortem -------------------------------------------------------
+
+    def note(self, kind: str, detail: str = "") -> None:
+        """Drop a marker into the flight ring (fault escalations, replay
+        state changes) without needing a tracer."""
+        if self.flight is not None:
+            self.flight.record(kind, detail=detail)
+
+    def flight_bundle(self, reason: str) -> Optional[Dict[str, object]]:
+        """The ``repro-flight/1`` post-mortem bundle, or ``None`` when
+        the recorder is off (disabled bundles)."""
+        if self.flight is None:
+            return None
+        self.flush_overhead()
+        return self.flight.bundle(reason, metrics=self.metrics, tracer=self.tracer)
 
 
 #: Shared disabled bundle — the default for every runtime.
 NULL_OBSERVABILITY = Observability(enabled=False)
+
+
+def _parse_sampled(env: str) -> float:
+    spec = env[len(_SAMPLED_PREFIX):]
+    try:
+        rate = float(spec)
+    except ValueError:
+        raise ValueError(
+            f"{TRACE_ENV}={env!r}: expected sampled:<rate> with rate in [0, 1]"
+        ) from None
+    if not (0.0 <= rate <= 1.0):
+        raise ValueError(f"{TRACE_ENV}={env!r}: rate must be in [0, 1]")
+    return rate
 
 
 def resolve_observability(
@@ -234,7 +516,8 @@ def resolve_observability(
     * ``False`` forces :data:`NULL_OBSERVABILITY` regardless of the
       environment (used by timed benchmark runs);
     * ``None`` consults ``REPRO_TRACE``: unset/``0/off/false/no`` →
-      disabled, ``metrics`` → metrics-only, anything else → full.
+      disabled, ``metrics`` → metrics-only, ``sampled:<rate>`` → full
+      bundle sampling that fraction of tasks, anything else → full.
     """
     if isinstance(value, Observability):
         return value
@@ -247,4 +530,6 @@ def resolve_observability(
         return NULL_OBSERVABILITY
     if env == "metrics":
         return Observability(trace=False)
+    if env.startswith(_SAMPLED_PREFIX):
+        return Observability(sample_rate=_parse_sampled(env))
     return Observability()

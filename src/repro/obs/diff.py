@@ -1,0 +1,255 @@
+"""Profile diff: align two stats reports, attribute the regression.
+
+``repro profile --diff A.json B.json`` answers "what got slower between
+these two runs, and does it matter?".  Two ``repro-stats/2`` documents
+(baseline ``A``, candidate ``B``) are aligned by task name and by phase
+name; per-name deltas are then ranked by *critical-path slack
+contribution*: a delta on a zero-slack (critical-path) task extends the
+end-to-end time one-for-one, while a task with plenty of slack can
+absorb the same delta invisibly, so each task's wall-clock delta is
+discounted by its baseline slack fraction before ranking.
+
+Wall-clock aggregates are the primary signal — injected stalls and host
+pathologies are invisible to the simulated clock by design — with the
+simulated track used for the slack weights.  The result is a
+``repro-profilediff/1`` document whose ``top_regression`` names the
+worst offender and whose ``verdict`` is ``regression`` /
+``improvement`` / ``neutral``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DIFF_SCHEMA", "profile_diff", "summarize_diff", "load_stats"]
+
+DIFF_SCHEMA = "repro-profilediff/1"
+
+#: A task regresses when its mean wall time grows by more than
+#: ``max(REL_THRESHOLD × baseline_mean, ABS_THRESHOLD_S)``.
+REL_THRESHOLD = 0.25
+ABS_THRESHOLD_S = 1e-3
+
+_ACCEPTED_SCHEMAS = frozenset({"repro-stats/1", "repro-stats/2"})
+
+
+def load_stats(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema not in _ACCEPTED_SCHEMAS:
+        raise ValueError(f"{path}: not a repro-stats document (schema={schema!r})")
+    return doc
+
+
+def _section(doc: Dict[str, Any], key: str) -> Dict[str, Dict[str, Any]]:
+    section = doc.get(key)
+    return section if isinstance(section, dict) else {}
+
+
+def _slack_fractions(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Per-task-name slack as a fraction of makespan (0 = critical)."""
+    crit = doc.get("critical_path")
+    if not isinstance(crit, dict):
+        return {}
+    makespan = crit.get("makespan_s")
+    per_name = crit.get("per_name")
+    if not isinstance(per_name, dict) or not isinstance(makespan, (int, float)):
+        return {}
+    if makespan <= 0.0:
+        return {}
+    out: Dict[str, float] = {}
+    for name, entry in per_name.items():
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("on_critical_path"):
+            out[name] = 0.0
+            continue
+        slack = entry.get("mean_slack_s", 0.0)
+        if isinstance(slack, (int, float)):
+            out[name] = min(1.0, max(0.0, float(slack) / float(makespan)))
+    return out
+
+
+def _get(entry: Dict[str, Any], key: str, default: float = 0.0) -> float:
+    value = entry.get(key, default)
+    return float(value) if isinstance(value, (int, float)) else default
+
+
+def _diff_tasks(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    rel_threshold: float,
+    abs_threshold_s: float,
+) -> List[Dict[str, Any]]:
+    # Prefer the wall-clock aggregates (repro-stats/2); fall back to the
+    # simulated per-task table so /1 baselines still diff.
+    wall_a, wall_b = _section(a, "wall_tasks"), _section(b, "wall_tasks")
+    if wall_a and wall_b:
+        sec_a, sec_b, mean_key, total_key, clock = (
+            wall_a, wall_b, "mean_s", "total_s", "wall")
+    else:
+        sec_a, sec_b, mean_key, total_key, clock = (
+            _section(a, "tasks"), _section(b, "tasks"),
+            "mean_time_s", "total_time_s", "sim")
+    slack = _slack_fractions(a) or _slack_fractions(b)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(sec_a) | set(sec_b)):
+        ent_a = sec_a.get(name, {})
+        ent_b = sec_b.get(name, {})
+        mean_a = _get(ent_a, mean_key)
+        mean_b = _get(ent_b, mean_key)
+        count_b = _get(ent_b, "count")
+        delta_mean = mean_b - mean_a
+        delta_total = _get(ent_b, total_key) - _get(ent_a, total_key)
+        slack_frac = slack.get(name, 0.0)
+        # Slack-weighted contribution: full credit on the critical path,
+        # discounted toward zero as baseline slack approaches makespan.
+        score = delta_total * (1.0 - slack_frac)
+        regressed = (
+            name in sec_a
+            and name in sec_b
+            and delta_mean > max(rel_threshold * mean_a, abs_threshold_s)
+        )
+        rows.append(
+            {
+                "name": name,
+                "clock": clock,
+                "count_a": int(_get(ent_a, "count")),
+                "count_b": int(count_b),
+                "mean_a_s": mean_a,
+                "mean_b_s": mean_b,
+                "delta_mean_s": delta_mean,
+                "delta_total_s": delta_total,
+                "p95_a_s": _get(ent_a, "p95"),
+                "p95_b_s": _get(ent_b, "p95"),
+                "slack_frac": slack_frac,
+                "on_critical_path": slack_frac == 0.0 and name in slack,
+                "score_s": score,
+                "regressed": regressed,
+                "only_in": (
+                    "a" if name not in sec_b else "b" if name not in sec_a else ""
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (-float(r["score_s"]), str(r["name"])))
+    return rows
+
+
+def _diff_phases(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    rel_threshold: float,
+    abs_threshold_s: float,
+) -> List[Dict[str, Any]]:
+    sec_a, sec_b = _section(a, "phases"), _section(b, "phases")
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(sec_a) | set(sec_b)):
+        ent_a = sec_a.get(name, {})
+        ent_b = sec_b.get(name, {})
+        mean_a = _get(ent_a, "mean_wall_s")
+        mean_b = _get(ent_b, "mean_wall_s")
+        delta_mean = mean_b - mean_a
+        delta_total = _get(ent_b, "total_wall_s") - _get(ent_a, "total_wall_s")
+        rows.append(
+            {
+                "name": name,
+                "count_a": int(_get(ent_a, "count")),
+                "count_b": int(_get(ent_b, "count")),
+                "mean_a_s": mean_a,
+                "mean_b_s": mean_b,
+                "delta_mean_s": delta_mean,
+                "delta_total_s": delta_total,
+                "regressed": (
+                    name in sec_a
+                    and name in sec_b
+                    and delta_mean > max(rel_threshold * mean_a, abs_threshold_s)
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (-float(r["delta_total_s"]), str(r["name"])))
+    return rows
+
+
+def profile_diff(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    rel_threshold: float = REL_THRESHOLD,
+    abs_threshold_s: float = ABS_THRESHOLD_S,
+) -> Dict[str, Any]:
+    """Diff baseline ``a`` against candidate ``b`` (both stats docs)."""
+    tasks = _diff_tasks(a, b, rel_threshold, abs_threshold_s)
+    phases = _diff_phases(a, b, rel_threshold, abs_threshold_s)
+    regressions = [r for r in tasks if r["regressed"]]
+    improvements = [
+        r
+        for r in tasks
+        if r["only_in"] == ""
+        and float(r["delta_mean_s"])
+        < -max(rel_threshold * float(r["mean_b_s"]), abs_threshold_s)
+    ]
+    if regressions:
+        verdict = "regression"
+    elif improvements:
+        verdict = "improvement"
+    else:
+        verdict = "neutral"
+    return {
+        "schema": DIFF_SCHEMA,
+        "baseline_schema": a.get("schema"),
+        "candidate_schema": b.get("schema"),
+        "rel_threshold": rel_threshold,
+        "abs_threshold_s": abs_threshold_s,
+        "tasks": tasks,
+        "phases": phases,
+        "n_regressed": len(regressions),
+        "n_improved": len(improvements),
+        "top_regression": regressions[0]["name"] if regressions else None,
+        "verdict": verdict,
+    }
+
+
+def summarize_diff(diff: Dict[str, Any], limit: int = 10) -> str:
+    """Human-readable rendering of a :func:`profile_diff` document."""
+    lines: List[str] = []
+    verdict = diff.get("verdict", "neutral")
+    top: Optional[str] = diff.get("top_regression")
+    lines.append(f"verdict: {verdict}" + (f" (top: {top})" if top else ""))
+    tasks = diff.get("tasks")
+    if isinstance(tasks, list) and tasks:
+        lines.append(
+            "task deltas by slack-weighted contribution "
+            "(mean A -> B, delta, score):"
+        )
+        for row in tasks[:limit]:
+            if not isinstance(row, dict):
+                continue
+            marker = ""
+            if row.get("regressed"):
+                marker = " REGRESSED"
+            elif row.get("only_in") == "b":
+                marker = " new"
+            elif row.get("only_in") == "a":
+                marker = " removed"
+            crit = " *critical*" if row.get("on_critical_path") else ""
+            lines.append(
+                f"  {str(row.get('name', '')):<28s} "
+                f"{float(row.get('mean_a_s', 0.0)):.3e} -> "
+                f"{float(row.get('mean_b_s', 0.0)):.3e}  "
+                f"d={float(row.get('delta_mean_s', 0.0)):+.3e}  "
+                f"score={float(row.get('score_s', 0.0)):+.3e}"
+                f"{crit}{marker}"
+            )
+    phases = diff.get("phases")
+    if isinstance(phases, list):
+        regressed = [p for p in phases if isinstance(p, dict) and p.get("regressed")]
+        if regressed:
+            lines.append("regressed phases:")
+            for row in regressed[:limit]:
+                lines.append(
+                    f"  {str(row.get('name', '')):<28s} "
+                    f"{float(row.get('mean_a_s', 0.0)):.3e} -> "
+                    f"{float(row.get('mean_b_s', 0.0)):.3e}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Mergeable streaming quantile digests and bounded reservoirs.
+
+Long-running telemetry cannot keep raw value lists: a solver service
+observing one latency per task would grow without bound.  This module
+provides the two bounded-memory summary types the metrics registry and
+the rollup pipeline are built on:
+
+* :class:`QuantileDigest` — a t-digest-style centroid sketch (Dunning's
+  *merging digest*).  Values are buffered and periodically compressed
+  into ``O(compression)`` weighted centroids whose maximum weight scales
+  with ``q·(1-q)``, so the tails stay near-exact while the middle is
+  summarized.  Memory is bounded regardless of stream length, the rank
+  error of ``quantile(q)`` is bounded by ``O(1/compression)``, and two
+  digests merge associatively (merge = concatenate centroids +
+  re-compress), which is what lets per-worker / per-window sketches be
+  combined into fleet-wide percentiles.
+* :class:`Reservoir` — a fixed-capacity tail of the most recent values
+  plus a digest over *everything* ever appended; the bounded replacement
+  for raw ``Series`` histories.
+
+Both types are plain Python (no numpy) so they can ride in worker
+result messages and JSON artifacts cheaply.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["QuantileDigest", "Reservoir"]
+
+#: Default compression (δ): centroid count stays under ~2·δ, rank error
+#: of the middle quantiles under ~1/δ.
+DEFAULT_COMPRESSION = 100
+
+#: Buffer this many raw points before paying a sort+merge pass.
+_BUFFER_FACTOR = 4
+
+
+class QuantileDigest:
+    """Bounded-memory quantile sketch with associative merge.
+
+    ``add`` appends to an unsorted buffer; ``_compress`` folds the
+    buffer into the sorted centroid list, greedily merging neighbours
+    while the merged weight stays under the ``4·W·q·(1-q)/δ`` size
+    bound (W = total weight, δ = compression).  The bound pinches to
+    zero at the tails, so extreme quantiles are represented by
+    near-singleton centroids and p99 stays sharp.
+
+    Not thread-safe on its own; callers (the metrics registry) hold
+    their own lock.
+    """
+
+    __slots__ = ("compression", "count", "_min", "_max", "_means", "_weights", "_buf")
+
+    def __init__(self, compression: int = DEFAULT_COMPRESSION) -> None:
+        if compression < 8:
+            raise ValueError(f"compression must be >= 8, got {compression}")
+        self.compression = int(compression)
+        self.count = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._buf: List[Tuple[float, float]] = []
+
+    # -- ingest ------------------------------------------------------------
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0.0:
+            return
+        value = float(value)
+        if self.count == 0.0:
+            self._min = value
+            self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self.count += weight
+        self._buf.append((value, weight))
+        if len(self._buf) >= _BUFFER_FACTOR * self.compression:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def merge(self, other: "QuantileDigest") -> None:
+        """Absorb ``other`` (associative up to compression error: the
+        merged digest estimates the quantiles of the concatenated
+        streams)."""
+        if other.count == 0.0:
+            return
+        if self.count == 0.0:
+            self._min = other._min
+            self._max = other._max
+        else:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self.count += other.count
+        self._buf.extend(zip(other._means, other._weights))
+        self._buf.extend(other._buf)
+        self._compress()
+
+    # -- compression -------------------------------------------------------
+
+    def _compress(self) -> None:
+        if not self._buf and len(self._means) <= 2 * self.compression:
+            return
+        pts: List[Tuple[float, float]] = list(zip(self._means, self._weights))
+        pts.extend(self._buf)
+        self._buf = []
+        if not pts:
+            return
+        pts.sort(key=lambda p: p[0])
+        total = sum(w for _, w in pts)
+        means: List[float] = []
+        weights: List[float] = []
+        cum = 0.0  # weight fully emitted so far
+        cur_m, cur_w = pts[0]
+        for m, w in pts[1:]:
+            merged_w = cur_w + w
+            q = (cum + merged_w / 2.0) / total
+            limit = 4.0 * total * q * (1.0 - q) / self.compression
+            if merged_w <= limit:
+                # Weighted mean keeps the centroid's centroid exact.
+                cur_m += (m - cur_m) * (w / merged_w)
+                cur_w = merged_w
+            else:
+                means.append(cur_m)
+                weights.append(cur_w)
+                cum += cur_w
+                cur_m, cur_w = m, w
+        means.append(cur_m)
+        weights.append(cur_w)
+        self._means = means
+        self._weights = weights
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def n_centroids(self) -> int:
+        self._compress()
+        return len(self._means)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) of the stream."""
+        if self.count <= 0.0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        self._compress()
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        target = q * self.count
+        # Centroid i covers the rank interval centred at cum_i + w_i/2.
+        cum = 0.0
+        prev_center = 0.0
+        prev_mean = self._min
+        for mean, w in zip(means, weights):
+            center = cum + w / 2.0
+            if target < center:
+                if center == prev_center:
+                    return mean
+                frac = (target - prev_center) / (center - prev_center)
+                return prev_mean + (mean - prev_mean) * frac
+            prev_center = center
+            prev_mean = mean
+            cum += w
+        return self._max
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def summary(self) -> Dict[str, float]:
+        """The p50/p95/p99 triple every report surfaces."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def nbytes(self) -> int:
+        """Rough accounting of retained payload bytes (floats only);
+        the memory-bound regression test gates on this staying fixed as
+        the stream grows."""
+        return 8 * (len(self._means) + len(self._weights) + 2 * len(self._buf)) + 64
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (worker result messages, JSON artifacts)."""
+        self._compress()
+        return {
+            "compression": self.compression,
+            "count": self.count,
+            "min": self._min,
+            "max": self._max,
+            "means": list(self._means),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantileDigest":
+        digest = cls(compression=int(data.get("compression", DEFAULT_COMPRESSION)))  # type: ignore[call-overload]
+        digest.count = float(data.get("count", 0.0))  # type: ignore[arg-type]
+        digest._min = float(data.get("min", 0.0))  # type: ignore[arg-type]
+        digest._max = float(data.get("max", 0.0))  # type: ignore[arg-type]
+        digest._means = [float(v) for v in data.get("means", [])]  # type: ignore[union-attr]
+        digest._weights = [float(v) for v in data.get("weights", [])]  # type: ignore[union-attr]
+        return digest
+
+
+class Reservoir:
+    """Bounded history: the most recent ``capacity`` values verbatim,
+    plus a :class:`QuantileDigest` over everything ever appended.
+
+    Replaces unbounded raw series (per-iteration residuals) — recent
+    values stay exact for convergence inspection, the full-stream
+    distribution stays queryable, and memory is fixed.
+    """
+
+    __slots__ = ("capacity", "count", "_tail", "digest")
+
+    def __init__(
+        self, capacity: int = 1024, compression: int = DEFAULT_COMPRESSION
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self._tail: Deque[float] = deque(maxlen=self.capacity)
+        self.digest = QuantileDigest(compression=compression)
+
+    def append(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._tail.append(value)
+        self.digest.add(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The retained tail (the full history while it fits)."""
+        return list(self._tail)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self._tail[-1] if self._tail else None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def nbytes(self) -> int:
+        return 8 * len(self._tail) + self.digest.nbytes() + 64

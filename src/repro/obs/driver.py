@@ -1,4 +1,4 @@
-"""Drivers for ``repro trace`` and ``repro stats``.
+"""Drivers for ``repro trace``, ``repro stats``, and ``repro profile``.
 
 Runs one of the shipped programs (any solver name from
 ``SOLVER_REGISTRY`` or ``fig8-cg``, reusing the builder behind ``repro
@@ -26,14 +26,29 @@ def run_traced(
     seed: int = 0,
     iterations: int = 3,
     jobs: Optional[int] = None,
+    sample_rate: float = 1.0,
+    rollup_window_s: Optional[float] = None,
 ) -> Tuple[Observability, str]:
     """Run ``program`` instrumented; returns ``(observability bundle,
-    resolved backend name)``."""
+    resolved backend name)``.
+
+    ``sample_rate`` < 1 captures spans for a deterministic task subset
+    (``repro trace --sample``); ``rollup_window_s`` additionally turns
+    on windowed rollups labeled with the run's solver/format/backend.
+    """
     run = build_program(
         program, fmt=fmt, size=size, pieces=pieces, seed=seed, iterations=iterations
     )
-    obs = Observability()
+    obs = Observability(sample_rate=sample_rate, sample_seed=seed)
+    obs.set_labels(
+        solver=program,
+        format=fmt,
+        run_id=f"{program}-{fmt}-s{seed}",
+    )
+    if rollup_window_s is not None:
+        obs.enable_rollup(window_s=rollup_window_s)
     runtime = Runtime(backend=backend, jobs=jobs, observability=obs)
+    obs.set_labels(backend=runtime.backend)
     try:
         run(runtime)
         runtime.sync()

@@ -24,6 +24,7 @@ import json
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from .critpath import critical_path
+from .digest import QuantileDigest
 from .tracing import Tracer
 
 if TYPE_CHECKING:
@@ -42,7 +43,9 @@ __all__ = [
 ]
 
 TRACE_SCHEMA = "repro-trace/1"
-STATS_SCHEMA = "repro-stats/1"
+#: /2 added digest percentiles per task name, wall-clock aggregates
+#: (``wall_tasks``), and per-phase aggregates (``phases``).
+STATS_SCHEMA = "repro-stats/2"
 
 SIM_PID = 1
 WALL_PID = 2
@@ -314,31 +317,92 @@ def validate_trace_file(path: str) -> List[str]:
     return validate_trace_events(events)
 
 
+def _digest_aggregate(
+    samples: Dict[str, "QuantileDigest"], name: str, value: float
+) -> None:
+    digest = samples.get(name)
+    if digest is None:
+        digest = QuantileDigest()
+        samples[name] = digest
+    digest.add(value)
+
+
 def stats_report(obs: "Observability") -> Dict[str, object]:
-    """Flat stats document: metrics snapshot + per-task-name aggregates +
-    critical-path report."""
+    """Flat stats document (``repro-stats/2``): metrics snapshot,
+    per-task-name aggregates with digest percentiles on both clocks,
+    per-phase aggregates, and the critical-path report."""
+    obs.flush_overhead()
     tasks: Dict[str, Dict[str, object]] = {}
+    wall_tasks: Dict[str, Dict[str, object]] = {}
+    phases: Dict[str, Dict[str, object]] = {}
     crit: Optional[Dict[str, object]] = None
     tracer = obs.tracer
     if tracer is not None:
         agg: Dict[str, List[float]] = {}
+        sim_digests: Dict[str, QuantileDigest] = {}
         for span in tracer.task_spans:
             entry = agg.setdefault(span.name, [0.0, 0.0, 0.0])
             entry[0] += 1.0
             entry[1] += span.duration
             entry[2] += span.comm_time
+            _digest_aggregate(sim_digests, span.name, span.duration)
         for name, (count, total, comm) in sorted(agg.items()):
-            tasks[name] = {
+            entry_doc: Dict[str, object] = {
                 "count": int(count),
                 "total_time_s": total,
                 "mean_time_s": total / count if count else 0.0,
                 "total_comm_s": comm,
             }
+            entry_doc.update(sim_digests[name].summary())
+            tasks[name] = entry_doc
+
+        # Wall-clock per-name aggregates: the track stall faults and
+        # scheduling pathologies actually show up on (simulated time is
+        # deliberately blind to host hiccups).
+        wall_agg: Dict[str, List[float]] = {}
+        wall_digests: Dict[str, QuantileDigest] = {}
+        for ws in tracer.wall_tasks:
+            if ws.finish < 0.0:
+                continue
+            entry = wall_agg.setdefault(ws.name, [0.0, 0.0, 0.0])
+            entry[0] += 1.0
+            entry[1] += ws.duration
+            entry[2] += ws.queued
+            _digest_aggregate(wall_digests, ws.name, ws.duration)
+        for name, (count, total, queued) in sorted(wall_agg.items()):
+            entry_doc = {
+                "count": int(count),
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "queued_s": queued,
+            }
+            entry_doc.update(wall_digests[name].summary())
+            wall_tasks[name] = entry_doc
+
+        phase_agg: Dict[str, List[float]] = {}
+        phase_digests: Dict[str, QuantileDigest] = {}
+        for ps in tracer.phase_spans():
+            entry = phase_agg.setdefault(ps.name, [0.0, 0.0, 0.0])
+            entry[0] += 1.0
+            entry[1] += ps.wall_duration
+            entry[2] += ps.sim_duration
+            _digest_aggregate(phase_digests, ps.name, ps.wall_duration)
+        for name, (count, wall, sim) in sorted(phase_agg.items()):
+            entry_doc = {
+                "count": int(count),
+                "total_wall_s": wall,
+                "mean_wall_s": wall / count if count else 0.0,
+                "total_sim_s": sim,
+            }
+            entry_doc.update(phase_digests[name].summary())
+            phases[name] = entry_doc
         crit = critical_path(tracer.task_spans).to_dict()
     return {
         "schema": STATS_SCHEMA,
         "metrics": obs.metrics.snapshot(),
         "tasks": tasks,
+        "wall_tasks": wall_tasks,
+        "phases": phases,
         "critical_path": crit,
     }
 

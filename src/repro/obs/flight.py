@@ -1,0 +1,168 @@
+"""Always-on flight recorder: a fixed ring of recent probe events.
+
+Full tracing answers questions you knew to ask before the run; the
+flight recorder answers "what were the last things the runtime did"
+*after* something has already gone wrong.  It is a bounded
+``deque(maxlen=capacity)`` of compact event tuples fed straight from
+the :class:`~repro.obs.Observability` probe stream — cheap enough to
+leave on even when tracing is off or sampled down.
+
+On a fatal condition (``DeadlockError``, ``UnrecoverableFaultError``,
+a :class:`~repro.replay.session.ReplaySession` going dead) the owner
+calls :meth:`FlightRecorder.bundle` to produce a ``repro-flight/1``
+post-mortem: the tail of the ring, a metrics snapshot, and — when a
+tracer is attached — the critical path of the most recent task-span
+window.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .critpath import critical_path
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["FlightRecorder", "FLIGHT_SCHEMA", "validate_flight_bundle"]
+
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: Default ring capacity: enough to hold the last few solver iterations
+#: of probe traffic while keeping the bundle readable.
+DEFAULT_CAPACITY = 512
+
+#: Task spans considered "the last window" for the post-mortem critical
+#: path — the most recent launches, not the whole run.
+PATH_WINDOW = 256
+
+_Event = Tuple[float, str, int, str, str]
+
+
+class FlightRecorder:
+    """Fixed-size ring buffer of recent runtime events.
+
+    Events are ``(wall_time, kind, task_id, name, detail)`` tuples —
+    appends are one deque op plus a clock read, with no locking (deque
+    appends are atomic under the GIL), so the recorder stays near-free
+    on the task hot path.
+    """
+
+    __slots__ = ("capacity", "n_events", "_wall0", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.n_events = 0
+        self._wall0 = time.perf_counter()
+        self._ring: Deque[_Event] = deque(maxlen=self.capacity)
+
+    def record(
+        self,
+        kind: str,
+        task_id: int = -1,
+        name: str = "",
+        detail: str = "",
+        now: Optional[float] = None,
+    ) -> None:
+        """Append one event; ``now`` lets a caller that already read
+        ``perf_counter()`` (the probes all do, for self-timing) skip a
+        second clock read."""
+        self.n_events += 1
+        self._ring.append(
+            (
+                (time.perf_counter() if now is None else now) - self._wall0,
+                kind,
+                task_id,
+                name,
+                detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[Dict[str, object]]:
+        """The retained tail, oldest first, as plain dicts."""
+        return [
+            {"t_s": t, "kind": kind, "task_id": task_id, "name": name, "detail": detail}
+            for t, kind, task_id, name, detail in list(self._ring)
+        ]
+
+    def nbytes(self) -> int:
+        return 96 * len(self._ring) + 64
+
+    def bundle(
+        self,
+        reason: str,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> Dict[str, Any]:
+        """Assemble the ``repro-flight/1`` post-mortem bundle.
+
+        Safe to call with partial context: metrics-only runs get no
+        critical path, probe-only runs get just the ring tail.  Never
+        raises — a post-mortem path must not mask the original fault —
+        so analysis failures degrade to ``None`` sections.
+        """
+        events = self.events()
+        metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None
+        if metrics is not None and metrics.enabled:
+            try:
+                metrics_snapshot = metrics.snapshot()
+            except Exception:
+                metrics_snapshot = None
+        path: Optional[Dict[str, Any]] = None
+        if tracer is not None:
+            try:
+                spans = list(tracer.task_spans)[-PATH_WINDOW:]
+                if spans:
+                    path = critical_path(spans).to_dict()
+            except Exception:
+                path = None
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "capacity": self.capacity,
+            "n_events_total": self.n_events,
+            "n_events_retained": len(events),
+            "events": events,
+            "metrics": metrics_snapshot,
+            "critical_path": path,
+        }
+
+
+def validate_flight_bundle(bundle: Dict[str, Any]) -> List[str]:
+    """Structural check used by tests and the chaos report reader;
+    returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if bundle.get("schema") != FLIGHT_SCHEMA:
+        problems.append(f"bad schema: {bundle.get('schema')!r}")
+    if not isinstance(bundle.get("reason"), str) or not bundle.get("reason"):
+        problems.append("missing reason")
+    events = bundle.get("events")
+    if not isinstance(events, list):
+        problems.append("events is not a list")
+    else:
+        retained = bundle.get("n_events_retained")
+        if retained != len(events):
+            problems.append(f"n_events_retained {retained!r} != {len(events)}")
+        last_t = -1.0
+        for ev in events:
+            if not isinstance(ev, dict) or "kind" not in ev or "t_s" not in ev:
+                problems.append(f"malformed event: {ev!r}")
+                break
+            if float(ev["t_s"]) < last_t:
+                problems.append("events not time-ordered")
+                break
+            last_t = float(ev["t_s"])
+    total = bundle.get("n_events_total")
+    capacity = bundle.get("capacity")
+    if isinstance(total, int) and isinstance(events, list) and isinstance(capacity, int):
+        if len(events) > capacity:
+            problems.append("retained tail exceeds capacity")
+        if total < len(events):
+            problems.append("total events below retained count")
+    return problems

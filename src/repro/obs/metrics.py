@@ -23,6 +23,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List
 
+from .digest import QuantileDigest, Reservoir
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -32,6 +34,10 @@ __all__ = [
     "NullMetrics",
     "Series",
 ]
+
+#: Raw values a :class:`Series` keeps verbatim before the tail rolls;
+#: generously above any per-solve iteration count, far below "forever".
+SERIES_RETENTION = 4096
 
 #: One process-wide lock serializes instrument mutation: metrics are
 #: updated from pool workers as well as the application thread, and a
@@ -74,9 +80,11 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count / total / min / max) of observations."""
+    """Streaming summary of observations: count / total / min / max plus
+    digest-backed p50/p95/p99.  Memory is bounded by the digest's
+    compression no matter how many values are observed."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "digest")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -84,6 +92,7 @@ class Histogram:
         self.total = 0.0
         self.min = 0.0
         self.max = 0.0
+        self.digest = QuantileDigest()
 
     def observe(self, value: float) -> None:
         with _LOCK:
@@ -97,10 +106,15 @@ class Histogram:
                     self.max = value
             self.count += 1
             self.total += value
+            self.digest.add(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        with _LOCK:
+            return self.digest.quantile(q)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -109,24 +123,48 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.digest.quantile(0.50),
+            "p95": self.digest.quantile(0.95),
+            "p99": self.digest.quantile(0.99),
         }
+
+    def nbytes(self) -> int:
+        return self.digest.nbytes() + 64
 
 
 class Series:
-    """Full ordered history of one quantity (per-iteration residuals)."""
+    """Ordered history of one quantity (per-iteration residuals).
 
-    __slots__ = ("name", "values")
+    Backed by a bounded :class:`~repro.obs.digest.Reservoir`: the most
+    recent :data:`SERIES_RETENTION` values stay verbatim (any realistic
+    per-solve history fits whole) while the full-stream distribution
+    lives in a digest, so a service appending forever holds fixed
+    memory."""
+
+    __slots__ = ("name", "_reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.values: List[float] = []
+        self._reservoir = Reservoir(capacity=SERIES_RETENTION)
 
     def append(self, value: float) -> None:
         with _LOCK:
-            self.values.append(float(value))
+            self._reservoir.append(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The retained tail (the complete history while it fits)."""
+        return self._reservoir.values
+
+    @property
+    def digest(self) -> QuantileDigest:
+        return self._reservoir.digest
 
     def __len__(self) -> int:
-        return len(self.values)
+        return self._reservoir.count
+
+    def nbytes(self) -> int:
+        return self._reservoir.nbytes() + 64
 
 
 class MetricsRegistry:
@@ -185,6 +223,16 @@ class MetricsRegistry:
                 },
                 "series": {n: list(s.values) for n, s in sorted(self._series.items())},
             }
+
+    def nbytes(self) -> int:
+        """Retained-payload accounting across every instrument — the
+        number the bounded-memory regression test gates on."""
+        with _LOCK:
+            total = 256  # registry + dict overhead allowance
+            total += 96 * (len(self._counters) + len(self._gauges))
+            total += sum(h.nbytes() for h in self._histograms.values())
+            total += sum(s.nbytes() for s in self._series.values())
+            return total
 
 
 class _NullCounter(Counter):

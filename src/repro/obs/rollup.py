@@ -1,0 +1,218 @@
+"""Windowed telemetry rollups with label sets and bounded retention.
+
+One-shot tracing answers "what happened in this run"; a service needs
+"what has been happening, per solver / format / backend / tenant, over
+the last N windows".  The :class:`RollupAggregator` buckets every
+observation into fixed-duration wall-clock windows keyed by a small
+label set, keeps a :class:`~repro.obs.digest.QuantileDigest` per
+(window, kind, name, labels) cell, and evicts the oldest windows once
+``max_windows`` is exceeded — so memory is ``O(max_windows × active
+cells)`` no matter how long the process lives.
+
+Completed windows are emitted as a ``repro-rollup/1`` JSON stream (one
+record per cell) suitable for appending to a JSONL file or shipping to
+a collector.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, IO, Iterable, List, Mapping, Optional, Tuple
+
+from .digest import QuantileDigest
+
+__all__ = ["RollupAggregator", "RollupCell", "ROLLUP_SCHEMA"]
+
+ROLLUP_SCHEMA = "repro-rollup/1"
+
+#: The label keys every record carries (absent labels serialize as "").
+LABEL_KEYS = ("solver", "format", "backend", "tenant", "run_id")
+
+_LabelKey = Tuple[str, ...]
+_CellKey = Tuple[str, str, _LabelKey]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> _LabelKey:
+    if not labels:
+        return ("",) * len(LABEL_KEYS)
+    return tuple(str(labels.get(k, "")) for k in LABEL_KEYS)
+
+
+class RollupCell:
+    """One (kind, name, labels) aggregate inside one window."""
+
+    __slots__ = ("kind", "name", "labels", "count", "total", "digest")
+
+    def __init__(self, kind: str, name: str, labels: _LabelKey) -> None:
+        self.kind = kind
+        self.name = name
+        self.labels = labels
+        self.count = 0.0
+        self.total = 0.0
+        self.digest = QuantileDigest()
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        self.count += weight
+        self.total += value * weight
+        self.digest.add(value, weight)
+
+    def merge(self, other: "RollupCell") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.digest.merge(other.digest)
+
+    def to_record(self, window_start: float, window_s: float) -> Dict[str, object]:
+        rec: Dict[str, object] = {
+            "schema": ROLLUP_SCHEMA,
+            "window_start_s": window_start,
+            "window_s": window_s,
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(zip(LABEL_KEYS, self.labels)),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.digest.min if self.count else 0.0,
+            "max": self.digest.max if self.count else 0.0,
+        }
+        rec.update(self.digest.summary())
+        return rec
+
+
+class RollupAggregator:
+    """Fixed-duration windows of labeled aggregates, bounded retention.
+
+    ``observe`` is the single ingest point: a latency sample, a counter
+    delta, or a gauge reading, each tagged with a kind (``"latency"``,
+    ``"counter"``, ``"gauge"``), a dotted metric name, and optional
+    labels.  Windows are identified by ``floor(t / window_s)`` of the
+    caller-supplied timestamp (the tracer's wall clock), so replaying a
+    span stream reproduces the same windows.
+    """
+
+    def __init__(self, window_s: float = 1.0, max_windows: int = 64) -> None:
+        if window_s <= 0.0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.window_s = float(window_s)
+        self.max_windows = int(max_windows)
+        self.evicted_windows = 0
+        self._lock = threading.Lock()
+        # window index -> cell key -> cell; dict preserves insertion
+        # order so eviction pops the oldest window first.
+        self._windows: Dict[int, Dict[_CellKey, RollupCell]] = {}
+
+    def observe(
+        self,
+        t: float,
+        kind: str,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+        weight: float = 1.0,
+    ) -> None:
+        idx = int(t // self.window_s)
+        frozen = _freeze_labels(labels)
+        key: _CellKey = (kind, name, frozen)
+        with self._lock:
+            window = self._windows.get(idx)
+            if window is None:
+                window = {}
+                self._windows[idx] = window
+                while len(self._windows) > self.max_windows:
+                    oldest = min(self._windows)
+                    del self._windows[oldest]
+                    self.evicted_windows += 1
+            cell = window.get(key)
+            if cell is None:
+                cell = RollupCell(kind, name, frozen)
+                window[key] = cell
+            cell.observe(value, weight)
+
+    # -- views -------------------------------------------------------------
+
+    def n_windows(self) -> int:
+        with self._lock:
+            return len(self._windows)
+
+    def window_indices(self) -> List[int]:
+        with self._lock:
+            return sorted(self._windows)
+
+    def cells(self, idx: int) -> List[RollupCell]:
+        with self._lock:
+            return list(self._windows.get(idx, {}).values())
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every retained cell as a ``repro-rollup/1`` record, ordered
+        by window then (kind, name, labels)."""
+        out: List[Dict[str, object]] = []
+        with self._lock:
+            for idx in sorted(self._windows):
+                window = self._windows[idx]
+                for key in sorted(window):
+                    out.append(
+                        window[key].to_record(idx * self.window_s, self.window_s)
+                    )
+        return out
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Append all retained records as JSON lines; returns the count."""
+        records = self.records()
+        for rec in records:
+            stream.write(json.dumps(rec, sort_keys=True))
+            stream.write("\n")
+        return len(records)
+
+    def merge(self, other: "RollupAggregator") -> None:
+        """Fold another aggregator's windows in (same ``window_s``
+        required); used to combine per-worker rollups."""
+        if other.window_s != self.window_s:
+            raise ValueError(
+                f"window mismatch: {self.window_s} vs {other.window_s}"
+            )
+        with other._lock:
+            snapshot: List[Tuple[int, List[RollupCell]]] = [
+                (idx, list(cells.values())) for idx, cells in other._windows.items()
+            ]
+        for idx, cells in snapshot:
+            with self._lock:
+                window = self._windows.get(idx)
+                if window is None:
+                    window = {}
+                    self._windows[idx] = window
+                    while len(self._windows) > self.max_windows:
+                        oldest = min(self._windows)
+                        del self._windows[oldest]
+                        self.evicted_windows += 1
+                for cell in cells:
+                    key: _CellKey = (cell.kind, cell.name, cell.labels)
+                    mine = window.get(key)
+                    if mine is None:
+                        mine = RollupCell(cell.kind, cell.name, cell.labels)
+                        window[key] = mine
+                    mine.merge(cell)
+
+    def nbytes(self) -> int:
+        with self._lock:
+            total = 256
+            for window in self._windows.values():
+                for cell in window.values():
+                    total += cell.digest.nbytes() + 128
+            return total
+
+
+def iter_jsonl(lines: Iterable[str]) -> List[Dict[str, object]]:
+    """Parse a rollup JSONL stream back into records (schema-checked)."""
+    out: List[Dict[str, object]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("schema") != ROLLUP_SCHEMA:
+            raise ValueError(f"not a {ROLLUP_SCHEMA} record: {rec.get('schema')!r}")
+        out.append(rec)
+    return out

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..runtime.engine import EngineObserver
 from ..runtime.task import TaskRecord
@@ -99,7 +99,12 @@ class PhaseSpan:
 
 @dataclass
 class WallTaskSpan:
-    """Real submit/start/finish of one deferred task body."""
+    """Real submit/start/finish of one deferred task body.
+
+    ``body_s`` is the on-worker body time reported by a pool worker's
+    span batch (procs backend); ``-1`` when no worker-side measurement
+    exists (serial/threads, where ``duration`` already is body time).
+    """
 
     task_id: int
     name: str
@@ -107,6 +112,8 @@ class WallTaskSpan:
     start: float = -1.0
     finish: float = -1.0
     worker: str = ""
+    body_s: float = -1.0
+    n_parts: int = 0
 
     @property
     def queued(self) -> float:
@@ -248,6 +255,16 @@ class Tracer:
             self.occupancy_samples.append((t, self._active_workers))
             return span
 
+    def task_body(self, task_id: int, body_s: float, n_parts: int = 0) -> None:
+        """Attach a worker-measured body duration (span batches shipped
+        back with procs results; worker clocks are not comparable to the
+        parent's, so only the duration crosses the process boundary)."""
+        with self._lock:
+            span = self._by_task.get(task_id)
+            if span is not None:
+                span.body_s = body_s
+                span.n_parts = n_parts
+
     # -- instant events ----------------------------------------------------
 
     def note_instant(
@@ -267,10 +284,20 @@ class TracingObserver(EngineObserver):
     ``on_task`` fires on the application thread at launch time (the
     engine schedules eagerly even when bodies are deferred), so the
     simulated track is complete and ordered regardless of backend.
+
+    ``sample`` (a ``task_id -> bool`` predicate, e.g.
+    :meth:`~repro.obs.Observability.sample`) restricts span capture to
+    the sampled task subset; fence/fault/recovery instants are always
+    kept — they are rare and post-mortems need them.
     """
 
-    def __init__(self, tracer: Tracer) -> None:
+    def __init__(
+        self,
+        tracer: Tracer,
+        sample: Optional[Callable[[int], bool]] = None,
+    ) -> None:
         self.tracer = tracer
+        self.sample = sample
 
     def on_task(
         self,
@@ -281,6 +308,8 @@ class TracingObserver(EngineObserver):
         finish: float,
         comm_time: float = 0.0,
     ) -> None:
+        if self.sample is not None and not self.sample(record.task_id):
+            return
         self.tracer.task_spans.append(
             TaskSpan(
                 task_id=record.task_id,

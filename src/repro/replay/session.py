@@ -96,6 +96,10 @@ class ReplaySession:
 
         #: Permanently killed (fault recovery, or re-capture exhausted).
         self.dead = False
+        #: Flight-recorder post-mortem (``repro-flight/1``) captured at
+        #: the moment the session died; None while alive (or when the
+        #: runtime has no observability attached).
+        self.last_flight: Optional[Dict[str, object]] = None
         #: A window is currently open (between begin/end_iteration).
         self._open = False
         #: Still matching inside the open window.
@@ -241,12 +245,21 @@ class ReplaySession:
         """A fresh launch went through while this session exists."""
         self.fresh_since_window = True
 
+    def _record_death(self, reason: str) -> None:
+        """Mark the session dead and capture a flight-recorder
+        post-mortem (when the runtime is observed) so the operator can
+        see what the replay engine was doing when it gave up."""
+        self.dead = True
+        obs = self.runtime.obs
+        obs.note("replay-dead", reason)
+        self.last_flight = obs.flight_bundle(f"replay-dead:{reason}")
+
     def abort(self) -> None:
         """Kill the session permanently (fault recovery path).  The
         caller is responsible for quiescing before relaunching; skipped
         fills need no compensation because recovery restores a
         checkpoint and re-runs iterations fresh."""
-        self.dead = True
+        self._record_death("abort")
         self._open = False
         self._matching = False
         self.prev_ids = None
@@ -291,7 +304,7 @@ class ReplaySession:
         if self._recapture_segments >= self.max_recapture_segments:
             # The stream never settled: give up on this plan for good.
             self._stop_recapture()
-            self.dead = True
+            self._record_death("recapture-exhausted")
 
     def _try_recompile(self) -> bool:
         """Recompile from the last two recorded segments if steady."""
@@ -412,7 +425,7 @@ class ReplaySession:
                 self.misses = 0
                 self._start_recapture()
             else:
-                self.dead = True
+                self._record_death("miss-budget-exhausted")
 
     def stats(self) -> Dict[str, object]:
         return {

@@ -162,10 +162,25 @@ class TaskProbe(Protocol):
     def task_finished(self, task_id: int) -> None:
         ...
 
+    def task_body_batch(self, task_id: int, worker: str, body_s: float, n_parts: int) -> None:
+        """Worker-measured body seconds, shipped back in a batch with a
+        pool result (procs backend); never sent per-event."""
+        ...
+
     def future_wait(self, future_uid: int) -> None:
         ...
 
     def deadlock(self) -> None:
+        ...
+
+    def sample(self, task_id: int) -> bool:
+        """Deterministic per-task sampling decision; backends that pay
+        extra to capture spans (procs worker batches) may skip that work
+        for unsampled tasks."""
+        ...
+
+    def flight_bundle(self, reason: str) -> Optional[Dict[str, object]]:
+        """Post-mortem ring-buffer bundle for fatal dumps, or None."""
         ...
 
 
@@ -672,13 +687,23 @@ class ThreadedExecutor(TaskExecutor):
                     {"task_id": r.task_id, "name": r.name} for r in node.members
                 ]
             nodes.append(entry)
-        payload = {
+        payload: Dict[str, object] = {
             "schema": "repro-deadlock/1",
             "reason": reason,
             "n_pending_total": len(self._pending),
             "stalled_task_ids": sorted(self._stalled_ids()),
             "blocked_subgraph": nodes,
         }
+        if probe is not None:
+            # Flight-recorder post-mortem: the last probe events plus a
+            # metrics snapshot, so the dump shows what led up to the
+            # deadlock, not just the frozen dependence graph.
+            try:
+                flight = probe.flight_bundle(f"deadlock:{reason}")
+            except Exception:  # pragma: no cover - post-mortem best-effort
+                flight = None
+            if flight is not None:
+                payload["flight"] = flight
         try:
             fd, path = tempfile.mkstemp(prefix="repro-deadlock-", suffix=".json")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:

@@ -300,14 +300,21 @@ def _worker_main(conn: Any, results: Any, worker_idx: int) -> None:
             break
         tag = msg[0]
         if tag == "task":
-            _, epoch, task_id, stall_ms, parts = msg
+            _, epoch, task_id, stall_ms, parts, want_spans = msg
+            # Span batching: the body time is measured here and shipped
+            # back WITH the result — one message per task, never
+            # per-event traffic.  Sampling is decided parent-side so the
+            # unsampled path pays nothing beyond the boolean.
+            t0 = time.perf_counter() if want_spans else 0.0
             if stall_ms:
                 time.sleep(stall_ms / 1000.0)
             try:
                 values = [state.run_part(part, epoch) for part in parts]
-                results.put((epoch, task_id, True, values))
+                body_s = time.perf_counter() - t0 if want_spans else None
+                results.put((epoch, task_id, True, values, body_s))
             except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-                results.put((epoch, task_id, False, _picklable_exc(exc)))
+                body_s = time.perf_counter() - t0 if want_spans else None
+                results.put((epoch, task_id, False, _picklable_exc(exc), body_s))
         elif tag == "clear":
             state.clear(msg[1])
         elif tag == "stop":
@@ -341,7 +348,7 @@ class _WorkerPool:
             child_conn.close()
             self.workers.append((proc, parent_conn))
         self._send_locks = [threading.Lock() for _ in range(n_workers)]
-        self._routes: Dict[int, Callable[[int, bool, Any], None]] = {}
+        self._routes: Dict[int, Callable[[int, bool, Any, Optional[float]], None]] = {}
         self._routes_lock = threading.Lock()
         self._stopped = False
         self._collector = threading.Thread(
@@ -360,13 +367,15 @@ class _WorkerPool:
                 return
             if msg is None:
                 return
-            epoch, task_id, ok, payload = msg
+            epoch, task_id, ok, payload, body_s = msg
             with self._routes_lock:
                 route = self._routes.get(epoch)
             if route is not None:
-                route(task_id, ok, payload)
+                route(task_id, ok, payload, body_s)
 
-    def register(self, epoch: int, route: Callable[[int, bool, Any], None]) -> None:
+    def register(
+        self, epoch: int, route: Callable[[int, bool, Any, Optional[float]], None]
+    ) -> None:
         with self._routes_lock:
             self._routes[epoch] = route
 
@@ -776,11 +785,21 @@ class ProcPoolExecutor(TaskExecutor):
                     with self._lock:
                         self._stalled.update(node.member_ids)
                 probe = self.probe
+                want_spans = False
                 if probe is not None:
                     probe.task_started(node.task_id, f"proc-{widx}")
+                    want_spans = probe.sample(node.task_id)
                 try:
                     self._pool.send(
-                        widx, ("task", self._epoch, node.task_id, node.stall_ms, parts)
+                        widx,
+                        (
+                            "task",
+                            self._epoch,
+                            node.task_id,
+                            node.stall_ms,
+                            parts,
+                            want_spans,
+                        ),
                     )
                 except (pickle.PicklingError, TypeError, AttributeError):
                     pass  # unpicklable body/payload: fall back below
@@ -866,12 +885,18 @@ class ProcPoolExecutor(TaskExecutor):
             # parent and workers alike.
             node.injector._corrupt(record, event)
 
-    def _on_result(self, task_id: int, ok: bool, payload: Any) -> None:
+    def _on_result(
+        self, task_id: int, ok: bool, payload: Any, body_s: Optional[float] = None
+    ) -> None:
         """Collector-thread entry: one worker finished a node."""
         with self._lock:
             node = self._pending.get(task_id)
         if node is None:  # pragma: no cover - late result after shutdown
             return
+        probe = self.probe
+        if probe is not None and body_s is not None:
+            # The worker's span batch rode back with the result message.
+            probe.task_body_batch(task_id, "", float(body_s), len(node.parts))
         if ok:
             for (record, _, on_done, _), value in zip(node.parts, payload):
                 try:
@@ -956,7 +981,7 @@ class ProcPoolExecutor(TaskExecutor):
                     {"task_id": r.task_id, "name": r.name} for r, _, _, _ in node.parts
                 ]
             nodes.append(entry)
-        payload = {
+        payload: Dict[str, object] = {
             "schema": "repro-deadlock/1",
             "backend": "procs",
             "reason": reason,
@@ -964,6 +989,13 @@ class ProcPoolExecutor(TaskExecutor):
             "stalled_task_ids": sorted(self._stalled_ids_locked()),
             "blocked_subgraph": nodes,
         }
+        if probe is not None:
+            try:
+                flight = probe.flight_bundle(f"deadlock:{reason}")
+            except Exception:  # pragma: no cover - post-mortem best-effort
+                flight = None
+            if flight is not None:
+                payload["flight"] = flight
         try:
             fd, path = tempfile.mkstemp(prefix="repro-deadlock-", suffix=".json")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:

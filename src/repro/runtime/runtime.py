@@ -179,7 +179,8 @@ class Runtime:
             from ..obs import TracingObserver
 
             tracer.bind_engine(self.engine)
-            self.engine.observers.append(TracingObserver(tracer))
+            sample = self.obs.sample if self.obs.sample_rate < 1.0 else None
+            self.engine.observers.append(TracingObserver(tracer, sample=sample))
         target: TaskExecutor = self.executor
         while True:
             # Unwrap decorators (the fault injector) so probe callbacks

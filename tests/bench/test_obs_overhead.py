@@ -1,0 +1,79 @@
+"""The sampled-telemetry overhead section and its CI gate."""
+
+import pytest
+
+from repro.bench.wallclock import (
+    WallclockCase,
+    _measure_obs_overhead,
+    require_obs_overhead,
+)
+
+
+def overhead_report(ratio=1.01, case="cg-2d5-1m", rate=0.1):
+    return {
+        "obs_overhead": {
+            "case": case,
+            "sample_rate": rate,
+            "overhead_ratio": ratio,
+            "off_median_s": 0.1,
+            "sampled_median_s": 0.1 * ratio,
+            "delta_median_s": 0.1 * (ratio - 1.0),
+        }
+    }
+
+
+class TestGate:
+    def test_under_threshold_passes(self):
+        assert require_obs_overhead(overhead_report(1.02), max_ratio=1.03) == []
+
+    def test_over_threshold_fails_with_actionable_message(self):
+        (msg,) = require_obs_overhead(overhead_report(1.07), max_ratio=1.03)
+        assert "1.070x" in msg
+        assert "1.03x" in msg
+        assert "sampled:0.1" in msg
+
+    def test_boundary_is_inclusive(self):
+        assert require_obs_overhead(overhead_report(1.03), max_ratio=1.03) == []
+
+    def test_missing_section_fails_closed(self):
+        (msg,) = require_obs_overhead({}, max_ratio=1.03)
+        assert "no 'obs_overhead' section" in msg
+
+    def test_unavailable_ratio_fails_closed(self):
+        report = overhead_report()
+        report["obs_overhead"]["overhead_ratio"] = None
+        (msg,) = require_obs_overhead(report, max_ratio=1.03)
+        assert "unavailable" in msg
+
+
+class TestMeasurement:
+    def test_measurement_structure_on_tiny_case(self):
+        """A fast structural smoke: the real acceptance ratio is gated
+        in CI on the production-sized case via `repro bench
+        --max-obs-overhead`; here a tiny case verifies the estimator's
+        plumbing (paired sweeps, self-accounting, report keys)."""
+        case = WallclockCase("cg-2d5-tiny", "2d5", "cg", 4096, 2, 3)
+        logs = []
+        section = _measure_obs_overhead(
+            case=case, repeats=3, warmup=1, log=logs.append
+        )
+        assert section["case"] == "cg-2d5-tiny"
+        assert section["sample_rate"] == 0.1
+        assert section["repeats"] == 3
+        assert section["off_median_s"] > 0.0
+        assert section["sampled_median_s"] > 0.0
+        assert section["overhead_ratio"] == pytest.approx(
+            (section["off_median_s"] + section["delta_median_s"])
+            / section["off_median_s"]
+        )
+        # Probe self-accounting made it into the section.
+        assert section["probe_calls"] > 0
+        assert section["probe_s"] >= 0.0
+        assert logs and "obs overhead" in logs[0]
+
+    def test_gate_accepts_real_measurement_shape(self):
+        case = WallclockCase("cg-2d5-tiny", "2d5", "cg", 4096, 2, 2)
+        section = _measure_obs_overhead(case=case, repeats=2, warmup=0)
+        report = {"obs_overhead": section}
+        failures = require_obs_overhead(report, max_ratio=1e9)
+        assert failures == []

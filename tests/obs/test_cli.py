@@ -1,9 +1,10 @@
-"""CLI surface: ``repro trace`` and ``repro stats``."""
+"""CLI surface: ``repro trace``, ``repro stats``, ``repro profile``."""
 
 import json
 
 from repro.cli import main
 from repro.obs import validate_trace_file
+from repro.obs.rollup import iter_jsonl
 
 
 class TestTraceCommand:
@@ -43,6 +44,26 @@ class TestTraceCommand:
         assert code == 2
         assert "trace:" in capsys.readouterr().out
 
+    def test_sampled_trace_thins_spans_and_says_so(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        assert main(["trace", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "3", "--out", str(full)]) == 0
+        sampled = tmp_path / "sampled.json"
+        code = main(["trace", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "3", "--sample", "0.2",
+                     "--out", str(sampled), "--check"])
+        assert code == 0
+        assert "(sampled:0.2)" in capsys.readouterr().out
+        n_full = sum(
+            1 for e in json.loads(full.read_text())["traceEvents"]
+            if e.get("ph") == "X"
+        )
+        n_sampled = sum(
+            1 for e in json.loads(sampled.read_text())["traceEvents"]
+            if e.get("ph") == "X"
+        )
+        assert 0 < n_sampled < n_full
+
 
 class TestStatsCommand:
     def test_text_output(self, capsys):
@@ -58,7 +79,17 @@ class TestStatsCommand:
                      "--iterations", "2", "--json"])
         assert code == 0
         stats = json.loads(capsys.readouterr().out)
-        assert stats["schema"] == "repro-stats/1"
+        assert stats["schema"] == "repro-stats/2"
+        assert all(
+            {"p50", "p95", "p99"} <= set(entry) for entry in stats["tasks"].values()
+        )
+        assert all(
+            {"p50", "p95", "p99"} <= set(entry)
+            for entry in stats["wall_tasks"].values()
+        )
+        assert all(
+            {"p50", "p95", "p99"} <= set(entry) for entry in stats["phases"].values()
+        )
         assert stats["program"] == "cg"
         assert stats["backend"] == "serial"
         assert stats["critical_path"]["path_length"] > 0
@@ -78,3 +109,65 @@ class TestStatsCommand:
     def test_unknown_program_exits_2(self, capsys):
         assert main(["stats", "nonsense"]) == 2
         assert "stats:" in capsys.readouterr().out
+
+    def test_rollup_jsonl_export(self, tmp_path, capsys):
+        out = tmp_path / "rollups.jsonl"
+        code = main(["stats", "cg", "--size", "16", "--pieces", "2",
+                     "--iterations", "2", "--rollup", str(out),
+                     "--rollup-window", "0.05"])
+        assert code == 0
+        assert "rollup records" in capsys.readouterr().out
+        records = iter_jsonl(out.read_text().splitlines())
+        assert records
+        names = {r["name"] for r in records}
+        assert any(n.startswith("task.") for n in names)
+        for rec in records:
+            assert rec["labels"]["solver"] == "cg"
+            assert rec["labels"]["backend"] == "serial"
+            assert rec["window_s"] == 0.05
+
+
+class TestProfileCommand:
+    def run_stats(self, tmp_path, name, env=None, monkeypatch=None):
+        out = tmp_path / f"{name}.json"
+        if env:
+            for k, v in env.items():
+                monkeypatch.setenv(k, v)
+        try:
+            assert main(["stats", "fig8-cg", "--size", "48", "--pieces", "4",
+                         "--iterations", "3", "--json", str(out)]) == 0
+        finally:
+            if env and monkeypatch:
+                for k in env:
+                    monkeypatch.delenv(k, raising=False)
+        return out
+
+    def test_self_diff_is_neutral_and_exits_zero(self, tmp_path, capsys):
+        a = self.run_stats(tmp_path, "a")
+        code = main(["profile", "--diff", str(a), str(a), "--fail-on-regression"])
+        assert code == 0
+        assert "verdict: neutral" in capsys.readouterr().out
+
+    def test_injected_stall_fails_the_gate_and_names_the_task(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        base = self.run_stats(tmp_path, "base")
+        cand = self.run_stats(
+            tmp_path, "cand",
+            env={"REPRO_FAULTS": "stall:axpy:5:80"}, monkeypatch=monkeypatch,
+        )
+        out = tmp_path / "diff.json"
+        code = main(["profile", "--diff", str(base), str(cand),
+                     "--fail-on-regression", "--json", str(out)])
+        assert code == 1
+        diff = json.loads(out.read_text())
+        assert diff["schema"] == "repro-profilediff/1"
+        assert diff["verdict"] == "regression"
+        assert "axpy" in diff["top_regression"]
+
+    def test_bad_input_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{\"schema\": \"nope/1\"}")
+        assert main(["profile", "--diff", str(bogus), str(bogus)]) == 2
+        assert "profile:" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Profile diff: alignment, slack-weighted ranking, verdicts — and the
+end-to-end acceptance case: an injected stall must be attributed as the
+top regression between two otherwise identical runs."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    load_stats,
+    profile_diff,
+    summarize_diff,
+)
+from repro.obs.driver import run_traced
+from repro.obs.export import stats_report
+
+
+def stats_doc(wall_tasks, critical_path=None, phases=None):
+    doc = {
+        "schema": "repro-stats/2",
+        "metrics": {},
+        "tasks": {},
+        "wall_tasks": wall_tasks,
+        "phases": phases or {},
+        "critical_path": critical_path,
+    }
+    return doc
+
+
+def wall_entry(mean_s, count=10, p95=None):
+    return {
+        "count": count,
+        "mean_s": mean_s,
+        "total_s": mean_s * count,
+        "p95": p95 if p95 is not None else mean_s,
+    }
+
+
+class TestVerdicts:
+    def test_self_diff_is_neutral(self):
+        doc = stats_doc({"spmv": wall_entry(1e-3), "axpy": wall_entry(2e-4)})
+        diff = profile_diff(doc, doc)
+        assert diff["schema"] == DIFF_SCHEMA
+        assert diff["verdict"] == "neutral"
+        assert diff["top_regression"] is None
+        assert diff["n_regressed"] == 0
+
+    def test_slowdown_is_a_regression(self):
+        a = stats_doc({"spmv": wall_entry(1e-3)})
+        b = stats_doc({"spmv": wall_entry(5e-3)})
+        diff = profile_diff(a, b)
+        assert diff["verdict"] == "regression"
+        assert diff["top_regression"] == "spmv"
+        assert diff["tasks"][0]["regressed"]
+
+    def test_speedup_is_an_improvement(self):
+        a = stats_doc({"spmv": wall_entry(5e-3)})
+        b = stats_doc({"spmv": wall_entry(1e-3)})
+        diff = profile_diff(a, b)
+        assert diff["verdict"] == "improvement"
+        assert diff["top_regression"] is None
+
+    def test_thresholds_gate_small_deltas(self):
+        a = stats_doc({"spmv": wall_entry(1e-3)})
+        b = stats_doc({"spmv": wall_entry(1.1e-3)})
+        assert profile_diff(a, b)["verdict"] == "neutral"
+        # Tightening the relative threshold flips it.
+        diff = profile_diff(a, b, rel_threshold=0.05, abs_threshold_s=1e-6)
+        assert diff["verdict"] == "regression"
+
+    def test_new_and_removed_tasks_are_marked_not_regressed(self):
+        a = stats_doc({"spmv": wall_entry(1e-3)})
+        b = stats_doc({"spmv": wall_entry(1e-3), "precond": wall_entry(9e-3)})
+        diff = profile_diff(a, b)
+        rows = {r["name"]: r for r in diff["tasks"]}
+        assert rows["precond"]["only_in"] == "b"
+        assert not rows["precond"]["regressed"]
+        assert diff["verdict"] == "neutral"
+
+
+class TestSlackWeighting:
+    def test_critical_path_delta_outranks_bigger_slack_delta(self):
+        """A +2ms delta on a zero-slack task must outrank a +3ms delta
+        on a task with 80% slack — slack absorbs the latter invisibly."""
+        crit = {
+            "makespan_s": 1.0,
+            "per_name": {
+                "crit_task": {"on_critical_path": True, "mean_slack_s": 0.0},
+                "slack_task": {"on_critical_path": False, "mean_slack_s": 0.8},
+            },
+        }
+        a = stats_doc(
+            {"crit_task": wall_entry(1e-3), "slack_task": wall_entry(1e-3)},
+            critical_path=crit,
+        )
+        b = stats_doc(
+            {"crit_task": wall_entry(3e-3), "slack_task": wall_entry(4e-3)},
+            critical_path=crit,
+        )
+        diff = profile_diff(a, b)
+        assert diff["tasks"][0]["name"] == "crit_task"
+        assert diff["tasks"][0]["on_critical_path"]
+        assert diff["top_regression"] == "crit_task"
+        # Raw delta ordering would have put slack_task first.
+        raw = {r["name"]: r["delta_total_s"] for r in diff["tasks"]}
+        assert raw["slack_task"] > raw["crit_task"]
+
+
+class TestSchemaFallback:
+    def test_stats_v1_documents_diff_on_the_simulated_track(self):
+        """repro-stats/1 baselines predate wall aggregates: the diff
+        must fall back to the simulated per-task table."""
+
+        def v1(mean):
+            return {
+                "schema": "repro-stats/1",
+                "tasks": {
+                    "spmv": {
+                        "count": 10,
+                        "mean_time_s": mean,
+                        "total_time_s": mean * 10,
+                    }
+                },
+            }
+
+        diff = profile_diff(v1(1e-3), v1(6e-3))
+        assert diff["verdict"] == "regression"
+        assert diff["top_regression"] == "spmv"
+        assert diff["tasks"][0]["clock"] == "sim"
+        assert diff["baseline_schema"] == "repro-stats/1"
+
+    def test_phase_regressions_are_reported(self):
+        a = stats_doc(
+            {"spmv": wall_entry(1e-3)},
+            phases={"iteration": {"count": 4, "mean_wall_s": 1e-3, "total_wall_s": 4e-3}},
+        )
+        b = stats_doc(
+            {"spmv": wall_entry(1e-3)},
+            phases={"iteration": {"count": 4, "mean_wall_s": 8e-3, "total_wall_s": 3.2e-2}},
+        )
+        diff = profile_diff(a, b)
+        (phase,) = [p for p in diff["phases"] if p["regressed"]]
+        assert phase["name"] == "iteration"
+        text = summarize_diff(diff)
+        assert "regressed phases:" in text
+        assert "iteration" in text
+
+
+class TestIO:
+    def test_load_stats_rejects_foreign_documents(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text(json.dumps({"schema": "repro-rollup/1"}))
+        with pytest.raises(ValueError, match="not a repro-stats"):
+            load_stats(str(p))
+
+    def test_load_stats_roundtrip(self, tmp_path):
+        doc = stats_doc({"spmv": wall_entry(1e-3)})
+        p = tmp_path / "a.json"
+        p.write_text(json.dumps(doc))
+        assert load_stats(str(p))["wall_tasks"] == doc["wall_tasks"]
+
+    def test_summary_renders_verdict_and_markers(self):
+        a = stats_doc({"spmv": wall_entry(1e-3)})
+        b = stats_doc({"spmv": wall_entry(5e-3)})
+        text = summarize_diff(profile_diff(a, b))
+        assert "verdict: regression (top: spmv)" in text
+        assert "REGRESSED" in text
+
+
+class TestStallAttribution:
+    """Acceptance: REPRO_FAULTS-injected stalls show up as the top
+    wall-clock regression between a clean and a faulted run."""
+
+    def test_injected_stall_ranks_as_top_regression(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        obs_clean, _ = run_traced("fig8-cg", backend="serial", size=48, pieces=4, iterations=3)
+        baseline = stats_report(obs_clean)
+
+        # Stall the 6th axpy launch for 80ms — enormous against the
+        # micro-task means of this small case.
+        monkeypatch.setenv("REPRO_FAULTS", "stall:axpy:5:80")
+        obs_stalled, _ = run_traced("fig8-cg", backend="serial", size=48, pieces=4, iterations=3)
+        candidate = stats_report(obs_stalled)
+
+        diff = profile_diff(baseline, candidate)
+        assert diff["verdict"] == "regression"
+        assert diff["top_regression"] is not None
+        assert "axpy" in diff["top_regression"]
+        top = diff["tasks"][0]
+        assert "axpy" in top["name"]
+        assert top["clock"] == "wall"
+        assert top["delta_mean_s"] > 0.0
+        # The flipped diff reads as an improvement, not a regression.
+        flipped = profile_diff(candidate, baseline)
+        assert flipped["verdict"] in ("improvement", "neutral")
+        assert flipped["top_regression"] is None

@@ -1,0 +1,187 @@
+"""Property suites for the mergeable quantile digest and reservoir.
+
+The digest's contract has three load-bearing clauses the rollup and
+metrics layers depend on:
+
+* **rank-error bound** — ``quantile(q)`` lands within an
+  ``O(1/compression)`` rank band of the exact order statistic;
+* **merge algebra** — merging digests estimates the quantiles of the
+  concatenated streams regardless of how the stream was split or the
+  order the pieces were folded in (per-worker sketches → fleet-wide
+  percentiles);
+* **bounded memory** — centroid count (and ``nbytes``) stays fixed as
+  the stream grows without bound.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.digest import QuantileDigest, Reservoir
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def exact_rank(sorted_values, x):
+    """Number of stream values strictly below ``x``."""
+    lo, hi = 0, len(sorted_values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sorted_values[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def assert_rank_error_bounded(values, digest, quantiles=(0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)):
+    """The estimate's *rank* in the true stream must sit within an
+    epsilon band of ``q`` — the t-digest guarantee is on rank, not on
+    value (a value bound is impossible for adversarial gaps)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    # Dunning's bound is O(1/delta) on mid quantiles; the constant here
+    # is deliberately loose (6/delta + small-n slop) so the test pins
+    # the *scaling*, not one implementation's constant.
+    eps = 6.0 / digest.compression + 2.0 / max(n, 1)
+    for q in quantiles:
+        est = digest.quantile(q)
+        rank_lo = exact_rank(ordered, est) / n  # fraction strictly below
+        rank_hi = sum(1 for v in ordered if v <= est) / n  # at or below
+        assert rank_lo - eps <= q <= rank_hi + eps, (
+            f"q={q}: estimate {est} has rank band [{rank_lo}, {rank_hi}], "
+            f"outside eps={eps}"
+        )
+
+
+class TestRankError:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=2000),
+        st.sampled_from([16, 50, 100, 200]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_error_within_epsilon_band(self, values, compression):
+        digest = QuantileDigest(compression=compression)
+        digest.extend(values)
+        assert_rank_error_bounded(values, digest)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_extremes_are_exact(self, values):
+        digest = QuantileDigest()
+        digest.extend(values)
+        assert digest.quantile(0.0) == pytest.approx(min(values))
+        assert digest.quantile(1.0) == pytest.approx(max(values))
+        assert digest.min == min(values)
+        assert digest.max == max(values)
+        assert digest.count == len(values)
+
+    def test_heavy_tail_p99_stays_sharp(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(50_000)]
+        digest = QuantileDigest(compression=100)
+        digest.extend(values)
+        ordered = sorted(values)
+        for q in (0.95, 0.99, 0.999):
+            est = digest.quantile(q)
+            rank = exact_rank(ordered, est) / len(ordered)
+            assert abs(rank - q) < 0.01
+
+
+class TestMergeAlgebra:
+    @given(
+        st.lists(finite_floats, min_size=0, max_size=400),
+        st.lists(finite_floats, min_size=0, max_size=400),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutes(self, xs, ys):
+        """merge(A, B) and merge(B, A) summarize the same stream, so
+        their quantile estimates must agree within the rank bound."""
+        ab = QuantileDigest()
+        ab.extend(xs)
+        other = QuantileDigest()
+        other.extend(ys)
+        ab.merge(other)
+
+        ba = QuantileDigest()
+        ba.extend(ys)
+        other = QuantileDigest()
+        other.extend(xs)
+        ba.merge(other)
+
+        combined = xs + ys
+        assert ab.count == pytest.approx(ba.count) == len(combined)
+        if combined:
+            assert_rank_error_bounded(combined, ab)
+            assert_rank_error_bounded(combined, ba)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=900),
+        st.integers(min_value=1, max_value=7),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associates_over_arbitrary_splits(self, values, n_parts, rnd):
+        """Split the stream into k shards, fold them together in a
+        shuffled order: the result must still estimate the full stream
+        (this is the per-worker → fleet rollup path)."""
+        shards = [QuantileDigest() for _ in range(n_parts)]
+        for v in values:
+            shards[rnd.randrange(n_parts)].add(v)
+        rnd.shuffle(shards)
+        acc = shards[0]
+        for shard in shards[1:]:
+            acc.merge(shard)
+        assert acc.count == pytest.approx(len(values))
+        assert_rank_error_bounded(values, acc)
+
+    def test_merge_empty_is_identity(self):
+        digest = QuantileDigest()
+        digest.extend([1.0, 2.0, 3.0])
+        before = digest.to_dict()
+        digest.merge(QuantileDigest())
+        assert digest.to_dict() == before
+
+    @given(st.lists(finite_floats, min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_through_dict(self, values):
+        digest = QuantileDigest()
+        digest.extend(values)
+        clone = QuantileDigest.from_dict(digest.to_dict())
+        for q in (0.1, 0.5, 0.9):
+            assert clone.quantile(q) == pytest.approx(digest.quantile(q))
+        assert clone.count == digest.count
+
+
+class TestBoundedMemory:
+    def test_centroids_and_bytes_bounded_as_stream_grows(self):
+        digest = QuantileDigest(compression=100)
+        rng = random.Random(3)
+        checkpoints = []
+        for i in range(200_000):
+            digest.add(rng.random())
+            if i in (9_999, 99_999, 199_999):
+                checkpoints.append((digest.n_centroids(), digest.nbytes()))
+        for n_centroids, nbytes in checkpoints:
+            # The greedy weight-bound variant settles around 4-5x the
+            # compression parameter; the point is O(compression), not
+            # the constant.
+            assert n_centroids <= 8 * digest.compression
+            assert nbytes <= 16 * 8 * digest.compression + 64
+        # 20x more data must not mean more retained state.
+        assert checkpoints[-1][1] <= 2 * checkpoints[0][1] + 1024
+
+    def test_reservoir_keeps_recent_tail_exact_and_memory_fixed(self):
+        res = Reservoir(capacity=128)
+        for i in range(10_000):
+            res.append(float(i))
+        assert len(res) == 10_000
+        assert res.values == [float(i) for i in range(10_000 - 128, 10_000)]
+        assert res.last == 9999.0
+        # Digest still covers the whole stream.
+        assert res.digest.count == 10_000
+        assert res.digest.quantile(0.5) == pytest.approx(5000.0, rel=0.05)
+        assert res.nbytes() < 64 * 1024

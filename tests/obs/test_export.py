@@ -154,7 +154,26 @@ class TestStatsReport:
             "total_time_s",
             "mean_time_s",
             "total_comm_s",
+            "p50",
+            "p95",
+            "p99",
         }
+        # Percentiles must land between the extremes of the aggregate.
+        assert some_task["p50"] <= some_task["p95"] <= some_task["p99"]
+        some_wall = next(iter(stats["wall_tasks"].values()))
+        assert set(some_wall) == {
+            "count",
+            "total_s",
+            "mean_s",
+            "queued_s",
+            "p50",
+            "p95",
+            "p99",
+        }
+        some_phase = next(iter(stats["phases"].values()))
+        assert {"count", "total_wall_s", "mean_wall_s", "total_sim_s"} <= set(
+            some_phase
+        )
         # The whole document must be JSON-serializable for --json.
         json.dumps(stats)
 
@@ -163,6 +182,8 @@ class TestStatsReport:
         obs.metrics.counter("x").inc()
         stats = stats_report(obs)
         assert stats["tasks"] == {}
+        assert stats["wall_tasks"] == {}
+        assert stats["phases"] == {}
         assert stats["critical_path"] is None
 
     def test_summary_text(self):

@@ -1,0 +1,210 @@
+"""Flight recorder: ring bounds, bundle validity, and the post-mortem
+paths that dump it (ThreadedExecutor deadlock, unrecoverable chaos)."""
+
+import json
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.chaos import run_chaos
+from repro.obs import Observability
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    validate_flight_bundle,
+)
+from repro.runtime import (
+    ExecutorError,
+    IndexSpace,
+    Privilege,
+    Runtime,
+    Subset,
+    TaskLauncher,
+)
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        rec = FlightRecorder(capacity=16)
+        for i in range(100):
+            rec.record("submit", task_id=i, name=f"t{i}")
+        assert len(rec) == 16
+        assert rec.n_events == 100
+        events = rec.events()
+        # Oldest-first tail of the most recent events.
+        assert [e["task_id"] for e in events] == list(range(84, 100))
+        assert rec.nbytes() <= 96 * 16 + 64
+
+    def test_events_are_time_ordered(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(20):
+            rec.record("x", task_id=i)
+        times = [e["t_s"] for e in rec.events()]
+        assert times == sorted(times)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_caller_supplied_clock_is_used(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("a", now=rec._wall0 + 1.5)
+        assert rec.events()[0]["t_s"] == pytest.approx(1.5)
+
+
+class TestBundle:
+    def test_bundle_validates_and_embeds_metrics(self):
+        obs = Observability()
+        for i in range(5):
+            obs.task_submitted(i, "spmv", 1, 1)
+            obs.task_started(i, "w0")
+            obs.task_finished(i)
+        bundle = obs.flight_bundle("test-reason")
+        assert bundle is not None
+        assert validate_flight_bundle(bundle) == []
+        assert bundle["schema"] == FLIGHT_SCHEMA
+        assert bundle["reason"] == "test-reason"
+        kinds = [e["kind"] for e in bundle["events"]]
+        assert kinds.count("submit") == 5
+        assert kinds.count("finish") == 5
+        # flight_bundle flushes the probe accumulators first, so the
+        # snapshot inside the bundle is current.
+        assert bundle["metrics"]["counters"]["executor.tasks_submitted"] == 5.0
+
+    def test_validator_catches_tampering(self):
+        obs = Observability()
+        obs.task_submitted(1, "t", 0, 0)
+        bundle = obs.flight_bundle("r")
+        assert validate_flight_bundle(bundle) == []
+        bad = dict(bundle)
+        bad["n_events_retained"] = 999
+        assert any("n_events_retained" in p for p in validate_flight_bundle(bad))
+        bad = dict(bundle)
+        bad["schema"] = "nope/0"
+        assert any("schema" in p for p in validate_flight_bundle(bad))
+        bad = dict(bundle)
+        bad["reason"] = ""
+        assert any("reason" in p for p in validate_flight_bundle(bad))
+
+    def test_disabled_bundle_returns_none(self):
+        obs = Observability(enabled=False)
+        assert obs.flight_bundle("r") is None
+        obs = Observability(flight=False)
+        assert obs.flight_bundle("r") is None
+
+    def test_bundle_without_tracer_or_metrics_degrades(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("submit", 1, "t")
+        bundle = rec.bundle("reason-only")
+        assert validate_flight_bundle(bundle) == []
+        assert bundle["metrics"] is None
+        assert bundle["critical_path"] is None
+
+    def test_bundle_analysis_failure_degrades_not_raises(self):
+        """A post-mortem must never mask the original fault: broken
+        metrics/tracer objects degrade those sections to None."""
+
+        class BrokenMetrics:
+            enabled = True
+
+            def snapshot(self):
+                raise RuntimeError("boom")
+
+        class BrokenTracer:
+            @property
+            def task_spans(self):
+                raise RuntimeError("boom")
+
+        rec = FlightRecorder(capacity=4)
+        rec.record("x")
+        bundle = rec.bundle("r", metrics=BrokenMetrics(), tracer=BrokenTracer())
+        assert bundle["metrics"] is None
+        assert bundle["critical_path"] is None
+        assert validate_flight_bundle(bundle) == []
+
+    def test_validator_edge_branches(self):
+        ok = FlightRecorder(capacity=4)
+        ok.record("a")
+        base = ok.bundle("r")
+        bad = dict(base)
+        bad["events"] = "not-a-list"
+        assert any("not a list" in p for p in validate_flight_bundle(bad))
+        bad = dict(base)
+        bad["events"] = [{"kind": "a", "t_s": 2.0}, {"kind": "b", "t_s": 1.0}]
+        bad["n_events_retained"] = 2
+        assert any("time-ordered" in p for p in validate_flight_bundle(bad))
+        bad = dict(base)
+        bad["events"] = [{"no": "fields"}]
+        bad["n_events_retained"] = 1
+        assert any("malformed" in p for p in validate_flight_bundle(bad))
+        bad = dict(base)
+        bad["capacity"] = 0
+        assert any("exceeds capacity" in p for p in validate_flight_bundle(bad))
+        bad = dict(base)
+        bad["n_events_total"] = 0
+        assert any("below retained" in p for p in validate_flight_bundle(bad))
+
+
+class TestDeadlockDump:
+    def test_deadlock_dump_carries_valid_flight_bundle(self, tmp_path):
+        """Drive the ThreadedExecutor into a genuine dependence cycle
+        with observability on; the repro-deadlock/1 dump it writes must
+        embed a valid repro-flight/1 bundle whose ring shows the tasks
+        leading up to the hang."""
+        rt = Runtime(backend="threads", jobs=2, faults=False, observability=True)
+        try:
+            region = rt.create_region(IndexSpace.linear(8), {"v": np.float64})
+            rt.allocate(region, "v", fill=1.0)
+            cell = {}
+            launched = threading.Event()
+
+            def body_a(ctx):
+                launched.wait(timeout=10)
+                return cell["fb"].get()  # B depends on A: cycle
+
+            tl_a = TaskLauncher("a", body_a)
+            tl_a.add_requirement(
+                region, ["v"], Subset.full(region.ispace), Privilege.READ_WRITE
+            )
+            rt.execute(tl_a)
+            tl_b = TaskLauncher("b", lambda ctx: float(ctx[0].read().sum()))
+            tl_b.add_requirement(
+                region, ["v"], Subset.full(region.ispace), Privilege.READ_WRITE
+            )
+            cell["fb"] = rt.execute(tl_b)
+            launched.set()
+            with pytest.raises(ExecutorError) as excinfo:
+                rt.sync()
+        finally:
+            rt.executor.shutdown()
+        match = re.search(r"trace written to (\S+\.json)", str(excinfo.value))
+        assert match, f"no dump path in: {excinfo.value}"
+        with open(match.group(1), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "repro-deadlock/1"
+        assert "flight" in payload, "deadlock dump lost the flight bundle"
+        flight = payload["flight"]
+        assert validate_flight_bundle(flight) == []
+        assert flight["reason"].startswith("deadlock:")
+        submitted = [e["name"] for e in flight["events"] if e["kind"] == "submit"]
+        assert "a" in submitted and "b" in submitted
+
+
+class TestChaosFlight:
+    def test_unrecoverable_chaos_report_carries_valid_flight(self):
+        """A no-retry crash on the very first setup copy is
+        unrecoverable by construction; the chaos report must ship a
+        valid flight bundle explaining the failure."""
+        plan = FaultPlan.parse("crash:copy:0", retry_crashes=False)
+        report = run_chaos("cg", seed=1, plan=plan)
+        assert not report.ok
+        assert report.setup_fault is not None
+        assert report.flight is not None
+        assert validate_flight_bundle(report.flight) == []
+        assert report.flight["reason"].startswith("unrecoverable:")
+        # The JSON artifact keeps it too (repro chaos --json).
+        payload = json.loads(report.to_json())
+        assert validate_flight_bundle(payload["flight"]) == []

@@ -46,7 +46,11 @@ class TestInstruments:
             "mean": 4.0,
             "min": 1.0,
             "max": 7.0,
+            "p50": 4.0,
+            "p95": 7.0,
+            "p99": 7.0,
         }
+        assert h.quantile(0.5) == 4.0
 
     def test_empty_histogram_mean_is_zero(self):
         assert MetricsRegistry().histogram("e").mean == 0.0

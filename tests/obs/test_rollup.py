@@ -1,0 +1,179 @@
+"""Rollup aggregator: windowing, labels, retention, JSONL round-trip."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.rollup import (
+    LABEL_KEYS,
+    ROLLUP_SCHEMA,
+    RollupAggregator,
+    iter_jsonl,
+)
+
+
+class TestWindowing:
+    def test_observations_bucket_by_timestamp(self):
+        agg = RollupAggregator(window_s=1.0, max_windows=8)
+        agg.observe(0.2, "latency", "task.spmv", 0.01)
+        agg.observe(0.9, "latency", "task.spmv", 0.03)
+        agg.observe(1.1, "latency", "task.spmv", 0.05)
+        assert agg.n_windows() == 2
+        assert agg.window_indices() == [0, 1]
+        (w0,) = [c for c in agg.cells(0)]
+        assert w0.count == 2.0
+        assert w0.total == pytest.approx(0.04)
+        (w1,) = [c for c in agg.cells(1)]
+        assert w1.count == 1.0
+
+    def test_distinct_names_and_kinds_get_distinct_cells(self):
+        agg = RollupAggregator(window_s=10.0)
+        agg.observe(0.0, "latency", "task.spmv", 1.0)
+        agg.observe(0.0, "latency", "task.axpy", 2.0)
+        agg.observe(0.0, "counter", "task.spmv", 3.0)
+        assert len(agg.cells(0)) == 3
+
+
+class TestRetention:
+    def test_oldest_windows_evicted_beyond_max(self):
+        agg = RollupAggregator(window_s=1.0, max_windows=4)
+        for i in range(10):
+            agg.observe(float(i) + 0.5, "latency", "x", 1.0)
+        assert agg.n_windows() == 4
+        assert agg.window_indices() == [6, 7, 8, 9]
+        assert agg.evicted_windows == 6
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_retention_invariant_holds_for_any_stream(self, times, max_windows):
+        agg = RollupAggregator(window_s=1.0, max_windows=max_windows)
+        for t in times:
+            agg.observe(t, "latency", "x", t)
+        assert agg.n_windows() <= max_windows
+        # Retained + evicted covers every distinct window ever touched.
+        # (Out-of-order arrivals can re-create an evicted window, so the
+        # sum may exceed the distinct count but never undershoots it.)
+        touched = len({int(t // 1.0) for t in times})
+        assert agg.n_windows() + agg.evicted_windows >= touched
+
+    def test_memory_stays_bounded_over_long_stream(self):
+        agg = RollupAggregator(window_s=1.0, max_windows=8)
+        sizes = []
+        for i in range(50_000):
+            agg.observe(i * 0.01, "latency", "task.spmv", float(i % 97))
+            if i in (9_999, 49_999):
+                sizes.append(agg.nbytes())
+        assert sizes[-1] <= 2 * sizes[0] + 4096
+
+
+class TestLabels:
+    def test_records_carry_full_label_schema(self):
+        agg = RollupAggregator(window_s=1.0)
+        agg.observe(
+            0.0,
+            "latency",
+            "task.spmv",
+            0.5,
+            labels={"solver": "cg", "backend": "threads", "run_id": "r1"},
+        )
+        (rec,) = agg.records()
+        assert rec["schema"] == ROLLUP_SCHEMA
+        assert set(rec["labels"]) == set(LABEL_KEYS)
+        assert rec["labels"]["solver"] == "cg"
+        assert rec["labels"]["backend"] == "threads"
+        assert rec["labels"]["tenant"] == ""  # absent labels serialize as ""
+
+    def test_label_sets_partition_cells(self):
+        agg = RollupAggregator(window_s=1.0)
+        agg.observe(0.0, "latency", "x", 1.0, labels={"solver": "cg"})
+        agg.observe(0.0, "latency", "x", 9.0, labels={"solver": "gmres"})
+        recs = sorted(agg.records(), key=lambda r: r["labels"]["solver"])
+        assert len(recs) == 2
+        assert recs[0]["mean"] == 1.0
+        assert recs[1]["mean"] == 9.0
+
+    def test_unknown_label_keys_are_dropped_not_smuggled(self):
+        agg = RollupAggregator(window_s=1.0)
+        agg.observe(0.0, "latency", "x", 1.0, labels={"solver": "cg", "hostname": "n1"})
+        (rec,) = agg.records()
+        assert "hostname" not in rec["labels"]
+
+
+class TestJsonl:
+    def test_roundtrip_through_jsonl(self):
+        agg = RollupAggregator(window_s=0.5)
+        for i in range(100):
+            agg.observe(i * 0.01, "latency", "task.spmv", i * 1e-3, labels={"solver": "cg"})
+        agg.observe(0.0, "counter", "executor.tasks", 42.0)
+        buf = io.StringIO()
+        n = agg.write_jsonl(buf)
+        records = iter_jsonl(buf.getvalue().splitlines())
+        assert len(records) == n == len(agg.records())
+        spmv = [r for r in records if r["name"] == "task.spmv"]
+        assert sum(r["count"] for r in spmv) == 100
+        for rec in records:
+            assert rec["schema"] == ROLLUP_SCHEMA
+            assert {"p50", "p95", "p99", "mean", "min", "max"} <= set(rec)
+            assert rec["window_s"] == 0.5
+
+    def test_iter_jsonl_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="repro-rollup/1"):
+            iter_jsonl(['{"schema": "something-else/9"}'])
+
+    def test_iter_jsonl_skips_blank_lines(self):
+        agg = RollupAggregator(window_s=1.0)
+        agg.observe(0.0, "latency", "x", 1.0)
+        buf = io.StringIO()
+        agg.write_jsonl(buf)
+        assert len(iter_jsonl(["", *buf.getvalue().splitlines(), "  "])) == 1
+
+
+class TestMerge:
+    def test_per_worker_rollups_combine(self):
+        a = RollupAggregator(window_s=1.0)
+        b = RollupAggregator(window_s=1.0)
+        for i in range(50):
+            a.observe(0.1, "latency", "x", float(i))
+            b.observe(0.1, "latency", "x", float(i + 50))
+        a.merge(b)
+        (rec,) = a.records()
+        assert rec["count"] == 100
+        assert rec["mean"] == pytest.approx(49.5)
+
+    def test_merge_rejects_window_mismatch(self):
+        a = RollupAggregator(window_s=1.0)
+        b = RollupAggregator(window_s=2.0)
+        with pytest.raises(ValueError, match="window mismatch"):
+            a.merge(b)
+
+    def test_merge_respects_retention(self):
+        a = RollupAggregator(window_s=1.0, max_windows=2)
+        b = RollupAggregator(window_s=1.0, max_windows=16)
+        for i in range(8):
+            b.observe(float(i) + 0.5, "latency", "x", 1.0)
+        a.merge(b)
+        assert a.n_windows() <= 2
+        assert a.evicted_windows > 0
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="window_s"):
+            RollupAggregator(window_s=0.0)
+        with pytest.raises(ValueError, match="max_windows"):
+            RollupAggregator(max_windows=0)
+
+    def test_empty_aggregator_views(self):
+        agg = RollupAggregator()
+        assert agg.records() == []
+        assert agg.cells(0) == []
+        assert agg.window_indices() == []
+        assert agg.nbytes() >= 0

@@ -74,6 +74,7 @@ class TestSolverInstrumentation:
         obs = rt.obs
         series = obs.metrics.series("solver.cg.residual")
         assert series.values == pytest.approx(result.measure_history)
+        obs.flush_overhead()
         snap = obs.metrics.snapshot()
         assert snap["counters"]["step.flops"] > 0.0
         assert snap["counters"]["executor.tasks_executed"] > 0.0
@@ -132,6 +133,7 @@ class TestBackends:
 
     def test_executed_count_matches_simulated_spans(self):
         obs, _ = run_traced("fig8-cg", size=64, pieces=4, iterations=2)
+        obs.flush_overhead()
         snap = obs.metrics.snapshot()
         assert snap["counters"]["executor.tasks_executed"] == len(
             obs.tracer.task_spans

@@ -1,0 +1,154 @@
+"""Sampled tracing: deterministic task selection, backend independence,
+and bounded telemetry memory on long streams."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.driver import run_traced
+
+
+class TestSampleFunction:
+    def test_decision_is_pure_and_seed_stable(self):
+        a = Observability(sample_rate=0.3, sample_seed=7)
+        b = Observability(sample_rate=0.3, sample_seed=7)
+        ids = range(5000)
+        assert [a.sample(i) for i in ids] == [b.sample(i) for i in ids]
+
+    def test_different_seeds_pick_different_subsets(self):
+        a = Observability(sample_rate=0.3, sample_seed=1)
+        b = Observability(sample_rate=0.3, sample_seed=2)
+        picks_a = {i for i in range(5000) if a.sample(i)}
+        picks_b = {i for i in range(5000) if b.sample(i)}
+        assert picks_a != picks_b
+
+    def test_rate_extremes(self):
+        assert all(Observability(sample_rate=1.0).sample(i) for i in range(100))
+        assert not any(Observability(sample_rate=0.0).sample(i) for i in range(100))
+
+    def test_sampled_fraction_tracks_rate(self):
+        for rate in (0.1, 0.5, 0.9):
+            obs = Observability(sample_rate=rate, sample_seed=0)
+            frac = sum(obs.sample(i) for i in range(20_000)) / 20_000
+            assert frac == pytest.approx(rate, abs=0.02)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Observability(sample_rate=1.5)
+        with pytest.raises(ValueError, match="sample_rate"):
+            Observability(sample_rate=-0.1)
+
+
+def sampled_wall_ids(obs):
+    return sorted(s.task_id for s in obs.tracer.wall_tasks)
+
+
+def sampled_sim_ids(obs):
+    return sorted(s.task_id for s in obs.tracer.task_spans)
+
+
+class TestBackendDeterminism:
+    """The same program sampled at the same (rate, seed) must select the
+    same task subset on every backend — task ids are launch-ordered and
+    the decision hashes only (seed, task_id).  In production every run
+    is a fresh process, so each driver run here restarts the global task
+    id counter to reproduce that."""
+
+    RATE = 0.25
+
+    def run(self, backend, **kw):
+        import itertools
+
+        from repro.runtime import task as task_mod
+
+        counter_before = task_mod._task_counter
+        task_mod._task_counter = itertools.count(1)
+        try:
+            obs, resolved = run_traced(
+                "fig8-cg",
+                backend=backend,
+                size=32,
+                pieces=4,
+                iterations=3,
+                sample_rate=self.RATE,
+                seed=0,
+                **kw,
+            )
+        finally:
+            task_mod._task_counter = counter_before
+        return obs, resolved
+
+    def test_serial_threads_select_identical_subsets(self):
+        obs_s, _ = self.run("serial")
+        obs_t, _ = self.run("threads", jobs=2)
+        assert sampled_wall_ids(obs_s) == sampled_wall_ids(obs_t)
+        assert sampled_sim_ids(obs_s) == sampled_sim_ids(obs_t)
+        # Sampling actually thinned the stream (not all, not none).
+        obs_full, _ = run_traced(
+            "fig8-cg", backend="serial", size=32, pieces=4, iterations=3
+        )
+        n_total = len(obs_full.tracer.wall_tasks)
+        n_sampled = len(obs_s.tracer.wall_tasks)
+        assert 0 < n_sampled < n_total
+
+    def test_procs_selects_the_same_subset(self):
+        """Sampling decisions are made parent-side at submit, so the
+        procs backend (worker processes, span batches shipped back with
+        results) must agree with serial exactly."""
+        obs_s, _ = self.run("serial")
+        obs_p, resolved = self.run("procs", jobs=2)
+        assert resolved == "procs"
+        assert sampled_wall_ids(obs_s) == sampled_wall_ids(obs_p)
+        assert sampled_sim_ids(obs_s) == sampled_sim_ids(obs_p)
+
+    def test_counters_stay_exact_under_sampling(self):
+        """Sampling drops spans, never counts: tasks_submitted must
+        equal the unsampled run's count, with tasks_sampled the subset."""
+        obs, _ = self.run("serial")
+        obs.flush_overhead()
+        counters = obs.metrics.snapshot()["counters"]
+        obs_full, _ = run_traced(
+            "fig8-cg", backend="serial", size=32, pieces=4, iterations=3
+        )
+        obs_full.flush_overhead()
+        full = obs_full.metrics.snapshot()["counters"]
+        assert counters["executor.tasks_submitted"] == full["executor.tasks_submitted"]
+        assert counters["executor.tasks_executed"] == full["executor.tasks_executed"]
+        assert (
+            0
+            < counters["executor.tasks_sampled"]
+            < counters["executor.tasks_submitted"]
+        )
+
+
+class TestBoundedTelemetryMemory:
+    def test_million_sample_stream_stays_under_byte_budget(self):
+        """A service observing 10^6 task latencies must hold the whole
+        history in bounded sketches: the registry's retained payload
+        stays under a fixed byte budget and stops growing."""
+        obs = Observability(trace=False)
+        h = obs.metrics.histogram("executor.task_run_s")
+        mid = 0
+        for i in range(1_000_000):
+            h.observe((i % 1013) * 1e-6)
+            if i == 99_999:
+                mid = obs.metrics.nbytes()
+        obs.flush_overhead()
+        final = obs.metrics.nbytes()
+        # Absolute budget: well under a megabyte for a million samples.
+        assert final < 256 * 1024, f"registry holds {final} bytes"
+        # And flat: 10x more samples didn't grow retained state.
+        assert final <= 2 * mid + 4096
+        summary = h.summary()
+        assert summary["count"] == 1_000_000.0
+        assert summary["p50"] == pytest.approx(506e-6, rel=0.1)
+
+    def test_series_history_is_bounded(self):
+        obs = Observability(trace=False)
+        s = obs.metrics.series("solver.cg.residual")
+        for i in range(100_000):
+            s.append(1.0 / (i + 1))
+        assert len(s) == 100_000
+        assert len(s.values) < 100_000  # tail only
+        assert s.nbytes() < 128 * 1024
+        # Full-stream distribution still queryable through the digest.
+        assert s.digest.count == 100_000

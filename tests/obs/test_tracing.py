@@ -119,6 +119,7 @@ class TestObservabilityBundle:
         obs.task_finished(1)
         obs.future_wait(10)
         obs.deadlock()
+        obs.flush_overhead()
         snap = obs.metrics.snapshot()
         assert snap["counters"]["executor.tasks_submitted"] == 1.0
         assert snap["counters"]["executor.tasks_executed"] == 1.0
@@ -135,6 +136,7 @@ class TestObservabilityBundle:
         assert obs.span("anything") is NULL_SPAN
         obs.task_submitted(1, "t", 0, 1)
         obs.task_finished(1)
+        obs.flush_overhead()
         assert obs.metrics.snapshot()["counters"]["executor.tasks_executed"] == 1.0
 
     def test_disabled_bundle_is_fully_inert(self):

@@ -647,8 +647,8 @@ class TestWorkerState:
         results = FakeQueue()
         _worker_main(
             FakeConn([
-                ("task", 7, 11, 1.0, [ok_part]),   # stall_ms covers the sleep
-                ("task", 7, 12, 0, [bad_part]),
+                ("task", 7, 11, 1.0, [ok_part], True),   # stall_ms covers the sleep
+                ("task", 7, 12, 0, [bad_part], False),
                 ("clear", 7),
                 ("stop",),
             ]),
@@ -656,10 +656,15 @@ class TestWorkerState:
             0,
         )
         assert (arr == 5.0).all()
-        assert results.items[0] == (7, 11, True, [None])
-        epoch, tid, ok, exc = results.items[1]
+        epoch, tid, ok, values, body_s = results.items[0]
+        assert (epoch, tid, ok, values) == (7, 11, True, [None])
+        # Sampled task: the span batch rides back with the result and
+        # covers at least the injected 1ms stall.
+        assert body_s is not None and body_s >= 0.001
+        epoch, tid, ok, exc, body_s = results.items[1]
         assert (epoch, tid, ok) == (7, 12, False)
         assert isinstance(exc, KeyError)
+        assert body_s is None  # unsampled: no measurement shipped
         # EOF (a closed pipe) ends the loop too.
         _worker_main(FakeConn([]), FakeQueue(), 0)
         store.release()
